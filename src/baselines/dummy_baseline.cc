@@ -1,0 +1,71 @@
+#include "baselines/dummy_baseline.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace spacetwist::baselines {
+
+DummyLocationClient::DummyLocationClient(server::LbsServer* server,
+                                         const net::PacketConfig& packet)
+    : server_(server), packet_(packet) {
+  SPACETWIST_CHECK(server != nullptr);
+}
+
+Result<DummyQueryResult> DummyLocationClient::Query(const geom::Point& q,
+                                                    size_t k, size_t dummies,
+                                                    double spread,
+                                                    Rng* rng) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (spread <= 0.0) {
+    return Status::InvalidArgument("spread must be positive");
+  }
+  const geom::Rect domain = server_->domain();
+
+  DummyQueryResult result;
+  result.disclosed.push_back(q);
+  for (size_t i = 0; i < dummies; ++i) {
+    geom::Point dummy;
+    do {
+      dummy = {q.x + rng->Uniform(-spread, spread),
+               q.y + rng->Uniform(-spread, spread)};
+    } while (!domain.Contains(dummy));
+    result.disclosed.push_back(dummy);
+  }
+  // The true location must not be identifiable by its position in the set.
+  std::shuffle(result.disclosed.begin(), result.disclosed.end(),
+               rng->engine());
+
+  // Server side: one exact kNN per disclosed point; ship the union.
+  std::unordered_map<uint32_t, rtree::Neighbor> shipped;
+  for (const geom::Point& location : result.disclosed) {
+    SPACETWIST_ASSIGN_OR_RETURN(std::vector<rtree::Neighbor> knn,
+                                server_->ExactKnn(location, k));
+    for (const rtree::Neighbor& n : knn) {
+      shipped.emplace(n.point.id, n);
+    }
+  }
+  result.candidate_pois = shipped.size();
+  const size_t beta = packet_.Capacity();
+  result.packets = (shipped.size() + beta - 1) / beta;
+
+  // Client refinement: exact kNN of q within the union. The union contains
+  // q's own sub-answer, so this is exact.
+  std::vector<rtree::Neighbor> ranked;
+  ranked.reserve(shipped.size());
+  for (auto& [id, neighbor] : shipped) {
+    ranked.push_back(
+        rtree::Neighbor{neighbor.point,
+                        geom::Distance(q, neighbor.point.point)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const rtree::Neighbor& a, const rtree::Neighbor& b) {
+              return a.distance < b.distance;
+            });
+  ranked.resize(std::min(k, ranked.size()));
+  result.neighbors = std::move(ranked);
+  return result;
+}
+
+}  // namespace spacetwist::baselines

@@ -1,0 +1,51 @@
+#ifndef SPACETWIST_BASELINES_DUMMY_BASELINE_H_
+#define SPACETWIST_BASELINES_DUMMY_BASELINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "geom/point.h"
+#include "net/packet.h"
+#include "rtree/entry.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::baselines {
+
+/// Result of one dummy-location query.
+struct DummyQueryResult {
+  /// Exact kNN of the true location (its own sub-answer is among the
+  /// returned ones, so refinement is trivially exact).
+  std::vector<rtree::Neighbor> neighbors;
+  /// The disclosed point set: the true location hidden among the dummies.
+  std::vector<geom::Point> disclosed;
+  size_t candidate_pois = 0;  ///< distinct POIs shipped back
+  uint64_t packets = 0;
+};
+
+/// The dummy-location technique of the related work (Kido et al. [7],
+/// Figure 2b): the client sends its true location together with
+/// `dummies` fake locations drawn uniformly within `spread` of it; the
+/// server evaluates a kNN query at every disclosed point and returns the
+/// union. Privacy is the cardinality of the disclosed set; communication
+/// grows linearly with it — another trade-off SpaceTwist's single-anchor
+/// stream avoids.
+class DummyLocationClient {
+ public:
+  /// Borrows `server`, which must outlive the client.
+  DummyLocationClient(server::LbsServer* server,
+                      const net::PacketConfig& packet);
+
+  /// Runs one query with `dummies` fake locations.
+  Result<DummyQueryResult> Query(const geom::Point& q, size_t k,
+                                 size_t dummies, double spread, Rng* rng);
+
+ private:
+  server::LbsServer* server_;
+  net::PacketConfig packet_;
+};
+
+}  // namespace spacetwist::baselines
+
+#endif  // SPACETWIST_BASELINES_DUMMY_BASELINE_H_

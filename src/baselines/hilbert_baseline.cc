@@ -1,0 +1,79 @@
+#include "baselines/hilbert_baseline.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace spacetwist::baselines {
+
+HilbertKnnClient::HilbertKnnClient(const datasets::Dataset& dataset,
+                                   int curves, int level, uint64_t key)
+    : dataset_(&dataset),
+      curve1_(dataset.domain, level, key) {
+  SPACETWIST_CHECK(curves == 1 || curves == 2);
+  index1_ =
+      std::make_unique<server::HilbertIndex>(dataset.points, curve1_);
+  if (curves == 2) {
+    curve2_.emplace(geom::OrthogonalCurve(dataset.domain, level, key));
+    index2_ =
+        std::make_unique<server::HilbertIndex>(dataset.points, *curve2_);
+  }
+}
+
+Result<HilbertQueryResult> HilbertKnnClient::Query(const geom::Point& q,
+                                                   size_t k) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  HilbertQueryResult result;
+
+  struct Candidate {
+    uint32_t id;
+    double decoded_distance;  // what the client can compute
+  };
+  std::vector<Candidate> candidates;
+
+  const auto gather = [&](const geom::HilbertCurve& curve,
+                          const server::HilbertIndex& index) {
+    const uint64_t hq = curve.Encode(q);
+    for (const server::HilbertEntry& e : index.Nearest(hq, k)) {
+      const geom::Point decoded = curve.Decode(e.value);
+      candidates.push_back(Candidate{e.id, geom::Distance(q, decoded)});
+    }
+  };
+  gather(curve1_, *index1_);
+  if (curve2_.has_value()) gather(*curve2_, *index2_);
+
+  // The k candidate curve values per curve travel in one packet each way
+  // for the paper's k range; count one downlink packet per curve queried.
+  result.packets = curve2_.has_value() ? 2 : 1;
+  result.candidates = candidates.size();
+
+  // The client keeps the k candidates whose *decoded* locations are closest
+  // to q, de-duplicating POIs found on both curves.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.decoded_distance < b.decoded_distance;
+            });
+  std::vector<uint32_t> chosen;
+  for (const Candidate& c : candidates) {
+    if (std::find(chosen.begin(), chosen.end(), c.id) != chosen.end()) {
+      continue;
+    }
+    chosen.push_back(c.id);
+    if (chosen.size() == k) break;
+  }
+
+  // Evaluation view: resolve ids to true locations and distances.
+  for (const uint32_t id : chosen) {
+    const rtree::DataPoint& p = dataset_->points[id];
+    result.neighbors.push_back(
+        rtree::Neighbor{p, geom::Distance(q, p.point)});
+  }
+  std::sort(result.neighbors.begin(), result.neighbors.end(),
+            [](const rtree::Neighbor& a, const rtree::Neighbor& b) {
+              return a.distance < b.distance;
+            });
+  return result;
+}
+
+}  // namespace spacetwist::baselines

@@ -1,0 +1,59 @@
+#ifndef SPACETWIST_BASELINES_HILBERT_BASELINE_H_
+#define SPACETWIST_BASELINES_HILBERT_BASELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "datasets/dataset.h"
+#include "geom/hilbert.h"
+#include "geom/point.h"
+#include "rtree/entry.h"
+#include "server/hilbert_index.h"
+
+namespace spacetwist::baselines {
+
+/// Result of one transformation-based query.
+struct HilbertQueryResult {
+  /// The k selected POIs with their *true* distances to q (evaluation uses
+  /// real locations; the client itself only sees decoded cell centers).
+  std::vector<rtree::Neighbor> neighbors;
+  /// Packets exchanged: the candidates' curve values all fit in one packet
+  /// for k <= 16, matching the paper's observation about DHB.
+  uint64_t packets = 0;
+  size_t candidates = 0;
+};
+
+/// The SHB / DHB baselines of Khoshgozaran & Shahabi as evaluated in the
+/// paper: POIs and queries are transformed through one (SHB) or two
+/// orthogonal (DHB) keyed Hilbert curves of level 12; the server matches
+/// purely on 1-D curve positions; the client decodes the returned positions
+/// and keeps the k closest decoded locations. No accuracy guarantee exists —
+/// the curves do not fully preserve spatial proximity, which is precisely
+/// the weakness Table II exposes on skewed data.
+class HilbertKnnClient {
+ public:
+  /// `curves` = 1 builds SHB, 2 builds DHB. `level` is the curve order
+  /// (paper: 12). The key is the shared secret between client and the
+  /// trusted entity that uploaded the table.
+  HilbertKnnClient(const datasets::Dataset& dataset, int curves, int level,
+                   uint64_t key);
+
+  /// Runs one kNN query for user location `q`.
+  Result<HilbertQueryResult> Query(const geom::Point& q, size_t k) const;
+
+  bool is_dual() const { return curve2_.has_value(); }
+
+ private:
+  const datasets::Dataset* dataset_;
+  geom::HilbertCurve curve1_;
+  std::optional<geom::HilbertCurve> curve2_;
+  std::unique_ptr<server::HilbertIndex> index1_;
+  std::unique_ptr<server::HilbertIndex> index2_;
+};
+
+}  // namespace spacetwist::baselines
+
+#endif  // SPACETWIST_BASELINES_HILBERT_BASELINE_H_

@@ -1,0 +1,31 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace spacetwist {
+
+double GetEnvDouble(const char* name, double default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return default_value;
+  char* end = nullptr;
+  double value = std::strtod(env, &end);
+  if (end == env) return default_value;
+  return value;
+}
+
+int64_t GetEnvInt(const char* name, int64_t default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return default_value;
+  char* end = nullptr;
+  long long value = std::strtoll(env, &end, 10);
+  if (end == env) return default_value;
+  return static_cast<int64_t>(value);
+}
+
+std::string GetEnvString(const char* name, const std::string& default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return default_value;
+  return env;
+}
+
+}  // namespace spacetwist

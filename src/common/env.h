@@ -1,0 +1,23 @@
+#ifndef SPACETWIST_COMMON_ENV_H_
+#define SPACETWIST_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spacetwist {
+
+/// Reads environment variable `name` as a double, falling back to
+/// `default_value` when unset or unparsable.
+double GetEnvDouble(const char* name, double default_value);
+
+/// Reads environment variable `name` as an int64, falling back to
+/// `default_value` when unset or unparsable.
+int64_t GetEnvInt(const char* name, int64_t default_value);
+
+/// Reads environment variable `name` as a string, falling back to
+/// `default_value` when unset.
+std::string GetEnvString(const char* name, const std::string& default_value);
+
+}  // namespace spacetwist
+
+#endif  // SPACETWIST_COMMON_ENV_H_

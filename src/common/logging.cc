@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+
+namespace spacetwist {
+namespace internal_logging {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() {
+  static const LogLevel kLevel = [] {
+    const char* env = std::getenv("SPACETWIST_LOG_LEVEL");
+    if (env == nullptr) return LogLevel::kInfo;
+    switch (std::atoi(env)) {
+      case 0:
+        return LogLevel::kDebug;
+      case 1:
+        return LogLevel::kInfo;
+      case 2:
+        return LogLevel::kWarning;
+      default:
+        return LogLevel::kError;
+    }
+  }();
+  return kLevel;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace spacetwist

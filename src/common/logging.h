@@ -1,0 +1,56 @@
+#ifndef SPACETWIST_COMMON_LOGGING_H_
+#define SPACETWIST_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace spacetwist {
+
+/// Severity for `Log`. kFatal aborts the process after printing.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal_logging {
+
+/// Minimum level that is printed; controlled by SPACETWIST_LOG_LEVEL
+/// (0=debug .. 3=error). Defaults to kInfo.
+LogLevel MinLogLevel();
+
+/// Stream-style log sink that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define SPACETWIST_LOG(level)                                         \
+  ::spacetwist::internal_logging::LogMessage(                         \
+      ::spacetwist::LogLevel::level, __FILE__, __LINE__)              \
+      .stream()
+
+/// Invariant check that is always on (benchmarks depend on correctness more
+/// than on the nanoseconds these cost). Aborts with a message on failure.
+#define SPACETWIST_CHECK(condition)                                   \
+  if (!(condition))                                                   \
+  ::spacetwist::internal_logging::LogMessage(                         \
+      ::spacetwist::LogLevel::kFatal, __FILE__, __LINE__)             \
+      .stream()                                                       \
+      << "Check failed: " #condition " "
+
+#define SPACETWIST_DCHECK(condition) SPACETWIST_CHECK(condition)
+
+}  // namespace spacetwist
+
+#endif  // SPACETWIST_COMMON_LOGGING_H_

@@ -1,0 +1,82 @@
+#ifndef SPACETWIST_COMMON_RESULT_H_
+#define SPACETWIST_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace spacetwist {
+
+/// Value-or-error wrapper in the style of arrow::Result<T>: holds either a
+/// `T` or a non-OK `Status`. Constructing a Result from an OK status is a
+/// programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::in_place_index<0>, std::move(value)) {}
+
+  /// Implicit so functions can `return Status::...;`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::in_place_index<1>, std::move(status)) {
+    if (std::get<1>(repr_).ok()) std::abort();
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return repr_.index() == 0; }
+
+  /// Status of the result: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<1>(repr_);
+  }
+
+  /// Access to the held value; aborts if this holds an error.
+  const T& ValueOrDie() const {
+    if (!ok()) std::abort();
+    return std::get<0>(repr_);
+  }
+  T& ValueOrDie() {
+    if (!ok()) std::abort();
+    return std::get<0>(repr_);
+  }
+
+  /// Moves the held value out; aborts if this holds an error.
+  T MoveValueOrDie() {
+    if (!ok()) std::abort();
+    return std::move(std::get<0>(repr_));
+  }
+
+  const T& operator*() const { return ValueOrDie(); }
+  T& operator*() { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status. `lhs` may include a declaration, e.g.
+/// SPACETWIST_ASSIGN_OR_RETURN(auto cursor, tree.NewInnCursor(q));
+#define SPACETWIST_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                     \
+  if (!tmp.ok()) return tmp.status();                     \
+  lhs = tmp.MoveValueOrDie()
+
+#define SPACETWIST_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define SPACETWIST_ASSIGN_OR_RETURN_NAME(a, b) \
+  SPACETWIST_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define SPACETWIST_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  SPACETWIST_ASSIGN_OR_RETURN_IMPL(                                           \
+      SPACETWIST_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, rexpr)
+
+}  // namespace spacetwist
+
+#endif  // SPACETWIST_COMMON_RESULT_H_

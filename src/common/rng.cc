@@ -1,0 +1,9 @@
+#include "common/rng.h"
+
+#include <numbers>
+
+namespace spacetwist {
+
+double Rng::Angle() { return Uniform(0.0, 2.0 * std::numbers::pi); }
+
+}  // namespace spacetwist

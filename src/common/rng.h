@@ -1,0 +1,60 @@
+#ifndef SPACETWIST_COMMON_RNG_H_
+#define SPACETWIST_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace spacetwist {
+
+/// Deterministic pseudo-random generator used everywhere in the library so
+/// that datasets, workloads, anchors, and Monte-Carlo estimates are
+/// reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled to (mean, stddev).
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniform angle in [0, 2*pi).
+  double Angle();
+
+  /// Derives an independent child generator; forking avoids correlation
+  /// between consumers that draw different amounts of randomness.
+  Rng Fork() { return Rng(engine_()); }
+
+  /// Raw 64-bit draw.
+  uint64_t Next() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace spacetwist
+
+#endif  // SPACETWIST_COMMON_RNG_H_

@@ -1,0 +1,102 @@
+#ifndef SPACETWIST_COMMON_STATUS_H_
+#define SPACETWIST_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace spacetwist {
+
+/// Machine-readable category of a `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kExhausted = 4,  ///< A stream/cursor has no further elements.
+  kIoError = 5,
+  kCorruption = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation that can fail, in the style of arrow::Status /
+/// rocksdb::Status. Library code never throws; fallible functions return
+/// `Status` (or `Result<T>`, see result.h) instead.
+///
+/// The OK status is cheap to construct and copy (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Exhausted(std::string msg) {
+    return Status(StatusCode::kExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsExhausted() const { return code_ == StatusCode::kExhausted; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Mirrors ARROW_RETURN_NOT_OK.
+#define SPACETWIST_RETURN_NOT_OK(expr)                 \
+  do {                                                 \
+    ::spacetwist::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                         \
+  } while (false)
+
+}  // namespace spacetwist
+
+#endif  // SPACETWIST_COMMON_STATUS_H_

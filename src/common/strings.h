@@ -1,0 +1,23 @@
+#ifndef SPACETWIST_COMMON_STRINGS_H_
+#define SPACETWIST_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace spacetwist {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// Formats `value` with `precision` decimal places.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace spacetwist
+
+#endif  // SPACETWIST_COMMON_STRINGS_H_

@@ -1,0 +1,22 @@
+#include "core/anchor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spacetwist::core {
+
+geom::Point GenerateAnchor(const geom::Point& q, double anchor_distance,
+                           const geom::Rect& domain, Rng* rng) {
+  constexpr int kMaxAttempts = 128;
+  geom::Point candidate = q;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const double theta = rng->Angle();
+    candidate = {q.x + anchor_distance * std::cos(theta),
+                 q.y + anchor_distance * std::sin(theta)};
+    if (domain.Contains(candidate)) return candidate;
+  }
+  return {std::clamp(candidate.x, domain.min.x, domain.max.x),
+          std::clamp(candidate.y, domain.min.y, domain.max.y)};
+}
+
+}  // namespace spacetwist::core

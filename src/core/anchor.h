@@ -1,0 +1,20 @@
+#ifndef SPACETWIST_CORE_ANCHOR_H_
+#define SPACETWIST_CORE_ANCHOR_H_
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spacetwist::core {
+
+/// Picks an anchor q' for user location `q` per Section V: a random location
+/// at exactly `anchor_distance` from `q`. Directions are resampled until the
+/// anchor falls inside `domain` (up to an attempt budget); if no direction
+/// fits (q deep in a corner with a huge distance), the anchor is clamped to
+/// the domain boundary, which can only shorten the realized distance.
+geom::Point GenerateAnchor(const geom::Point& q, double anchor_distance,
+                           const geom::Rect& domain, Rng* rng);
+
+}  // namespace spacetwist::core
+
+#endif  // SPACETWIST_CORE_ANCHOR_H_

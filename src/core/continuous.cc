@@ -1,0 +1,64 @@
+#include "core/continuous.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spacetwist::core {
+
+ContinuousKnnSession::ContinuousKnnSession(server::LbsServer* server,
+                                           const Options& options,
+                                           Rng* rng)
+    : server_(server), options_(options), rng_(rng) {
+  SPACETWIST_CHECK(server != nullptr);
+  SPACETWIST_CHECK(rng != nullptr);
+  SPACETWIST_CHECK(options.query_epsilon >= 0.0);
+  SPACETWIST_CHECK(options.epsilon > options.query_epsilon)
+      << "the session bound must leave slack over the snapshot bound";
+}
+
+std::vector<rtree::Neighbor> ContinuousKnnSession::Rerank(
+    const geom::Point& location) const {
+  std::vector<rtree::Neighbor> ranked;
+  ranked.reserve(cache_candidates_.size());
+  for (const rtree::DataPoint& p : cache_candidates_) {
+    ranked.push_back(
+        rtree::Neighbor{p, geom::Distance(location, p.point)});
+  }
+  const size_t keep = std::min(options_.k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                    [](const rtree::Neighbor& a, const rtree::Neighbor& b) {
+                      return a.distance < b.distance;
+                    });
+  ranked.resize(keep);
+  return ranked;
+}
+
+Result<std::vector<rtree::Neighbor>> ContinuousKnnSession::Update(
+    const geom::Point& location) {
+  ++updates_;
+  const bool cache_valid =
+      has_cache_ &&
+      geom::Distance(location, cache_origin_) <= movement_budget() &&
+      cache_candidates_.size() >= options_.k;
+  if (!cache_valid) {
+    QueryParams params;
+    params.k = options_.k;
+    params.epsilon = options_.query_epsilon;
+    params.anchor_distance = options_.anchor_distance;
+    params.packet = options_.packet;
+    SpaceTwistClient client(server_);
+    // A fresh anchor per server exchange keeps each exchange's privacy
+    // analysis independent (Section III-C applies per query).
+    SPACETWIST_ASSIGN_OR_RETURN(QueryOutcome outcome,
+                                client.Query(location, params, rng_));
+    ++server_queries_;
+    total_packets_ += outcome.packets;
+    has_cache_ = true;
+    cache_origin_ = location;
+    cache_candidates_ = std::move(outcome.retrieved);
+  }
+  return Rerank(location);
+}
+
+}  // namespace spacetwist::core

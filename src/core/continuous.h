@@ -1,0 +1,79 @@
+#ifndef SPACETWIST_CORE_CONTINUOUS_H_
+#define SPACETWIST_CORE_CONTINUOUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/spacetwist_client.h"
+#include "geom/point.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::core {
+
+/// Continuous kNN on top of snapshot SpaceTwist — the Section VIII research
+/// direction, realized with a cache-and-revalidate policy:
+///
+/// A result computed at location q0 with error bound eps_q is, at any later
+/// location q with d = dist(q, q0), still an (eps_q + 2d)-relaxed kNN of q:
+/// the true kNN distance is 1-Lipschitz in the query location, and every
+/// cached candidate's distance moves by at most d. The session therefore
+/// promises a session-wide bound `epsilon`, issues snapshot queries with
+/// the tighter bound `query_epsilon`, and only re-queries once the user has
+/// moved more than (epsilon - query_epsilon) / 2 from the last query point.
+/// Each re-query draws a *fresh random anchor*, so the per-query privacy
+/// analysis of Section III-C applies to every exchange the server sees.
+class ContinuousKnnSession {
+ public:
+  struct Options {
+    size_t k = 1;
+    /// Bound promised for every Update() result (meters).
+    double epsilon = 400.0;
+    /// Bound used for the underlying snapshot queries; must be < epsilon.
+    /// The slack (epsilon - query_epsilon) / 2 is the movement budget.
+    double query_epsilon = 200.0;
+    double anchor_distance = 200.0;
+    net::PacketConfig packet;
+  };
+
+  /// Borrows `server` and `rng`; both must outlive the session.
+  ContinuousKnnSession(server::LbsServer* server, const Options& options,
+                       Rng* rng);
+
+  /// Returns an epsilon-relaxed kNN result for `location`, re-querying the
+  /// server only when the cached result can no longer honor the bound.
+  Result<std::vector<rtree::Neighbor>> Update(const geom::Point& location);
+
+  /// How far the user may drift from the last query point before the next
+  /// Update() must hit the server.
+  double movement_budget() const {
+    return (options_.epsilon - options_.query_epsilon) / 2.0;
+  }
+
+  uint64_t updates() const { return updates_; }
+  uint64_t server_queries() const { return server_queries_; }
+  uint64_t total_packets() const { return total_packets_; }
+
+ private:
+  /// Re-ranks the cached candidates for the current location.
+  std::vector<rtree::Neighbor> Rerank(const geom::Point& location) const;
+
+  server::LbsServer* server_;
+  Options options_;
+  Rng* rng_;
+
+  bool has_cache_ = false;
+  geom::Point cache_origin_;
+  /// Every point the last query retrieved (richer than just the k results;
+  /// re-ranking over it often *beats* the worst-case bound).
+  std::vector<rtree::DataPoint> cache_candidates_;
+
+  uint64_t updates_ = 0;
+  uint64_t server_queries_ = 0;
+  uint64_t total_packets_ = 0;
+};
+
+}  // namespace spacetwist::core
+
+#endif  // SPACETWIST_CORE_CONTINUOUS_H_

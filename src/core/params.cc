@@ -1,0 +1,51 @@
+#include "core/params.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace spacetwist::core {
+
+double ErrorBoundForMobility(double max_speed_m_per_s,
+                             double max_delay_seconds) {
+  return max_speed_m_per_s * max_delay_seconds;
+}
+
+double EffectivePointCount(size_t n, size_t k, double domain_extent,
+                           double epsilon) {
+  if (epsilon <= 0.0) return static_cast<double>(n);
+  const double cells = (domain_extent / epsilon) * (domain_extent / epsilon);
+  return std::min(static_cast<double>(n),
+                  2.0 * static_cast<double>(k) * cells);
+}
+
+double EstimateKnnDistance(double domain_extent, size_t k,
+                           double effective_points) {
+  if (effective_points <= 0.0) return domain_extent;
+  return domain_extent *
+         std::sqrt(static_cast<double>(k) /
+                   (std::numbers::pi * effective_points));
+}
+
+double AnchorDistanceForBudget(size_t packets, size_t beta, size_t k,
+                               size_t n, double domain_extent,
+                               double epsilon) {
+  const double nc = EffectivePointCount(n, k, domain_extent, epsilon);
+  if (nc <= 0.0) return 0.0;
+  const double got = std::sqrt(static_cast<double>(packets) *
+                               static_cast<double>(beta)) -
+                     std::sqrt(static_cast<double>(k));
+  if (got <= 0.0) return 0.0;
+  return domain_extent / std::sqrt(std::numbers::pi * nc) * got;
+}
+
+double PredictPackets(double anchor_distance, size_t beta, size_t k, size_t n,
+                      double domain_extent, double epsilon) {
+  const double nc = EffectivePointCount(n, k, domain_extent, epsilon);
+  const double root =
+      anchor_distance * std::sqrt(std::numbers::pi * nc) / domain_extent +
+      std::sqrt(static_cast<double>(k));
+  return root * root / static_cast<double>(beta);
+}
+
+}  // namespace spacetwist::core

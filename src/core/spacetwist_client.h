@@ -1,0 +1,74 @@
+#ifndef SPACETWIST_CORE_SPACETWIST_CLIENT_H_
+#define SPACETWIST_CORE_SPACETWIST_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "geom/point.h"
+#include "net/channel.h"
+#include "net/packet.h"
+#include "rtree/entry.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::core {
+
+/// Client-side query parameters (paper defaults in Table I).
+struct QueryParams {
+  size_t k = 1;                    ///< number of results
+  double epsilon = 200.0;          ///< error bound, meters (0 = exact)
+  double anchor_distance = 200.0;  ///< dist(q, q'), meters
+  net::PacketConfig packet;        ///< beta = 67 by default
+  server::GranularOptions granular;
+};
+
+/// Everything one SpaceTwist query produced — results plus the observables
+/// the privacy analysis and benchmarks consume.
+struct QueryOutcome {
+  /// The k nearest objects found, ascending by distance to the true
+  /// location q (fewer than k only when the dataset is smaller than k).
+  std::vector<rtree::Neighbor> neighbors;
+
+  geom::Point query;   ///< the protected user location q
+  geom::Point anchor;  ///< the disclosed anchor q'
+  size_t k = 0;
+  size_t beta = 0;
+
+  /// Every POI the server reported, in retrieval order (what the
+  /// adversary sees). Its length is <= packets * beta.
+  std::vector<rtree::DataPoint> retrieved;
+
+  uint64_t packets = 0;  ///< downlink packets (the paper's cost metric)
+  double tau = 0.0;      ///< final supply-space radius
+  double gamma = 0.0;    ///< final demand-space radius (kth result distance)
+  bool stream_exhausted = false;  ///< server ran out of points
+};
+
+/// The SpaceTwist mobile client (Algorithm 1): issues an incremental
+/// (granular) NN stream around an anchor and stops as soon as the supply
+/// space covers the demand space, guaranteeing the k nearest objects among
+/// the reported stream have been seen (Lemma 1). With epsilon == 0 the
+/// result is the exact kNN set; with epsilon > 0 it is an epsilon-relaxed
+/// kNN set (Lemma 2).
+class SpaceTwistClient {
+ public:
+  /// Borrows `server`, which must outlive the client.
+  explicit SpaceTwistClient(server::LbsServer* server);
+
+  /// Runs one query with an explicit anchor.
+  Result<QueryOutcome> Query(const geom::Point& q, const geom::Point& anchor,
+                             const QueryParams& params);
+
+  /// Runs one query, generating the anchor at params.anchor_distance in a
+  /// random direction (Section V guideline).
+  Result<QueryOutcome> Query(const geom::Point& q, const QueryParams& params,
+                             Rng* rng);
+
+ private:
+  server::LbsServer* server_;
+};
+
+}  // namespace spacetwist::core
+
+#endif  // SPACETWIST_CORE_SPACETWIST_CLIENT_H_

@@ -1,0 +1,37 @@
+#ifndef SPACETWIST_DATASETS_DATASET_H_
+#define SPACETWIST_DATASETS_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "rtree/entry.h"
+
+namespace spacetwist::datasets {
+
+/// The paper normalizes every dataset to "the square 2D space with extent
+/// 10,000 meters".
+inline constexpr double kDomainExtent = 10000.0;
+
+/// The [0, 10000]^2 domain used throughout.
+inline geom::Rect DefaultDomain() {
+  return geom::Rect{{0.0, 0.0}, {kDomainExtent, kDomainExtent}};
+}
+
+/// Cardinalities of the paper's real datasets; our synthetic stand-ins
+/// match them (see DESIGN.md "Substitutions").
+inline constexpr size_t kScCardinality = 172188;
+inline constexpr size_t kTgCardinality = 556696;
+
+/// A named point set plus its domain. Points carry dense ids [0, n).
+struct Dataset {
+  std::string name;
+  geom::Rect domain;
+  std::vector<rtree::DataPoint> points;
+
+  size_t size() const { return points.size(); }
+};
+
+}  // namespace spacetwist::datasets
+
+#endif  // SPACETWIST_DATASETS_DATASET_H_

@@ -1,0 +1,101 @@
+#include "datasets/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace spacetwist::datasets {
+
+namespace {
+
+/// Quantizes to float32 so the in-memory dataset equals what R-tree pages
+/// and 8-byte wire points represent.
+double Quantize(double v) { return static_cast<double>(static_cast<float>(v)); }
+
+geom::Point ClampToDomain(const geom::Point& p, const geom::Rect& domain) {
+  return {std::clamp(p.x, domain.min.x, domain.max.x),
+          std::clamp(p.y, domain.min.y, domain.max.y)};
+}
+
+}  // namespace
+
+Dataset GenerateUniform(size_t n, uint64_t seed) {
+  Dataset ds;
+  ds.name = StrFormat("UI-%zu", n);
+  ds.domain = DefaultDomain();
+  ds.points.reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    geom::Point p{rng.Uniform(ds.domain.min.x, ds.domain.max.x),
+                  rng.Uniform(ds.domain.min.y, ds.domain.max.y)};
+    p.x = Quantize(p.x);
+    p.y = Quantize(p.y);
+    ds.points.push_back({ClampToDomain(p, ds.domain),
+                         static_cast<uint32_t>(i)});
+  }
+  return ds;
+}
+
+Dataset GenerateClustered(size_t n, const ClusterParams& params,
+                          uint64_t seed) {
+  Dataset ds;
+  ds.name = StrFormat("CL-%zu", n);
+  ds.domain = DefaultDomain();
+  ds.points.reserve(n);
+  Rng rng(seed);
+
+  std::vector<geom::Point> parents;
+  parents.reserve(params.num_clusters);
+  for (size_t c = 0; c < params.num_clusters; ++c) {
+    parents.push_back({rng.Uniform(ds.domain.min.x, ds.domain.max.x),
+                       rng.Uniform(ds.domain.min.y, ds.domain.max.y)});
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    geom::Point p;
+    if (!parents.empty() && !rng.Bernoulli(params.background_fraction)) {
+      const size_t c = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(parents.size()) - 1));
+      p = {rng.Gaussian(parents[c].x, params.sigma),
+           rng.Gaussian(parents[c].y, params.sigma)};
+    } else {
+      p = {rng.Uniform(ds.domain.min.x, ds.domain.max.x),
+           rng.Uniform(ds.domain.min.y, ds.domain.max.y)};
+    }
+    p = ClampToDomain(p, ds.domain);
+    p.x = Quantize(p.x);
+    p.y = Quantize(p.y);
+    ds.points.push_back({ClampToDomain(p, ds.domain),
+                         static_cast<uint32_t>(i)});
+  }
+  return ds;
+}
+
+Dataset MakeScLike(uint64_t seed) {
+  // Strong skew: few tight clusters, tiny uniform background. The paper
+  // notes SC is the more skewed of its two real datasets.
+  ClusterParams params;
+  params.num_clusters = 250;
+  params.sigma = 70.0;
+  params.background_fraction = 0.02;
+  Dataset ds = GenerateClustered(kScCardinality, params, seed);
+  ds.name = "SC";
+  return ds;
+}
+
+Dataset MakeTgLike(uint64_t seed) {
+  // Moderate skew: more, wider clusters and a larger uniform background.
+  ClusterParams params;
+  params.num_clusters = 1200;
+  params.sigma = 220.0;
+  params.background_fraction = 0.12;
+  Dataset ds = GenerateClustered(kTgCardinality, params, seed);
+  ds.name = "TG";
+  return ds;
+}
+
+Dataset MakeUi(size_t n, uint64_t seed) { return GenerateUniform(n, seed); }
+
+}  // namespace spacetwist::datasets

@@ -1,0 +1,44 @@
+#ifndef SPACETWIST_DATASETS_GENERATOR_H_
+#define SPACETWIST_DATASETS_GENERATOR_H_
+
+#include <cstdint>
+
+#include "datasets/dataset.h"
+
+namespace spacetwist::datasets {
+
+/// Parameters of the Neyman–Scott cluster process used to synthesize skewed
+/// datasets standing in for the paper's real SC / TG data.
+struct ClusterParams {
+  size_t num_clusters = 300;
+  /// Standard deviation of the Gaussian offspring displacement, meters.
+  double sigma = 100.0;
+  /// Fraction of points drawn uniformly instead of from clusters
+  /// (0 = maximally skewed).
+  double background_fraction = 0.05;
+};
+
+/// Uniform (UI) dataset of `n` points in the default domain. Coordinates
+/// are quantized to float32, matching the on-disk/wire representation
+/// (8 bytes per point), so index round-trips are bit-exact.
+Dataset GenerateUniform(size_t n, uint64_t seed);
+
+/// Clustered dataset (Neyman–Scott: uniform cluster parents, Gaussian
+/// offspring, optional uniform background), clamped to the domain and
+/// float32-quantized.
+Dataset GenerateClustered(size_t n, const ClusterParams& params,
+                          uint64_t seed);
+
+/// Stand-in for the paper's SC (Schools; 172,188 points, strongly skewed).
+Dataset MakeScLike(uint64_t seed);
+
+/// Stand-in for the paper's TG (Tiger census blocks; 556,696 points,
+/// moderately skewed — less skewed than SC, as the paper notes).
+Dataset MakeTgLike(uint64_t seed);
+
+/// Uniform dataset named like the paper's UI runs ("UI-<n>").
+Dataset MakeUi(size_t n, uint64_t seed);
+
+}  // namespace spacetwist::datasets
+
+#endif  // SPACETWIST_DATASETS_GENERATOR_H_

@@ -1,0 +1,172 @@
+#include "datasets/io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/strings.h"
+
+namespace spacetwist::datasets {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'T', 'D', 'S'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteValue(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadValue(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s for writing",
+                                     path.c_str()));
+  }
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
+      !WriteValue(f.get(), kVersion)) {
+    return Status::IoError("short write (header)");
+  }
+  const uint32_t name_len = static_cast<uint32_t>(dataset.name.size());
+  if (!WriteValue(f.get(), name_len) ||
+      std::fwrite(dataset.name.data(), 1, name_len, f.get()) != name_len) {
+    return Status::IoError("short write (name)");
+  }
+  const double domain[4] = {dataset.domain.min.x, dataset.domain.min.y,
+                            dataset.domain.max.x, dataset.domain.max.y};
+  if (std::fwrite(domain, sizeof(double), 4, f.get()) != 4) {
+    return Status::IoError("short write (domain)");
+  }
+  const uint64_t count = dataset.points.size();
+  if (!WriteValue(f.get(), count)) return Status::IoError("short write");
+  for (const rtree::DataPoint& p : dataset.points) {
+    const float x = static_cast<float>(p.point.x);
+    const float y = static_cast<float>(p.point.y);
+    if (!WriteValue(f.get(), x) || !WriteValue(f.get(), y) ||
+        !WriteValue(f.get(), p.id)) {
+      return Status::IoError("short write (points)");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic");
+  }
+  uint32_t version = 0;
+  if (!ReadValue(f.get(), &version) || version != kVersion) {
+    return Status::Corruption("unsupported version");
+  }
+  uint32_t name_len = 0;
+  if (!ReadValue(f.get(), &name_len) || name_len > 4096) {
+    return Status::Corruption("bad name length");
+  }
+  Dataset ds;
+  ds.name.resize(name_len);
+  if (name_len > 0 &&
+      std::fread(ds.name.data(), 1, name_len, f.get()) != name_len) {
+    return Status::Corruption("short read (name)");
+  }
+  double domain[4];
+  if (std::fread(domain, sizeof(double), 4, f.get()) != 4) {
+    return Status::Corruption("short read (domain)");
+  }
+  ds.domain = geom::Rect{{domain[0], domain[1]}, {domain[2], domain[3]}};
+  uint64_t count = 0;
+  if (!ReadValue(f.get(), &count)) return Status::Corruption("short read");
+  ds.points.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    float x = 0.0f;
+    float y = 0.0f;
+    uint32_t id = 0;
+    if (!ReadValue(f.get(), &x) || !ReadValue(f.get(), &y) ||
+        !ReadValue(f.get(), &id)) {
+      return Status::Corruption("short read (points)");
+    }
+    ds.points.push_back(
+        {{static_cast<double>(x), static_cast<double>(y)}, id});
+  }
+  return ds;
+}
+
+Result<Dataset> LoadTextDataset(const std::string& path,
+                                const std::string& name) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  Dataset ds;
+  ds.name = name;
+  ds.domain = DefaultDomain();
+  char line[512];
+  size_t lineno = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++lineno;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0' || *p == '\n' || *p == '\r' || *p == '#') continue;
+    double x = 0.0;
+    double y = 0.0;
+    if (std::sscanf(p, "%lf %lf", &x, &y) != 2) {
+      return Status::Corruption(
+          StrFormat("%s:%zu: expected 'x y'", path.c_str(), lineno));
+    }
+    ds.points.push_back(
+        {{x, y}, static_cast<uint32_t>(ds.points.size())});
+  }
+  if (ds.points.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("%s holds no points", path.c_str()));
+  }
+  NormalizeToDefaultDomain(&ds);
+  return ds;
+}
+
+void NormalizeToDefaultDomain(Dataset* dataset) {
+  geom::Rect box = geom::Rect::Empty();
+  for (const rtree::DataPoint& p : dataset->points) box.Expand(p.point);
+  dataset->domain = DefaultDomain();
+  const double width = box.Width();
+  const double height = box.Height();
+  const double span = std::max(width, height);
+  const double scale = span > 0.0 ? kDomainExtent / span : 0.0;
+  // Center the shorter axis so the aspect ratio is preserved.
+  const double offset_x = (kDomainExtent - width * scale) / 2.0;
+  const double offset_y = (kDomainExtent - height * scale) / 2.0;
+  for (rtree::DataPoint& p : dataset->points) {
+    double x = span > 0.0 ? (p.point.x - box.min.x) * scale + offset_x
+                          : kDomainExtent / 2.0;
+    double y = span > 0.0 ? (p.point.y - box.min.y) * scale + offset_y
+                          : kDomainExtent / 2.0;
+    x = static_cast<double>(static_cast<float>(x));
+    y = static_cast<double>(static_cast<float>(y));
+    p.point = {std::clamp(x, 0.0, kDomainExtent),
+               std::clamp(y, 0.0, kDomainExtent)};
+  }
+}
+
+}  // namespace spacetwist::datasets

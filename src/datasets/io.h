@@ -1,0 +1,35 @@
+#ifndef SPACETWIST_DATASETS_IO_H_
+#define SPACETWIST_DATASETS_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "datasets/dataset.h"
+
+namespace spacetwist::datasets {
+
+/// Writes `dataset` to `path` in the library's binary format:
+///   magic "STDS", u32 version, u32 name length, name bytes,
+///   f64 domain (4 values), u64 count, then per point f32 x, f32 y, u32 id.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset previously written by SaveDataset.
+Result<Dataset> LoadDataset(const std::string& path);
+
+/// Reads a whitespace-separated "x y" text file (one point per line, '#'
+/// comments and blank lines ignored) — the common publication format of
+/// spatial point sets (e.g. the paper's Schools / Tiger datasets). The
+/// points are normalized into the default 10,000 m square domain exactly
+/// as the paper normalizes its real datasets, then float32-quantized.
+Result<Dataset> LoadTextDataset(const std::string& path,
+                                const std::string& name);
+
+/// Affinely rescales `dataset` so its bounding box fills the default
+/// domain, preserving the aspect ratio (centered on the shorter axis), and
+/// re-quantizes coordinates to float32.
+void NormalizeToDefaultDomain(Dataset* dataset);
+
+}  // namespace spacetwist::datasets
+
+#endif  // SPACETWIST_DATASETS_IO_H_

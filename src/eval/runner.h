@@ -1,0 +1,61 @@
+#ifndef SPACETWIST_EVAL_RUNNER_H_
+#define SPACETWIST_EVAL_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/spacetwist_client.h"
+#include "geom/point.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::eval {
+
+/// Controls one GST (Granular SpaceTwist) workload run.
+struct GstRunOptions {
+  core::QueryParams params;
+  bool measure_error = true;    ///< compare against server ground truth
+  bool measure_privacy = true;  ///< Monte-Carlo Gamma per query
+  size_t mc_samples = 4000;     ///< privacy samples per query
+  uint64_t seed = 4242;         ///< anchors + Monte Carlo
+};
+
+/// Workload-level averages (the numbers the paper's tables/figures report).
+struct GstAggregate {
+  double mean_packets = 0.0;
+  double mean_points = 0.0;          ///< POIs received
+  double mean_error = 0.0;           ///< result kNN dist - true kNN dist
+  double max_error = 0.0;
+  double mean_privacy = 0.0;         ///< Gamma(q, Psi)
+  double mean_anchor_distance = 0.0; ///< realized dist(q, q')
+  double mean_node_reads = 0.0;      ///< server logical page reads per query
+  size_t queries = 0;
+};
+
+/// Runs GST for every query point and aggregates the paper's metrics.
+Result<GstAggregate> RunGst(server::LbsServer* server,
+                            const std::vector<geom::Point>& queries,
+                            const GstRunOptions& options);
+
+/// Workload-level averages for the CLK baseline.
+struct ClkAggregate {
+  double mean_packets = 0.0;
+  double mean_candidates = 0.0;
+  size_t queries = 0;
+};
+
+/// Runs CLK with cloak half-extent = dist(q, q') for every query point.
+Result<ClkAggregate> RunClk(server::LbsServer* server,
+                            const std::vector<geom::Point>& queries,
+                            size_t k, double half_extent, uint64_t seed);
+
+/// Environment-controlled scale factor SPACETWIST_BENCH_SCALE in (0, 1];
+/// benchmarks multiply dataset sizes and query counts by it for quick runs.
+double BenchScale();
+
+/// Scales a count by BenchScale(), keeping at least `min_value`.
+size_t ScaledCount(size_t full, size_t min_value = 1);
+
+}  // namespace spacetwist::eval
+
+#endif  // SPACETWIST_EVAL_RUNNER_H_

@@ -1,0 +1,28 @@
+#ifndef SPACETWIST_EVAL_TABLE_H_
+#define SPACETWIST_EVAL_TABLE_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace spacetwist::eval {
+
+/// Minimal fixed-width table printer for the paper-style benchmark output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Prints with column widths fitted to the content.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spacetwist::eval
+
+#endif  // SPACETWIST_EVAL_TABLE_H_

@@ -1,0 +1,20 @@
+#include "eval/workload.h"
+
+#include "common/rng.h"
+
+namespace spacetwist::eval {
+
+std::vector<geom::Point> GenerateQueryPoints(size_t n,
+                                             const geom::Rect& domain,
+                                             uint64_t seed) {
+  std::vector<geom::Point> out;
+  out.reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({rng.Uniform(domain.min.x, domain.max.x),
+                   rng.Uniform(domain.min.y, domain.max.y)});
+  }
+  return out;
+}
+
+}  // namespace spacetwist::eval

@@ -1,0 +1,20 @@
+#ifndef SPACETWIST_EVAL_WORKLOAD_H_
+#define SPACETWIST_EVAL_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spacetwist::eval {
+
+/// The paper's workload: "100 uniformly random generated query points" per
+/// experiment. Deterministic given the seed.
+std::vector<geom::Point> GenerateQueryPoints(size_t n,
+                                             const geom::Rect& domain,
+                                             uint64_t seed);
+
+}  // namespace spacetwist::eval
+
+#endif  // SPACETWIST_EVAL_WORKLOAD_H_

@@ -1,0 +1,9 @@
+#include "geom/circle.h"
+
+#include <numbers>
+
+namespace spacetwist::geom {
+
+double Circle::Area() const { return std::numbers::pi * radius * radius; }
+
+}  // namespace spacetwist::geom

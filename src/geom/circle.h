@@ -1,0 +1,36 @@
+#ifndef SPACETWIST_GEOM_CIRCLE_H_
+#define SPACETWIST_GEOM_CIRCLE_H_
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spacetwist::geom {
+
+/// A disk; models the paper's *supply space* (around the anchor) and
+/// *demand space* (around the user).
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  bool Contains(const Point& p) const {
+    return DistanceSquared(center, p) <= radius * radius;
+  }
+
+  /// True when this disk fully covers `other` — the SpaceTwist termination
+  /// test "supply space covers demand space" reduces to
+  /// dist(centers) + other.radius <= radius.
+  bool Covers(const Circle& other) const {
+    return Distance(center, other.center) + other.radius <= radius;
+  }
+
+  Rect BoundingBox() const {
+    return Rect{{center.x - radius, center.y - radius},
+                {center.x + radius, center.y + radius}};
+  }
+
+  double Area() const;
+};
+
+}  // namespace spacetwist::geom
+
+#endif  // SPACETWIST_GEOM_CIRCLE_H_

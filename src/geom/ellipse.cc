@@ -1,0 +1,78 @@
+#include "geom/ellipse.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace spacetwist::geom {
+
+EllipseRegion::EllipseRegion(const Point& focus_a, const Point& focus_b,
+                             double distance_sum)
+    : focus_a_(focus_a),
+      focus_b_(focus_b),
+      distance_sum_(distance_sum),
+      focal_distance_(Distance(focus_a, focus_b)) {}
+
+Point EllipseRegion::Center() const {
+  return {(focus_a_.x + focus_b_.x) / 2.0, (focus_a_.y + focus_b_.y) / 2.0};
+}
+
+double EllipseRegion::SemiMajor() const {
+  return IsEmpty() ? 0.0 : distance_sum_ / 2.0;
+}
+
+double EllipseRegion::SemiMinor() const {
+  if (IsEmpty()) return 0.0;
+  const double a = distance_sum_ / 2.0;
+  const double c = focal_distance_ / 2.0;
+  return std::sqrt(std::max(0.0, a * a - c * c));
+}
+
+Rect EllipseRegion::BoundingBox() const {
+  if (IsEmpty()) return Rect::Empty();
+  const double a = SemiMajor();
+  const double b = SemiMinor();
+  const Point center = Center();
+  // Axis direction (unit) along the foci; arbitrary when the foci coincide.
+  double ux = 1.0;
+  double uy = 0.0;
+  if (focal_distance_ > 0.0) {
+    ux = (focus_b_.x - focus_a_.x) / focal_distance_;
+    uy = (focus_b_.y - focus_a_.y) / focal_distance_;
+  }
+  // Extent of a rotated ellipse along each axis:
+  // hx = sqrt((a*ux)^2 + (b*uy)^2), hy = sqrt((a*uy)^2 + (b*ux)^2).
+  const double hx = std::sqrt(a * a * ux * ux + b * b * uy * uy);
+  const double hy = std::sqrt(a * a * uy * uy + b * b * ux * ux);
+  return Rect{{center.x - hx, center.y - hy}, {center.x + hx, center.y + hy}};
+}
+
+std::vector<Point> EllipseRegion::BoundaryPolygon(int segments) const {
+  std::vector<Point> polygon;
+  if (IsEmpty()) return polygon;
+  if (segments < 8) segments = 8;
+  const double a = SemiMajor();
+  const double b = SemiMinor();
+  const Point center = Center();
+  double ux = 1.0;
+  double uy = 0.0;
+  if (focal_distance_ > 0.0) {
+    ux = (focus_b_.x - focus_a_.x) / focal_distance_;
+    uy = (focus_b_.y - focus_a_.y) / focal_distance_;
+  }
+  polygon.reserve(segments);
+  for (int i = 0; i < segments; ++i) {
+    const double t = 2.0 * std::numbers::pi * i / segments;
+    const double ex = a * std::cos(t);  // along the major axis
+    const double ey = b * std::sin(t);  // along the minor axis
+    polygon.push_back(
+        {center.x + ex * ux - ey * uy, center.y + ex * uy + ey * ux});
+  }
+  return polygon;
+}
+
+double EllipseRegion::Area() const {
+  if (IsEmpty()) return 0.0;
+  return std::numbers::pi * SemiMajor() * SemiMinor();
+}
+
+}  // namespace spacetwist::geom

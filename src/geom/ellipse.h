@@ -1,0 +1,63 @@
+#ifndef SPACETWIST_GEOM_ELLIPSE_H_
+#define SPACETWIST_GEOM_ELLIPSE_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spacetwist::geom {
+
+/// The elliptical region F(a, b, d) from the paper's privacy analysis
+/// (Section III-C): the set of locations z with
+///     dist(z, a) + dist(z, b) <= d,
+/// i.e. a filled ellipse with foci `a` and `b` whose boundary points have
+/// distance sum exactly `d`. Empty when d < dist(a, b); a disk when a == b.
+class EllipseRegion {
+ public:
+  /// Builds F(focus_a, focus_b, distance_sum).
+  EllipseRegion(const Point& focus_a, const Point& focus_b,
+                double distance_sum);
+
+  const Point& focus_a() const { return focus_a_; }
+  const Point& focus_b() const { return focus_b_; }
+  double distance_sum() const { return distance_sum_; }
+
+  /// True when no point satisfies the defining inequality.
+  bool IsEmpty() const { return distance_sum_ < focal_distance_; }
+
+  /// Membership test straight from the definition.
+  bool Contains(const Point& z) const {
+    if (IsEmpty()) return false;
+    return Distance(z, focus_a_) + Distance(z, focus_b_) <= distance_sum_;
+  }
+
+  /// Geometric center (midpoint of the foci).
+  Point Center() const;
+
+  /// Semi-major axis length d/2 and semi-minor sqrt((d/2)^2 - c^2) where c
+  /// is half the focal distance. Zero for empty regions.
+  double SemiMajor() const;
+  double SemiMinor() const;
+
+  /// Axis-aligned bounding box of the region (empty Rect when IsEmpty()).
+  Rect BoundingBox() const;
+
+  /// Counterclockwise polygonal approximation of the boundary with
+  /// `segments` vertices (>= 8). The polygon is inscribed, hence a subset of
+  /// the true region. Empty vector when IsEmpty().
+  std::vector<Point> BoundaryPolygon(int segments) const;
+
+  /// Exact area pi * A * B (0 when empty).
+  double Area() const;
+
+ private:
+  Point focus_a_;
+  Point focus_b_;
+  double distance_sum_;
+  double focal_distance_;
+};
+
+}  // namespace spacetwist::geom
+
+#endif  // SPACETWIST_GEOM_ELLIPSE_H_

@@ -1,0 +1,49 @@
+#include "geom/grid.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace spacetwist::geom {
+
+Grid::Grid(double cell_extent) : cell_extent_(cell_extent) {
+  SPACETWIST_CHECK(cell_extent > 0.0) << "grid cell extent must be positive";
+}
+
+GridCell Grid::CellOf(const Point& p) const {
+  return GridCell{static_cast<int64_t>(std::floor(p.x / cell_extent_)),
+                  static_cast<int64_t>(std::floor(p.y / cell_extent_))};
+}
+
+Rect Grid::CellRect(const GridCell& cell) const {
+  const double x0 = cell.ix * cell_extent_;
+  const double y0 = cell.iy * cell_extent_;
+  return Rect{{x0, y0}, {x0 + cell_extent_, y0 + cell_extent_}};
+}
+
+bool Grid::ForEachCellOverlapping(
+    const Rect& r, const std::function<bool(const GridCell&)>& fn,
+    int64_t max_cells) const {
+  if (r.IsEmpty()) return true;
+  const GridCell lo = CellOf(r.min);
+  const GridCell hi = CellOf(r.max);
+  const int64_t nx = hi.ix - lo.ix + 1;
+  const int64_t ny = hi.iy - lo.iy + 1;
+  if (nx <= 0 || ny <= 0) return true;
+  if (nx > max_cells || ny > max_cells || nx * ny > max_cells) return false;
+  for (int64_t iy = lo.iy; iy <= hi.iy; ++iy) {
+    for (int64_t ix = lo.ix; ix <= hi.ix; ++ix) {
+      if (!fn(GridCell{ix, iy})) return false;
+    }
+  }
+  return true;
+}
+
+int64_t Grid::CountCellsOverlapping(const Rect& r) const {
+  if (r.IsEmpty()) return 0;
+  const GridCell lo = CellOf(r.min);
+  const GridCell hi = CellOf(r.max);
+  return (hi.ix - lo.ix + 1) * (hi.iy - lo.iy + 1);
+}
+
+}  // namespace spacetwist::geom

@@ -1,0 +1,106 @@
+#include "geom/hilbert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace spacetwist::geom {
+
+namespace {
+
+/// Rotates/flips a quadrant of side `n` per the classic iterative Hilbert
+/// construction.
+void Rotate(uint64_t n, uint64_t* x, uint64_t* y, uint64_t rx, uint64_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    std::swap(*x, *y);
+  }
+}
+
+}  // namespace
+
+HilbertCurve::HilbertCurve(const Rect& domain, int order, uint64_t key)
+    : domain_(domain), order_(order) {
+  SPACETWIST_CHECK(order >= 1 && order <= 16) << "order out of range";
+  SPACETWIST_CHECK(std::abs(domain.Width() - domain.Height()) <
+                   1e-9 * std::max(1.0, domain.Width()))
+      << "Hilbert domain must be square";
+  side_ = uint64_t{1} << order;
+  cell_size_ = domain.Width() / static_cast<double>(side_);
+  transform_ = static_cast<int>(key & 7);
+}
+
+uint64_t HilbertCurve::XyToIndex(uint64_t x, uint64_t y) const {
+  uint64_t d = 0;
+  for (uint64_t s = side_ / 2; s > 0; s /= 2) {
+    const uint64_t rx = (x & s) > 0 ? 1 : 0;
+    const uint64_t ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    Rotate(s, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertCurve::IndexToXy(uint64_t d, uint64_t* x, uint64_t* y) const {
+  *x = 0;
+  *y = 0;
+  uint64_t t = d;
+  for (uint64_t s = 1; s < side_; s *= 2) {
+    const uint64_t rx = 1 & (t / 2);
+    const uint64_t ry = 1 & (t ^ rx);
+    Rotate(s, x, y, rx, ry);
+    *x += s * rx;
+    *y += s * ry;
+    t /= 4;
+  }
+}
+
+void HilbertCurve::ApplyKeyTransform(uint64_t* x, uint64_t* y) const {
+  if (transform_ & 1) std::swap(*x, *y);
+  if (transform_ & 2) *x = side_ - 1 - *x;
+  if (transform_ & 4) *y = side_ - 1 - *y;
+}
+
+void HilbertCurve::InvertKeyTransform(uint64_t* x, uint64_t* y) const {
+  // The flips are self-inverse; undo them in reverse order, then the swap.
+  if (transform_ & 4) *y = side_ - 1 - *y;
+  if (transform_ & 2) *x = side_ - 1 - *x;
+  if (transform_ & 1) std::swap(*x, *y);
+}
+
+uint64_t HilbertCurve::Encode(const Point& p) const {
+  const double fx = (p.x - domain_.min.x) / cell_size_;
+  const double fy = (p.y - domain_.min.y) / cell_size_;
+  const auto clamp = [this](double f) {
+    const int64_t i = static_cast<int64_t>(std::floor(f));
+    return static_cast<uint64_t>(
+        std::clamp<int64_t>(i, 0, static_cast<int64_t>(side_) - 1));
+  };
+  uint64_t x = clamp(fx);
+  uint64_t y = clamp(fy);
+  ApplyKeyTransform(&x, &y);
+  return XyToIndex(x, y);
+}
+
+Point HilbertCurve::Decode(uint64_t h) const {
+  h = std::min(h, MaxIndex());
+  uint64_t x = 0;
+  uint64_t y = 0;
+  IndexToXy(h, &x, &y);
+  InvertKeyTransform(&x, &y);
+  return {domain_.min.x + (static_cast<double>(x) + 0.5) * cell_size_,
+          domain_.min.y + (static_cast<double>(y) + 0.5) * cell_size_};
+}
+
+HilbertCurve OrthogonalCurve(const Rect& domain, int order, uint64_t key) {
+  // XOR-ing the low transform bits flips swap+flipx: for key = 0 this is
+  // exactly a 90-degree rotation of the canonical curve, and for any key it
+  // yields a different dihedral orientation than HilbertCurve(_, _, key).
+  return HilbertCurve(domain, order, key ^ 3);
+}
+
+}  // namespace spacetwist::geom

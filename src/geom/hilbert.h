@@ -1,0 +1,60 @@
+#ifndef SPACETWIST_GEOM_HILBERT_H_
+#define SPACETWIST_GEOM_HILBERT_H_
+
+#include <cstdint>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spacetwist::geom {
+
+/// A Hilbert space-filling curve over a 2^order x 2^order grid covering a
+/// square domain, optionally "keyed" as in the transformation-based privacy
+/// scheme of Khoshgozaran & Shahabi: a secret key selects one of the eight
+/// dihedral orientations of the curve (plus the seed is the secrecy
+/// parameter). Without the key the server cannot decode a curve position
+/// back to a location; with it, encode/decode are exact inverses at cell
+/// resolution. The paper fixes order = 12 for the SHB/DHB baselines.
+class HilbertCurve {
+ public:
+  /// `domain` must be a square; `order` in [1, 16]; `key` selects the secret
+  /// curve orientation (key == 0 gives the canonical curve).
+  HilbertCurve(const Rect& domain, int order, uint64_t key = 0);
+
+  int order() const { return order_; }
+  uint64_t side() const { return side_; }
+
+  /// Largest curve position, side^2 - 1.
+  uint64_t MaxIndex() const { return side_ * side_ - 1; }
+
+  /// Curve position of the cell containing `p` (clamped into the domain).
+  uint64_t Encode(const Point& p) const;
+
+  /// Center of the cell at curve position `h` (h is clamped to MaxIndex()).
+  Point Decode(uint64_t h) const;
+
+ private:
+  /// Canonical xy -> d on the unit grid.
+  uint64_t XyToIndex(uint64_t x, uint64_t y) const;
+  /// Canonical d -> xy on the unit grid.
+  void IndexToXy(uint64_t d, uint64_t* x, uint64_t* y) const;
+
+  /// Applies / inverts the keyed dihedral transform on cell coordinates.
+  void ApplyKeyTransform(uint64_t* x, uint64_t* y) const;
+  void InvertKeyTransform(uint64_t* x, uint64_t* y) const;
+
+  Rect domain_;
+  int order_;
+  uint64_t side_;       // 2^order
+  double cell_size_;    // domain extent / side
+  int transform_;       // 0..7, derived from the key
+};
+
+/// Builds the curve "orthogonal" to `curve` used by the DHB baseline: the
+/// same domain and order with the space rotated by 90 degrees, so cells that
+/// are far apart on one curve tend to be close on the other.
+HilbertCurve OrthogonalCurve(const Rect& domain, int order, uint64_t key);
+
+}  // namespace spacetwist::geom
+
+#endif  // SPACETWIST_GEOM_HILBERT_H_

@@ -1,0 +1,54 @@
+#ifndef SPACETWIST_GEOM_POINT_H_
+#define SPACETWIST_GEOM_POINT_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace spacetwist::geom {
+
+/// A 2-D location in meters. The paper's domain is the square
+/// [0, 10000] x [0, 10000].
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+};
+
+/// Euclidean distance dist(a, b).
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance; cheaper when only comparisons are needed.
+inline double DistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Dot product of position vectors.
+inline double Dot(const Point& a, const Point& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// z-component of the 2-D cross product (a x b).
+inline double Cross(const Point& a, const Point& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+/// Length of the position vector.
+inline double Norm(const Point& a) { return std::sqrt(a.x * a.x + a.y * a.y); }
+
+}  // namespace spacetwist::geom
+
+#endif  // SPACETWIST_GEOM_POINT_H_

@@ -1,0 +1,158 @@
+#include "geom/polygon.h"
+
+#include <cmath>
+
+namespace spacetwist::geom {
+
+HalfPlane HalfPlane::CloserTo(const Point& p, const Point& q) {
+  // |z-p|^2 <= |z-q|^2  <=>  2(q-p).z <= |q|^2 - |p|^2.
+  HalfPlane hp;
+  hp.a = 2.0 * (q.x - p.x);
+  hp.b = 2.0 * (q.y - p.y);
+  hp.c = (q.x * q.x + q.y * q.y) - (p.x * p.x + p.y * p.y);
+  return hp;
+}
+
+ConvexPolygon ConvexPolygon::FromRect(const Rect& r) {
+  if (r.IsEmpty()) return ConvexPolygon();
+  return ConvexPolygon({{r.min.x, r.min.y},
+                        {r.max.x, r.min.y},
+                        {r.max.x, r.max.y},
+                        {r.min.x, r.max.y}});
+}
+
+double ConvexPolygon::Area() const {
+  if (IsEmpty()) return 0.0;
+  double twice = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    twice += Cross(a, b);
+  }
+  return twice / 2.0;
+}
+
+Point ConvexPolygon::Centroid() const {
+  if (IsEmpty()) return {0.0, 0.0};
+  double twice_area = 0.0;
+  double cx = 0.0;
+  double cy = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    const double w = Cross(a, b);
+    twice_area += w;
+    cx += (a.x + b.x) * w;
+    cy += (a.y + b.y) * w;
+  }
+  if (std::abs(twice_area) < 1e-12) {
+    // Degenerate: fall back to the vertex average.
+    Point avg{0.0, 0.0};
+    for (const Point& v : vertices_) {
+      avg.x += v.x;
+      avg.y += v.y;
+    }
+    const double n = static_cast<double>(vertices_.size());
+    return {avg.x / n, avg.y / n};
+  }
+  return {cx / (3.0 * twice_area), cy / (3.0 * twice_area)};
+}
+
+Rect ConvexPolygon::BoundingBox() const {
+  Rect box = Rect::Empty();
+  for (const Point& v : vertices_) box.Expand(v);
+  return box;
+}
+
+bool ConvexPolygon::Contains(const Point& z) const {
+  if (IsEmpty()) return false;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    // For a CCW polygon, inside points are on the left of every edge.
+    if (Cross(b - a, z - a) < -1e-9) return false;
+  }
+  return true;
+}
+
+ConvexPolygon ConvexPolygon::ClipTo(const HalfPlane& hp) const {
+  if (IsEmpty()) return ConvexPolygon();
+  std::vector<Point> out;
+  out.reserve(vertices_.size() + 1);
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& cur = vertices_[i];
+    const Point& nxt = vertices_[(i + 1) % vertices_.size()];
+    const double fc = hp.a * cur.x + hp.b * cur.y - hp.c;
+    const double fn = hp.a * nxt.x + hp.b * nxt.y - hp.c;
+    const bool cur_in = fc <= 0.0;
+    const bool nxt_in = fn <= 0.0;
+    if (cur_in) out.push_back(cur);
+    if (cur_in != nxt_in) {
+      // Edge crosses the boundary; add the intersection point.
+      const double t = fc / (fc - fn);
+      out.push_back({cur.x + t * (nxt.x - cur.x), cur.y + t * (nxt.y - cur.y)});
+    }
+  }
+  if (out.size() < 3) return ConvexPolygon();
+  return ConvexPolygon(std::move(out));
+}
+
+ConvexPolygon ConvexPolygon::ClipToConvex(const ConvexPolygon& clip) const {
+  if (IsEmpty() || clip.IsEmpty()) return ConvexPolygon();
+  ConvexPolygon result = *this;
+  const auto& cv = clip.vertices();
+  for (size_t i = 0; i < cv.size(); ++i) {
+    const Point& a = cv[i];
+    const Point& b = cv[(i + 1) % cv.size()];
+    // Inside of a CCW clip polygon is the left side of edge (a,b):
+    // cross(b-a, z-a) >= 0  <=>  -(b.y-a.y) x + (b.x-a.x) y <= constant form.
+    HalfPlane hp;
+    hp.a = -(b.y - a.y);
+    hp.b = (b.x - a.x);
+    hp.c = hp.a * a.x + hp.b * a.y;
+    // Flip so "Contains" means left-of-edge.
+    hp.a = -hp.a;
+    hp.b = -hp.b;
+    hp.c = -hp.c;
+    result = result.ClipTo(hp);
+    if (result.IsEmpty()) break;
+  }
+  return result;
+}
+
+namespace {
+
+double IntegrateTriangle(const Point& a, const Point& b, const Point& c,
+                         const std::function<double(const Point&)>& f,
+                         int depth) {
+  if (depth <= 0) {
+    const double area =
+        std::abs(Cross(b - a, c - a)) / 2.0;
+    const Point centroid{(a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0};
+    return area * f(centroid);
+  }
+  const Point ab{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+  const Point bc{(b.x + c.x) / 2.0, (b.y + c.y) / 2.0};
+  const Point ca{(c.x + a.x) / 2.0, (c.y + a.y) / 2.0};
+  return IntegrateTriangle(a, ab, ca, f, depth - 1) +
+         IntegrateTriangle(ab, b, bc, f, depth - 1) +
+         IntegrateTriangle(ca, bc, c, f, depth - 1) +
+         IntegrateTriangle(ab, bc, ca, f, depth - 1);
+}
+
+}  // namespace
+
+double ConvexPolygon::Integrate(const std::function<double(const Point&)>& f,
+                                int subdivisions) const {
+  if (IsEmpty()) return 0.0;
+  const Point center = Centroid();
+  double total = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    total += IntegrateTriangle(center, a, b, f, subdivisions);
+  }
+  return total;
+}
+
+}  // namespace spacetwist::geom

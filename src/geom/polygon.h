@@ -1,0 +1,73 @@
+#ifndef SPACETWIST_GEOM_POLYGON_H_
+#define SPACETWIST_GEOM_POLYGON_H_
+
+#include <functional>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spacetwist::geom {
+
+/// A half-plane {z : a*z.x + b*z.y <= c}. Used to build Voronoi cells by
+/// successive clipping.
+struct HalfPlane {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+
+  bool Contains(const Point& z) const { return a * z.x + b * z.y <= c; }
+
+  /// The half-plane of locations at least as close to `p` as to `q`
+  /// (the dominance region of p over q; a Voronoi-bisector side).
+  static HalfPlane CloserTo(const Point& p, const Point& q);
+};
+
+/// A convex polygon with counterclockwise vertices. Supports the operations
+/// the privacy analysis needs: half-plane clipping (Sutherland–Hodgman for a
+/// single clip edge), area/centroid, membership, and numeric integration of
+/// an arbitrary integrand over the interior.
+class ConvexPolygon {
+ public:
+  ConvexPolygon() = default;
+  explicit ConvexPolygon(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  /// The polygon of an axis-aligned rectangle.
+  static ConvexPolygon FromRect(const Rect& r);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  bool IsEmpty() const { return vertices_.size() < 3; }
+
+  /// Signed area (>= 0 for CCW polygons as constructed here).
+  double Area() const;
+
+  /// Area centroid. Undefined for empty polygons (returns {0,0}).
+  Point Centroid() const;
+
+  /// Axis-aligned bounding box.
+  Rect BoundingBox() const;
+
+  /// Point membership (boundary counts as inside). O(n).
+  bool Contains(const Point& z) const;
+
+  /// Returns this polygon clipped to `hp` (possibly empty).
+  ConvexPolygon ClipTo(const HalfPlane& hp) const;
+
+  /// Clips to a convex clipping polygon (applies ClipTo per edge).
+  ConvexPolygon ClipToConvex(const ConvexPolygon& clip) const;
+
+  /// Numerically integrates `f` over the polygon interior by fan
+  /// triangulation from the centroid plus `subdivisions` rounds of uniform
+  /// 4-way triangle subdivision, evaluating f at each small triangle's
+  /// centroid. Exact for constant f; error O(4^-subdivisions) for smooth f.
+  double Integrate(const std::function<double(const Point&)>& f,
+                   int subdivisions = 4) const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+}  // namespace spacetwist::geom
+
+#endif  // SPACETWIST_GEOM_POLYGON_H_

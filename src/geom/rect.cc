@@ -1,0 +1,39 @@
+#include "geom/rect.h"
+
+namespace spacetwist::geom {
+
+double MinDistSquared(const Point& q, const Rect& r) {
+  double dx = 0.0;
+  if (q.x < r.min.x) {
+    dx = r.min.x - q.x;
+  } else if (q.x > r.max.x) {
+    dx = q.x - r.max.x;
+  }
+  double dy = 0.0;
+  if (q.y < r.min.y) {
+    dy = r.min.y - q.y;
+  } else if (q.y > r.max.y) {
+    dy = q.y - r.max.y;
+  }
+  return dx * dx + dy * dy;
+}
+
+double MinDist(const Point& q, const Rect& r) {
+  return std::sqrt(MinDistSquared(q, r));
+}
+
+double MinDist(const Rect& a, const Rect& b) {
+  const double dx =
+      std::max({0.0, a.min.x - b.max.x, b.min.x - a.max.x});
+  const double dy =
+      std::max({0.0, a.min.y - b.max.y, b.min.y - a.max.y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MaxDist(const Point& q, const Rect& r) {
+  const double dx = std::max(std::abs(q.x - r.min.x), std::abs(q.x - r.max.x));
+  const double dy = std::max(std::abs(q.y - r.min.y), std::abs(q.y - r.max.y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace spacetwist::geom

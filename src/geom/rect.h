@@ -1,0 +1,100 @@
+#ifndef SPACETWIST_GEOM_RECT_H_
+#define SPACETWIST_GEOM_RECT_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.h"
+
+namespace spacetwist::geom {
+
+/// Axis-aligned rectangle (minimum bounding rectangle in R-tree terms).
+/// Degenerate rectangles (min == max) represent points.
+struct Rect {
+  Point min;
+  Point max;
+
+  /// An "empty" rectangle that behaves as the identity for Expand().
+  static Rect Empty() {
+    const double inf = std::numeric_limits<double>::infinity();
+    return Rect{{inf, inf}, {-inf, -inf}};
+  }
+
+  /// The MBR of a single point.
+  static Rect FromPoint(const Point& p) { return Rect{p, p}; }
+
+  bool IsEmpty() const { return min.x > max.x || min.y > max.y; }
+
+  double Width() const { return max.x - min.x; }
+  double Height() const { return max.y - min.y; }
+  double Area() const { return IsEmpty() ? 0.0 : Width() * Height(); }
+  double Perimeter() const {
+    return IsEmpty() ? 0.0 : 2.0 * (Width() + Height());
+  }
+  Point Center() const {
+    return {(min.x + max.x) / 2.0, (min.y + max.y) / 2.0};
+  }
+  /// Half of the rectangle's diagonal; bounds dist(Center(), z) for z inside.
+  double HalfDiagonal() const {
+    return Distance(min, max) / 2.0;
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  bool Contains(const Rect& r) const {
+    return r.min.x >= min.x && r.max.x <= max.x && r.min.y >= min.y &&
+           r.max.y <= max.y;
+  }
+  bool Intersects(const Rect& r) const {
+    return !(r.min.x > max.x || r.max.x < min.x || r.min.y > max.y ||
+             r.max.y < min.y);
+  }
+
+  /// Smallest rectangle containing both this and `r`.
+  Rect Union(const Rect& r) const {
+    return Rect{{std::min(min.x, r.min.x), std::min(min.y, r.min.y)},
+                {std::max(max.x, r.max.x), std::max(max.y, r.max.y)}};
+  }
+  /// Intersection; may be empty.
+  Rect Intersection(const Rect& r) const {
+    return Rect{{std::max(min.x, r.min.x), std::max(min.y, r.min.y)},
+                {std::min(max.x, r.max.x), std::min(max.y, r.max.y)}};
+  }
+  /// Grows the rectangle to cover `p`.
+  void Expand(const Point& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+  void Expand(const Rect& r) {
+    min.x = std::min(min.x, r.min.x);
+    min.y = std::min(min.y, r.min.y);
+    max.x = std::max(max.x, r.max.x);
+    max.y = std::max(max.y, r.max.y);
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min == b.min && a.max == b.max;
+  }
+};
+
+/// Minimum possible distance between `q` and any point of `r`
+/// (0 when `q` is inside). The standard R-tree MINDIST metric.
+double MinDist(const Point& q, const Rect& r);
+
+/// Maximum possible distance between `q` and any point of `r`.
+/// The standard MAXDIST metric, used by the granular-search cell eviction.
+double MaxDist(const Point& q, const Rect& r);
+
+/// Squared MINDIST, avoiding the sqrt when only comparisons are needed.
+double MinDistSquared(const Point& q, const Rect& r);
+
+/// Minimum possible distance between any point of `a` and any point of `b`
+/// (0 when they intersect). Used by the cloaked-query candidate search.
+double MinDist(const Rect& a, const Rect& b);
+
+}  // namespace spacetwist::geom
+
+#endif  // SPACETWIST_GEOM_RECT_H_

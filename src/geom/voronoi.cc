@@ -1,0 +1,35 @@
+#include "geom/voronoi.h"
+
+#include "common/logging.h"
+
+namespace spacetwist::geom {
+
+ConvexPolygon VoronoiCell(const std::vector<Point>& sites, size_t index,
+                          const Rect& domain) {
+  SPACETWIST_CHECK(index < sites.size());
+  ConvexPolygon cell = ConvexPolygon::FromRect(domain);
+  const Point& p = sites[index];
+  for (size_t j = 0; j < sites.size(); ++j) {
+    if (j == index) continue;
+    if (sites[j] == p) continue;  // duplicate site: bisector undefined
+    cell = cell.ClipTo(HalfPlane::CloserTo(p, sites[j]));
+    if (cell.IsEmpty()) break;
+  }
+  return cell;
+}
+
+size_t NearestSite(const std::vector<Point>& sites, const Point& z) {
+  SPACETWIST_CHECK(!sites.empty());
+  size_t best = 0;
+  double best_d2 = DistanceSquared(sites[0], z);
+  for (size_t i = 1; i < sites.size(); ++i) {
+    const double d2 = DistanceSquared(sites[i], z);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace spacetwist::geom

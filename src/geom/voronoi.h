@@ -1,0 +1,27 @@
+#ifndef SPACETWIST_GEOM_VORONOI_H_
+#define SPACETWIST_GEOM_VORONOI_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/rect.h"
+
+namespace spacetwist::geom {
+
+/// Computes the Voronoi cell Vor(sites[index]) with respect to all sites,
+/// clipped to `domain`: the locations whose nearest site is sites[index].
+/// Built by clipping the domain rectangle with the bisector half-plane
+/// against every other site — O(n) clips, plenty for the few hundred points
+/// SpaceTwist retrieves per query.
+ConvexPolygon VoronoiCell(const std::vector<Point>& sites, size_t index,
+                          const Rect& domain);
+
+/// Index of the site nearest to `z` (ties broken toward the lower index).
+/// Precondition: sites is non-empty.
+size_t NearestSite(const std::vector<Point>& sites, const Point& z);
+
+}  // namespace spacetwist::geom
+
+#endif  // SPACETWIST_GEOM_VORONOI_H_

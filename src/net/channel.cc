@@ -1,0 +1,40 @@
+#include "net/channel.h"
+
+#include "common/logging.h"
+
+namespace spacetwist::net {
+
+PacketChannel::PacketChannel(PointSource* source, const PacketConfig& config)
+    : source_(source), config_(config) {
+  SPACETWIST_CHECK(source != nullptr);
+  SPACETWIST_CHECK(config.Capacity() >= 1);
+}
+
+Result<Packet> PacketChannel::NextPacket() {
+  ++stats_.uplink_packets;
+  stats_.uplink_bytes += config_.header_bytes;
+  if (exhausted_) return Status::Exhausted("point stream is dry");
+
+  Packet packet;
+  packet.points.reserve(config_.Capacity());
+  while (packet.points.size() < config_.Capacity()) {
+    Result<rtree::DataPoint> next = source_->Next();
+    if (!next.ok()) {
+      if (next.status().IsExhausted()) {
+        exhausted_ = true;
+        break;
+      }
+      return next.status();
+    }
+    packet.points.push_back(*next);
+  }
+  if (packet.empty()) return Status::Exhausted("point stream is dry");
+
+  ++stats_.downlink_packets;
+  stats_.downlink_points += packet.size();
+  stats_.downlink_bytes +=
+      config_.header_bytes + packet.size() * config_.point_bytes;
+  return packet;
+}
+
+}  // namespace spacetwist::net

@@ -1,0 +1,59 @@
+#ifndef SPACETWIST_NET_CHANNEL_H_
+#define SPACETWIST_NET_CHANNEL_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "net/packet.h"
+#include "rtree/entry.h"
+
+namespace spacetwist::net {
+
+/// Server-side stream of data points (e.g. incremental nearest neighbors of
+/// the anchor). PacketChannel pulls from this to fill packets.
+class PointSource {
+ public:
+  virtual ~PointSource() = default;
+
+  /// Next point of the stream, or StatusCode::kExhausted at the end.
+  virtual Result<rtree::DataPoint> Next() = 0;
+};
+
+/// Communication counters; the paper's headline cost metric is
+/// `downlink_packets`.
+struct ChannelStats {
+  uint64_t downlink_packets = 0;  ///< server -> client packets
+  uint64_t downlink_points = 0;   ///< points carried by those packets
+  uint64_t uplink_packets = 0;    ///< client -> server requests
+  uint64_t downlink_bytes = 0;
+  uint64_t uplink_bytes = 0;
+};
+
+/// Simulated transport between LBS server and mobile client: accumulates
+/// stream points into MTU-sized packets (the server "accumulates multiple
+/// points, packs them into the same packet, and sends the packet to the
+/// client"). Deterministic and in-process; the paper measures communication
+/// as packet counts, which this reproduces exactly.
+class PacketChannel {
+ public:
+  /// Borrows `source`, which must outlive the channel.
+  PacketChannel(PointSource* source, const PacketConfig& config);
+
+  const PacketConfig& config() const { return config_; }
+  const ChannelStats& stats() const { return stats_; }
+
+  /// Pulls up to Capacity() points from the source into one packet. The last
+  /// packet of a stream may be short; kExhausted is returned once no point
+  /// remains. Each call also accounts one uplink request packet.
+  Result<Packet> NextPacket();
+
+ private:
+  PointSource* source_;
+  PacketConfig config_;
+  ChannelStats stats_;
+  bool exhausted_ = false;
+};
+
+}  // namespace spacetwist::net
+
+#endif  // SPACETWIST_NET_CHANNEL_H_

@@ -1,0 +1,45 @@
+#ifndef SPACETWIST_NET_PACKET_H_
+#define SPACETWIST_NET_PACKET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rtree/entry.h"
+
+namespace spacetwist::net {
+
+/// Packet-size model from the paper (Section VI, footnote): a TCP/IP packet
+/// has a 576-byte MTU and a 40-byte header, and a 2-D data point occupies
+/// 8 bytes, giving a capacity of beta = (576 - 40) / 8 = 67 points.
+struct PacketConfig {
+  size_t mtu_bytes = 576;
+  size_t header_bytes = 40;
+  size_t point_bytes = 8;
+
+  /// Points per packet (the paper's beta).
+  size_t Capacity() const { return (mtu_bytes - header_bytes) / point_bytes; }
+
+  /// A config with capacity exactly `beta` (for the Section VII ablation on
+  /// packet capacity). Header stays 40 bytes; the MTU is derived.
+  static PacketConfig WithCapacity(size_t beta) {
+    PacketConfig cfg;
+    cfg.mtu_bytes = cfg.header_bytes + beta * cfg.point_bytes;
+    return cfg;
+  }
+};
+
+/// The paper's default beta = 67.
+inline constexpr size_t kDefaultPacketCapacity = (576 - 40) / 8;
+
+/// One server-to-client packet carrying up to Capacity() data points, in the
+/// order the server-side stream produced them.
+struct Packet {
+  std::vector<rtree::DataPoint> points;
+
+  size_t size() const { return points.size(); }
+  bool empty() const { return points.empty(); }
+};
+
+}  // namespace spacetwist::net
+
+#endif  // SPACETWIST_NET_PACKET_H_

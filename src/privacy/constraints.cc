@@ -1,0 +1,55 @@
+#include "privacy/constraints.h"
+
+#include <utility>
+
+#include "geom/circle.h"
+
+namespace spacetwist::privacy {
+
+PrivacyModel ExcludeRegions(std::vector<geom::Rect> excluded) {
+  PrivacyModel model;
+  model.feasible = [regions = std::move(excluded)](const geom::Point& z) {
+    for (const geom::Rect& r : regions) {
+      if (r.Contains(z)) return false;
+    }
+    return true;
+  };
+  return model;
+}
+
+PrivacyEstimate EstimatePrivacyConstrained(const Observation& obs,
+                                           const geom::Point& q,
+                                           const PrivacyModel& model,
+                                           size_t samples, Rng* rng) {
+  PrivacyEstimate estimate;
+  estimate.samples = samples;
+
+  geom::Rect box = obs.domain;
+  if (!obs.stream_exhausted && obs.points.size() >= obs.k) {
+    const geom::Circle supply{obs.anchor, obs.FinalRadius()};
+    box = box.Intersection(supply.BoundingBox());
+  }
+  if (box.IsEmpty() || samples == 0) return estimate;
+
+  double weight_sum = 0.0;
+  double weighted_dist = 0.0;
+  for (size_t i = 0; i < samples; ++i) {
+    const geom::Point qc{rng->Uniform(box.min.x, box.max.x),
+                         rng->Uniform(box.min.y, box.max.y)};
+    if (model.feasible && !model.feasible(qc)) continue;
+    if (!InPrivacyRegion(obs, qc)) continue;
+    ++estimate.accepted;
+    const double w = model.weight ? model.weight(qc) : 1.0;
+    weight_sum += w;
+    weighted_dist += w * geom::Distance(qc, q);
+  }
+  if (estimate.accepted == 0) return estimate;
+  estimate.area = box.Area() * static_cast<double>(estimate.accepted) /
+                  static_cast<double>(samples);
+  if (weight_sum > 0.0) {
+    estimate.privacy_value = weighted_dist / weight_sum;
+  }
+  return estimate;
+}
+
+}  // namespace spacetwist::privacy

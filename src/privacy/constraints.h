@@ -1,0 +1,49 @@
+#ifndef SPACETWIST_PRIVACY_CONSTRAINTS_H_
+#define SPACETWIST_PRIVACY_CONSTRAINTS_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "privacy/observation.h"
+#include "privacy/region.h"
+
+namespace spacetwist::privacy {
+
+/// Section VII "Extension for Advanced Constraints and Preferences":
+/// the basic privacy value assumes every location of Psi is equally likely
+/// to be the user. Real adversaries know more — nobody is in the lake — and
+/// real users care differently — privacy at a clinic matters more than at
+/// work. This models both:
+///
+///  * `feasible(z)` — spatial domain constraints: locations where a user
+///    could actually be. The adversary is assumed to know them too, so they
+///    shrink the effective region (Psi ∩ feasible).
+///  * `weight(z)`   — the user's sensitivity at z, integrating Gamma as a
+///    weighted mean: Gamma_w = ∫ w(z) dist(z,q) dz / ∫ w(z) dz over the
+///    constrained region.
+struct PrivacyModel {
+  /// Null means "everywhere feasible".
+  std::function<bool(const geom::Point&)> feasible;
+  /// Null means uniform weight 1. Must be >= 0 where feasible.
+  std::function<double(const geom::Point&)> weight;
+};
+
+/// An axis-aligned exclusion mask (lakes, parks, restricted areas):
+/// feasible everywhere except inside any of the given rectangles.
+PrivacyModel ExcludeRegions(std::vector<geom::Rect> excluded);
+
+/// Monte-Carlo estimate of the constrained, weighted privacy value over
+/// Psi ∩ feasible. Falls back to the plain Equation (3) semantics when the
+/// model's hooks are null. The returned `area` is the *feasible* region
+/// area (unweighted).
+PrivacyEstimate EstimatePrivacyConstrained(const Observation& obs,
+                                           const geom::Point& q,
+                                           const PrivacyModel& model,
+                                           size_t samples, Rng* rng);
+
+}  // namespace spacetwist::privacy
+
+#endif  // SPACETWIST_PRIVACY_CONSTRAINTS_H_

@@ -1,0 +1,97 @@
+#include "privacy/exact_region.h"
+
+#include <utility>
+
+#include "geom/voronoi.h"
+
+namespace spacetwist::privacy {
+
+Result<ExactPrivacyRegion> ExactPrivacyRegion::Build(const Observation& obs,
+                                                     int ellipse_segments) {
+  if (obs.k != 1) {
+    return Status::InvalidArgument(
+        "the closed-form privacy region exists only for k = 1");
+  }
+  if (obs.points.empty()) {
+    return Status::InvalidArgument("observation has no retrieved points");
+  }
+  ExactPrivacyRegion region;
+  region.obs_ = obs;
+
+  const double outer_radius = obs.FinalRadius();
+  const double inner_radius = obs.PenultimateRadius();
+
+  for (size_t i = 0; i < obs.points.size(); ++i) {
+    const geom::Point& site = obs.points[i];
+    const geom::EllipseRegion outer(obs.anchor, site, outer_radius);
+    if (outer.IsEmpty()) continue;
+
+    geom::ConvexPolygon cell =
+        geom::VoronoiCell(obs.points, i, obs.domain);
+    if (cell.IsEmpty()) continue;
+
+    const geom::ConvexPolygon outer_poly(
+        outer.BoundaryPolygon(ellipse_segments));
+    geom::ConvexPolygon piece_poly = cell.ClipToConvex(outer_poly);
+    if (piece_poly.IsEmpty()) continue;
+
+    ExactRegionPiece piece{
+        i, std::move(piece_poly),
+        geom::EllipseRegion(obs.anchor, site, inner_radius)};
+    region.pieces_.push_back(std::move(piece));
+  }
+  return region;
+}
+
+bool ExactPrivacyRegion::Contains(const geom::Point& qc) const {
+  if (!obs_.domain.Contains(qc)) return false;
+  const size_t i = geom::NearestSite(obs_.points, qc);
+  const geom::EllipseRegion outer(obs_.anchor, obs_.points[i],
+                                  obs_.FinalRadius());
+  if (!outer.Contains(qc)) return false;
+  if (obs_.PenultimatePrefix() >= 1) {
+    const geom::EllipseRegion inner(obs_.anchor, obs_.points[i],
+                                    obs_.PenultimateRadius());
+    if (inner.Contains(qc)) return false;
+  }
+  return true;
+}
+
+double ExactPrivacyRegion::Area(int subdivisions) const {
+  const bool exclude_inner = obs_.PenultimatePrefix() >= 1;
+  double area = 0.0;
+  for (const ExactRegionPiece& piece : pieces_) {
+    area += piece.polygon.Integrate(
+        [&](const geom::Point& z) {
+          if (exclude_inner && piece.inner_exclusion.Contains(z)) return 0.0;
+          return 1.0;
+        },
+        subdivisions);
+  }
+  return area;
+}
+
+double ExactPrivacyRegion::PrivacyValue(const geom::Point& q,
+                                        int subdivisions) const {
+  const bool exclude_inner = obs_.PenultimatePrefix() >= 1;
+  double area = 0.0;
+  double weighted = 0.0;
+  for (const ExactRegionPiece& piece : pieces_) {
+    area += piece.polygon.Integrate(
+        [&](const geom::Point& z) {
+          if (exclude_inner && piece.inner_exclusion.Contains(z)) return 0.0;
+          return 1.0;
+        },
+        subdivisions);
+    weighted += piece.polygon.Integrate(
+        [&](const geom::Point& z) {
+          if (exclude_inner && piece.inner_exclusion.Contains(z)) return 0.0;
+          return geom::Distance(z, q);
+        },
+        subdivisions);
+  }
+  if (area <= 0.0) return 0.0;
+  return weighted / area;
+}
+
+}  // namespace spacetwist::privacy

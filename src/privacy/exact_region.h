@@ -1,0 +1,64 @@
+#ifndef SPACETWIST_PRIVACY_EXACT_REGION_H_
+#define SPACETWIST_PRIVACY_EXACT_REGION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/ellipse.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "privacy/observation.h"
+
+namespace spacetwist::privacy {
+
+/// One piece of the closed-form k = 1 privacy region:
+/// Vor(p_i) intersected with the outer ellipse F(q', p_i, dist(q', p_last)),
+/// with the inner ellipse F(q', p_i, dist(q', p_penult)) still to be
+/// excluded (handled by the integration weight, since the difference is not
+/// convex).
+struct ExactRegionPiece {
+  size_t site_index = 0;
+  geom::ConvexPolygon polygon;       ///< Vor(p_i) ∩ outer ellipse ∩ domain
+  geom::EllipseRegion inner_exclusion;  ///< may be empty
+};
+
+/// The paper's closed-form construction of Psi for k = 1 (Section III-C):
+///   Psi = U_i  Vor(p_i) ∩ ( F(q',p_i,p_mb) − F(q',p_i,p_(m-1)b) ).
+/// Built from Voronoi cells via half-plane clipping and inscribed-polygon
+/// ellipse approximations; area and Gamma come from adaptive triangle
+/// quadrature. This is an independent implementation of the same region the
+/// inequality test in region.h defines, used to cross-validate the
+/// Monte-Carlo estimator and to export exact region geometry (Figure 6).
+class ExactPrivacyRegion {
+ public:
+  /// Requires obs.k == 1 and at least one retrieved point.
+  static Result<ExactPrivacyRegion> Build(const Observation& obs,
+                                          int ellipse_segments = 128);
+
+  const Observation& observation() const { return obs_; }
+  const std::vector<ExactRegionPiece>& pieces() const { return pieces_; }
+
+  /// Membership by the geometric formulation: qc belongs to the Voronoi
+  /// cell of its nearest retrieved point p_i, inside the outer ellipse of
+  /// p_i and outside its inner ellipse. Agrees with
+  /// privacy::InPrivacyRegion almost everywhere (they can differ only on a
+  /// measure-zero set of degenerate boundary configurations).
+  bool Contains(const geom::Point& qc) const;
+
+  /// Area of Psi by quadrature over the pieces.
+  double Area(int subdivisions = 5) const;
+
+  /// Gamma(q, Psi) by quadrature (Eq. 3).
+  double PrivacyValue(const geom::Point& q, int subdivisions = 5) const;
+
+ private:
+  ExactPrivacyRegion() = default;
+
+  Observation obs_;
+  std::vector<ExactRegionPiece> pieces_;
+};
+
+}  // namespace spacetwist::privacy
+
+#endif  // SPACETWIST_PRIVACY_EXACT_REGION_H_

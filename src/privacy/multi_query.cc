@@ -1,0 +1,81 @@
+#include "privacy/multi_query.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "geom/circle.h"
+#include "geom/rect.h"
+
+namespace spacetwist::privacy {
+
+namespace {
+
+/// Membership in dilate(Psi, slack): qc qualifies when some location within
+/// `slack` of qc lies in Psi. Exact for slack == 0; otherwise probed at the
+/// center plus `probes` boundary/interior points (a sound under-
+/// approximation of the dilation — it can only shrink the reported region,
+/// i.e. it errs against the user, the safe direction for a privacy bound).
+bool InDilatedRegion(const Observation& obs, const geom::Point& qc,
+                     double slack, int probes) {
+  if (InPrivacyRegion(obs, qc)) return true;
+  if (slack <= 0.0) return false;
+  for (int ring = 1; ring <= 2; ++ring) {
+    const double radius = slack * ring / 2.0;
+    for (int i = 0; i < probes; ++i) {
+      const double theta =
+          2.0 * std::numbers::pi * i / probes + 0.37 * ring;
+      const geom::Point probe{qc.x + radius * std::cos(theta),
+                              qc.y + radius * std::sin(theta)};
+      if (InPrivacyRegion(obs, probe)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool InCombinedRegion(const std::vector<TraceQuery>& trace,
+                      const geom::Point& qc, int dilation_probes) {
+  for (const TraceQuery& query : trace) {
+    if (!InDilatedRegion(query.observation, qc, query.slack,
+                         dilation_probes)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+PrivacyEstimate EstimateCombinedPrivacy(const std::vector<TraceQuery>& trace,
+                                        const geom::Point& q, size_t samples,
+                                        Rng* rng) {
+  PrivacyEstimate estimate;
+  estimate.samples = samples;
+  if (trace.empty() || samples == 0) return estimate;
+
+  // The tightest bounding box across queries (each dilated by its slack).
+  geom::Rect box = trace[0].observation.domain;
+  for (const TraceQuery& query : trace) {
+    const Observation& obs = query.observation;
+    if (obs.stream_exhausted || obs.points.size() < obs.k) continue;
+    const geom::Circle supply{obs.anchor,
+                              obs.FinalRadius() + query.slack};
+    box = box.Intersection(supply.BoundingBox());
+  }
+  if (box.IsEmpty()) return estimate;
+
+  double sum_dist = 0.0;
+  for (size_t i = 0; i < samples; ++i) {
+    const geom::Point qc{rng->Uniform(box.min.x, box.max.x),
+                         rng->Uniform(box.min.y, box.max.y)};
+    if (!InCombinedRegion(trace, qc)) continue;
+    ++estimate.accepted;
+    sum_dist += geom::Distance(qc, q);
+  }
+  if (estimate.accepted == 0) return estimate;
+  estimate.area = box.Area() * static_cast<double>(estimate.accepted) /
+                  static_cast<double>(samples);
+  estimate.privacy_value = sum_dist / static_cast<double>(estimate.accepted);
+  return estimate;
+}
+
+}  // namespace spacetwist::privacy

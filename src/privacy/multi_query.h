@@ -1,0 +1,43 @@
+#ifndef SPACETWIST_PRIVACY_MULTI_QUERY_H_
+#define SPACETWIST_PRIVACY_MULTI_QUERY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "privacy/observation.h"
+#include "privacy/region.h"
+
+namespace spacetwist::privacy {
+
+/// Cross-query inference (the caveat behind Section VIII's continuous-query
+/// direction): an adversary who watches a user issue several queries from
+/// (approximately) the same place can intersect the per-query regions.
+/// A location qc is consistent with the whole trace iff it lies in the
+/// dilation of every per-query region by that query's movement allowance:
+///     qc in ∩_i dilate(Psi_i, slack_i).
+/// For a stationary user (all slack 0) this is the plain intersection —
+/// the worst case for the user and the reason SpaceTwist clients draw a
+/// fresh random anchor per query rather than re-using one.
+struct TraceQuery {
+  Observation observation;
+  /// Upper bound on how far the user may have been from the *final*
+  /// location when this query ran (0 = stationary trace).
+  double slack = 0.0;
+};
+
+/// True when `qc` is consistent with every query of the trace. Dilation by
+/// `slack` is tested by sampling `dilation_probes` directions at radius
+/// <= slack around qc (exact for slack == 0).
+bool InCombinedRegion(const std::vector<TraceQuery>& trace,
+                      const geom::Point& qc, int dilation_probes = 8);
+
+/// Monte-Carlo area / privacy value of the combined region, mirroring
+/// EstimatePrivacy. The sampling box is the tightest per-query supply box.
+PrivacyEstimate EstimateCombinedPrivacy(const std::vector<TraceQuery>& trace,
+                                        const geom::Point& q, size_t samples,
+                                        Rng* rng);
+
+}  // namespace spacetwist::privacy
+
+#endif  // SPACETWIST_PRIVACY_MULTI_QUERY_H_

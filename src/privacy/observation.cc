@@ -1,0 +1,31 @@
+#include "privacy/observation.h"
+
+namespace spacetwist::privacy {
+
+double Observation::PenultimateRadius() const {
+  const size_t prefix = PenultimatePrefix();
+  if (prefix == 0) return 0.0;
+  return geom::Distance(anchor, points[prefix - 1]);
+}
+
+double Observation::FinalRadius() const {
+  if (points.empty()) return 0.0;
+  return geom::Distance(anchor, points.back());
+}
+
+Observation MakeObservation(const core::QueryOutcome& outcome,
+                            const geom::Rect& domain) {
+  Observation obs;
+  obs.anchor = outcome.anchor;
+  obs.k = outcome.k;
+  obs.beta = outcome.beta;
+  obs.points.reserve(outcome.retrieved.size());
+  for (const rtree::DataPoint& p : outcome.retrieved) {
+    obs.points.push_back(p.point);
+  }
+  obs.domain = domain;
+  obs.stream_exhausted = outcome.stream_exhausted;
+  return obs;
+}
+
+}  // namespace spacetwist::privacy

@@ -1,0 +1,54 @@
+#ifndef SPACETWIST_PRIVACY_OBSERVATION_H_
+#define SPACETWIST_PRIVACY_OBSERVATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/spacetwist_client.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spacetwist::privacy {
+
+/// What the adversary (the server, or anyone reading the wire) learns from
+/// one SpaceTwist query: the anchor q', the value k, the packet capacity
+/// beta, the reported points in retrieval order, and the knowledge that the
+/// client terminated after the last packet but not after the penultimate
+/// one (Section III-C).
+struct Observation {
+  geom::Point anchor;
+  size_t k = 1;
+  size_t beta = 1;
+  std::vector<geom::Point> points;  ///< retrieval order, ascending anchor dist
+  geom::Rect domain;                ///< user locations live in the domain
+  /// True when the stream ran dry before the cover condition fired; the
+  /// termination inequality (2) then carries no information.
+  bool stream_exhausted = false;
+
+  size_t packets() const {
+    return points.empty() ? 0 : (points.size() + beta - 1) / beta;
+  }
+
+  /// Index (0-based, exclusive end) of the points delivered by the first
+  /// m-1 packets, i.e. the paper's (m-1)*beta prefix.
+  size_t PenultimatePrefix() const {
+    const size_t m = packets();
+    return m <= 1 ? 0 : (m - 1) * beta;
+  }
+
+  /// Distance from the anchor of the last point of the penultimate packet
+  /// (the paper's dist(q', p_{(m-1)beta})); 0 when only one packet was sent.
+  double PenultimateRadius() const;
+
+  /// Distance from the anchor of the last retrieved point, the final
+  /// supply-space radius dist(q', p_{m beta}).
+  double FinalRadius() const;
+};
+
+/// Builds the adversary's view from a completed query.
+Observation MakeObservation(const core::QueryOutcome& outcome,
+                            const geom::Rect& domain);
+
+}  // namespace spacetwist::privacy
+
+#endif  // SPACETWIST_PRIVACY_OBSERVATION_H_

@@ -1,0 +1,87 @@
+#include "privacy/region.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "geom/circle.h"
+#include "geom/rect.h"
+
+namespace spacetwist::privacy {
+
+double KthSmallestDistance(const Observation& obs, const geom::Point& qc,
+                           size_t prefix) {
+  prefix = std::min(prefix, obs.points.size());
+  if (prefix < obs.k) return std::numeric_limits<double>::infinity();
+  if (obs.k == 1) {
+    // Fast path: the Monte-Carlo estimator calls this per sample.
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < prefix; ++i) {
+      best = std::min(best, DistanceSquared(qc, obs.points[i]));
+    }
+    return std::sqrt(best);
+  }
+  // Small max-heap of the k best distances over the prefix.
+  std::priority_queue<double> best;
+  for (size_t i = 0; i < prefix; ++i) {
+    const double d = geom::Distance(qc, obs.points[i]);
+    if (best.size() < obs.k) {
+      best.push(d);
+    } else if (d < best.top()) {
+      best.pop();
+      best.push(d);
+    }
+  }
+  return best.top();
+}
+
+bool InPrivacyRegion(const Observation& obs, const geom::Point& qc) {
+  if (!obs.domain.Contains(qc)) return false;
+  const double anchor_dist = geom::Distance(qc, obs.anchor);
+
+  // Inequality (2): the client terminated after the final packet.
+  if (!obs.stream_exhausted && obs.points.size() >= obs.k) {
+    const double kth_all = KthSmallestDistance(obs, qc, obs.points.size());
+    if (anchor_dist + kth_all > obs.FinalRadius()) return false;
+  }
+
+  // Inequality (1): the client had not terminated after the penultimate
+  // packet. Vacuous with a single packet or a too-short prefix.
+  const size_t prefix = obs.PenultimatePrefix();
+  if (prefix >= obs.k) {
+    const double kth_prefix = KthSmallestDistance(obs, qc, prefix);
+    if (anchor_dist + kth_prefix <= obs.PenultimateRadius()) return false;
+  }
+  return true;
+}
+
+PrivacyEstimate EstimatePrivacy(const Observation& obs, const geom::Point& q,
+                                size_t samples, Rng* rng) {
+  PrivacyEstimate estimate;
+  estimate.samples = samples;
+
+  // Smallest box known to contain Psi.
+  geom::Rect box = obs.domain;
+  if (!obs.stream_exhausted && obs.points.size() >= obs.k) {
+    const geom::Circle supply{obs.anchor, obs.FinalRadius()};
+    box = box.Intersection(supply.BoundingBox());
+  }
+  if (box.IsEmpty() || samples == 0) return estimate;
+
+  double sum_dist = 0.0;
+  for (size_t i = 0; i < samples; ++i) {
+    const geom::Point qc{rng->Uniform(box.min.x, box.max.x),
+                         rng->Uniform(box.min.y, box.max.y)};
+    if (!InPrivacyRegion(obs, qc)) continue;
+    ++estimate.accepted;
+    sum_dist += geom::Distance(qc, q);
+  }
+  if (estimate.accepted == 0) return estimate;
+  estimate.area = box.Area() * static_cast<double>(estimate.accepted) /
+                  static_cast<double>(samples);
+  estimate.privacy_value = sum_dist / static_cast<double>(estimate.accepted);
+  return estimate;
+}
+
+}  // namespace spacetwist::privacy

@@ -1,0 +1,48 @@
+#ifndef SPACETWIST_PRIVACY_REGION_H_
+#define SPACETWIST_PRIVACY_REGION_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "privacy/observation.h"
+
+namespace spacetwist::privacy {
+
+/// Membership test for the inferred privacy region Psi of Section III-C:
+/// `qc` is a possible user location iff it satisfies
+///   (1)  dist(qc,q') + kmin_{i<=(m-1)beta} dist(qc,p_i) > dist(q',p_(m-1)beta)
+///        (the client did NOT terminate after the penultimate packet), and
+///   (2)  dist(qc,q') + kmin_{i<=m beta} dist(qc,p_i) <= dist(q',p_(m beta))
+///        (the client DID terminate after the last packet),
+/// where kmin is the k-th smallest of its arguments. Inequality (1) is
+/// vacuous for single-packet observations (or when the prefix holds fewer
+/// than k points); inequality (2) is vacuous when the stream was exhausted.
+/// `qc` must also lie in the domain.
+bool InPrivacyRegion(const Observation& obs, const geom::Point& qc);
+
+/// Monte-Carlo estimate of Psi's area and the privacy value
+/// Gamma(q, Psi) = (integral of dist(z,q) over Psi) / area(Psi)  (Eq. 3).
+struct PrivacyEstimate {
+  double privacy_value = 0.0;  ///< Gamma(q, Psi), meters
+  double area = 0.0;           ///< |Psi|, square meters
+  size_t samples = 0;          ///< candidate locations drawn
+  size_t accepted = 0;         ///< candidates inside Psi
+};
+
+/// Samples `samples` candidate locations inside the smallest region known
+/// to contain Psi (the final supply circle intersected with the domain; the
+/// whole domain when inequality (2) is vacuous) and evaluates Eq. 3.
+/// Only the user can run this (it needs the true location `q`); the
+/// adversary can compute Psi but not Gamma, exactly as in the paper.
+PrivacyEstimate EstimatePrivacy(const Observation& obs, const geom::Point& q,
+                                size_t samples, Rng* rng);
+
+/// k-th smallest distance from `qc` to the first `prefix` observation
+/// points (+inf when prefix < k). Exposed for tests.
+double KthSmallestDistance(const Observation& obs, const geom::Point& qc,
+                           size_t prefix);
+
+}  // namespace spacetwist::privacy
+
+#endif  // SPACETWIST_PRIVACY_REGION_H_

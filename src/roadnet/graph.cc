@@ -1,0 +1,81 @@
+#include "roadnet/graph.h"
+
+#include <queue>
+
+#include "common/strings.h"
+
+namespace spacetwist::roadnet {
+
+VertexId RoadNetwork::AddVertex(const geom::Point& location) {
+  locations_.push_back(location);
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(locations_.size() - 1);
+}
+
+Status RoadNetwork::AddEdge(VertexId a, VertexId b, double length) {
+  if (a >= locations_.size() || b >= locations_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (a == b) return Status::InvalidArgument("self loop");
+  if (length <= 0.0) return Status::InvalidArgument("non-positive length");
+  const double euclid = geom::Distance(locations_[a], locations_[b]);
+  if (length < euclid - 1e-6) {
+    return Status::InvalidArgument(StrFormat(
+        "edge length %.3f below the straight-line distance %.3f", length,
+        euclid));
+  }
+  adjacency_[a].push_back(Edge{b, length});
+  adjacency_[b].push_back(Edge{a, length});
+  ++edge_count_;
+  return Status::OK();
+}
+
+Status RoadNetwork::AddStraightEdge(VertexId a, VertexId b) {
+  if (a >= locations_.size() || b >= locations_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  return AddEdge(a, b, geom::Distance(locations_[a], locations_[b]));
+}
+
+geom::Rect RoadNetwork::BoundingBox() const {
+  geom::Rect box = geom::Rect::Empty();
+  for (const geom::Point& p : locations_) box.Expand(p);
+  return box;
+}
+
+VertexId RoadNetwork::NearestVertex(const geom::Point& p) const {
+  if (locations_.empty()) return kInvalidVertexId;
+  VertexId best = 0;
+  double best_d2 = geom::DistanceSquared(p, locations_[0]);
+  for (VertexId v = 1; v < locations_.size(); ++v) {
+    const double d2 = geom::DistanceSquared(p, locations_[v]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = v;
+    }
+  }
+  return best;
+}
+
+bool RoadNetwork::IsConnected() const {
+  if (locations_.empty()) return true;
+  std::vector<bool> seen(locations_.size(), false);
+  std::queue<VertexId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  size_t reached = 1;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (const Edge& e : adjacency_[v]) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        ++reached;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return reached == locations_.size();
+}
+
+}  // namespace spacetwist::roadnet

@@ -1,0 +1,72 @@
+#ifndef SPACETWIST_ROADNET_GRAPH_H_
+#define SPACETWIST_ROADNET_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spacetwist::roadnet {
+
+/// Vertex identifier within a RoadNetwork.
+using VertexId = uint32_t;
+
+inline constexpr VertexId kInvalidVertexId = UINT32_MAX;
+
+/// One directed half of an undirected road segment.
+struct Edge {
+  VertexId to = kInvalidVertexId;
+  double length = 0.0;  ///< travel distance in meters, > 0
+};
+
+/// An undirected road network embedded in the plane. Vertices carry
+/// coordinates; edge lengths are travel distances (>= the Euclidean
+/// distance between the endpoints, as real roads are). Shortest-path
+/// distance over such a network is a metric — it satisfies the triangle
+/// inequality — which is the only property SpaceTwist's Lemma 1 needs
+/// (Section VIII of the paper points out exactly this extension).
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  /// Adds a vertex and returns its id.
+  VertexId AddVertex(const geom::Point& location);
+
+  /// Adds an undirected edge. Fails on bad ids, self loops, or
+  /// non-positive/sub-Euclidean lengths (length must be >= the straight-line
+  /// distance, or the "distance" would not embed in the plane).
+  Status AddEdge(VertexId a, VertexId b, double length);
+
+  /// Convenience: edge with length exactly the Euclidean distance.
+  Status AddStraightEdge(VertexId a, VertexId b);
+
+  size_t vertex_count() const { return locations_.size(); }
+  size_t edge_count() const { return edge_count_; }
+
+  const geom::Point& location(VertexId v) const { return locations_[v]; }
+  const std::vector<Edge>& neighbors(VertexId v) const {
+    return adjacency_[v];
+  }
+
+  /// Bounding box over all vertices.
+  geom::Rect BoundingBox() const;
+
+  /// Vertex whose location is nearest to `p` (linear scan; fine for the
+  /// network sizes this reproduction uses). kInvalidVertexId when empty.
+  VertexId NearestVertex(const geom::Point& p) const;
+
+  /// True when every vertex can reach every other (BFS from vertex 0).
+  bool IsConnected() const;
+
+ private:
+  std::vector<geom::Point> locations_;
+  std::vector<std::vector<Edge>> adjacency_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace spacetwist::roadnet
+
+#endif  // SPACETWIST_ROADNET_GRAPH_H_

@@ -1,0 +1,168 @@
+#include "roadnet/network_client.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+#include "roadnet/shortest_path.h"
+
+namespace spacetwist::roadnet {
+
+namespace {
+
+/// W_k: max-heap of the k best candidates, initialized with dummies at
+/// infinite distance (as in the Euclidean Algorithm 1).
+class BestK {
+ public:
+  explicit BestK(size_t k) {
+    for (size_t i = 0; i < k; ++i) {
+      heap_.push(NetworkNeighbor{NetworkPoi{},
+                                 std::numeric_limits<double>::infinity()});
+    }
+  }
+
+  double gamma() const { return heap_.top().distance; }
+
+  void Offer(const NetworkNeighbor& n) {
+    if (n.distance < gamma()) {
+      heap_.pop();
+      heap_.push(n);
+    }
+  }
+
+  std::vector<NetworkNeighbor> Extract() {
+    std::vector<NetworkNeighbor> out;
+    while (!heap_.empty()) {
+      if (std::isfinite(heap_.top().distance)) out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  struct FartherFirst {
+    bool operator()(const NetworkNeighbor& a,
+                    const NetworkNeighbor& b) const {
+      return a.distance < b.distance;
+    }
+  };
+  std::priority_queue<NetworkNeighbor, std::vector<NetworkNeighbor>,
+                      FartherFirst>
+      heap_;
+};
+
+}  // namespace
+
+NetworkSpaceTwistClient::NetworkSpaceTwistClient(
+    const NetworkDataset* dataset)
+    : dataset_(dataset) {
+  SPACETWIST_CHECK(dataset != nullptr);
+}
+
+Result<NetworkQueryOutcome> NetworkSpaceTwistClient::Query(
+    VertexId query_vertex, VertexId anchor_vertex,
+    const NetworkQueryParams& params) {
+  if (params.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (params.beta < 1) return Status::InvalidArgument("beta must be >= 1");
+  const size_t vertex_count = dataset_->network.vertex_count();
+  if (query_vertex >= vertex_count || anchor_vertex >= vertex_count) {
+    return Status::InvalidArgument("vertex id out of range");
+  }
+
+  NetworkQueryOutcome outcome;
+  outcome.query_vertex = query_vertex;
+  outcome.anchor_vertex = anchor_vertex;
+  outcome.k = params.k;
+  outcome.beta = params.beta;
+
+  // Server side: INN stream around the anchor. Client side: a lazy
+  // Dijkstra from the true location evaluates each received POI.
+  NetworkInnStream stream(dataset_, anchor_vertex);
+  IncrementalDijkstra from_q(&dataset_->network, query_vertex);
+  const double anchor_dist = from_q.DistanceTo(anchor_vertex);
+  if (std::isinf(anchor_dist)) {
+    return Status::InvalidArgument("anchor unreachable from the query");
+  }
+
+  BestK best(params.k);
+  double tau = 0.0;
+  // Algorithm 1, packet-at-a-time: gamma + d(q, q') <= tau terminates.
+  while (best.gamma() + anchor_dist > tau) {
+    size_t in_packet = 0;
+    bool exhausted = false;
+    while (in_packet < params.beta) {
+      Result<NetworkNeighbor> next = stream.Next();
+      if (!next.ok()) {
+        if (!next.status().IsExhausted()) return next.status();
+        exhausted = true;
+        break;
+      }
+      ++in_packet;
+      tau = next->distance;
+      outcome.retrieved.push_back(next->poi);
+      const double d_q = from_q.DistanceTo(next->poi.vertex);
+      best.Offer(NetworkNeighbor{next->poi, d_q});
+    }
+    if (in_packet > 0) ++outcome.packets;
+    if (exhausted) {
+      outcome.stream_exhausted = true;
+      break;
+    }
+  }
+
+  outcome.tau = tau;
+  outcome.neighbors = best.Extract();
+  outcome.gamma = outcome.neighbors.empty()
+                      ? std::numeric_limits<double>::infinity()
+                      : outcome.neighbors.back().distance;
+  outcome.server_vertices_settled = stream.vertices_settled();
+  outcome.client_vertices_settled = from_q.settle_order().size();
+  return outcome;
+}
+
+Result<NetworkQueryOutcome> NetworkSpaceTwistClient::Query(
+    VertexId query_vertex, const NetworkQueryParams& params, Rng* rng) {
+  const VertexId anchor = PickAnchorVertex(*dataset_, query_vertex,
+                                           params.anchor_distance, rng);
+  if (anchor == kInvalidVertexId) {
+    return Status::NotFound("no anchor candidate in range");
+  }
+  return Query(query_vertex, anchor, params);
+}
+
+VertexId PickAnchorVertex(const NetworkDataset& dataset, VertexId from,
+                          double target_distance, Rng* rng) {
+  IncrementalDijkstra dijkstra(&dataset.network, from);
+  dijkstra.ExpandToRadius(1.2 * target_distance);
+  // Sparse networks may have no vertex near the target distance; keep
+  // settling until a handful of candidates beyond `from` exist (or the
+  // component ends).
+  while (dijkstra.settle_order().size() < 9) {
+    double d = 0.0;
+    if (dijkstra.SettleNext(&d) == kInvalidVertexId) break;
+  }
+  std::vector<VertexId> band;
+  VertexId closest = kInvalidVertexId;
+  double closest_gap = std::numeric_limits<double>::infinity();
+  for (const VertexId v : dijkstra.settle_order()) {
+    const double d = dijkstra.SettledDistance(v);
+    const double gap = std::abs(d - target_distance);
+    if (d >= 0.8 * target_distance && d <= 1.2 * target_distance) {
+      band.push_back(v);
+    }
+    if (v != from && gap < closest_gap) {
+      closest_gap = gap;
+      closest = v;
+    }
+  }
+  if (!band.empty()) {
+    return band[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(band.size()) - 1))];
+  }
+  return closest;  // small/disconnected networks: best effort
+}
+
+}  // namespace spacetwist::roadnet

@@ -1,0 +1,77 @@
+#ifndef SPACETWIST_ROADNET_NETWORK_CLIENT_H_
+#define SPACETWIST_ROADNET_NETWORK_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "roadnet/network_dataset.h"
+#include "roadnet/network_inn.h"
+
+namespace spacetwist::roadnet {
+
+/// Parameters for one network SpaceTwist query.
+struct NetworkQueryParams {
+  size_t k = 1;
+  /// Target network distance between the user and the anchor vertex.
+  double anchor_distance = 500.0;
+  /// Points per packet (same 8-byte-POI model as the Euclidean transport;
+  /// a POI travels as its id + vertex).
+  size_t beta = 67;
+};
+
+/// Outcome of one network SpaceTwist query.
+struct NetworkQueryOutcome {
+  /// The k POIs nearest to the user in *network* distance, ascending.
+  std::vector<NetworkNeighbor> neighbors;
+  VertexId query_vertex = kInvalidVertexId;
+  VertexId anchor_vertex = kInvalidVertexId;
+  size_t k = 0;
+  size_t beta = 0;
+  std::vector<NetworkPoi> retrieved;  ///< stream order (adversary's view)
+  uint64_t packets = 0;
+  double tau = 0.0;    ///< final supply radius (network distance)
+  double gamma = 0.0;  ///< final kth result distance
+  bool stream_exhausted = false;
+  /// Server + client Dijkstra work, for the performance comparison.
+  size_t server_vertices_settled = 0;
+  size_t client_vertices_settled = 0;
+};
+
+/// SpaceTwist over a road network — the Section VIII extension the paper
+/// sketches: Lemma 1 only needs the triangle inequality, which shortest-
+/// path distance satisfies, so Algorithm 1 carries over verbatim with
+/// network distances. The client is assumed to hold the road map locally
+/// (offline navigation data), so it can evaluate network distances from its
+/// true location without telling the server anything beyond the anchor.
+class NetworkSpaceTwistClient {
+ public:
+  /// Borrows `dataset`, which must outlive the client.
+  explicit NetworkSpaceTwistClient(const NetworkDataset* dataset);
+
+  /// Runs one query from `query_vertex` with an explicit anchor vertex.
+  Result<NetworkQueryOutcome> Query(VertexId query_vertex,
+                                    VertexId anchor_vertex,
+                                    const NetworkQueryParams& params);
+
+  /// Runs one query, picking a random anchor vertex whose network distance
+  /// from the user is approximately params.anchor_distance.
+  Result<NetworkQueryOutcome> Query(VertexId query_vertex,
+                                    const NetworkQueryParams& params,
+                                    Rng* rng);
+
+ private:
+  const NetworkDataset* dataset_;
+};
+
+/// Picks a random vertex whose network distance from `from` falls within
+/// [0.8, 1.2] * target (or the closest reachable vertex to that band).
+/// The anchor search runs on the client's local map; the server sees only
+/// the final vertex.
+VertexId PickAnchorVertex(const NetworkDataset& dataset, VertexId from,
+                          double target_distance, Rng* rng);
+
+}  // namespace spacetwist::roadnet
+
+#endif  // SPACETWIST_ROADNET_NETWORK_CLIENT_H_

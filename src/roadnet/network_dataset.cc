@@ -1,0 +1,90 @@
+#include "roadnet/network_dataset.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace spacetwist::roadnet {
+
+NetworkDataset GenerateNetwork(const NetworkGenParams& params,
+                               uint64_t seed) {
+  SPACETWIST_CHECK(params.grid_side >= 2);
+  SPACETWIST_CHECK(params.max_detour >= 1.0);
+  Rng rng(seed);
+  NetworkDataset ds;
+  ds.name = StrFormat("RN-%zux%zu-%zupoi", params.grid_side,
+                      params.grid_side, params.poi_count);
+
+  const size_t side = params.grid_side;
+  const double spacing = params.extent / static_cast<double>(side - 1);
+  const double jitter = spacing * params.jitter_fraction / 2.0;
+
+  // Jittered grid of intersections.
+  std::vector<VertexId> grid(side * side);
+  for (size_t row = 0; row < side; ++row) {
+    for (size_t col = 0; col < side; ++col) {
+      const geom::Point p{
+          col * spacing + rng.Uniform(-jitter, jitter),
+          row * spacing + rng.Uniform(-jitter, jitter)};
+      grid[row * side + col] = ds.network.AddVertex(p);
+    }
+  }
+
+  // Streets between grid neighbors, with organic detour factors and some
+  // random removals; removals that would disconnect the network are undone
+  // by a final connectivity pass below (we simply retry generation with
+  // fewer removals — in practice one pass suffices for sane parameters).
+  const auto add_street = [&](VertexId a, VertexId b) {
+    const double detour = rng.Uniform(1.0, params.max_detour);
+    const double length =
+        geom::Distance(ds.network.location(a), ds.network.location(b)) *
+        detour;
+    SPACETWIST_CHECK(ds.network.AddEdge(a, b, length).ok());
+  };
+  std::vector<std::pair<VertexId, VertexId>> removed;
+  for (size_t row = 0; row < side; ++row) {
+    for (size_t col = 0; col < side; ++col) {
+      const VertexId v = grid[row * side + col];
+      if (col + 1 < side) {
+        const VertexId right = grid[row * side + col + 1];
+        if (rng.Bernoulli(params.removal_fraction)) {
+          removed.push_back({v, right});
+        } else {
+          add_street(v, right);
+        }
+      }
+      if (row + 1 < side) {
+        const VertexId up = grid[(row + 1) * side + col];
+        if (rng.Bernoulli(params.removal_fraction)) {
+          removed.push_back({v, up});
+        } else {
+          add_street(v, up);
+        }
+      }
+    }
+  }
+  // Restore removed streets until the network is connected again.
+  size_t restore = 0;
+  while (!ds.network.IsConnected() && restore < removed.size()) {
+    add_street(removed[restore].first, removed[restore].second);
+    ++restore;
+  }
+  SPACETWIST_CHECK(ds.network.IsConnected())
+      << "generator failed to produce a connected network";
+
+  // POIs at random vertices (multiple POIs per vertex allowed, as with
+  // multiple businesses at one address).
+  ds.pois_at_vertex.assign(ds.network.vertex_count(), {});
+  ds.pois.reserve(params.poi_count);
+  for (uint32_t id = 0; id < params.poi_count; ++id) {
+    const VertexId v = static_cast<VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(ds.network.vertex_count()) - 1));
+    ds.pois.push_back(NetworkPoi{id, v});
+    ds.pois_at_vertex[v].push_back(id);
+  }
+  return ds;
+}
+
+}  // namespace spacetwist::roadnet

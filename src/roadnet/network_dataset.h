@@ -1,0 +1,48 @@
+#ifndef SPACETWIST_ROADNET_NETWORK_DATASET_H_
+#define SPACETWIST_ROADNET_NETWORK_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "roadnet/graph.h"
+
+namespace spacetwist::roadnet {
+
+/// A point of interest attached to a network vertex. (Snapping POIs to
+/// vertices is the standard simplification; a mid-edge POI can always be
+/// modeled by splitting the edge at that point.)
+struct NetworkPoi {
+  uint32_t id = 0;
+  VertexId vertex = kInvalidVertexId;
+};
+
+/// A road network plus the POIs living on it.
+struct NetworkDataset {
+  std::string name;
+  RoadNetwork network;
+  std::vector<NetworkPoi> pois;
+  /// vertex -> indices into `pois` (empty vector for POI-free vertices).
+  std::vector<std::vector<uint32_t>> pois_at_vertex;
+};
+
+/// Parameters of the synthetic road-network generator: a jittered grid of
+/// intersections with some streets removed and organic detours, which is
+/// connected by construction checking.
+struct NetworkGenParams {
+  size_t grid_side = 40;        ///< grid_side^2 intersections
+  double extent = 10000.0;      ///< square embedding, meters
+  double jitter_fraction = 0.3; ///< vertex jitter relative to grid spacing
+  double removal_fraction = 0.15;  ///< fraction of grid streets dropped
+  double max_detour = 1.25;     ///< edge length = euclid * U(1, max_detour)
+  size_t poi_count = 2000;
+};
+
+/// Generates a connected synthetic road network with POIs on random
+/// vertices. Deterministic given the seed.
+NetworkDataset GenerateNetwork(const NetworkGenParams& params,
+                               uint64_t seed);
+
+}  // namespace spacetwist::roadnet
+
+#endif  // SPACETWIST_ROADNET_NETWORK_DATASET_H_

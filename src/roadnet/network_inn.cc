@@ -1,0 +1,32 @@
+#include "roadnet/network_inn.h"
+
+#include "common/logging.h"
+
+namespace spacetwist::roadnet {
+
+NetworkInnStream::NetworkInnStream(const NetworkDataset* dataset,
+                                   VertexId anchor)
+    : dataset_(dataset),
+      anchor_(anchor),
+      dijkstra_(&dataset->network, anchor) {
+  SPACETWIST_CHECK(dataset != nullptr);
+}
+
+Result<NetworkNeighbor> NetworkInnStream::Next() {
+  while (pending_.empty()) {
+    double distance = 0.0;
+    const VertexId v = dijkstra_.SettleNext(&distance);
+    if (v == kInvalidVertexId) {
+      return Status::Exhausted("network component fully explored");
+    }
+    for (const uint32_t poi_index : dataset_->pois_at_vertex[v]) {
+      pending_.push_back(
+          NetworkNeighbor{dataset_->pois[poi_index], distance});
+    }
+  }
+  const NetworkNeighbor next = pending_.front();
+  pending_.pop_front();
+  return next;
+}
+
+}  // namespace spacetwist::roadnet

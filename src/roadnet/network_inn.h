@@ -1,0 +1,50 @@
+#ifndef SPACETWIST_ROADNET_NETWORK_INN_H_
+#define SPACETWIST_ROADNET_NETWORK_INN_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "common/result.h"
+#include "roadnet/network_dataset.h"
+#include "roadnet/shortest_path.h"
+
+namespace spacetwist::roadnet {
+
+/// A POI with its network distance from the stream's anchor vertex.
+struct NetworkNeighbor {
+  NetworkPoi poi;
+  double distance = 0.0;
+};
+
+/// Server-side incremental network-NN stream: Incremental Network Expansion
+/// (Papadias et al.) — a Dijkstra wavefront from the anchor vertex that
+/// reports the POIs of each settled vertex, hence POIs arrive in
+/// non-decreasing network distance. This is the road-network analogue of
+/// the R-tree INN cursor, and exactly the primitive network SpaceTwist
+/// needs on the server.
+class NetworkInnStream {
+ public:
+  /// Borrows `dataset`, which must outlive the stream.
+  NetworkInnStream(const NetworkDataset* dataset, VertexId anchor);
+
+  VertexId anchor() const { return anchor_; }
+
+  /// Next POI in ascending network distance, or kExhausted after the whole
+  /// component has been explored.
+  Result<NetworkNeighbor> Next();
+
+  /// Vertices settled so far (server work measure).
+  size_t vertices_settled() const {
+    return dijkstra_.settle_order().size();
+  }
+
+ private:
+  const NetworkDataset* dataset_;
+  VertexId anchor_;
+  IncrementalDijkstra dijkstra_;
+  std::deque<NetworkNeighbor> pending_;  ///< POIs of the last settled vertex
+};
+
+}  // namespace spacetwist::roadnet
+
+#endif  // SPACETWIST_ROADNET_NETWORK_INN_H_

@@ -1,0 +1,118 @@
+#include "roadnet/network_privacy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "roadnet/shortest_path.h"
+
+namespace spacetwist::roadnet {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Full single-source distance vector.
+std::vector<double> DistancesFrom(const RoadNetwork& network,
+                                  VertexId source) {
+  IncrementalDijkstra dijkstra(&network, source);
+  std::vector<double> out(network.vertex_count(), kInf);
+  double d = 0.0;
+  VertexId v;
+  while ((v = dijkstra.SettleNext(&d)) != kInvalidVertexId) {
+    out[v] = d;
+  }
+  return out;
+}
+
+/// k-th smallest of the first `prefix` values of per-POI distances at
+/// vertex `v`; +inf when prefix < k.
+double KthSmallest(const std::vector<std::vector<double>>& poi_dists,
+                   size_t prefix, size_t k, VertexId v) {
+  if (prefix < k) return kInf;
+  // k is tiny (<= 16); selection by bounded insertion.
+  std::vector<double> best;
+  best.reserve(k + 1);
+  for (size_t i = 0; i < prefix; ++i) {
+    const double d = poi_dists[i][v];
+    if (best.size() < k) {
+      best.push_back(d);
+      std::push_heap(best.begin(), best.end());
+    } else if (d < best.front()) {
+      std::pop_heap(best.begin(), best.end());
+      best.back() = d;
+      std::push_heap(best.begin(), best.end());
+    }
+  }
+  return best.front();
+}
+
+}  // namespace
+
+NetworkObservation MakeNetworkObservation(
+    const NetworkQueryOutcome& outcome) {
+  NetworkObservation obs;
+  obs.anchor = outcome.anchor_vertex;
+  obs.k = outcome.k;
+  obs.beta = outcome.beta;
+  obs.pois = outcome.retrieved;
+  obs.stream_exhausted = outcome.stream_exhausted;
+  return obs;
+}
+
+Result<NetworkPrivacyRegion> DeriveNetworkPrivacyRegion(
+    const NetworkDataset& dataset, const NetworkObservation& obs,
+    VertexId query_vertex) {
+  const RoadNetwork& network = dataset.network;
+  if (obs.anchor >= network.vertex_count() ||
+      query_vertex >= network.vertex_count()) {
+    return Status::InvalidArgument("vertex id out of range");
+  }
+  if (obs.pois.empty()) {
+    return Status::InvalidArgument("observation has no retrieved POIs");
+  }
+
+  const std::vector<double> from_anchor = DistancesFrom(network, obs.anchor);
+  std::vector<std::vector<double>> from_pois;
+  from_pois.reserve(obs.pois.size());
+  for (const NetworkPoi& poi : obs.pois) {
+    from_pois.push_back(DistancesFrom(network, poi.vertex));
+  }
+
+  const double final_radius = from_anchor[obs.pois.back().vertex];
+  const size_t prefix = obs.PenultimatePrefix();
+  const double penult_radius =
+      prefix == 0 ? 0.0 : from_anchor[obs.pois[prefix - 1].vertex];
+
+  NetworkPrivacyRegion region;
+  for (VertexId v = 0; v < network.vertex_count(); ++v) {
+    const double to_anchor = from_anchor[v];
+    if (std::isinf(to_anchor)) continue;  // different component
+
+    // Inequality (2): termination after the final packet.
+    if (!obs.stream_exhausted && obs.pois.size() >= obs.k) {
+      const double kth_all =
+          KthSmallest(from_pois, obs.pois.size(), obs.k, v);
+      if (to_anchor + kth_all > final_radius) continue;
+    }
+    // Inequality (1): no termination after the penultimate packet.
+    if (prefix >= obs.k) {
+      const double kth_prefix = KthSmallest(from_pois, prefix, obs.k, v);
+      if (to_anchor + kth_prefix <= penult_radius) continue;
+    }
+    region.possible_vertices.push_back(v);
+  }
+
+  if (!region.possible_vertices.empty()) {
+    const std::vector<double> from_q = DistancesFrom(network, query_vertex);
+    double sum = 0.0;
+    for (const VertexId v : region.possible_vertices) {
+      sum += from_q[v];
+    }
+    region.privacy_value =
+        sum / static_cast<double>(region.possible_vertices.size());
+  }
+  return region;
+}
+
+}  // namespace spacetwist::roadnet

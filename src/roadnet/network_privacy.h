@@ -1,0 +1,56 @@
+#ifndef SPACETWIST_ROADNET_NETWORK_PRIVACY_H_
+#define SPACETWIST_ROADNET_NETWORK_PRIVACY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "roadnet/network_client.h"
+#include "roadnet/network_dataset.h"
+
+namespace spacetwist::roadnet {
+
+/// The adversary's view of one network SpaceTwist query: the anchor
+/// vertex, k, beta, the retrieved POIs in order, and the termination rule.
+/// The road map itself is public.
+struct NetworkObservation {
+  VertexId anchor = kInvalidVertexId;
+  size_t k = 1;
+  size_t beta = 1;
+  std::vector<NetworkPoi> pois;  ///< retrieval order
+  bool stream_exhausted = false;
+
+  size_t packets() const {
+    return pois.empty() ? 0 : (pois.size() + beta - 1) / beta;
+  }
+  size_t PenultimatePrefix() const {
+    const size_t m = packets();
+    return m <= 1 ? 0 : (m - 1) * beta;
+  }
+};
+
+/// Builds the adversary view from a finished query.
+NetworkObservation MakeNetworkObservation(
+    const NetworkQueryOutcome& outcome);
+
+/// The network analogue of the inferred privacy region Psi: the set of
+/// vertices from which the observed packet trace is consistent with
+/// Algorithm 1's termination rule (the same inequalities as Section III-C
+/// with shortest-path distances). Because the location domain is the
+/// discrete vertex set, the region is computed exactly by |retrieved| + 2
+/// Dijkstra runs — no Monte Carlo needed.
+struct NetworkPrivacyRegion {
+  std::vector<VertexId> possible_vertices;
+  /// Gamma: mean network distance from the true location over the region.
+  double privacy_value = 0.0;
+};
+
+/// Derives the region and evaluates Gamma against the true location
+/// `query_vertex` (which only the user knows).
+Result<NetworkPrivacyRegion> DeriveNetworkPrivacyRegion(
+    const NetworkDataset& dataset, const NetworkObservation& obs,
+    VertexId query_vertex);
+
+}  // namespace spacetwist::roadnet
+
+#endif  // SPACETWIST_ROADNET_NETWORK_PRIVACY_H_

@@ -1,0 +1,94 @@
+#include "roadnet/shortest_path.h"
+
+#include "common/logging.h"
+
+namespace spacetwist::roadnet {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+IncrementalDijkstra::IncrementalDijkstra(const RoadNetwork* network,
+                                         VertexId source)
+    : network_(network),
+      source_(source),
+      distance_(network->vertex_count(), kInf),
+      settled_(network->vertex_count(), false) {
+  SPACETWIST_CHECK(network != nullptr);
+  SPACETWIST_CHECK(source < network->vertex_count());
+  distance_[source] = 0.0;
+  queue_.push(QueueEntry{0.0, source});
+}
+
+double IncrementalDijkstra::FrontierDistance() const {
+  // The queue may hold stale entries for already-settled vertices; they
+  // never have smaller keys than the settle-time distance, so the head key
+  // is still a valid lower bound. For an exact frontier we skip stale heads
+  // in SettleNext; here the bound is what callers need.
+  return queue_.empty() ? kInf : queue_.top().distance;
+}
+
+VertexId IncrementalDijkstra::SettleNext(double* distance) {
+  while (!queue_.empty()) {
+    const QueueEntry head = queue_.top();
+    queue_.pop();
+    if (settled_[head.vertex]) continue;  // stale duplicate
+    settled_[head.vertex] = true;
+    settle_order_.push_back(head.vertex);
+    for (const Edge& e : network_->neighbors(head.vertex)) {
+      const double candidate = head.distance + e.length;
+      if (candidate < distance_[e.to]) {
+        distance_[e.to] = candidate;
+        queue_.push(QueueEntry{candidate, e.to});
+      }
+    }
+    *distance = head.distance;
+    return head.vertex;
+  }
+  *distance = kInf;
+  return kInvalidVertexId;
+}
+
+double IncrementalDijkstra::DistanceTo(VertexId v) {
+  SPACETWIST_CHECK(v < network_->vertex_count());
+  while (!settled_[v]) {
+    double d = 0.0;
+    if (SettleNext(&d) == kInvalidVertexId) return kInf;
+  }
+  return distance_[v];
+}
+
+void IncrementalDijkstra::ExpandToRadius(double radius) {
+  while (FrontierDistance() <= radius) {
+    double d = 0.0;
+    if (SettleNext(&d) == kInvalidVertexId) return;
+  }
+}
+
+double IncrementalDijkstra::SettledDistance(VertexId v) const {
+  return settled_[v] ? distance_[v] : kInf;
+}
+
+double NetworkDistance(const RoadNetwork& network, VertexId a, VertexId b) {
+  IncrementalDijkstra dijkstra(&network, a);
+  return dijkstra.DistanceTo(b);
+}
+
+std::vector<std::vector<double>> AllPairsDistances(
+    const RoadNetwork& network) {
+  std::vector<std::vector<double>> out;
+  out.reserve(network.vertex_count());
+  for (VertexId v = 0; v < network.vertex_count(); ++v) {
+    IncrementalDijkstra dijkstra(&network, v);
+    std::vector<double> row(network.vertex_count(), kInf);
+    double d = 0.0;
+    VertexId u;
+    while ((u = dijkstra.SettleNext(&d)) != kInvalidVertexId) {
+      row[u] = d;
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace spacetwist::roadnet

@@ -1,0 +1,78 @@
+#ifndef SPACETWIST_ROADNET_SHORTEST_PATH_H_
+#define SPACETWIST_ROADNET_SHORTEST_PATH_H_
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "roadnet/graph.h"
+
+namespace spacetwist::roadnet {
+
+/// Lazily expanding single-source Dijkstra. Both sides of the network
+/// SpaceTwist protocol are built on this: the server expands around the
+/// anchor to stream POIs in ascending network distance, and the client
+/// expands around its true location to evaluate candidate results — each
+/// paying only for the radius it actually needs.
+class IncrementalDijkstra {
+ public:
+  /// Borrows `network`, which must outlive this object and not change
+  /// while it is in use.
+  IncrementalDijkstra(const RoadNetwork* network, VertexId source);
+
+  VertexId source() const { return source_; }
+
+  /// Settles vertices until `v` is settled; returns its distance
+  /// (+inf when `v` is unreachable).
+  double DistanceTo(VertexId v);
+
+  /// Settles every vertex within `radius` of the source.
+  void ExpandToRadius(double radius);
+
+  /// Next unsettled distance (the Dijkstra frontier key); +inf when the
+  /// whole component is settled. Distances below this are final.
+  double FrontierDistance() const;
+
+  /// Settles and returns the next vertex in ascending distance order, or
+  /// kInvalidVertexId when the component is exhausted. The companion
+  /// distance is written to `*distance`.
+  VertexId SettleNext(double* distance);
+
+  /// Final distance of an already-settled vertex; +inf if not settled yet.
+  double SettledDistance(VertexId v) const;
+
+  bool IsSettled(VertexId v) const { return settled_[v]; }
+
+  /// Vertices settled so far, in settle order (ascending distance).
+  const std::vector<VertexId>& settle_order() const { return settle_order_; }
+
+ private:
+  struct QueueEntry {
+    double distance;
+    VertexId vertex;
+    bool operator>(const QueueEntry& o) const {
+      return distance > o.distance;
+    }
+  };
+
+  const RoadNetwork* network_;
+  VertexId source_;
+  std::vector<double> distance_;
+  std::vector<bool> settled_;
+  std::vector<VertexId> settle_order_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+};
+
+/// One-shot shortest-path distance (convenience for tests and small uses).
+double NetworkDistance(const RoadNetwork& network, VertexId a, VertexId b);
+
+/// All-pairs distances via repeated Dijkstra; O(V^2 log V). Test oracle for
+/// small graphs.
+std::vector<std::vector<double>> AllPairsDistances(
+    const RoadNetwork& network);
+
+}  // namespace spacetwist::roadnet
+
+#endif  // SPACETWIST_ROADNET_SHORTEST_PATH_H_

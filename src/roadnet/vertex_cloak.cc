@@ -1,0 +1,68 @@
+#include "roadnet/vertex_cloak.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "roadnet/shortest_path.h"
+
+namespace spacetwist::roadnet {
+
+Result<VertexCloakResult> VertexCloakQuery(const NetworkDataset& dataset,
+                                           VertexId query_vertex, size_t k,
+                                           size_t cloak_size, double radius,
+                                           Rng* rng) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (cloak_size < 1) {
+    return Status::InvalidArgument("cloak_size must be >= 1");
+  }
+  if (query_vertex >= dataset.network.vertex_count()) {
+    return Status::InvalidArgument("vertex id out of range");
+  }
+
+  VertexCloakResult result;
+
+  // Client side: build the obfuscation set from vertices within `radius`.
+  IncrementalDijkstra around_q(&dataset.network, query_vertex);
+  around_q.ExpandToRadius(radius);
+  std::vector<VertexId> candidates = around_q.settle_order();
+  // settle_order includes the true vertex (first); shuffle the rest.
+  std::shuffle(candidates.begin() + 1, candidates.end(), rng->engine());
+  result.cloak.push_back(query_vertex);
+  for (const VertexId v : candidates) {
+    if (result.cloak.size() >= cloak_size) break;
+    if (v != query_vertex) result.cloak.push_back(v);
+  }
+  // Shuffle so the true vertex is not identifiable by position.
+  std::shuffle(result.cloak.begin(), result.cloak.end(), rng->engine());
+
+  // Server side: kNN per cloak vertex; union of the answers goes back.
+  std::unordered_set<uint32_t> shipped;
+  for (const VertexId v : result.cloak) {
+    NetworkInnStream stream(&dataset, v);
+    for (size_t i = 0; i < k; ++i) {
+      auto next = stream.Next();
+      if (!next.ok()) break;  // fewer than k POIs reachable
+      shipped.insert(next->poi.id);
+    }
+    result.server_vertices_settled += stream.vertices_settled();
+  }
+  result.candidate_pois = shipped.size();
+
+  // Client refinement: exact kNN of the true vertex within the union.
+  IncrementalDijkstra from_q(&dataset.network, query_vertex);
+  std::vector<NetworkNeighbor> ranked;
+  ranked.reserve(shipped.size());
+  for (const uint32_t id : shipped) {
+    const NetworkPoi& poi = dataset.pois[id];
+    ranked.push_back(NetworkNeighbor{poi, from_q.DistanceTo(poi.vertex)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const NetworkNeighbor& a, const NetworkNeighbor& b) {
+              return a.distance < b.distance;
+            });
+  ranked.resize(std::min(k, ranked.size()));
+  result.neighbors = std::move(ranked);
+  return result;
+}
+
+}  // namespace spacetwist::roadnet

@@ -1,0 +1,41 @@
+#ifndef SPACETWIST_ROADNET_VERTEX_CLOAK_H_
+#define SPACETWIST_ROADNET_VERTEX_CLOAK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "roadnet/network_dataset.h"
+#include "roadnet/network_inn.h"
+
+namespace spacetwist::roadnet {
+
+/// Result of one vertex-cloaking query.
+struct VertexCloakResult {
+  /// Exact network kNN of the true vertex, refined client-side.
+  std::vector<NetworkNeighbor> neighbors;
+  /// The disclosed obfuscation set (contains the true vertex).
+  std::vector<VertexId> cloak;
+  /// Distinct POIs the server shipped (the communication cost driver).
+  size_t candidate_pois = 0;
+  /// Server Dijkstra work across all cloak vertices.
+  size_t server_vertices_settled = 0;
+};
+
+/// The road-network baseline the paper's related work describes (Duckham &
+/// Kulik style graph obfuscation, Figure 2c): the client hides its vertex
+/// in a set of `cloak_size` network vertices (the true one plus random
+/// vertices within `radius` network distance), the server answers the kNN
+/// query for *every* vertex of the set and returns the union, and the
+/// client refines locally. Privacy is the cloak cardinality; the cost is
+/// proportional to it — the trade-off SpaceTwist's incremental approach
+/// avoids.
+Result<VertexCloakResult> VertexCloakQuery(const NetworkDataset& dataset,
+                                           VertexId query_vertex, size_t k,
+                                           size_t cloak_size, double radius,
+                                           Rng* rng);
+
+}  // namespace spacetwist::roadnet
+
+#endif  // SPACETWIST_ROADNET_VERTEX_CLOAK_H_

@@ -1,0 +1,39 @@
+#ifndef SPACETWIST_RTREE_ENTRY_H_
+#define SPACETWIST_RTREE_ENTRY_H_
+
+#include <cstdint>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "storage/page.h"
+
+namespace spacetwist::rtree {
+
+/// A point of interest: location plus opaque identifier. Coordinates are
+/// stored on disk as float32 (the paper's 8-byte points), so datasets
+/// quantize coordinates to float32 at generation time to keep the on-disk
+/// and in-memory views bit-identical.
+struct DataPoint {
+  geom::Point point;
+  uint32_t id = 0;
+
+  friend bool operator==(const DataPoint& a, const DataPoint& b) {
+    return a.id == b.id && a.point == b.point;
+  }
+};
+
+/// Entry of an internal (branch) node: child subtree MBR + child page.
+struct BranchEntry {
+  geom::Rect mbr;
+  storage::PageId child = storage::kInvalidPageId;
+};
+
+/// A retrieved neighbor: the data point and its distance to the query/anchor.
+struct Neighbor {
+  DataPoint point;
+  double distance = 0.0;
+};
+
+}  // namespace spacetwist::rtree
+
+#endif  // SPACETWIST_RTREE_ENTRY_H_

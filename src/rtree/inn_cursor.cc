@@ -1,0 +1,55 @@
+#include "rtree/inn_cursor.h"
+
+#include <limits>
+
+#include "rtree/node.h"
+#include "rtree/rtree.h"
+
+namespace spacetwist::rtree {
+
+InnCursor::InnCursor(RTree* tree, const geom::Point& query)
+    : tree_(tree), query_(query) {
+  HeapItem root;
+  root.key = 0.0;
+  root.is_point = false;
+  root.node_page = tree_->root();
+  heap_.push(root);
+}
+
+double InnCursor::NextDistanceLowerBound() const {
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return heap_.top().key;
+}
+
+Result<Neighbor> InnCursor::Next() {
+  Node node;
+  while (!heap_.empty()) {
+    const HeapItem item = heap_.top();
+    heap_.pop();
+    ++pops_;
+    if (item.is_point) {
+      return Neighbor{item.point, item.key};
+    }
+    SPACETWIST_RETURN_NOT_OK(tree_->ReadNode(item.node_page, &node));
+    if (node.IsLeaf()) {
+      for (const DataPoint& p : node.points) {
+        HeapItem child;
+        child.key = geom::Distance(query_, p.point);
+        child.is_point = true;
+        child.point = p;
+        heap_.push(child);
+      }
+    } else {
+      for (const BranchEntry& b : node.branches) {
+        HeapItem child;
+        child.key = geom::MinDist(query_, b.mbr);
+        child.is_point = false;
+        child.node_page = b.child;
+        heap_.push(child);
+      }
+    }
+  }
+  return Status::Exhausted("no more neighbors");
+}
+
+}  // namespace spacetwist::rtree

@@ -1,0 +1,67 @@
+#ifndef SPACETWIST_RTREE_INN_CURSOR_H_
+#define SPACETWIST_RTREE_INN_CURSOR_H_
+
+#include <queue>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/point.h"
+#include "rtree/entry.h"
+#include "storage/page.h"
+
+namespace spacetwist::rtree {
+
+class RTree;
+
+/// Incremental nearest-neighbor cursor (Hjaltason & Samet best-first
+/// search): successive calls to Next() return the data points of the tree in
+/// non-decreasing distance from the query point, reading only the pages the
+/// reported prefix requires. This is the plain server-side primitive
+/// SpaceTwist builds on; the granular variant lives in server/granular_inn.h.
+///
+/// Key property used by Lemma 1: when Next() has returned a point at
+/// distance tau, every point within distance tau of the query has already
+/// been returned.
+class InnCursor {
+ public:
+  /// The cursor borrows `tree`, which must outlive it. Mutating the tree
+  /// while a cursor is open invalidates the cursor.
+  InnCursor(RTree* tree, const geom::Point& query);
+
+  const geom::Point& query() const { return query_; }
+
+  /// Returns the next nearest point, or StatusCode::kExhausted when every
+  /// point has been reported.
+  Result<Neighbor> Next();
+
+  /// Lower bound for the distance of any future Next() result (the head
+  /// key of the priority queue; +inf when exhausted).
+  double NextDistanceLowerBound() const;
+
+  /// Number of heap pops performed so far (a work measure for benchmarks).
+  uint64_t pops() const { return pops_; }
+
+ private:
+  struct HeapItem {
+    double key = 0.0;
+    bool is_point = false;
+    DataPoint point;               // valid when is_point
+    storage::PageId node_page = storage::kInvalidPageId;  // otherwise
+
+    /// Min-heap on key; ties pop points before nodes so equal-distance
+    /// points are reported without needless expansion.
+    bool operator<(const HeapItem& other) const {
+      if (key != other.key) return key > other.key;
+      return is_point < other.is_point;
+    }
+  };
+
+  RTree* tree_;
+  geom::Point query_;
+  std::priority_queue<HeapItem> heap_;
+  uint64_t pops_ = 0;
+};
+
+}  // namespace spacetwist::rtree
+
+#endif  // SPACETWIST_RTREE_INN_CURSOR_H_

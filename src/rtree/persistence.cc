@@ -1,0 +1,119 @@
+#include "rtree/persistence.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/strings.h"
+#include "storage/page.h"
+
+namespace spacetwist::rtree {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'T', 'R', 'T'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteValue(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadValue(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveRTree(const RTree& tree, storage::Pager* pager,
+                 const std::string& path) {
+  if (pager == nullptr) return Status::InvalidArgument("pager is null");
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError(
+        StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  const uint32_t page_size = static_cast<uint32_t>(pager->page_size());
+  const uint32_t page_count = static_cast<uint32_t>(pager->page_count());
+  const uint32_t root = tree.root();
+  const uint32_t height = static_cast<uint32_t>(tree.height());
+  const uint64_t points = tree.size();
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
+      !WriteValue(f.get(), kVersion) || !WriteValue(f.get(), page_size) ||
+      !WriteValue(f.get(), page_count) || !WriteValue(f.get(), root) ||
+      !WriteValue(f.get(), height) || !WriteValue(f.get(), points)) {
+    return Status::IoError("short write (header)");
+  }
+  storage::Page page(page_size);
+  for (uint32_t id = 0; id < page_count; ++id) {
+    SPACETWIST_RETURN_NOT_OK(pager->Read(id, &page));
+    if (std::fwrite(page.data(), 1, page.size(), f.get()) != page.size()) {
+      return Status::IoError("short write (pages)");
+    }
+  }
+  return Status::OK();
+}
+
+Result<LoadedRTree> LoadRTree(const std::string& path,
+                              size_t buffer_pool_pages) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic");
+  }
+  uint32_t version = 0;
+  uint32_t page_size = 0;
+  uint32_t page_count = 0;
+  uint32_t root = 0;
+  uint32_t height = 0;
+  uint64_t points = 0;
+  if (!ReadValue(f.get(), &version) || version != kVersion ||
+      !ReadValue(f.get(), &page_size) || !ReadValue(f.get(), &page_count) ||
+      !ReadValue(f.get(), &root) || !ReadValue(f.get(), &height) ||
+      !ReadValue(f.get(), &points)) {
+    return Status::Corruption("bad header");
+  }
+  if (page_size < 64 || page_size > (1u << 20)) {
+    return Status::Corruption("implausible page size");
+  }
+  if (root >= page_count || height < 1) {
+    return Status::Corruption("root/height out of range");
+  }
+
+  LoadedRTree loaded;
+  loaded.pager = std::make_unique<storage::Pager>(page_size);
+  storage::Page page(page_size);
+  for (uint32_t id = 0; id < page_count; ++id) {
+    if (std::fread(page.mutable_data(), 1, page.size(), f.get()) !=
+        page.size()) {
+      return Status::Corruption("short read (pages)");
+    }
+    const storage::PageId allocated = loaded.pager->Allocate();
+    if (allocated != id) return Status::Internal("page id drift");
+    SPACETWIST_RETURN_NOT_OK(loaded.pager->Write(id, page));
+  }
+
+  RTreeOptions options;
+  options.page_size = page_size;
+  options.buffer_pool_pages = buffer_pool_pages;
+  loaded.tree = RTree::AdoptForBulkLoad(loaded.pager.get(), options, root,
+                                        static_cast<int>(height), points);
+  // Cheap sanity pass before handing the tree out.
+  SPACETWIST_RETURN_NOT_OK(loaded.tree->Validate());
+  return loaded;
+}
+
+}  // namespace spacetwist::rtree

@@ -1,0 +1,36 @@
+#ifndef SPACETWIST_RTREE_PERSISTENCE_H_
+#define SPACETWIST_RTREE_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "rtree/rtree.h"
+#include "storage/pager.h"
+
+namespace spacetwist::rtree {
+
+/// Serializes a built R-tree — its metadata plus every page of its backing
+/// pager — to one file, so an index can be built once (e.g. by a CLI tool)
+/// and reopened later without re-bulk-loading.
+///
+/// File layout: magic "STRT", u32 version, u32 page size, u32 page count,
+/// u32 root page id, u32 height, u64 point count, then the raw pages.
+Status SaveRTree(const RTree& tree, storage::Pager* pager,
+                 const std::string& path);
+
+/// An R-tree reopened from a file together with the pager that owns its
+/// pages (the tree borrows the pager, so they travel together).
+struct LoadedRTree {
+  std::unique_ptr<storage::Pager> pager;
+  std::unique_ptr<RTree> tree;
+};
+
+/// Reopens a file written by SaveRTree. `buffer_pool_pages` sizes the new
+/// tree's cache.
+Result<LoadedRTree> LoadRTree(const std::string& path,
+                              size_t buffer_pool_pages = 256);
+
+}  // namespace spacetwist::rtree
+
+#endif  // SPACETWIST_RTREE_PERSISTENCE_H_

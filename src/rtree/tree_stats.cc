@@ -1,0 +1,65 @@
+#include "rtree/tree_stats.h"
+
+#include <vector>
+
+#include "common/strings.h"
+#include "rtree/node.h"
+
+namespace spacetwist::rtree {
+
+std::string TreeStats::ToString() const {
+  std::string out = StrFormat("R-tree: height=%d, %llu points, %llu nodes\n",
+                              height,
+                              static_cast<unsigned long long>(points),
+                              static_cast<unsigned long long>(nodes));
+  for (const LevelStats& level : levels) {
+    out += StrFormat(
+        "  level %d: %llu nodes, %llu entries, fill %.1f%%, area %.3g\n",
+        level.level, static_cast<unsigned long long>(level.nodes),
+        static_cast<unsigned long long>(level.entries),
+        100.0 * level.mean_fill, level.total_area);
+  }
+  return out;
+}
+
+Result<TreeStats> ComputeTreeStats(RTree* tree) {
+  TreeStats stats;
+  stats.height = tree->height();
+  stats.points = tree->size();
+  stats.levels.resize(static_cast<size_t>(tree->height()));
+  for (int level = 0; level < tree->height(); ++level) {
+    stats.levels[static_cast<size_t>(level)].level = level;
+  }
+
+  std::vector<storage::PageId> stack = {tree->root()};
+  Node node;
+  while (!stack.empty()) {
+    const storage::PageId id = stack.back();
+    stack.pop_back();
+    SPACETWIST_RETURN_NOT_OK(tree->ReadNode(id, &node));
+    if (node.level < 0 || node.level >= tree->height()) {
+      return Status::Corruption("node level outside tree height");
+    }
+    LevelStats& level = stats.levels[static_cast<size_t>(node.level)];
+    ++level.nodes;
+    ++stats.nodes;
+    level.entries += node.Count();
+    level.total_area += node.ComputeMbr().Area();
+    if (!node.IsLeaf()) {
+      for (const BranchEntry& b : node.branches) stack.push_back(b.child);
+    }
+  }
+
+  for (LevelStats& level : stats.levels) {
+    const size_t capacity = level.level == 0 ? tree->leaf_capacity()
+                                             : tree->branch_capacity();
+    if (level.nodes > 0) {
+      level.mean_fill = static_cast<double>(level.entries) /
+                        (static_cast<double>(level.nodes) *
+                         static_cast<double>(capacity));
+    }
+  }
+  return stats;
+}
+
+}  // namespace spacetwist::rtree

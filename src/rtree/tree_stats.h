@@ -1,0 +1,38 @@
+#ifndef SPACETWIST_RTREE_TREE_STATS_H_
+#define SPACETWIST_RTREE_TREE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rtree/rtree.h"
+
+namespace spacetwist::rtree {
+
+/// Occupancy statistics of one tree level.
+struct LevelStats {
+  int level = 0;  ///< 0 = leaves
+  uint64_t nodes = 0;
+  uint64_t entries = 0;
+  double mean_fill = 0.0;  ///< entries / (nodes * capacity)
+  double total_area = 0.0;  ///< sum of node MBR areas
+};
+
+/// Whole-tree shape summary, for introspection tools and tuning.
+struct TreeStats {
+  int height = 0;
+  uint64_t points = 0;
+  uint64_t nodes = 0;
+  std::vector<LevelStats> levels;  ///< leaves first
+
+  std::string ToString() const;
+};
+
+/// Walks the tree and gathers per-level occupancy. O(nodes) page reads
+/// through the tree's buffer pool.
+Result<TreeStats> ComputeTreeStats(RTree* tree);
+
+}  // namespace spacetwist::rtree
+
+#endif  // SPACETWIST_RTREE_TREE_STATS_H_

@@ -1,0 +1,53 @@
+#include "server/cloaked_query.h"
+
+#include <vector>
+
+#include "rtree/node.h"
+#include "storage/page.h"
+
+namespace spacetwist::server {
+
+Result<std::vector<rtree::DataPoint>> CloakedQueryProcessor::Candidates(
+    const geom::Rect& region, size_t k) {
+  if (region.IsEmpty()) {
+    return Status::InvalidArgument("empty cloak region");
+  }
+  // Threshold from the kNN distance at the cloak center (see class comment).
+  SPACETWIST_ASSIGN_OR_RETURN(std::vector<rtree::Neighbor> center_knn,
+                              tree_->KnnQuery(region.Center(), k));
+  if (center_knn.size() < k) {
+    // Fewer than k points exist; everything is a candidate.
+    std::vector<rtree::DataPoint> all;
+    SPACETWIST_RETURN_NOT_OK(
+        tree_->RangeQuery(geom::Rect{{-1e18, -1e18}, {1e18, 1e18}}, &all));
+    return all;
+  }
+  const double threshold =
+      center_knn.back().distance + region.HalfDiagonal();
+
+  // Distance-bounded range search around the cloak.
+  std::vector<rtree::DataPoint> candidates;
+  std::vector<storage::PageId> stack = {tree_->root()};
+  rtree::Node node;
+  while (!stack.empty()) {
+    const storage::PageId id = stack.back();
+    stack.pop_back();
+    SPACETWIST_RETURN_NOT_OK(tree_->ReadNode(id, &node));
+    if (node.IsLeaf()) {
+      for (const rtree::DataPoint& p : node.points) {
+        if (geom::MinDist(p.point, region) <= threshold) {
+          candidates.push_back(p);
+        }
+      }
+    } else {
+      for (const rtree::BranchEntry& b : node.branches) {
+        if (geom::MinDist(region, b.mbr) <= threshold) {
+          stack.push_back(b.child);
+        }
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace spacetwist::server

@@ -1,0 +1,43 @@
+#ifndef SPACETWIST_SERVER_CLOAKED_QUERY_H_
+#define SPACETWIST_SERVER_CLOAKED_QUERY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geom/rect.h"
+#include "rtree/entry.h"
+#include "rtree/rtree.h"
+
+namespace spacetwist::server {
+
+/// Server-side processor for spatial-cloaking (CLK) queries, in the style of
+/// the Casper query processor [Mokbel et al.]: given a cloaked rectangle Q'
+/// and k, returns a candidate set guaranteed to contain the k nearest
+/// neighbors of *every* location in Q'. The trusted client then refines the
+/// exact answer locally.
+///
+/// Construction of the candidate set: the kNN distance function is
+/// 1-Lipschitz, so for the cloak center c,
+///     max_{x in Q'} kNNdist(x) <= kNNdist(c) + maxdist(c, Q')
+///                              =  kNNdist(c) + halfdiag(Q').
+/// Every kNN of every x in Q' therefore lies within
+///     T = kNNdist(c) + halfdiag(Q')
+/// of Q', and the candidate set is { p : mindist(p, Q') <= T } — a provably
+/// sufficient superset whose size (the paper's observation) grows with both
+/// the cloak extent and the dataset density.
+class CloakedQueryProcessor {
+ public:
+  /// Borrows `tree`, which must outlive the processor.
+  explicit CloakedQueryProcessor(rtree::RTree* tree) : tree_(tree) {}
+
+  /// Returns the candidate set for cloak `region` and result size `k`.
+  Result<std::vector<rtree::DataPoint>> Candidates(const geom::Rect& region,
+                                                   size_t k);
+
+ private:
+  rtree::RTree* tree_;
+};
+
+}  // namespace spacetwist::server
+
+#endif  // SPACETWIST_SERVER_CLOAKED_QUERY_H_

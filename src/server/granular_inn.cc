@@ -1,0 +1,119 @@
+#include "server/granular_inn.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "rtree/node.h"
+
+namespace spacetwist::server {
+
+GranularInnStream::GranularInnStream(rtree::RTree* tree,
+                                     const geom::Point& anchor,
+                                     double epsilon, size_t k,
+                                     const GranularOptions& options)
+    : tree_(tree), anchor_(anchor), epsilon_(epsilon), k_(k),
+      options_(options) {
+  SPACETWIST_CHECK(tree != nullptr);
+  SPACETWIST_CHECK(epsilon >= 0.0);
+  SPACETWIST_CHECK(k >= 1);
+  if (epsilon_ > 0.0) {
+    // Lemma 2: cell extent lambda = epsilon / sqrt(2) guarantees the
+    // epsilon-relaxed result.
+    grid_.emplace(epsilon_ / std::sqrt(2.0));
+  }
+  HeapItem root;
+  root.key = 0.0;
+  root.is_point = false;
+  root.node_page = tree_->root();
+  heap_.push(root);
+}
+
+void GranularInnStream::EvictCells(double frontier) {
+  // Any entry discovered later has mindist >= frontier, so a cell whose
+  // maxdist is below the frontier cannot intersect future entries and can
+  // be forgotten without affecting pruning decisions (Algorithm 2, Line 8).
+  while (!eviction_queue_.empty() &&
+         eviction_queue_.top().max_dist < frontier) {
+    const geom::GridCell cell = eviction_queue_.top().cell;
+    eviction_queue_.pop();
+    if (cells_.erase(cell) > 0) ++cells_evicted_;
+  }
+}
+
+bool GranularInnStream::CoveredByFullCells(const geom::Rect& mbr) const {
+  if (cells_.empty()) return false;
+  // Cheap short-circuit: the union of |cells_| cells cannot cover a
+  // rectangle that overlaps more cells than that.
+  if (grid_->CountCellsOverlapping(mbr) >
+      static_cast<int64_t>(cells_.size())) {
+    return false;
+  }
+  return grid_->ForEachCellOverlapping(
+      mbr,
+      [this](const geom::GridCell& cell) {
+        auto it = cells_.find(cell);
+        return it != cells_.end() && it->second >= k_;
+      },
+      options_.max_coverage_cells);
+}
+
+Result<rtree::DataPoint> GranularInnStream::Next() {
+  rtree::Node node;
+  while (!heap_.empty()) {
+    const HeapItem item = heap_.top();
+    heap_.pop();
+    ++pops_;
+
+    if (grid_.has_value() && options_.lazy_eviction) EvictCells(item.key);
+
+    if (item.is_point) {
+      if (!grid_.has_value()) {
+        last_report_distance_ = item.key;
+        return item.point;
+      }
+      const geom::GridCell cell = grid_->CellOf(item.point.point);
+      auto [it, inserted] = cells_.try_emplace(cell, 0);
+      if (it->second >= k_) continue;  // cell already reported k points
+      if (inserted) {
+        eviction_queue_.push(
+            EvictionEntry{geom::MaxDist(anchor_, grid_->CellRect(cell)),
+                          cell});
+      }
+      ++it->second;
+      peak_live_cells_ = std::max(peak_live_cells_, cells_.size());
+      last_report_distance_ = item.key;
+      return item.point;
+    }
+
+    // Expand the node. Coverage (Algorithm 2, Line 9) is applied to each
+    // child entry before it enters the heap, and re-checked for points when
+    // they pop; children have tighter MBRs than the node itself, so this
+    // prunes at least as much as a node-level check.
+    SPACETWIST_RETURN_NOT_OK(tree_->ReadNode(item.node_page, &node));
+    if (node.IsLeaf()) {
+      for (const rtree::DataPoint& p : node.points) {
+        if (grid_.has_value()) {
+          auto it = cells_.find(grid_->CellOf(p.point));
+          if (it != cells_.end() && it->second >= k_) continue;
+        }
+        HeapItem child;
+        child.key = geom::Distance(anchor_, p.point);
+        child.is_point = true;
+        child.point = p;
+        heap_.push(child);
+      }
+    } else {
+      for (const rtree::BranchEntry& b : node.branches) {
+        if (grid_.has_value() && CoveredByFullCells(b.mbr)) continue;
+        HeapItem child;
+        child.key = geom::MinDist(anchor_, b.mbr);
+        child.is_point = false;
+        child.node_page = b.child;
+        heap_.push(child);
+      }
+    }
+  }
+  return Status::Exhausted("granular stream is dry");
+}
+
+}  // namespace spacetwist::server

@@ -1,0 +1,120 @@
+#ifndef SPACETWIST_SERVER_GRANULAR_INN_H_
+#define SPACETWIST_SERVER_GRANULAR_INN_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/grid.h"
+#include "geom/point.h"
+#include "net/channel.h"
+#include "rtree/entry.h"
+#include "rtree/rtree.h"
+#include "storage/page.h"
+
+namespace spacetwist::server {
+
+/// Tuning knobs for GranularInnStream (mainly for ablation benchmarks).
+struct GranularOptions {
+  /// Enables the paper's lazy cell-eviction memory optimization
+  /// (Algorithm 2, Line 8). Disabling it never changes the output, only the
+  /// size of the tracked cell set V.
+  bool lazy_eviction = true;
+  /// Coverage tests for an entry spanning more than this many grid cells
+  /// conservatively report "not covered" (correct, possibly more work).
+  int64_t max_coverage_cells = 4096;
+};
+
+/// Server-side granular incremental NN search — Algorithm 2 of the paper,
+/// including the kNN extension of Section IV-C.
+///
+/// Best-first search around the anchor, except that a conceptual grid with
+/// cell extent lambda = epsilon / sqrt(2) is imposed on the reported points:
+/// at most `k` points are reported per grid cell, and R-tree entries fully
+/// covered by the union of "full" cells (cells that already reported k
+/// points) are pruned. Lemma 2 then guarantees every location's kNN among
+/// the reported points is within epsilon of its true kNN.
+///
+/// With epsilon == 0 the stream degenerates to plain incremental NN.
+class GranularInnStream : public net::PointSource {
+ public:
+  /// Borrows `tree`, which must outlive the stream. `epsilon` >= 0 is the
+  /// client's error bound; `k` >= 1 the number of results it needs.
+  GranularInnStream(rtree::RTree* tree, const geom::Point& anchor,
+                    double epsilon, size_t k,
+                    const GranularOptions& options = GranularOptions());
+
+  /// Next reported point in ascending distance from the anchor, or
+  /// kExhausted when the whole dataset has been scanned/pruned.
+  Result<rtree::DataPoint> Next() override;
+
+  const geom::Point& anchor() const { return anchor_; }
+  double epsilon() const { return epsilon_; }
+  size_t k() const { return k_; }
+
+  /// Distance from the anchor of the most recent reported point.
+  double last_report_distance() const { return last_report_distance_; }
+
+  /// Introspection for tests and the memory-optimization ablation.
+  size_t live_cells() const { return cells_.size(); }
+  size_t peak_live_cells() const { return peak_live_cells_; }
+  uint64_t cells_evicted() const { return cells_evicted_; }
+  uint64_t heap_pops() const { return pops_; }
+
+ private:
+  struct HeapItem {
+    double key = 0.0;
+    bool is_point = false;
+    rtree::DataPoint point;
+    storage::PageId node_page = storage::kInvalidPageId;
+
+    bool operator<(const HeapItem& other) const {
+      if (key != other.key) return key > other.key;
+      return is_point < other.is_point;
+    }
+  };
+
+  /// Drops cells that can no longer intersect future entries (all future
+  /// mindist keys are >= `frontier`).
+  void EvictCells(double frontier);
+
+  /// True when `mbr` is fully covered by the union of cells that have
+  /// already reported k points.
+  bool CoveredByFullCells(const geom::Rect& mbr) const;
+
+  rtree::RTree* tree_;
+  geom::Point anchor_;
+  double epsilon_;
+  size_t k_;
+  GranularOptions options_;
+  std::optional<geom::Grid> grid_;  ///< engaged iff epsilon > 0
+
+  std::priority_queue<HeapItem> heap_;
+  /// V of Algorithm 2: cell -> number of points reported from it.
+  std::unordered_map<geom::GridCell, size_t, geom::GridCellHash> cells_;
+  struct EvictionEntry {
+    double max_dist = 0.0;
+    geom::GridCell cell;
+  };
+  struct EvictionGreater {
+    bool operator()(const EvictionEntry& a, const EvictionEntry& b) const {
+      return a.max_dist > b.max_dist;
+    }
+  };
+  /// Lazy-eviction queue ordered by maxdist(anchor, cell).
+  std::priority_queue<EvictionEntry, std::vector<EvictionEntry>,
+                      EvictionGreater>
+      eviction_queue_;
+
+  double last_report_distance_ = 0.0;
+  size_t peak_live_cells_ = 0;
+  uint64_t cells_evicted_ = 0;
+  uint64_t pops_ = 0;
+};
+
+}  // namespace spacetwist::server
+
+#endif  // SPACETWIST_SERVER_GRANULAR_INN_H_

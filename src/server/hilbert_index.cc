@@ -1,0 +1,46 @@
+#include "server/hilbert_index.h"
+
+#include <algorithm>
+
+namespace spacetwist::server {
+
+HilbertIndex::HilbertIndex(const std::vector<rtree::DataPoint>& points,
+                           const geom::HilbertCurve& curve) {
+  entries_.reserve(points.size());
+  for (const rtree::DataPoint& p : points) {
+    entries_.push_back(HilbertEntry{curve.Encode(p.point), p.id});
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const HilbertEntry& a, const HilbertEntry& b) {
+              return a.value < b.value;
+            });
+}
+
+std::vector<HilbertEntry> HilbertIndex::Nearest(uint64_t value,
+                                                size_t k) const {
+  std::vector<HilbertEntry> out;
+  if (entries_.empty() || k == 0) return out;
+  // Two-pointer expansion around the insertion position.
+  auto ge = std::lower_bound(
+      entries_.begin(), entries_.end(), value,
+      [](const HilbertEntry& e, uint64_t v) { return e.value < v; });
+  size_t right = static_cast<size_t>(ge - entries_.begin());
+  size_t left = right;  // entries_[left-1] is the last value < `value`
+  const auto diff = [value](uint64_t v) {
+    return v >= value ? v - value : value - v;
+  };
+  while (out.size() < k && (left > 0 || right < entries_.size())) {
+    const bool take_left =
+        right >= entries_.size() ||
+        (left > 0 && diff(entries_[left - 1].value) <=
+                         diff(entries_[right].value));
+    if (take_left) {
+      out.push_back(entries_[--left]);
+    } else {
+      out.push_back(entries_[right++]);
+    }
+  }
+  return out;
+}
+
+}  // namespace spacetwist::server

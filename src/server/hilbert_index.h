@@ -1,0 +1,42 @@
+#ifndef SPACETWIST_SERVER_HILBERT_INDEX_H_
+#define SPACETWIST_SERVER_HILBERT_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/hilbert.h"
+#include "rtree/entry.h"
+
+namespace spacetwist::server {
+
+/// One POI as the transformation-based server stores it: the (keyed) curve
+/// position and the POI id. The server cannot recover the location without
+/// the curve key.
+struct HilbertEntry {
+  uint64_t value = 0;
+  uint32_t id = 0;
+};
+
+/// Server-side table for the SHB/DHB baselines: the POIs' keyed Hilbert
+/// values in sorted order. Matching is pure 1-D nearest search on curve
+/// positions — the server never sees 2-D locations, queries included.
+class HilbertIndex {
+ public:
+  /// Transforms `points` through `curve` and sorts. O(n log n) build.
+  HilbertIndex(const std::vector<rtree::DataPoint>& points,
+               const geom::HilbertCurve& curve);
+
+  size_t size() const { return entries_.size(); }
+
+  /// The `k` entries whose curve values are closest to `value` in 1-D
+  /// (|entry.value - value|), ascending by that difference. Fewer if the
+  /// table is smaller than k.
+  std::vector<HilbertEntry> Nearest(uint64_t value, size_t k) const;
+
+ private:
+  std::vector<HilbertEntry> entries_;  // sorted by value
+};
+
+}  // namespace spacetwist::server
+
+#endif  // SPACETWIST_SERVER_HILBERT_INDEX_H_

@@ -1,0 +1,36 @@
+#ifndef SPACETWIST_SERVER_INN_STREAM_H_
+#define SPACETWIST_SERVER_INN_STREAM_H_
+
+#include "common/result.h"
+#include "geom/point.h"
+#include "net/channel.h"
+#include "rtree/entry.h"
+#include "rtree/inn_cursor.h"
+#include "rtree/rtree.h"
+
+namespace spacetwist::server {
+
+/// Plain incremental-NN session: adapts an R-tree InnCursor to the
+/// net::PointSource interface so a PacketChannel can pack its output.
+/// This is what the server runs when the client requests exact results
+/// (error bound epsilon == 0).
+class InnStream : public net::PointSource {
+ public:
+  /// Borrows `tree`, which must outlive the stream.
+  InnStream(rtree::RTree* tree, const geom::Point& anchor)
+      : cursor_(tree, anchor) {}
+
+  Result<rtree::DataPoint> Next() override {
+    SPACETWIST_ASSIGN_OR_RETURN(rtree::Neighbor n, cursor_.Next());
+    return n.point;
+  }
+
+  const rtree::InnCursor& cursor() const { return cursor_; }
+
+ private:
+  rtree::InnCursor cursor_;
+};
+
+}  // namespace spacetwist::server
+
+#endif  // SPACETWIST_SERVER_INN_STREAM_H_

@@ -1,0 +1,76 @@
+#ifndef SPACETWIST_SERVER_LBS_SERVER_H_
+#define SPACETWIST_SERVER_LBS_SERVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "datasets/dataset.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "rtree/bulk_load.h"
+#include "rtree/entry.h"
+#include "rtree/rtree.h"
+#include "server/cloaked_query.h"
+#include "server/granular_inn.h"
+#include "server/inn_stream.h"
+#include "storage/io_stats.h"
+#include "storage/pager.h"
+
+namespace spacetwist::server {
+
+/// The location-based-service provider: owns the simulated disk and the
+/// R-tree over the POIs, and exposes exactly the query functionality each
+/// technique assumes —
+///   * incremental NN streaming around an anchor (SpaceTwist, Section III),
+///   * granular incremental NN with an error bound (Section IV),
+///   * cloaked-region candidate queries (the CLK baseline), and
+///   * exact kNN (used as ground truth by the evaluation harness).
+/// The SHB/DHB Hilbert tables are built separately (see HilbertIndex); they
+/// replace the spatial index entirely in that architecture.
+class LbsServer {
+ public:
+  /// Bulk-loads the dataset into a fresh R-tree.
+  static Result<std::unique_ptr<LbsServer>> Build(
+      const datasets::Dataset& dataset,
+      const rtree::RTreeOptions& options = rtree::RTreeOptions());
+
+  LbsServer(const LbsServer&) = delete;
+  LbsServer& operator=(const LbsServer&) = delete;
+
+  const geom::Rect& domain() const { return domain_; }
+  uint64_t size() const { return tree_->size(); }
+  rtree::RTree* tree() { return tree_.get(); }
+
+  /// Cumulative storage-layer counters (the "server load" metric).
+  storage::IoStats io_stats() const { return tree_->buffer_pool()->stats(); }
+
+  /// Opens a plain incremental-NN session around `anchor`.
+  std::unique_ptr<InnStream> OpenInnSession(const geom::Point& anchor);
+
+  /// Opens a granular session (Algorithm 2); epsilon == 0 degenerates to
+  /// plain INN semantics.
+  std::unique_ptr<GranularInnStream> OpenGranularSession(
+      const geom::Point& anchor, double epsilon, size_t k,
+      const GranularOptions& options = GranularOptions());
+
+  /// Candidate set for a cloaked kNN query (the CLK baseline).
+  Result<std::vector<rtree::DataPoint>> CloakedQuery(const geom::Rect& region,
+                                                     size_t k);
+
+  /// Exact kNN — used by the harness for ground-truth errors, not part of
+  /// any privacy protocol.
+  Result<std::vector<rtree::Neighbor>> ExactKnn(const geom::Point& q,
+                                                size_t k);
+
+ private:
+  LbsServer() = default;
+
+  geom::Rect domain_;
+  std::unique_ptr<storage::Pager> pager_;
+  std::unique_ptr<rtree::RTree> tree_;
+};
+
+}  // namespace spacetwist::server
+
+#endif  // SPACETWIST_SERVER_LBS_SERVER_H_

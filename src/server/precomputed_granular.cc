@@ -1,0 +1,48 @@
+#include "server/precomputed_granular.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "geom/grid.h"
+#include "rtree/bulk_load.h"
+#include "server/inn_stream.h"
+
+namespace spacetwist::server {
+
+Result<std::unique_ptr<PrecomputedGranularIndex>>
+PrecomputedGranularIndex::Build(const datasets::Dataset& dataset,
+                                double epsilon, size_t k) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "precomputation requires a fixed positive epsilon");
+  }
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+
+  const geom::Grid grid(epsilon / std::sqrt(2.0));
+  std::unordered_map<geom::GridCell, size_t, geom::GridCellHash> counts;
+  std::vector<rtree::DataPoint> representatives;
+  for (const rtree::DataPoint& p : dataset.points) {
+    size_t& count = counts[grid.CellOf(p.point)];
+    if (count >= k) continue;
+    ++count;
+    representatives.push_back(p);
+  }
+
+  std::unique_ptr<PrecomputedGranularIndex> index(
+      new PrecomputedGranularIndex());
+  index->epsilon_ = epsilon;
+  index->k_ = k;
+  index->pager_ = std::make_unique<storage::Pager>();
+  SPACETWIST_ASSIGN_OR_RETURN(
+      index->tree_,
+      rtree::BulkLoad(index->pager_.get(), rtree::BulkLoadOptions(),
+                      std::move(representatives)));
+  return index;
+}
+
+std::unique_ptr<net::PointSource> PrecomputedGranularIndex::OpenInnSession(
+    const geom::Point& anchor) {
+  return std::make_unique<InnStream>(tree_.get(), anchor);
+}
+
+}  // namespace spacetwist::server

@@ -1,0 +1,58 @@
+#ifndef SPACETWIST_SERVER_PRECOMPUTED_GRANULAR_H_
+#define SPACETWIST_SERVER_PRECOMPUTED_GRANULAR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "datasets/dataset.h"
+#include "geom/point.h"
+#include "net/channel.h"
+#include "rtree/inn_cursor.h"
+#include "rtree/rtree.h"
+#include "storage/pager.h"
+
+namespace spacetwist::server {
+
+/// The pre-computation alternative Section IV-B describes and rejects for
+/// run-time-chosen error bounds: when epsilon IS fixed in advance, the
+/// server can "pre-select a data point from each (non-empty) cell and index
+/// those points by another (small) R-tree, which is then used at query
+/// time". Plain incremental NN over that small tree then serves granular
+/// queries with no per-query cell bookkeeping at all.
+///
+/// This class implements that design (with the k-per-cell extension) so
+/// the trade-off can be measured: cheaper queries and a much smaller
+/// working index, in exchange for a fixed epsilon and an offline build.
+class PrecomputedGranularIndex {
+ public:
+  /// Selects up to `k` points per grid cell (lambda = epsilon / sqrt(2),
+  /// first-come order like the online algorithm) and bulk-loads them into a
+  /// dedicated small R-tree. epsilon must be > 0.
+  static Result<std::unique_ptr<PrecomputedGranularIndex>> Build(
+      const datasets::Dataset& dataset, double epsilon, size_t k);
+
+  double epsilon() const { return epsilon_; }
+  size_t k() const { return k_; }
+  /// Number of representative points kept (<= k per non-empty cell).
+  uint64_t representative_count() const { return tree_->size(); }
+  /// Pages of the small tree (vs. the full index).
+  size_t page_count() const { return pager_->page_count(); }
+  rtree::RTree* tree() { return tree_.get(); }
+
+  /// Plain INN session over the representatives; the stream satisfies the
+  /// same epsilon-relaxed guarantee as the online GranularInnStream.
+  std::unique_ptr<net::PointSource> OpenInnSession(const geom::Point& anchor);
+
+ private:
+  PrecomputedGranularIndex() = default;
+
+  double epsilon_ = 0.0;
+  size_t k_ = 1;
+  std::unique_ptr<storage::Pager> pager_;
+  std::unique_ptr<rtree::RTree> tree_;
+};
+
+}  // namespace spacetwist::server
+
+#endif  // SPACETWIST_SERVER_PRECOMPUTED_GRANULAR_H_

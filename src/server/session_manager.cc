@@ -1,0 +1,62 @@
+#include "server/session_manager.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace spacetwist::server {
+
+SessionManager::SessionManager(LbsServer* server, size_t max_sessions,
+                               const net::PacketConfig& packet)
+    : server_(server), max_sessions_(max_sessions), packet_(packet) {
+  SPACETWIST_CHECK(server != nullptr);
+  SPACETWIST_CHECK(max_sessions >= 1);
+}
+
+Result<SessionId> SessionManager::Open(const geom::Point& anchor,
+                                       double epsilon, size_t k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (epsilon < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+  if (sessions_.size() >= max_sessions_) {
+    return Status::Internal(
+        StrFormat("session limit (%zu) reached", max_sessions_));
+  }
+  Session session;
+  session.stream = server_->OpenGranularSession(anchor, epsilon, k);
+  session.channel =
+      std::make_unique<net::PacketChannel>(session.stream.get(), packet_);
+  const SessionId id = next_id_++;
+  sessions_.emplace(id, std::move(session));
+  ++sessions_opened_;
+  return id;
+}
+
+Result<net::Packet> SessionManager::NextPacket(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StrFormat(
+        "session %llu", static_cast<unsigned long long>(id)));
+  }
+  return it->second.channel->NextPacket();
+}
+
+Status SessionManager::Close(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StrFormat(
+        "session %llu", static_cast<unsigned long long>(id)));
+  }
+  Absorb(it->second);
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+void SessionManager::Absorb(const Session& session) {
+  const net::ChannelStats& stats = session.channel->stats();
+  totals_.downlink_packets += stats.downlink_packets;
+  totals_.downlink_points += stats.downlink_points;
+  totals_.uplink_packets += stats.uplink_packets;
+  totals_.downlink_bytes += stats.downlink_bytes;
+  totals_.uplink_bytes += stats.uplink_bytes;
+}
+
+}  // namespace spacetwist::server

@@ -1,0 +1,71 @@
+#ifndef SPACETWIST_SERVER_SESSION_MANAGER_H_
+#define SPACETWIST_SERVER_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "geom/point.h"
+#include "net/channel.h"
+#include "net/packet.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::server {
+
+/// Server-side session identifier handed to clients.
+using SessionId = uint64_t;
+
+/// Front end a real deployment would expose: clients open an incremental
+/// query session (anchor + epsilon + k), pull packets by session id, and
+/// close (or abandon) the session. The manager owns the per-session stream
+/// and packet channel, enforces a session cap, and aggregates the
+/// transport counters across sessions — i.e. the piece that turns the
+/// library's single-query objects into a multi-client server loop.
+/// Single-threaded, like the rest of the simulation.
+class SessionManager {
+ public:
+  /// Borrows `server`, which must outlive the manager. At most
+  /// `max_sessions` may be open at once.
+  SessionManager(LbsServer* server, size_t max_sessions = 64,
+                 const net::PacketConfig& packet = net::PacketConfig());
+
+  /// Opens a granular INN session (epsilon == 0 gives exact INN). This is
+  /// everything the server ever learns about a query.
+  Result<SessionId> Open(const geom::Point& anchor, double epsilon,
+                         size_t k);
+
+  /// Pulls the session's next packet; kExhausted when the stream is dry
+  /// and kNotFound for unknown/closed ids.
+  Result<net::Packet> NextPacket(SessionId id);
+
+  /// Closes a session (idempotent errors: closing twice is kNotFound —
+  /// the client is misbehaving and should know).
+  Status Close(SessionId id);
+
+  size_t open_sessions() const { return sessions_.size(); }
+  uint64_t sessions_opened() const { return sessions_opened_; }
+  /// Transport totals over every session ever served.
+  const net::ChannelStats& total_stats() const { return totals_; }
+
+ private:
+  struct Session {
+    std::unique_ptr<GranularInnStream> stream;
+    std::unique_ptr<net::PacketChannel> channel;
+  };
+
+  /// Folds a closing session's counters into the totals.
+  void Absorb(const Session& session);
+
+  LbsServer* server_;
+  size_t max_sessions_;
+  net::PacketConfig packet_;
+  std::unordered_map<SessionId, Session> sessions_;
+  SessionId next_id_ = 1;
+  uint64_t sessions_opened_ = 0;
+  net::ChannelStats totals_;
+};
+
+}  // namespace spacetwist::server
+
+#endif  // SPACETWIST_SERVER_SESSION_MANAGER_H_

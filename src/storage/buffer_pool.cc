@@ -1,0 +1,65 @@
+#include "storage/buffer_pool.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace spacetwist::storage {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager), capacity_(capacity) {
+  SPACETWIST_CHECK(pager != nullptr);
+  SPACETWIST_CHECK(capacity >= 1);
+}
+
+Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
+  ++stats_.logical_reads;
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    Touch(id, &it->second);
+    return it->second.page;
+  }
+  ++stats_.physical_reads;
+  auto page = std::make_shared<Page>(pager_->page_size());
+  SPACETWIST_RETURN_NOT_OK(pager_->Read(id, page.get()));
+  EvictIfNeeded();
+  lru_.push_front(id);
+  map_[id] = Entry{page, lru_.begin()};
+  return PageHandle(std::move(page));
+}
+
+Status BufferPool::Write(PageId id, const Page& page) {
+  ++stats_.physical_writes;
+  SPACETWIST_RETURN_NOT_OK(pager_->Write(id, page));
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    // Refresh the cached copy; existing handles keep seeing the old bytes
+    // (copy-on-write semantics), which is fine for read-mostly workloads.
+    it->second.page = std::make_shared<Page>(page);
+    Touch(id, &it->second);
+  }
+  return Status::OK();
+}
+
+PageId BufferPool::Allocate() { return pager_->Allocate(); }
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+void BufferPool::Touch(PageId id, Entry* entry) {
+  lru_.erase(entry->lru_it);
+  lru_.push_front(id);
+  entry->lru_it = lru_.begin();
+}
+
+void BufferPool::EvictIfNeeded() {
+  while (map_.size() >= capacity_) {
+    const PageId victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+}
+
+}  // namespace spacetwist::storage

@@ -1,0 +1,70 @@
+#ifndef SPACETWIST_STORAGE_BUFFER_POOL_H_
+#define SPACETWIST_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace spacetwist::storage {
+
+/// LRU page cache in front of a Pager. All R-tree traversal goes through
+/// this class, so its counters measure query-time server load (logical vs
+/// physical page reads). Writes are write-through: the working sets here are
+/// read-mostly after bulk load, and write-through keeps recovery semantics
+/// trivial for the simulation.
+///
+/// Fetch returns a shared handle; a page stays valid while any handle is
+/// alive even if the pool evicts it, so cursors can safely hold nodes across
+/// subsequent fetches.
+class BufferPool {
+ public:
+  using PageHandle = std::shared_ptr<const Page>;
+
+  /// `capacity` is the number of cached pages (>= 1).
+  BufferPool(Pager* pager, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  size_t cached_pages() const { return map_.size(); }
+  const IoStats& stats() const { return stats_; }
+  Pager* pager() const { return pager_; }
+
+  /// Fetches page `id`, from cache when possible.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Writes `page` through to disk and refreshes the cached copy.
+  Status Write(PageId id, const Page& page);
+
+  /// Allocates a fresh page on the underlying pager.
+  PageId Allocate();
+
+  /// Drops all cached pages (counters are preserved).
+  void Clear();
+
+ private:
+  struct Entry {
+    PageHandle page;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  void Touch(PageId id, Entry* entry);
+  void EvictIfNeeded();
+
+  Pager* pager_;
+  size_t capacity_;
+  std::list<PageId> lru_;  // front = most recently used
+  std::unordered_map<PageId, Entry> map_;
+  IoStats stats_;
+};
+
+}  // namespace spacetwist::storage
+
+#endif  // SPACETWIST_STORAGE_BUFFER_POOL_H_

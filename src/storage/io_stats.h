@@ -1,0 +1,27 @@
+#ifndef SPACETWIST_STORAGE_IO_STATS_H_
+#define SPACETWIST_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace spacetwist::storage {
+
+/// Counters describing how much work the storage layer performed. Used as
+/// the "server load" metric in benchmarks: node accesses are logical reads,
+/// disk I/O are physical reads/writes.
+struct IoStats {
+  uint64_t logical_reads = 0;   ///< Page fetches requested (hits + misses).
+  uint64_t physical_reads = 0;  ///< Fetches that missed the buffer pool.
+  uint64_t physical_writes = 0;
+  uint64_t pages_allocated = 0;
+
+  IoStats operator-(const IoStats& other) const {
+    return IoStats{logical_reads - other.logical_reads,
+                   physical_reads - other.physical_reads,
+                   physical_writes - other.physical_writes,
+                   pages_allocated - other.pages_allocated};
+  }
+};
+
+}  // namespace spacetwist::storage
+
+#endif  // SPACETWIST_STORAGE_IO_STATS_H_

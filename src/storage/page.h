@@ -1,0 +1,80 @@
+#ifndef SPACETWIST_STORAGE_PAGE_H_
+#define SPACETWIST_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace spacetwist::storage {
+
+/// Identifier of a page on the simulated disk.
+using PageId = uint32_t;
+
+/// Sentinel for "no page" (e.g. R-tree leaf child pointers).
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// Page size used throughout the reproduction; the paper indexes each
+/// dataset "by an R-tree with a 1K byte page size".
+inline constexpr size_t kDefaultPageSize = 1024;
+
+/// A fixed-size block of bytes plus typed little-endian accessors. This is
+/// the unit of I/O between the R-tree and the buffer pool.
+class Page {
+ public:
+  explicit Page(size_t size = kDefaultPageSize) : data_(size, 0) {}
+
+  size_t size() const { return data_.size(); }
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t* mutable_data() { return data_.data(); }
+
+  void Zero() { std::memset(data_.data(), 0, data_.size()); }
+
+  /// Typed accessors; offsets are byte offsets and must leave the value
+  /// fully inside the page (checked only via memcpy bounds discipline by
+  /// callers; the R-tree layouts are validated in tests).
+  void PutU8(size_t off, uint8_t v) { data_[off] = v; }
+  uint8_t GetU8(size_t off) const { return data_[off]; }
+
+  void PutU16(size_t off, uint16_t v) {
+    std::memcpy(&data_[off], &v, sizeof(v));
+  }
+  uint16_t GetU16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, &data_[off], sizeof(v));
+    return v;
+  }
+
+  void PutU32(size_t off, uint32_t v) {
+    std::memcpy(&data_[off], &v, sizeof(v));
+  }
+  uint32_t GetU32(size_t off) const {
+    uint32_t v;
+    std::memcpy(&v, &data_[off], sizeof(v));
+    return v;
+  }
+
+  void PutU64(size_t off, uint64_t v) {
+    std::memcpy(&data_[off], &v, sizeof(v));
+  }
+  uint64_t GetU64(size_t off) const {
+    uint64_t v;
+    std::memcpy(&v, &data_[off], sizeof(v));
+    return v;
+  }
+
+  /// Coordinates are stored as float32: the paper's packet arithmetic
+  /// assumes a 2-D point occupies 8 bytes.
+  void PutF32(size_t off, float v) { std::memcpy(&data_[off], &v, sizeof(v)); }
+  float GetF32(size_t off) const {
+    float v;
+    std::memcpy(&v, &data_[off], sizeof(v));
+    return v;
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace spacetwist::storage
+
+#endif  // SPACETWIST_STORAGE_PAGE_H_

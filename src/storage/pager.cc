@@ -1,0 +1,34 @@
+#include "storage/pager.h"
+
+#include "common/strings.h"
+
+namespace spacetwist::storage {
+
+PageId Pager::Allocate() {
+  pages_.push_back(std::make_unique<Page>(page_size_));
+  ++stats_.pages_allocated;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status Pager::Read(PageId id, Page* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange(StrFormat("page %u beyond disk end", id));
+  }
+  *out = *pages_[id];
+  ++stats_.physical_reads;
+  return Status::OK();
+}
+
+Status Pager::Write(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange(StrFormat("page %u beyond disk end", id));
+  }
+  if (page.size() != page_size_) {
+    return Status::InvalidArgument("page size mismatch");
+  }
+  *pages_[id] = page;
+  ++stats_.physical_writes;
+  return Status::OK();
+}
+
+}  // namespace spacetwist::storage

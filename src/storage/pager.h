@@ -1,0 +1,47 @@
+#ifndef SPACETWIST_STORAGE_PAGER_H_
+#define SPACETWIST_STORAGE_PAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace spacetwist::storage {
+
+/// Simulated disk: a growable array of fixed-size pages. Stands in for the
+/// server's disk; physical read/write counters let benchmarks report I/O the
+/// way the paper reports server load. Deterministic and in-memory, so whole
+/// experiment suites run on a laptop.
+class Pager {
+ public:
+  explicit Pager(size_t page_size = kDefaultPageSize)
+      : page_size_(page_size) {}
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  size_t page_size() const { return page_size_; }
+  size_t page_count() const { return pages_.size(); }
+  const IoStats& stats() const { return stats_; }
+
+  /// Allocates a zeroed page and returns its id.
+  PageId Allocate();
+
+  /// Copies page `id` into `*out`. Fails with OutOfRange for bad ids.
+  Status Read(PageId id, Page* out);
+
+  /// Overwrites page `id` with `page` (sizes must match).
+  Status Write(PageId id, const Page& page);
+
+ private:
+  size_t page_size_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  IoStats stats_;
+};
+
+}  // namespace spacetwist::storage
+
+#endif  // SPACETWIST_STORAGE_PAGER_H_

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "baselines/clk_baseline.h"
+#include "baselines/hilbert_baseline.h"
+#include "common/rng.h"
+#include "datasets/generator.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::baselines {
+namespace {
+
+double TrueKnnDistance(const std::vector<rtree::DataPoint>& pts,
+                       const geom::Point& q, size_t k) {
+  std::vector<double> d;
+  d.reserve(pts.size());
+  for (const rtree::DataPoint& p : pts) {
+    d.push_back(geom::Distance(q, p.point));
+  }
+  std::nth_element(d.begin(), d.begin() + (k - 1), d.end());
+  return d[k - 1];
+}
+
+// ---------------------------------------------------------------- SHB/DHB
+
+TEST(HilbertBaselineTest, ReturnsKResultsSortedByTrueDistance) {
+  const datasets::Dataset ds = datasets::GenerateUniform(5000, 801);
+  const HilbertKnnClient shb(ds, 1, 12, 99);
+  auto result = shb.Query({5000, 5000}, 8);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->neighbors.size(), 8u);
+  for (size_t i = 1; i < result->neighbors.size(); ++i) {
+    EXPECT_GE(result->neighbors[i].distance,
+              result->neighbors[i - 1].distance);
+  }
+  EXPECT_EQ(result->packets, 1u);
+}
+
+TEST(HilbertBaselineTest, DualCurveUsesTwoPacketsAndDedupes) {
+  const datasets::Dataset ds = datasets::GenerateUniform(5000, 803);
+  const HilbertKnnClient dhb(ds, 2, 12, 99);
+  auto result = dhb.Query({5000, 5000}, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->packets, 2u);
+  EXPECT_EQ(result->candidates, 8u);  // k per curve
+  ASSERT_EQ(result->neighbors.size(), 4u);
+  // No duplicate POIs.
+  std::vector<uint32_t> ids;
+  for (const auto& n : result->neighbors) ids.push_back(n.point.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(HilbertBaselineTest, DhbAtLeastAsAccurateAsShbOnAverage) {
+  const datasets::Dataset ds = datasets::GenerateUniform(20000, 807);
+  const HilbertKnnClient shb(ds, 1, 12, 7);
+  const HilbertKnnClient dhb(ds, 2, 12, 7);
+  Rng rng(1);
+  double shb_err = 0;
+  double dhb_err = 0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    const double truth = TrueKnnDistance(ds.points, q, 1);
+    auto s = shb.Query(q, 1);
+    auto d = dhb.Query(q, 1);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(d.ok());
+    shb_err += s->neighbors[0].distance - truth;
+    dhb_err += d->neighbors[0].distance - truth;
+  }
+  EXPECT_LE(dhb_err, shb_err + 1e-9);
+}
+
+TEST(HilbertBaselineTest, ResultErrorIsNonNegative) {
+  const datasets::Dataset ds = datasets::GenerateUniform(3000, 809);
+  const HilbertKnnClient shb(ds, 1, 12, 3);
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    const double truth = TrueKnnDistance(ds.points, q, 1);
+    auto result = shb.Query(q, 1);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->neighbors[0].distance, truth - 1e-9);
+  }
+}
+
+TEST(HilbertBaselineTest, SkewHurtsHilbertAccuracy) {
+  // Table II's core finding: transformation matching degrades on skewed
+  // data relative to uniform data.
+  const datasets::Dataset ui = datasets::GenerateUniform(50000, 811);
+  const datasets::Dataset sk = datasets::GenerateClustered(
+      50000, datasets::ClusterParams{80, 60.0, 0.01}, 811);
+  const HilbertKnnClient shb_ui(ui, 1, 12, 5);
+  const HilbertKnnClient shb_sk(sk, 1, 12, 5);
+  Rng rng(3);
+  double err_ui = 0;
+  double err_sk = 0;
+  const int trials = 80;
+  for (int i = 0; i < trials; ++i) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    auto u = shb_ui.Query(q, 1);
+    auto s = shb_sk.Query(q, 1);
+    ASSERT_TRUE(u.ok());
+    ASSERT_TRUE(s.ok());
+    err_ui += u->neighbors[0].distance - TrueKnnDistance(ui.points, q, 1);
+    err_sk += s->neighbors[0].distance - TrueKnnDistance(sk.points, q, 1);
+  }
+  EXPECT_GT(err_sk / trials, err_ui / trials);
+}
+
+TEST(HilbertBaselineTest, RejectsKZero) {
+  const datasets::Dataset ds = datasets::GenerateUniform(100, 813);
+  const HilbertKnnClient shb(ds, 1, 12, 1);
+  EXPECT_TRUE(shb.Query({1, 1}, 0).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------- CLK
+
+class ClkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(30000, 821);
+    server_ = server::LbsServer::Build(dataset_).MoveValueOrDie();
+    client_ = std::make_unique<ClkClient>(server_.get(), net::PacketConfig());
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+  std::unique_ptr<ClkClient> client_;
+};
+
+TEST_F(ClkTest, AlwaysExactResults) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Point q{rng.Uniform(500, 9500), rng.Uniform(500, 9500)};
+    const size_t k = 1 + static_cast<size_t>(rng.UniformInt(0, 7));
+    auto result = client_->Query(q, k, 400, &rng);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->neighbors.size(), k);
+    EXPECT_NEAR(result->neighbors.back().distance,
+                TrueKnnDistance(dataset_.points, q, k), 1e-9);
+  }
+}
+
+TEST_F(ClkTest, CloakContainsUserAndHasRequestedExtent) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    const double half = rng.Uniform(50, 1000);
+    const geom::Rect cloak = client_->MakeCloak(q, half, &rng);
+    EXPECT_TRUE(cloak.Contains(q));
+    EXPECT_LE(cloak.Width(), 2 * half + 1e-9);
+    EXPECT_TRUE(server_->domain().Contains(cloak.min));
+    EXPECT_TRUE(server_->domain().Contains(cloak.max));
+  }
+}
+
+TEST_F(ClkTest, CloakPlacementIsRandomized) {
+  Rng rng(6);
+  const geom::Point q{5000, 5000};
+  double min_x = 1e18;
+  double max_x = -1e18;
+  for (int i = 0; i < 50; ++i) {
+    const geom::Rect cloak = client_->MakeCloak(q, 300, &rng);
+    min_x = std::min(min_x, cloak.min.x);
+    max_x = std::max(max_x, cloak.min.x);
+  }
+  // The corner position must vary across queries (not a fixed offset).
+  EXPECT_GT(max_x - min_x, 100.0);
+}
+
+TEST_F(ClkTest, CostGrowsWithCloakExtent) {
+  Rng rng(7);
+  const geom::Point q{5000, 5000};
+  double small_cost = 0;
+  double large_cost = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto small = client_->Query(q, 1, 100, &rng);
+    auto large = client_->Query(q, 1, 1500, &rng);
+    ASSERT_TRUE(small.ok());
+    ASSERT_TRUE(large.ok());
+    small_cost += static_cast<double>(small->candidates);
+    large_cost += static_cast<double>(large->candidates);
+  }
+  EXPECT_GT(large_cost, 10 * small_cost);
+}
+
+TEST_F(ClkTest, PacketsAreCeilOfCandidatesOverBeta) {
+  Rng rng(8);
+  auto result = client_->Query({5000, 5000}, 1, 800, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->packets, (result->candidates + 66) / 67);
+}
+
+TEST_F(ClkTest, RejectsBadArguments) {
+  Rng rng(9);
+  EXPECT_TRUE(
+      client_->Query({1, 1}, 0, 100, &rng).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      client_->Query({1, 1}, 1, 0, &rng).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spacetwist::baselines

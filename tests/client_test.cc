@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/anchor.h"
+#include "core/spacetwist_client.h"
+#include "datasets/generator.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::core {
+namespace {
+
+std::vector<double> BruteForceKnnDistances(
+    const std::vector<rtree::DataPoint>& pts, const geom::Point& q,
+    size_t k) {
+  std::vector<double> d;
+  d.reserve(pts.size());
+  for (const rtree::DataPoint& p : pts) {
+    d.push_back(geom::Distance(q, p.point));
+  }
+  std::sort(d.begin(), d.end());
+  d.resize(std::min(k, d.size()));
+  return d;
+}
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void Build(size_t n, uint64_t seed) {
+    dataset_ = datasets::GenerateUniform(n, seed);
+    server_ = server::LbsServer::Build(dataset_).MoveValueOrDie();
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+};
+
+TEST_F(ClientTest, ExactWhenEpsilonZero) {
+  Build(10000, 501);
+  SpaceTwistClient client(server_.get());
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    QueryParams params;
+    params.k = 1 + static_cast<size_t>(rng.UniformInt(0, 7));
+    params.epsilon = 0.0;
+    params.anchor_distance = rng.Uniform(50, 800);
+    auto outcome = client.Query(q, params, &rng);
+    ASSERT_TRUE(outcome.ok());
+    const auto expected =
+        BruteForceKnnDistances(dataset_.points, q, params.k);
+    ASSERT_EQ(outcome->neighbors.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(outcome->neighbors[i].distance, expected[i], 1e-9)
+          << "k=" << params.k << " rank " << i;
+    }
+  }
+}
+
+TEST_F(ClientTest, EpsilonGuaranteeHolds) {
+  Build(20000, 503);
+  SpaceTwistClient client(server_.get());
+  Rng rng(2);
+  for (const double epsilon : {50.0, 200.0, 1000.0}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+      QueryParams params;
+      params.k = 2;
+      params.epsilon = epsilon;
+      params.anchor_distance = 200;
+      auto outcome = client.Query(q, params, &rng);
+      ASSERT_TRUE(outcome.ok());
+      const auto truth = BruteForceKnnDistances(dataset_.points, q, 2);
+      ASSERT_EQ(outcome->neighbors.size(), 2u);
+      EXPECT_LE(outcome->neighbors.back().distance,
+                truth.back() + epsilon + 1e-6);
+    }
+  }
+}
+
+TEST_F(ClientTest, TerminationConditionSatisfiedAtEnd) {
+  Build(5000, 509);
+  SpaceTwistClient client(server_.get());
+  Rng rng(3);
+  const geom::Point q{4000, 6000};
+  QueryParams params;
+  params.k = 4;
+  params.epsilon = 0.0;
+  auto outcome = client.Query(q, params, &rng);
+  ASSERT_TRUE(outcome.ok());
+  const double anchor_dist = geom::Distance(q, outcome->anchor);
+  EXPECT_LE(outcome->gamma + anchor_dist, outcome->tau + 1e-9);
+  EXPECT_FALSE(outcome->stream_exhausted);
+}
+
+TEST_F(ClientTest, NoUnnecessaryPackets) {
+  // Dropping the final packet must break the termination condition: the
+  // client never requests a packet it does not need (Lemma 1 tightness).
+  Build(5000, 521);
+  SpaceTwistClient client(server_.get());
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const geom::Point q{rng.Uniform(1000, 9000), rng.Uniform(1000, 9000)};
+    QueryParams params;
+    params.k = 1;
+    params.epsilon = 0.0;
+    params.anchor_distance = 300;
+    auto outcome = client.Query(q, params, &rng);
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_GE(outcome->packets, 1u);
+    if (outcome->packets == 1) continue;
+    // Reconstruct the state after m-1 packets.
+    const size_t prefix = (outcome->packets - 1) * outcome->beta;
+    ASSERT_LT(prefix, outcome->retrieved.size());
+    double gamma = 1e18;
+    for (size_t i = 0; i < prefix; ++i) {
+      gamma =
+          std::min(gamma, geom::Distance(q, outcome->retrieved[i].point));
+    }
+    const double tau = geom::Distance(outcome->anchor,
+                                      outcome->retrieved[prefix - 1].point);
+    const double anchor_dist = geom::Distance(q, outcome->anchor);
+    EXPECT_GT(gamma + anchor_dist, tau - 1e-9)
+        << "client pulled a packet it did not need";
+  }
+}
+
+TEST_F(ClientTest, AnchorAtUserLocationStillWorks) {
+  // Degenerate privacy (dist(q,q') = 0) must still produce exact results.
+  Build(3000, 523);
+  SpaceTwistClient client(server_.get());
+  const geom::Point q{5000, 5000};
+  QueryParams params;
+  params.k = 3;
+  params.epsilon = 0.0;
+  auto outcome = client.Query(q, q, params);
+  ASSERT_TRUE(outcome.ok());
+  const auto expected = BruteForceKnnDistances(dataset_.points, q, 3);
+  ASSERT_EQ(outcome->neighbors.size(), 3u);
+  EXPECT_NEAR(outcome->neighbors.back().distance, expected.back(), 1e-9);
+}
+
+TEST_F(ClientTest, KLargerThanDatasetExhaustsAndReturnsAll) {
+  Build(10, 541);
+  SpaceTwistClient client(server_.get());
+  QueryParams params;
+  params.k = 50;
+  params.epsilon = 0.0;
+  Rng rng(5);
+  auto outcome = client.Query({5000, 5000}, params, &rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->stream_exhausted);
+  EXPECT_EQ(outcome->neighbors.size(), 10u);
+}
+
+TEST_F(ClientTest, LargerAnchorDistanceCostsMorePackets) {
+  Build(100000, 547);
+  SpaceTwistClient client(server_.get());
+  Rng rng(6);
+  double near_packets = 0;
+  double far_packets = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const geom::Point q{rng.Uniform(2000, 8000), rng.Uniform(2000, 8000)};
+    QueryParams params;
+    params.epsilon = 0.0;
+    params.anchor_distance = 100;
+    auto near = client.Query(q, params, &rng);
+    ASSERT_TRUE(near.ok());
+    near_packets += static_cast<double>(near->packets);
+    params.anchor_distance = 1500;
+    auto far = client.Query(q, params, &rng);
+    ASSERT_TRUE(far.ok());
+    far_packets += static_cast<double>(far->packets);
+  }
+  EXPECT_GT(far_packets, near_packets);
+}
+
+TEST_F(ClientTest, GranularSearchCutsCommunication) {
+  Build(200000, 557);
+  SpaceTwistClient client(server_.get());
+  Rng rng(7);
+  double exact_points = 0;
+  double granular_points = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const geom::Point q{rng.Uniform(2000, 8000), rng.Uniform(2000, 8000)};
+    QueryParams params;
+    params.anchor_distance = 500;
+    params.epsilon = 0.0;
+    auto exact = client.Query(q, params, &rng);
+    ASSERT_TRUE(exact.ok());
+    exact_points += static_cast<double>(exact->retrieved.size());
+    params.epsilon = 500.0;
+    auto granular = client.Query(q, params, &rng);
+    ASSERT_TRUE(granular.ok());
+    granular_points += static_cast<double>(granular->retrieved.size());
+  }
+  EXPECT_LT(granular_points, exact_points / 2);
+}
+
+TEST_F(ClientTest, RejectsBadParams) {
+  Build(100, 561);
+  SpaceTwistClient client(server_.get());
+  QueryParams params;
+  params.k = 0;
+  Rng rng(8);
+  EXPECT_TRUE(
+      client.Query({1, 1}, params, &rng).status().IsInvalidArgument());
+  params.k = 1;
+  params.epsilon = -5;
+  EXPECT_TRUE(
+      client.Query({1, 1}, params, &rng).status().IsInvalidArgument());
+}
+
+TEST_F(ClientTest, RetrievedIsAscendingFromAnchor) {
+  Build(20000, 563);
+  SpaceTwistClient client(server_.get());
+  Rng rng(9);
+  QueryParams params;
+  params.epsilon = 100;
+  params.anchor_distance = 400;
+  auto outcome = client.Query({3000, 3000}, params, &rng);
+  ASSERT_TRUE(outcome.ok());
+  double prev = -1;
+  for (const rtree::DataPoint& p : outcome->retrieved) {
+    const double d = geom::Distance(outcome->anchor, p.point);
+    EXPECT_GE(d, prev - 1e-9);
+    prev = d;
+  }
+  EXPECT_NEAR(outcome->tau, prev, 1e-9);
+}
+
+// ---------------------------------------------------------------- Anchor
+
+TEST(AnchorTest, RealizedDistanceIsRequested) {
+  Rng rng(10);
+  const geom::Rect domain{{0, 0}, {10000, 10000}};
+  for (int trial = 0; trial < 200; ++trial) {
+    const geom::Point q{rng.Uniform(1000, 9000), rng.Uniform(1000, 9000)};
+    const double d = rng.Uniform(10, 900);
+    const geom::Point anchor = GenerateAnchor(q, d, domain, &rng);
+    EXPECT_NEAR(geom::Distance(q, anchor), d, 1e-9);
+    EXPECT_TRUE(domain.Contains(anchor));
+  }
+}
+
+TEST(AnchorTest, CornerWithHugeDistanceClampsIntoDomain) {
+  Rng rng(11);
+  const geom::Rect domain{{0, 0}, {100, 100}};
+  const geom::Point anchor = GenerateAnchor({1, 1}, 1e6, domain, &rng);
+  EXPECT_TRUE(domain.Contains(anchor));
+}
+
+TEST(AnchorTest, RandomDirections) {
+  Rng rng(12);
+  const geom::Rect domain{{0, 0}, {10000, 10000}};
+  const geom::Point q{5000, 5000};
+  int quadrants[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 100; ++i) {
+    const geom::Point a = GenerateAnchor(q, 500, domain, &rng);
+    const int idx = (a.x >= q.x ? 1 : 0) + (a.y >= q.y ? 2 : 0);
+    quadrants[idx]++;
+  }
+  for (int c : quadrants) EXPECT_GT(c, 5);
+}
+
+}  // namespace
+}  // namespace spacetwist::core

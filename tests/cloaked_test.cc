@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/generator.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::server {
+namespace {
+
+class CloakedQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(20000, 211);
+    server_ = LbsServer::Build(dataset_).MoveValueOrDie();
+  }
+
+  std::vector<uint32_t> BruteForceKnnIds(const geom::Point& q, size_t k) {
+    std::vector<std::pair<double, uint32_t>> all;
+    for (const rtree::DataPoint& p : dataset_.points) {
+      all.push_back({geom::Distance(q, p.point), p.id});
+    }
+    std::sort(all.begin(), all.end());
+    std::vector<uint32_t> ids;
+    for (size_t i = 0; i < k && i < all.size(); ++i) {
+      ids.push_back(all[i].second);
+    }
+    return ids;
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<LbsServer> server_;
+};
+
+TEST_F(CloakedQueryTest, CandidatesContainKnnOfEveryLocationInCloak) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double x = rng.Uniform(500, 8500);
+    const double y = rng.Uniform(500, 8500);
+    const geom::Rect cloak{{x, y}, {x + 800, y + 800}};
+    const size_t k = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+    auto candidates = server_->CloakedQuery(cloak, k);
+    ASSERT_TRUE(candidates.ok());
+    std::vector<uint32_t> ids;
+    for (const rtree::DataPoint& p : *candidates) ids.push_back(p.id);
+    std::sort(ids.begin(), ids.end());
+
+    // Probe many locations inside the cloak: their true kNN must all be in
+    // the candidate set (this is the correctness contract of [4]).
+    for (int probe = 0; probe < 25; ++probe) {
+      const geom::Point q{rng.Uniform(cloak.min.x, cloak.max.x),
+                          rng.Uniform(cloak.min.y, cloak.max.y)};
+      for (const uint32_t id : BruteForceKnnIds(q, k)) {
+        EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), id))
+            << "kNN " << id << " missing from candidate set";
+      }
+    }
+  }
+}
+
+TEST_F(CloakedQueryTest, CandidateCountGrowsWithCloakExtent) {
+  const geom::Point center{5000, 5000};
+  size_t prev = 0;
+  for (const double half : {100.0, 400.0, 1000.0, 2000.0}) {
+    const geom::Rect cloak{{center.x - half, center.y - half},
+                           {center.x + half, center.y + half}};
+    auto candidates = server_->CloakedQuery(cloak, 1);
+    ASSERT_TRUE(candidates.ok());
+    EXPECT_GE(candidates->size(), prev);
+    prev = candidates->size();
+  }
+  // A 4000m cloak over a 20k-point uniform dataset covers ~16% of points.
+  EXPECT_GT(prev, 2500u);
+}
+
+TEST_F(CloakedQueryTest, CandidatesIncludeAllPointsInsideCloak) {
+  const geom::Rect cloak{{3000, 3000}, {4000, 4000}};
+  auto candidates = server_->CloakedQuery(cloak, 1);
+  ASSERT_TRUE(candidates.ok());
+  std::vector<uint32_t> ids;
+  for (const rtree::DataPoint& p : *candidates) ids.push_back(p.id);
+  std::sort(ids.begin(), ids.end());
+  for (const rtree::DataPoint& p : dataset_.points) {
+    if (cloak.Contains(p.point)) {
+      EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), p.id));
+    }
+  }
+}
+
+TEST_F(CloakedQueryTest, EmptyCloakRejected) {
+  EXPECT_TRUE(server_->CloakedQuery(geom::Rect::Empty(), 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CloakedQuerySmallTest, FewerPointsThanKReturnsEverything) {
+  datasets::Dataset tiny = datasets::GenerateUniform(5, 307);
+  auto server = LbsServer::Build(tiny).MoveValueOrDie();
+  auto candidates =
+      server->CloakedQuery(geom::Rect{{0, 0}, {100, 100}}, 10);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(candidates->size(), 5u);
+}
+
+}  // namespace
+}  // namespace spacetwist::server

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace spacetwist {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Exhausted("x").IsExhausted());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status s = Status::NotFound("missing page");
+  EXPECT_EQ(s.ToString(), "NotFound: missing page");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kExhausted), "Exhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+}
+
+namespace status_macros {
+
+Status FailWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Caller(int x) {
+  SPACETWIST_RETURN_NOT_OK(FailWhenNegative(x));
+  return Status::OK();
+}
+
+}  // namespace status_macros
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(status_macros::Caller(1).ok());
+  EXPECT_TRUE(status_macros::Caller(-1).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveValueOut) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  const std::string moved = r.MoveValueOrDie();
+  EXPECT_EQ(moved, "payload");
+}
+
+namespace result_macros {
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SPACETWIST_ASSIGN_OR_RETURN(int half, Half(x));
+  SPACETWIST_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+}  // namespace result_macros
+
+TEST(ResultTest, AssignOrReturnChains) {
+  Result<int> ok = result_macros::Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_TRUE(result_macros::Quarter(6).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-5.0, 10.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 10.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianHasRoughlyRequestedMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.Fork();
+  // The fork consumed one draw; both streams still work and differ.
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+TEST(RngTest, AngleWithinTwoPi) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.Angle();
+    EXPECT_GE(a, 0.0);
+    EXPECT_LT(a, 6.2832);
+  }
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringsTest, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StrFormat("%s", "hello"), "hello");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, StrFormatLongOutput) {
+  const std::string big(500, 'a');
+  EXPECT_EQ(StrFormat("%s!", big.c_str()).size(), 501u);
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------- env
+
+TEST(EnvTest, DefaultsWhenUnset) {
+  ::unsetenv("SPACETWIST_TEST_ENV_VAR");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SPACETWIST_TEST_ENV_VAR", 1.5), 1.5);
+  EXPECT_EQ(GetEnvInt("SPACETWIST_TEST_ENV_VAR", 7), 7);
+  EXPECT_EQ(GetEnvString("SPACETWIST_TEST_ENV_VAR", "d"), "d");
+}
+
+TEST(EnvTest, ParsesSetValues) {
+  ::setenv("SPACETWIST_TEST_ENV_VAR", "2.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SPACETWIST_TEST_ENV_VAR", 0.0), 2.25);
+  ::setenv("SPACETWIST_TEST_ENV_VAR", "42", 1);
+  EXPECT_EQ(GetEnvInt("SPACETWIST_TEST_ENV_VAR", 0), 42);
+  EXPECT_EQ(GetEnvString("SPACETWIST_TEST_ENV_VAR", ""), "42");
+  ::unsetenv("SPACETWIST_TEST_ENV_VAR");
+}
+
+TEST(EnvTest, FallsBackOnGarbage) {
+  ::setenv("SPACETWIST_TEST_ENV_VAR", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SPACETWIST_TEST_ENV_VAR", 9.0), 9.0);
+  EXPECT_EQ(GetEnvInt("SPACETWIST_TEST_ENV_VAR", 8), 8);
+  ::unsetenv("SPACETWIST_TEST_ENV_VAR");
+}
+
+}  // namespace
+}  // namespace spacetwist

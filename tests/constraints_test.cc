@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/spacetwist_client.h"
+#include "datasets/generator.h"
+#include "privacy/constraints.h"
+#include "privacy/observation.h"
+#include "privacy/region.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::privacy {
+namespace {
+
+class ConstraintsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(50000, 1201);
+    server_ = server::LbsServer::Build(dataset_).MoveValueOrDie();
+  }
+
+  Observation RunAndObserve(const geom::Point& q, Rng* rng) {
+    core::SpaceTwistClient client(server_.get());
+    core::QueryParams params;
+    params.epsilon = 200;
+    params.anchor_distance = 400;
+    auto outcome = client.Query(q, params, rng).MoveValueOrDie();
+    return MakeObservation(outcome, server_->domain());
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+};
+
+TEST_F(ConstraintsTest, NullModelMatchesPlainEstimate) {
+  Rng rng(1);
+  const geom::Point q{5000, 5000};
+  const Observation obs = RunAndObserve(q, &rng);
+  Rng mc1(9);
+  Rng mc2(9);
+  const PrivacyEstimate plain = EstimatePrivacy(obs, q, 20000, &mc1);
+  const PrivacyEstimate constrained =
+      EstimatePrivacyConstrained(obs, q, PrivacyModel(), 20000, &mc2);
+  EXPECT_DOUBLE_EQ(plain.privacy_value, constrained.privacy_value);
+  EXPECT_DOUBLE_EQ(plain.area, constrained.area);
+  EXPECT_EQ(plain.accepted, constrained.accepted);
+}
+
+TEST_F(ConstraintsTest, ExclusionShrinksTheRegion) {
+  Rng rng(2);
+  const geom::Point q{5000, 5000};
+  const Observation obs = RunAndObserve(q, &rng);
+
+  // Exclude a big rectangle overlapping part of the ring (the adversary
+  // knows nobody is in the lake there).
+  const PrivacyModel lake = ExcludeRegions(
+      {geom::Rect{{obs.anchor.x, obs.anchor.y - 2000},
+                  {obs.anchor.x + 2000, obs.anchor.y + 2000}}});
+  Rng mc1(11);
+  Rng mc2(11);
+  const PrivacyEstimate plain = EstimatePrivacy(obs, q, 40000, &mc1);
+  const PrivacyEstimate constrained =
+      EstimatePrivacyConstrained(obs, q, lake, 40000, &mc2);
+  EXPECT_LT(constrained.area, plain.area);
+  EXPECT_GT(constrained.accepted, 0u);
+}
+
+TEST_F(ConstraintsTest, ExcludeRegionsFeasibility) {
+  const PrivacyModel model =
+      ExcludeRegions({geom::Rect{{0, 0}, {10, 10}},
+                      geom::Rect{{20, 20}, {30, 30}}});
+  ASSERT_TRUE(model.feasible != nullptr);
+  EXPECT_FALSE(model.feasible({5, 5}));
+  EXPECT_FALSE(model.feasible({25, 25}));
+  EXPECT_TRUE(model.feasible({15, 15}));
+  EXPECT_TRUE(model.feasible({100, 100}));
+}
+
+TEST_F(ConstraintsTest, WeightingShiftsGammaTowardHeavyZones) {
+  Rng rng(3);
+  const geom::Point q{5000, 5000};
+  const Observation obs = RunAndObserve(q, &rng);
+
+  // Weight locations far from q heavily: the weighted Gamma must rise.
+  PrivacyModel far_heavy;
+  far_heavy.weight = [q](const geom::Point& z) {
+    return geom::Distance(z, q) > 400.0 ? 10.0 : 0.1;
+  };
+  PrivacyModel near_heavy;
+  near_heavy.weight = [q](const geom::Point& z) {
+    return geom::Distance(z, q) > 400.0 ? 0.1 : 10.0;
+  };
+  Rng mc1(13);
+  Rng mc2(13);
+  Rng mc3(13);
+  const double plain =
+      EstimatePrivacyConstrained(obs, q, PrivacyModel(), 40000, &mc1)
+          .privacy_value;
+  const double heavy_far =
+      EstimatePrivacyConstrained(obs, q, far_heavy, 40000, &mc2)
+          .privacy_value;
+  const double heavy_near =
+      EstimatePrivacyConstrained(obs, q, near_heavy, 40000, &mc3)
+          .privacy_value;
+  EXPECT_GT(heavy_far, plain);
+  EXPECT_LT(heavy_near, plain);
+}
+
+TEST_F(ConstraintsTest, FullyExcludedRegionYieldsEmptyEstimate) {
+  Rng rng(4);
+  const geom::Point q{5000, 5000};
+  const Observation obs = RunAndObserve(q, &rng);
+  const PrivacyModel everything =
+      ExcludeRegions({geom::Rect{{-1e9, -1e9}, {1e9, 1e9}}});
+  Rng mc(15);
+  const PrivacyEstimate estimate =
+      EstimatePrivacyConstrained(obs, q, everything, 5000, &mc);
+  EXPECT_EQ(estimate.accepted, 0u);
+  EXPECT_DOUBLE_EQ(estimate.privacy_value, 0.0);
+}
+
+}  // namespace
+}  // namespace spacetwist::privacy

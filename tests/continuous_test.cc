@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/continuous.h"
+#include "datasets/generator.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::core {
+namespace {
+
+class ContinuousTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(50000, 1101);
+    server_ = server::LbsServer::Build(dataset_).MoveValueOrDie();
+  }
+
+  double TrueKnnDistance(const geom::Point& q, size_t k) {
+    return server_->ExactKnn(q, k).ValueOrDie().back().distance;
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+};
+
+TEST_F(ContinuousTest, SessionBoundHoldsAlongTrajectory) {
+  ContinuousKnnSession::Options options;
+  options.k = 3;
+  options.epsilon = 400;
+  options.query_epsilon = 150;
+  Rng rng(1);
+  ContinuousKnnSession session(server_.get(), options, &rng);
+
+  geom::Point user{3000, 3000};
+  double heading = 0.3;
+  for (int step = 0; step < 60; ++step) {
+    heading += rng.Uniform(-0.5, 0.5);
+    user.x += 60 * std::cos(heading);
+    user.y += 60 * std::sin(heading);
+    auto result = session.Update(user);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->size(), 3u);
+    // The promised session-wide bound.
+    EXPECT_LE(result->back().distance,
+              TrueKnnDistance(user, 3) + options.epsilon + 1e-6)
+        << "step " << step;
+    // Distances are evaluated at the *current* location, ascending.
+    for (size_t i = 1; i < result->size(); ++i) {
+      EXPECT_GE((*result)[i].distance, (*result)[i - 1].distance);
+    }
+  }
+}
+
+TEST_F(ContinuousTest, CachesWhileWithinMovementBudget) {
+  ContinuousKnnSession::Options options;
+  options.k = 1;
+  options.epsilon = 500;
+  options.query_epsilon = 100;  // movement budget 200 m
+  Rng rng(2);
+  ContinuousKnnSession session(server_.get(), options, &rng);
+  EXPECT_DOUBLE_EQ(session.movement_budget(), 200.0);
+
+  geom::Point user{5000, 5000};
+  ASSERT_TRUE(session.Update(user).ok());
+  EXPECT_EQ(session.server_queries(), 1u);
+  // Small steps: all served from cache.
+  for (int i = 0; i < 5; ++i) {
+    user.x += 30;
+    ASSERT_TRUE(session.Update(user).ok());
+  }
+  EXPECT_EQ(session.server_queries(), 1u);
+  EXPECT_EQ(session.updates(), 6u);
+  // A jump beyond the budget forces a re-query.
+  user.x += 500;
+  ASSERT_TRUE(session.Update(user).ok());
+  EXPECT_EQ(session.server_queries(), 2u);
+}
+
+TEST_F(ContinuousTest, FarFewerServerQueriesThanUpdates) {
+  ContinuousKnnSession::Options options;
+  options.epsilon = 600;
+  options.query_epsilon = 200;
+  Rng rng(3);
+  ContinuousKnnSession session(server_.get(), options, &rng);
+  geom::Point user{2000, 8000};
+  for (int step = 0; step < 100; ++step) {
+    user.x += 20;  // 20 m per tick, budget 200 m -> ~1 query per 10 ticks
+    ASSERT_TRUE(session.Update(user).ok());
+  }
+  EXPECT_EQ(session.updates(), 100u);
+  EXPECT_LE(session.server_queries(), 15u);
+  EXPECT_GE(session.server_queries(), 8u);
+  EXPECT_GT(session.total_packets(), 0u);
+}
+
+TEST_F(ContinuousTest, StationaryUserQueriesOnce) {
+  ContinuousKnnSession::Options options;
+  options.epsilon = 300;
+  options.query_epsilon = 100;
+  Rng rng(4);
+  ContinuousKnnSession session(server_.get(), options, &rng);
+  const geom::Point user{4000, 4000};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(session.Update(user).ok());
+  }
+  EXPECT_EQ(session.server_queries(), 1u);
+}
+
+TEST_F(ContinuousTest, RejectsSlacklessOptions) {
+  ContinuousKnnSession::Options options;
+  options.epsilon = 100;
+  options.query_epsilon = 100;  // no movement budget
+  Rng rng(5);
+  EXPECT_DEATH(ContinuousKnnSession(server_.get(), options, &rng), "slack");
+}
+
+TEST_F(ContinuousTest, ExactSnapshotMode) {
+  // query_epsilon = 0 gives exact snapshots; the session bound is purely
+  // movement slack.
+  ContinuousKnnSession::Options options;
+  options.k = 2;
+  options.epsilon = 200;
+  options.query_epsilon = 0;
+  Rng rng(6);
+  ContinuousKnnSession session(server_.get(), options, &rng);
+  geom::Point user{6000, 6000};
+  auto first = session.Update(user);
+  ASSERT_TRUE(first.ok());
+  EXPECT_NEAR(first->back().distance, TrueKnnDistance(user, 2), 1e-9);
+  // Within budget (100 m) the cached answer still honors epsilon = 200.
+  user.x += 90;
+  auto second = session.Update(user);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(session.server_queries(), 1u);
+  EXPECT_LE(second->back().distance, TrueKnnDistance(user, 2) + 200 + 1e-6);
+}
+
+}  // namespace
+}  // namespace spacetwist::core

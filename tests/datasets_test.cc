@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "datasets/dataset.h"
+#include "datasets/generator.h"
+#include "datasets/io.h"
+#include "geom/grid.h"
+
+namespace spacetwist::datasets {
+namespace {
+
+TEST(GeneratorTest, UniformHasRequestedSizeAndBounds) {
+  const Dataset ds = GenerateUniform(5000, 1);
+  EXPECT_EQ(ds.size(), 5000u);
+  EXPECT_EQ(ds.name, "UI-5000");
+  for (const rtree::DataPoint& p : ds.points) {
+    EXPECT_TRUE(ds.domain.Contains(p.point));
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const Dataset a = GenerateUniform(1000, 7);
+  const Dataset b = GenerateUniform(1000, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.points[i], b.points[i]);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const Dataset a = GenerateUniform(100, 1);
+  const Dataset b = GenerateUniform(100, 2);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.points[i].point == b.points[i].point) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(GeneratorTest, IdsAreDenseAndOrdered) {
+  const Dataset ds = GenerateUniform(500, 3);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.points[i].id, static_cast<uint32_t>(i));
+  }
+}
+
+TEST(GeneratorTest, CoordinatesAreFloat32Exact) {
+  const Dataset ds = GenerateUniform(2000, 5);
+  for (const rtree::DataPoint& p : ds.points) {
+    EXPECT_EQ(p.point.x, static_cast<double>(static_cast<float>(p.point.x)));
+    EXPECT_EQ(p.point.y, static_cast<double>(static_cast<float>(p.point.y)));
+  }
+}
+
+/// Measures skew as the fraction of non-empty cells of a coarse grid: low
+/// fraction = clustered (skewed), high fraction = spread out.
+double OccupancyFraction(const Dataset& ds, double cell) {
+  geom::Grid grid(cell);
+  std::unordered_map<geom::GridCell, int, geom::GridCellHash> cells;
+  for (const rtree::DataPoint& p : ds.points) {
+    cells[grid.CellOf(p.point)]++;
+  }
+  const double total = (kDomainExtent / cell) * (kDomainExtent / cell);
+  return cells.size() / total;
+}
+
+TEST(GeneratorTest, ClusteredIsMoreSkewedThanUniform) {
+  const Dataset ui = GenerateUniform(50000, 11);
+  ClusterParams params;
+  params.num_clusters = 50;
+  params.sigma = 80;
+  params.background_fraction = 0.02;
+  const Dataset cl = GenerateClustered(50000, params, 11);
+  EXPECT_LT(OccupancyFraction(cl, 200), 0.7 * OccupancyFraction(ui, 200));
+}
+
+TEST(GeneratorTest, ScLikeIsMoreSkewedThanTgLike) {
+  // Use reduced sizes through the same process parameters for test speed.
+  ClusterParams sc;
+  sc.num_clusters = 250;
+  sc.sigma = 70;
+  sc.background_fraction = 0.02;
+  ClusterParams tg;
+  tg.num_clusters = 1200;
+  tg.sigma = 220;
+  tg.background_fraction = 0.12;
+  const Dataset a = GenerateClustered(60000, sc, 13);
+  const Dataset b = GenerateClustered(60000, tg, 13);
+  EXPECT_LT(OccupancyFraction(a, 200), OccupancyFraction(b, 200));
+}
+
+TEST(GeneratorTest, NamedDatasetsMatchPaperCardinalities) {
+  // Full-size generation is fast (no index building here).
+  const Dataset sc = MakeScLike(1);
+  EXPECT_EQ(sc.size(), kScCardinality);
+  EXPECT_EQ(sc.name, "SC");
+  const Dataset tg = MakeTgLike(1);
+  EXPECT_EQ(tg.size(), kTgCardinality);
+  EXPECT_EQ(tg.name, "TG");
+}
+
+TEST(GeneratorTest, ClusteredPointsStayInDomain) {
+  ClusterParams params;
+  params.num_clusters = 10;
+  params.sigma = 3000;  // wide: clamping must kick in
+  const Dataset ds = GenerateClustered(20000, params, 17);
+  for (const rtree::DataPoint& p : ds.points) {
+    EXPECT_TRUE(ds.domain.Contains(p.point));
+  }
+}
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  const Dataset original = GenerateUniform(1234, 21);
+  const std::string path = ::testing::TempDir() + "/st_dataset_rt.bin";
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->name, original.name);
+  EXPECT_EQ(loaded->domain, original.domain);
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->points[i], original.points[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadMissingFileFails) {
+  EXPECT_TRUE(LoadDataset("/nonexistent/path/ds.bin").status().IsIoError());
+}
+
+TEST(IoTest, LoadGarbageFails) {
+  const std::string path = ::testing::TempDir() + "/st_dataset_bad.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a dataset", f);
+  std::fclose(f);
+  EXPECT_TRUE(LoadDataset(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, DefaultDomainIsPaperDomain) {
+  const geom::Rect d = DefaultDomain();
+  EXPECT_DOUBLE_EQ(d.Width(), 10000.0);
+  EXPECT_DOUBLE_EQ(d.Height(), 10000.0);
+  EXPECT_DOUBLE_EQ(d.min.x, 0.0);
+}
+
+}  // namespace
+}  // namespace spacetwist::datasets

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "baselines/dummy_baseline.h"
+#include "common/rng.h"
+#include "datasets/generator.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::baselines {
+namespace {
+
+class DummyBaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(30000, 1801);
+    server_ = server::LbsServer::Build(dataset_).MoveValueOrDie();
+    client_ = std::make_unique<DummyLocationClient>(server_.get(),
+                                                    net::PacketConfig());
+  }
+
+  double TrueKnnDistance(const geom::Point& q, size_t k) {
+    return server_->ExactKnn(q, k).ValueOrDie().back().distance;
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+  std::unique_ptr<DummyLocationClient> client_;
+};
+
+TEST_F(DummyBaselineTest, AlwaysExact) {
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    const geom::Point q{rng.Uniform(500, 9500), rng.Uniform(500, 9500)};
+    const size_t k = 1 + static_cast<size_t>(rng.UniformInt(0, 4));
+    auto result = client_->Query(q, k, 8, 1000, &rng);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->neighbors.size(), k);
+    EXPECT_NEAR(result->neighbors.back().distance, TrueKnnDistance(q, k),
+                1e-9);
+  }
+}
+
+TEST_F(DummyBaselineTest, DisclosedSetContainsTrueLocationShuffled) {
+  Rng rng(2);
+  const geom::Point q{5000, 5000};
+  auto result = client_->Query(q, 1, 9, 800, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->disclosed.size(), 10u);
+  EXPECT_TRUE(std::find(result->disclosed.begin(), result->disclosed.end(),
+                        q) != result->disclosed.end());
+  // Over many runs the true location should not always sit first.
+  int first_count = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto r = client_->Query(q, 1, 9, 800, &rng);
+    ASSERT_TRUE(r.ok());
+    if (r->disclosed[0] == q) ++first_count;
+  }
+  EXPECT_LT(first_count, 15);
+}
+
+TEST_F(DummyBaselineTest, DummiesStayInsideDomain) {
+  Rng rng(3);
+  auto result = client_->Query({50, 50}, 1, 20, 5000, &rng);
+  ASSERT_TRUE(result.ok());
+  for (const geom::Point& p : result->disclosed) {
+    EXPECT_TRUE(server_->domain().Contains(p));
+  }
+}
+
+TEST_F(DummyBaselineTest, CostGrowsWithDummyCount) {
+  Rng rng(4);
+  const geom::Point q{5000, 5000};
+  double few = 0;
+  double many = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto a = client_->Query(q, 4, 2, 1500, &rng);
+    auto b = client_->Query(q, 4, 30, 1500, &rng);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    few += static_cast<double>(a->candidate_pois);
+    many += static_cast<double>(b->candidate_pois);
+  }
+  EXPECT_GT(many, 3 * few);
+}
+
+TEST_F(DummyBaselineTest, ZeroDummiesDegeneratesToPlainQuery) {
+  // Privacy-free mode: only the true location disclosed, exact answer.
+  Rng rng(5);
+  const geom::Point q{4000, 6000};
+  auto result = client_->Query(q, 3, 0, 100, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->disclosed.size(), 1u);
+  EXPECT_EQ(result->candidate_pois, 3u);
+  EXPECT_EQ(result->packets, 1u);
+}
+
+TEST_F(DummyBaselineTest, RejectsBadArguments) {
+  Rng rng(6);
+  EXPECT_TRUE(client_->Query({1, 1}, 0, 3, 100, &rng)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(client_->Query({1, 1}, 1, 3, 0, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spacetwist::baselines

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/spacetwist_client.h"
+#include "datasets/generator.h"
+#include "privacy/exact_region.h"
+#include "privacy/observation.h"
+#include "privacy/region.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::privacy {
+namespace {
+
+class ExactRegionTest : public ::testing::Test {
+ protected:
+  void Build(size_t n, uint64_t seed) {
+    dataset_ = datasets::GenerateUniform(n, seed);
+    server_ = server::LbsServer::Build(dataset_).MoveValueOrDie();
+  }
+
+  Observation MakeObs(const geom::Point& q, double anchor_dist,
+                      double epsilon, size_t beta, Rng* rng) {
+    core::SpaceTwistClient client(server_.get());
+    core::QueryParams params;
+    params.k = 1;
+    params.epsilon = epsilon;
+    params.anchor_distance = anchor_dist;
+    params.packet = net::PacketConfig::WithCapacity(beta);
+    auto outcome = client.Query(q, params, rng).MoveValueOrDie();
+    return MakeObservation(outcome, server_->domain());
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+};
+
+TEST_F(ExactRegionTest, RejectsKGreaterThanOne) {
+  Observation obs;
+  obs.k = 2;
+  obs.points = {{1, 1}};
+  obs.domain = geom::Rect{{0, 0}, {10, 10}};
+  EXPECT_TRUE(ExactPrivacyRegion::Build(obs).status().IsInvalidArgument());
+}
+
+TEST_F(ExactRegionTest, RejectsEmptyObservation) {
+  Observation obs;
+  obs.k = 1;
+  obs.domain = geom::Rect{{0, 0}, {10, 10}};
+  EXPECT_TRUE(ExactPrivacyRegion::Build(obs).status().IsInvalidArgument());
+}
+
+TEST_F(ExactRegionTest, GeometricMembershipMatchesInequalities) {
+  // The closed-form construction and the inequality definition describe the
+  // same set (a.e.); compare them on a dense random sample, skipping points
+  // within a hair of a region boundary.
+  Build(30000, 701);
+  Rng rng(1);
+  const geom::Point q{5000, 5000};
+  const Observation obs = MakeObs(q, 400, 0.0, 16, &rng);
+  ASSERT_GE(obs.packets(), 2u);
+
+  auto region = ExactPrivacyRegion::Build(obs);
+  ASSERT_TRUE(region.ok());
+
+  const double final_radius = obs.FinalRadius();
+  size_t compared = 0;
+  size_t agreements = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const geom::Point qc{
+        obs.anchor.x + rng.Uniform(-final_radius, final_radius),
+        obs.anchor.y + rng.Uniform(-final_radius, final_radius)};
+    if (!obs.domain.Contains(qc)) continue;
+    const bool by_inequalities = InPrivacyRegion(obs, qc);
+    const bool by_geometry = region->Contains(qc);
+    ++compared;
+    if (by_inequalities == by_geometry) ++agreements;
+  }
+  ASSERT_GT(compared, 1000u);
+  // Exact agreement up to boundary-touching samples.
+  EXPECT_GE(static_cast<double>(agreements) / compared, 0.999);
+}
+
+TEST_F(ExactRegionTest, AreaMatchesMonteCarlo) {
+  Build(30000, 707);
+  Rng rng(2);
+  const geom::Point q{4000, 6000};
+  const Observation obs = MakeObs(q, 300, 0.0, 8, &rng);
+  ASSERT_GE(obs.packets(), 2u);
+
+  auto region = ExactPrivacyRegion::Build(obs);
+  ASSERT_TRUE(region.ok());
+  const double exact_area = region->Area(5);
+
+  Rng mc(3);
+  const PrivacyEstimate estimate = EstimatePrivacy(obs, q, 200000, &mc);
+  ASSERT_GT(estimate.accepted, 100u);
+  EXPECT_NEAR(exact_area, estimate.area, 0.08 * estimate.area);
+}
+
+TEST_F(ExactRegionTest, PrivacyValueMatchesMonteCarlo) {
+  Build(30000, 709);
+  Rng rng(4);
+  const geom::Point q{6000, 4000};
+  const Observation obs = MakeObs(q, 500, 0.0, 8, &rng);
+  ASSERT_GE(obs.packets(), 2u);
+
+  auto region = ExactPrivacyRegion::Build(obs);
+  ASSERT_TRUE(region.ok());
+  const double exact_gamma = region->PrivacyValue(q, 5);
+
+  Rng mc(5);
+  const PrivacyEstimate estimate = EstimatePrivacy(obs, q, 200000, &mc);
+  ASSERT_GT(estimate.accepted, 100u);
+  EXPECT_NEAR(exact_gamma, estimate.privacy_value,
+              0.05 * estimate.privacy_value);
+}
+
+TEST_F(ExactRegionTest, TrueLocationInsideGeometricRegion) {
+  Build(20000, 719);
+  Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    const geom::Point q{rng.Uniform(2000, 8000), rng.Uniform(2000, 8000)};
+    const Observation obs = MakeObs(q, 300, 0.0, 8, &rng);
+    auto region = ExactPrivacyRegion::Build(obs);
+    ASSERT_TRUE(region.ok());
+    EXPECT_TRUE(region->Contains(q));
+  }
+}
+
+TEST_F(ExactRegionTest, PiecesLieWithinSupplyCircleAndDomain) {
+  Build(20000, 727);
+  Rng rng(7);
+  const geom::Point q{5000, 5000};
+  const Observation obs = MakeObs(q, 400, 0.0, 8, &rng);
+  auto region = ExactPrivacyRegion::Build(obs);
+  ASSERT_TRUE(region.ok());
+  EXPECT_FALSE(region->pieces().empty());
+  const double final_radius = obs.FinalRadius();
+  for (const ExactRegionPiece& piece : region->pieces()) {
+    for (const geom::Point& v : piece.polygon.vertices()) {
+      EXPECT_TRUE(obs.domain.Contains(v));
+      // Outer ellipse implies dist(v, anchor) <= final radius.
+      EXPECT_LE(geom::Distance(v, obs.anchor), final_radius + 1e-6);
+    }
+  }
+}
+
+TEST_F(ExactRegionTest, CoarserGranularityGrowsPrivacyValue) {
+  // Figure 6b: the same anchor distance at coarser granularity (larger
+  // epsilon) yields a wider ring, i.e. at least as much privacy.
+  Build(100000, 733);
+  Rng shared_rng(8);
+  const geom::Point q{5000, 5000};
+
+  const Observation fine = MakeObs(q, 300, 0.0, 8, &shared_rng);
+  const Observation coarse = MakeObs(q, 300, 600.0, 8, &shared_rng);
+  auto fine_region = ExactPrivacyRegion::Build(fine);
+  auto coarse_region = ExactPrivacyRegion::Build(coarse);
+  ASSERT_TRUE(fine_region.ok());
+  ASSERT_TRUE(coarse_region.ok());
+  EXPECT_GT(coarse_region->Area(4), fine_region->Area(4));
+}
+
+}  // namespace
+}  // namespace spacetwist::privacy

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/circle.h"
+#include "geom/ellipse.h"
+#include "geom/grid.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/rect.h"
+#include "geom/voronoi.h"
+
+namespace spacetwist::geom {
+namespace {
+
+/// Randomized geometric invariants, parameterized over seeds.
+class GeomPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeomPropertyTest, HalfPlaneClipPartitionsArea) {
+  // area(P) == area(P ∩ H) + area(P ∩ ~H) for any half-plane H.
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const ConvexPolygon poly = ConvexPolygon::FromRect(
+        Rect{{rng.Uniform(0, 50), rng.Uniform(0, 50)},
+             {rng.Uniform(50, 100), rng.Uniform(50, 100)}});
+    const HalfPlane hp{rng.Uniform(-1, 1), rng.Uniform(-1, 1),
+                       rng.Uniform(-50, 150)};
+    const HalfPlane complement{-hp.a, -hp.b, -hp.c};
+    const double inside = poly.ClipTo(hp).Area();
+    const double outside = poly.ClipTo(complement).Area();
+    EXPECT_NEAR(inside + outside, poly.Area(),
+                1e-6 * std::max(1.0, poly.Area()));
+  }
+}
+
+TEST_P(GeomPropertyTest, ClipNeverGrowsArea) {
+  Rng rng(GetParam() + 1);
+  ConvexPolygon poly = ConvexPolygon::FromRect({{0, 0}, {100, 100}});
+  double prev_area = poly.Area();
+  for (int i = 0; i < 20 && !poly.IsEmpty(); ++i) {
+    poly = poly.ClipTo(HalfPlane{rng.Uniform(-1, 1), rng.Uniform(-1, 1),
+                                 rng.Uniform(-20, 170)});
+    const double area = poly.Area();
+    EXPECT_LE(area, prev_area + 1e-9);
+    prev_area = area;
+  }
+}
+
+TEST_P(GeomPropertyTest, ClippedVerticesStayInsideOriginal) {
+  Rng rng(GetParam() + 2);
+  const ConvexPolygon original = ConvexPolygon::FromRect({{0, 0}, {80, 60}});
+  ConvexPolygon poly = original;
+  for (int i = 0; i < 6 && !poly.IsEmpty(); ++i) {
+    poly = poly.ClipTo(HalfPlane{rng.Uniform(-1, 1), rng.Uniform(-1, 1),
+                                 rng.Uniform(0, 120)});
+  }
+  for (const Point& v : poly.vertices()) {
+    EXPECT_TRUE(original.Contains(v));
+  }
+}
+
+TEST_P(GeomPropertyTest, EllipseContainsItsFociWheneverNonEmpty) {
+  Rng rng(GetParam() + 3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point a{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const Point b{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const double d = rng.Uniform(0, 250);
+    const EllipseRegion e(a, b, d);
+    if (e.IsEmpty()) {
+      EXPECT_LT(d, Distance(a, b));
+      continue;
+    }
+    EXPECT_TRUE(e.Contains(a));
+    EXPECT_TRUE(e.Contains(b));
+    EXPECT_TRUE(e.Contains(e.Center()));
+  }
+}
+
+TEST_P(GeomPropertyTest, EllipseMonotoneInDistanceSum) {
+  // F(a, b, d1) ⊆ F(a, b, d2) for d1 <= d2.
+  Rng rng(GetParam() + 4);
+  const Point a{20, 30};
+  const Point b{70, 60};
+  const EllipseRegion small(a, b, 80);
+  const EllipseRegion big(a, b, 120);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Point z{rng.Uniform(-20, 120), rng.Uniform(-20, 120)};
+    if (small.Contains(z)) {
+      EXPECT_TRUE(big.Contains(z));
+    }
+  }
+}
+
+TEST_P(GeomPropertyTest, GridCellsTileWithoutOverlapOrGap) {
+  Rng rng(GetParam() + 5);
+  const Grid grid(rng.Uniform(5, 50));
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point p{rng.Uniform(-500, 500), rng.Uniform(-500, 500)};
+    const GridCell cell = grid.CellOf(p);
+    const Rect r = grid.CellRect(cell);
+    EXPECT_TRUE(r.Contains(p));
+    // Neighboring cells share exactly the boundary.
+    const Rect right = grid.CellRect(GridCell{cell.ix + 1, cell.iy});
+    EXPECT_DOUBLE_EQ(r.max.x, right.min.x);
+  }
+}
+
+TEST_P(GeomPropertyTest, MinDistIsActuallyTheMinimum) {
+  Rng rng(GetParam() + 6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Rect r{{rng.Uniform(0, 40), rng.Uniform(0, 40)},
+                 {rng.Uniform(60, 100), rng.Uniform(60, 100)}};
+    const Point q{rng.Uniform(-50, 150), rng.Uniform(-50, 150)};
+    const double bound = MinDist(q, r);
+    double best = 1e18;
+    for (int i = 0; i < 300; ++i) {
+      const Point z{rng.Uniform(r.min.x, r.max.x),
+                    rng.Uniform(r.min.y, r.max.y)};
+      best = std::min(best, Distance(q, z));
+    }
+    EXPECT_LE(bound, best + 1e-9);
+    EXPECT_GE(bound, best - 0.2 * (r.Width() + r.Height()));
+  }
+}
+
+TEST_P(GeomPropertyTest, VoronoiCellsAreDisjointInteriors) {
+  Rng rng(GetParam() + 7);
+  const Rect domain{{0, 0}, {100, 100}};
+  std::vector<Point> sites;
+  for (int i = 0; i < 8; ++i) {
+    sites.push_back({rng.Uniform(5, 95), rng.Uniform(5, 95)});
+  }
+  std::vector<ConvexPolygon> cells;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    cells.push_back(VoronoiCell(sites, i, domain));
+  }
+  for (int trial = 0; trial < 500; ++trial) {
+    const Point z{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    int containing = 0;
+    for (const ConvexPolygon& cell : cells) {
+      if (cell.Contains(z)) ++containing;
+    }
+    // Almost every point is in exactly one cell; boundary points (measure
+    // zero, but Contains is tolerant) may count twice.
+    EXPECT_GE(containing, 1);
+    EXPECT_LE(containing, 2);
+  }
+}
+
+TEST_P(GeomPropertyTest, CircleCoversIsConsistentWithSampling) {
+  Rng rng(GetParam() + 8);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Circle outer{{rng.Uniform(0, 10), rng.Uniform(0, 10)},
+                       rng.Uniform(5, 20)};
+    const Circle inner{{rng.Uniform(0, 10), rng.Uniform(0, 10)},
+                       rng.Uniform(1, 10)};
+    if (!outer.Covers(inner)) continue;
+    // Every sampled point of the inner circle lies in the outer one.
+    for (int i = 0; i < 50; ++i) {
+      const double theta = rng.Angle();
+      const double radius = inner.radius * std::sqrt(rng.Uniform(0, 1));
+      const Point z{inner.center.x + radius * std::cos(theta),
+                    inner.center.y + radius * std::sin(theta)};
+      EXPECT_TRUE(outer.Contains(z));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeomPropertyTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace spacetwist::geom

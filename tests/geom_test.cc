@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "geom/circle.h"
+#include "geom/ellipse.h"
+#include "geom/grid.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/voronoi.h"
+
+namespace spacetwist::geom {
+namespace {
+
+// ---------------------------------------------------------------- Point
+
+TEST(PointTest, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(PointTest, DistanceIsSymmetric) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Point a{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const Point b{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+  }
+}
+
+TEST(PointTest, TriangleInequality) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Point a{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const Point b{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const Point c{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    EXPECT_LE(Distance(a, c), Distance(a, b) + Distance(b, c) + 1e-9);
+  }
+}
+
+TEST(PointTest, VectorOps) {
+  const Point a{1, 2};
+  const Point b{3, -1};
+  EXPECT_EQ(a + b, (Point{4, 1}));
+  EXPECT_EQ(a - b, (Point{-2, 3}));
+  EXPECT_EQ(a * 2.0, (Point{2, 4}));
+  EXPECT_DOUBLE_EQ(Dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Cross(a, b), -7.0);
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+}
+
+// ---------------------------------------------------------------- Rect
+
+TEST(RectTest, EmptyBehaves) {
+  Rect e = Rect::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_DOUBLE_EQ(e.Area(), 0.0);
+  e.Expand(Point{1, 2});
+  EXPECT_FALSE(e.IsEmpty());
+  EXPECT_EQ(e, Rect::FromPoint({1, 2}));
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  const Rect r{{0, 0}, {10, 10}};
+  EXPECT_TRUE(r.Contains(Point{5, 5}));
+  EXPECT_TRUE(r.Contains(Point{0, 0}));
+  EXPECT_TRUE(r.Contains(Point{10, 10}));
+  EXPECT_FALSE(r.Contains(Point{10.01, 5}));
+  EXPECT_TRUE(r.Intersects(Rect{{9, 9}, {12, 12}}));
+  EXPECT_FALSE(r.Intersects(Rect{{11, 11}, {12, 12}}));
+  EXPECT_TRUE(r.Contains(Rect{{1, 1}, {2, 2}}));
+  EXPECT_FALSE(r.Contains(Rect{{1, 1}, {11, 2}}));
+}
+
+TEST(RectTest, UnionIntersection) {
+  const Rect a{{0, 0}, {4, 4}};
+  const Rect b{{2, 2}, {6, 6}};
+  EXPECT_EQ(a.Union(b), (Rect{{0, 0}, {6, 6}}));
+  EXPECT_EQ(a.Intersection(b), (Rect{{2, 2}, {4, 4}}));
+  EXPECT_TRUE(a.Intersection(Rect{{5, 5}, {6, 6}}).IsEmpty());
+}
+
+TEST(RectTest, GeometryMeasures) {
+  const Rect r{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.Perimeter(), 14.0);
+  EXPECT_EQ(r.Center(), (Point{1.5, 2}));
+  EXPECT_DOUBLE_EQ(r.HalfDiagonal(), 2.5);
+}
+
+TEST(RectTest, MinDistMaxDistKnownValues) {
+  const Rect r{{0, 0}, {10, 10}};
+  EXPECT_DOUBLE_EQ(MinDist(Point{5, 5}, r), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(MinDist(Point{-3, 4}, r), 3.0);  // left of
+  EXPECT_DOUBLE_EQ(MinDist(Point{13, 14}, r), 5.0); // corner
+  EXPECT_DOUBLE_EQ(MaxDist(Point{0, 0}, r), std::sqrt(200.0));
+  EXPECT_DOUBLE_EQ(MaxDist(Point{5, 5}, r), std::sqrt(50.0));
+}
+
+TEST(RectTest, MinMaxDistBracketAllInteriorPoints) {
+  Rng rng(3);
+  const Rect r{{20, 30}, {60, 80}};
+  for (int i = 0; i < 200; ++i) {
+    const Point q{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const double lo = MinDist(q, r);
+    const double hi = MaxDist(q, r);
+    for (int j = 0; j < 20; ++j) {
+      const Point z{rng.Uniform(r.min.x, r.max.x),
+                    rng.Uniform(r.min.y, r.max.y)};
+      const double d = Distance(q, z);
+      EXPECT_GE(d, lo - 1e-9);
+      EXPECT_LE(d, hi + 1e-9);
+    }
+  }
+}
+
+TEST(RectTest, RectRectMinDist) {
+  const Rect a{{0, 0}, {2, 2}};
+  EXPECT_DOUBLE_EQ(MinDist(a, Rect{{1, 1}, {3, 3}}), 0.0);
+  EXPECT_DOUBLE_EQ(MinDist(a, Rect{{5, 0}, {6, 2}}), 3.0);
+  EXPECT_DOUBLE_EQ(MinDist(a, Rect{{5, 6}, {7, 8}}), 5.0);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(MinDist(Rect{{5, 6}, {7, 8}}, a), 5.0);
+}
+
+// ---------------------------------------------------------------- Circle
+
+TEST(CircleTest, ContainsAndCovers) {
+  const Circle c{{0, 0}, 10};
+  EXPECT_TRUE(c.Contains(Point{6, 8}));
+  EXPECT_FALSE(c.Contains(Point{8, 8}));
+  EXPECT_TRUE(c.Covers(Circle{{3, 0}, 7.0}));
+  EXPECT_FALSE(c.Covers(Circle{{3, 0}, 7.1}));
+  // SpaceTwist termination: dist(centers) + r_demand <= r_supply.
+  EXPECT_TRUE(c.Covers(Circle{{0, 0}, 10.0}));
+}
+
+TEST(CircleTest, BoundingBoxAndArea) {
+  const Circle c{{5, 5}, 2};
+  EXPECT_EQ(c.BoundingBox(), (Rect{{3, 3}, {7, 7}}));
+  EXPECT_NEAR(c.Area(), 4 * std::numbers::pi, 1e-12);
+}
+
+// ---------------------------------------------------------------- Ellipse
+
+TEST(EllipseTest, DegenerateCircleWhenFociCoincide) {
+  const EllipseRegion e({5, 5}, {5, 5}, 8.0);
+  EXPECT_FALSE(e.IsEmpty());
+  EXPECT_DOUBLE_EQ(e.SemiMajor(), 4.0);
+  EXPECT_DOUBLE_EQ(e.SemiMinor(), 4.0);
+  EXPECT_TRUE(e.Contains({5, 9}));
+  EXPECT_FALSE(e.Contains({5, 9.01}));
+}
+
+TEST(EllipseTest, EmptyWhenSumBelowFocalDistance) {
+  const EllipseRegion e({0, 0}, {10, 0}, 9.0);
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_FALSE(e.Contains({5, 0}));
+  EXPECT_DOUBLE_EQ(e.Area(), 0.0);
+  EXPECT_TRUE(e.BoundaryPolygon(64).empty());
+}
+
+TEST(EllipseTest, MembershipMatchesDefinition) {
+  const Point a{2, 3};
+  const Point b{8, 5};
+  const double d = 12.0;
+  const EllipseRegion e(a, b, d);
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const Point z{rng.Uniform(-5, 15), rng.Uniform(-5, 15)};
+    const bool expected = Distance(z, a) + Distance(z, b) <= d;
+    EXPECT_EQ(e.Contains(z), expected);
+  }
+}
+
+TEST(EllipseTest, BoundaryPolygonLiesOnBoundary) {
+  const Point a{0, 0};
+  const Point b{6, 0};
+  const EllipseRegion e(a, b, 10.0);
+  for (const Point& v : e.BoundaryPolygon(64)) {
+    EXPECT_NEAR(Distance(v, a) + Distance(v, b), 10.0, 1e-9);
+  }
+}
+
+TEST(EllipseTest, BoundingBoxContainsBoundary) {
+  const EllipseRegion e({1, 2}, {7, 9}, 15.0);
+  const Rect box = e.BoundingBox();
+  for (const Point& v : e.BoundaryPolygon(128)) {
+    EXPECT_TRUE(box.Contains(v)) << v.x << "," << v.y;
+  }
+}
+
+TEST(EllipseTest, AreaMatchesAxes) {
+  const EllipseRegion e({0, 0}, {6, 0}, 10.0);
+  // a = 5, c = 3 -> b = 4.
+  EXPECT_NEAR(e.Area(), std::numbers::pi * 5.0 * 4.0, 1e-9);
+}
+
+TEST(EllipseTest, RotatedEllipseMembershipAgainstSampling) {
+  const EllipseRegion e({0, 0}, {3, 4}, 9.0);
+  Rng rng(5);
+  // Monte-Carlo area vs closed form.
+  const Rect box = e.BoundingBox();
+  int inside = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const Point z{rng.Uniform(box.min.x, box.max.x),
+                  rng.Uniform(box.min.y, box.max.y)};
+    if (e.Contains(z)) ++inside;
+  }
+  const double mc_area = box.Area() * inside / n;
+  EXPECT_NEAR(mc_area, e.Area(), 0.03 * e.Area());
+}
+
+// ---------------------------------------------------------------- Grid
+
+TEST(GridTest, CellOfAndCellRectRoundTrip) {
+  const Grid grid(100.0);
+  const GridCell c = grid.CellOf({250, 999});
+  EXPECT_EQ(c.ix, 2);
+  EXPECT_EQ(c.iy, 9);
+  const Rect r = grid.CellRect(c);
+  EXPECT_EQ(r, (Rect{{200, 900}, {300, 1000}}));
+  EXPECT_TRUE(r.Contains(Point{250, 999}));
+}
+
+TEST(GridTest, NegativeCoordinatesFloorCorrectly) {
+  const Grid grid(10.0);
+  EXPECT_EQ(grid.CellOf({-0.5, -10.0}).ix, -1);
+  EXPECT_EQ(grid.CellOf({-0.5, -10.0}).iy, -1);
+  EXPECT_EQ(grid.CellOf({0.0, 0.0}).ix, 0);
+}
+
+TEST(GridTest, PointIsInsideItsCellRect) {
+  const Grid grid(37.5);
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.Uniform(-1000, 1000), rng.Uniform(-1000, 1000)};
+    EXPECT_TRUE(grid.CellRect(grid.CellOf(p)).Contains(p));
+  }
+}
+
+TEST(GridTest, ForEachCellOverlappingVisitsExactCover) {
+  const Grid grid(10.0);
+  const Rect r{{5, 5}, {25, 15}};
+  int visited = 0;
+  EXPECT_TRUE(grid.ForEachCellOverlapping(r, [&](const GridCell& c) {
+    ++visited;
+    EXPECT_TRUE(grid.CellRect(c).Intersects(r));
+    return true;
+  }));
+  EXPECT_EQ(visited, 3 * 2);
+  EXPECT_EQ(grid.CountCellsOverlapping(r), 6);
+}
+
+TEST(GridTest, ForEachStopsEarlyOnFalse) {
+  const Grid grid(10.0);
+  int visited = 0;
+  EXPECT_FALSE(grid.ForEachCellOverlapping(Rect{{0, 0}, {100, 100}},
+                                           [&](const GridCell&) {
+                                             ++visited;
+                                             return visited < 3;
+                                           }));
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(GridTest, ForEachRespectsMaxCells) {
+  const Grid grid(1.0);
+  int visited = 0;
+  EXPECT_FALSE(grid.ForEachCellOverlapping(
+      Rect{{0, 0}, {1000, 1000}},
+      [&](const GridCell&) {
+        ++visited;
+        return true;
+      },
+      100));
+  EXPECT_EQ(visited, 0);  // bails before visiting when the span is too big
+}
+
+TEST(GridCellTest, HashDistinguishesNeighbors) {
+  GridCellHash hash;
+  EXPECT_NE(hash(GridCell{0, 1}), hash(GridCell{1, 0}));
+  EXPECT_EQ(hash(GridCell{3, 4}), hash(GridCell{3, 4}));
+}
+
+// ---------------------------------------------------------------- Voronoi
+
+TEST(VoronoiTest, NearestSiteBruteForce) {
+  const std::vector<Point> sites = {{0, 0}, {10, 0}, {5, 10}};
+  EXPECT_EQ(NearestSite(sites, {1, 1}), 0u);
+  EXPECT_EQ(NearestSite(sites, {9, 1}), 1u);
+  EXPECT_EQ(NearestSite(sites, {5, 9}), 2u);
+}
+
+TEST(VoronoiTest, CellContainsExactlyItsDominanceRegion) {
+  const Rect domain{{0, 0}, {100, 100}};
+  Rng rng(7);
+  std::vector<Point> sites;
+  for (int i = 0; i < 12; ++i) {
+    sites.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  std::vector<ConvexPolygon> cells;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    cells.push_back(VoronoiCell(sites, i, domain));
+  }
+  for (int trial = 0; trial < 1000; ++trial) {
+    const Point z{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const size_t owner = NearestSite(sites, z);
+    EXPECT_TRUE(cells[owner].Contains(z))
+        << "owner cell must contain the point";
+  }
+}
+
+TEST(VoronoiTest, CellsPartitionTheDomainArea) {
+  const Rect domain{{0, 0}, {100, 100}};
+  Rng rng(8);
+  std::vector<Point> sites;
+  for (int i = 0; i < 9; ++i) {
+    sites.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    total += VoronoiCell(sites, i, domain).Area();
+  }
+  EXPECT_NEAR(total, domain.Area(), 1e-6 * domain.Area());
+}
+
+TEST(VoronoiTest, SingleSiteOwnsWholeDomain) {
+  const Rect domain{{0, 0}, {50, 50}};
+  const std::vector<Point> sites = {{10, 10}};
+  EXPECT_NEAR(VoronoiCell(sites, 0, domain).Area(), domain.Area(), 1e-9);
+}
+
+TEST(VoronoiTest, DuplicateSitesDoNotCrash) {
+  const Rect domain{{0, 0}, {50, 50}};
+  const std::vector<Point> sites = {{10, 10}, {10, 10}, {40, 40}};
+  const ConvexPolygon cell = VoronoiCell(sites, 0, domain);
+  EXPECT_FALSE(cell.IsEmpty());
+}
+
+}  // namespace
+}  // namespace spacetwist::geom

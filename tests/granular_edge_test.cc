@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/generator.h"
+#include "geom/grid.h"
+#include "net/channel.h"
+#include "rtree/bulk_load.h"
+#include "rtree/inn_cursor.h"
+#include "server/granular_inn.h"
+#include "storage/pager.h"
+
+namespace spacetwist::server {
+namespace {
+
+/// Edge conditions for the granular search: heavy skew, duplicate
+/// locations, anchors outside the domain, and degenerate datasets.
+
+std::unique_ptr<rtree::RTree> BuildTree(
+    storage::Pager* pager, const std::vector<rtree::DataPoint>& points) {
+  return rtree::BulkLoad(pager, rtree::BulkLoadOptions(), points)
+      .MoveValueOrDie();
+}
+
+TEST(GranularEdgeTest, DuplicateLocationsRespectPerCellBudget) {
+  // 500 POIs at the exact same spot (a mall directory): with k = 3 the
+  // stream must report exactly 3 of them, then everything else.
+  std::vector<rtree::DataPoint> points;
+  for (uint32_t i = 0; i < 500; ++i) {
+    points.push_back({{5000.0, 5000.0}, i});
+  }
+  for (uint32_t i = 0; i < 100; ++i) {
+    points.push_back({{100.0 + i * 7, 200.0 + i * 11}, 1000 + i});
+  }
+  storage::Pager pager;
+  auto tree = BuildTree(&pager, points);
+  GranularInnStream stream(tree.get(), {5000, 5000}, 300.0, 3);
+  size_t at_mall = 0;
+  size_t total = 0;
+  while (true) {
+    auto next = stream.Next();
+    if (!next.ok()) break;
+    ++total;
+    if (next->point == geom::Point{5000.0, 5000.0}) ++at_mall;
+  }
+  EXPECT_EQ(at_mall, 3u);
+  EXPECT_LE(total, 103u);
+}
+
+TEST(GranularEdgeTest, HeavySkewEquivalenceAsMultiset) {
+  // On clustered data with boundary clamping, equal distances can occur;
+  // compare the granular stream to the reference filter as a distance
+  // multiset rather than an exact sequence.
+  datasets::ClusterParams params;
+  params.num_clusters = 15;
+  params.sigma = 40.0;
+  params.background_fraction = 0.0;
+  const datasets::Dataset ds = datasets::GenerateClustered(15000, params,
+                                                           2101);
+  storage::Pager pager;
+  auto tree = BuildTree(&pager, ds.points);
+  const geom::Point anchor{5000, 5000};
+  const double epsilon = 200.0;
+
+  GranularInnStream stream(tree.get(), anchor, epsilon, 2);
+  std::vector<double> got;
+  while (true) {
+    auto next = stream.Next();
+    if (!next.ok()) break;
+    got.push_back(geom::Distance(anchor, next->point));
+  }
+
+  // Reference: plain INN + first-2-per-cell filter.
+  geom::Grid grid(epsilon / std::sqrt(2.0));
+  std::unordered_map<geom::GridCell, size_t, geom::GridCellHash> counts;
+  rtree::InnCursor cursor(tree.get(), anchor);
+  std::vector<double> expected;
+  while (true) {
+    auto next = cursor.Next();
+    if (!next.ok()) break;
+    size_t& c = counts[grid.CellOf(next->point.point)];
+    if (c >= 2) continue;
+    ++c;
+    expected.push_back(next->distance);
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  std::sort(got.begin(), got.end());
+  std::sort(expected.begin(), expected.end());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-9);
+  }
+}
+
+TEST(GranularEdgeTest, AnchorFarOutsideDomain) {
+  const datasets::Dataset ds = datasets::GenerateUniform(5000, 2103);
+  storage::Pager pager;
+  auto tree = BuildTree(&pager, ds.points);
+  GranularInnStream stream(tree.get(), {-30000, 50000}, 500.0, 1);
+  double prev = -1;
+  size_t count = 0;
+  while (true) {
+    auto next = stream.Next();
+    if (!next.ok()) break;
+    const double d = geom::Distance({-30000, 50000}, next->point);
+    EXPECT_GE(d, prev - 1e-9);
+    prev = d;
+    ++count;
+  }
+  EXPECT_GT(count, 0u);
+}
+
+TEST(GranularEdgeTest, SinglePointDataset) {
+  storage::Pager pager;
+  auto tree = BuildTree(&pager, {{{42.0, 43.0}, 7}});
+  GranularInnStream stream(tree.get(), {0, 0}, 100.0, 4);
+  auto first = stream.Next();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->id, 7u);
+  EXPECT_TRUE(stream.Next().status().IsExhausted());
+}
+
+TEST(GranularEdgeTest, TinyEpsilonBehavesLikeExact) {
+  // Epsilon smaller than any inter-point gap: no point shares a cell, so
+  // the granular stream returns everything.
+  const datasets::Dataset ds = datasets::GenerateUniform(2000, 2107);
+  storage::Pager pager;
+  auto tree = BuildTree(&pager, ds.points);
+  GranularInnStream stream(tree.get(), {5000, 5000}, 1e-3, 1);
+  size_t count = 0;
+  while (stream.Next().ok()) ++count;
+  EXPECT_EQ(count, 2000u);
+}
+
+// ---------------------------------------------------------------- channel
+
+/// PointSource that fails with an internal error after a few points.
+class FlakySource : public net::PointSource {
+ public:
+  Result<rtree::DataPoint> Next() override {
+    if (++calls_ > 3) return Status::Internal("disk on fire");
+    return rtree::DataPoint{{1.0 * calls_, 0.0},
+                            static_cast<uint32_t>(calls_)};
+  }
+
+ private:
+  int calls_ = 0;
+};
+
+TEST(ChannelErrorTest, NonExhaustionErrorsPropagate) {
+  FlakySource source;
+  net::PacketChannel channel(&source, net::PacketConfig::WithCapacity(10));
+  auto packet = channel.NextPacket();
+  ASSERT_FALSE(packet.ok());
+  EXPECT_TRUE(packet.status().IsInternal());
+  // The error is not sticky-exhausted; stats did not count a packet.
+  EXPECT_EQ(channel.stats().downlink_packets, 0u);
+}
+
+}  // namespace
+}  // namespace spacetwist::server

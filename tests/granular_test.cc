@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/generator.h"
+#include "geom/grid.h"
+#include "rtree/bulk_load.h"
+#include "rtree/inn_cursor.h"
+#include "server/granular_inn.h"
+#include "storage/pager.h"
+
+namespace spacetwist::server {
+namespace {
+
+struct Fixture {
+  explicit Fixture(const datasets::Dataset& ds) {
+    dataset = ds;
+    tree = rtree::BulkLoad(&pager, rtree::BulkLoadOptions(), ds.points)
+               .MoveValueOrDie();
+  }
+
+  datasets::Dataset dataset;
+  storage::Pager pager;
+  std::unique_ptr<rtree::RTree> tree;
+};
+
+/// Reference implementation: filter the plain INN stream, keeping the first
+/// k points per grid cell. GranularInnStream must be output-equivalent.
+std::vector<rtree::DataPoint> NaiveGranular(rtree::RTree* tree,
+                                            const geom::Point& anchor,
+                                            double epsilon, size_t k,
+                                            size_t limit) {
+  std::vector<rtree::DataPoint> out;
+  rtree::InnCursor cursor(tree, anchor);
+  if (epsilon <= 0.0) {
+    while (out.size() < limit) {
+      auto next = cursor.Next();
+      if (!next.ok()) break;
+      out.push_back(next->point);
+    }
+    return out;
+  }
+  geom::Grid grid(epsilon / std::sqrt(2.0));
+  std::unordered_map<geom::GridCell, size_t, geom::GridCellHash> counts;
+  while (out.size() < limit) {
+    auto next = cursor.Next();
+    if (!next.ok()) break;
+    size_t& count = counts[grid.CellOf(next->point.point)];
+    if (count >= k) continue;
+    ++count;
+    out.push_back(next->point);
+  }
+  return out;
+}
+
+class GranularEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t>> {};
+
+TEST_P(GranularEquivalenceTest, MatchesNaiveFilterOfInnStream) {
+  const auto [epsilon, k] = GetParam();
+  Fixture fx(datasets::GenerateUniform(8000, 101));
+  const geom::Point anchor{4321, 5678};
+
+  GranularInnStream stream(fx.tree.get(), anchor, epsilon, k);
+  std::vector<rtree::DataPoint> got;
+  for (int i = 0; i < 500; ++i) {
+    auto next = stream.Next();
+    if (!next.ok()) {
+      EXPECT_TRUE(next.status().IsExhausted());
+      break;
+    }
+    got.push_back(*next);
+  }
+  const std::vector<rtree::DataPoint> expected =
+      NaiveGranular(fx.tree.get(), anchor, epsilon, k, got.size());
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GranularEquivalenceTest,
+    ::testing::Combine(::testing::Values(0.0, 50.0, 200.0, 1000.0),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+TEST(GranularInnTest, OutputIsInAscendingAnchorDistance) {
+  Fixture fx(datasets::GenerateUniform(5000, 103));
+  GranularInnStream stream(fx.tree.get(), {2000, 2000}, 300.0, 1);
+  double prev = -1.0;
+  for (int i = 0; i < 300; ++i) {
+    auto next = stream.Next();
+    if (!next.ok()) break;
+    const double d = geom::Distance({2000, 2000}, next->point);
+    EXPECT_GE(d, prev - 1e-9);
+    EXPECT_NEAR(stream.last_report_distance(), d, 1e-9);
+    prev = d;
+  }
+}
+
+TEST(GranularInnTest, AtMostKPointsPerCell) {
+  const double epsilon = 400.0;
+  const size_t k = 3;
+  Fixture fx(datasets::GenerateUniform(20000, 107));
+  GranularInnStream stream(fx.tree.get(), {5000, 5000}, epsilon, k);
+  geom::Grid grid(epsilon / std::sqrt(2.0));
+  std::unordered_map<geom::GridCell, size_t, geom::GridCellHash> counts;
+  while (true) {
+    auto next = stream.Next();
+    if (!next.ok()) break;
+    const size_t count = ++counts[grid.CellOf(next->point)];
+    EXPECT_LE(count, k);
+  }
+}
+
+TEST(GranularInnTest, EpsilonRelaxedGuaranteeLemma2) {
+  // For any location q, the best reported point is within sqrt(2)*lambda =
+  // epsilon of q's true NN distance.
+  Fixture fx(datasets::GenerateClustered(
+      30000, datasets::ClusterParams{120, 150.0, 0.05}, 109));
+  const double epsilon = 250.0;
+  const geom::Point anchor{3000, 7000};
+
+  GranularInnStream stream(fx.tree.get(), anchor, epsilon, 1);
+  std::vector<rtree::DataPoint> reported;
+  while (true) {
+    auto next = stream.Next();
+    if (!next.ok()) break;
+    reported.push_back(*next);
+  }
+  ASSERT_FALSE(reported.empty());
+
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    double best_reported = 1e18;
+    for (const rtree::DataPoint& p : reported) {
+      best_reported = std::min(best_reported, geom::Distance(q, p.point));
+    }
+    double best_true = 1e18;
+    for (const rtree::DataPoint& p : fx.dataset.points) {
+      best_true = std::min(best_true, geom::Distance(q, p.point));
+    }
+    EXPECT_LE(best_reported, best_true + epsilon + 1e-6);
+  }
+}
+
+TEST(GranularInnTest, EpsilonZeroStreamsWholeDataset) {
+  Fixture fx(datasets::GenerateUniform(3000, 113));
+  GranularInnStream stream(fx.tree.get(), {1, 1}, 0.0, 1);
+  size_t count = 0;
+  while (stream.Next().ok()) ++count;
+  EXPECT_EQ(count, 3000u);
+}
+
+TEST(GranularInnTest, LargeEpsilonReportsFarFewerPoints) {
+  Fixture fx(datasets::GenerateUniform(20000, 127));
+  GranularInnStream coarse(fx.tree.get(), {5000, 5000}, 2000.0, 1);
+  size_t coarse_count = 0;
+  while (coarse.Next().ok()) ++coarse_count;
+  // 10000/lambda cells per axis; lambda = 2000/sqrt(2) ~ 1414 -> <= 8x8
+  // (+ boundary) cells, one point each.
+  EXPECT_LE(coarse_count, 100u);
+  EXPECT_GE(coarse_count, 25u);
+}
+
+TEST(GranularInnTest, LazyEvictionBoundsLiveCells) {
+  Fixture fx(datasets::GenerateUniform(50000, 131));
+  GranularOptions with_eviction;
+  with_eviction.lazy_eviction = true;
+  GranularOptions without_eviction;
+  without_eviction.lazy_eviction = false;
+
+  GranularInnStream a(fx.tree.get(), {5000, 5000}, 150.0, 1, with_eviction);
+  GranularInnStream b(fx.tree.get(), {5000, 5000}, 150.0, 1,
+                      without_eviction);
+  std::vector<rtree::DataPoint> out_a, out_b;
+  while (true) {
+    auto next = a.Next();
+    if (!next.ok()) break;
+    out_a.push_back(*next);
+  }
+  while (true) {
+    auto next = b.Next();
+    if (!next.ok()) break;
+    out_b.push_back(*next);
+  }
+  // The memory optimization never changes the output...
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (size_t i = 0; i < out_a.size(); ++i) EXPECT_EQ(out_a[i], out_b[i]);
+  // ...but does evict cells and keeps the live set strictly smaller.
+  EXPECT_GT(a.cells_evicted(), 0u);
+  EXPECT_EQ(b.cells_evicted(), 0u);
+  EXPECT_LT(a.peak_live_cells(), b.peak_live_cells());
+}
+
+TEST(GranularInnTest, KnnVariantKeepsKPerCellNotJustOne) {
+  Fixture fx(datasets::GenerateUniform(10000, 137));
+  GranularInnStream k1(fx.tree.get(), {5000, 5000}, 800.0, 1);
+  GranularInnStream k4(fx.tree.get(), {5000, 5000}, 800.0, 4);
+  size_t count1 = 0, count4 = 0;
+  while (k1.Next().ok()) ++count1;
+  while (k4.Next().ok()) ++count4;
+  EXPECT_GT(count4, count1);
+  EXPECT_LE(count4, 4 * count1);
+}
+
+TEST(GranularInnTest, EmptyTreeExhausts) {
+  storage::Pager pager;
+  auto tree = rtree::RTree::Create(&pager, rtree::RTreeOptions())
+                  .MoveValueOrDie();
+  GranularInnStream stream(tree.get(), {0, 0}, 100.0, 1);
+  EXPECT_TRUE(stream.Next().status().IsExhausted());
+}
+
+TEST(GranularInnTest, CoveragePruningReducesHeapWork) {
+  Fixture fx(datasets::GenerateUniform(50000, 139));
+  GranularInnStream coarse(fx.tree.get(), {5000, 5000}, 1500.0, 1);
+  GranularInnStream fine(fx.tree.get(), {5000, 5000}, 0.0, 1);
+  size_t n_coarse = 0;
+  while (coarse.Next().ok()) ++n_coarse;
+  size_t n_fine = 0;
+  while (fine.Next().ok()) ++n_fine;
+  // Full scan pops every point + node; the coarse stream must prune most.
+  EXPECT_LT(coarse.heap_pops(), fine.heap_pops() / 4);
+}
+
+}  // namespace
+}  // namespace spacetwist::server

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/generator.h"
+#include "geom/hilbert.h"
+#include "server/hilbert_index.h"
+
+namespace spacetwist::server {
+namespace {
+
+std::vector<rtree::DataPoint> SmallPoints() {
+  return {{{100, 100}, 0}, {{5000, 5000}, 1}, {{9000, 100}, 2},
+          {{100, 9000}, 3}, {{9000, 9000}, 4}};
+}
+
+TEST(HilbertIndexTest, BuildsSortedTable) {
+  const geom::HilbertCurve curve(datasets::DefaultDomain(), 12);
+  const HilbertIndex index(SmallPoints(), curve);
+  EXPECT_EQ(index.size(), 5u);
+}
+
+TEST(HilbertIndexTest, NearestMatchesBruteForce1D) {
+  const geom::HilbertCurve curve(datasets::DefaultDomain(), 12, 5);
+  const datasets::Dataset ds = datasets::GenerateUniform(2000, 401);
+  const HilbertIndex index(ds.points, curve);
+
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    const uint64_t hq = curve.Encode(q);
+    const size_t k = 1 + static_cast<size_t>(rng.UniformInt(0, 7));
+
+    // Brute-force the k nearest 1-D differences.
+    std::vector<uint64_t> diffs;
+    for (const rtree::DataPoint& p : ds.points) {
+      const uint64_t h = curve.Encode(p.point);
+      diffs.push_back(h >= hq ? h - hq : hq - h);
+    }
+    std::sort(diffs.begin(), diffs.end());
+
+    const auto got = index.Nearest(hq, k);
+    ASSERT_EQ(got.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      const uint64_t d = got[i].value >= hq ? got[i].value - hq
+                                            : hq - got[i].value;
+      EXPECT_EQ(d, diffs[i]) << "rank " << i;
+    }
+  }
+}
+
+TEST(HilbertIndexTest, NearestReturnsAscendingDifferences) {
+  const geom::HilbertCurve curve(datasets::DefaultDomain(), 12);
+  const datasets::Dataset ds = datasets::GenerateUniform(500, 403);
+  const HilbertIndex index(ds.points, curve);
+  const uint64_t hq = curve.Encode({1234, 5678});
+  uint64_t prev = 0;
+  for (const HilbertEntry& e : index.Nearest(hq, 20)) {
+    const uint64_t d = e.value >= hq ? e.value - hq : hq - e.value;
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(HilbertIndexTest, KLargerThanTableReturnsAll) {
+  const geom::HilbertCurve curve(datasets::DefaultDomain(), 12);
+  const HilbertIndex index(SmallPoints(), curve);
+  EXPECT_EQ(index.Nearest(0, 100).size(), 5u);
+}
+
+TEST(HilbertIndexTest, KZeroReturnsNothing) {
+  const geom::HilbertCurve curve(datasets::DefaultDomain(), 12);
+  const HilbertIndex index(SmallPoints(), curve);
+  EXPECT_TRUE(index.Nearest(0, 0).empty());
+}
+
+TEST(HilbertIndexTest, EmptyTable) {
+  const geom::HilbertCurve curve(datasets::DefaultDomain(), 12);
+  const HilbertIndex index({}, curve);
+  EXPECT_TRUE(index.Nearest(42, 3).empty());
+}
+
+TEST(HilbertIndexTest, ExactValueHitComesFirst) {
+  const geom::HilbertCurve curve(datasets::DefaultDomain(), 12);
+  const auto pts = SmallPoints();
+  const HilbertIndex index(pts, curve);
+  const uint64_t h0 = curve.Encode(pts[1].point);
+  const auto got = index.Nearest(h0, 1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].value, h0);
+}
+
+}  // namespace
+}  // namespace spacetwist::server

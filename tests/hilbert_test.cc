@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include "common/rng.h"
+#include "geom/hilbert.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spacetwist::geom {
+namespace {
+
+const Rect kDomain{{0, 0}, {1024, 1024}};
+
+TEST(HilbertTest, EncodeDecodeRoundTripOnCellCenters) {
+  const HilbertCurve curve(kDomain, 5);  // 32x32 cells
+  for (uint64_t h = 0; h <= curve.MaxIndex(); ++h) {
+    const Point center = curve.Decode(h);
+    EXPECT_EQ(curve.Encode(center), h) << "h=" << h;
+  }
+}
+
+TEST(HilbertTest, CurveVisitsEveryCellExactlyOnce) {
+  const HilbertCurve curve(kDomain, 6);
+  std::set<std::pair<long, long>> cells;
+  for (uint64_t h = 0; h <= curve.MaxIndex(); ++h) {
+    const Point p = curve.Decode(h);
+    cells.insert({std::lround(p.x * 2), std::lround(p.y * 2)});
+  }
+  EXPECT_EQ(cells.size(), curve.MaxIndex() + 1);
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreAdjacentCells) {
+  // The defining Hilbert property: curve neighbors are grid neighbors.
+  const HilbertCurve curve(kDomain, 7);
+  const double cell = 1024.0 / 128.0;
+  Point prev = curve.Decode(0);
+  for (uint64_t h = 1; h <= curve.MaxIndex(); ++h) {
+    const Point cur = curve.Decode(h);
+    EXPECT_NEAR(Distance(prev, cur), cell, 1e-9)
+        << "jump at h=" << h;
+    prev = cur;
+  }
+}
+
+TEST(HilbertTest, KeyedCurvesKeepAdjacencyProperty) {
+  for (uint64_t key : {1u, 3u, 5u, 7u}) {
+    const HilbertCurve curve(kDomain, 5, key);
+    const double cell = 1024.0 / 32.0;
+    Point prev = curve.Decode(0);
+    for (uint64_t h = 1; h <= curve.MaxIndex(); ++h) {
+      const Point cur = curve.Decode(h);
+      EXPECT_NEAR(Distance(prev, cur), cell, 1e-9);
+      prev = cur;
+    }
+  }
+}
+
+TEST(HilbertTest, KeyedRoundTrip) {
+  Rng rng(1);
+  for (uint64_t key = 0; key < 8; ++key) {
+    const HilbertCurve curve(kDomain, 10, key);
+    for (int i = 0; i < 200; ++i) {
+      const Point p{rng.Uniform(0, 1024), rng.Uniform(0, 1024)};
+      const uint64_t h = curve.Encode(p);
+      // Decoding gives the cell center; re-encoding must give the same h.
+      EXPECT_EQ(curve.Encode(curve.Decode(h)), h);
+    }
+  }
+}
+
+TEST(HilbertTest, DifferentKeysGiveDifferentOrders) {
+  const HilbertCurve a(kDomain, 6, 0);
+  const HilbertCurve b(kDomain, 6, 3);
+  int differing = 0;
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const Point p{rng.Uniform(0, 1024), rng.Uniform(0, 1024)};
+    if (a.Encode(p) != b.Encode(p)) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(HilbertTest, OrthogonalCurveDiffersFromPrimary) {
+  const HilbertCurve primary(kDomain, 6, 42);
+  const HilbertCurve ortho = OrthogonalCurve(kDomain, 6, 42);
+  int differing = 0;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Point p{rng.Uniform(0, 1024), rng.Uniform(0, 1024)};
+    if (primary.Encode(p) != ortho.Encode(p)) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(HilbertTest, EncodeClampsOutOfDomainPoints) {
+  const HilbertCurve curve(kDomain, 4);
+  EXPECT_LE(curve.Encode({-50, -50}), curve.MaxIndex());
+  EXPECT_LE(curve.Encode({2000, 2000}), curve.MaxIndex());
+  EXPECT_EQ(curve.Encode({-50, -50}), curve.Encode({0, 0}));
+}
+
+TEST(HilbertTest, DecodeClampsOverflowIndex) {
+  const HilbertCurve curve(kDomain, 4);
+  const Point p = curve.Decode(curve.MaxIndex() + 1000);
+  EXPECT_TRUE(kDomain.Contains(p));
+}
+
+TEST(HilbertTest, LocalityBeatsRowMajorOnAverage) {
+  // Points close in space should tend to be close on the curve; compare
+  // the curve's mean 1-D gap for spatially-near pairs against row-major
+  // order. Hilbert should win clearly.
+  const int order = 8;
+  const HilbertCurve curve(kDomain, order);
+  const uint64_t side = uint64_t{1} << order;
+  const double cell = 1024.0 / static_cast<double>(side);
+  Rng rng(4);
+  double hilbert_gap = 0.0;
+  double rowmajor_gap = 0.0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const Point p{rng.Uniform(cell, 1024 - cell),
+                  rng.Uniform(cell, 1024 - cell)};
+    const Point q{p.x, p.y + cell};  // vertical neighbor cell
+    // (row-major order is perfect for horizontal neighbors but pays a full
+    // row stride vertically; Hilbert should beat that stride on average)
+    hilbert_gap += std::abs(static_cast<double>(curve.Encode(p)) -
+                            static_cast<double>(curve.Encode(q)));
+    const auto row = [&](const Point& z) {
+      const uint64_t x = static_cast<uint64_t>(z.x / cell);
+      const uint64_t y = static_cast<uint64_t>(z.y / cell);
+      return static_cast<double>(y * side + x);
+    };
+    rowmajor_gap += std::abs(row(p) - row(q));
+  }
+  EXPECT_LT(hilbert_gap / trials, rowmajor_gap / trials);
+}
+
+TEST(HilbertTest, RejectsNonSquareDomain) {
+  EXPECT_DEATH(HilbertCurve(Rect{{0, 0}, {10, 20}}, 4),
+               "square");
+}
+
+TEST(HilbertTest, RejectsBadOrder) {
+  EXPECT_DEATH(HilbertCurve(kDomain, 0), "order");
+  EXPECT_DEATH(HilbertCurve(kDomain, 17), "order");
+}
+
+}  // namespace
+}  // namespace spacetwist::geom

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "rtree/bulk_load.h"
+#include "rtree/inn_cursor.h"
+#include "rtree/rtree.h"
+#include "storage/pager.h"
+
+namespace spacetwist::rtree {
+namespace {
+
+std::vector<DataPoint> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DataPoint> pts;
+  for (size_t i = 0; i < n; ++i) {
+    const float x = static_cast<float>(rng.Uniform(0, 10000));
+    const float y = static_cast<float>(rng.Uniform(0, 10000));
+    pts.push_back({{static_cast<double>(x), static_cast<double>(y)},
+                   static_cast<uint32_t>(i)});
+  }
+  return pts;
+}
+
+class InnTest : public ::testing::Test {
+ protected:
+  void Build(size_t n, uint64_t seed) {
+    points_ = RandomPoints(n, seed);
+    tree_ = BulkLoad(&pager_, BulkLoadOptions(), points_).MoveValueOrDie();
+  }
+
+  storage::Pager pager_;
+  std::vector<DataPoint> points_;
+  std::unique_ptr<RTree> tree_;
+};
+
+TEST_F(InnTest, ReturnsAllPointsInNonDecreasingOrder) {
+  Build(3000, 7);
+  InnCursor cursor(tree_.get(), {5000, 5000});
+  double prev = -1.0;
+  size_t count = 0;
+  while (true) {
+    auto next = cursor.Next();
+    if (!next.ok()) {
+      EXPECT_TRUE(next.status().IsExhausted());
+      break;
+    }
+    EXPECT_GE(next->distance, prev);
+    prev = next->distance;
+    ++count;
+  }
+  EXPECT_EQ(count, points_.size());
+}
+
+TEST_F(InnTest, PrefixMatchesSortedBruteForceDistances) {
+  Build(2000, 11);
+  const geom::Point q{1234, 8765};
+  std::vector<double> expected;
+  for (const DataPoint& p : points_) {
+    expected.push_back(geom::Distance(q, p.point));
+  }
+  std::sort(expected.begin(), expected.end());
+
+  InnCursor cursor(tree_.get(), q);
+  for (size_t i = 0; i < 200; ++i) {
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok());
+    EXPECT_NEAR(next->distance, expected[i], 1e-9) << "rank " << i;
+  }
+}
+
+TEST_F(InnTest, CompletenessUpToTau) {
+  // Lemma 1's foundation: once the cursor has reported a point at distance
+  // tau, every dataset point within tau has been reported.
+  Build(1500, 13);
+  const geom::Point q{4000, 4000};
+  InnCursor cursor(tree_.get(), q);
+  std::vector<uint32_t> seen;
+  double tau = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok());
+    seen.push_back(next->point.id);
+    tau = next->distance;
+  }
+  std::sort(seen.begin(), seen.end());
+  for (const DataPoint& p : points_) {
+    if (geom::Distance(q, p.point) < tau) {
+      EXPECT_TRUE(std::binary_search(seen.begin(), seen.end(), p.id))
+          << "point " << p.id << " inside tau not reported";
+    }
+  }
+}
+
+TEST_F(InnTest, LowerBoundIsMonotoneAndValid) {
+  Build(800, 17);
+  InnCursor cursor(tree_.get(), {0, 0});
+  double prev_bound = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double bound = cursor.NextDistanceLowerBound();
+    EXPECT_GE(bound, prev_bound - 1e-9);
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok());
+    EXPECT_GE(next->distance + 1e-9, bound);
+    prev_bound = bound;
+  }
+}
+
+TEST_F(InnTest, EmptyTreeExhaustsImmediately) {
+  tree_ = RTree::Create(&pager_, RTreeOptions()).MoveValueOrDie();
+  InnCursor cursor(tree_.get(), {1, 1});
+  EXPECT_TRUE(cursor.Next().status().IsExhausted());
+  EXPECT_TRUE(cursor.Next().status().IsExhausted());
+}
+
+TEST_F(InnTest, AnchorOutsideDomainStillWorks) {
+  Build(500, 19);
+  InnCursor cursor(tree_.get(), {-5000, 20000});
+  double prev = -1;
+  size_t count = 0;
+  while (true) {
+    auto next = cursor.Next();
+    if (!next.ok()) break;
+    EXPECT_GE(next->distance, prev);
+    prev = next->distance;
+    ++count;
+  }
+  EXPECT_EQ(count, 500u);
+}
+
+TEST_F(InnTest, QueryOnDataPointStartsAtZero) {
+  Build(600, 23);
+  InnCursor cursor(tree_.get(), points_[42].point);
+  auto first = cursor.Next();
+  ASSERT_TRUE(first.ok());
+  EXPECT_NEAR(first->distance, 0.0, 1e-9);
+}
+
+TEST_F(InnTest, PopsCountGrows) {
+  Build(400, 29);
+  InnCursor cursor(tree_.get(), {100, 100});
+  ASSERT_TRUE(cursor.Next().ok());
+  const uint64_t pops_after_one = cursor.pops();
+  ASSERT_TRUE(cursor.Next().ok());
+  EXPECT_GT(cursor.pops(), 0u);
+  EXPECT_GE(cursor.pops(), pops_after_one + 1);
+}
+
+TEST_F(InnTest, CursorSharesBufferPoolCounters) {
+  Build(5000, 31);
+  const uint64_t before = tree_->buffer_pool()->stats().logical_reads;
+  InnCursor cursor(tree_.get(), {5000, 5000});
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(cursor.Next().ok());
+  EXPECT_GT(tree_->buffer_pool()->stats().logical_reads, before);
+}
+
+}  // namespace
+}  // namespace spacetwist::rtree

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "baselines/clk_baseline.h"
+#include "baselines/hilbert_baseline.h"
+#include "common/rng.h"
+#include "core/spacetwist_client.h"
+#include "datasets/generator.h"
+#include "eval/runner.h"
+#include "eval/workload.h"
+#include "privacy/observation.h"
+#include "privacy/region.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist {
+namespace {
+
+/// End-to-end invariants across the whole stack, on both uniform and skewed
+/// data and across the paper's parameter ranges.
+class IntegrationTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    const std::string kind = GetParam();
+    if (kind == "UI") {
+      dataset_ = datasets::GenerateUniform(60000, 1001);
+    } else {
+      datasets::ClusterParams params;
+      params.num_clusters = 150;
+      params.sigma = 120;
+      params.background_fraction = 0.05;
+      dataset_ = datasets::GenerateClustered(60000, params, 1001);
+    }
+    server_ = server::LbsServer::Build(dataset_).MoveValueOrDie();
+  }
+
+  double TrueKnnDistance(const geom::Point& q, size_t k) {
+    auto knn = server_->ExactKnn(q, k);
+    return knn.ValueOrDie().back().distance;
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+};
+
+TEST_P(IntegrationTest, GstEndToEndInvariants) {
+  core::SpaceTwistClient client(server_.get());
+  Rng rng(1);
+  for (const double epsilon : {0.0, 200.0, 1000.0}) {
+    for (const size_t k : {size_t{1}, size_t{4}}) {
+      for (int trial = 0; trial < 4; ++trial) {
+        const geom::Point q{rng.Uniform(500, 9500), rng.Uniform(500, 9500)};
+        core::QueryParams params;
+        params.k = k;
+        params.epsilon = epsilon;
+        params.anchor_distance = 250;
+        auto outcome = client.Query(q, params, &rng);
+        ASSERT_TRUE(outcome.ok());
+
+        // Result size and the epsilon guarantee.
+        ASSERT_EQ(outcome->neighbors.size(), k);
+        const double truth = TrueKnnDistance(q, k);
+        EXPECT_GE(outcome->neighbors.back().distance, truth - 1e-9);
+        EXPECT_LE(outcome->neighbors.back().distance,
+                  truth + epsilon + 1e-6);
+
+        // The privacy region always contains the true location.
+        const privacy::Observation obs =
+            privacy::MakeObservation(*outcome, server_->domain());
+        EXPECT_TRUE(privacy::InPrivacyRegion(obs, q));
+      }
+    }
+  }
+}
+
+TEST_P(IntegrationTest, GstBeatsClkOnCommunicationAtHighPrivacy) {
+  // Table IIIa's shape: at anchor distance 1000 m, GST needs far fewer
+  // packets than CLK with a comparable cloak.
+  const auto queries = eval::GenerateQueryPoints(15, dataset_.domain, 3);
+  eval::GstRunOptions gst;
+  gst.params.epsilon = 200;
+  gst.params.anchor_distance = 1000;
+  gst.measure_privacy = false;
+  auto gst_agg = eval::RunGst(server_.get(), queries, gst);
+  ASSERT_TRUE(gst_agg.ok());
+  auto clk_agg = eval::RunClk(server_.get(), queries, 1, 1000, 5);
+  ASSERT_TRUE(clk_agg.ok());
+  EXPECT_LT(gst_agg->mean_packets, clk_agg->mean_packets / 3);
+}
+
+TEST_P(IntegrationTest, GstMoreAccurateThanHilbertOnThisData) {
+  // Table II's shape on skewed data; on uniform data both are decent but
+  // GST's error still stays within its bound.
+  baselines::HilbertKnnClient shb(dataset_, 1, 12, 17);
+  core::SpaceTwistClient client(server_.get());
+  Rng rng(4);
+  double gst_err = 0;
+  double shb_err = 0;
+  const int trials = 25;
+  for (int i = 0; i < trials; ++i) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    const double truth = TrueKnnDistance(q, 1);
+    core::QueryParams params;
+    params.epsilon = 200;
+    auto gst = client.Query(q, params, &rng);
+    ASSERT_TRUE(gst.ok());
+    gst_err += gst->neighbors[0].distance - truth;
+    auto hil = shb.Query(q, 1);
+    ASSERT_TRUE(hil.ok());
+    shb_err += hil->neighbors[0].distance - truth;
+  }
+  EXPECT_LE(gst_err / trials, 200.0);  // within epsilon on average
+  const std::string kind = GetParam();
+  if (kind != "UI") {
+    EXPECT_LT(gst_err / trials, shb_err / trials);
+  }
+}
+
+TEST_P(IntegrationTest, ServerLoadIsIncrementalNotFullScan) {
+  // SpaceTwist must touch a small fraction of the index pages.
+  core::SpaceTwistClient client(server_.get());
+  Rng rng(5);
+  core::QueryParams params;
+  params.epsilon = 200;
+  const uint64_t before = server_->io_stats().logical_reads;
+  auto outcome = client.Query({5000, 5000}, params, &rng);
+  ASSERT_TRUE(outcome.ok());
+  const uint64_t reads = server_->io_stats().logical_reads - before;
+  // 60k points / 85 per leaf ~ 700 leaves; a query should touch way less.
+  EXPECT_LT(reads, 150u);
+}
+
+TEST_P(IntegrationTest, DeleteInsertThenQueryStillExact) {
+  // Mutate the index after bulk load and verify GST stays exact (eps = 0).
+  rtree::RTree* tree = server_->tree();
+  Rng rng(6);
+  std::vector<rtree::DataPoint> removed;
+  for (int i = 0; i < 200; ++i) {
+    const size_t idx = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(dataset_.points.size()) - 1));
+    const rtree::DataPoint p = dataset_.points[idx];
+    auto ok = tree->Delete(p);
+    ASSERT_TRUE(ok.ok());
+    if (*ok) removed.push_back(p);
+  }
+  ASSERT_TRUE(tree->Validate().ok());
+  for (const rtree::DataPoint& p : removed) {
+    ASSERT_TRUE(tree->Insert(p).ok());
+  }
+  ASSERT_TRUE(tree->Validate().ok());
+
+  core::SpaceTwistClient client(server_.get());
+  core::QueryParams params;
+  params.epsilon = 0;
+  params.k = 3;
+  const geom::Point q{4000, 4000};
+  auto outcome = client.Query(q, params, &rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NEAR(outcome->neighbors.back().distance, TrueKnnDistance(q, 3),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, IntegrationTest,
+                         ::testing::Values("UI", "SKEWED"));
+
+}  // namespace
+}  // namespace spacetwist

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "spacetwist/spacetwist.h"
+
+namespace spacetwist::server {
+namespace {
+
+TEST(LbsServerEmptyTest, BuildFromEmptyDataset) {
+  datasets::Dataset empty;
+  empty.name = "empty";
+  empty.domain = datasets::DefaultDomain();
+  auto server = LbsServer::Build(empty);
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ((*server)->size(), 0u);
+  auto knn = (*server)->ExactKnn({1, 1}, 3);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_TRUE(knn->empty());
+  auto stream = (*server)->OpenInnSession({1, 1});
+  EXPECT_TRUE(stream->Next().status().IsExhausted());
+}
+
+class LbsServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(10000, 2001);
+    server_ = LbsServer::Build(dataset_).MoveValueOrDie();
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<LbsServer> server_;
+};
+
+TEST_F(LbsServerTest, DomainAndSizeReported) {
+  EXPECT_EQ(server_->size(), 10000u);
+  EXPECT_EQ(server_->domain(), datasets::DefaultDomain());
+}
+
+TEST_F(LbsServerTest, IoStatsAccumulateAcrossQueries) {
+  const storage::IoStats before = server_->io_stats();
+  ASSERT_TRUE(server_->ExactKnn({5000, 5000}, 10).ok());
+  const storage::IoStats mid = server_->io_stats();
+  EXPECT_GT(mid.logical_reads, before.logical_reads);
+  ASSERT_TRUE(server_->ExactKnn({1000, 9000}, 10).ok());
+  EXPECT_GT(server_->io_stats().logical_reads, mid.logical_reads);
+}
+
+TEST_F(LbsServerTest, InnAndGranularEpsilonZeroAgree) {
+  const geom::Point anchor{4321, 1234};
+  auto plain = server_->OpenInnSession(anchor);
+  auto granular = server_->OpenGranularSession(anchor, 0.0, 1);
+  for (int i = 0; i < 500; ++i) {
+    auto a = plain->Next();
+    auto b = granular->Next();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << "rank " << i;
+  }
+}
+
+TEST_F(LbsServerTest, ExactKnnMatchesDatasetScan) {
+  const geom::Point q{2500, 7500};
+  auto knn = server_->ExactKnn(q, 5);
+  ASSERT_TRUE(knn.ok());
+  ASSERT_EQ(knn->size(), 5u);
+  // No dataset point may be closer than the reported 5th unless reported.
+  size_t closer = 0;
+  for (const rtree::DataPoint& p : dataset_.points) {
+    if (geom::Distance(q, p.point) < knn->back().distance - 1e-9) ++closer;
+  }
+  EXPECT_LE(closer, 4u);
+}
+
+TEST_F(LbsServerTest, KnnWithKZeroIsEmpty) {
+  auto knn = server_->ExactKnn({1, 1}, 0);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_TRUE(knn->empty());
+}
+
+TEST_F(LbsServerTest, KnnWithHugeKReturnsAll) {
+  auto knn = server_->ExactKnn({1, 1}, 1 << 20);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(knn->size(), dataset_.size());
+}
+
+TEST_F(LbsServerTest, UmbrellaHeaderCoversTheWholeFlow) {
+  // Everything below only uses spacetwist/spacetwist.h declarations.
+  core::SpaceTwistClient client(server_.get());
+  Rng rng(1);
+  core::QueryParams params;
+  auto outcome = client.Query({5000, 5000}, params, &rng);
+  ASSERT_TRUE(outcome.ok());
+  const privacy::Observation obs =
+      privacy::MakeObservation(*outcome, server_->domain());
+  const privacy::PrivacyEstimate estimate =
+      privacy::EstimatePrivacy(obs, {5000, 5000}, 2000, &rng);
+  EXPECT_GT(estimate.privacy_value, 0.0);
+  baselines::ClkClient clk(server_.get(), net::PacketConfig());
+  ASSERT_TRUE(clk.Query({5000, 5000}, 1, 200, &rng).ok());
+}
+
+}  // namespace
+}  // namespace spacetwist::server

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/spacetwist_client.h"
+#include "datasets/generator.h"
+#include "privacy/observation.h"
+#include "privacy/region.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist {
+namespace {
+
+/// Property sweeps over the paper's two central lemmas and the privacy
+/// soundness claim, across dataset shapes, k, epsilon, anchor distance, and
+/// packet capacity — the full parameter cross the proofs quantify over.
+
+struct SweepCase {
+  const char* dataset;
+  size_t k;
+  double epsilon;
+  double anchor_distance;
+  size_t beta;
+};
+
+class LemmaSweepTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static datasets::Dataset MakeData(const std::string& kind) {
+    if (kind == "UI") return datasets::GenerateUniform(20000, 1301);
+    datasets::ClusterParams params;
+    params.num_clusters = 60;
+    params.sigma = 100;
+    params.background_fraction = 0.03;
+    return datasets::GenerateClustered(20000, params, 1301);
+  }
+};
+
+TEST_P(LemmaSweepTest, Lemma1ExactnessLemma2BoundAndPsiSoundness) {
+  const SweepCase c = GetParam();
+  const datasets::Dataset ds = MakeData(c.dataset);
+  auto server = server::LbsServer::Build(ds).MoveValueOrDie();
+  core::SpaceTwistClient client(server.get());
+  Rng rng(77);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    const geom::Point q{rng.Uniform(500, 9500), rng.Uniform(500, 9500)};
+    core::QueryParams params;
+    params.k = c.k;
+    params.epsilon = c.epsilon;
+    params.anchor_distance = c.anchor_distance;
+    params.packet = net::PacketConfig::WithCapacity(c.beta);
+    auto outcome = client.Query(q, params, &rng);
+    ASSERT_TRUE(outcome.ok());
+
+    // Ground truth from the server's exact kNN.
+    auto truth = server->ExactKnn(q, c.k);
+    ASSERT_TRUE(truth.ok());
+    ASSERT_EQ(outcome->neighbors.size(), truth->size());
+
+    if (c.epsilon == 0.0) {
+      // Lemma 1: exact results.
+      for (size_t i = 0; i < truth->size(); ++i) {
+        EXPECT_NEAR(outcome->neighbors[i].distance, (*truth)[i].distance,
+                    1e-9);
+      }
+    } else {
+      // Lemma 2 (kNN extension): kth distance within epsilon of truth.
+      EXPECT_LE(outcome->neighbors.back().distance,
+                truth->back().distance + c.epsilon + 1e-6);
+    }
+
+    // Privacy soundness: the true location is always a possible location.
+    const privacy::Observation obs =
+        privacy::MakeObservation(*outcome, server->domain());
+    EXPECT_TRUE(privacy::InPrivacyRegion(obs, q));
+
+    // Termination soundness: either the cover condition fired or the
+    // stream ran dry.
+    if (!outcome->stream_exhausted) {
+      EXPECT_LE(outcome->gamma + geom::Distance(q, outcome->anchor),
+                outcome->tau + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LemmaSweepTest,
+    ::testing::Values(
+        SweepCase{"UI", 1, 0.0, 200, 67}, SweepCase{"UI", 1, 0.0, 200, 1},
+        SweepCase{"UI", 4, 0.0, 500, 4}, SweepCase{"UI", 16, 0.0, 50, 67},
+        SweepCase{"UI", 1, 200.0, 200, 67},
+        SweepCase{"UI", 8, 500.0, 1000, 16},
+        SweepCase{"UI", 2, 50.0, 100, 8},
+        SweepCase{"CL", 1, 0.0, 200, 67}, SweepCase{"CL", 4, 0.0, 300, 4},
+        SweepCase{"CL", 1, 200.0, 200, 67},
+        SweepCase{"CL", 16, 1000.0, 500, 67},
+        SweepCase{"CL", 2, 100.0, 1000, 1}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      const SweepCase& c = info.param;
+      return std::string(c.dataset) + "_k" + std::to_string(c.k) + "_eps" +
+             std::to_string(static_cast<int>(c.epsilon)) + "_d" +
+             std::to_string(static_cast<int>(c.anchor_distance)) + "_b" +
+             std::to_string(c.beta);
+    });
+
+}  // namespace
+}  // namespace spacetwist

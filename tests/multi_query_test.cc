@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/spacetwist_client.h"
+#include "datasets/generator.h"
+#include "privacy/multi_query.h"
+#include "privacy/observation.h"
+#include "privacy/region.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::privacy {
+namespace {
+
+class MultiQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(100000, 1601);
+    server_ = server::LbsServer::Build(dataset_).MoveValueOrDie();
+  }
+
+  Observation RunQuery(const geom::Point& q, Rng* rng,
+                       double anchor_distance = 400.0) {
+    core::SpaceTwistClient client(server_.get());
+    core::QueryParams params;
+    params.epsilon = 0.0;
+    params.anchor_distance = anchor_distance;
+    params.packet = net::PacketConfig::WithCapacity(8);
+    auto outcome = client.Query(q, params, rng).MoveValueOrDie();
+    return MakeObservation(outcome, server_->domain());
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+};
+
+TEST_F(MultiQueryTest, TrueLocationSurvivesIntersection) {
+  Rng rng(1);
+  const geom::Point q{5000, 5000};
+  std::vector<TraceQuery> trace;
+  for (int i = 0; i < 4; ++i) {
+    trace.push_back(TraceQuery{RunQuery(q, &rng), 0.0});
+  }
+  EXPECT_TRUE(InCombinedRegion(trace, q));
+}
+
+TEST_F(MultiQueryTest, RepeatedQueriesShrinkTheRegion) {
+  // The quantified version of the paper's continuous-query caveat: each
+  // extra (fresh-anchor) query from the same place narrows the adversary's
+  // region.
+  Rng rng(2);
+  const geom::Point q{5000, 5000};
+  std::vector<TraceQuery> trace;
+  trace.push_back(TraceQuery{RunQuery(q, &rng), 0.0});
+  Rng mc(3);
+  const double area1 =
+      EstimateCombinedPrivacy(trace, q, 60000, &mc).area;
+
+  trace.push_back(TraceQuery{RunQuery(q, &rng), 0.0});
+  trace.push_back(TraceQuery{RunQuery(q, &rng), 0.0});
+  Rng mc2(3);
+  const PrivacyEstimate combined =
+      EstimateCombinedPrivacy(trace, q, 60000, &mc2);
+  ASSERT_GT(combined.accepted, 0u);
+  EXPECT_LT(combined.area, area1 * 0.75);
+}
+
+TEST_F(MultiQueryTest, SingleQueryMatchesPlainEstimator) {
+  Rng rng(4);
+  const geom::Point q{4000, 7000};
+  const Observation obs = RunQuery(q, &rng);
+  std::vector<TraceQuery> trace = {TraceQuery{obs, 0.0}};
+  Rng mc1(5);
+  Rng mc2(5);
+  const PrivacyEstimate plain = EstimatePrivacy(obs, q, 30000, &mc1);
+  const PrivacyEstimate combined =
+      EstimateCombinedPrivacy(trace, q, 30000, &mc2);
+  // Same sampling box and membership test -> identical results.
+  EXPECT_DOUBLE_EQ(plain.privacy_value, combined.privacy_value);
+  EXPECT_DOUBLE_EQ(plain.area, combined.area);
+}
+
+TEST_F(MultiQueryTest, SlackLoosensTheIntersection) {
+  Rng rng(6);
+  const geom::Point q{5000, 5000};
+  std::vector<TraceQuery> strict;
+  std::vector<TraceQuery> slack;
+  for (int i = 0; i < 3; ++i) {
+    const Observation obs = RunQuery(q, &rng);
+    strict.push_back(TraceQuery{obs, 0.0});
+    slack.push_back(TraceQuery{obs, 300.0});
+  }
+  Rng mc1(7);
+  Rng mc2(7);
+  const double strict_area =
+      EstimateCombinedPrivacy(strict, q, 40000, &mc1).area;
+  const double slack_area =
+      EstimateCombinedPrivacy(slack, q, 40000, &mc2).area;
+  EXPECT_GT(slack_area, strict_area);
+}
+
+TEST_F(MultiQueryTest, EmptyTraceGivesEmptyEstimate) {
+  Rng mc(8);
+  const PrivacyEstimate estimate =
+      EstimateCombinedPrivacy({}, {0, 0}, 1000, &mc);
+  EXPECT_EQ(estimate.accepted, 0u);
+}
+
+TEST_F(MultiQueryTest, DisjointAnchorsFromDifferentPlacesCanEmptyOut) {
+  // Queries from far-apart locations (an inconsistent trace for a
+  // stationary-user hypothesis) should leave little or no common region.
+  Rng rng(9);
+  std::vector<TraceQuery> trace;
+  trace.push_back(TraceQuery{RunQuery({1000, 1000}, &rng, 200), 0.0});
+  trace.push_back(TraceQuery{RunQuery({9000, 9000}, &rng, 200), 0.0});
+  Rng mc(10);
+  const PrivacyEstimate estimate =
+      EstimateCombinedPrivacy(trace, {1000, 1000}, 20000, &mc);
+  EXPECT_EQ(estimate.accepted, 0u);
+}
+
+}  // namespace
+}  // namespace spacetwist::privacy

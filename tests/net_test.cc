@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/channel.h"
+#include "net/packet.h"
+
+namespace spacetwist::net {
+namespace {
+
+/// Feeds a fixed list of points.
+class VectorSource : public PointSource {
+ public:
+  explicit VectorSource(std::vector<rtree::DataPoint> points)
+      : points_(std::move(points)) {}
+
+  Result<rtree::DataPoint> Next() override {
+    if (next_ >= points_.size()) return Status::Exhausted("done");
+    return points_[next_++];
+  }
+
+ private:
+  std::vector<rtree::DataPoint> points_;
+  size_t next_ = 0;
+};
+
+std::vector<rtree::DataPoint> MakePoints(size_t n) {
+  std::vector<rtree::DataPoint> pts;
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({{static_cast<double>(i), 0.0},
+                   static_cast<uint32_t>(i)});
+  }
+  return pts;
+}
+
+TEST(PacketConfigTest, PaperCapacityIs67) {
+  PacketConfig cfg;
+  EXPECT_EQ(cfg.Capacity(), 67u);
+  EXPECT_EQ(kDefaultPacketCapacity, 67u);
+}
+
+TEST(PacketConfigTest, WithCapacityRoundTrips) {
+  for (size_t beta : {1u, 4u, 16u, 67u, 200u}) {
+    EXPECT_EQ(PacketConfig::WithCapacity(beta).Capacity(), beta);
+  }
+}
+
+TEST(PacketChannelTest, PacksFullPackets) {
+  VectorSource source(MakePoints(200));
+  PacketChannel channel(&source, PacketConfig::WithCapacity(67));
+  auto p1 = channel.NextPacket();
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1->size(), 67u);
+  auto p2 = channel.NextPacket();
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->size(), 67u);
+  auto p3 = channel.NextPacket();
+  ASSERT_TRUE(p3.ok());
+  EXPECT_EQ(p3->size(), 66u);  // 200 - 134
+  EXPECT_TRUE(channel.NextPacket().status().IsExhausted());
+}
+
+TEST(PacketChannelTest, PreservesStreamOrder) {
+  VectorSource source(MakePoints(150));
+  PacketChannel channel(&source, PacketConfig::WithCapacity(50));
+  uint32_t expected = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto packet = channel.NextPacket();
+    ASSERT_TRUE(packet.ok());
+    for (const rtree::DataPoint& p : packet->points) {
+      EXPECT_EQ(p.id, expected++);
+    }
+  }
+  EXPECT_EQ(expected, 150u);
+}
+
+TEST(PacketChannelTest, CountsPacketsAndPoints) {
+  VectorSource source(MakePoints(100));
+  PacketChannel channel(&source, PacketConfig::WithCapacity(30));
+  while (channel.NextPacket().ok()) {
+  }
+  const ChannelStats& stats = channel.stats();
+  EXPECT_EQ(stats.downlink_packets, 4u);  // 30+30+30+10
+  EXPECT_EQ(stats.downlink_points, 100u);
+  // 4 successful pulls plus the final exhausted pull.
+  EXPECT_EQ(stats.uplink_packets, 5u);
+}
+
+TEST(PacketChannelTest, ByteAccountingMatchesModel) {
+  VectorSource source(MakePoints(67));
+  PacketConfig cfg;  // 576/40/8
+  PacketChannel channel(&source, cfg);
+  auto packet = channel.NextPacket();
+  ASSERT_TRUE(packet.ok());
+  EXPECT_EQ(channel.stats().downlink_bytes, 40u + 67u * 8u);
+}
+
+TEST(PacketChannelTest, EmptySourceExhaustsImmediately) {
+  VectorSource source({});
+  PacketChannel channel(&source, PacketConfig());
+  EXPECT_TRUE(channel.NextPacket().status().IsExhausted());
+  EXPECT_EQ(channel.stats().downlink_packets, 0u);
+}
+
+TEST(PacketChannelTest, StaysExhausted) {
+  VectorSource source(MakePoints(5));
+  PacketChannel channel(&source, PacketConfig::WithCapacity(10));
+  ASSERT_TRUE(channel.NextPacket().ok());
+  EXPECT_TRUE(channel.NextPacket().status().IsExhausted());
+  EXPECT_TRUE(channel.NextPacket().status().IsExhausted());
+}
+
+TEST(PacketChannelTest, CapacityOnePacketPerPoint) {
+  VectorSource source(MakePoints(3));
+  PacketChannel channel(&source, PacketConfig::WithCapacity(1));
+  for (int i = 0; i < 3; ++i) {
+    auto packet = channel.NextPacket();
+    ASSERT_TRUE(packet.ok());
+    EXPECT_EQ(packet->size(), 1u);
+  }
+  EXPECT_TRUE(channel.NextPacket().status().IsExhausted());
+}
+
+}  // namespace
+}  // namespace spacetwist::net

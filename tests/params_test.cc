@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/params.h"
+
+namespace spacetwist::core {
+namespace {
+
+TEST(ParamsTest, ErrorBoundForMobility) {
+  // Walking ~1.4 m/s for 5 minutes.
+  EXPECT_NEAR(ErrorBoundForMobility(1.4, 300), 420.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ErrorBoundForMobility(0, 100), 0.0);
+}
+
+TEST(ParamsTest, EffectivePointCountCapsAtN) {
+  // Large epsilon -> few cells -> cap below N.
+  EXPECT_LT(EffectivePointCount(1000000, 1, 10000, 1000), 1000000.0);
+  // Tiny epsilon -> cells outnumber points -> N wins.
+  EXPECT_DOUBLE_EQ(EffectivePointCount(1000, 1, 10000, 10), 1000.0);
+  // Epsilon 0 disables granular search.
+  EXPECT_DOUBLE_EQ(EffectivePointCount(5000, 1, 10000, 0), 5000.0);
+}
+
+TEST(ParamsTest, EffectivePointCountFormula) {
+  // N_c = min(N, 2k (U/eps)^2) = 2*2*(10000/500)^2 = 1600.
+  EXPECT_NEAR(EffectivePointCount(100000, 2, 10000, 500), 1600.0, 1e-9);
+}
+
+TEST(ParamsTest, KnnDistanceEquation5) {
+  // R = U * sqrt(k / (pi N)).
+  const double r = EstimateKnnDistance(10000, 1, 500000);
+  EXPECT_NEAR(r, 10000 * std::sqrt(1.0 / (std::numbers::pi * 500000)),
+              1e-9);
+  // More neighbors -> larger radius; more points -> smaller radius.
+  EXPECT_GT(EstimateKnnDistance(10000, 4, 500000), r);
+  EXPECT_LT(EstimateKnnDistance(10000, 1, 2000000), r);
+}
+
+TEST(ParamsTest, BudgetInversionRoundTrips) {
+  // AnchorDistanceForBudget and PredictPackets are inverse maps.
+  const size_t beta = 67;
+  const size_t n = 500000;
+  const double u = 10000;
+  const double eps = 200;
+  for (const size_t k : {size_t{1}, size_t{4}}) {
+    for (const size_t m : {size_t{2}, size_t{5}, size_t{20}}) {
+      const double dist = AnchorDistanceForBudget(m, beta, k, n, u, eps);
+      ASSERT_GT(dist, 0.0);
+      EXPECT_NEAR(PredictPackets(dist, beta, k, n, u, eps),
+                  static_cast<double>(m), 1e-6);
+    }
+  }
+}
+
+TEST(ParamsTest, BudgetTooSmallGivesZeroDistance) {
+  // One packet of capacity 1 cannot even carry k = 4 results.
+  EXPECT_DOUBLE_EQ(AnchorDistanceForBudget(1, 1, 4, 1000, 10000, 0), 0.0);
+}
+
+TEST(ParamsTest, MorePacketsBuyMoreDistance) {
+  double prev = 0.0;
+  for (const size_t m : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    const double d = AnchorDistanceForBudget(m, 67, 1, 500000, 10000, 200);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(ParamsTest, PredictedPacketsGrowWithDistanceAndK) {
+  const double base = PredictPackets(200, 67, 1, 500000, 10000, 200);
+  EXPECT_GT(PredictPackets(800, 67, 1, 500000, 10000, 200), base);
+  EXPECT_GT(PredictPackets(200, 67, 8, 500000, 10000, 200), base);
+}
+
+TEST(ParamsTest, GranularSearchReducesPredictedCost) {
+  // With epsilon > 0, N_c < N, so predicted packets drop.
+  const double exact = PredictPackets(500, 67, 1, 2000000, 10000, 0);
+  const double granular = PredictPackets(500, 67, 1, 2000000, 10000, 500);
+  EXPECT_LT(granular, exact);
+}
+
+}  // namespace
+}  // namespace spacetwist::core

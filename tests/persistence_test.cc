@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "datasets/generator.h"
+#include "rtree/bulk_load.h"
+#include "rtree/persistence.h"
+#include "rtree/tree_stats.h"
+#include "storage/pager.h"
+
+namespace spacetwist::rtree {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(20000, 1501);
+    tree_ = BulkLoad(&pager_, BulkLoadOptions(), dataset_.points)
+                .MoveValueOrDie();
+  }
+
+  datasets::Dataset dataset_;
+  storage::Pager pager_;
+  std::unique_ptr<RTree> tree_;
+};
+
+TEST_F(PersistenceTest, SaveLoadRoundTripPreservesQueries) {
+  const std::string path = TempPath("rt_roundtrip.rt");
+  ASSERT_TRUE(SaveRTree(*tree_, &pager_, path).ok());
+
+  auto loaded = LoadRTree(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->tree->size(), tree_->size());
+  EXPECT_EQ(loaded->tree->height(), tree_->height());
+  EXPECT_EQ(loaded->tree->root(), tree_->root());
+
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    auto a = tree_->KnnQuery(q, 5);
+    auto b = loaded->tree->KnnQuery(q, 5);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].point, (*b)[i].point);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, LoadedTreeSupportsMutation) {
+  const std::string path = TempPath("rt_mutate.rt");
+  ASSERT_TRUE(SaveRTree(*tree_, &pager_, path).ok());
+  auto loaded = LoadRTree(path);
+  ASSERT_TRUE(loaded.ok());
+  for (uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        loaded->tree->Insert({{100.0 + i, 200.0 + i}, 900000 + i}).ok());
+  }
+  EXPECT_EQ(loaded->tree->size(), tree_->size() + 100);
+  EXPECT_TRUE(loaded->tree->Validate().ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, LoadRejectsGarbage) {
+  const std::string path = TempPath("rt_garbage.rt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not an rtree file at all", f);
+  std::fclose(f);
+  EXPECT_TRUE(LoadRTree(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, LoadRejectsMissingFile) {
+  EXPECT_TRUE(LoadRTree("/nonexistent/rt.bin").status().IsIoError());
+}
+
+TEST_F(PersistenceTest, LoadRejectsTruncatedFile) {
+  const std::string full = TempPath("rt_full.rt");
+  ASSERT_TRUE(SaveRTree(*tree_, &pager_, full).ok());
+  // Truncate to half.
+  std::FILE* in = std::fopen(full.c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  std::fseek(in, 0, SEEK_END);
+  const long size = std::ftell(in);
+  std::fseek(in, 0, SEEK_SET);
+  std::string bytes(static_cast<size_t>(size / 2), '\0');
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), in), bytes.size());
+  std::fclose(in);
+  const std::string truncated = TempPath("rt_trunc.rt");
+  std::FILE* out = std::fopen(truncated.c_str(), "wb");
+  ASSERT_NE(out, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size(), out);
+  std::fclose(out);
+  EXPECT_TRUE(LoadRTree(truncated).status().IsCorruption());
+  std::remove(full.c_str());
+  std::remove(truncated.c_str());
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST_F(PersistenceTest, TreeStatsAreConsistent) {
+  auto stats = ComputeTreeStats(tree_.get());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->height, tree_->height());
+  EXPECT_EQ(stats->points, tree_->size());
+  ASSERT_EQ(stats->levels.size(), static_cast<size_t>(tree_->height()));
+  // Leaf entries add up to the point count.
+  EXPECT_EQ(stats->levels[0].entries, tree_->size());
+  // Each upper level's entries equal the node count one level down.
+  for (size_t level = 1; level < stats->levels.size(); ++level) {
+    EXPECT_EQ(stats->levels[level].entries, stats->levels[level - 1].nodes);
+  }
+  // STR bulk load packs nodes nearly full.
+  EXPECT_GT(stats->levels[0].mean_fill, 0.9);
+  // Root level has exactly one node.
+  EXPECT_EQ(stats->levels.back().nodes, 1u);
+  EXPECT_FALSE(stats->ToString().empty());
+}
+
+TEST(TreeStatsTest, EmptyTree) {
+  storage::Pager pager;
+  auto tree = RTree::Create(&pager, RTreeOptions()).MoveValueOrDie();
+  auto stats = ComputeTreeStats(tree.get());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->points, 0u);
+  EXPECT_EQ(stats->nodes, 1u);
+  EXPECT_EQ(stats->levels[0].entries, 0u);
+}
+
+}  // namespace
+}  // namespace spacetwist::rtree

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "geom/ellipse.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/rect.h"
+
+namespace spacetwist::geom {
+namespace {
+
+TEST(HalfPlaneTest, CloserToIsTheBisector) {
+  const Point p{0, 0};
+  const Point q{10, 0};
+  const HalfPlane hp = HalfPlane::CloserTo(p, q);
+  EXPECT_TRUE(hp.Contains({2, 5}));    // closer to p
+  EXPECT_FALSE(hp.Contains({8, -3}));  // closer to q
+  EXPECT_TRUE(hp.Contains({5, 7}));    // equidistant counts as inside
+}
+
+TEST(ConvexPolygonTest, FromRect) {
+  const ConvexPolygon poly = ConvexPolygon::FromRect({{0, 0}, {4, 3}});
+  EXPECT_EQ(poly.vertices().size(), 4u);
+  EXPECT_DOUBLE_EQ(poly.Area(), 12.0);
+  EXPECT_EQ(poly.Centroid(), (Point{2, 1.5}));
+  EXPECT_TRUE(poly.Contains({2, 2}));
+  EXPECT_TRUE(poly.Contains({0, 0}));  // boundary
+  EXPECT_FALSE(poly.Contains({5, 2}));
+}
+
+TEST(ConvexPolygonTest, EmptyFromEmptyRect) {
+  EXPECT_TRUE(ConvexPolygon::FromRect(Rect::Empty()).IsEmpty());
+  EXPECT_DOUBLE_EQ(ConvexPolygon().Area(), 0.0);
+}
+
+TEST(ConvexPolygonTest, ClipToHalfPlaneCutsRectInHalf) {
+  const ConvexPolygon poly = ConvexPolygon::FromRect({{0, 0}, {10, 10}});
+  // x <= 5.
+  const ConvexPolygon left = poly.ClipTo(HalfPlane{1, 0, 5});
+  EXPECT_DOUBLE_EQ(left.Area(), 50.0);
+  EXPECT_TRUE(left.Contains({2, 5}));
+  EXPECT_FALSE(left.Contains({7, 5}));
+}
+
+TEST(ConvexPolygonTest, ClipAwayEverything) {
+  const ConvexPolygon poly = ConvexPolygon::FromRect({{0, 0}, {10, 10}});
+  EXPECT_TRUE(poly.ClipTo(HalfPlane{1, 0, -1}).IsEmpty());
+}
+
+TEST(ConvexPolygonTest, ClipKeepsEverything) {
+  const ConvexPolygon poly = ConvexPolygon::FromRect({{0, 0}, {10, 10}});
+  const ConvexPolygon same = poly.ClipTo(HalfPlane{1, 0, 100});
+  EXPECT_DOUBLE_EQ(same.Area(), 100.0);
+}
+
+TEST(ConvexPolygonTest, SuccessiveClipsFormIntersection) {
+  ConvexPolygon poly = ConvexPolygon::FromRect({{0, 0}, {10, 10}});
+  poly = poly.ClipTo(HalfPlane{1, 0, 6});    // x <= 6
+  poly = poly.ClipTo(HalfPlane{-1, 0, -2});  // x >= 2
+  poly = poly.ClipTo(HalfPlane{0, 1, 7});    // y <= 7
+  EXPECT_DOUBLE_EQ(poly.Area(), 4.0 * 7.0);
+  EXPECT_EQ(poly.BoundingBox(), (Rect{{2, 0}, {6, 7}}));
+}
+
+TEST(ConvexPolygonTest, DiagonalClipArea) {
+  const ConvexPolygon poly = ConvexPolygon::FromRect({{0, 0}, {10, 10}});
+  // x + y <= 10 keeps the lower-left triangle.
+  const ConvexPolygon tri = poly.ClipTo(HalfPlane{1, 1, 10});
+  EXPECT_NEAR(tri.Area(), 50.0, 1e-9);
+}
+
+TEST(ConvexPolygonTest, ClipToConvexIntersectsTwoRects) {
+  const ConvexPolygon a = ConvexPolygon::FromRect({{0, 0}, {10, 10}});
+  const ConvexPolygon b = ConvexPolygon::FromRect({{5, 5}, {15, 15}});
+  const ConvexPolygon inter = a.ClipToConvex(b);
+  EXPECT_NEAR(inter.Area(), 25.0, 1e-9);
+  EXPECT_TRUE(inter.Contains({7, 7}));
+  EXPECT_FALSE(inter.Contains({2, 2}));
+}
+
+TEST(ConvexPolygonTest, ClipToConvexWithEllipsePolygon) {
+  const EllipseRegion ellipse({5, 5}, {5, 5}, 6.0);  // circle r=3 at (5,5)
+  const ConvexPolygon circle_poly(ellipse.BoundaryPolygon(256));
+  const ConvexPolygon square = ConvexPolygon::FromRect({{5, 5}, {20, 20}});
+  const ConvexPolygon quarter = square.ClipToConvex(circle_poly);
+  // Quarter disk area, slightly under due to the inscribed polygon.
+  EXPECT_NEAR(quarter.Area(), std::numbers::pi * 9.0 / 4.0, 0.01);
+}
+
+TEST(ConvexPolygonTest, CentroidOfTriangle) {
+  const ConvexPolygon tri({{0, 0}, {6, 0}, {0, 6}});
+  const Point c = tri.Centroid();
+  EXPECT_NEAR(c.x, 2.0, 1e-12);
+  EXPECT_NEAR(c.y, 2.0, 1e-12);
+}
+
+TEST(ConvexPolygonTest, IntegrateConstantGivesArea) {
+  const ConvexPolygon poly = ConvexPolygon::FromRect({{1, 2}, {5, 9}});
+  const double integral =
+      poly.Integrate([](const Point&) { return 1.0; }, 0);
+  EXPECT_NEAR(integral, poly.Area(), 1e-9);
+}
+
+TEST(ConvexPolygonTest, IntegrateLinearFunctionExactViaCentroid) {
+  // For linear f, integral = area * f(centroid); centroid quadrature at any
+  // depth is exact for linear integrands.
+  const ConvexPolygon poly({{0, 0}, {8, 0}, {10, 6}, {2, 7}});
+  const auto f = [](const Point& z) { return 3.0 * z.x - 2.0 * z.y + 1.0; };
+  const double expected = poly.Area() * f(poly.Centroid());
+  EXPECT_NEAR(poly.Integrate(f, 3), expected, 1e-9);
+}
+
+TEST(ConvexPolygonTest, IntegrateQuadraticConvergesWithDepth) {
+  const ConvexPolygon poly = ConvexPolygon::FromRect({{0, 0}, {1, 1}});
+  const auto f = [](const Point& z) { return z.x * z.x + z.y * z.y; };
+  // True integral over the unit square is 2/3.
+  const double coarse = poly.Integrate(f, 1);
+  const double fine = poly.Integrate(f, 6);
+  EXPECT_NEAR(fine, 2.0 / 3.0, 1e-4);
+  EXPECT_LT(std::abs(fine - 2.0 / 3.0), std::abs(coarse - 2.0 / 3.0));
+}
+
+TEST(ConvexPolygonTest, IntegrateDistanceMatchesClosedFormOnDisk) {
+  // Mean distance from the center over a disk of radius R is 2R/3.
+  const double r = 4.0;
+  const EllipseRegion disk({0, 0}, {0, 0}, 2 * r);
+  const ConvexPolygon poly(disk.BoundaryPolygon(512));
+  const double area = poly.Area();
+  const double integral = poly.Integrate(
+      [](const Point& z) { return Norm(z); }, 4);
+  EXPECT_NEAR(integral / area, 2.0 * r / 3.0, 0.01);
+}
+
+TEST(ConvexPolygonTest, ContainsMatchesClipConsistency) {
+  Rng rng(9);
+  ConvexPolygon poly = ConvexPolygon::FromRect({{0, 0}, {100, 100}});
+  // A random convex region via a few random clips through the middle.
+  for (int i = 0; i < 5; ++i) {
+    const double a = rng.Uniform(-1, 1);
+    const double b = rng.Uniform(-1, 1);
+    const double c = a * 50 + b * 50 + rng.Uniform(10, 40);
+    poly = poly.ClipTo(HalfPlane{a, b, c});
+  }
+  ASSERT_FALSE(poly.IsEmpty());
+  // Every vertex is contained; points far outside the bbox are not.
+  for (const Point& v : poly.vertices()) {
+    EXPECT_TRUE(poly.Contains(v));
+  }
+  EXPECT_FALSE(poly.Contains({1000, 1000}));
+}
+
+}  // namespace
+}  // namespace spacetwist::geom

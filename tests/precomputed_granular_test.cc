@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/generator.h"
+#include "geom/grid.h"
+#include "server/lbs_server.h"
+#include "server/precomputed_granular.h"
+
+namespace spacetwist::server {
+namespace {
+
+class PrecomputedGranularTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateClustered(
+        30000, datasets::ClusterParams{100, 150.0, 0.05}, 1701);
+  }
+
+  datasets::Dataset dataset_;
+};
+
+TEST_F(PrecomputedGranularTest, KeepsAtMostKPerCell) {
+  const double epsilon = 400;
+  const size_t k = 2;
+  auto index =
+      PrecomputedGranularIndex::Build(dataset_, epsilon, k).MoveValueOrDie();
+  EXPECT_LT(index->representative_count(), dataset_.size());
+
+  // Pull the entire representative stream and check the cell rule.
+  auto stream = index->OpenInnSession({5000, 5000});
+  geom::Grid grid(epsilon / std::sqrt(2.0));
+  std::unordered_map<geom::GridCell, size_t, geom::GridCellHash> counts;
+  size_t total = 0;
+  while (true) {
+    auto next = stream->Next();
+    if (!next.ok()) break;
+    ++total;
+    EXPECT_LE(++counts[grid.CellOf(next->point)], k);
+  }
+  EXPECT_EQ(total, index->representative_count());
+}
+
+TEST_F(PrecomputedGranularTest, EpsilonGuaranteeHolds) {
+  const double epsilon = 300;
+  auto index =
+      PrecomputedGranularIndex::Build(dataset_, epsilon, 1).MoveValueOrDie();
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    // NN among representatives vs true NN (Lemma 2 with the precomputed
+    // representative per cell).
+    auto rep_nn = index->tree()->KnnQuery(q, 1);
+    ASSERT_TRUE(rep_nn.ok());
+    ASSERT_FALSE(rep_nn->empty());
+    double true_nn = 1e18;
+    for (const rtree::DataPoint& p : dataset_.points) {
+      true_nn = std::min(true_nn, geom::Distance(q, p.point));
+    }
+    EXPECT_LE((*rep_nn)[0].distance, true_nn + epsilon + 1e-6);
+  }
+}
+
+TEST_F(PrecomputedGranularTest, MuchSmallerThanFullIndex) {
+  auto full_server = LbsServer::Build(dataset_).MoveValueOrDie();
+  auto index =
+      PrecomputedGranularIndex::Build(dataset_, 500, 1).MoveValueOrDie();
+  // The representative tree must be a small fraction of the full index.
+  EXPECT_LT(index->representative_count(), dataset_.size() / 10);
+  EXPECT_LT(index->page_count(), 100u);
+}
+
+TEST_F(PrecomputedGranularTest, MatchesOnlineGranularRepresentativeBudget) {
+  // Both designs keep <= k points per cell, so their totals agree up to
+  // which representative is chosen (the counts per cell are identical).
+  const double epsilon = 350;
+  const size_t k = 3;
+  auto index =
+      PrecomputedGranularIndex::Build(dataset_, epsilon, k).MoveValueOrDie();
+
+  geom::Grid grid(epsilon / std::sqrt(2.0));
+  std::unordered_map<geom::GridCell, size_t, geom::GridCellHash> per_cell;
+  for (const rtree::DataPoint& p : dataset_.points) {
+    size_t& c = per_cell[grid.CellOf(p.point)];
+    if (c < k) ++c;
+  }
+  uint64_t expected = 0;
+  for (const auto& [cell, count] : per_cell) expected += count;
+  EXPECT_EQ(index->representative_count(), expected);
+}
+
+TEST_F(PrecomputedGranularTest, RejectsBadArguments) {
+  EXPECT_TRUE(PrecomputedGranularIndex::Build(dataset_, 0.0, 1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PrecomputedGranularIndex::Build(dataset_, 100, 0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spacetwist::server

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/spacetwist_client.h"
+#include "datasets/generator.h"
+#include "privacy/observation.h"
+#include "privacy/region.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::privacy {
+namespace {
+
+class PrivacyTest : public ::testing::Test {
+ protected:
+  void Build(size_t n, uint64_t seed) {
+    dataset_ = datasets::GenerateUniform(n, seed);
+    server_ = server::LbsServer::Build(dataset_).MoveValueOrDie();
+  }
+
+  core::QueryOutcome RunQuery(const geom::Point& q,
+                              const core::QueryParams& params, Rng* rng) {
+    core::SpaceTwistClient client(server_.get());
+    return client.Query(q, params, rng).MoveValueOrDie();
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+};
+
+TEST_F(PrivacyTest, ObservationBookkeeping) {
+  Build(20000, 601);
+  Rng rng(1);
+  core::QueryParams params;
+  params.epsilon = 0.0;
+  params.anchor_distance = 400;
+  const auto outcome = RunQuery({5000, 5000}, params, &rng);
+  const Observation obs = MakeObservation(outcome, server_->domain());
+
+  EXPECT_EQ(obs.k, 1u);
+  EXPECT_EQ(obs.beta, 67u);
+  EXPECT_EQ(obs.points.size(), outcome.retrieved.size());
+  EXPECT_EQ(obs.packets(), outcome.packets);
+  if (obs.packets() >= 2) {
+    EXPECT_EQ(obs.PenultimatePrefix(), (obs.packets() - 1) * obs.beta);
+    EXPECT_LE(obs.PenultimateRadius(), obs.FinalRadius());
+  } else {
+    EXPECT_EQ(obs.PenultimatePrefix(), 0u);
+    EXPECT_DOUBLE_EQ(obs.PenultimateRadius(), 0.0);
+  }
+  EXPECT_NEAR(obs.FinalRadius(), outcome.tau, 1e-9);
+}
+
+TEST_F(PrivacyTest, TrueLocationAlwaysInRegion) {
+  Build(50000, 607);
+  Rng rng(2);
+  for (const double anchor_dist : {50.0, 200.0, 1000.0}) {
+    for (const size_t k : {size_t{1}, size_t{4}, size_t{16}}) {
+      for (int trial = 0; trial < 5; ++trial) {
+        const geom::Point q{rng.Uniform(1500, 8500),
+                            rng.Uniform(1500, 8500)};
+        core::QueryParams params;
+        params.k = k;
+        params.epsilon = 200;
+        params.anchor_distance = anchor_dist;
+        const auto outcome = RunQuery(q, params, &rng);
+        const Observation obs = MakeObservation(outcome, server_->domain());
+        EXPECT_TRUE(InPrivacyRegion(obs, q))
+            << "true location excluded: k=" << k
+            << " anchor_dist=" << anchor_dist;
+      }
+    }
+  }
+}
+
+TEST_F(PrivacyTest, AnchorNeighborhoodIsExcluded) {
+  // Locations at the anchor itself would have terminated after one packet;
+  // the region should not contain the anchor (for multi-packet runs).
+  Build(100000, 613);
+  Rng rng(3);
+  core::QueryParams params;
+  params.epsilon = 0.0;
+  params.anchor_distance = 800;
+  const geom::Point q{5000, 5000};
+  const auto outcome = RunQuery(q, params, &rng);
+  ASSERT_GE(outcome.packets, 2u);
+  const Observation obs = MakeObservation(outcome, server_->domain());
+  EXPECT_FALSE(InPrivacyRegion(obs, outcome.anchor));
+}
+
+TEST_F(PrivacyTest, KthSmallestDistanceBasics) {
+  Observation obs;
+  obs.anchor = {0, 0};
+  obs.k = 2;
+  obs.beta = 4;
+  obs.domain = geom::Rect{{0, 0}, {100, 100}};
+  obs.points = {{10, 0}, {20, 0}, {30, 0}};
+  const geom::Point qc{0, 0};
+  // Distances 10, 20, 30; 2nd smallest over the full set is 20.
+  EXPECT_DOUBLE_EQ(KthSmallestDistance(obs, qc, 3), 20.0);
+  EXPECT_DOUBLE_EQ(KthSmallestDistance(obs, qc, 2), 20.0);
+  // Prefix shorter than k -> infinity.
+  EXPECT_TRUE(std::isinf(KthSmallestDistance(obs, qc, 1)));
+}
+
+TEST_F(PrivacyTest, MembershipMatchesInequalitiesManually) {
+  // Hand-built observation with beta = 2, k = 1, two packets.
+  Observation obs;
+  obs.anchor = {0, 0};
+  obs.k = 1;
+  obs.beta = 2;
+  obs.domain = geom::Rect{{-100, -100}, {100, 100}};
+  obs.points = {{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  // Penultimate radius = 2 (dist to (2,0)); final radius = 4.
+  EXPECT_DOUBLE_EQ(obs.PenultimateRadius(), 2.0);
+  EXPECT_DOUBLE_EQ(obs.FinalRadius(), 4.0);
+
+  // qc = (2.5, 0): dist to anchor 2.5; nearest overall (2,0) or (3,0) at
+  // 0.5 -> 2.5 + 0.5 = 3 <= 4 (ineq 2 holds); nearest in prefix {1,2} is
+  // 0.5 -> 2.5 + 0.5 = 3 > 2 (ineq 1 holds). Member.
+  EXPECT_TRUE(InPrivacyRegion(obs, {2.5, 0}));
+
+  // qc = (0.9, 0): ineq 1: dist anchor 0.9 + nearest prefix 0.1 = 1 <= 2
+  // -> would have terminated early. Not a member.
+  EXPECT_FALSE(InPrivacyRegion(obs, {0.9, 0}));
+
+  // qc = (60, 0): ineq 2: 60 + 56 > 4. Not a member.
+  EXPECT_FALSE(InPrivacyRegion(obs, {60, 0}));
+
+  // Outside the domain is never a member.
+  EXPECT_FALSE(InPrivacyRegion(obs, {200, 0}));
+}
+
+TEST_F(PrivacyTest, SinglePacketHasNoInnerExclusion) {
+  Observation obs;
+  obs.anchor = {0, 0};
+  obs.k = 1;
+  obs.beta = 10;
+  obs.domain = geom::Rect{{-100, -100}, {100, 100}};
+  obs.points = {{1, 0}, {2, 0}};  // one packet only
+  EXPECT_EQ(obs.packets(), 1u);
+  // Any location satisfying ineq 2 qualifies, even right next to a point.
+  EXPECT_TRUE(InPrivacyRegion(obs, {1.0, 0.1}));
+}
+
+TEST_F(PrivacyTest, ExhaustedStreamMakesIneq2Vacuous) {
+  Observation obs;
+  obs.anchor = {0, 0};
+  obs.k = 1;
+  obs.beta = 10;
+  obs.domain = geom::Rect{{-100, -100}, {100, 100}};
+  obs.points = {{1, 0}};
+  obs.stream_exhausted = true;
+  // Far away from the supply circle, but the stream ended, so possible.
+  EXPECT_TRUE(InPrivacyRegion(obs, {90, 90}));
+  obs.stream_exhausted = false;
+  EXPECT_FALSE(InPrivacyRegion(obs, {90, 90}));
+}
+
+TEST_F(PrivacyTest, PrivacyValueAtLeastAnchorDistance) {
+  // The paper's headline guideline: Gamma >= dist(q, q') (approximately;
+  // we allow 20% slack for Monte-Carlo noise and small-k geometry).
+  Build(100000, 617);
+  Rng rng(4);
+  for (const double anchor_dist : {100.0, 300.0, 800.0}) {
+    core::QueryParams params;
+    params.epsilon = 200;
+    params.anchor_distance = anchor_dist;
+    const geom::Point q{rng.Uniform(2000, 8000), rng.Uniform(2000, 8000)};
+    const auto outcome = RunQuery(q, params, &rng);
+    const Observation obs = MakeObservation(outcome, server_->domain());
+    const PrivacyEstimate estimate = EstimatePrivacy(obs, q, 20000, &rng);
+    EXPECT_GT(estimate.accepted, 0u);
+    EXPECT_GE(estimate.privacy_value, 0.8 * anchor_dist)
+        << "anchor_dist=" << anchor_dist;
+  }
+}
+
+TEST_F(PrivacyTest, EstimateDeterministicGivenSeed) {
+  Build(20000, 619);
+  Rng rng(5);
+  core::QueryParams params;
+  const auto outcome = RunQuery({4000, 4000}, params, &rng);
+  const Observation obs = MakeObservation(outcome, server_->domain());
+  Rng mc1(99);
+  Rng mc2(99);
+  const PrivacyEstimate a = EstimatePrivacy(obs, {4000, 4000}, 5000, &mc1);
+  const PrivacyEstimate b = EstimatePrivacy(obs, {4000, 4000}, 5000, &mc2);
+  EXPECT_DOUBLE_EQ(a.privacy_value, b.privacy_value);
+  EXPECT_EQ(a.accepted, b.accepted);
+}
+
+TEST_F(PrivacyTest, ZeroSamplesGiveEmptyEstimate) {
+  Observation obs;
+  obs.anchor = {0, 0};
+  obs.k = 1;
+  obs.beta = 1;
+  obs.domain = geom::Rect{{0, 0}, {10, 10}};
+  obs.points = {{1, 0}};
+  Rng rng(6);
+  const PrivacyEstimate estimate = EstimatePrivacy(obs, {0, 0}, 0, &rng);
+  EXPECT_EQ(estimate.accepted, 0u);
+  EXPECT_DOUBLE_EQ(estimate.area, 0.0);
+}
+
+TEST_F(PrivacyTest, LargerBetaWidensRegion) {
+  // Section VII: a larger packet capacity conceals the termination point
+  // among more points, enlarging Psi.
+  Build(100000, 631);
+  const geom::Point q{5000, 5000};
+  core::QueryParams params;
+  params.epsilon = 0.0;
+  params.anchor_distance = 500;
+
+  Rng rng(7);
+  double area_small = 0;
+  double area_large = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    params.packet = net::PacketConfig::WithCapacity(4);
+    const auto small = RunQuery(q, params, &rng);
+    Observation obs_small = MakeObservation(small, server_->domain());
+    area_small += EstimatePrivacy(obs_small, q, 8000, &rng).area;
+
+    params.packet = net::PacketConfig::WithCapacity(67);
+    const auto large = RunQuery(q, params, &rng);
+    Observation obs_large = MakeObservation(large, server_->domain());
+    area_large += EstimatePrivacy(obs_large, q, 8000, &rng).area;
+  }
+  EXPECT_GT(area_large, area_small);
+}
+
+}  // namespace
+}  // namespace spacetwist::privacy

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/network_client.h"
+#include "roadnet/network_dataset.h"
+#include "roadnet/network_inn.h"
+#include "roadnet/network_privacy.h"
+#include "roadnet/shortest_path.h"
+
+namespace spacetwist::roadnet {
+namespace {
+
+NetworkDataset MediumNetwork(uint64_t seed) {
+  NetworkGenParams params;
+  params.grid_side = 25;  // 625 vertices
+  params.extent = 5000;
+  params.poi_count = 400;
+  return GenerateNetwork(params, seed);
+}
+
+/// Brute-force network kNN distances from `q` over all POIs.
+std::vector<double> BruteForceNetworkKnn(const NetworkDataset& ds,
+                                         VertexId q, size_t k) {
+  IncrementalDijkstra dijkstra(&ds.network, q);
+  std::vector<double> dists;
+  for (const NetworkPoi& poi : ds.pois) {
+    dists.push_back(dijkstra.DistanceTo(poi.vertex));
+  }
+  std::sort(dists.begin(), dists.end());
+  dists.resize(std::min(k, dists.size()));
+  return dists;
+}
+
+// ---------------------------------------------------------------- INN
+
+TEST(NetworkInnTest, StreamsPoisInAscendingNetworkDistance) {
+  const NetworkDataset ds = MediumNetwork(21);
+  NetworkInnStream stream(&ds, 0);
+  double prev = -1.0;
+  size_t count = 0;
+  while (true) {
+    auto next = stream.Next();
+    if (!next.ok()) {
+      EXPECT_TRUE(next.status().IsExhausted());
+      break;
+    }
+    EXPECT_GE(next->distance, prev);
+    prev = next->distance;
+    ++count;
+  }
+  EXPECT_EQ(count, ds.pois.size());
+}
+
+TEST(NetworkInnTest, DistancesMatchDijkstra) {
+  const NetworkDataset ds = MediumNetwork(23);
+  const VertexId anchor = 100;
+  NetworkInnStream stream(&ds, anchor);
+  IncrementalDijkstra reference(&ds.network, anchor);
+  for (int i = 0; i < 50; ++i) {
+    auto next = stream.Next();
+    ASSERT_TRUE(next.ok());
+    EXPECT_NEAR(next->distance, reference.DistanceTo(next->poi.vertex),
+                1e-9);
+  }
+}
+
+TEST(NetworkInnTest, CompletenessUpToTau) {
+  const NetworkDataset ds = MediumNetwork(27);
+  const VertexId anchor = 300;
+  NetworkInnStream stream(&ds, anchor);
+  std::vector<uint32_t> seen;
+  double tau = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    auto next = stream.Next();
+    ASSERT_TRUE(next.ok());
+    seen.push_back(next->poi.id);
+    tau = next->distance;
+  }
+  std::sort(seen.begin(), seen.end());
+  IncrementalDijkstra dijkstra(&ds.network, anchor);
+  for (const NetworkPoi& poi : ds.pois) {
+    if (dijkstra.DistanceTo(poi.vertex) < tau) {
+      EXPECT_TRUE(std::binary_search(seen.begin(), seen.end(), poi.id));
+    }
+  }
+}
+
+// ---------------------------------------------------------------- client
+
+class NetworkClientTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NetworkClientTest, ExactResultsForAllK) {
+  const size_t k = GetParam();
+  const NetworkDataset ds = MediumNetwork(31);
+  NetworkSpaceTwistClient client(&ds);
+  Rng rng(1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const VertexId q = static_cast<VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(ds.network.vertex_count()) - 1));
+    NetworkQueryParams params;
+    params.k = k;
+    params.anchor_distance = 600;
+    params.beta = 16;
+    auto outcome = client.Query(q, params, &rng);
+    ASSERT_TRUE(outcome.ok());
+    const auto expected = BruteForceNetworkKnn(ds, q, k);
+    ASSERT_EQ(outcome->neighbors.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(outcome->neighbors[i].distance, expected[i], 1e-9)
+          << "k=" << k << " rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, NetworkClientTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(NetworkClientSingleTest, TerminationConditionHolds) {
+  const NetworkDataset ds = MediumNetwork(37);
+  NetworkSpaceTwistClient client(&ds);
+  Rng rng(2);
+  NetworkQueryParams params;
+  params.k = 2;
+  params.anchor_distance = 800;
+  params.beta = 8;
+  auto outcome = client.Query(77, params, &rng);
+  ASSERT_TRUE(outcome.ok());
+  if (!outcome->stream_exhausted) {
+    const double anchor_dist = NetworkDistance(
+        ds.network, outcome->query_vertex, outcome->anchor_vertex);
+    EXPECT_LE(outcome->gamma + anchor_dist, outcome->tau + 1e-9);
+  }
+}
+
+TEST(NetworkClientSingleTest, AnchorDistanceDrivesCost) {
+  const NetworkDataset ds = MediumNetwork(41);
+  NetworkSpaceTwistClient client(&ds);
+  Rng rng(3);
+  double near_points = 0;
+  double far_points = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const VertexId q = static_cast<VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(ds.network.vertex_count()) - 1));
+    NetworkQueryParams params;
+    params.beta = 16;
+    params.anchor_distance = 200;
+    auto near = client.Query(q, params, &rng);
+    ASSERT_TRUE(near.ok());
+    near_points += static_cast<double>(near->retrieved.size());
+    params.anchor_distance = 1500;
+    auto far = client.Query(q, params, &rng);
+    ASSERT_TRUE(far.ok());
+    far_points += static_cast<double>(far->retrieved.size());
+  }
+  EXPECT_GT(far_points, near_points);
+}
+
+TEST(NetworkClientSingleTest, AnchorEqualsQueryStillExact) {
+  const NetworkDataset ds = MediumNetwork(43);
+  NetworkSpaceTwistClient client(&ds);
+  NetworkQueryParams params;
+  params.k = 3;
+  auto outcome = client.Query(50, 50, params);
+  ASSERT_TRUE(outcome.ok());
+  const auto expected = BruteForceNetworkKnn(ds, 50, 3);
+  ASSERT_EQ(outcome->neighbors.size(), 3u);
+  EXPECT_NEAR(outcome->neighbors.back().distance, expected.back(), 1e-9);
+}
+
+TEST(NetworkClientSingleTest, RejectsBadArguments) {
+  const NetworkDataset ds = MediumNetwork(47);
+  NetworkSpaceTwistClient client(&ds);
+  NetworkQueryParams params;
+  params.k = 0;
+  EXPECT_TRUE(client.Query(0, 1, params).status().IsInvalidArgument());
+  params.k = 1;
+  EXPECT_TRUE(
+      client.Query(0, 1000000, params).status().IsInvalidArgument());
+}
+
+TEST(NetworkClientSingleTest, PickAnchorVertexHitsTargetBand) {
+  const NetworkDataset ds = MediumNetwork(53);
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const VertexId q = static_cast<VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(ds.network.vertex_count()) - 1));
+    const VertexId anchor = PickAnchorVertex(ds, q, 700, &rng);
+    ASSERT_NE(anchor, kInvalidVertexId);
+    const double d = NetworkDistance(ds.network, q, anchor);
+    EXPECT_GE(d, 0.8 * 700 - 1e-9);
+    EXPECT_LE(d, 1.2 * 700 + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- privacy
+
+TEST(NetworkPrivacyTest, TrueVertexAlwaysPossible) {
+  const NetworkDataset ds = MediumNetwork(59);
+  NetworkSpaceTwistClient client(&ds);
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const VertexId q = static_cast<VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(ds.network.vertex_count()) - 1));
+    NetworkQueryParams params;
+    params.k = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+    params.anchor_distance = 600;
+    params.beta = 8;
+    auto outcome = client.Query(q, params, &rng);
+    ASSERT_TRUE(outcome.ok());
+    const NetworkObservation obs = MakeNetworkObservation(*outcome);
+    auto region = DeriveNetworkPrivacyRegion(ds, obs, q);
+    ASSERT_TRUE(region.ok());
+    EXPECT_TRUE(std::find(region->possible_vertices.begin(),
+                          region->possible_vertices.end(),
+                          q) != region->possible_vertices.end());
+  }
+}
+
+TEST(NetworkPrivacyTest, PrivacyTracksAnchorDistance) {
+  const NetworkDataset ds = MediumNetwork(61);
+  NetworkSpaceTwistClient client(&ds);
+  Rng rng(6);
+  double privacy_near = 0;
+  double privacy_far = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const VertexId q = static_cast<VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(ds.network.vertex_count()) - 1));
+    NetworkQueryParams params;
+    params.beta = 8;
+    params.anchor_distance = 300;
+    auto near = client.Query(q, params, &rng);
+    ASSERT_TRUE(near.ok());
+    auto near_region = DeriveNetworkPrivacyRegion(
+        ds, MakeNetworkObservation(*near), q);
+    ASSERT_TRUE(near_region.ok());
+    privacy_near += near_region->privacy_value;
+
+    params.anchor_distance = 1200;
+    auto far = client.Query(q, params, &rng);
+    ASSERT_TRUE(far.ok());
+    auto far_region =
+        DeriveNetworkPrivacyRegion(ds, MakeNetworkObservation(*far), q);
+    ASSERT_TRUE(far_region.ok());
+    privacy_far += far_region->privacy_value;
+  }
+  EXPECT_GT(privacy_far, privacy_near);
+}
+
+TEST(NetworkPrivacyTest, AnchorVertexExcludedForMultiPacketRuns) {
+  const NetworkDataset ds = MediumNetwork(67);
+  NetworkSpaceTwistClient client(&ds);
+  Rng rng(7);
+  NetworkQueryParams params;
+  params.anchor_distance = 1200;
+  params.beta = 4;
+  auto outcome = client.Query(10, params, &rng);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_GE(outcome->packets, 2u);
+  const NetworkObservation obs = MakeNetworkObservation(*outcome);
+  auto region = DeriveNetworkPrivacyRegion(ds, obs, 10);
+  ASSERT_TRUE(region.ok());
+  EXPECT_TRUE(std::find(region->possible_vertices.begin(),
+                        region->possible_vertices.end(),
+                        outcome->anchor_vertex) ==
+              region->possible_vertices.end());
+}
+
+TEST(NetworkPrivacyTest, RejectsEmptyObservation) {
+  const NetworkDataset ds = MediumNetwork(71);
+  NetworkObservation obs;
+  obs.anchor = 0;
+  EXPECT_TRUE(
+      DeriveNetworkPrivacyRegion(ds, obs, 0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spacetwist::roadnet

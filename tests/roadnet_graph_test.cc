@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "roadnet/graph.h"
+#include "roadnet/network_dataset.h"
+#include "roadnet/shortest_path.h"
+
+namespace spacetwist::roadnet {
+namespace {
+
+RoadNetwork Triangle() {
+  RoadNetwork g;
+  const VertexId a = g.AddVertex({0, 0});
+  const VertexId b = g.AddVertex({10, 0});
+  const VertexId c = g.AddVertex({0, 10});
+  EXPECT_TRUE(g.AddStraightEdge(a, b).ok());
+  EXPECT_TRUE(g.AddStraightEdge(a, c).ok());
+  EXPECT_TRUE(g.AddEdge(b, c, 20.0).ok());  // long way round
+  return g;
+}
+
+// ---------------------------------------------------------------- graph
+
+TEST(RoadNetworkTest, AddVertexAssignsSequentialIds) {
+  RoadNetwork g;
+  EXPECT_EQ(g.AddVertex({1, 1}), 0u);
+  EXPECT_EQ(g.AddVertex({2, 2}), 1u);
+  EXPECT_EQ(g.vertex_count(), 2u);
+  EXPECT_EQ(g.location(1), (geom::Point{2, 2}));
+}
+
+TEST(RoadNetworkTest, EdgesAreUndirected) {
+  RoadNetwork g = Triangle();
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+  EXPECT_EQ(g.neighbors(2).size(), 2u);
+}
+
+TEST(RoadNetworkTest, RejectsBadEdges) {
+  RoadNetwork g;
+  const VertexId a = g.AddVertex({0, 0});
+  const VertexId b = g.AddVertex({3, 4});
+  EXPECT_TRUE(g.AddEdge(a, 99, 5.0).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(a, a, 5.0).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(a, b, 0.0).IsInvalidArgument());
+  // Sub-Euclidean length (straight-line distance is 5).
+  EXPECT_TRUE(g.AddEdge(a, b, 4.0).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(a, b, 5.0).ok());
+}
+
+TEST(RoadNetworkTest, NearestVertexAndBoundingBox) {
+  RoadNetwork g = Triangle();
+  EXPECT_EQ(g.NearestVertex({9, 1}), 1u);
+  EXPECT_EQ(g.NearestVertex({1, 9}), 2u);
+  EXPECT_EQ(g.BoundingBox(), (geom::Rect{{0, 0}, {10, 10}}));
+  RoadNetwork empty;
+  EXPECT_EQ(empty.NearestVertex({0, 0}), kInvalidVertexId);
+}
+
+TEST(RoadNetworkTest, ConnectivityDetection) {
+  RoadNetwork g = Triangle();
+  EXPECT_TRUE(g.IsConnected());
+  g.AddVertex({99, 99});  // isolated
+  EXPECT_FALSE(g.IsConnected());
+  RoadNetwork empty;
+  EXPECT_TRUE(empty.IsConnected());
+}
+
+// ---------------------------------------------------------------- dijkstra
+
+TEST(DijkstraTest, TriangleDistances) {
+  RoadNetwork g = Triangle();
+  EXPECT_DOUBLE_EQ(NetworkDistance(g, 0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(NetworkDistance(g, 0, 2), 10.0);
+  // b -> c direct edge is 20, via a it is also 20; both fine.
+  EXPECT_DOUBLE_EQ(NetworkDistance(g, 1, 2), 20.0);
+  EXPECT_DOUBLE_EQ(NetworkDistance(g, 1, 1), 0.0);
+}
+
+TEST(DijkstraTest, UnreachableIsInfinite) {
+  RoadNetwork g = Triangle();
+  const VertexId island = g.AddVertex({50, 50});
+  EXPECT_TRUE(std::isinf(NetworkDistance(g, 0, island)));
+}
+
+TEST(DijkstraTest, SettleOrderIsAscending) {
+  const NetworkDataset ds =
+      GenerateNetwork(NetworkGenParams{10, 1000, 0.2, 0.1, 1.2, 50}, 1);
+  IncrementalDijkstra dijkstra(&ds.network, 0);
+  double prev = -1.0;
+  double d = 0.0;
+  while (dijkstra.SettleNext(&d) != kInvalidVertexId) {
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+  EXPECT_EQ(dijkstra.settle_order().size(), ds.network.vertex_count());
+}
+
+TEST(DijkstraTest, MatchesAllPairsOracle) {
+  const NetworkDataset ds =
+      GenerateNetwork(NetworkGenParams{6, 600, 0.3, 0.2, 1.3, 10}, 3);
+  const auto oracle = AllPairsDistances(ds.network);
+  Rng rng(4);
+  for (int trial = 0; trial < 40; ++trial) {
+    const VertexId a = static_cast<VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(ds.network.vertex_count()) - 1));
+    const VertexId b = static_cast<VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(ds.network.vertex_count()) - 1));
+    EXPECT_NEAR(NetworkDistance(ds.network, a, b), oracle[a][b], 1e-9);
+  }
+}
+
+TEST(DijkstraTest, TriangleInequalityHolds) {
+  // The property Lemma 1 relies on.
+  const NetworkDataset ds =
+      GenerateNetwork(NetworkGenParams{8, 800, 0.3, 0.15, 1.25, 20}, 5);
+  const auto d = AllPairsDistances(ds.network);
+  const size_t n = ds.network.vertex_count();
+  Rng rng(6);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t a = static_cast<size_t>(rng.UniformInt(0, n - 1));
+    const size_t b = static_cast<size_t>(rng.UniformInt(0, n - 1));
+    const size_t c = static_cast<size_t>(rng.UniformInt(0, n - 1));
+    EXPECT_LE(d[a][c], d[a][b] + d[b][c] + 1e-9);
+  }
+}
+
+TEST(DijkstraTest, NetworkDistanceAtLeastEuclidean) {
+  // Edge lengths are >= straight-line, so path distances are too.
+  const NetworkDataset ds =
+      GenerateNetwork(NetworkGenParams{8, 800, 0.3, 0.15, 1.25, 20}, 7);
+  const auto d = AllPairsDistances(ds.network);
+  for (VertexId a = 0; a < ds.network.vertex_count(); ++a) {
+    for (VertexId b = 0; b < ds.network.vertex_count(); ++b) {
+      if (std::isinf(d[a][b])) continue;
+      EXPECT_GE(d[a][b] + 1e-6,
+                geom::Distance(ds.network.location(a),
+                               ds.network.location(b)));
+    }
+  }
+}
+
+TEST(DijkstraTest, LazyExpansionStopsEarly) {
+  const NetworkDataset ds =
+      GenerateNetwork(NetworkGenParams{30, 3000, 0.2, 0.1, 1.2, 100}, 8);
+  IncrementalDijkstra dijkstra(&ds.network, 0);
+  dijkstra.ExpandToRadius(500.0);
+  const size_t settled_small = dijkstra.settle_order().size();
+  EXPECT_GT(settled_small, 0u);
+  EXPECT_LT(settled_small, ds.network.vertex_count());
+  for (const VertexId v : dijkstra.settle_order()) {
+    EXPECT_LE(dijkstra.SettledDistance(v), 500.0 + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- generator
+
+TEST(NetworkGeneratorTest, ProducesConnectedNetworkOfRequestedSize) {
+  NetworkGenParams params;
+  params.grid_side = 20;
+  params.poi_count = 500;
+  const NetworkDataset ds = GenerateNetwork(params, 9);
+  EXPECT_EQ(ds.network.vertex_count(), 400u);
+  EXPECT_TRUE(ds.network.IsConnected());
+  EXPECT_EQ(ds.pois.size(), 500u);
+}
+
+TEST(NetworkGeneratorTest, DeterministicForSeed) {
+  NetworkGenParams params;
+  params.grid_side = 12;
+  params.poi_count = 100;
+  const NetworkDataset a = GenerateNetwork(params, 42);
+  const NetworkDataset b = GenerateNetwork(params, 42);
+  EXPECT_EQ(a.network.vertex_count(), b.network.vertex_count());
+  EXPECT_EQ(a.network.edge_count(), b.network.edge_count());
+  for (size_t i = 0; i < a.pois.size(); ++i) {
+    EXPECT_EQ(a.pois[i].vertex, b.pois[i].vertex);
+  }
+}
+
+TEST(NetworkGeneratorTest, PoiIndexIsConsistent) {
+  const NetworkDataset ds =
+      GenerateNetwork(NetworkGenParams{15, 1500, 0.3, 0.15, 1.25, 300}, 10);
+  size_t indexed = 0;
+  for (VertexId v = 0; v < ds.network.vertex_count(); ++v) {
+    for (const uint32_t poi_index : ds.pois_at_vertex[v]) {
+      EXPECT_EQ(ds.pois[poi_index].vertex, v);
+      ++indexed;
+    }
+  }
+  EXPECT_EQ(indexed, ds.pois.size());
+}
+
+TEST(NetworkGeneratorTest, VerticesStayNearTheirGridCell) {
+  NetworkGenParams params;
+  params.grid_side = 10;
+  params.extent = 1000;
+  params.jitter_fraction = 0.3;
+  const NetworkDataset ds = GenerateNetwork(params, 11);
+  const geom::Rect box = ds.network.BoundingBox();
+  // Jitter is bounded, so the embedding stays near the requested extent.
+  EXPECT_GT(box.Width(), 900);
+  EXPECT_LT(box.Width(), 1100);
+}
+
+}  // namespace
+}  // namespace spacetwist::roadnet

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "rtree/bulk_load.h"
+#include "rtree/node.h"
+#include "rtree/rtree.h"
+#include "storage/pager.h"
+
+namespace spacetwist::rtree {
+namespace {
+
+std::vector<DataPoint> RandomPoints(size_t n, uint64_t seed,
+                                    double extent = 10000.0) {
+  Rng rng(seed);
+  std::vector<DataPoint> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Quantize to float like the datasets module does.
+    const float x = static_cast<float>(rng.Uniform(0, extent));
+    const float y = static_cast<float>(rng.Uniform(0, extent));
+    pts.push_back({{static_cast<double>(x), static_cast<double>(y)},
+                   static_cast<uint32_t>(i)});
+  }
+  return pts;
+}
+
+std::vector<DataPoint> BruteForceKnn(const std::vector<DataPoint>& pts,
+                                     const geom::Point& q, size_t k) {
+  std::vector<DataPoint> sorted = pts;
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const DataPoint& a, const DataPoint& b) {
+              const double da = geom::Distance(q, a.point);
+              const double db = geom::Distance(q, b.point);
+              if (da != db) return da < db;
+              return a.id < b.id;
+            });
+  sorted.resize(std::min(k, sorted.size()));
+  return sorted;
+}
+
+// ---------------------------------------------------------------- Node
+
+TEST(NodeTest, CapacitiesForOneKilobytePages) {
+  EXPECT_EQ(LeafCapacity(1024), (1024 - 4) / 12);
+  EXPECT_EQ(BranchCapacity(1024), (1024 - 4) / 20);
+}
+
+TEST(NodeTest, LeafSerializationRoundTrip) {
+  Node node;
+  node.level = 0;
+  node.points = {{{1.5, 2.5}, 7}, {{3.25, 4.75}, 8}, {{0, 0}, 9}};
+  storage::Page page(1024);
+  ASSERT_TRUE(SerializeNode(node, &page).ok());
+  Node parsed;
+  ASSERT_TRUE(DeserializeNode(page, &parsed).ok());
+  EXPECT_EQ(parsed.level, 0);
+  ASSERT_EQ(parsed.points.size(), 3u);
+  EXPECT_EQ(parsed.points[0], node.points[0]);
+  EXPECT_EQ(parsed.points[1], node.points[1]);
+  EXPECT_EQ(parsed.points[2], node.points[2]);
+}
+
+TEST(NodeTest, BranchSerializationRoundTrip) {
+  Node node;
+  node.level = 2;
+  node.branches = {{geom::Rect{{1, 2}, {3, 4}}, 11},
+                   {geom::Rect{{5, 6}, {7, 8}}, 12}};
+  storage::Page page(1024);
+  ASSERT_TRUE(SerializeNode(node, &page).ok());
+  Node parsed;
+  ASSERT_TRUE(DeserializeNode(page, &parsed).ok());
+  EXPECT_EQ(parsed.level, 2);
+  ASSERT_EQ(parsed.branches.size(), 2u);
+  EXPECT_EQ(parsed.branches[0].mbr, node.branches[0].mbr);
+  EXPECT_EQ(parsed.branches[1].child, 12u);
+}
+
+TEST(NodeTest, OverfullNodeRejected) {
+  Node node;
+  node.level = 0;
+  node.points.resize(LeafCapacity(1024) + 1);
+  storage::Page page(1024);
+  EXPECT_TRUE(SerializeNode(node, &page).IsInvalidArgument());
+}
+
+TEST(NodeTest, ComputeMbrTight) {
+  Node node;
+  node.level = 0;
+  node.points = {{{1, 8}, 0}, {{4, 2}, 1}, {{3, 5}, 2}};
+  EXPECT_EQ(node.ComputeMbr(), (geom::Rect{{1, 2}, {4, 8}}));
+}
+
+// ---------------------------------------------------------------- Create/Insert
+
+TEST(RTreeTest, CreateEmptyTree) {
+  storage::Pager pager;
+  auto tree = RTree::Create(&pager, RTreeOptions());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->size(), 0u);
+  EXPECT_EQ((*tree)->height(), 1);
+  EXPECT_TRUE((*tree)->Validate().ok());
+}
+
+TEST(RTreeTest, CreateRejectsMismatchedPageSize) {
+  storage::Pager pager(512);
+  RTreeOptions opts;
+  opts.page_size = 1024;
+  EXPECT_FALSE(RTree::Create(&pager, opts).ok());
+}
+
+TEST(RTreeTest, InsertGrowsTreeAndStaysValid) {
+  storage::Pager pager;
+  auto tree = RTree::Create(&pager, RTreeOptions()).MoveValueOrDie();
+  const auto pts = RandomPoints(2000, 17);
+  for (const DataPoint& p : pts) {
+    ASSERT_TRUE(tree->Insert(p).ok());
+  }
+  EXPECT_EQ(tree->size(), 2000u);
+  EXPECT_GE(tree->height(), 2);
+  ASSERT_TRUE(tree->Validate().ok());
+}
+
+TEST(RTreeTest, InsertedKnnMatchesBruteForce) {
+  storage::Pager pager;
+  auto tree = RTree::Create(&pager, RTreeOptions()).MoveValueOrDie();
+  const auto pts = RandomPoints(1500, 23);
+  for (const DataPoint& p : pts) ASSERT_TRUE(tree->Insert(p).ok());
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    const auto expected = BruteForceKnn(pts, q, 10);
+    auto got = tree->KnnQuery(q, 10);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR((*got)[i].distance,
+                  geom::Distance(q, expected[i].point), 1e-9);
+    }
+  }
+}
+
+TEST(RTreeTest, RangeQueryMatchesBruteForce) {
+  storage::Pager pager;
+  auto tree = RTree::Create(&pager, RTreeOptions()).MoveValueOrDie();
+  const auto pts = RandomPoints(1200, 31);
+  for (const DataPoint& p : pts) ASSERT_TRUE(tree->Insert(p).ok());
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double x = rng.Uniform(0, 9000);
+    const double y = rng.Uniform(0, 9000);
+    const geom::Rect window{{x, y}, {x + 1500, y + 1500}};
+    std::vector<DataPoint> got;
+    ASSERT_TRUE(tree->RangeQuery(window, &got).ok());
+    size_t expected = 0;
+    for (const DataPoint& p : pts) {
+      if (window.Contains(p.point)) ++expected;
+    }
+    EXPECT_EQ(got.size(), expected);
+    for (const DataPoint& p : got) EXPECT_TRUE(window.Contains(p.point));
+  }
+}
+
+TEST(RTreeTest, DuplicatePointsSupported) {
+  storage::Pager pager;
+  auto tree = RTree::Create(&pager, RTreeOptions()).MoveValueOrDie();
+  for (uint32_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(tree->Insert({{42.0, 42.0}, i}).ok());
+  }
+  EXPECT_EQ(tree->size(), 300u);
+  ASSERT_TRUE(tree->Validate().ok());
+  auto knn = tree->KnnQuery({42, 42}, 300);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(knn->size(), 300u);
+}
+
+// ---------------------------------------------------------------- Delete
+
+TEST(RTreeTest, DeleteRemovesExactEntry) {
+  storage::Pager pager;
+  auto tree = RTree::Create(&pager, RTreeOptions()).MoveValueOrDie();
+  const auto pts = RandomPoints(500, 41);
+  for (const DataPoint& p : pts) ASSERT_TRUE(tree->Insert(p).ok());
+  auto removed = tree->Delete(pts[123]);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(*removed);
+  EXPECT_EQ(tree->size(), 499u);
+  ASSERT_TRUE(tree->Validate().ok());
+  // Deleting again reports not found.
+  auto again = tree->Delete(pts[123]);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+  EXPECT_EQ(tree->size(), 499u);
+}
+
+TEST(RTreeTest, DeleteManyKeepsTreeConsistent) {
+  storage::Pager pager;
+  auto tree = RTree::Create(&pager, RTreeOptions()).MoveValueOrDie();
+  auto pts = RandomPoints(1000, 43);
+  for (const DataPoint& p : pts) ASSERT_TRUE(tree->Insert(p).ok());
+  // Remove 80% in random order.
+  Rng rng(44);
+  std::shuffle(pts.begin(), pts.end(), rng.engine());
+  const size_t to_remove = 800;
+  for (size_t i = 0; i < to_remove; ++i) {
+    auto removed = tree->Delete(pts[i]);
+    ASSERT_TRUE(removed.ok());
+    ASSERT_TRUE(*removed) << "entry " << i << " should exist";
+  }
+  EXPECT_EQ(tree->size(), 200u);
+  ASSERT_TRUE(tree->Validate().ok());
+  // The survivors are all still findable.
+  std::vector<DataPoint> rest(pts.begin() + to_remove, pts.end());
+  for (const DataPoint& p : rest) {
+    auto knn = tree->KnnQuery(p.point, 1);
+    ASSERT_TRUE(knn.ok());
+    ASSERT_FALSE(knn->empty());
+    EXPECT_NEAR((*knn)[0].distance, 0.0, 1e-9);
+  }
+}
+
+TEST(RTreeTest, DeleteDownToEmpty) {
+  storage::Pager pager;
+  auto tree = RTree::Create(&pager, RTreeOptions()).MoveValueOrDie();
+  auto pts = RandomPoints(300, 47);
+  for (const DataPoint& p : pts) ASSERT_TRUE(tree->Insert(p).ok());
+  for (const DataPoint& p : pts) {
+    auto removed = tree->Delete(p);
+    ASSERT_TRUE(removed.ok());
+    ASSERT_TRUE(*removed);
+  }
+  EXPECT_EQ(tree->size(), 0u);
+  ASSERT_TRUE(tree->Validate().ok());
+  auto knn = tree->KnnQuery({5, 5}, 3);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_TRUE(knn->empty());
+}
+
+TEST(RTreeTest, DeleteFromEmptyTree) {
+  storage::Pager pager;
+  auto tree = RTree::Create(&pager, RTreeOptions()).MoveValueOrDie();
+  auto removed = tree->Delete({{1, 1}, 0});
+  ASSERT_TRUE(removed.ok());
+  EXPECT_FALSE(*removed);
+}
+
+// ---------------------------------------------------------------- BulkLoad
+
+TEST(BulkLoadTest, EmptyInputYieldsEmptyTree) {
+  storage::Pager pager;
+  auto tree = BulkLoad(&pager, BulkLoadOptions(), {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->size(), 0u);
+  EXPECT_TRUE((*tree)->Validate().ok());
+}
+
+TEST(BulkLoadTest, SmallInputSingleLeaf) {
+  storage::Pager pager;
+  auto tree = BulkLoad(&pager, BulkLoadOptions(), RandomPoints(10, 3));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->size(), 10u);
+  EXPECT_EQ((*tree)->height(), 1);
+  EXPECT_TRUE((*tree)->Validate().ok());
+}
+
+class BulkLoadSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BulkLoadSizeTest, StructureValidAndKnnExact) {
+  const size_t n = GetParam();
+  storage::Pager pager;
+  const auto pts = RandomPoints(n, 1000 + n);
+  auto tree = BulkLoad(&pager, BulkLoadOptions(), pts);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->size(), n);
+  ASSERT_TRUE((*tree)->Validate().ok());
+
+  Rng rng(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    const geom::Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    const size_t k = 1 + static_cast<size_t>(rng.UniformInt(0, 7));
+    const auto expected = BruteForceKnn(pts, q, k);
+    auto got = (*tree)->KnnQuery(q, k);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR((*got)[i].distance,
+                  geom::Distance(q, expected[i].point), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadSizeTest,
+                         ::testing::Values(1, 2, 85, 86, 500, 5000, 20000));
+
+TEST(BulkLoadTest, PartialFillOption) {
+  storage::Pager pager;
+  BulkLoadOptions opts;
+  opts.fill = 0.7;
+  auto tree = BulkLoad(&pager, opts, RandomPoints(5000, 51));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE((*tree)->Validate().ok());
+  EXPECT_EQ((*tree)->size(), 5000u);
+}
+
+TEST(BulkLoadTest, InsertAfterBulkLoad) {
+  storage::Pager pager;
+  auto pts = RandomPoints(3000, 53);
+  auto tree = BulkLoad(&pager, BulkLoadOptions(), pts).MoveValueOrDie();
+  const auto extra = RandomPoints(500, 54);
+  for (const DataPoint& p : extra) {
+    DataPoint shifted = p;
+    shifted.id += 100000;
+    ASSERT_TRUE(tree->Insert(shifted).ok());
+  }
+  EXPECT_EQ(tree->size(), 3500u);
+  ASSERT_TRUE(tree->Validate().ok());
+}
+
+TEST(BulkLoadTest, RejectsBadFill) {
+  storage::Pager pager;
+  BulkLoadOptions opts;
+  opts.fill = 0.0;
+  EXPECT_FALSE(BulkLoad(&pager, opts, RandomPoints(10, 1)).ok());
+}
+
+}  // namespace
+}  // namespace spacetwist::rtree

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "datasets/generator.h"
+#include "server/lbs_server.h"
+#include "server/session_manager.h"
+
+namespace spacetwist::server {
+namespace {
+
+class SessionManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(20000, 1901);
+    server_ = LbsServer::Build(dataset_).MoveValueOrDie();
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<LbsServer> server_;
+};
+
+TEST_F(SessionManagerTest, OpenPullClose) {
+  SessionManager manager(server_.get());
+  auto id = manager.Open({5000, 5000}, 0.0, 1);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(manager.open_sessions(), 1u);
+
+  auto packet = manager.NextPacket(*id);
+  ASSERT_TRUE(packet.ok());
+  EXPECT_EQ(packet->size(), 67u);
+  // Points come in ascending anchor distance across packets.
+  double prev = -1;
+  for (int i = 0; i < 3; ++i) {
+    auto next = manager.NextPacket(*id);
+    ASSERT_TRUE(next.ok());
+    for (const rtree::DataPoint& p : next->points) {
+      const double d = geom::Distance({5000, 5000}, p.point);
+      EXPECT_GE(d, prev - 1e-9);
+      prev = d;
+    }
+  }
+  EXPECT_TRUE(manager.Close(*id).ok());
+  EXPECT_EQ(manager.open_sessions(), 0u);
+}
+
+TEST_F(SessionManagerTest, UnknownAndClosedSessionsAreNotFound) {
+  SessionManager manager(server_.get());
+  EXPECT_TRUE(manager.NextPacket(12345).status().IsNotFound());
+  auto id = manager.Open({1, 1}, 0.0, 1);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(manager.Close(*id).ok());
+  EXPECT_TRUE(manager.Close(*id).IsNotFound());
+  EXPECT_TRUE(manager.NextPacket(*id).status().IsNotFound());
+}
+
+TEST_F(SessionManagerTest, EnforcesSessionCap) {
+  SessionManager manager(server_.get(), /*max_sessions=*/2);
+  auto a = manager.Open({1, 1}, 0, 1);
+  auto b = manager.Open({2, 2}, 0, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(manager.Open({3, 3}, 0, 1).status().IsInternal());
+  ASSERT_TRUE(manager.Close(*a).ok());
+  EXPECT_TRUE(manager.Open({3, 3}, 0, 1).ok());
+}
+
+TEST_F(SessionManagerTest, InterleavedSessionsAreIndependent) {
+  SessionManager manager(server_.get());
+  auto a = manager.Open({1000, 1000}, 0.0, 1);
+  auto b = manager.Open({9000, 9000}, 0.0, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto pa = manager.NextPacket(*a);
+  auto pb = manager.NextPacket(*b);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  // Each stream is centered on its own anchor.
+  EXPECT_LT(geom::Distance({1000, 1000}, pa->points[0].point), 500);
+  EXPECT_LT(geom::Distance({9000, 9000}, pb->points[0].point), 500);
+  // Pulling more from one does not advance the other.
+  ASSERT_TRUE(manager.NextPacket(*a).ok());
+  auto pb2 = manager.NextPacket(*b);
+  ASSERT_TRUE(pb2.ok());
+  EXPECT_GT(geom::Distance({9000, 9000}, pb2->points.back().point),
+            geom::Distance({9000, 9000}, pb->points[0].point));
+}
+
+TEST_F(SessionManagerTest, TotalsAggregateAcrossClosedSessions) {
+  SessionManager manager(server_.get());
+  for (int i = 0; i < 3; ++i) {
+    auto id = manager.Open({5000, 5000}, 0.0, 1);
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(manager.NextPacket(*id).ok());
+    ASSERT_TRUE(manager.NextPacket(*id).ok());
+    ASSERT_TRUE(manager.Close(*id).ok());
+  }
+  EXPECT_EQ(manager.sessions_opened(), 3u);
+  EXPECT_EQ(manager.total_stats().downlink_packets, 6u);
+  EXPECT_EQ(manager.total_stats().downlink_points, 6u * 67u);
+  EXPECT_GT(manager.total_stats().downlink_bytes, 0u);
+}
+
+TEST_F(SessionManagerTest, RejectsBadParameters) {
+  SessionManager manager(server_.get());
+  EXPECT_TRUE(manager.Open({1, 1}, 0.0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(manager.Open({1, 1}, -1.0, 1).status().IsInvalidArgument());
+}
+
+TEST_F(SessionManagerTest, GranularSessionsRespectEpsilon) {
+  SessionManager manager(server_.get());
+  auto exact = manager.Open({5000, 5000}, 0.0, 1);
+  auto coarse = manager.Open({5000, 5000}, 1500.0, 1);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(coarse.ok());
+  // The coarse stream exhausts after few points; the exact one does not.
+  size_t coarse_points = 0;
+  while (true) {
+    auto packet = manager.NextPacket(*coarse);
+    if (!packet.ok()) {
+      EXPECT_TRUE(packet.status().IsExhausted());
+      break;
+    }
+    coarse_points += packet->size();
+  }
+  EXPECT_LT(coarse_points, 150u);
+  auto packet = manager.NextPacket(*exact);
+  ASSERT_TRUE(packet.ok());
+  EXPECT_EQ(packet->size(), 67u);
+}
+
+}  // namespace
+}  // namespace spacetwist::server

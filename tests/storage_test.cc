@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace spacetwist::storage {
+namespace {
+
+TEST(PageTest, TypedAccessorsRoundTrip) {
+  Page page(128);
+  page.PutU8(0, 0xAB);
+  page.PutU16(2, 0xBEEF);
+  page.PutU32(4, 0xDEADBEEF);
+  page.PutU64(8, 0x0123456789ABCDEFULL);
+  page.PutF32(16, 3.25f);
+  EXPECT_EQ(page.GetU8(0), 0xAB);
+  EXPECT_EQ(page.GetU16(2), 0xBEEF);
+  EXPECT_EQ(page.GetU32(4), 0xDEADBEEFu);
+  EXPECT_EQ(page.GetU64(8), 0x0123456789ABCDEFULL);
+  EXPECT_FLOAT_EQ(page.GetF32(16), 3.25f);
+}
+
+TEST(PageTest, ZeroClears) {
+  Page page(64);
+  page.PutU32(0, 77);
+  page.Zero();
+  EXPECT_EQ(page.GetU32(0), 0u);
+}
+
+TEST(PageTest, DefaultSizeIsOneKilobyte) {
+  EXPECT_EQ(Page().size(), 1024u);
+}
+
+TEST(PagerTest, AllocateAssignsSequentialIds) {
+  Pager pager(256);
+  EXPECT_EQ(pager.Allocate(), 0u);
+  EXPECT_EQ(pager.Allocate(), 1u);
+  EXPECT_EQ(pager.Allocate(), 2u);
+  EXPECT_EQ(pager.page_count(), 3u);
+  EXPECT_EQ(pager.stats().pages_allocated, 3u);
+}
+
+TEST(PagerTest, WriteReadRoundTrip) {
+  Pager pager(256);
+  const PageId id = pager.Allocate();
+  Page out(256);
+  out.PutU32(0, 4242);
+  ASSERT_TRUE(pager.Write(id, out).ok());
+  Page in(256);
+  ASSERT_TRUE(pager.Read(id, &in).ok());
+  EXPECT_EQ(in.GetU32(0), 4242u);
+}
+
+TEST(PagerTest, ReadBeyondEndFails) {
+  Pager pager(256);
+  Page page(256);
+  EXPECT_TRUE(pager.Read(5, &page).IsOutOfRange());
+}
+
+TEST(PagerTest, WriteWrongSizeFails) {
+  Pager pager(256);
+  const PageId id = pager.Allocate();
+  EXPECT_TRUE(pager.Write(id, Page(128)).IsInvalidArgument());
+}
+
+TEST(PagerTest, PhysicalCountersTrackOperations) {
+  Pager pager(256);
+  const PageId id = pager.Allocate();
+  Page page(256);
+  ASSERT_TRUE(pager.Write(id, page).ok());
+  ASSERT_TRUE(pager.Read(id, &page).ok());
+  ASSERT_TRUE(pager.Read(id, &page).ok());
+  EXPECT_EQ(pager.stats().physical_writes, 1u);
+  EXPECT_EQ(pager.stats().physical_reads, 2u);
+}
+
+TEST(BufferPoolTest, HitAvoidsPhysicalRead) {
+  Pager pager(256);
+  const PageId id = pager.Allocate();
+  BufferPool pool(&pager, 4);
+  ASSERT_TRUE(pool.Fetch(id).ok());
+  ASSERT_TRUE(pool.Fetch(id).ok());
+  EXPECT_EQ(pool.stats().logical_reads, 2u);
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  Pager pager(64);
+  PageId ids[3];
+  for (auto& id : ids) id = pager.Allocate();
+  BufferPool pool(&pager, 2);
+  ASSERT_TRUE(pool.Fetch(ids[0]).ok());
+  ASSERT_TRUE(pool.Fetch(ids[1]).ok());
+  // Touch 0 so 1 becomes the LRU victim.
+  ASSERT_TRUE(pool.Fetch(ids[0]).ok());
+  ASSERT_TRUE(pool.Fetch(ids[2]).ok());  // evicts 1
+  EXPECT_EQ(pool.cached_pages(), 2u);
+  const auto before = pool.stats().physical_reads;
+  ASSERT_TRUE(pool.Fetch(ids[0]).ok());  // still cached
+  EXPECT_EQ(pool.stats().physical_reads, before);
+  ASSERT_TRUE(pool.Fetch(ids[1]).ok());  // was evicted -> physical read
+  EXPECT_EQ(pool.stats().physical_reads, before + 1);
+}
+
+TEST(BufferPoolTest, HandleOutlivesEviction) {
+  Pager pager(64);
+  PageId ids[3];
+  for (auto& id : ids) id = pager.Allocate();
+  Page marked(64);
+  marked.PutU32(0, 99);
+  ASSERT_TRUE(pager.Write(ids[0], marked).ok());
+
+  BufferPool pool(&pager, 1);
+  auto handle = pool.Fetch(ids[0]);
+  ASSERT_TRUE(handle.ok());
+  // Force eviction of page 0 from the pool.
+  ASSERT_TRUE(pool.Fetch(ids[1]).ok());
+  ASSERT_TRUE(pool.Fetch(ids[2]).ok());
+  // The held handle still sees valid bytes.
+  EXPECT_EQ((*handle)->GetU32(0), 99u);
+}
+
+TEST(BufferPoolTest, WriteThroughRefreshesCache) {
+  Pager pager(64);
+  const PageId id = pager.Allocate();
+  BufferPool pool(&pager, 2);
+  ASSERT_TRUE(pool.Fetch(id).ok());
+  Page page(64);
+  page.PutU32(0, 7);
+  ASSERT_TRUE(pool.Write(id, page).ok());
+  auto handle = pool.Fetch(id);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ((*handle)->GetU32(0), 7u);
+  // And the disk has it too.
+  Page raw(64);
+  ASSERT_TRUE(pager.Read(id, &raw).ok());
+  EXPECT_EQ(raw.GetU32(0), 7u);
+}
+
+TEST(BufferPoolTest, ClearDropsCacheButKeepsCounters) {
+  Pager pager(64);
+  const PageId id = pager.Allocate();
+  BufferPool pool(&pager, 2);
+  ASSERT_TRUE(pool.Fetch(id).ok());
+  const auto logical = pool.stats().logical_reads;
+  pool.Clear();
+  EXPECT_EQ(pool.cached_pages(), 0u);
+  EXPECT_EQ(pool.stats().logical_reads, logical);
+}
+
+TEST(IoStatsTest, DifferenceOperator) {
+  IoStats a{10, 5, 3, 2};
+  IoStats b{4, 1, 1, 0};
+  const IoStats d = a - b;
+  EXPECT_EQ(d.logical_reads, 6u);
+  EXPECT_EQ(d.physical_reads, 4u);
+  EXPECT_EQ(d.physical_writes, 2u);
+  EXPECT_EQ(d.pages_allocated, 2u);
+}
+
+}  // namespace
+}  // namespace spacetwist::storage

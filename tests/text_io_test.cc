@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "datasets/dataset.h"
+#include "datasets/io.h"
+
+namespace spacetwist::datasets {
+namespace {
+
+std::string WriteTemp(const char* name, const char* contents) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs(contents, f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(TextIoTest, ParsesPointsSkippingCommentsAndBlanks) {
+  const std::string path = WriteTemp("pts_ok.txt",
+                                     "# header comment\n"
+                                     "1.0 2.0\n"
+                                     "\n"
+                                     "  3.5\t4.5\n"
+                                     "# trailing comment\n"
+                                     "5 6\n");
+  auto ds = LoadTextDataset(path, "three");
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->name, "three");
+  ASSERT_EQ(ds->size(), 3u);
+  // Dense sequential ids.
+  EXPECT_EQ(ds->points[0].id, 0u);
+  EXPECT_EQ(ds->points[2].id, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, NormalizesIntoDefaultDomain) {
+  // Raw coordinates far outside the 10 km square.
+  const std::string path = WriteTemp("pts_norm.txt",
+                                     "-100 -100\n"
+                                     "900 -100\n"
+                                     "-100 900\n"
+                                     "900 900\n");
+  auto ds = LoadTextDataset(path, "norm");
+  ASSERT_TRUE(ds.ok());
+  for (const rtree::DataPoint& p : ds->points) {
+    EXPECT_TRUE(ds->domain.Contains(p.point));
+  }
+  // A square input fills the whole square domain.
+  geom::Rect box = geom::Rect::Empty();
+  for (const rtree::DataPoint& p : ds->points) box.Expand(p.point);
+  EXPECT_NEAR(box.Width(), kDomainExtent, 1.0);
+  EXPECT_NEAR(box.Height(), kDomainExtent, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, PreservesAspectRatioWithCentering) {
+  // A 2:1 input: the shorter axis is centered.
+  const std::string path = WriteTemp("pts_aspect.txt",
+                                     "0 0\n"
+                                     "200 100\n");
+  auto ds = LoadTextDataset(path, "aspect");
+  ASSERT_TRUE(ds.ok());
+  geom::Rect box = geom::Rect::Empty();
+  for (const rtree::DataPoint& p : ds->points) box.Expand(p.point);
+  EXPECT_NEAR(box.Width(), 10000.0, 1.0);
+  EXPECT_NEAR(box.Height(), 5000.0, 1.0);
+  EXPECT_NEAR(box.min.y, 2500.0, 1.0);  // centered vertically
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, RejectsMalformedLine) {
+  const std::string path = WriteTemp("pts_bad.txt",
+                                     "1 2\n"
+                                     "three four\n");
+  EXPECT_TRUE(LoadTextDataset(path, "bad").status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, RejectsEmptyFile) {
+  const std::string path = WriteTemp("pts_empty.txt", "# only comments\n");
+  EXPECT_TRUE(
+      LoadTextDataset(path, "empty").status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, RejectsMissingFile) {
+  EXPECT_TRUE(
+      LoadTextDataset("/no/such/file.txt", "x").status().IsIoError());
+}
+
+TEST(TextIoTest, SinglePointCollapsesToCenter) {
+  const std::string path = WriteTemp("pts_single.txt", "123 456\n");
+  auto ds = LoadTextDataset(path, "single");
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->size(), 1u);
+  EXPECT_NEAR(ds->points[0].point.x, kDomainExtent / 2, 1e-6);
+  EXPECT_NEAR(ds->points[0].point.y, kDomainExtent / 2, 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, CoordinatesAreFloat32Quantized) {
+  const std::string path = WriteTemp("pts_quant.txt",
+                                     "0.123456789 0.987654321\n"
+                                     "1000 1000\n");
+  auto ds = LoadTextDataset(path, "quant");
+  ASSERT_TRUE(ds.ok());
+  for (const rtree::DataPoint& p : ds->points) {
+    EXPECT_EQ(p.point.x, static_cast<double>(static_cast<float>(p.point.x)));
+    EXPECT_EQ(p.point.y, static_cast<double>(static_cast<float>(p.point.y)));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spacetwist::datasets

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/network_dataset.h"
+#include "roadnet/shortest_path.h"
+#include "roadnet/vertex_cloak.h"
+
+namespace spacetwist::roadnet {
+namespace {
+
+NetworkDataset SmallNetwork(uint64_t seed) {
+  NetworkGenParams params;
+  params.grid_side = 18;
+  params.extent = 3000;
+  params.poi_count = 200;
+  return GenerateNetwork(params, seed);
+}
+
+std::vector<double> BruteForceKnn(const NetworkDataset& ds, VertexId q,
+                                  size_t k) {
+  IncrementalDijkstra dijkstra(&ds.network, q);
+  std::vector<double> dists;
+  for (const NetworkPoi& poi : ds.pois) {
+    dists.push_back(dijkstra.DistanceTo(poi.vertex));
+  }
+  std::sort(dists.begin(), dists.end());
+  dists.resize(std::min(k, dists.size()));
+  return dists;
+}
+
+TEST(VertexCloakTest, ExactResultsAlways) {
+  const NetworkDataset ds = SmallNetwork(81);
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const VertexId q = static_cast<VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(ds.network.vertex_count()) - 1));
+    const size_t k = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+    auto result = VertexCloakQuery(ds, q, k, 12, 600, &rng);
+    ASSERT_TRUE(result.ok());
+    const auto expected = BruteForceKnn(ds, q, k);
+    ASSERT_EQ(result->neighbors.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(result->neighbors[i].distance, expected[i], 1e-9);
+    }
+  }
+}
+
+TEST(VertexCloakTest, CloakContainsTrueVertexAndHasRequestedSize) {
+  const NetworkDataset ds = SmallNetwork(83);
+  Rng rng(2);
+  auto result = VertexCloakQuery(ds, 42, 1, 15, 800, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cloak.size(), 15u);
+  EXPECT_TRUE(std::find(result->cloak.begin(), result->cloak.end(), 42u) !=
+              result->cloak.end());
+  // All cloak vertices distinct.
+  std::vector<VertexId> sorted = result->cloak;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(VertexCloakTest, CostGrowsWithCloakSize) {
+  const NetworkDataset ds = SmallNetwork(87);
+  Rng rng(3);
+  double small_cost = 0;
+  double large_cost = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const VertexId q = static_cast<VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(ds.network.vertex_count()) - 1));
+    auto small = VertexCloakQuery(ds, q, 2, 4, 800, &rng);
+    auto large = VertexCloakQuery(ds, q, 2, 32, 800, &rng);
+    ASSERT_TRUE(small.ok());
+    ASSERT_TRUE(large.ok());
+    small_cost += static_cast<double>(small->candidate_pois);
+    large_cost += static_cast<double>(large->candidate_pois);
+  }
+  EXPECT_GT(large_cost, 2 * small_cost);
+}
+
+TEST(VertexCloakTest, CloakSizeOneDegeneratesToDirectQuery) {
+  const NetworkDataset ds = SmallNetwork(89);
+  Rng rng(4);
+  auto result = VertexCloakQuery(ds, 7, 3, 1, 500, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cloak.size(), 1u);
+  EXPECT_EQ(result->cloak[0], 7u);
+  const auto expected = BruteForceKnn(ds, 7, 3);
+  EXPECT_NEAR(result->neighbors.back().distance, expected.back(), 1e-9);
+}
+
+TEST(VertexCloakTest, RejectsBadArguments) {
+  const NetworkDataset ds = SmallNetwork(91);
+  Rng rng(5);
+  EXPECT_TRUE(
+      VertexCloakQuery(ds, 0, 0, 4, 100, &rng).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      VertexCloakQuery(ds, 0, 1, 0, 100, &rng).status().IsInvalidArgument());
+  EXPECT_TRUE(VertexCloakQuery(ds, 1 << 30, 1, 4, 100, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spacetwist::roadnet

@@ -1,0 +1,288 @@
+// spacetwist_cli — command-line front end for the SpaceTwist library.
+//
+//   spacetwist_cli gen     --type ui|sc|tg|cluster --n 100000 --seed 1
+//                          --out ds.bin [--clusters 300 --sigma 100
+//                          --background 0.05]
+//   spacetwist_cli import  --in points.txt --name MyData --out ds.bin
+//   spacetwist_cli index   --dataset ds.bin --out index.rt
+//   spacetwist_cli info    --index index.rt | --dataset ds.bin
+//   spacetwist_cli query   --dataset ds.bin --x 4250 --y 6800
+//                          [--k 4 --epsilon 200 --anchor-dist 300 --seed 7]
+//   spacetwist_cli privacy --dataset ds.bin --x 4250 --y 6800
+//                          [--k 1 --epsilon 200 --anchor-dist 300
+//                          --samples 50000 --seed 7]
+//   spacetwist_cli sweep   --dataset ds.bin --param epsilon|anchor|k
+//                          --values 0,50,100,200 [--queries 50 --seed 7]
+//
+// Exit code 0 on success, 1 on any error (message on stderr).
+
+#include <cstdio>
+#include <string>
+
+#include "cli/flags.h"
+#include "common/strings.h"
+#include "core/params.h"
+#include "eval/table.h"
+#include "privacy/exact_region.h"
+#include "rtree/persistence.h"
+#include "rtree/tree_stats.h"
+#include "spacetwist/spacetwist.h"
+
+namespace spacetwist::cli {
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: spacetwist_cli <gen|import|index|info|query|privacy|sweep> "
+      "[--flags]\n"
+      "run with a command and no flags for that command's defaults; see "
+      "the header of tools/spacetwist_cli.cc for the full synopsis\n");
+}
+
+Result<datasets::Dataset> LoadDatasetFlag(const Flags& flags) {
+  const std::string path = flags.GetString("dataset", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("--dataset <file> is required");
+  }
+  return datasets::LoadDataset(path);
+}
+
+Status RunGen(const Flags& flags) {
+  const std::string type = flags.GetString("type", "ui");
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) return Status::InvalidArgument("--out is required");
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t n, flags.GetInt("n", 100000));
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 1));
+
+  datasets::Dataset ds;
+  if (type == "ui") {
+    ds = datasets::GenerateUniform(static_cast<size_t>(n),
+                                   static_cast<uint64_t>(seed));
+  } else if (type == "sc") {
+    ds = datasets::MakeScLike(static_cast<uint64_t>(seed));
+  } else if (type == "tg") {
+    ds = datasets::MakeTgLike(static_cast<uint64_t>(seed));
+  } else if (type == "cluster") {
+    datasets::ClusterParams params;
+    SPACETWIST_ASSIGN_OR_RETURN(int64_t clusters,
+                                flags.GetInt("clusters", 300));
+    SPACETWIST_ASSIGN_OR_RETURN(double sigma,
+                                flags.GetDouble("sigma", 100.0));
+    SPACETWIST_ASSIGN_OR_RETURN(double background,
+                                flags.GetDouble("background", 0.05));
+    params.num_clusters = static_cast<size_t>(clusters);
+    params.sigma = sigma;
+    params.background_fraction = background;
+    ds = datasets::GenerateClustered(static_cast<size_t>(n), params,
+                                     static_cast<uint64_t>(seed));
+  } else {
+    return Status::InvalidArgument("--type must be ui|sc|tg|cluster");
+  }
+  SPACETWIST_RETURN_NOT_OK(datasets::SaveDataset(ds, out));
+  std::printf("wrote %s: %zu points (%s)\n", out.c_str(), ds.size(),
+              ds.name.c_str());
+  return Status::OK();
+}
+
+Status RunImport(const Flags& flags) {
+  const std::string in = flags.GetString("in", "");
+  const std::string out = flags.GetString("out", "");
+  if (in.empty() || out.empty()) {
+    return Status::InvalidArgument("--in and --out are required");
+  }
+  SPACETWIST_ASSIGN_OR_RETURN(
+      datasets::Dataset ds,
+      datasets::LoadTextDataset(in, flags.GetString("name", "imported")));
+  SPACETWIST_RETURN_NOT_OK(datasets::SaveDataset(ds, out));
+  std::printf("imported %zu points from %s -> %s (normalized to the "
+              "10 km square)\n",
+              ds.size(), in.c_str(), out.c_str());
+  return Status::OK();
+}
+
+Status RunIndex(const Flags& flags) {
+  SPACETWIST_ASSIGN_OR_RETURN(datasets::Dataset ds, LoadDatasetFlag(flags));
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) return Status::InvalidArgument("--out is required");
+  storage::Pager pager;
+  SPACETWIST_ASSIGN_OR_RETURN(
+      std::unique_ptr<rtree::RTree> tree,
+      rtree::BulkLoad(&pager, rtree::BulkLoadOptions(), ds.points));
+  SPACETWIST_RETURN_NOT_OK(rtree::SaveRTree(*tree, &pager, out));
+  std::printf("indexed %zu points into %s (%zu pages, height %d)\n",
+              ds.size(), out.c_str(), pager.page_count(), tree->height());
+  return Status::OK();
+}
+
+Status RunInfo(const Flags& flags) {
+  if (flags.Has("index")) {
+    SPACETWIST_ASSIGN_OR_RETURN(
+        rtree::LoadedRTree loaded,
+        rtree::LoadRTree(flags.GetString("index", "")));
+    SPACETWIST_ASSIGN_OR_RETURN(rtree::TreeStats stats,
+                                rtree::ComputeTreeStats(loaded.tree.get()));
+    std::printf("%s", stats.ToString().c_str());
+    return Status::OK();
+  }
+  SPACETWIST_ASSIGN_OR_RETURN(datasets::Dataset ds, LoadDatasetFlag(flags));
+  geom::Rect box = geom::Rect::Empty();
+  for (const rtree::DataPoint& p : ds.points) box.Expand(p.point);
+  std::printf("dataset %s: %zu points, bbox (%.1f, %.1f)-(%.1f, %.1f)\n",
+              ds.name.c_str(), ds.size(), box.min.x, box.min.y, box.max.x,
+              box.max.y);
+  return Status::OK();
+}
+
+struct QueryFlagValues {
+  geom::Point q;
+  core::QueryParams params;
+  uint64_t seed;
+};
+
+Result<QueryFlagValues> ParseQueryFlags(const Flags& flags) {
+  QueryFlagValues out;
+  SPACETWIST_ASSIGN_OR_RETURN(out.q.x, flags.GetDouble("x", 5000.0));
+  SPACETWIST_ASSIGN_OR_RETURN(out.q.y, flags.GetDouble("y", 5000.0));
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t k, flags.GetInt("k", 1));
+  SPACETWIST_ASSIGN_OR_RETURN(out.params.epsilon,
+                              flags.GetDouble("epsilon", 200.0));
+  SPACETWIST_ASSIGN_OR_RETURN(out.params.anchor_distance,
+                              flags.GetDouble("anchor-dist", 200.0));
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 7));
+  if (k < 1) return Status::InvalidArgument("--k must be >= 1");
+  out.params.k = static_cast<size_t>(k);
+  out.seed = static_cast<uint64_t>(seed);
+  return out;
+}
+
+Status RunQuery(const Flags& flags) {
+  SPACETWIST_ASSIGN_OR_RETURN(datasets::Dataset ds, LoadDatasetFlag(flags));
+  SPACETWIST_ASSIGN_OR_RETURN(QueryFlagValues qf, ParseQueryFlags(flags));
+  SPACETWIST_ASSIGN_OR_RETURN(std::unique_ptr<server::LbsServer> server,
+                              server::LbsServer::Build(ds));
+  core::SpaceTwistClient client(server.get());
+  Rng rng(qf.seed);
+  SPACETWIST_ASSIGN_OR_RETURN(core::QueryOutcome outcome,
+                              client.Query(qf.q, qf.params, &rng));
+  std::printf("anchor (%.1f, %.1f), %llu packets, %zu POIs streamed\n",
+              outcome.anchor.x, outcome.anchor.y,
+              static_cast<unsigned long long>(outcome.packets),
+              outcome.retrieved.size());
+  for (const rtree::Neighbor& n : outcome.neighbors) {
+    std::printf("poi %u  (%.1f, %.1f)  %.1f m\n", n.point.id, n.point.point.x,
+                n.point.point.y, n.distance);
+  }
+  return Status::OK();
+}
+
+Status RunPrivacy(const Flags& flags) {
+  SPACETWIST_ASSIGN_OR_RETURN(datasets::Dataset ds, LoadDatasetFlag(flags));
+  SPACETWIST_ASSIGN_OR_RETURN(QueryFlagValues qf, ParseQueryFlags(flags));
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t samples,
+                              flags.GetInt("samples", 50000));
+  SPACETWIST_ASSIGN_OR_RETURN(std::unique_ptr<server::LbsServer> server,
+                              server::LbsServer::Build(ds));
+  core::SpaceTwistClient client(server.get());
+  Rng rng(qf.seed);
+  SPACETWIST_ASSIGN_OR_RETURN(core::QueryOutcome outcome,
+                              client.Query(qf.q, qf.params, &rng));
+  const privacy::Observation obs =
+      privacy::MakeObservation(outcome, server->domain());
+  const privacy::PrivacyEstimate estimate = privacy::EstimatePrivacy(
+      obs, qf.q, static_cast<size_t>(samples), &rng);
+  std::printf("packets=%llu retrieved=%zu\n",
+              static_cast<unsigned long long>(outcome.packets),
+              outcome.retrieved.size());
+  std::printf("Monte-Carlo: area %.0f m^2, Gamma %.1f m "
+              "(anchor distance %.1f m)\n",
+              estimate.area, estimate.privacy_value,
+              geom::Distance(qf.q, outcome.anchor));
+  if (qf.params.k == 1) {
+    auto exact = privacy::ExactPrivacyRegion::Build(obs);
+    if (exact.ok()) {
+      std::printf("closed form: area %.0f m^2, Gamma %.1f m (%zu pieces)\n",
+                  exact->Area(4), exact->PrivacyValue(qf.q, 4),
+                  exact->pieces().size());
+    }
+  }
+  return Status::OK();
+}
+
+Status RunSweep(const Flags& flags) {
+  SPACETWIST_ASSIGN_OR_RETURN(datasets::Dataset ds, LoadDatasetFlag(flags));
+  const std::string param = flags.GetString("param", "epsilon");
+  SPACETWIST_ASSIGN_OR_RETURN(
+      std::vector<double> values,
+      flags.GetDoubleList("values", {0, 50, 100, 200, 500, 1000}));
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t query_count,
+                              flags.GetInt("queries", 50));
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 7));
+
+  SPACETWIST_ASSIGN_OR_RETURN(std::unique_ptr<server::LbsServer> server,
+                              server::LbsServer::Build(ds));
+  const auto queries = eval::GenerateQueryPoints(
+      static_cast<size_t>(query_count), ds.domain,
+      static_cast<uint64_t>(seed));
+
+  eval::Table table({param, "packets", "error(m)", "privacy(m)"});
+  for (const double value : values) {
+    eval::GstRunOptions options;
+    options.seed = static_cast<uint64_t>(seed);
+    if (param == "epsilon") {
+      options.params.epsilon = value;
+    } else if (param == "anchor") {
+      options.params.anchor_distance = value;
+    } else if (param == "k") {
+      if (value < 1) return Status::InvalidArgument("k values must be >= 1");
+      options.params.k = static_cast<size_t>(value);
+    } else {
+      return Status::InvalidArgument("--param must be epsilon|anchor|k");
+    }
+    SPACETWIST_ASSIGN_OR_RETURN(eval::GstAggregate agg,
+                                eval::RunGst(server.get(), queries, options));
+    table.AddRow({FormatDouble(value, 0), FormatDouble(agg.mean_packets, 2),
+                  FormatDouble(agg.mean_error, 1),
+                  FormatDouble(agg.mean_privacy, 1)});
+  }
+  table.Print(std::cout);
+  return Status::OK();
+}
+
+int Main(int argc, const char* const* argv) {
+  Result<Flags> flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 1;
+  }
+  const std::string& command = flags->command();
+  Status status;
+  if (command == "gen") {
+    status = RunGen(*flags);
+  } else if (command == "import") {
+    status = RunImport(*flags);
+  } else if (command == "index") {
+    status = RunIndex(*flags);
+  } else if (command == "info") {
+    status = RunInfo(*flags);
+  } else if (command == "query") {
+    status = RunQuery(*flags);
+  } else if (command == "privacy") {
+    status = RunPrivacy(*flags);
+  } else if (command == "sweep") {
+    status = RunSweep(*flags);
+  } else {
+    PrintUsage();
+    return 1;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace spacetwist::cli
+
+int main(int argc, char** argv) { return spacetwist::cli::Main(argc, argv); }
