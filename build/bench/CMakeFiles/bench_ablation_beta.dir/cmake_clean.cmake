@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_beta.dir/bench_ablation_beta.cc.o"
+  "CMakeFiles/bench_ablation_beta.dir/bench_ablation_beta.cc.o.d"
+  "bench_ablation_beta"
+  "bench_ablation_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

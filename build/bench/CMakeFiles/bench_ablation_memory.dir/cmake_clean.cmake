@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memory.dir/bench_ablation_memory.cc.o"
+  "CMakeFiles/bench_ablation_memory.dir/bench_ablation_memory.cc.o.d"
+  "bench_ablation_memory"
+  "bench_ablation_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

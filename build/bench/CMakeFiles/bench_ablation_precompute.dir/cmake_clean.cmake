@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_precompute.dir/bench_ablation_precompute.cc.o"
+  "CMakeFiles/bench_ablation_precompute.dir/bench_ablation_precompute.cc.o.d"
+  "bench_ablation_precompute"
+  "bench_ablation_precompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_precompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_continuous.dir/bench_continuous.cc.o"
+  "CMakeFiles/bench_continuous.dir/bench_continuous.cc.o.d"
+  "bench_continuous"
+  "bench_continuous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10.dir/bench_fig10.cc.o"
+  "CMakeFiles/bench_fig10.dir/bench_fig10.cc.o.d"
+  "bench_fig10"
+  "bench_fig10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

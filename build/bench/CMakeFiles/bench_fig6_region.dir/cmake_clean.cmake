@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_region.dir/bench_fig6_region.cc.o"
+  "CMakeFiles/bench_fig6_region.dir/bench_fig6_region.cc.o.d"
+  "bench_fig6_region"
+  "bench_fig6_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

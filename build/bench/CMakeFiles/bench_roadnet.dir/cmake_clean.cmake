@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_roadnet.dir/bench_roadnet.cc.o"
+  "CMakeFiles/bench_roadnet.dir/bench_roadnet.cc.o.d"
+  "bench_roadnet"
+  "bench_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

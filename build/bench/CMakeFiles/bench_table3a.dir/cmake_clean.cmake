@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3a.dir/bench_table3a.cc.o"
+  "CMakeFiles/bench_table3a.dir/bench_table3a.cc.o.d"
+  "bench_table3a"
+  "bench_table3a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

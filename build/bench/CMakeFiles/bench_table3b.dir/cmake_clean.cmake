@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3b.dir/bench_table3b.cc.o"
+  "CMakeFiles/bench_table3b.dir/bench_table3b.cc.o.d"
+  "bench_table3b"
+  "bench_table3b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_sim.dir/mobile_sim.cpp.o"
+  "CMakeFiles/mobile_sim.dir/mobile_sim.cpp.o.d"
+  "mobile_sim"
+  "mobile_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

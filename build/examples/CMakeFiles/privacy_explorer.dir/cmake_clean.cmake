@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_explorer.dir/privacy_explorer.cpp.o"
+  "CMakeFiles/privacy_explorer.dir/privacy_explorer.cpp.o.d"
+  "privacy_explorer"
+  "privacy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_tour.dir/roadnet_tour.cpp.o"
+  "CMakeFiles/roadnet_tour.dir/roadnet_tour.cpp.o.d"
+  "roadnet_tour"
+  "roadnet_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

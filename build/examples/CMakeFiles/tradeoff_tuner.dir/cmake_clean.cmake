@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_tuner.dir/tradeoff_tuner.cpp.o"
+  "CMakeFiles/tradeoff_tuner.dir/tradeoff_tuner.cpp.o.d"
+  "tradeoff_tuner"
+  "tradeoff_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

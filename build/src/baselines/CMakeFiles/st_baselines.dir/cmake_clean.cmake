@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_baselines.dir/clk_baseline.cc.o"
+  "CMakeFiles/st_baselines.dir/clk_baseline.cc.o.d"
+  "CMakeFiles/st_baselines.dir/dummy_baseline.cc.o"
+  "CMakeFiles/st_baselines.dir/dummy_baseline.cc.o.d"
+  "CMakeFiles/st_baselines.dir/hilbert_baseline.cc.o"
+  "CMakeFiles/st_baselines.dir/hilbert_baseline.cc.o.d"
+  "libst_baselines.a"
+  "libst_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

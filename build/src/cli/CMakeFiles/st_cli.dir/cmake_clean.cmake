@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_cli.dir/flags.cc.o"
+  "CMakeFiles/st_cli.dir/flags.cc.o.d"
+  "libst_cli.a"
+  "libst_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

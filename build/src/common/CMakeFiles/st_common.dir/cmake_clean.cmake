@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_common.dir/env.cc.o"
+  "CMakeFiles/st_common.dir/env.cc.o.d"
+  "CMakeFiles/st_common.dir/logging.cc.o"
+  "CMakeFiles/st_common.dir/logging.cc.o.d"
+  "CMakeFiles/st_common.dir/rng.cc.o"
+  "CMakeFiles/st_common.dir/rng.cc.o.d"
+  "CMakeFiles/st_common.dir/status.cc.o"
+  "CMakeFiles/st_common.dir/status.cc.o.d"
+  "CMakeFiles/st_common.dir/strings.cc.o"
+  "CMakeFiles/st_common.dir/strings.cc.o.d"
+  "libst_common.a"
+  "libst_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

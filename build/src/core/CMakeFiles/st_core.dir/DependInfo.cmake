@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anchor.cc" "src/core/CMakeFiles/st_core.dir/anchor.cc.o" "gcc" "src/core/CMakeFiles/st_core.dir/anchor.cc.o.d"
+  "/root/repo/src/core/continuous.cc" "src/core/CMakeFiles/st_core.dir/continuous.cc.o" "gcc" "src/core/CMakeFiles/st_core.dir/continuous.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/st_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/st_core.dir/params.cc.o.d"
+  "/root/repo/src/core/spacetwist_client.cc" "src/core/CMakeFiles/st_core.dir/spacetwist_client.cc.o" "gcc" "src/core/CMakeFiles/st_core.dir/spacetwist_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/st_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/st_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/st_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/st_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/st_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/st_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_core.dir/anchor.cc.o"
+  "CMakeFiles/st_core.dir/anchor.cc.o.d"
+  "CMakeFiles/st_core.dir/continuous.cc.o"
+  "CMakeFiles/st_core.dir/continuous.cc.o.d"
+  "CMakeFiles/st_core.dir/params.cc.o"
+  "CMakeFiles/st_core.dir/params.cc.o.d"
+  "CMakeFiles/st_core.dir/spacetwist_client.cc.o"
+  "CMakeFiles/st_core.dir/spacetwist_client.cc.o.d"
+  "libst_core.a"
+  "libst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

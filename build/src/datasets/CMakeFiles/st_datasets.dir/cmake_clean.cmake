@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_datasets.dir/generator.cc.o"
+  "CMakeFiles/st_datasets.dir/generator.cc.o.d"
+  "CMakeFiles/st_datasets.dir/io.cc.o"
+  "CMakeFiles/st_datasets.dir/io.cc.o.d"
+  "libst_datasets.a"
+  "libst_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

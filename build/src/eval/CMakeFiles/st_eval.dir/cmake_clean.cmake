@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_eval.dir/runner.cc.o"
+  "CMakeFiles/st_eval.dir/runner.cc.o.d"
+  "CMakeFiles/st_eval.dir/table.cc.o"
+  "CMakeFiles/st_eval.dir/table.cc.o.d"
+  "CMakeFiles/st_eval.dir/workload.cc.o"
+  "CMakeFiles/st_eval.dir/workload.cc.o.d"
+  "libst_eval.a"
+  "libst_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/circle.cc" "src/geom/CMakeFiles/st_geom.dir/circle.cc.o" "gcc" "src/geom/CMakeFiles/st_geom.dir/circle.cc.o.d"
+  "/root/repo/src/geom/ellipse.cc" "src/geom/CMakeFiles/st_geom.dir/ellipse.cc.o" "gcc" "src/geom/CMakeFiles/st_geom.dir/ellipse.cc.o.d"
+  "/root/repo/src/geom/grid.cc" "src/geom/CMakeFiles/st_geom.dir/grid.cc.o" "gcc" "src/geom/CMakeFiles/st_geom.dir/grid.cc.o.d"
+  "/root/repo/src/geom/hilbert.cc" "src/geom/CMakeFiles/st_geom.dir/hilbert.cc.o" "gcc" "src/geom/CMakeFiles/st_geom.dir/hilbert.cc.o.d"
+  "/root/repo/src/geom/polygon.cc" "src/geom/CMakeFiles/st_geom.dir/polygon.cc.o" "gcc" "src/geom/CMakeFiles/st_geom.dir/polygon.cc.o.d"
+  "/root/repo/src/geom/rect.cc" "src/geom/CMakeFiles/st_geom.dir/rect.cc.o" "gcc" "src/geom/CMakeFiles/st_geom.dir/rect.cc.o.d"
+  "/root/repo/src/geom/voronoi.cc" "src/geom/CMakeFiles/st_geom.dir/voronoi.cc.o" "gcc" "src/geom/CMakeFiles/st_geom.dir/voronoi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_geom.dir/circle.cc.o"
+  "CMakeFiles/st_geom.dir/circle.cc.o.d"
+  "CMakeFiles/st_geom.dir/ellipse.cc.o"
+  "CMakeFiles/st_geom.dir/ellipse.cc.o.d"
+  "CMakeFiles/st_geom.dir/grid.cc.o"
+  "CMakeFiles/st_geom.dir/grid.cc.o.d"
+  "CMakeFiles/st_geom.dir/hilbert.cc.o"
+  "CMakeFiles/st_geom.dir/hilbert.cc.o.d"
+  "CMakeFiles/st_geom.dir/polygon.cc.o"
+  "CMakeFiles/st_geom.dir/polygon.cc.o.d"
+  "CMakeFiles/st_geom.dir/rect.cc.o"
+  "CMakeFiles/st_geom.dir/rect.cc.o.d"
+  "CMakeFiles/st_geom.dir/voronoi.cc.o"
+  "CMakeFiles/st_geom.dir/voronoi.cc.o.d"
+  "libst_geom.a"
+  "libst_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

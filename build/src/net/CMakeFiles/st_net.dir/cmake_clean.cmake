@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_net.dir/channel.cc.o"
+  "CMakeFiles/st_net.dir/channel.cc.o.d"
+  "libst_net.a"
+  "libst_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_privacy.dir/constraints.cc.o"
+  "CMakeFiles/st_privacy.dir/constraints.cc.o.d"
+  "CMakeFiles/st_privacy.dir/exact_region.cc.o"
+  "CMakeFiles/st_privacy.dir/exact_region.cc.o.d"
+  "CMakeFiles/st_privacy.dir/multi_query.cc.o"
+  "CMakeFiles/st_privacy.dir/multi_query.cc.o.d"
+  "CMakeFiles/st_privacy.dir/observation.cc.o"
+  "CMakeFiles/st_privacy.dir/observation.cc.o.d"
+  "CMakeFiles/st_privacy.dir/region.cc.o"
+  "CMakeFiles/st_privacy.dir/region.cc.o.d"
+  "libst_privacy.a"
+  "libst_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/graph.cc" "src/roadnet/CMakeFiles/st_roadnet.dir/graph.cc.o" "gcc" "src/roadnet/CMakeFiles/st_roadnet.dir/graph.cc.o.d"
+  "/root/repo/src/roadnet/network_client.cc" "src/roadnet/CMakeFiles/st_roadnet.dir/network_client.cc.o" "gcc" "src/roadnet/CMakeFiles/st_roadnet.dir/network_client.cc.o.d"
+  "/root/repo/src/roadnet/network_dataset.cc" "src/roadnet/CMakeFiles/st_roadnet.dir/network_dataset.cc.o" "gcc" "src/roadnet/CMakeFiles/st_roadnet.dir/network_dataset.cc.o.d"
+  "/root/repo/src/roadnet/network_inn.cc" "src/roadnet/CMakeFiles/st_roadnet.dir/network_inn.cc.o" "gcc" "src/roadnet/CMakeFiles/st_roadnet.dir/network_inn.cc.o.d"
+  "/root/repo/src/roadnet/network_privacy.cc" "src/roadnet/CMakeFiles/st_roadnet.dir/network_privacy.cc.o" "gcc" "src/roadnet/CMakeFiles/st_roadnet.dir/network_privacy.cc.o.d"
+  "/root/repo/src/roadnet/shortest_path.cc" "src/roadnet/CMakeFiles/st_roadnet.dir/shortest_path.cc.o" "gcc" "src/roadnet/CMakeFiles/st_roadnet.dir/shortest_path.cc.o.d"
+  "/root/repo/src/roadnet/vertex_cloak.cc" "src/roadnet/CMakeFiles/st_roadnet.dir/vertex_cloak.cc.o" "gcc" "src/roadnet/CMakeFiles/st_roadnet.dir/vertex_cloak.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/st_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

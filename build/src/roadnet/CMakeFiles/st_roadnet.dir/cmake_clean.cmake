@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_roadnet.dir/graph.cc.o"
+  "CMakeFiles/st_roadnet.dir/graph.cc.o.d"
+  "CMakeFiles/st_roadnet.dir/network_client.cc.o"
+  "CMakeFiles/st_roadnet.dir/network_client.cc.o.d"
+  "CMakeFiles/st_roadnet.dir/network_dataset.cc.o"
+  "CMakeFiles/st_roadnet.dir/network_dataset.cc.o.d"
+  "CMakeFiles/st_roadnet.dir/network_inn.cc.o"
+  "CMakeFiles/st_roadnet.dir/network_inn.cc.o.d"
+  "CMakeFiles/st_roadnet.dir/network_privacy.cc.o"
+  "CMakeFiles/st_roadnet.dir/network_privacy.cc.o.d"
+  "CMakeFiles/st_roadnet.dir/shortest_path.cc.o"
+  "CMakeFiles/st_roadnet.dir/shortest_path.cc.o.d"
+  "CMakeFiles/st_roadnet.dir/vertex_cloak.cc.o"
+  "CMakeFiles/st_roadnet.dir/vertex_cloak.cc.o.d"
+  "libst_roadnet.a"
+  "libst_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

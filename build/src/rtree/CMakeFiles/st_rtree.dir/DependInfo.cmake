@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtree/bulk_load.cc" "src/rtree/CMakeFiles/st_rtree.dir/bulk_load.cc.o" "gcc" "src/rtree/CMakeFiles/st_rtree.dir/bulk_load.cc.o.d"
+  "/root/repo/src/rtree/inn_cursor.cc" "src/rtree/CMakeFiles/st_rtree.dir/inn_cursor.cc.o" "gcc" "src/rtree/CMakeFiles/st_rtree.dir/inn_cursor.cc.o.d"
+  "/root/repo/src/rtree/node.cc" "src/rtree/CMakeFiles/st_rtree.dir/node.cc.o" "gcc" "src/rtree/CMakeFiles/st_rtree.dir/node.cc.o.d"
+  "/root/repo/src/rtree/persistence.cc" "src/rtree/CMakeFiles/st_rtree.dir/persistence.cc.o" "gcc" "src/rtree/CMakeFiles/st_rtree.dir/persistence.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "src/rtree/CMakeFiles/st_rtree.dir/rtree.cc.o" "gcc" "src/rtree/CMakeFiles/st_rtree.dir/rtree.cc.o.d"
+  "/root/repo/src/rtree/tree_stats.cc" "src/rtree/CMakeFiles/st_rtree.dir/tree_stats.cc.o" "gcc" "src/rtree/CMakeFiles/st_rtree.dir/tree_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/st_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/st_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

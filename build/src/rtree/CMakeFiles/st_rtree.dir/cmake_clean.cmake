@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_rtree.dir/bulk_load.cc.o"
+  "CMakeFiles/st_rtree.dir/bulk_load.cc.o.d"
+  "CMakeFiles/st_rtree.dir/inn_cursor.cc.o"
+  "CMakeFiles/st_rtree.dir/inn_cursor.cc.o.d"
+  "CMakeFiles/st_rtree.dir/node.cc.o"
+  "CMakeFiles/st_rtree.dir/node.cc.o.d"
+  "CMakeFiles/st_rtree.dir/persistence.cc.o"
+  "CMakeFiles/st_rtree.dir/persistence.cc.o.d"
+  "CMakeFiles/st_rtree.dir/rtree.cc.o"
+  "CMakeFiles/st_rtree.dir/rtree.cc.o.d"
+  "CMakeFiles/st_rtree.dir/tree_stats.cc.o"
+  "CMakeFiles/st_rtree.dir/tree_stats.cc.o.d"
+  "libst_rtree.a"
+  "libst_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/cloaked_query.cc" "src/server/CMakeFiles/st_server.dir/cloaked_query.cc.o" "gcc" "src/server/CMakeFiles/st_server.dir/cloaked_query.cc.o.d"
+  "/root/repo/src/server/granular_inn.cc" "src/server/CMakeFiles/st_server.dir/granular_inn.cc.o" "gcc" "src/server/CMakeFiles/st_server.dir/granular_inn.cc.o.d"
+  "/root/repo/src/server/hilbert_index.cc" "src/server/CMakeFiles/st_server.dir/hilbert_index.cc.o" "gcc" "src/server/CMakeFiles/st_server.dir/hilbert_index.cc.o.d"
+  "/root/repo/src/server/lbs_server.cc" "src/server/CMakeFiles/st_server.dir/lbs_server.cc.o" "gcc" "src/server/CMakeFiles/st_server.dir/lbs_server.cc.o.d"
+  "/root/repo/src/server/precomputed_granular.cc" "src/server/CMakeFiles/st_server.dir/precomputed_granular.cc.o" "gcc" "src/server/CMakeFiles/st_server.dir/precomputed_granular.cc.o.d"
+  "/root/repo/src/server/session_manager.cc" "src/server/CMakeFiles/st_server.dir/session_manager.cc.o" "gcc" "src/server/CMakeFiles/st_server.dir/session_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/st_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/st_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/st_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/st_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/st_datasets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

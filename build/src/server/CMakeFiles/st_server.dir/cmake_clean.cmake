@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_server.dir/cloaked_query.cc.o"
+  "CMakeFiles/st_server.dir/cloaked_query.cc.o.d"
+  "CMakeFiles/st_server.dir/granular_inn.cc.o"
+  "CMakeFiles/st_server.dir/granular_inn.cc.o.d"
+  "CMakeFiles/st_server.dir/hilbert_index.cc.o"
+  "CMakeFiles/st_server.dir/hilbert_index.cc.o.d"
+  "CMakeFiles/st_server.dir/lbs_server.cc.o"
+  "CMakeFiles/st_server.dir/lbs_server.cc.o.d"
+  "CMakeFiles/st_server.dir/precomputed_granular.cc.o"
+  "CMakeFiles/st_server.dir/precomputed_granular.cc.o.d"
+  "CMakeFiles/st_server.dir/session_manager.cc.o"
+  "CMakeFiles/st_server.dir/session_manager.cc.o.d"
+  "libst_server.a"
+  "libst_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

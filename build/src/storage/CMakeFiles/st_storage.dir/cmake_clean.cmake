@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/st_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/st_storage.dir/pager.cc.o"
+  "CMakeFiles/st_storage.dir/pager.cc.o.d"
+  "libst_storage.a"
+  "libst_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/client_test.cc" "tests/CMakeFiles/client_test.dir/client_test.cc.o" "gcc" "tests/CMakeFiles/client_test.dir/client_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/st_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/st_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/st_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/st_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/st_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/st_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/st_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/st_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/st_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/st_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/st_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/st_cli.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_test.dir/client_test.cc.o"
+  "CMakeFiles/client_test.dir/client_test.cc.o.d"
+  "client_test"
+  "client_test.pdb"
+  "client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

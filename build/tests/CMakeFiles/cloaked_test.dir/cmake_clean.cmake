@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloaked_test.dir/cloaked_test.cc.o"
+  "CMakeFiles/cloaked_test.dir/cloaked_test.cc.o.d"
+  "cloaked_test"
+  "cloaked_test.pdb"
+  "cloaked_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloaked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_test.dir/continuous_test.cc.o"
+  "CMakeFiles/continuous_test.dir/continuous_test.cc.o.d"
+  "continuous_test"
+  "continuous_test.pdb"
+  "continuous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dummy_baseline_test.dir/dummy_baseline_test.cc.o"
+  "CMakeFiles/dummy_baseline_test.dir/dummy_baseline_test.cc.o.d"
+  "dummy_baseline_test"
+  "dummy_baseline_test.pdb"
+  "dummy_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dummy_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_region_test.dir/exact_region_test.cc.o"
+  "CMakeFiles/exact_region_test.dir/exact_region_test.cc.o.d"
+  "exact_region_test"
+  "exact_region_test.pdb"
+  "exact_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_property_test.dir/geom_property_test.cc.o"
+  "CMakeFiles/geom_property_test.dir/geom_property_test.cc.o.d"
+  "geom_property_test"
+  "geom_property_test.pdb"
+  "geom_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

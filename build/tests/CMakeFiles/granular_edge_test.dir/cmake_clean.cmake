@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granular_edge_test.dir/granular_edge_test.cc.o"
+  "CMakeFiles/granular_edge_test.dir/granular_edge_test.cc.o.d"
+  "granular_edge_test"
+  "granular_edge_test.pdb"
+  "granular_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granular_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilbert_index_test.dir/hilbert_index_test.cc.o"
+  "CMakeFiles/hilbert_index_test.dir/hilbert_index_test.cc.o.d"
+  "hilbert_index_test"
+  "hilbert_index_test.pdb"
+  "hilbert_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilbert_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilbert_test.dir/hilbert_test.cc.o"
+  "CMakeFiles/hilbert_test.dir/hilbert_test.cc.o.d"
+  "hilbert_test"
+  "hilbert_test.pdb"
+  "hilbert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilbert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inn_test.dir/inn_test.cc.o"
+  "CMakeFiles/inn_test.dir/inn_test.cc.o.d"
+  "inn_test"
+  "inn_test.pdb"
+  "inn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

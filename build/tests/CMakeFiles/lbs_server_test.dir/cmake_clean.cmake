@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbs_server_test.dir/lbs_server_test.cc.o"
+  "CMakeFiles/lbs_server_test.dir/lbs_server_test.cc.o.d"
+  "lbs_server_test"
+  "lbs_server_test.pdb"
+  "lbs_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbs_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

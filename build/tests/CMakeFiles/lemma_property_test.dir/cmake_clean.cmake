@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma_property_test.dir/lemma_property_test.cc.o"
+  "CMakeFiles/lemma_property_test.dir/lemma_property_test.cc.o.d"
+  "lemma_property_test"
+  "lemma_property_test.pdb"
+  "lemma_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_query_test.dir/multi_query_test.cc.o"
+  "CMakeFiles/multi_query_test.dir/multi_query_test.cc.o.d"
+  "multi_query_test"
+  "multi_query_test.pdb"
+  "multi_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polygon_test.dir/polygon_test.cc.o"
+  "CMakeFiles/polygon_test.dir/polygon_test.cc.o.d"
+  "polygon_test"
+  "polygon_test.pdb"
+  "polygon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polygon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

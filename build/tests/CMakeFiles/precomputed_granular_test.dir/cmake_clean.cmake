@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precomputed_granular_test.dir/precomputed_granular_test.cc.o"
+  "CMakeFiles/precomputed_granular_test.dir/precomputed_granular_test.cc.o.d"
+  "precomputed_granular_test"
+  "precomputed_granular_test.pdb"
+  "precomputed_granular_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precomputed_granular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

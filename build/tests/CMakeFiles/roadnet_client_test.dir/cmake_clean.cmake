@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_client_test.dir/roadnet_client_test.cc.o"
+  "CMakeFiles/roadnet_client_test.dir/roadnet_client_test.cc.o.d"
+  "roadnet_client_test"
+  "roadnet_client_test.pdb"
+  "roadnet_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_graph_test.dir/roadnet_graph_test.cc.o"
+  "CMakeFiles/roadnet_graph_test.dir/roadnet_graph_test.cc.o.d"
+  "roadnet_graph_test"
+  "roadnet_graph_test.pdb"
+  "roadnet_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

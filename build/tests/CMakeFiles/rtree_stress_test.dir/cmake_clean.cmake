@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_stress_test.dir/rtree_stress_test.cc.o"
+  "CMakeFiles/rtree_stress_test.dir/rtree_stress_test.cc.o.d"
+  "rtree_stress_test"
+  "rtree_stress_test.pdb"
+  "rtree_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

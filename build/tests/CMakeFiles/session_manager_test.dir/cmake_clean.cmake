@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_manager_test.dir/session_manager_test.cc.o"
+  "CMakeFiles/session_manager_test.dir/session_manager_test.cc.o.d"
+  "session_manager_test"
+  "session_manager_test.pdb"
+  "session_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_io_test.dir/text_io_test.cc.o"
+  "CMakeFiles/text_io_test.dir/text_io_test.cc.o.d"
+  "text_io_test"
+  "text_io_test.pdb"
+  "text_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_cloak_test.dir/vertex_cloak_test.cc.o"
+  "CMakeFiles/vertex_cloak_test.dir/vertex_cloak_test.cc.o.d"
+  "vertex_cloak_test"
+  "vertex_cloak_test.pdb"
+  "vertex_cloak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_cloak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

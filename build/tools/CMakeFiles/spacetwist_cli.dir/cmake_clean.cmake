@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacetwist_cli.dir/spacetwist_cli.cc.o"
+  "CMakeFiles/spacetwist_cli.dir/spacetwist_cli.cc.o.d"
+  "spacetwist_cli"
+  "spacetwist_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacetwist_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
