@@ -17,6 +17,7 @@ enum class StatusCode {
   kCorruption = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  kResourceExhausted = 9,  ///< A capacity limit (sessions, quota) was hit.
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -66,6 +67,9 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -81,6 +85,9 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

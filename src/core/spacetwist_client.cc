@@ -58,38 +58,24 @@ class BestK {
 
 }  // namespace
 
-SpaceTwistClient::SpaceTwistClient(server::LbsServer* server)
-    : server_(server) {
-  SPACETWIST_CHECK(server != nullptr);
-}
-
-Result<QueryOutcome> SpaceTwistClient::Query(const geom::Point& q,
-                                             const geom::Point& anchor,
-                                             const QueryParams& params) {
-  if (params.k < 1) return Status::InvalidArgument("k must be >= 1");
-  if (params.epsilon < 0.0) {
-    return Status::InvalidArgument("epsilon must be >= 0");
-  }
-
-  // The server only ever learns the anchor, epsilon, and k.
-  std::unique_ptr<server::GranularInnStream> stream =
-      server_->OpenGranularSession(anchor, params.epsilon, params.k,
-                                   params.granular);
-  net::PacketChannel channel(stream.get(), params.packet);
-
+Result<QueryOutcome> RunTerminationLoop(const geom::Point& q,
+                                        const geom::Point& anchor, size_t k,
+                                        size_t beta,
+                                        net::PacketTransport* transport) {
+  SPACETWIST_CHECK(transport != nullptr);
   QueryOutcome outcome;
   outcome.query = q;
   outcome.anchor = anchor;
-  outcome.k = params.k;
-  outcome.beta = params.packet.Capacity();
+  outcome.k = k;
+  outcome.beta = beta;
 
-  BestK best(params.k);
+  BestK best(k);
   const double anchor_dist = geom::Distance(q, anchor);
   double tau = 0.0;
 
   // Algorithm 1: pull packets until gamma + dist(q, q') <= tau.
   while (best.gamma() + anchor_dist > tau) {
-    Result<net::Packet> packet = channel.NextPacket();
+    Result<net::Packet> packet = transport->NextPacket();
     if (!packet.ok()) {
       if (packet.status().IsExhausted()) {
         // The server has reported every (non-pruned) point; the current
@@ -113,6 +99,28 @@ Result<QueryOutcome> SpaceTwistClient::Query(const geom::Point& q,
                       ? std::numeric_limits<double>::infinity()
                       : outcome.neighbors.back().distance;
   return outcome;
+}
+
+SpaceTwistClient::SpaceTwistClient(server::LbsServer* server)
+    : server_(server) {
+  SPACETWIST_CHECK(server != nullptr);
+}
+
+Result<QueryOutcome> SpaceTwistClient::Query(const geom::Point& q,
+                                             const geom::Point& anchor,
+                                             const QueryParams& params) {
+  if (params.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (params.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+
+  // The server only ever learns the anchor, epsilon, and k.
+  std::unique_ptr<server::GranularInnStream> stream =
+      server_->OpenGranularSession(anchor, params.epsilon, params.k,
+                                   params.granular);
+  net::PacketChannel channel(stream.get(), params.packet);
+  return RunTerminationLoop(q, anchor, params.k, params.packet.Capacity(),
+                            &channel);
 }
 
 Result<QueryOutcome> SpaceTwistClient::Query(const geom::Point& q,

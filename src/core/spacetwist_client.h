@@ -45,6 +45,19 @@ struct QueryOutcome {
   bool stream_exhausted = false;  ///< server ran out of points
 };
 
+/// The heart of Algorithm 1, written once against net::PacketTransport so
+/// it drives both the in-process simulation (PacketChannel) and the wire
+/// protocol (service::WireSession) with bit-identical results: pulls
+/// packets from an already-open incremental stream around `anchor` and
+/// stops as soon as the supply space covers the demand space
+/// (gamma + dist(q, q') <= tau). `beta` only annotates the outcome; the
+/// packet size is whatever the transport delivers. Inputs are assumed
+/// validated (k >= 1).
+Result<QueryOutcome> RunTerminationLoop(const geom::Point& q,
+                                        const geom::Point& anchor, size_t k,
+                                        size_t beta,
+                                        net::PacketTransport* transport);
+
 /// The SpaceTwist mobile client (Algorithm 1): issues an incremental
 /// (granular) NN stream around an anchor and stops as soon as the supply
 /// space covers the demand space, guaranteeing the k nearest objects among

@@ -1,0 +1,196 @@
+#include "eval/load_generator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "common/rng.h"
+#include "core/anchor.h"
+#include "service/thread_pool.h"
+#include "service/wire_client.h"
+
+namespace spacetwist::eval {
+
+namespace {
+
+/// One client's predetermined workload: (true location, anchor) per query.
+/// Generated from the client's own Rng so it is identical no matter which
+/// path (wire or direct) or thread executes it.
+struct ClientWorkload {
+  std::vector<std::pair<geom::Point, geom::Point>> queries;
+};
+
+uint64_t ClientSeed(uint64_t base_seed, size_t client) {
+  // Golden-ratio stride keeps per-client streams decorrelated.
+  return base_seed + 0x9E3779B97F4A7C15ULL * (client + 1);
+}
+
+ClientWorkload MakeWorkload(const geom::Rect& domain,
+                            const LoadOptions& options, size_t client) {
+  Rng rng(ClientSeed(options.seed, client));
+  ClientWorkload workload;
+  workload.queries.reserve(options.queries_per_client);
+  for (size_t i = 0; i < options.queries_per_client; ++i) {
+    const geom::Point q{rng.Uniform(domain.min.x, domain.max.x),
+                        rng.Uniform(domain.min.y, domain.max.y)};
+    const geom::Point anchor = core::GenerateAnchor(
+        q, options.params.anchor_distance, domain, &rng);
+    workload.queries.emplace_back(q, anchor);
+  }
+  return workload;
+}
+
+void HashU64(uint64_t v, uint64_t* h) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    *h = (*h ^ ((v >> shift) & 0xFF)) * 1099511628211ULL;  // FNV-1a
+  }
+}
+
+void FoldOutcome(const core::QueryOutcome& outcome, ClientDigest* digest) {
+  for (const rtree::Neighbor& n : outcome.neighbors) {
+    HashU64(n.point.id, &digest->result_hash);
+    HashU64(std::bit_cast<uint64_t>(n.distance), &digest->result_hash);
+  }
+  HashU64(outcome.packets, &digest->result_hash);
+  digest->packets += outcome.packets;
+  digest->points += outcome.retrieved.size();
+}
+
+Status ValidateOptions(const LoadOptions& options) {
+  if (options.num_clients < 1) {
+    return Status::InvalidArgument("num_clients must be >= 1");
+  }
+  if (options.queries_per_client < 1) {
+    return Status::InvalidArgument("queries_per_client must be >= 1");
+  }
+  if (options.worker_threads < 1) {
+    return Status::InvalidArgument("worker_threads must be >= 1");
+  }
+  return Status::OK();
+}
+
+double PercentileMs(std::vector<double>* sorted_ms, double fraction) {
+  if (sorted_ms->empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_ms->size() - 1,
+      static_cast<size_t>(fraction * static_cast<double>(sorted_ms->size())));
+  return (*sorted_ms)[index];
+}
+
+}  // namespace
+
+Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
+                                     const geom::Rect& domain,
+                                     const LoadOptions& options) {
+  if (engine == nullptr) return Status::InvalidArgument("engine is null");
+  SPACETWIST_RETURN_NOT_OK(ValidateOptions(options));
+  if (engine->packet_config().Capacity() != options.params.packet.Capacity()) {
+    return Status::InvalidArgument(
+        "engine packet config differs from client params; outcomes would "
+        "not match the reference path");
+  }
+
+  // Per-client state is only ever touched by that client's current task;
+  // the closed loop guarantees one in-flight task per client, and the pool's
+  // queue ordering makes the hand-off a happens-before edge.
+  struct ClientState {
+    ClientWorkload workload;
+    size_t next_query = 0;
+    ClientDigest digest;
+    std::vector<double> latencies_ms;
+  };
+  std::vector<ClientState> states(options.num_clients);
+  for (size_t i = 0; i < options.num_clients; ++i) {
+    states[i].workload = MakeWorkload(domain, options, i);
+    states[i].latencies_ms.reserve(options.queries_per_client);
+  }
+
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  Status first_error;
+
+  using Clock = std::chrono::steady_clock;
+  service::ThreadPool pool(options.worker_threads);
+
+  std::function<void(size_t)> run_step = [&](size_t client) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    ClientState& state = states[client];
+    const auto& [q, anchor] = state.workload.queries[state.next_query];
+    const Clock::time_point start = Clock::now();
+    Result<core::QueryOutcome> outcome =
+        service::RemoteQuery(engine, q, anchor, options.params);
+    const Clock::time_point end = Clock::now();
+    if (!outcome.ok()) {
+      failed.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = outcome.status();
+      return;
+    }
+    state.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+    FoldOutcome(*outcome, &state.digest);
+    if (++state.next_query < state.workload.queries.size()) {
+      pool.Submit([&run_step, client] { run_step(client); });
+    }
+  };
+
+  const Clock::time_point wall_start = Clock::now();
+  for (size_t i = 0; i < options.num_clients; ++i) {
+    pool.Submit([&run_step, i] { run_step(i); });
+  }
+  pool.Wait();
+  const Clock::time_point wall_end = Clock::now();
+
+  if (failed.load()) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    return first_error;
+  }
+
+  LoadReport report;
+  report.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  std::vector<double> all_latencies;
+  all_latencies.reserve(options.num_clients * options.queries_per_client);
+  report.digests.reserve(options.num_clients);
+  for (const ClientState& state : states) {
+    report.queries += state.latencies_ms.size();
+    report.packets += state.digest.packets;
+    report.points += state.digest.points;
+    report.digests.push_back(state.digest);
+    all_latencies.insert(all_latencies.end(), state.latencies_ms.begin(),
+                         state.latencies_ms.end());
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  report.p50_latency_ms = PercentileMs(&all_latencies, 0.50);
+  report.p99_latency_ms = PercentileMs(&all_latencies, 0.99);
+  report.queries_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.queries) / report.wall_seconds
+          : 0.0;
+  return report;
+}
+
+Result<std::vector<ClientDigest>> RunReferenceWorkload(
+    server::LbsServer* server, const LoadOptions& options) {
+  if (server == nullptr) return Status::InvalidArgument("server is null");
+  SPACETWIST_RETURN_NOT_OK(ValidateOptions(options));
+  core::SpaceTwistClient client(server);
+  std::vector<ClientDigest> digests(options.num_clients);
+  for (size_t i = 0; i < options.num_clients; ++i) {
+    const ClientWorkload workload =
+        MakeWorkload(server->domain(), options, i);
+    for (const auto& [q, anchor] : workload.queries) {
+      SPACETWIST_ASSIGN_OR_RETURN(
+          core::QueryOutcome outcome,
+          client.Query(q, anchor, options.params));
+      FoldOutcome(outcome, &digests[i]);
+    }
+  }
+  return digests;
+}
+
+}  // namespace spacetwist::eval

@@ -1,0 +1,72 @@
+#ifndef SPACETWIST_EVAL_LOAD_GENERATOR_H_
+#define SPACETWIST_EVAL_LOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/spacetwist_client.h"
+#include "geom/rect.h"
+#include "server/lbs_server.h"
+#include "service/service_engine.h"
+
+namespace spacetwist::eval {
+
+/// Shape of one serving-throughput run: M simulated clients, each issuing
+/// `queries_per_client` SpaceTwist queries back-to-back (closed loop: a
+/// client only starts its next query when the previous one finished),
+/// executed on `worker_threads` threads against one shared ServiceEngine.
+struct LoadOptions {
+  size_t num_clients = 32;
+  size_t queries_per_client = 4;
+  size_t worker_threads = 4;
+  core::QueryParams params;  ///< per-query k / epsilon / anchor distance
+  uint64_t seed = 4242;      ///< client workloads derive from seed + index
+};
+
+/// Deterministic fingerprint of everything one client computed: the kNN
+/// ids/distances and packet counts of each of its queries, order-sensitive.
+/// Two runs with the same seeds must produce equal digests regardless of
+/// thread count or interleaving — that is the engine's correctness bar.
+struct ClientDigest {
+  uint64_t result_hash = 0;  ///< FNV-1a over per-query ids + distance bits
+  uint64_t packets = 0;      ///< total downlink packets the client saw
+  uint64_t points = 0;       ///< total POIs the client received
+
+  friend bool operator==(const ClientDigest& a, const ClientDigest& b) {
+    return a.result_hash == b.result_hash && a.packets == b.packets &&
+           a.points == b.points;
+  }
+};
+
+/// Aggregate numbers of one load run (the bench's table row).
+struct LoadReport {
+  double wall_seconds = 0.0;
+  double queries_per_second = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  uint64_t queries = 0;
+  uint64_t packets = 0;  ///< downlink packets across all clients
+  uint64_t points = 0;   ///< POIs across all clients
+  std::vector<ClientDigest> digests;  ///< index = client
+};
+
+/// Drives the closed-loop workload over the wire codec against `engine`.
+/// Every query runs the real SpaceTwist termination logic
+/// (core::RunTerminationLoop over a service::WireSession). Query points and
+/// anchors for client i are generated from Rng(seed derived from
+/// options.seed and i), so reruns and the single-threaded reference see the
+/// exact same workload. `domain` is the served dataset's domain.
+Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
+                                     const geom::Rect& domain,
+                                     const LoadOptions& options);
+
+/// The same per-client workload through the direct single-threaded library
+/// path (SpaceTwistClient against `server`), returning only the digests —
+/// the byte-identical yardstick for RunClosedLoopLoad.
+Result<std::vector<ClientDigest>> RunReferenceWorkload(
+    server::LbsServer* server, const LoadOptions& options);
+
+}  // namespace spacetwist::eval
+
+#endif  // SPACETWIST_EVAL_LOAD_GENERATOR_H_

@@ -19,6 +19,20 @@ class PointSource {
   virtual Result<rtree::DataPoint> Next() = 0;
 };
 
+/// Client-side view of the server transport: each call costs one uplink
+/// request and yields the stream's next downlink packet, or kExhausted once
+/// the server-side stream is dry. Implemented in-process by PacketChannel
+/// and over the wire codec by service::WireSession, so Algorithm 1's
+/// termination loop (core::RunTerminationLoop) is written once against this
+/// interface and behaves identically on both paths.
+class PacketTransport {
+ public:
+  virtual ~PacketTransport() = default;
+
+  /// Next downlink packet, or kExhausted at end of stream.
+  virtual Result<Packet> NextPacket() = 0;
+};
+
 /// Communication counters; the paper's headline cost metric is
 /// `downlink_packets`.
 struct ChannelStats {
@@ -34,7 +48,7 @@ struct ChannelStats {
 /// points, packs them into the same packet, and sends the packet to the
 /// client"). Deterministic and in-process; the paper measures communication
 /// as packet counts, which this reproduces exactly.
-class PacketChannel {
+class PacketChannel : public PacketTransport {
  public:
   /// Borrows `source`, which must outlive the channel.
   PacketChannel(PointSource* source, const PacketConfig& config);
@@ -45,7 +59,7 @@ class PacketChannel {
   /// Pulls up to Capacity() points from the source into one packet. The last
   /// packet of a stream may be short; kExhausted is returned once no point
   /// remains. Each call also accounts one uplink request packet.
-  Result<Packet> NextPacket();
+  Result<Packet> NextPacket() override;
 
  private:
   PointSource* source_;

@@ -1,0 +1,323 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace spacetwist::net {
+
+namespace {
+
+/// Little-endian primitive writers. Byte shifts keep the encoding
+/// host-order independent.
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void PutF32(std::vector<uint8_t>* out, float v) {
+  PutU32(out, std::bit_cast<uint32_t>(v));
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reader over a borrowed buffer. Every Read*
+/// fails with kCorruption instead of running off the end.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : p_(data), remaining_(size) {}
+
+  size_t remaining() const { return remaining_; }
+
+  Result<uint8_t> ReadU8() {
+    SPACETWIST_RETURN_NOT_OK(Need(1));
+    return Take(1)[0];
+  }
+
+  Result<uint16_t> ReadU16() {
+    SPACETWIST_RETURN_NOT_OK(Need(2));
+    const uint8_t* b = Take(2);
+    return static_cast<uint16_t>(b[0] | (b[1] << 8));
+  }
+
+  Result<uint32_t> ReadU32() {
+    SPACETWIST_RETURN_NOT_OK(Need(4));
+    const uint8_t* b = Take(4);
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    SPACETWIST_RETURN_NOT_OK(Need(8));
+    const uint8_t* b = Take(8);
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+    return v;
+  }
+
+  Result<float> ReadF32() {
+    SPACETWIST_ASSIGN_OR_RETURN(uint32_t bits, ReadU32());
+    return std::bit_cast<float>(bits);
+  }
+
+  Result<double> ReadF64() {
+    SPACETWIST_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+    return std::bit_cast<double>(bits);
+  }
+
+  Result<std::string> ReadBytes(size_t n) {
+    SPACETWIST_RETURN_NOT_OK(Need(n));
+    const uint8_t* b = Take(n);
+    return std::string(reinterpret_cast<const char*>(b), n);
+  }
+
+  /// A fully decoded frame must leave nothing behind.
+  Status ExpectDrained() const {
+    if (remaining_ != 0) {
+      return Status::Corruption(
+          StrFormat("%zu trailing bytes after payload", remaining_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n) const {
+    if (remaining_ < n) {
+      return Status::Corruption(
+          StrFormat("truncated frame: need %zu bytes, have %zu", n,
+                    remaining_));
+    }
+    return Status::OK();
+  }
+
+  const uint8_t* Take(size_t n) {
+    const uint8_t* at = p_;
+    p_ += n;
+    remaining_ -= n;
+    return at;
+  }
+
+  const uint8_t* p_;
+  size_t remaining_;
+};
+
+std::vector<uint8_t> SealFrame(MessageType type,
+                               const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(5 + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU8(&frame, static_cast<uint8_t>(type));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+/// Validates the 5-byte header and hands back (type, payload reader).
+Result<std::pair<MessageType, WireReader>> OpenFrame(const uint8_t* data,
+                                                     size_t size) {
+  if (data == nullptr && size > 0) {
+    return Status::InvalidArgument("null frame buffer");
+  }
+  WireReader header(data, size);
+  SPACETWIST_ASSIGN_OR_RETURN(uint32_t payload_len, header.ReadU32());
+  SPACETWIST_ASSIGN_OR_RETURN(uint8_t type, header.ReadU8());
+  if (payload_len > kMaxWirePayloadBytes) {
+    return Status::Corruption(
+        StrFormat("declared payload of %u bytes exceeds limit", payload_len));
+  }
+  if (header.remaining() != payload_len) {
+    return Status::Corruption(
+        StrFormat("frame length mismatch: declared %u, have %zu", payload_len,
+                  header.remaining()));
+  }
+  return std::make_pair(static_cast<MessageType>(type), header);
+}
+
+Result<OpenRequest> DecodeOpenPayload(WireReader* r) {
+  OpenRequest msg;
+  SPACETWIST_ASSIGN_OR_RETURN(msg.anchor.x, r->ReadF64());
+  SPACETWIST_ASSIGN_OR_RETURN(msg.anchor.y, r->ReadF64());
+  SPACETWIST_ASSIGN_OR_RETURN(msg.epsilon, r->ReadF64());
+  SPACETWIST_ASSIGN_OR_RETURN(msg.k, r->ReadU32());
+  return msg;
+}
+
+Result<PacketReply> DecodePacketPayload(WireReader* r) {
+  SPACETWIST_ASSIGN_OR_RETURN(uint16_t count, r->ReadU16());
+  if (count > kMaxWirePointsPerFrame) {
+    return Status::Corruption("point count exceeds frame limit");
+  }
+  if (r->remaining() != count * kWirePointBytes) {
+    return Status::Corruption(
+        StrFormat("packet payload size mismatch for %u points", count));
+  }
+  PacketReply msg;
+  msg.packet.points.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    rtree::DataPoint p;
+    SPACETWIST_ASSIGN_OR_RETURN(float x, r->ReadF32());
+    SPACETWIST_ASSIGN_OR_RETURN(float y, r->ReadF32());
+    SPACETWIST_ASSIGN_OR_RETURN(p.id, r->ReadU32());
+    p.point = {x, y};
+    msg.packet.points.push_back(p);
+  }
+  return msg;
+}
+
+Result<ErrorReply> DecodeErrorPayload(WireReader* r) {
+  SPACETWIST_ASSIGN_OR_RETURN(uint8_t code, r->ReadU8());
+  SPACETWIST_ASSIGN_OR_RETURN(uint16_t msg_len, r->ReadU16());
+  if (msg_len > kMaxWireErrorMessageBytes) {
+    return Status::Corruption("error message exceeds frame limit");
+  }
+  if (code == static_cast<uint8_t>(StatusCode::kOk) ||
+      code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Status::Corruption(
+        StrFormat("invalid wire status code %u", code));
+  }
+  ErrorReply msg;
+  msg.code = static_cast<StatusCode>(code);
+  SPACETWIST_ASSIGN_OR_RETURN(msg.message, r->ReadBytes(msg_len));
+  return msg;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRequest(const Request& request) {
+  std::vector<uint8_t> payload;
+  MessageType type;
+  if (const auto* open = std::get_if<OpenRequest>(&request)) {
+    type = MessageType::kOpenRequest;
+    PutF64(&payload, open->anchor.x);
+    PutF64(&payload, open->anchor.y);
+    PutF64(&payload, open->epsilon);
+    PutU32(&payload, open->k);
+  } else if (const auto* pull = std::get_if<PullRequest>(&request)) {
+    type = MessageType::kPullRequest;
+    PutU64(&payload, pull->session_id);
+  } else {
+    type = MessageType::kCloseRequest;
+    PutU64(&payload, std::get<CloseRequest>(request).session_id);
+  }
+  return SealFrame(type, payload);
+}
+
+std::vector<uint8_t> EncodeResponse(const Response& response) {
+  std::vector<uint8_t> payload;
+  MessageType type;
+  if (const auto* ok = std::get_if<OpenOk>(&response)) {
+    type = MessageType::kOpenOk;
+    PutU64(&payload, ok->session_id);
+  } else if (const auto* packet = std::get_if<PacketReply>(&response)) {
+    type = MessageType::kPacket;
+    const std::vector<rtree::DataPoint>& points = packet->packet.points;
+    // The engine caps packets at PacketConfig::Capacity() (<= a few hundred);
+    // a uint16 count is ample and keeps the frame tight.
+    PutU16(&payload, static_cast<uint16_t>(points.size()));
+    for (const rtree::DataPoint& p : points) {
+      PutF32(&payload, static_cast<float>(p.point.x));
+      PutF32(&payload, static_cast<float>(p.point.y));
+      PutU32(&payload, p.id);
+    }
+  } else if (std::holds_alternative<CloseOk>(response)) {
+    type = MessageType::kCloseOk;
+  } else {
+    type = MessageType::kError;
+    const ErrorReply& error = std::get<ErrorReply>(response);
+    PutU8(&payload, static_cast<uint8_t>(error.code));
+    std::string message = error.message;
+    if (message.size() > kMaxWireErrorMessageBytes) {
+      message.resize(kMaxWireErrorMessageBytes);
+    }
+    PutU16(&payload, static_cast<uint16_t>(message.size()));
+    payload.insert(payload.end(), message.begin(), message.end());
+  }
+  return SealFrame(type, payload);
+}
+
+Result<Request> DecodeRequest(const uint8_t* data, size_t size) {
+  SPACETWIST_ASSIGN_OR_RETURN(auto frame, OpenFrame(data, size));
+  WireReader& r = frame.second;
+  switch (frame.first) {
+    case MessageType::kOpenRequest: {
+      SPACETWIST_ASSIGN_OR_RETURN(OpenRequest msg, DecodeOpenPayload(&r));
+      SPACETWIST_RETURN_NOT_OK(r.ExpectDrained());
+      return Request(msg);
+    }
+    case MessageType::kPullRequest: {
+      PullRequest msg;
+      SPACETWIST_ASSIGN_OR_RETURN(msg.session_id, r.ReadU64());
+      SPACETWIST_RETURN_NOT_OK(r.ExpectDrained());
+      return Request(msg);
+    }
+    case MessageType::kCloseRequest: {
+      CloseRequest msg;
+      SPACETWIST_ASSIGN_OR_RETURN(msg.session_id, r.ReadU64());
+      SPACETWIST_RETURN_NOT_OK(r.ExpectDrained());
+      return Request(msg);
+    }
+    case MessageType::kOpenOk:
+    case MessageType::kPacket:
+    case MessageType::kCloseOk:
+    case MessageType::kError:
+      return Status::InvalidArgument("response frame where request expected");
+  }
+  return Status::Corruption(StrFormat("unknown request type %u",
+                                      static_cast<unsigned>(frame.first)));
+}
+
+Result<Response> DecodeResponse(const uint8_t* data, size_t size) {
+  SPACETWIST_ASSIGN_OR_RETURN(auto frame, OpenFrame(data, size));
+  WireReader& r = frame.second;
+  switch (frame.first) {
+    case MessageType::kOpenOk: {
+      OpenOk msg;
+      SPACETWIST_ASSIGN_OR_RETURN(msg.session_id, r.ReadU64());
+      SPACETWIST_RETURN_NOT_OK(r.ExpectDrained());
+      return Response(msg);
+    }
+    case MessageType::kPacket: {
+      SPACETWIST_ASSIGN_OR_RETURN(PacketReply msg, DecodePacketPayload(&r));
+      SPACETWIST_RETURN_NOT_OK(r.ExpectDrained());
+      return Response(std::move(msg));
+    }
+    case MessageType::kCloseOk: {
+      SPACETWIST_RETURN_NOT_OK(r.ExpectDrained());
+      return Response(CloseOk{});
+    }
+    case MessageType::kError: {
+      SPACETWIST_ASSIGN_OR_RETURN(ErrorReply msg, DecodeErrorPayload(&r));
+      SPACETWIST_RETURN_NOT_OK(r.ExpectDrained());
+      return Response(std::move(msg));
+    }
+    case MessageType::kOpenRequest:
+    case MessageType::kPullRequest:
+    case MessageType::kCloseRequest:
+      return Status::InvalidArgument("request frame where response expected");
+  }
+  return Status::Corruption(StrFormat("unknown response type %u",
+                                      static_cast<unsigned>(frame.first)));
+}
+
+Status ToStatus(const ErrorReply& error) {
+  return Status(error.code, error.message);
+}
+
+}  // namespace spacetwist::net

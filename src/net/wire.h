@@ -1,0 +1,154 @@
+#ifndef SPACETWIST_NET_WIRE_H_
+#define SPACETWIST_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/point.h"
+#include "net/packet.h"
+#include "rtree/entry.h"
+
+namespace spacetwist::net {
+
+/// Binary wire codec for the client/server session protocol (see
+/// docs/SERVICE.md for the byte-level specification).
+///
+/// Every message travels in one frame:
+///
+///   uint32  payload_length   (little-endian, bytes after the type byte)
+///   uint8   message_type     (MessageType)
+///   payload_length bytes of payload
+///
+/// All integers are little-endian regardless of host order; doubles and
+/// floats are IEEE-754 bit patterns of the corresponding width. Coordinates
+/// of reported points are float32 — exactly the dataset's on-disk
+/// quantization, so encoding loses nothing and wire results stay
+/// byte-identical to the in-process path. Decoding is fully bounds-checked
+/// and returns kCorruption on truncated, oversized, or malformed frames;
+/// it never reads past the buffer and never aborts.
+
+/// Frame type tags. Requests are 1-15, responses 16-31.
+enum class MessageType : uint8_t {
+  kOpenRequest = 1,   ///< open a granular INN session
+  kPullRequest = 2,   ///< pull the session's next packet
+  kCloseRequest = 3,  ///< close a session
+  kOpenOk = 16,       ///< session id of a freshly opened session
+  kPacket = 17,       ///< one downlink packet of data points
+  kCloseOk = 18,      ///< session closed
+  kError = 19,        ///< Status code + message
+};
+
+/// Everything the server ever learns about a query (anchor, not the true
+/// location). Doubles so client-generated anchors round-trip exactly.
+struct OpenRequest {
+  geom::Point anchor;
+  double epsilon = 0.0;
+  uint32_t k = 1;
+
+  friend bool operator==(const OpenRequest& a, const OpenRequest& b) {
+    return a.anchor == b.anchor && a.epsilon == b.epsilon && a.k == b.k;
+  }
+};
+
+struct PullRequest {
+  uint64_t session_id = 0;
+
+  friend bool operator==(const PullRequest& a, const PullRequest& b) {
+    return a.session_id == b.session_id;
+  }
+};
+
+struct CloseRequest {
+  uint64_t session_id = 0;
+
+  friend bool operator==(const CloseRequest& a, const CloseRequest& b) {
+    return a.session_id == b.session_id;
+  }
+};
+
+using Request = std::variant<OpenRequest, PullRequest, CloseRequest>;
+
+struct OpenOk {
+  uint64_t session_id = 0;
+
+  friend bool operator==(const OpenOk& a, const OpenOk& b) {
+    return a.session_id == b.session_id;
+  }
+};
+
+/// One downlink packet. Each point is encoded as float32 x, float32 y,
+/// uint32 id (12 bytes). The paper's cost model stays 8 bytes per point
+/// (PacketConfig); the id rides along for simulation fidelity — POIs are
+/// public data, so it reveals nothing beyond the coordinates.
+struct PacketReply {
+  Packet packet;
+
+  friend bool operator==(const PacketReply& a, const PacketReply& b) {
+    return a.packet.points == b.packet.points;
+  }
+};
+
+struct CloseOk {
+  friend bool operator==(const CloseOk&, const CloseOk&) { return true; }
+};
+
+/// A Status carried over the wire (e.g. kExhausted at end of stream,
+/// kResourceExhausted backpressure, kNotFound for bad session ids).
+struct ErrorReply {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+
+  friend bool operator==(const ErrorReply& a, const ErrorReply& b) {
+    return a.code == b.code && a.message == b.message;
+  }
+};
+
+using Response = std::variant<OpenOk, PacketReply, CloseOk, ErrorReply>;
+
+/// Decode sanity bounds (generous multiples of anything the engine emits).
+inline constexpr size_t kMaxWirePayloadBytes = 1 << 20;
+inline constexpr size_t kMaxWirePointsPerFrame = 65535;
+inline constexpr size_t kMaxWireErrorMessageBytes = 4096;
+
+/// Bytes per encoded data point in a kPacket payload.
+inline constexpr size_t kWirePointBytes = 12;
+
+/// Serializes a message into one self-contained frame.
+std::vector<uint8_t> EncodeRequest(const Request& request);
+std::vector<uint8_t> EncodeResponse(const Response& response);
+
+/// Parses exactly one frame occupying the whole buffer. Truncated or
+/// trailing bytes, unknown types, and inconsistent lengths all yield
+/// kCorruption; a response frame type given to DecodeRequest (and vice
+/// versa) yields kInvalidArgument.
+Result<Request> DecodeRequest(const uint8_t* data, size_t size);
+Result<Response> DecodeResponse(const uint8_t* data, size_t size);
+
+inline Result<Request> DecodeRequest(const std::vector<uint8_t>& buf) {
+  return DecodeRequest(buf.data(), buf.size());
+}
+inline Result<Response> DecodeResponse(const std::vector<uint8_t>& buf) {
+  return DecodeResponse(buf.data(), buf.size());
+}
+
+/// Converts a wire error back into the Status the server returned.
+Status ToStatus(const ErrorReply& error);
+
+/// Server end of the wire protocol: consumes one encoded request frame and
+/// produces one encoded response frame. Implemented in-process by
+/// service::ServiceEngine; a deployment would put a socket behind the same
+/// interface. Implementations must be safe to call from many threads.
+class FrameHandler {
+ public:
+  virtual ~FrameHandler() = default;
+
+  virtual std::vector<uint8_t> HandleFrame(
+      const std::vector<uint8_t>& request_frame) = 0;
+};
+
+}  // namespace spacetwist::net
+
+#endif  // SPACETWIST_NET_WIRE_H_

@@ -101,7 +101,8 @@ void RStarSplit(std::vector<Entry> entries, size_t min_fill,
 RTree::RTree(storage::Pager* pager, const RTreeOptions& options)
     : options_(options),
       pool_(std::make_unique<storage::BufferPool>(
-          pager, std::max<size_t>(1, options.buffer_pool_pages))) {}
+          pager, std::max<size_t>(1, options.buffer_pool_pages),
+          options.concurrent_reads)) {}
 
 Result<std::unique_ptr<RTree>> RTree::Create(storage::Pager* pager,
                                              const RTreeOptions& options) {

@@ -17,7 +17,7 @@ Result<SessionId> SessionManager::Open(const geom::Point& anchor,
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   if (epsilon < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
   if (sessions_.size() >= max_sessions_) {
-    return Status::Internal(
+    return Status::ResourceExhausted(
         StrFormat("session limit (%zu) reached", max_sessions_));
   }
   Session session;
@@ -48,6 +48,22 @@ Status SessionManager::Close(SessionId id) {
   Absorb(it->second);
   sessions_.erase(it);
   return Status::OK();
+}
+
+size_t SessionManager::CloseAll() {
+  const size_t count = sessions_.size();
+  for (const auto& [id, session] : sessions_) Absorb(session);
+  sessions_.clear();
+  return count;
+}
+
+Result<net::ChannelStats> SessionManager::SessionStats(SessionId id) const {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StrFormat(
+        "session %llu", static_cast<unsigned long long>(id)));
+  }
+  return it->second.channel->stats();
 }
 
 void SessionManager::Absorb(const Session& session) {

@@ -31,7 +31,8 @@ class SessionManager {
                  const net::PacketConfig& packet = net::PacketConfig());
 
   /// Opens a granular INN session (epsilon == 0 gives exact INN). This is
-  /// everything the server ever learns about a query.
+  /// everything the server ever learns about a query. kResourceExhausted
+  /// once `max_sessions` sessions are open (backpressure, not a bug).
   Result<SessionId> Open(const geom::Point& anchor, double epsilon,
                          size_t k);
 
@@ -39,13 +40,23 @@ class SessionManager {
   /// and kNotFound for unknown/closed ids.
   Result<net::Packet> NextPacket(SessionId id);
 
-  /// Closes a session (idempotent errors: closing twice is kNotFound —
-  /// the client is misbehaving and should know).
+  /// Closes a session. Not idempotent: closing an unknown or already-closed
+  /// id returns kNotFound — the client is misbehaving and should know.
   Status Close(SessionId id);
+
+  /// Closes every open session (absorbing their counters into the totals)
+  /// and returns how many there were. Lets a shutdown or sweep account for
+  /// sessions that clients abandoned without closing.
+  size_t CloseAll();
+
+  /// Transport counters of one open session — the per-session packet count
+  /// a front end needs for metering without reaching into channels.
+  Result<net::ChannelStats> SessionStats(SessionId id) const;
 
   size_t open_sessions() const { return sessions_.size(); }
   uint64_t sessions_opened() const { return sessions_opened_; }
-  /// Transport totals over every session ever served.
+  /// Transport totals over every *retired* (closed or CloseAll-swept)
+  /// session; still-open sessions contribute once they retire.
   const net::ChannelStats& total_stats() const { return totals_; }
 
  private:

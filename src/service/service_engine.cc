@@ -1,0 +1,224 @@
+#include "service/service_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace spacetwist::service {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+}  // namespace
+
+ServiceEngine::ServiceEngine(server::LbsServer* server,
+                             const ServiceOptions& options)
+    : server_(server),
+      options_(options),
+      shards_(std::max<size_t>(1, options.num_shards)) {
+  SPACETWIST_CHECK(server != nullptr);
+  SPACETWIST_CHECK(options_.max_sessions >= 1);
+  if (!options_.clock) options_.clock = SteadyNowNs;
+}
+
+ServiceEngine::~ServiceEngine() {
+  // Absorb whatever is still live so final metrics() reads (taken after the
+  // engine quiesces but before destruction) and the abandoned-session
+  // accounting contract both hold for users who snapshot via EvictIdle.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, session] : shard.sessions) Absorb(session);
+    shard.sessions.clear();
+  }
+}
+
+Result<uint64_t> ServiceEngine::Open(const geom::Point& anchor, double epsilon,
+                                     size_t k) {
+  counters_.open_requests.fetch_add(1, kRelaxed);
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (epsilon < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+
+  const uint64_t now = NowNs();
+
+  // Claim a slot optimistically; on overload try to reclaim idle sessions
+  // once before telling the client to back off.
+  const auto try_claim = [this] {
+    if (open_count_.fetch_add(1, kRelaxed) < options_.max_sessions) {
+      return true;
+    }
+    open_count_.fetch_sub(1, kRelaxed);
+    return false;
+  };
+  if (!try_claim() && (EvictIdle() == 0 || !try_claim())) {
+    counters_.sessions_rejected.fetch_add(1, kRelaxed);
+    return Status::ResourceExhausted(
+        StrFormat("session limit (%zu) reached", options_.max_sessions));
+  }
+
+  Session session;
+  session.stream =
+      server_->OpenGranularSession(anchor, epsilon, k, options_.granular);
+  session.channel = std::make_unique<net::PacketChannel>(session.stream.get(),
+                                                         options_.packet);
+  session.last_touch_ns = now;
+
+  const uint64_t id = next_id_.fetch_add(1, kRelaxed);
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Piggyback idle reclamation on the write path so a pull-only workload
+    // elsewhere cannot pin this shard's abandoned sessions forever.
+    SweepShardLocked(&shard, now);
+    shard.sessions.emplace(id, std::move(session));
+  }
+  counters_.sessions_opened.fetch_add(1, kRelaxed);
+  return id;
+}
+
+Result<net::Packet> ServiceEngine::Pull(uint64_t session_id) {
+  counters_.pull_requests.fetch_add(1, kRelaxed);
+  Shard& shard = ShardFor(session_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(session_id);
+  if (it == shard.sessions.end()) {
+    return Status::NotFound(StrFormat(
+        "session %llu", static_cast<unsigned long long>(session_id)));
+  }
+  it->second.last_touch_ns = NowNs();
+  // The stream traversal runs under the shard lock; different shards
+  // proceed in parallel and share the tree through its synchronized
+  // buffer pool.
+  return it->second.channel->NextPacket();
+}
+
+Status ServiceEngine::Close(uint64_t session_id) {
+  counters_.close_requests.fetch_add(1, kRelaxed);
+  Shard& shard = ShardFor(session_id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.sessions.find(session_id);
+    if (it == shard.sessions.end()) {
+      return Status::NotFound(StrFormat(
+          "session %llu", static_cast<unsigned long long>(session_id)));
+    }
+    Absorb(it->second);
+    shard.sessions.erase(it);
+  }
+  open_count_.fetch_sub(1, kRelaxed);
+  counters_.sessions_closed.fetch_add(1, kRelaxed);
+  return Status::OK();
+}
+
+Result<net::ChannelStats> ServiceEngine::SessionStats(
+    uint64_t session_id) const {
+  const Shard& shard = ShardFor(session_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(session_id);
+  if (it == shard.sessions.end()) {
+    return Status::NotFound(StrFormat(
+        "session %llu", static_cast<unsigned long long>(session_id)));
+  }
+  return it->second.channel->stats();
+}
+
+std::vector<uint8_t> ServiceEngine::HandleFrame(
+    const std::vector<uint8_t>& request_frame) {
+  Result<net::Request> request = net::DecodeRequest(request_frame);
+  if (!request.ok()) {
+    counters_.decode_errors.fetch_add(1, kRelaxed);
+    return EncodeErrorFrame(request.status());
+  }
+
+  if (const auto* open = std::get_if<net::OpenRequest>(&*request)) {
+    Result<uint64_t> id = Open(open->anchor, open->epsilon, open->k);
+    if (!id.ok()) return EncodeErrorFrame(id.status());
+    return net::EncodeResponse(net::OpenOk{*id});
+  }
+  if (const auto* pull = std::get_if<net::PullRequest>(&*request)) {
+    Result<net::Packet> packet = Pull(pull->session_id);
+    if (!packet.ok()) return EncodeErrorFrame(packet.status());
+    return net::EncodeResponse(
+        net::PacketReply{packet.MoveValueOrDie()});
+  }
+  const auto& close = std::get<net::CloseRequest>(*request);
+  Status status = Close(close.session_id);
+  if (!status.ok()) return EncodeErrorFrame(status);
+  return net::EncodeResponse(net::CloseOk{});
+}
+
+size_t ServiceEngine::EvictIdle() {
+  const uint64_t now = NowNs();
+  size_t evicted = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    evicted += SweepShardLocked(&shard, now);
+  }
+  return evicted;
+}
+
+EngineMetrics ServiceEngine::metrics() const {
+  EngineMetrics m;
+  m.open_requests = counters_.open_requests.load(kRelaxed);
+  m.pull_requests = counters_.pull_requests.load(kRelaxed);
+  m.close_requests = counters_.close_requests.load(kRelaxed);
+  m.decode_errors = counters_.decode_errors.load(kRelaxed);
+  m.sessions_opened = counters_.sessions_opened.load(kRelaxed);
+  m.sessions_closed = counters_.sessions_closed.load(kRelaxed);
+  m.sessions_evicted = counters_.sessions_evicted.load(kRelaxed);
+  m.sessions_rejected = counters_.sessions_rejected.load(kRelaxed);
+  m.open_sessions = open_count_.load(kRelaxed);
+  m.transport.downlink_packets = totals_.downlink_packets.load(kRelaxed);
+  m.transport.downlink_points = totals_.downlink_points.load(kRelaxed);
+  m.transport.uplink_packets = totals_.uplink_packets.load(kRelaxed);
+  m.transport.downlink_bytes = totals_.downlink_bytes.load(kRelaxed);
+  m.transport.uplink_bytes = totals_.uplink_bytes.load(kRelaxed);
+  return m;
+}
+
+void ServiceEngine::Absorb(const Session& session) {
+  const net::ChannelStats& stats = session.channel->stats();
+  totals_.downlink_packets.fetch_add(stats.downlink_packets, kRelaxed);
+  totals_.downlink_points.fetch_add(stats.downlink_points, kRelaxed);
+  totals_.uplink_packets.fetch_add(stats.uplink_packets, kRelaxed);
+  totals_.downlink_bytes.fetch_add(stats.downlink_bytes, kRelaxed);
+  totals_.uplink_bytes.fetch_add(stats.uplink_bytes, kRelaxed);
+}
+
+size_t ServiceEngine::SweepShardLocked(Shard* shard, uint64_t now_ns) {
+  if (options_.idle_ttl_ns == 0) return 0;
+  size_t evicted = 0;
+  for (auto it = shard->sessions.begin(); it != shard->sessions.end();) {
+    const uint64_t idle = now_ns - it->second.last_touch_ns;
+    if (now_ns > it->second.last_touch_ns && idle > options_.idle_ttl_ns) {
+      Absorb(it->second);
+      it = shard->sessions.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  if (evicted > 0) {
+    open_count_.fetch_sub(evicted, kRelaxed);
+    counters_.sessions_evicted.fetch_add(evicted, kRelaxed);
+  }
+  return evicted;
+}
+
+std::vector<uint8_t> ServiceEngine::EncodeErrorFrame(const Status& status) {
+  return net::EncodeResponse(
+      net::ErrorReply{status.code(), status.message()});
+}
+
+}  // namespace spacetwist::service

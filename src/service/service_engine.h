@@ -1,0 +1,181 @@
+#ifndef SPACETWIST_SERVICE_SERVICE_ENGINE_H_
+#define SPACETWIST_SERVICE_SERVICE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/point.h"
+#include "net/channel.h"
+#include "net/packet.h"
+#include "net/wire.h"
+#include "server/granular_inn.h"
+#include "server/lbs_server.h"
+
+namespace spacetwist::service {
+
+/// Tuning knobs for ServiceEngine. Defaults suit tests; benchmarks size
+/// shards/caps to the offered load.
+struct ServiceOptions {
+  /// Session-table stripes; each stripe has its own mutex + map, so up to
+  /// `num_shards` sessions make progress concurrently.
+  size_t num_shards = 8;
+  /// Global cap across all shards; Open beyond it is rejected with
+  /// kResourceExhausted (backpressure, not an internal error).
+  size_t max_sessions = 1024;
+  /// Sessions idle longer than this are evicted (their transport counters
+  /// are still absorbed into the totals). 0 disables idle eviction.
+  uint64_t idle_ttl_ns = 0;
+  net::PacketConfig packet;  ///< downlink packet sizing (beta = 67)
+  server::GranularOptions granular;
+  /// Monotonic nanosecond clock; injectable so tests drive TTL eviction
+  /// deterministically. Defaults to std::chrono::steady_clock. Must be
+  /// callable from any thread.
+  std::function<uint64_t()> clock;
+};
+
+/// Snapshot of the engine's counters. Transport totals cover closed,
+/// evicted, and abandoned-then-swept sessions; live sessions contribute
+/// once they retire (query SessionStats for in-flight numbers).
+struct EngineMetrics {
+  uint64_t open_requests = 0;
+  uint64_t pull_requests = 0;
+  uint64_t close_requests = 0;
+  uint64_t decode_errors = 0;
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t sessions_evicted = 0;
+  uint64_t sessions_rejected = 0;
+  uint64_t open_sessions = 0;  ///< currently live
+  net::ChannelStats transport;
+};
+
+/// Concurrent multi-client serving engine: the thread-safe front end that
+/// turns the single-query library (LbsServer + GranularInnStream +
+/// PacketChannel) into something a fleet of clients can hit in parallel.
+///
+///  * Sessions live in a shard-striped table (`num_shards` stripes, each its
+///    own mutex + id -> Session map); a request locks exactly one stripe.
+///  * A global atomic session count enforces `max_sessions`; overload is
+///    surfaced as kResourceExhausted so clients can back off.
+///  * Idle sessions (no Pull/Close for `idle_ttl_ns`) are swept on the Open
+///    path and via EvictIdle(); their counters are absorbed, so abandoned
+///    clients cannot leak server memory or statistics.
+///  * The wire entry point HandleFrame() decodes a request frame, dispatches
+///    to the typed API, and encodes the response frame — the engine is a
+///    net::FrameHandler, i.e. a drop-in in-process "server socket".
+///
+/// Requires the server's R-tree to be built with
+/// RTreeOptions::concurrent_reads so concurrent traversals are safe.
+class ServiceEngine : public net::FrameHandler {
+ public:
+  /// Borrows `server`, which must outlive the engine.
+  ServiceEngine(server::LbsServer* server,
+                const ServiceOptions& options = ServiceOptions());
+
+  ~ServiceEngine() override;
+
+  ServiceEngine(const ServiceEngine&) = delete;
+  ServiceEngine& operator=(const ServiceEngine&) = delete;
+
+  /// Opens a granular INN session (epsilon == 0 gives exact INN).
+  /// kResourceExhausted once `max_sessions` sessions are live and none is
+  /// evictable.
+  Result<uint64_t> Open(const geom::Point& anchor, double epsilon, size_t k);
+
+  /// Pulls the session's next packet; kExhausted when the stream is dry,
+  /// kNotFound for unknown/closed/evicted ids.
+  Result<net::Packet> Pull(uint64_t session_id);
+
+  /// Closes a session. Not idempotent: a second Close (or a Close after
+  /// eviction) is kNotFound so misbehaving clients are surfaced.
+  Status Close(uint64_t session_id);
+
+  /// Transport counters of one live session.
+  Result<net::ChannelStats> SessionStats(uint64_t session_id) const;
+
+  /// Wire-level entry point: one request frame in, one response frame out.
+  /// Malformed frames yield an encoded kError response (never a crash).
+  /// Safe to call from many threads.
+  std::vector<uint8_t> HandleFrame(
+      const std::vector<uint8_t>& request_frame) override;
+
+  /// Sweeps every shard for idle sessions now; returns how many it evicted.
+  size_t EvictIdle();
+
+  size_t open_sessions() const {
+    return open_count_.load(std::memory_order_relaxed);
+  }
+  EngineMetrics metrics() const;
+  const net::PacketConfig& packet_config() const { return options_.packet; }
+
+ private:
+  struct Session {
+    std::unique_ptr<server::GranularInnStream> stream;
+    std::unique_ptr<net::PacketChannel> channel;
+    uint64_t last_touch_ns = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Session> sessions;
+  };
+
+  Shard& ShardFor(uint64_t session_id) {
+    return shards_[session_id % shards_.size()];
+  }
+  const Shard& ShardFor(uint64_t session_id) const {
+    return shards_[session_id % shards_.size()];
+  }
+
+  uint64_t NowNs() const { return options_.clock(); }
+
+  /// Folds a retiring session's transport counters into the totals.
+  /// Caller holds the owning shard's mutex.
+  void Absorb(const Session& session);
+
+  /// Evicts expired sessions of one shard; caller holds `shard->mu`.
+  size_t SweepShardLocked(Shard* shard, uint64_t now_ns);
+
+  /// Encodes `status` as a kError response frame.
+  static std::vector<uint8_t> EncodeErrorFrame(const Status& status);
+
+  server::LbsServer* server_;
+  ServiceOptions options_;
+  std::vector<Shard> shards_;
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> open_count_{0};
+
+  /// Request/session counters (relaxed: monotone event counts).
+  struct Counters {
+    std::atomic<uint64_t> open_requests{0};
+    std::atomic<uint64_t> pull_requests{0};
+    std::atomic<uint64_t> close_requests{0};
+    std::atomic<uint64_t> decode_errors{0};
+    std::atomic<uint64_t> sessions_opened{0};
+    std::atomic<uint64_t> sessions_closed{0};
+    std::atomic<uint64_t> sessions_evicted{0};
+    std::atomic<uint64_t> sessions_rejected{0};
+  };
+  Counters counters_;
+
+  /// Absorbed transport totals across retired sessions.
+  struct TransportTotals {
+    std::atomic<uint64_t> downlink_packets{0};
+    std::atomic<uint64_t> downlink_points{0};
+    std::atomic<uint64_t> uplink_packets{0};
+    std::atomic<uint64_t> downlink_bytes{0};
+    std::atomic<uint64_t> uplink_bytes{0};
+  };
+  TransportTotals totals_;
+};
+
+}  // namespace spacetwist::service
+
+#endif  // SPACETWIST_SERVICE_SERVICE_ENGINE_H_

@@ -1,0 +1,55 @@
+#ifndef SPACETWIST_SERVICE_THREAD_POOL_H_
+#define SPACETWIST_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spacetwist::service {
+
+/// Fixed-size worker pool executing submitted tasks FIFO. The serving
+/// engine's request executor: the load generator (and a real front end)
+/// submits one task per decoded request or per client step, and `Wait()`
+/// barriers on full drain. Tasks may submit follow-up tasks (closed-loop
+/// clients re-enqueue their next request from inside a task); `Wait()`
+/// accounts for such re-submissions because a task is only retired after it
+/// finishes running.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` (>= 1) workers immediately.
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains every pending task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task`; runs as soon as a worker frees up.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until no task is queued or running. Safe to call repeatedly;
+  /// new work may be submitted afterwards.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signals workers: work or shutdown
+  std::condition_variable idle_cv_;  ///< signals Wait(): fully drained
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  ///< queued + currently executing tasks
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spacetwist::service
+
+#endif  // SPACETWIST_SERVICE_THREAD_POOL_H_

@@ -1,0 +1,91 @@
+#include "service/wire_client.h"
+
+#include <utility>
+#include <variant>
+
+namespace spacetwist::service {
+
+namespace {
+
+/// Round-trips one request frame and decodes the reply; wire errors come
+/// back as the Status the server produced.
+Result<net::Response> RoundTrip(net::FrameHandler* handler,
+                                const net::Request& request) {
+  const std::vector<uint8_t> reply =
+      handler->HandleFrame(net::EncodeRequest(request));
+  SPACETWIST_ASSIGN_OR_RETURN(net::Response response,
+                              net::DecodeResponse(reply));
+  if (const auto* error = std::get_if<net::ErrorReply>(&response)) {
+    return net::ToStatus(*error);
+  }
+  return response;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WireSession>> WireSession::Open(
+    net::FrameHandler* handler, const geom::Point& anchor, double epsilon,
+    size_t k) {
+  if (handler == nullptr) {
+    return Status::InvalidArgument("frame handler is null");
+  }
+  net::OpenRequest open;
+  open.anchor = anchor;
+  open.epsilon = epsilon;
+  open.k = static_cast<uint32_t>(k);
+  SPACETWIST_ASSIGN_OR_RETURN(net::Response response,
+                              RoundTrip(handler, open));
+  const auto* ok = std::get_if<net::OpenOk>(&response);
+  if (ok == nullptr) {
+    return Status::Corruption("unexpected response to Open");
+  }
+  return std::unique_ptr<WireSession>(
+      new WireSession(handler, ok->session_id));
+}
+
+Result<net::Packet> WireSession::NextPacket() {
+  if (closed_) return Status::Internal("session already closed");
+  SPACETWIST_ASSIGN_OR_RETURN(
+      net::Response response,
+      RoundTrip(handler_, net::PullRequest{session_id_}));
+  auto* packet = std::get_if<net::PacketReply>(&response);
+  if (packet == nullptr) {
+    return Status::Corruption("unexpected response to Pull");
+  }
+  return std::move(packet->packet);
+}
+
+Status WireSession::Close() {
+  if (closed_) return Status::Internal("session already closed");
+  SPACETWIST_ASSIGN_OR_RETURN(
+      net::Response response,
+      RoundTrip(handler_, net::CloseRequest{session_id_}));
+  if (!std::holds_alternative<net::CloseOk>(response)) {
+    return Status::Corruption("unexpected response to Close");
+  }
+  closed_ = true;
+  return Status::OK();
+}
+
+Result<core::QueryOutcome> RemoteQuery(net::FrameHandler* handler,
+                                       const geom::Point& q,
+                                       const geom::Point& anchor,
+                                       const core::QueryParams& params) {
+  if (params.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (params.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  SPACETWIST_ASSIGN_OR_RETURN(
+      std::unique_ptr<WireSession> session,
+      WireSession::Open(handler, anchor, params.epsilon, params.k));
+  Result<core::QueryOutcome> outcome = core::RunTerminationLoop(
+      q, anchor, params.k, params.packet.Capacity(), session.get());
+  // Release the server-side session even when the loop failed; a Close
+  // error on the success path is surfaced (it means the server lost state).
+  const Status close_status = session->Close();
+  if (!outcome.ok()) return outcome.status();
+  SPACETWIST_RETURN_NOT_OK(close_status);
+  return outcome;
+}
+
+}  // namespace spacetwist::service

@@ -1,0 +1,59 @@
+#ifndef SPACETWIST_SERVICE_WIRE_CLIENT_H_
+#define SPACETWIST_SERVICE_WIRE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "core/spacetwist_client.h"
+#include "geom/point.h"
+#include "net/channel.h"
+#include "net/packet.h"
+#include "net/wire.h"
+
+namespace spacetwist::service {
+
+/// Client half of the wire protocol: one open server session reached only
+/// through encoded frames. Implements net::PacketTransport, so the real
+/// SpaceTwist termination logic (core::RunTerminationLoop) runs over it
+/// unchanged — what a handset would execute against a remote deployment.
+class WireSession : public net::PacketTransport {
+ public:
+  /// Sends an Open frame and parses the reply. `handler` is borrowed and
+  /// must outlive the session.
+  static Result<std::unique_ptr<WireSession>> Open(net::FrameHandler* handler,
+                                                   const geom::Point& anchor,
+                                                   double epsilon, size_t k);
+
+  /// Pull-frame round trip. kExhausted once the server stream is dry.
+  Result<net::Packet> NextPacket() override;
+
+  /// Close-frame round trip. A session left unclosed is "abandoned" — the
+  /// engine reclaims it via idle-TTL eviction.
+  Status Close();
+
+  uint64_t session_id() const { return session_id_; }
+  bool closed() const { return closed_; }
+
+ private:
+  WireSession(net::FrameHandler* handler, uint64_t session_id)
+      : handler_(handler), session_id_(session_id) {}
+
+  net::FrameHandler* handler_;
+  uint64_t session_id_;
+  bool closed_ = false;
+};
+
+/// Runs one SpaceTwist query end-to-end over the wire codec: validates
+/// params exactly like SpaceTwistClient::Query, opens a wire session for
+/// the anchor, runs Algorithm 1's termination loop over Pull frames, and
+/// closes the session. Same seeds and anchors give byte-identical outcomes
+/// to the in-process path.
+Result<core::QueryOutcome> RemoteQuery(net::FrameHandler* handler,
+                                       const geom::Point& q,
+                                       const geom::Point& anchor,
+                                       const core::QueryParams& params);
+
+}  // namespace spacetwist::service
+
+#endif  // SPACETWIST_SERVICE_WIRE_CLIENT_H_

@@ -15,11 +15,15 @@
 #include "core/spacetwist_client.h"       // IWYU pragma: export
 #include "datasets/generator.h"           // IWYU pragma: export
 #include "datasets/io.h"                  // IWYU pragma: export
+#include "eval/load_generator.h"          // IWYU pragma: export
 #include "eval/runner.h"                  // IWYU pragma: export
 #include "eval/table.h"                   // IWYU pragma: export
 #include "eval/workload.h"                // IWYU pragma: export
+#include "net/wire.h"                     // IWYU pragma: export
 #include "privacy/exact_region.h"         // IWYU pragma: export
 #include "privacy/region.h"               // IWYU pragma: export
 #include "server/lbs_server.h"            // IWYU pragma: export
+#include "service/service_engine.h"       // IWYU pragma: export
+#include "service/wire_client.h"          // IWYU pragma: export
 
 #endif  // SPACETWIST_SPACETWIST_SPACETWIST_H_

@@ -6,13 +6,14 @@
 
 namespace spacetwist::storage {
 
-BufferPool::BufferPool(Pager* pager, size_t capacity)
-    : pager_(pager), capacity_(capacity) {
+BufferPool::BufferPool(Pager* pager, size_t capacity, bool synchronized)
+    : pager_(pager), capacity_(capacity), synchronized_(synchronized) {
   SPACETWIST_CHECK(pager != nullptr);
   SPACETWIST_CHECK(capacity >= 1);
 }
 
 Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
+  std::unique_lock<std::mutex> lock = LockIfSynchronized();
   ++stats_.logical_reads;
   auto it = map_.find(id);
   if (it != map_.end()) {
@@ -29,6 +30,7 @@ Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
 }
 
 Status BufferPool::Write(PageId id, const Page& page) {
+  std::unique_lock<std::mutex> lock = LockIfSynchronized();
   ++stats_.physical_writes;
   SPACETWIST_RETURN_NOT_OK(pager_->Write(id, page));
   auto it = map_.find(id);
@@ -44,6 +46,7 @@ Status BufferPool::Write(PageId id, const Page& page) {
 PageId BufferPool::Allocate() { return pager_->Allocate(); }
 
 void BufferPool::Clear() {
+  std::unique_lock<std::mutex> lock = LockIfSynchronized();
   lru_.clear();
   map_.clear();
 }

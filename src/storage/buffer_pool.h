@@ -3,6 +3,7 @@
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/result.h"
@@ -22,19 +23,34 @@ namespace spacetwist::storage {
 /// Fetch returns a shared handle; a page stays valid while any handle is
 /// alive even if the pool evicts it, so cursors can safely hold nodes across
 /// subsequent fetches.
+///
+/// By default the pool is single-threaded like the rest of the simulation.
+/// Constructing it with `synchronized == true` guards the cache state and
+/// counters with an internal mutex so many sessions can traverse the same
+/// tree from worker threads (the serving engine, src/service). The lock
+/// covers only the LRU/map bookkeeping; page deserialization happens outside
+/// it in the callers.
 class BufferPool {
  public:
   using PageHandle = std::shared_ptr<const Page>;
 
   /// `capacity` is the number of cached pages (>= 1).
-  BufferPool(Pager* pager, size_t capacity);
+  BufferPool(Pager* pager, size_t capacity, bool synchronized = false);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   size_t capacity() const { return capacity_; }
-  size_t cached_pages() const { return map_.size(); }
-  const IoStats& stats() const { return stats_; }
+  size_t cached_pages() const {
+    std::unique_lock<std::mutex> lock = LockIfSynchronized();
+    return map_.size();
+  }
+  bool synchronized() const { return synchronized_; }
+  /// Snapshot of the I/O counters (consistent even under concurrency).
+  IoStats stats() const {
+    std::unique_lock<std::mutex> lock = LockIfSynchronized();
+    return stats_;
+  }
   Pager* pager() const { return pager_; }
 
   /// Fetches page `id`, from cache when possible.
@@ -58,8 +74,16 @@ class BufferPool {
   void Touch(PageId id, Entry* entry);
   void EvictIfNeeded();
 
+  /// Engaged lock in synchronized mode, disengaged (free) otherwise.
+  std::unique_lock<std::mutex> LockIfSynchronized() const {
+    return synchronized_ ? std::unique_lock<std::mutex>(mu_)
+                         : std::unique_lock<std::mutex>();
+  }
+
   Pager* pager_;
   size_t capacity_;
+  bool synchronized_;
+  mutable std::mutex mu_;
   std::list<PageId> lru_;  // front = most recently used
   std::unordered_map<PageId, Entry> map_;
   IoStats stats_;

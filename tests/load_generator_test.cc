@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "datasets/generator.h"
+#include "eval/load_generator.h"
+#include "server/lbs_server.h"
+#include "service/service_engine.h"
+
+namespace spacetwist::eval {
+namespace {
+
+class LoadGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(20000, 1901);
+    rtree::RTreeOptions rtree_options;
+    rtree_options.concurrent_reads = true;
+    server_ = server::LbsServer::Build(dataset_, rtree_options)
+                  .MoveValueOrDie();
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+};
+
+TEST_F(LoadGeneratorTest, ReportAccountsForEveryQuery) {
+  service::ServiceEngine engine(server_.get());
+  LoadOptions options;
+  options.num_clients = 6;
+  options.queries_per_client = 3;
+  options.worker_threads = 2;
+  auto report = RunClosedLoopLoad(&engine, server_->domain(), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->queries, 18u);
+  EXPECT_EQ(report->digests.size(), 6u);
+  EXPECT_GT(report->packets, 0u);
+  EXPECT_GT(report->points, 0u);
+  EXPECT_GT(report->queries_per_second, 0.0);
+  EXPECT_GE(report->p99_latency_ms, report->p50_latency_ms);
+  // Closed loop closes every session it opens.
+  EXPECT_EQ(engine.open_sessions(), 0u);
+  EXPECT_EQ(engine.metrics().sessions_opened, 18u);
+}
+
+TEST_F(LoadGeneratorTest, DigestsMatchReferenceAcrossThreadCounts) {
+  LoadOptions options;
+  options.num_clients = 8;
+  options.queries_per_client = 2;
+  auto reference = RunReferenceWorkload(server_.get(), options);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(reference->size(), 8u);
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    service::ServiceEngine engine(server_.get());
+    options.worker_threads = threads;
+    auto report = RunClosedLoopLoad(&engine, server_->domain(), options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    // Byte-identical results no matter how the work is threaded: same
+    // neighbor ids, same distance bit patterns, same packet counts.
+    EXPECT_EQ(report->digests, *reference) << "threads=" << threads;
+  }
+}
+
+TEST_F(LoadGeneratorTest, DistinctClientsGetDistinctWorkloads) {
+  LoadOptions options;
+  options.num_clients = 4;
+  options.queries_per_client = 2;
+  auto digests = RunReferenceWorkload(server_.get(), options);
+  ASSERT_TRUE(digests.ok());
+  for (size_t i = 0; i < digests->size(); ++i) {
+    for (size_t j = i + 1; j < digests->size(); ++j) {
+      EXPECT_NE((*digests)[i].result_hash, (*digests)[j].result_hash);
+    }
+  }
+}
+
+TEST_F(LoadGeneratorTest, ValidatesOptions) {
+  service::ServiceEngine engine(server_.get());
+  LoadOptions options;
+  options.num_clients = 0;
+  EXPECT_TRUE(RunClosedLoopLoad(&engine, server_->domain(), options)
+                  .status()
+                  .IsInvalidArgument());
+  options.num_clients = 1;
+  options.worker_threads = 0;
+  EXPECT_TRUE(RunClosedLoopLoad(&engine, server_->domain(), options)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunClosedLoopLoad(nullptr, server_->domain(), LoadOptions())
+                  .status()
+                  .IsInvalidArgument());
+  // Mismatched packet capacity would silently diverge from the reference.
+  options.worker_threads = 1;
+  options.params.packet = net::PacketConfig::WithCapacity(10);
+  EXPECT_TRUE(RunClosedLoopLoad(&engine, server_->domain(), options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spacetwist::eval

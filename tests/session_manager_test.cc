@@ -61,9 +61,61 @@ TEST_F(SessionManagerTest, EnforcesSessionCap) {
   auto b = manager.Open({2, 2}, 0, 1);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_TRUE(manager.Open({3, 3}, 0, 1).status().IsInternal());
+  EXPECT_TRUE(manager.Open({3, 3}, 0, 1).status().IsResourceExhausted());
   ASSERT_TRUE(manager.Close(*a).ok());
   EXPECT_TRUE(manager.Open({3, 3}, 0, 1).ok());
+}
+
+TEST_F(SessionManagerTest, DoubleCloseIsNotFoundAndLeavesTotalsAlone) {
+  SessionManager manager(server_.get());
+  auto id = manager.Open({5000, 5000}, 0.0, 1);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(manager.NextPacket(*id).ok());
+  ASSERT_TRUE(manager.Close(*id).ok());
+  const uint64_t packets_after_close = manager.total_stats().downlink_packets;
+  EXPECT_TRUE(manager.Close(*id).IsNotFound());
+  // The failed second close must not double-count the session's traffic.
+  EXPECT_EQ(manager.total_stats().downlink_packets, packets_after_close);
+}
+
+TEST_F(SessionManagerTest, SessionStatsExposePerSessionCounts) {
+  SessionManager manager(server_.get());
+  auto a = manager.Open({1000, 1000}, 0.0, 1);
+  auto b = manager.Open({9000, 9000}, 0.0, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(manager.NextPacket(*a).ok());
+  ASSERT_TRUE(manager.NextPacket(*a).ok());
+  ASSERT_TRUE(manager.NextPacket(*b).ok());
+  auto stats_a = manager.SessionStats(*a);
+  auto stats_b = manager.SessionStats(*b);
+  ASSERT_TRUE(stats_a.ok());
+  ASSERT_TRUE(stats_b.ok());
+  EXPECT_EQ(stats_a->downlink_packets, 2u);
+  EXPECT_EQ(stats_b->downlink_packets, 1u);
+  EXPECT_EQ(stats_a->uplink_packets, 2u);
+  // Unknown or retired ids are kNotFound, mirroring NextPacket/Close.
+  EXPECT_TRUE(manager.SessionStats(999).status().IsNotFound());
+  ASSERT_TRUE(manager.Close(*a).ok());
+  EXPECT_TRUE(manager.SessionStats(*a).status().IsNotFound());
+}
+
+TEST_F(SessionManagerTest, CloseAllAbsorbsAbandonedSessions) {
+  SessionManager manager(server_.get());
+  auto a = manager.Open({1000, 1000}, 0.0, 1);
+  auto b = manager.Open({9000, 9000}, 0.0, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(manager.NextPacket(*a).ok());
+  ASSERT_TRUE(manager.NextPacket(*b).ok());
+  ASSERT_TRUE(manager.NextPacket(*b).ok());
+  // Clients walked away without closing; the sweep still accounts for them.
+  EXPECT_EQ(manager.CloseAll(), 2u);
+  EXPECT_EQ(manager.open_sessions(), 0u);
+  EXPECT_EQ(manager.total_stats().downlink_packets, 3u);
+  EXPECT_EQ(manager.total_stats().downlink_points, 3u * 67u);
+  EXPECT_TRUE(manager.NextPacket(*a).status().IsNotFound());
+  EXPECT_EQ(manager.CloseAll(), 0u);
 }
 
 TEST_F(SessionManagerTest, InterleavedSessionsAreIndependent) {

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/wire.h"
+
+namespace spacetwist::net {
+namespace {
+
+/// Property sweep over the wire codec: randomized messages must round-trip
+/// bit-exactly (encode -> decode == identity), and every truncation or byte
+/// corruption of a valid frame must come back as an error Status — never a
+/// crash, never a read past the buffer. Follows the lemma_property_test.cc
+/// sweep pattern: a parameter grid of seeds x message shapes.
+
+/// Coordinates travel as float32, matching the dataset quantization; any
+/// point we put on the wire must already be float32-exact.
+geom::Point QuantizedPoint(Rng* rng) {
+  return {static_cast<double>(static_cast<float>(rng->Uniform(0, 10000))),
+          static_cast<double>(static_cast<float>(rng->Uniform(0, 10000)))};
+}
+
+Packet RandomPacket(Rng* rng, size_t num_points) {
+  Packet packet;
+  packet.points.reserve(num_points);
+  for (size_t i = 0; i < num_points; ++i) {
+    packet.points.push_back(
+        {QuantizedPoint(rng), static_cast<uint32_t>(rng->Next())});
+  }
+  return packet;
+}
+
+Request RandomRequest(Rng* rng) {
+  switch (rng->UniformInt(0, 2)) {
+    case 0: {
+      OpenRequest open;
+      open.anchor = {rng->Uniform(-1e6, 1e6), rng->Uniform(-1e6, 1e6)};
+      open.epsilon = rng->Uniform(0, 5000);
+      open.k = static_cast<uint32_t>(rng->UniformInt(1, 1 << 20));
+      return open;
+    }
+    case 1:
+      return PullRequest{rng->Next()};
+    default:
+      return CloseRequest{rng->Next()};
+  }
+}
+
+Response RandomResponse(Rng* rng) {
+  switch (rng->UniformInt(0, 3)) {
+    case 0:
+      return OpenOk{rng->Next()};
+    case 1:
+      return PacketReply{
+          RandomPacket(rng, static_cast<size_t>(rng->UniformInt(0, 200)))};
+    case 2:
+      return CloseOk{};
+    default: {
+      ErrorReply error;
+      error.code = static_cast<StatusCode>(rng->UniformInt(1, 9));
+      const size_t len = static_cast<size_t>(rng->UniformInt(0, 64));
+      for (size_t i = 0; i < len; ++i) {
+        error.message.push_back(
+            static_cast<char>('a' + rng->UniformInt(0, 25)));
+      }
+      return error;
+    }
+  }
+}
+
+class WireCodecSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireCodecSweepTest, RequestsRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const Request request = RandomRequest(&rng);
+    const std::vector<uint8_t> frame = EncodeRequest(request);
+    auto decoded = DecodeRequest(frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(*decoded == request);
+  }
+}
+
+TEST_P(WireCodecSweepTest, ResponsesRoundTrip) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Response response = RandomResponse(&rng);
+    const std::vector<uint8_t> frame = EncodeResponse(response);
+    auto decoded = DecodeResponse(frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(*decoded == response);
+  }
+}
+
+TEST_P(WireCodecSweepTest, EveryTruncationFailsCleanly) {
+  Rng rng(GetParam() + 17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<uint8_t> req_frame = EncodeRequest(RandomRequest(&rng));
+    for (size_t len = 0; len < req_frame.size(); ++len) {
+      EXPECT_FALSE(DecodeRequest(req_frame.data(), len).ok());
+    }
+    // Cap packets at 40 points so the strict-prefix scan stays fast.
+    Response response = RandomResponse(&rng);
+    if (auto* reply = std::get_if<PacketReply>(&response);
+        reply != nullptr && reply->packet.points.size() > 40) {
+      reply->packet.points.resize(40);
+    }
+    const std::vector<uint8_t> resp_frame = EncodeResponse(response);
+    for (size_t len = 0; len < resp_frame.size(); ++len) {
+      EXPECT_FALSE(DecodeResponse(resp_frame.data(), len).ok());
+    }
+  }
+}
+
+TEST_P(WireCodecSweepTest, SingleByteCorruptionNeverCrashes) {
+  Rng rng(GetParam() + 31);
+  for (int trial = 0; trial < 10; ++trial) {
+    Response response = RandomResponse(&rng);
+    if (auto* reply = std::get_if<PacketReply>(&response);
+        reply != nullptr && reply->packet.points.size() > 20) {
+      reply->packet.points.resize(20);
+    }
+    const std::vector<uint8_t> frame = EncodeResponse(response);
+    for (size_t pos = 0; pos < frame.size(); ++pos) {
+      std::vector<uint8_t> corrupt = frame;
+      corrupt[pos] ^= static_cast<uint8_t>(1 + rng.UniformInt(0, 254));
+      // A flipped payload byte may still decode (the payload carries no
+      // checksum); the property is that decoding is total: it either
+      // returns a value or an error Status, and never reads out of bounds.
+      auto decoded = DecodeResponse(corrupt);
+      if (!decoded.ok()) {
+        EXPECT_FALSE(decoded.status().message().empty());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireCodecSweepTest,
+                         ::testing::Values(1u, 42u, 20080407u, 0xDEADBEEFu));
+
+TEST(WireCodecTest, EmptyAndTinyBuffersAreRejected) {
+  EXPECT_FALSE(DecodeRequest(nullptr, 0).ok());
+  EXPECT_FALSE(DecodeResponse(nullptr, 0).ok());
+  const std::vector<uint8_t> tiny = {1, 2, 3};
+  EXPECT_TRUE(DecodeRequest(tiny).status().IsCorruption());
+  EXPECT_TRUE(DecodeResponse(tiny).status().IsCorruption());
+}
+
+TEST(WireCodecTest, HugeDeclaredLengthIsRejectedWithoutAllocating) {
+  // Header claims a 256 MiB payload; the frame itself is 5 bytes.
+  std::vector<uint8_t> frame = {0x00, 0x00, 0x00, 0x10,
+                                static_cast<uint8_t>(MessageType::kPacket)};
+  EXPECT_TRUE(DecodeResponse(frame).status().IsCorruption());
+}
+
+TEST(WireCodecTest, TrailingGarbageIsCorruption) {
+  std::vector<uint8_t> frame = EncodeRequest(PullRequest{7});
+  frame.push_back(0);
+  EXPECT_TRUE(DecodeRequest(frame).status().IsCorruption());
+}
+
+TEST(WireCodecTest, RequestAndResponseTypesDoNotCrossDecode) {
+  const std::vector<uint8_t> request_frame = EncodeRequest(PullRequest{7});
+  const std::vector<uint8_t> response_frame = EncodeResponse(OpenOk{7});
+  EXPECT_TRUE(DecodeResponse(request_frame).status().IsInvalidArgument());
+  EXPECT_TRUE(DecodeRequest(response_frame).status().IsInvalidArgument());
+}
+
+TEST(WireCodecTest, UnknownTypeTagIsCorruption) {
+  std::vector<uint8_t> frame = EncodeRequest(PullRequest{7});
+  frame[4] = 0xEE;  // type byte
+  EXPECT_TRUE(DecodeRequest(frame).status().IsCorruption());
+  EXPECT_TRUE(DecodeResponse(frame).status().IsCorruption());
+}
+
+TEST(WireCodecTest, ErrorReplyCodeZeroIsRejected) {
+  // An ErrorReply claiming kOk is nonsense; the decoder must refuse it so
+  // ToStatus can never produce an OK status from an error frame.
+  ErrorReply error;
+  error.code = StatusCode::kNotFound;
+  error.message = "x";
+  std::vector<uint8_t> frame = EncodeResponse(error);
+  frame[5] = 0;  // first payload byte holds the status code
+  EXPECT_TRUE(DecodeResponse(frame).status().IsCorruption());
+  frame[5] = 200;  // far beyond the last defined code
+  EXPECT_TRUE(DecodeResponse(frame).status().IsCorruption());
+}
+
+TEST(WireCodecTest, ToStatusPreservesCodeAndMessage) {
+  ErrorReply error;
+  error.code = StatusCode::kResourceExhausted;
+  error.message = "session limit";
+  const Status status = ToStatus(error);
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(status.message(), "session limit");
+}
+
+TEST(WireCodecTest, EncodedPacketSizeMatchesSpec) {
+  Rng rng(9);
+  const Packet packet = RandomPacket(&rng, 67);
+  const std::vector<uint8_t> frame = EncodeResponse(PacketReply{packet});
+  // frame = 4 (length) + 1 (type) + 2 (count) + 67 * 12 (points).
+  EXPECT_EQ(frame.size(), 4u + 1u + 2u + 67u * kWirePointBytes);
+}
+
+}  // namespace
+}  // namespace spacetwist::net

@@ -13,6 +13,9 @@
 //                          --samples 50000 --seed 7]
 //   spacetwist_cli sweep   --dataset ds.bin --param epsilon|anchor|k
 //                          --values 0,50,100,200 [--queries 50 --seed 7]
+//   spacetwist_cli serve-bench --dataset ds.bin [--clients 64 --queries 4
+//                          --threads 1,2,4,8 --k 1 --epsilon 200
+//                          --anchor-dist 200 --seed 7]
 //
 // Exit code 0 on success, 1 on any error (message on stderr).
 
@@ -34,8 +37,8 @@ namespace {
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: spacetwist_cli <gen|import|index|info|query|privacy|sweep> "
-      "[--flags]\n"
+      "usage: spacetwist_cli "
+      "<gen|import|index|info|query|privacy|sweep|serve-bench> [--flags]\n"
       "run with a command and no flags for that command's defaults; see "
       "the header of tools/spacetwist_cli.cc for the full synopsis\n");
 }
@@ -249,6 +252,59 @@ Status RunSweep(const Flags& flags) {
   return Status::OK();
 }
 
+Status RunServeBench(const Flags& flags) {
+  SPACETWIST_ASSIGN_OR_RETURN(datasets::Dataset ds, LoadDatasetFlag(flags));
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t clients, flags.GetInt("clients", 64));
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t queries, flags.GetInt("queries", 4));
+  SPACETWIST_ASSIGN_OR_RETURN(std::vector<double> threads,
+                              flags.GetDoubleList("threads", {1, 2, 4, 8}));
+  SPACETWIST_ASSIGN_OR_RETURN(QueryFlagValues qf, ParseQueryFlags(flags));
+  if (clients < 1 || queries < 1) {
+    return Status::InvalidArgument("--clients and --queries must be >= 1");
+  }
+
+  rtree::RTreeOptions rtree_options;
+  rtree_options.concurrent_reads = true;
+  SPACETWIST_ASSIGN_OR_RETURN(std::unique_ptr<server::LbsServer> server,
+                              server::LbsServer::Build(ds, rtree_options));
+
+  eval::LoadOptions load;
+  load.num_clients = static_cast<size_t>(clients);
+  load.queries_per_client = static_cast<size_t>(queries);
+  load.params = qf.params;
+  load.seed = qf.seed;
+
+  SPACETWIST_ASSIGN_OR_RETURN(std::vector<eval::ClientDigest> reference,
+                              eval::RunReferenceWorkload(server.get(), load));
+
+  eval::Table table({"threads", "qps", "p50(ms)", "p99(ms)", "packets"});
+  for (const double t : threads) {
+    if (t < 1) return Status::InvalidArgument("--threads values must be >= 1");
+    service::ServiceOptions options;
+    options.max_sessions = load.num_clients * 2;
+    service::ServiceEngine engine(server.get(), options);
+    load.worker_threads = static_cast<size_t>(t);
+    SPACETWIST_ASSIGN_OR_RETURN(
+        eval::LoadReport report,
+        eval::RunClosedLoopLoad(&engine, server->domain(), load));
+    if (!(report.digests == reference)) {
+      return Status::Internal(StrFormat(
+          "results at %zu threads diverge from the single-threaded "
+          "reference", load.worker_threads));
+    }
+    table.AddRow({FormatDouble(t, 0),
+                  FormatDouble(report.queries_per_second, 1),
+                  FormatDouble(report.p50_latency_ms, 3),
+                  FormatDouble(report.p99_latency_ms, 3),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(report.packets))});
+  }
+  table.Print(std::cout);
+  std::printf("results verified byte-identical to the single-threaded "
+              "direct path at every thread count\n");
+  return Status::OK();
+}
+
 int Main(int argc, const char* const* argv) {
   Result<Flags> flags = Flags::Parse(argc, argv);
   if (!flags.ok()) {
@@ -271,6 +327,8 @@ int Main(int argc, const char* const* argv) {
     status = RunPrivacy(*flags);
   } else if (command == "sweep") {
     status = RunSweep(*flags);
+  } else if (command == "serve-bench") {
+    status = RunServeBench(*flags);
   } else {
     PrintUsage();
     return 1;
