@@ -1,0 +1,160 @@
+// Fault resilience: real SpaceTwist queries (Algorithm 1 over the wire
+// codec) through a seeded lossy link, swept across loss / duplication /
+// reorder rates. The table reports goodput (fraction of queries the retry
+// layer completed), the retry/reopen/stale-frame cost, and the virtual
+// time spent — all deterministic from (seed, FaultConfig), so rows are
+// byte-identical across runs. Expected shape: goodput stays at 1.0 well
+// past 10% per-frame fault rates (the retry budget absorbs them), while
+// retries grow roughly linearly with the rate; every completed query's
+// digest matches the fault-free reference at every rate.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "eval/fault_sweep.h"
+#include "eval/table.h"
+#include "service/service_engine.h"
+
+namespace spacetwist::bench {
+namespace {
+
+struct Measurement {
+  const char* fault = "";
+  double rate = 0.0;
+  eval::FaultRunReport report;
+};
+
+eval::FaultRunOptions BaseOptions() {
+  eval::FaultRunOptions options;
+  options.load.num_clients = eval::ScaledCount(64, 8);
+  options.load.queries_per_client = eval::ScaledCount(8, 4);
+  options.load.seed = kRunSeed;
+  options.load.params.k = 4;
+  options.load.params.anchor_distance = 500;
+  return options;
+}
+
+net::FaultRates MixedRates(double rate) {
+  net::FaultRates rates;
+  rates.drop = rate;
+  rates.duplicate = rate / 2;
+  rates.reorder = rate / 2;
+  rates.corrupt = rate / 2;
+  rates.stall = rate / 4;
+  rates.disconnect = rate / 8;
+  return rates;
+}
+
+void Run() {
+  PrintHeader("Fault resilience: goodput and retry cost vs fault rate");
+
+  const datasets::Dataset ds = Ui(200000);
+  rtree::RTreeOptions rtree_options;
+  rtree_options.concurrent_reads = true;
+  auto server = server::LbsServer::Build(ds, rtree_options);
+  SPACETWIST_CHECK(server.ok()) << server.status().ToString();
+
+  const eval::FaultRunOptions base = BaseOptions();
+  auto reference =
+      eval::RunReferencePerQueryDigests(server->get(), base.load);
+  SPACETWIST_CHECK(reference.ok()) << reference.status().ToString();
+
+  const std::vector<double> rates = {0.0, 0.02, 0.05, 0.10, 0.20};
+  struct Sweep {
+    const char* name;
+    net::FaultRates (*rates_for)(double);
+  };
+  const std::vector<Sweep> sweeps = {
+      {"drop", [](double r) { net::FaultRates f; f.drop = r; return f; }},
+      {"dup", [](double r) { net::FaultRates f; f.duplicate = r; return f; }},
+      {"reorder",
+       [](double r) { net::FaultRates f; f.reorder = r; return f; }},
+      {"mixed", MixedRates},
+  };
+
+  std::vector<Measurement> measurements;
+  for (size_t s = 0; s < sweeps.size(); ++s) {
+    const Sweep& sweep = sweeps[s];
+    for (const double rate : rates) {
+      // The fault-free baseline row is identical for every sweep; print once.
+      if (rate == 0.0 && s != 0) continue;
+      eval::FaultRunOptions options = base;
+      options.fault.uplink = sweep.rates_for(rate);
+      options.fault.downlink = sweep.rates_for(rate);
+      service::ServiceEngine engine(server->get());
+      auto report =
+          eval::RunFaultedWorkload(&engine, server->get()->domain(), options);
+      SPACETWIST_CHECK(report.ok()) << report.status().ToString();
+      // Correctness gate: every completed query matches the fault-free
+      // digest — the bench never trades answers for goodput.
+      for (size_t c = 0; c < report->digests.size(); ++c) {
+        for (size_t q = 0; q < report->digests[c].size(); ++q) {
+          if (!report->succeeded[c][q]) continue;
+          SPACETWIST_CHECK(report->digests[c][q] == (*reference)[c][q])
+              << sweep.name << " rate " << rate << " client " << c
+              << " query " << q << ": digest diverged";
+        }
+      }
+      measurements.push_back({sweep.name, rate, std::move(*report)});
+    }
+  }
+
+  eval::Table table({"fault", "rate", "goodput", "round.trips", "attempts",
+                     "retries", "reopens", "stale", "backoff.ms",
+                     "virtual.ms"});
+  for (const Measurement& m : measurements) {
+    table.AddRow(
+        {m.fault, Fmt2(m.rate), StrFormat("%.3f", m.report.goodput()),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(m.report.faults.round_trips)),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(m.report.retry.attempts)),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(m.report.retry.retries)),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(m.report.retry.reopens)),
+         StrFormat("%llu", static_cast<unsigned long long>(
+                               m.report.retry.stale_replies)),
+         Fmt1(static_cast<double>(m.report.retry.backoff_ns) / 1e6),
+         Fmt1(static_cast<double>(m.report.virtual_ns) / 1e6)});
+  }
+  table.Print(std::cout);
+  std::printf("clients=%zu queries/client=%zu; every completed query's "
+              "digest is byte-identical to the fault-free reference\n",
+              base.load.num_clients, base.load.queries_per_client);
+
+  std::FILE* json = std::fopen("BENCH_fault.json", "w");
+  SPACETWIST_CHECK(json != nullptr);
+  std::fprintf(json, "{\n  \"bench\": \"fault_resilience\",\n");
+  std::fprintf(json, "  \"clients\": %zu,\n  \"queries_per_client\": %zu,\n",
+               base.load.num_clients, base.load.queries_per_client);
+  std::fprintf(json, "  \"results\": [\n");
+  for (size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    std::fprintf(
+        json,
+        "    {\"fault\": \"%s\", \"rate\": %.2f, \"goodput\": %.3f, "
+        "\"round_trips\": %llu, \"retries\": %llu, \"reopens\": %llu, "
+        "\"stale_replies\": %llu, \"backoff_ms\": %.1f}%s\n",
+        m.fault, m.rate, m.report.goodput(),
+        static_cast<unsigned long long>(m.report.faults.round_trips),
+        static_cast<unsigned long long>(m.report.retry.retries),
+        static_cast<unsigned long long>(m.report.retry.reopens),
+        static_cast<unsigned long long>(m.report.retry.stale_replies),
+        static_cast<double>(m.report.retry.backoff_ns) / 1e6,
+        i + 1 < measurements.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_fault.json\n");
+}
+
+}  // namespace
+}  // namespace spacetwist::bench
+
+int main() {
+  spacetwist::bench::Run();
+  return 0;
+}

@@ -18,7 +18,13 @@ enum class StatusCode {
   kInternal = 7,
   kUnimplemented = 8,
   kResourceExhausted = 9,  ///< A capacity limit (sessions, quota) was hit.
+  kDeadlineExceeded = 10,  ///< An operation timed out (lost/stalled frames).
 };
+
+/// Largest defined StatusCode value; wire codecs validate against this so a
+/// newly added code only needs to bump the enum (and its name/factory).
+inline constexpr int kMaxStatusCode =
+    static_cast<int>(StatusCode::kDeadlineExceeded);
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
@@ -70,6 +76,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -87,6 +96,9 @@ class Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "<CodeName>: <message>".

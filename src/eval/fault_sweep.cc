@@ -1,0 +1,103 @@
+#include "eval/fault_sweep.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "core/spacetwist_client.h"
+
+namespace spacetwist::eval {
+
+namespace {
+
+Status ValidateOptions(const LoadOptions& options) {
+  if (options.num_clients < 1) {
+    return Status::InvalidArgument("num_clients must be >= 1");
+  }
+  if (options.queries_per_client < 1) {
+    return Status::InvalidArgument("queries_per_client must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FaultRunReport> RunFaultedWorkload(service::ServiceEngine* engine,
+                                          const geom::Rect& domain,
+                                          const FaultRunOptions& options) {
+  if (engine == nullptr) return Status::InvalidArgument("engine is null");
+  SPACETWIST_RETURN_NOT_OK(ValidateOptions(options.load));
+  if (engine->packet_config().Capacity() !=
+      options.load.params.packet.Capacity()) {
+    return Status::InvalidArgument(
+        "engine packet config differs from client params; outcomes would "
+        "not match the reference path");
+  }
+
+  FaultRunReport report;
+  report.digests.resize(options.load.num_clients);
+  report.succeeded.resize(options.load.num_clients);
+  report.fault_logs.resize(options.load.num_clients);
+
+  for (size_t c = 0; c < options.load.num_clients; ++c) {
+    const ClientWorkload workload =
+        MakeClientWorkload(domain, options.load, c);
+    // One lossy link per client, like one radio per handset; its fault
+    // stream and the session's jitter stream are both derived per client,
+    // so adding clients never perturbs existing ones.
+    net::FaultyTransport transport(engine, options.fault,
+                                   ClientSeed(options.fault_seed, c));
+    service::RetryConfig retry;
+    retry.policy = options.policy;
+    retry.seed = ClientSeed(options.retry_seed, c);
+
+    report.digests[c].resize(workload.queries.size());
+    report.succeeded[c].resize(workload.queries.size(), false);
+    for (size_t q = 0; q < workload.queries.size(); ++q) {
+      const auto& [location, anchor] = workload.queries[q];
+      ++report.queries_attempted;
+      Result<core::QueryOutcome> outcome = service::RemoteQuery(
+          &transport, location, anchor, options.load.params, retry,
+          &report.retry);
+      if (!outcome.ok()) continue;  // a failed query is data, not an error
+      ++report.queries_succeeded;
+      report.succeeded[c][q] = true;
+      FoldOutcome(*outcome, &report.digests[c][q]);
+    }
+
+    const net::FaultStats& stats = transport.stats();
+    report.faults.round_trips += stats.round_trips;
+    report.faults.delivered += stats.delivered;
+    report.faults.drops += stats.drops;
+    report.faults.duplicates += stats.duplicates;
+    report.faults.reorders += stats.reorders;
+    report.faults.corruptions += stats.corruptions;
+    report.faults.stalls += stats.stalls;
+    report.faults.disconnects += stats.disconnects;
+    report.virtual_ns += transport.now_ns();
+    report.fault_logs[c] = transport.log();
+  }
+  return report;
+}
+
+Result<std::vector<std::vector<ClientDigest>>> RunReferencePerQueryDigests(
+    server::LbsServer* server, const LoadOptions& options) {
+  if (server == nullptr) return Status::InvalidArgument("server is null");
+  SPACETWIST_RETURN_NOT_OK(ValidateOptions(options));
+  core::SpaceTwistClient client(server);
+  std::vector<std::vector<ClientDigest>> digests(options.num_clients);
+  for (size_t c = 0; c < options.num_clients; ++c) {
+    const ClientWorkload workload =
+        MakeClientWorkload(server->domain(), options, c);
+    digests[c].resize(workload.queries.size());
+    for (size_t q = 0; q < workload.queries.size(); ++q) {
+      const auto& [location, anchor] = workload.queries[q];
+      SPACETWIST_ASSIGN_OR_RETURN(
+          core::QueryOutcome outcome,
+          client.Query(location, anchor, options.params));
+      FoldOutcome(outcome, &digests[c][q]);
+    }
+  }
+  return digests;
+}
+
+}  // namespace spacetwist::eval

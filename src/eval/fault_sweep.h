@@ -1,0 +1,73 @@
+#ifndef SPACETWIST_EVAL_FAULT_SWEEP_H_
+#define SPACETWIST_EVAL_FAULT_SWEEP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/load_generator.h"
+#include "net/faulty_transport.h"
+#include "server/lbs_server.h"
+#include "service/service_engine.h"
+#include "service/wire_client.h"
+
+namespace spacetwist::eval {
+
+/// Deterministic fault-resilience runner: the closed-loop workload of
+/// load_generator.h pushed through a net::FaultyTransport per client, with
+/// the retry/resume layer (service::WireSession) doing the surviving. One
+/// (load seed, fault seed, retry seed, FaultConfig) tuple fully determines
+/// every query outcome, every injected fault, and every retry — the
+/// fault-matrix tests and bench_fault_resilience are both built on it.
+
+/// Shape of one faulted run.
+struct FaultRunOptions {
+  LoadOptions load;  ///< clients, queries per client, params, workload seed
+  net::FaultConfig fault;                ///< the fault schedule
+  service::RetryPolicy policy;           ///< client retry budget/backoff
+  uint64_t fault_seed = 0xFA017;         ///< per-client transports fork this
+  uint64_t retry_seed = 0x0E7F1;         ///< per-client sessions fork this
+};
+
+/// Everything one faulted run produced. `digests[c][q]` fingerprints client
+/// c's query q alone (not cumulative), so it can be compared per-query with
+/// the fault-free reference; `succeeded[c][q]` says whether the retry layer
+/// reported success. Failed queries leave a zero digest.
+struct FaultRunReport {
+  uint64_t queries_attempted = 0;
+  uint64_t queries_succeeded = 0;
+  std::vector<std::vector<ClientDigest>> digests;
+  std::vector<std::vector<bool>> succeeded;
+  service::RetryStats retry;  ///< summed over all clients
+  net::FaultStats faults;     ///< summed over all transports
+  uint64_t virtual_ns = 0;    ///< summed transport virtual time
+  /// Replayable fault logs, one per client (index = client).
+  std::vector<std::vector<net::FaultEvent>> fault_logs;
+
+  double goodput() const {
+    return queries_attempted == 0
+               ? 0.0
+               : static_cast<double>(queries_succeeded) /
+                     static_cast<double>(queries_attempted);
+  }
+};
+
+/// Runs the workload single-threaded (client by client, query by query)
+/// through one FaultyTransport per client wrapping `engine`. Deterministic:
+/// same options, same report — byte for byte, including the fault logs.
+/// A query failing is NOT a run error (that is the data); only setup
+/// problems (null engine, bad options) fail the call.
+Result<FaultRunReport> RunFaultedWorkload(service::ServiceEngine* engine,
+                                          const geom::Rect& domain,
+                                          const FaultRunOptions& options);
+
+/// The fault-free yardstick: the same per-query digests through the direct
+/// library path (SpaceTwistClient against `server`). digests[c][q] must be
+/// byte-identical to RunFaultedWorkload's whenever succeeded[c][q] — the
+/// end-to-end Lemma 1 property under faults.
+Result<std::vector<std::vector<ClientDigest>>> RunReferencePerQueryDigests(
+    server::LbsServer* server, const LoadOptions& options);
+
+}  // namespace spacetwist::eval
+
+#endif  // SPACETWIST_EVAL_FAULT_SWEEP_H_

@@ -15,22 +15,13 @@
 
 namespace spacetwist::eval {
 
-namespace {
-
-/// One client's predetermined workload: (true location, anchor) per query.
-/// Generated from the client's own Rng so it is identical no matter which
-/// path (wire or direct) or thread executes it.
-struct ClientWorkload {
-  std::vector<std::pair<geom::Point, geom::Point>> queries;
-};
-
 uint64_t ClientSeed(uint64_t base_seed, size_t client) {
   // Golden-ratio stride keeps per-client streams decorrelated.
   return base_seed + 0x9E3779B97F4A7C15ULL * (client + 1);
 }
 
-ClientWorkload MakeWorkload(const geom::Rect& domain,
-                            const LoadOptions& options, size_t client) {
+ClientWorkload MakeClientWorkload(const geom::Rect& domain,
+                                  const LoadOptions& options, size_t client) {
   Rng rng(ClientSeed(options.seed, client));
   ClientWorkload workload;
   workload.queries.reserve(options.queries_per_client);
@@ -44,11 +35,15 @@ ClientWorkload MakeWorkload(const geom::Rect& domain,
   return workload;
 }
 
+namespace {
+
 void HashU64(uint64_t v, uint64_t* h) {
   for (int shift = 0; shift < 64; shift += 8) {
     *h = (*h ^ ((v >> shift) & 0xFF)) * 1099511628211ULL;  // FNV-1a
   }
 }
+
+}  // namespace
 
 void FoldOutcome(const core::QueryOutcome& outcome, ClientDigest* digest) {
   for (const rtree::Neighbor& n : outcome.neighbors) {
@@ -59,6 +54,8 @@ void FoldOutcome(const core::QueryOutcome& outcome, ClientDigest* digest) {
   digest->packets += outcome.packets;
   digest->points += outcome.retrieved.size();
 }
+
+namespace {
 
 Status ValidateOptions(const LoadOptions& options) {
   if (options.num_clients < 1) {
@@ -105,7 +102,7 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
   };
   std::vector<ClientState> states(options.num_clients);
   for (size_t i = 0; i < options.num_clients; ++i) {
-    states[i].workload = MakeWorkload(domain, options, i);
+    states[i].workload = MakeClientWorkload(domain, options, i);
     states[i].latencies_ms.reserve(options.queries_per_client);
   }
 
@@ -182,7 +179,7 @@ Result<std::vector<ClientDigest>> RunReferenceWorkload(
   std::vector<ClientDigest> digests(options.num_clients);
   for (size_t i = 0; i < options.num_clients; ++i) {
     const ClientWorkload workload =
-        MakeWorkload(server->domain(), options, i);
+        MakeClientWorkload(server->domain(), options, i);
     for (const auto& [q, anchor] : workload.queries) {
       SPACETWIST_ASSIGN_OR_RETURN(
           core::QueryOutcome outcome,

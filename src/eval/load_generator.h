@@ -51,6 +51,25 @@ struct LoadReport {
   std::vector<ClientDigest> digests;  ///< index = client
 };
 
+/// One client's predetermined workload: (true location, anchor) per query.
+/// Generated from the client's own Rng so it is identical no matter which
+/// path (wire, faulty wire, or direct library) or thread executes it.
+struct ClientWorkload {
+  std::vector<std::pair<geom::Point, geom::Point>> queries;
+};
+
+/// Derives client i's seed from a base seed (golden-ratio stride keeps
+/// per-client streams decorrelated).
+uint64_t ClientSeed(uint64_t base_seed, size_t client);
+
+/// Builds client `client`'s workload for `options` over `domain`.
+ClientWorkload MakeClientWorkload(const geom::Rect& domain,
+                                  const LoadOptions& options, size_t client);
+
+/// Folds one query outcome into a digest (FNV-1a over neighbor ids,
+/// distance bits, and the packet count).
+void FoldOutcome(const core::QueryOutcome& outcome, ClientDigest* digest);
+
 /// Drives the closed-loop workload over the wire codec against `engine`.
 /// Every query runs the real SpaceTwist termination logic
 /// (core::RunTerminationLoop over a service::WireSession). Query points and

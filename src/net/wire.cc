@@ -119,17 +119,40 @@ class WireReader {
   size_t remaining_;
 };
 
+/// Running CRC-32 update; `crc` starts and ends inverted (callers use
+/// Crc32() below, which handles the inversions).
+uint32_t Crc32Update(uint32_t crc, const uint8_t* data, size_t size) {
+  for (size_t i = 0; i < size; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+  }
+  return crc;
+}
+
+/// Checksum of a frame's integrity-protected region: type byte + payload.
+uint32_t FrameChecksum(uint8_t type, const uint8_t* payload, size_t size) {
+  uint32_t crc = Crc32Update(0xFFFFFFFFu, &type, 1);
+  return ~Crc32Update(crc, payload, size);
+}
+
 std::vector<uint8_t> SealFrame(MessageType type,
                                const std::vector<uint8_t>& payload) {
   std::vector<uint8_t> frame;
-  frame.reserve(5 + payload.size());
+  frame.reserve(9 + payload.size());
   PutU32(&frame, static_cast<uint32_t>(payload.size()));
   PutU8(&frame, static_cast<uint8_t>(type));
+  PutU32(&frame, FrameChecksum(static_cast<uint8_t>(type), payload.data(),
+                               payload.size()));
   frame.insert(frame.end(), payload.begin(), payload.end());
   return frame;
 }
 
-/// Validates the 5-byte header and hands back (type, payload reader).
+/// Validates the 9-byte header (length, type, checksum) and hands back
+/// (type, payload reader). The checksum check runs before any payload
+/// parsing, so a flipped bit anywhere in the protected region surfaces as
+/// kCorruption rather than as a structurally valid frame with wrong data.
 Result<std::pair<MessageType, WireReader>> OpenFrame(const uint8_t* data,
                                                      size_t size) {
   if (data == nullptr && size > 0) {
@@ -138,6 +161,7 @@ Result<std::pair<MessageType, WireReader>> OpenFrame(const uint8_t* data,
   WireReader header(data, size);
   SPACETWIST_ASSIGN_OR_RETURN(uint32_t payload_len, header.ReadU32());
   SPACETWIST_ASSIGN_OR_RETURN(uint8_t type, header.ReadU8());
+  SPACETWIST_ASSIGN_OR_RETURN(uint32_t checksum, header.ReadU32());
   if (payload_len > kMaxWirePayloadBytes) {
     return Status::Corruption(
         StrFormat("declared payload of %u bytes exceeds limit", payload_len));
@@ -146,6 +170,9 @@ Result<std::pair<MessageType, WireReader>> OpenFrame(const uint8_t* data,
     return Status::Corruption(
         StrFormat("frame length mismatch: declared %u, have %zu", payload_len,
                   header.remaining()));
+  }
+  if (checksum != FrameChecksum(type, data + 9, payload_len)) {
+    return Status::Corruption("frame checksum mismatch");
   }
   return std::make_pair(static_cast<MessageType>(type), header);
 }
@@ -156,10 +183,14 @@ Result<OpenRequest> DecodeOpenPayload(WireReader* r) {
   SPACETWIST_ASSIGN_OR_RETURN(msg.anchor.y, r->ReadF64());
   SPACETWIST_ASSIGN_OR_RETURN(msg.epsilon, r->ReadF64());
   SPACETWIST_ASSIGN_OR_RETURN(msg.k, r->ReadU32());
+  SPACETWIST_ASSIGN_OR_RETURN(msg.nonce, r->ReadU64());
   return msg;
 }
 
 Result<PacketReply> DecodePacketPayload(WireReader* r) {
+  PacketReply msg;
+  SPACETWIST_ASSIGN_OR_RETURN(msg.session_id, r->ReadU64());
+  SPACETWIST_ASSIGN_OR_RETURN(msg.seq, r->ReadU64());
   SPACETWIST_ASSIGN_OR_RETURN(uint16_t count, r->ReadU16());
   if (count > kMaxWirePointsPerFrame) {
     return Status::Corruption("point count exceeds frame limit");
@@ -168,7 +199,6 @@ Result<PacketReply> DecodePacketPayload(WireReader* r) {
     return Status::Corruption(
         StrFormat("packet payload size mismatch for %u points", count));
   }
-  PacketReply msg;
   msg.packet.points.reserve(count);
   for (uint16_t i = 0; i < count; ++i) {
     rtree::DataPoint p;
@@ -183,17 +213,18 @@ Result<PacketReply> DecodePacketPayload(WireReader* r) {
 
 Result<ErrorReply> DecodeErrorPayload(WireReader* r) {
   SPACETWIST_ASSIGN_OR_RETURN(uint8_t code, r->ReadU8());
-  SPACETWIST_ASSIGN_OR_RETURN(uint16_t msg_len, r->ReadU16());
-  if (msg_len > kMaxWireErrorMessageBytes) {
-    return Status::Corruption("error message exceeds frame limit");
-  }
   if (code == static_cast<uint8_t>(StatusCode::kOk) ||
-      code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+      code > static_cast<uint8_t>(kMaxStatusCode)) {
     return Status::Corruption(
         StrFormat("invalid wire status code %u", code));
   }
   ErrorReply msg;
   msg.code = static_cast<StatusCode>(code);
+  SPACETWIST_ASSIGN_OR_RETURN(msg.session_id, r->ReadU64());
+  SPACETWIST_ASSIGN_OR_RETURN(uint16_t msg_len, r->ReadU16());
+  if (msg_len > kMaxWireErrorMessageBytes) {
+    return Status::Corruption("error message exceeds frame limit");
+  }
   SPACETWIST_ASSIGN_OR_RETURN(msg.message, r->ReadBytes(msg_len));
   return msg;
 }
@@ -209,9 +240,11 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
     PutF64(&payload, open->anchor.y);
     PutF64(&payload, open->epsilon);
     PutU32(&payload, open->k);
+    PutU64(&payload, open->nonce);
   } else if (const auto* pull = std::get_if<PullRequest>(&request)) {
     type = MessageType::kPullRequest;
     PutU64(&payload, pull->session_id);
+    PutU64(&payload, pull->seq);
   } else {
     type = MessageType::kCloseRequest;
     PutU64(&payload, std::get<CloseRequest>(request).session_id);
@@ -225,8 +258,11 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
   if (const auto* ok = std::get_if<OpenOk>(&response)) {
     type = MessageType::kOpenOk;
     PutU64(&payload, ok->session_id);
+    PutU64(&payload, ok->nonce);
   } else if (const auto* packet = std::get_if<PacketReply>(&response)) {
     type = MessageType::kPacket;
+    PutU64(&payload, packet->session_id);
+    PutU64(&payload, packet->seq);
     const std::vector<rtree::DataPoint>& points = packet->packet.points;
     // The engine caps packets at PacketConfig::Capacity() (<= a few hundred);
     // a uint16 count is ample and keeps the frame tight.
@@ -236,12 +272,14 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       PutF32(&payload, static_cast<float>(p.point.y));
       PutU32(&payload, p.id);
     }
-  } else if (std::holds_alternative<CloseOk>(response)) {
+  } else if (const auto* closed = std::get_if<CloseOk>(&response)) {
     type = MessageType::kCloseOk;
+    PutU64(&payload, closed->session_id);
   } else {
     type = MessageType::kError;
     const ErrorReply& error = std::get<ErrorReply>(response);
     PutU8(&payload, static_cast<uint8_t>(error.code));
+    PutU64(&payload, error.session_id);
     std::string message = error.message;
     if (message.size() > kMaxWireErrorMessageBytes) {
       message.resize(kMaxWireErrorMessageBytes);
@@ -264,6 +302,7 @@ Result<Request> DecodeRequest(const uint8_t* data, size_t size) {
     case MessageType::kPullRequest: {
       PullRequest msg;
       SPACETWIST_ASSIGN_OR_RETURN(msg.session_id, r.ReadU64());
+      SPACETWIST_ASSIGN_OR_RETURN(msg.seq, r.ReadU64());
       SPACETWIST_RETURN_NOT_OK(r.ExpectDrained());
       return Request(msg);
     }
@@ -290,6 +329,7 @@ Result<Response> DecodeResponse(const uint8_t* data, size_t size) {
     case MessageType::kOpenOk: {
       OpenOk msg;
       SPACETWIST_ASSIGN_OR_RETURN(msg.session_id, r.ReadU64());
+      SPACETWIST_ASSIGN_OR_RETURN(msg.nonce, r.ReadU64());
       SPACETWIST_RETURN_NOT_OK(r.ExpectDrained());
       return Response(msg);
     }
@@ -299,8 +339,10 @@ Result<Response> DecodeResponse(const uint8_t* data, size_t size) {
       return Response(std::move(msg));
     }
     case MessageType::kCloseOk: {
+      CloseOk msg;
+      SPACETWIST_ASSIGN_OR_RETURN(msg.session_id, r.ReadU64());
       SPACETWIST_RETURN_NOT_OK(r.ExpectDrained());
-      return Response(CloseOk{});
+      return Response(msg);
     }
     case MessageType::kError: {
       SPACETWIST_ASSIGN_OR_RETURN(ErrorReply msg, DecodeErrorPayload(&r));
@@ -318,6 +360,10 @@ Result<Response> DecodeResponse(const uint8_t* data, size_t size) {
 
 Status ToStatus(const ErrorReply& error) {
   return Status(error.code, error.message);
+}
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  return ~Crc32Update(0xFFFFFFFFu, data, size);
 }
 
 }  // namespace spacetwist::net

@@ -18,8 +18,9 @@ namespace spacetwist::net {
 ///
 /// Every message travels in one frame:
 ///
-///   uint32  payload_length   (little-endian, bytes after the type byte)
+///   uint32  payload_length   (little-endian, bytes after the checksum)
 ///   uint8   message_type     (MessageType)
+///   uint32  checksum         (CRC-32 over the type byte + payload)
 ///   payload_length bytes of payload
 ///
 /// All integers are little-endian regardless of host order; doubles and
@@ -28,7 +29,17 @@ namespace spacetwist::net {
 /// quantization, so encoding loses nothing and wire results stay
 /// byte-identical to the in-process path. Decoding is fully bounds-checked
 /// and returns kCorruption on truncated, oversized, or malformed frames;
-/// it never reads past the buffer and never aborts.
+/// it never reads past the buffer and never aborts. The checksum makes
+/// in-flight corruption (any byte flip) a detected, retryable kCorruption
+/// instead of silently wrong data — a precondition for the retry layer's
+/// exactness guarantee over lossy links.
+///
+/// Loss tolerance is built into the message shapes: Open carries a client
+/// nonce echoed by OpenOk (a retried Open can never adopt a stale reply for
+/// a different query), Pull carries an explicit packet sequence number so a
+/// retry after a lost response re-fetches the same packet instead of
+/// skipping one, and PacketReply/CloseOk/ErrorReply echo the session id so
+/// delayed frames of an older session are recognized as stale.
 
 /// Frame type tags. Requests are 1-15, responses 16-31.
 enum class MessageType : uint8_t {
@@ -42,22 +53,31 @@ enum class MessageType : uint8_t {
 };
 
 /// Everything the server ever learns about a query (anchor, not the true
-/// location). Doubles so client-generated anchors round-trip exactly.
+/// location). Doubles so client-generated anchors round-trip exactly. The
+/// nonce is chosen by the client per Open attempt and echoed in OpenOk, so
+/// a retrying client never adopts a stale OpenOk from an earlier query.
 struct OpenRequest {
   geom::Point anchor;
   double epsilon = 0.0;
   uint32_t k = 1;
+  uint64_t nonce = 0;
 
   friend bool operator==(const OpenRequest& a, const OpenRequest& b) {
-    return a.anchor == b.anchor && a.epsilon == b.epsilon && a.k == b.k;
+    return a.anchor == b.anchor && a.epsilon == b.epsilon && a.k == b.k &&
+           a.nonce == b.nonce;
   }
 };
 
+/// Requests packet number `seq` (0-based) of the session's stream. Pulling
+/// the current packet again is idempotent (the server replays it from a
+/// one-packet cache), so a client whose response frame was lost can retry
+/// without skipping data; pulling `seq + 1` advances the stream.
 struct PullRequest {
   uint64_t session_id = 0;
+  uint64_t seq = 0;
 
   friend bool operator==(const PullRequest& a, const PullRequest& b) {
-    return a.session_id == b.session_id;
+    return a.session_id == b.session_id && a.seq == b.seq;
   }
 };
 
@@ -73,36 +93,51 @@ using Request = std::variant<OpenRequest, PullRequest, CloseRequest>;
 
 struct OpenOk {
   uint64_t session_id = 0;
+  uint64_t nonce = 0;  ///< echo of OpenRequest::nonce
 
   friend bool operator==(const OpenOk& a, const OpenOk& b) {
-    return a.session_id == b.session_id;
+    return a.session_id == b.session_id && a.nonce == b.nonce;
   }
 };
 
 /// One downlink packet. Each point is encoded as float32 x, float32 y,
 /// uint32 id (12 bytes). The paper's cost model stays 8 bytes per point
 /// (PacketConfig); the id rides along for simulation fidelity — POIs are
-/// public data, so it reveals nothing beyond the coordinates.
+/// public data, so it reveals nothing beyond the coordinates. session_id
+/// and seq echo the PullRequest so a client can reject stale (reordered or
+/// duplicated) frames from an earlier pull or an earlier session.
 struct PacketReply {
+  uint64_t session_id = 0;
+  uint64_t seq = 0;
   Packet packet;
 
   friend bool operator==(const PacketReply& a, const PacketReply& b) {
-    return a.packet.points == b.packet.points;
+    return a.session_id == b.session_id && a.seq == b.seq &&
+           a.packet.points == b.packet.points;
   }
 };
 
 struct CloseOk {
-  friend bool operator==(const CloseOk&, const CloseOk&) { return true; }
+  uint64_t session_id = 0;  ///< echo of CloseRequest::session_id
+
+  friend bool operator==(const CloseOk& a, const CloseOk& b) {
+    return a.session_id == b.session_id;
+  }
 };
 
 /// A Status carried over the wire (e.g. kExhausted at end of stream,
 /// kResourceExhausted backpressure, kNotFound for bad session ids).
+/// session_id names the session the error is about (0 when the request
+/// never named one, e.g. decode failures), so a retrying client can tell a
+/// current session's kExhausted from a stale frame of a previous session.
 struct ErrorReply {
   StatusCode code = StatusCode::kInternal;
+  uint64_t session_id = 0;
   std::string message;
 
   friend bool operator==(const ErrorReply& a, const ErrorReply& b) {
-    return a.code == b.code && a.message == b.message;
+    return a.code == b.code && a.session_id == b.session_id &&
+           a.message == b.message;
   }
 };
 
@@ -137,6 +172,9 @@ inline Result<Response> DecodeResponse(const std::vector<uint8_t>& buf) {
 /// Converts a wire error back into the Status the server returned.
 Status ToStatus(const ErrorReply& error);
 
+/// CRC-32 (IEEE 802.3, reflected) of `size` bytes — the frame checksum.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
 /// Server end of the wire protocol: consumes one encoded request frame and
 /// produces one encoded response frame. Implemented in-process by
 /// service::ServiceEngine; a deployment would put a socket behind the same
@@ -147,6 +185,34 @@ class FrameHandler {
 
   virtual std::vector<uint8_t> HandleFrame(
       const std::vector<uint8_t>& request_frame) = 0;
+};
+
+/// Client end of the link: one request frame out, one response frame back —
+/// with the possibility of failure. A non-OK status models the link, not
+/// the server: kDeadlineExceeded (a frame was lost or stalled past the
+/// deadline) and kIoError (the connection dropped; in-flight frames are
+/// gone). Server-side errors still arrive as encoded ErrorReply frames.
+class FrameTransport {
+ public:
+  virtual ~FrameTransport() = default;
+
+  virtual Result<std::vector<uint8_t>> RoundTrip(
+      const std::vector<uint8_t>& request_frame) = 0;
+};
+
+/// The perfect link: every frame arrives intact, in order, exactly once.
+class DirectTransport : public FrameTransport {
+ public:
+  /// Borrows `handler`, which must outlive the transport.
+  explicit DirectTransport(FrameHandler* handler) : handler_(handler) {}
+
+  Result<std::vector<uint8_t>> RoundTrip(
+      const std::vector<uint8_t>& request_frame) override {
+    return handler_->HandleFrame(request_frame);
+  }
+
+ private:
+  FrameHandler* handler_;
 };
 
 }  // namespace spacetwist::net

@@ -88,19 +88,53 @@ Result<uint64_t> ServiceEngine::Open(const geom::Point& anchor, double epsilon,
 }
 
 Result<net::Packet> ServiceEngine::Pull(uint64_t session_id) {
-  counters_.pull_requests.fetch_add(1, kRelaxed);
   Shard& shard = ShardFor(session_id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.sessions.find(session_id);
   if (it == shard.sessions.end()) {
+    counters_.pull_requests.fetch_add(1, kRelaxed);
     return Status::NotFound(StrFormat(
         "session %llu", static_cast<unsigned long long>(session_id)));
   }
-  it->second.last_touch_ns = NowNs();
+  return PullLocked(&it->second, it->second.next_seq);
+}
+
+Result<net::Packet> ServiceEngine::Pull(uint64_t session_id, uint64_t seq) {
+  Shard& shard = ShardFor(session_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(session_id);
+  if (it == shard.sessions.end()) {
+    counters_.pull_requests.fetch_add(1, kRelaxed);
+    return Status::NotFound(StrFormat(
+        "session %llu", static_cast<unsigned long long>(session_id)));
+  }
+  return PullLocked(&it->second, seq);
+}
+
+Result<net::Packet> ServiceEngine::PullLocked(Session* session, uint64_t seq) {
+  counters_.pull_requests.fetch_add(1, kRelaxed);
+  session->last_touch_ns = NowNs();
+  if (session->has_cached && seq + 1 == session->next_seq) {
+    // Idempotent retry: the client never saw the reply to its last pull.
+    counters_.pulls_replayed.fetch_add(1, kRelaxed);
+    return session->cached;
+  }
+  if (seq != session->next_seq) {
+    return Status::InvalidArgument(StrFormat(
+        "pull seq %llu outside replay window (next is %llu)",
+        static_cast<unsigned long long>(seq),
+        static_cast<unsigned long long>(session->next_seq)));
+  }
   // The stream traversal runs under the shard lock; different shards
   // proceed in parallel and share the tree through its synchronized
-  // buffer pool.
-  return it->second.channel->NextPacket();
+  // buffer pool. kExhausted is not cached: PacketChannel keeps reporting
+  // it, so retried end-of-stream pulls are naturally idempotent.
+  SPACETWIST_ASSIGN_OR_RETURN(net::Packet packet,
+                              session->channel->NextPacket());
+  session->cached = packet;
+  session->has_cached = true;
+  ++session->next_seq;
+  return packet;
 }
 
 Status ServiceEngine::Close(uint64_t session_id) {
@@ -144,18 +178,20 @@ std::vector<uint8_t> ServiceEngine::HandleFrame(
   if (const auto* open = std::get_if<net::OpenRequest>(&*request)) {
     Result<uint64_t> id = Open(open->anchor, open->epsilon, open->k);
     if (!id.ok()) return EncodeErrorFrame(id.status());
-    return net::EncodeResponse(net::OpenOk{*id});
+    return net::EncodeResponse(net::OpenOk{*id, open->nonce});
   }
   if (const auto* pull = std::get_if<net::PullRequest>(&*request)) {
-    Result<net::Packet> packet = Pull(pull->session_id);
-    if (!packet.ok()) return EncodeErrorFrame(packet.status());
-    return net::EncodeResponse(
-        net::PacketReply{packet.MoveValueOrDie()});
+    Result<net::Packet> packet = Pull(pull->session_id, pull->seq);
+    if (!packet.ok()) {
+      return EncodeErrorFrame(packet.status(), pull->session_id);
+    }
+    return net::EncodeResponse(net::PacketReply{
+        pull->session_id, pull->seq, packet.MoveValueOrDie()});
   }
   const auto& close = std::get<net::CloseRequest>(*request);
   Status status = Close(close.session_id);
-  if (!status.ok()) return EncodeErrorFrame(status);
-  return net::EncodeResponse(net::CloseOk{});
+  if (!status.ok()) return EncodeErrorFrame(status, close.session_id);
+  return net::EncodeResponse(net::CloseOk{close.session_id});
 }
 
 size_t ServiceEngine::EvictIdle() {
@@ -172,6 +208,7 @@ EngineMetrics ServiceEngine::metrics() const {
   EngineMetrics m;
   m.open_requests = counters_.open_requests.load(kRelaxed);
   m.pull_requests = counters_.pull_requests.load(kRelaxed);
+  m.pulls_replayed = counters_.pulls_replayed.load(kRelaxed);
   m.close_requests = counters_.close_requests.load(kRelaxed);
   m.decode_errors = counters_.decode_errors.load(kRelaxed);
   m.sessions_opened = counters_.sessions_opened.load(kRelaxed);
@@ -216,9 +253,10 @@ size_t ServiceEngine::SweepShardLocked(Shard* shard, uint64_t now_ns) {
   return evicted;
 }
 
-std::vector<uint8_t> ServiceEngine::EncodeErrorFrame(const Status& status) {
+std::vector<uint8_t> ServiceEngine::EncodeErrorFrame(const Status& status,
+                                                     uint64_t session_id) {
   return net::EncodeResponse(
-      net::ErrorReply{status.code(), status.message()});
+      net::ErrorReply{status.code(), session_id, status.message()});
 }
 
 }  // namespace spacetwist::service

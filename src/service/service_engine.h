@@ -45,6 +45,7 @@ struct ServiceOptions {
 struct EngineMetrics {
   uint64_t open_requests = 0;
   uint64_t pull_requests = 0;
+  uint64_t pulls_replayed = 0;  ///< idempotent retries served from cache
   uint64_t close_requests = 0;
   uint64_t decode_errors = 0;
   uint64_t sessions_opened = 0;
@@ -92,6 +93,14 @@ class ServiceEngine : public net::FrameHandler {
   /// kNotFound for unknown/closed/evicted ids.
   Result<net::Packet> Pull(uint64_t session_id);
 
+  /// Sequenced pull (what the wire protocol uses): `seq` is the 0-based
+  /// packet number the client wants. Asking for the packet most recently
+  /// served replays it from the session's one-packet cache — the
+  /// idempotent-retry path for clients whose response frame was lost —
+  /// while `seq == packets served` advances the stream. Anything else is
+  /// out of the replay window and yields kInvalidArgument.
+  Result<net::Packet> Pull(uint64_t session_id, uint64_t seq);
+
   /// Closes a session. Not idempotent: a second Close (or a Close after
   /// eviction) is kNotFound so misbehaving clients are surfaced.
   Status Close(uint64_t session_id);
@@ -119,6 +128,11 @@ class ServiceEngine : public net::FrameHandler {
     std::unique_ptr<server::GranularInnStream> stream;
     std::unique_ptr<net::PacketChannel> channel;
     uint64_t last_touch_ns = 0;
+    /// Sequenced-pull state: `next_seq` packets have been served so far;
+    /// the most recent one is cached for idempotent retries.
+    uint64_t next_seq = 0;
+    bool has_cached = false;
+    net::Packet cached;
   };
 
   struct Shard {
@@ -135,6 +149,10 @@ class ServiceEngine : public net::FrameHandler {
 
   uint64_t NowNs() const { return options_.clock(); }
 
+  /// Shared body of both Pull overloads; caller holds the owning shard's
+  /// mutex.
+  Result<net::Packet> PullLocked(Session* session, uint64_t seq);
+
   /// Folds a retiring session's transport counters into the totals.
   /// Caller holds the owning shard's mutex.
   void Absorb(const Session& session);
@@ -142,8 +160,10 @@ class ServiceEngine : public net::FrameHandler {
   /// Evicts expired sessions of one shard; caller holds `shard->mu`.
   size_t SweepShardLocked(Shard* shard, uint64_t now_ns);
 
-  /// Encodes `status` as a kError response frame.
-  static std::vector<uint8_t> EncodeErrorFrame(const Status& status);
+  /// Encodes `status` as a kError response frame; `session_id` names the
+  /// session the failed request was about (0 when it never named one).
+  static std::vector<uint8_t> EncodeErrorFrame(const Status& status,
+                                               uint64_t session_id = 0);
 
   server::LbsServer* server_;
   ServiceOptions options_;
@@ -156,6 +176,7 @@ class ServiceEngine : public net::FrameHandler {
   struct Counters {
     std::atomic<uint64_t> open_requests{0};
     std::atomic<uint64_t> pull_requests{0};
+    std::atomic<uint64_t> pulls_replayed{0};
     std::atomic<uint64_t> close_requests{0};
     std::atomic<uint64_t> decode_errors{0};
     std::atomic<uint64_t> sessions_opened{0};

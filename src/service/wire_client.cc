@@ -1,5 +1,6 @@
 #include "service/wire_client.h"
 
+#include <algorithm>
 #include <utility>
 #include <variant>
 
@@ -7,21 +8,113 @@ namespace spacetwist::service {
 
 namespace {
 
-/// Round-trips one request frame and decodes the reply; wire errors come
-/// back as the Status the server produced.
-Result<net::Response> RoundTrip(net::FrameHandler* handler,
-                                const net::Request& request) {
-  const std::vector<uint8_t> reply =
-      handler->HandleFrame(net::EncodeRequest(request));
-  SPACETWIST_ASSIGN_OR_RETURN(net::Response response,
-                              net::DecodeResponse(reply));
-  if (const auto* error = std::get_if<net::ErrorReply>(&response)) {
-    return net::ToStatus(*error);
-  }
-  return response;
+/// Transport-level statuses worth another attempt: timeouts (lost or
+/// stalled frames) and connection resets. Anything else from the transport
+/// is a programming error and surfaces immediately.
+bool TransportRetryable(const Status& status) {
+  return status.IsDeadlineExceeded() || status.IsIoError();
 }
 
 }  // namespace
+
+WireSession::WireSession(net::FrameTransport* transport,
+                         std::unique_ptr<net::DirectTransport> owned,
+                         const RetryConfig& retry, const geom::Point& anchor,
+                         double epsilon, size_t k)
+    : transport_(transport),
+      owned_transport_(std::move(owned)),
+      retry_(retry),
+      rng_(retry.seed),
+      anchor_(anchor),
+      epsilon_(epsilon),
+      k_(k) {}
+
+bool WireSession::Tick(Budget* budget) {
+  if (budget->attempts >= retry_.policy.max_attempts) return false;
+  if (budget->attempts > 0) {
+    ++stats_.retries;
+    const size_t retry_index = budget->attempts;  // 1-based
+    const int shift = static_cast<int>(std::min<size_t>(retry_index - 1, 20));
+    uint64_t backoff = std::min(retry_.policy.base_backoff_ns << shift,
+                                retry_.policy.max_backoff_ns);
+    if (retry_.policy.jitter > 0.0) {
+      const double factor = 1.0 - retry_.policy.jitter / 2.0 +
+                            retry_.policy.jitter * rng_.Uniform(0.0, 1.0);
+      backoff = static_cast<uint64_t>(static_cast<double>(backoff) * factor);
+    }
+    stats_.backoff_ns += backoff;
+    if (retry_.sleep) retry_.sleep(backoff);
+  }
+  ++budget->attempts;
+  ++stats_.attempts;
+  return true;
+}
+
+Result<net::Response> WireSession::RoundTrip(const net::Request& request) {
+  SPACETWIST_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      transport_->RoundTrip(net::EncodeRequest(request)));
+  return net::DecodeResponse(reply);
+}
+
+Status WireSession::OpenSession(Budget* budget) {
+  // Every attempt gets a fresh nonce; any of them identifies *this* open
+  // (an earlier attempt's reply may arrive late and is equally valid).
+  std::vector<uint64_t> nonces;
+  while (Tick(budget)) {
+    net::OpenRequest open;
+    open.anchor = anchor_;
+    open.epsilon = epsilon_;
+    open.k = static_cast<uint32_t>(k_);
+    open.nonce = rng_.Next();
+    nonces.push_back(open.nonce);
+    Result<net::Response> response = RoundTrip(open);
+    if (!response.ok()) {
+      if (TransportRetryable(response.status()) ||
+          response.status().IsCorruption()) {
+        continue;
+      }
+      return response.status();
+    }
+    if (const auto* ok = std::get_if<net::OpenOk>(&*response)) {
+      if (std::find(nonces.begin(), nonces.end(), ok->nonce) !=
+          nonces.end()) {
+        session_id_ = ok->session_id;
+        return Status::OK();
+      }
+      ++stats_.stale_replies;  // OpenOk of some earlier query
+      continue;
+    }
+    if (const auto* error = std::get_if<net::ErrorReply>(&*response)) {
+      // Open errors carry no session id; an error echoing one is a stale
+      // reply to some earlier pull or close.
+      if (error->session_id != 0) {
+        ++stats_.stale_replies;
+        continue;
+      }
+      const Status status = net::ToStatus(*error);
+      if (status.IsInvalidArgument() || status.IsResourceExhausted()) {
+        return status;  // genuine rejection: bad params or backpressure
+      }
+      continue;  // transient server-side condition
+    }
+    ++stats_.stale_replies;  // PacketReply/CloseOk: stale frames
+  }
+  return Status::DeadlineExceeded("open retry budget exhausted");
+}
+
+Result<std::unique_ptr<WireSession>> WireSession::Open(
+    net::FrameTransport* transport, const geom::Point& anchor, double epsilon,
+    size_t k, const RetryConfig& retry) {
+  if (transport == nullptr) {
+    return Status::InvalidArgument("frame transport is null");
+  }
+  std::unique_ptr<WireSession> session(new WireSession(
+      transport, /*owned=*/nullptr, retry, anchor, epsilon, k));
+  Budget budget;
+  SPACETWIST_RETURN_NOT_OK(session->OpenSession(&budget));
+  return session;
+}
 
 Result<std::unique_ptr<WireSession>> WireSession::Open(
     net::FrameHandler* handler, const geom::Point& anchor, double epsilon,
@@ -29,52 +122,148 @@ Result<std::unique_ptr<WireSession>> WireSession::Open(
   if (handler == nullptr) {
     return Status::InvalidArgument("frame handler is null");
   }
-  net::OpenRequest open;
-  open.anchor = anchor;
-  open.epsilon = epsilon;
-  open.k = static_cast<uint32_t>(k);
-  SPACETWIST_ASSIGN_OR_RETURN(net::Response response,
-                              RoundTrip(handler, open));
-  const auto* ok = std::get_if<net::OpenOk>(&response);
-  if (ok == nullptr) {
-    return Status::Corruption("unexpected response to Open");
-  }
-  return std::unique_ptr<WireSession>(
-      new WireSession(handler, ok->session_id));
+  auto owned = std::make_unique<net::DirectTransport>(handler);
+  net::DirectTransport* transport = owned.get();
+  std::unique_ptr<WireSession> session(new WireSession(
+      transport, std::move(owned), RetryConfig(), anchor, epsilon, k));
+  Budget budget;
+  SPACETWIST_RETURN_NOT_OK(session->OpenSession(&budget));
+  return session;
 }
 
 Result<net::Packet> WireSession::NextPacket() {
   if (closed_) return Status::Internal("session already closed");
-  SPACETWIST_ASSIGN_OR_RETURN(
-      net::Response response,
-      RoundTrip(handler_, net::PullRequest{session_id_}));
-  auto* packet = std::get_if<net::PacketReply>(&response);
-  if (packet == nullptr) {
-    return Status::Corruption("unexpected response to Pull");
+  Budget budget;
+  size_t reopens = 0;
+  // `cursor` is the sequence number we need from the *current* server
+  // session. Normally cursor == next_seq_; after a re-open it restarts at
+  // 0 and the replayed prefix (byte-identical, the stream is
+  // deterministic) is discarded until the query's position is reached.
+  uint64_t cursor = next_seq_;
+  // Re-opens and accepted packets are progress and refill the attempt
+  // budget; only consecutive failures spend it.
+  const auto reopen = [this, &budget, &reopens, &cursor]() -> Status {
+    if (++reopens > retry_.policy.max_reopens) {
+      return Status::DeadlineExceeded("re-open budget exhausted");
+    }
+    SPACETWIST_RETURN_NOT_OK(OpenSession(&budget));
+    ++stats_.reopens;
+    cursor = 0;
+    budget.attempts = 0;
+    return Status::OK();
+  };
+  while (Tick(&budget)) {
+    Result<net::Response> response =
+        RoundTrip(net::PullRequest{session_id_, cursor});
+    if (!response.ok()) {
+      const Status status = response.status();
+      if (status.IsIoError()) {
+        // Connection reset: the server session may be fine, but our link
+        // epoch is gone. Open a fresh session and resume.
+        SPACETWIST_RETURN_NOT_OK(reopen());
+        continue;
+      }
+      if (status.IsDeadlineExceeded() || status.IsCorruption()) continue;
+      return status;
+    }
+    if (auto* packet = std::get_if<net::PacketReply>(&*response)) {
+      if (packet->session_id != session_id_ || packet->seq != cursor) {
+        ++stats_.stale_replies;
+        continue;
+      }
+      if (cursor < next_seq_) {
+        ++cursor;  // resume fast-forward: already-consumed prefix
+        budget.attempts = 0;
+        continue;
+      }
+      ++next_seq_;
+      return std::move(packet->packet);
+    }
+    if (const auto* error = std::get_if<net::ErrorReply>(&*response)) {
+      if (error->session_id != session_id_) {
+        ++stats_.stale_replies;
+        continue;
+      }
+      const Status status = net::ToStatus(*error);
+      if (status.IsExhausted()) {
+        if (cursor < next_seq_) {
+          // A deterministic stream cannot end earlier on replay.
+          return Status::Internal("server stream diverged during resume");
+        }
+        return status;  // genuine end of stream
+      }
+      if (status.IsNotFound()) {
+        // Evicted server-side (e.g. idle past the TTL while the link was
+        // down): re-open and resume.
+        SPACETWIST_RETURN_NOT_OK(reopen());
+        continue;
+      }
+      if (status.IsInvalidArgument()) return status;  // protocol misuse
+      continue;  // transient server-side condition
+    }
+    ++stats_.stale_replies;  // OpenOk/CloseOk: stale frames
   }
-  return std::move(packet->packet);
+  return Status::DeadlineExceeded("pull retry budget exhausted");
 }
 
 Status WireSession::Close() {
   if (closed_) return Status::Internal("session already closed");
-  SPACETWIST_ASSIGN_OR_RETURN(
-      net::Response response,
-      RoundTrip(handler_, net::CloseRequest{session_id_}));
-  if (!std::holds_alternative<net::CloseOk>(response)) {
-    return Status::Corruption("unexpected response to Close");
+  Budget budget;
+  while (Tick(&budget)) {
+    Result<net::Response> response =
+        RoundTrip(net::CloseRequest{session_id_});
+    if (!response.ok()) {
+      if (TransportRetryable(response.status()) ||
+          response.status().IsCorruption()) {
+        continue;
+      }
+      return response.status();
+    }
+    if (const auto* ok = std::get_if<net::CloseOk>(&*response)) {
+      if (ok->session_id != session_id_) {
+        ++stats_.stale_replies;
+        continue;
+      }
+      closed_ = true;
+      return Status::OK();
+    }
+    if (const auto* error = std::get_if<net::ErrorReply>(&*response)) {
+      if (error->session_id != session_id_) {
+        ++stats_.stale_replies;
+        continue;
+      }
+      const Status status = net::ToStatus(*error);
+      if (status.IsNotFound()) {
+        // At-least-once close: an earlier attempt landed (its reply was
+        // lost) or the server already evicted the session.
+        closed_ = true;
+        return Status::OK();
+      }
+      if (status.IsInvalidArgument()) return status;
+      continue;
+    }
+    ++stats_.stale_replies;
   }
-  closed_ = true;
+  return Status::DeadlineExceeded("close retry budget exhausted");
+}
+
+namespace {
+
+Status ValidateParams(const core::QueryParams& params) {
+  if (params.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (params.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
   return Status::OK();
 }
+
+}  // namespace
 
 Result<core::QueryOutcome> RemoteQuery(net::FrameHandler* handler,
                                        const geom::Point& q,
                                        const geom::Point& anchor,
                                        const core::QueryParams& params) {
-  if (params.k < 1) return Status::InvalidArgument("k must be >= 1");
-  if (params.epsilon < 0.0) {
-    return Status::InvalidArgument("epsilon must be >= 0");
-  }
+  SPACETWIST_RETURN_NOT_OK(ValidateParams(params));
   SPACETWIST_ASSIGN_OR_RETURN(
       std::unique_ptr<WireSession> session,
       WireSession::Open(handler, anchor, params.epsilon, params.k));
@@ -85,6 +274,27 @@ Result<core::QueryOutcome> RemoteQuery(net::FrameHandler* handler,
   const Status close_status = session->Close();
   if (!outcome.ok()) return outcome.status();
   SPACETWIST_RETURN_NOT_OK(close_status);
+  return outcome;
+}
+
+Result<core::QueryOutcome> RemoteQuery(net::FrameTransport* transport,
+                                       const geom::Point& q,
+                                       const geom::Point& anchor,
+                                       const core::QueryParams& params,
+                                       const RetryConfig& retry,
+                                       RetryStats* stats) {
+  SPACETWIST_RETURN_NOT_OK(ValidateParams(params));
+  SPACETWIST_ASSIGN_OR_RETURN(
+      std::unique_ptr<WireSession> session,
+      WireSession::Open(transport, anchor, params.epsilon, params.k, retry));
+  Result<core::QueryOutcome> outcome = core::RunTerminationLoop(
+      q, anchor, params.k, params.packet.Capacity(), session.get());
+  // Best-effort close: once the result is complete, a dying link must not
+  // fail the query — an unclosed server session is reclaimed by idle-TTL
+  // eviction, exactly like a handset that lost coverage.
+  (void)session->Close();
+  if (stats != nullptr) *stats += session->retry_stats();
+  if (!outcome.ok()) return outcome.status();
   return outcome;
 }
 

@@ -2,9 +2,12 @@
 #define SPACETWIST_SERVICE_WIRE_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "core/spacetwist_client.h"
 #include "geom/point.h"
 #include "net/channel.h"
@@ -13,35 +16,143 @@
 
 namespace spacetwist::service {
 
-/// Client half of the wire protocol: one open server session reached only
-/// through encoded frames. Implements net::PacketTransport, so the real
-/// SpaceTwist termination logic (core::RunTerminationLoop) runs over it
-/// unchanged — what a handset would execute against a remote deployment.
+/// Bounded exponential backoff with jitter, the mobile client's answer to
+/// a flaky link. All durations are virtual: the session only *accounts*
+/// backoff (RetryStats::backoff_ns) and invokes the optional sleep hook —
+/// no wall clock is read, so tests and benches stay deterministic.
+struct RetryPolicy {
+  /// Consecutive failed round trips allowed per logical operation (one
+  /// NextPacket, one Close, one Open); accepted progress — a packet
+  /// consumed, a session re-opened — resets the count, so resuming a long
+  /// stream is never starved by its own length.
+  size_t max_attempts = 16;
+  /// Session re-opens allowed within one NextPacket call before the
+  /// operation gives up with kDeadlineExceeded.
+  size_t max_reopens = 4;
+  uint64_t base_backoff_ns = 2'000'000;   ///< 2 ms before the first retry
+  uint64_t max_backoff_ns = 128'000'000;  ///< backoff ceiling
+  /// Jitter fraction in [0, 1]: each backoff is scaled by a uniform factor
+  /// in [1 - jitter/2, 1 + jitter/2] drawn from the session's Rng.
+  double jitter = 0.5;
+};
+
+/// Retry behaviour of one WireSession.
+struct RetryConfig {
+  RetryPolicy policy;
+  /// Seeds the session's private Rng (backoff jitter + Open nonces);
+  /// deterministic replays need only this seed and the transport's.
+  uint64_t seed = 0x5EED;
+  /// Invoked with each backoff duration; wire it to a real sleep in a
+  /// deployment, leave empty in tests (virtual time only).
+  std::function<void(uint64_t ns)> sleep;
+};
+
+/// What resilience cost: retransmissions, stale frames discarded, session
+/// re-opens, and total (virtual) backoff.
+struct RetryStats {
+  uint64_t attempts = 0;       ///< transport round trips issued
+  uint64_t retries = 0;        ///< round trips beyond the first of each op
+  uint64_t reopens = 0;        ///< sessions re-opened (disconnect/eviction)
+  uint64_t stale_replies = 0;  ///< frames rejected by nonce/session/seq echo
+  uint64_t backoff_ns = 0;     ///< virtual backoff accumulated
+
+  RetryStats& operator+=(const RetryStats& other) {
+    attempts += other.attempts;
+    retries += other.retries;
+    reopens += other.reopens;
+    stale_replies += other.stale_replies;
+    backoff_ns += other.backoff_ns;
+    return *this;
+  }
+};
+
+/// Client half of the wire protocol: one logical server session reached
+/// only through encoded frames, surviving a lossy link. Implements
+/// net::PacketTransport, so the real SpaceTwist termination logic
+/// (core::RunTerminationLoop) runs over it unchanged — what a handset
+/// would execute against a remote deployment over a cellular link.
+///
+/// Resilience semantics (docs/SERVICE.md §5):
+///  * Every operation retries transport timeouts (kDeadlineExceeded),
+///    detected corruption (kCorruption from the codec checksum), and stale
+///    frames, with bounded exponential backoff + jitter.
+///  * NextPacket pulls by explicit sequence number; a retry after a lost
+///    reply replays the same packet from the server's cache, so no data is
+///    skipped and no packet is double-counted.
+///  * A disconnect (kIoError) or server-side eviction (kNotFound) triggers
+///    a clean re-open: a fresh session for the same anchor is opened and
+///    fast-forwarded to the current sequence number (the granular stream
+///    is deterministic, so the replayed prefix is byte-identical and is
+///    discarded). The query then resumes exactly where it stopped.
+///  * When the retry budget runs out the operation fails with
+///    kDeadlineExceeded; genuine server rejections (kInvalidArgument,
+///    kResourceExhausted) and end-of-stream (kExhausted) pass through.
 class WireSession : public net::PacketTransport {
  public:
-  /// Sends an Open frame and parses the reply. `handler` is borrowed and
-  /// must outlive the session.
+  /// Opens a session over an arbitrary (possibly faulty) transport.
+  /// `transport` is borrowed and must outlive the session.
+  static Result<std::unique_ptr<WireSession>> Open(
+      net::FrameTransport* transport, const geom::Point& anchor,
+      double epsilon, size_t k, const RetryConfig& retry = RetryConfig());
+
+  /// Convenience for the perfect in-process link: wraps `handler` in an
+  /// owned DirectTransport. `handler` is borrowed and must outlive the
+  /// session.
   static Result<std::unique_ptr<WireSession>> Open(net::FrameHandler* handler,
                                                    const geom::Point& anchor,
                                                    double epsilon, size_t k);
 
-  /// Pull-frame round trip. kExhausted once the server stream is dry.
+  /// Next downlink packet (retrying/resuming as needed); kExhausted once
+  /// the server stream is dry.
   Result<net::Packet> NextPacket() override;
 
-  /// Close-frame round trip. A session left unclosed is "abandoned" — the
-  /// engine reclaims it via idle-TTL eviction.
+  /// Closes the session, at-least-once: a kNotFound reply is treated as
+  /// success (an earlier attempt landed, or the server already evicted the
+  /// session — either way nothing is left to close).
   Status Close();
 
   uint64_t session_id() const { return session_id_; }
+  uint64_t next_seq() const { return next_seq_; }
   bool closed() const { return closed_; }
+  const RetryStats& retry_stats() const { return stats_; }
 
  private:
-  WireSession(net::FrameHandler* handler, uint64_t session_id)
-      : handler_(handler), session_id_(session_id) {}
+  /// Per-operation retry budget.
+  struct Budget {
+    size_t attempts = 0;
+  };
 
-  net::FrameHandler* handler_;
-  uint64_t session_id_;
+  WireSession(net::FrameTransport* transport,
+              std::unique_ptr<net::DirectTransport> owned,
+              const RetryConfig& retry, const geom::Point& anchor,
+              double epsilon, size_t k);
+
+  /// Admits one more attempt (applying backoff before retries); false once
+  /// the budget is spent.
+  bool Tick(Budget* budget);
+
+  /// One encode -> transport -> decode round trip. Transport failures come
+  /// back as their Status; decodable replies (including ErrorReply) come
+  /// back as the Response.
+  Result<net::Response> RoundTrip(const net::Request& request);
+
+  /// (Re-)opens a server session for the anchor, drawing on `budget`.
+  /// Sets session_id_ on success.
+  Status OpenSession(Budget* budget);
+
+  net::FrameTransport* transport_;
+  std::unique_ptr<net::DirectTransport> owned_transport_;
+  RetryConfig retry_;
+  Rng rng_;
+
+  geom::Point anchor_;  ///< kept for re-opens after disconnects
+  double epsilon_;
+  size_t k_;
+
+  uint64_t session_id_ = 0;
+  uint64_t next_seq_ = 0;  ///< packets consumed so far
   bool closed_ = false;
+  RetryStats stats_;
 };
 
 /// Runs one SpaceTwist query end-to-end over the wire codec: validates
@@ -53,6 +164,19 @@ Result<core::QueryOutcome> RemoteQuery(net::FrameHandler* handler,
                                        const geom::Point& q,
                                        const geom::Point& anchor,
                                        const core::QueryParams& params);
+
+/// The fault-tolerant form: the same query over an arbitrary transport
+/// with retry/resume. Close is best-effort here — if the link dies after
+/// the result is complete, the result is still returned and the abandoned
+/// server session is left to idle-TTL eviction. On success the outcome is
+/// byte-identical to the fault-free path; `stats` (optional) accumulates
+/// what the faults cost.
+Result<core::QueryOutcome> RemoteQuery(net::FrameTransport* transport,
+                                       const geom::Point& q,
+                                       const geom::Point& anchor,
+                                       const core::QueryParams& params,
+                                       const RetryConfig& retry = RetryConfig(),
+                                       RetryStats* stats = nullptr);
 
 }  // namespace spacetwist::service
 

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datasets/generator.h"
+#include "eval/fault_sweep.h"
+#include "net/faulty_transport.h"
+#include "server/lbs_server.h"
+#include "service/service_engine.h"
+
+namespace spacetwist::eval {
+namespace {
+
+/// The fault matrix of ISSUE acceptance: every fault kind crossed with the
+/// query shapes {k=1, k=16, granular epsilon>0}, each run end-to-end
+/// (RemoteQuery -> WireSession -> FaultyTransport -> ServiceEngine) and
+/// checked against the fault-free library path. Two properties per cell:
+///
+///  1. Correctness: whenever the retry layer reports success, the query's
+///     digest (kNN ids + distance bits + packet count) is byte-identical to
+///     the fault-free reference — faults may cost retries, never answers.
+///  2. Reproducibility: rerunning with the same (seed, FaultConfig) gives
+///     the same report, down to the per-client fault logs.
+
+struct MatrixCase {
+  const char* name;
+  net::FaultKind kind;
+  double rate;
+  size_t k;
+  double epsilon;
+};
+
+net::FaultRates RatesWith(net::FaultKind kind, double rate) {
+  net::FaultRates rates;
+  switch (kind) {
+    case net::FaultKind::kDrop:
+      rates.drop = rate;
+      break;
+    case net::FaultKind::kDuplicate:
+      rates.duplicate = rate;
+      break;
+    case net::FaultKind::kReorder:
+      rates.reorder = rate;
+      break;
+    case net::FaultKind::kCorrupt:
+      rates.corrupt = rate;
+      break;
+    case net::FaultKind::kStall:
+      rates.stall = rate;
+      break;
+    case net::FaultKind::kDisconnect:
+      rates.disconnect = rate;
+      break;
+  }
+  return rates;
+}
+
+uint64_t CountFor(const net::FaultStats& stats, net::FaultKind kind) {
+  switch (kind) {
+    case net::FaultKind::kDrop:
+      return stats.drops;
+    case net::FaultKind::kDuplicate:
+      return stats.duplicates;
+    case net::FaultKind::kReorder:
+      return stats.reorders;
+    case net::FaultKind::kCorrupt:
+      return stats.corruptions;
+    case net::FaultKind::kStall:
+      return stats.stalls;
+    case net::FaultKind::kDisconnect:
+      return stats.disconnects;
+  }
+  return 0;
+}
+
+bool SameEvent(const net::FaultEvent& a, const net::FaultEvent& b) {
+  return a.op == b.op && a.at_ns == b.at_ns && a.direction == b.direction &&
+         a.request_type == b.request_type && a.kind == b.kind;
+}
+
+void ExpectIdenticalReports(const FaultRunReport& a, const FaultRunReport& b) {
+  EXPECT_EQ(a.queries_attempted, b.queries_attempted);
+  EXPECT_EQ(a.queries_succeeded, b.queries_succeeded);
+  EXPECT_EQ(a.succeeded, b.succeeded);
+  ASSERT_EQ(a.digests.size(), b.digests.size());
+  for (size_t c = 0; c < a.digests.size(); ++c) {
+    ASSERT_EQ(a.digests[c].size(), b.digests[c].size());
+    for (size_t q = 0; q < a.digests[c].size(); ++q) {
+      EXPECT_TRUE(a.digests[c][q] == b.digests[c][q])
+          << "client " << c << " query " << q;
+    }
+  }
+  EXPECT_EQ(a.retry.attempts, b.retry.attempts);
+  EXPECT_EQ(a.retry.retries, b.retry.retries);
+  EXPECT_EQ(a.retry.reopens, b.retry.reopens);
+  EXPECT_EQ(a.retry.stale_replies, b.retry.stale_replies);
+  EXPECT_EQ(a.retry.backoff_ns, b.retry.backoff_ns);
+  EXPECT_EQ(a.virtual_ns, b.virtual_ns);
+  ASSERT_EQ(a.fault_logs.size(), b.fault_logs.size());
+  for (size_t c = 0; c < a.fault_logs.size(); ++c) {
+    ASSERT_EQ(a.fault_logs[c].size(), b.fault_logs[c].size()) << "client " << c;
+    for (size_t i = 0; i < a.fault_logs[c].size(); ++i) {
+      EXPECT_TRUE(SameEvent(a.fault_logs[c][i], b.fault_logs[c][i]))
+          << "client " << c << ": " << net::ToString(a.fault_logs[c][i])
+          << " vs " << net::ToString(b.fault_logs[c][i]);
+    }
+  }
+}
+
+class FaultMatrixTest : public ::testing::TestWithParam<MatrixCase> {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(20000, 1901);
+    rtree::RTreeOptions rtree_options;
+    rtree_options.concurrent_reads = true;
+    server_ =
+        server::LbsServer::Build(dataset_, rtree_options).MoveValueOrDie();
+  }
+
+  FaultRunOptions Options(const MatrixCase& c) const {
+    FaultRunOptions options;
+    options.load.num_clients = 4;
+    options.load.queries_per_client = 3;
+    options.load.seed = 9001;
+    options.load.params.k = c.k;
+    options.load.params.epsilon = c.epsilon;
+    options.load.params.anchor_distance = 300;
+    options.fault.uplink = RatesWith(c.kind, c.rate);
+    options.fault.downlink = RatesWith(c.kind, c.rate);
+    return options;
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+};
+
+TEST_P(FaultMatrixTest, SuccessfulQueriesMatchFaultFreeDigestsExactly) {
+  const MatrixCase c = GetParam();
+  service::ServiceEngine engine(server_.get());
+  const FaultRunOptions options = Options(c);
+
+  auto run = RunFaultedWorkload(&engine, server_->domain(), options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto reference = RunReferencePerQueryDigests(server_.get(), options.load);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // The schedule actually exercised this cell's fault.
+  EXPECT_GT(CountFor(run->faults, c.kind), 0u) << "fault never fired";
+  // With the default retry budget every query survives these rates.
+  EXPECT_EQ(run->queries_succeeded, run->queries_attempted);
+  EXPECT_GT(run->retry.retries + run->retry.reopens + run->retry.stale_replies,
+            0u);
+
+  ASSERT_EQ(run->digests.size(), reference->size());
+  for (size_t client = 0; client < run->digests.size(); ++client) {
+    ASSERT_EQ(run->digests[client].size(), (*reference)[client].size());
+    for (size_t q = 0; q < run->digests[client].size(); ++q) {
+      if (!run->succeeded[client][q]) continue;
+      EXPECT_TRUE(run->digests[client][q] == (*reference)[client][q])
+          << "client " << client << " query " << q
+          << ": faulted digest diverged from the fault-free reference";
+    }
+  }
+}
+
+TEST_P(FaultMatrixTest, RerunFromSameSeedAndConfigIsByteIdentical) {
+  const MatrixCase c = GetParam();
+  const FaultRunOptions options = Options(c);
+
+  service::ServiceEngine engine_a(server_.get());
+  auto run_a = RunFaultedWorkload(&engine_a, server_->domain(), options);
+  ASSERT_TRUE(run_a.ok());
+
+  service::ServiceEngine engine_b(server_.get());
+  auto run_b = RunFaultedWorkload(&engine_b, server_->domain(), options);
+  ASSERT_TRUE(run_b.ok());
+
+  ExpectIdenticalReports(*run_a, *run_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FaultMatrixTest,
+    ::testing::Values(
+        MatrixCase{"drop_k1", net::FaultKind::kDrop, 0.15, 1, 0.0},
+        MatrixCase{"drop_k16", net::FaultKind::kDrop, 0.15, 16, 0.0},
+        MatrixCase{"drop_eps", net::FaultKind::kDrop, 0.15, 4, 300.0},
+        MatrixCase{"dup_k1", net::FaultKind::kDuplicate, 0.2, 1, 0.0},
+        MatrixCase{"dup_k16", net::FaultKind::kDuplicate, 0.2, 16, 0.0},
+        MatrixCase{"dup_eps", net::FaultKind::kDuplicate, 0.2, 4, 300.0},
+        MatrixCase{"reorder_k1", net::FaultKind::kReorder, 0.2, 1, 0.0},
+        MatrixCase{"reorder_k16", net::FaultKind::kReorder, 0.2, 16, 0.0},
+        MatrixCase{"reorder_eps", net::FaultKind::kReorder, 0.2, 4, 300.0},
+        MatrixCase{"corrupt_k1", net::FaultKind::kCorrupt, 0.15, 1, 0.0},
+        MatrixCase{"corrupt_k16", net::FaultKind::kCorrupt, 0.15, 16, 0.0},
+        MatrixCase{"corrupt_eps", net::FaultKind::kCorrupt, 0.15, 4, 300.0},
+        MatrixCase{"stall_k1", net::FaultKind::kStall, 0.1, 1, 0.0},
+        MatrixCase{"stall_k16", net::FaultKind::kStall, 0.1, 16, 0.0},
+        MatrixCase{"stall_eps", net::FaultKind::kStall, 0.1, 4, 300.0},
+        MatrixCase{"disconnect_k1", net::FaultKind::kDisconnect, 0.04, 1, 0.0},
+        MatrixCase{"disconnect_k16", net::FaultKind::kDisconnect, 0.04, 16,
+                   0.0},
+        MatrixCase{"disconnect_eps", net::FaultKind::kDisconnect, 0.04, 4,
+                   300.0}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      return std::string(info.param.name);
+    });
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(20000, 1901);
+    rtree::RTreeOptions rtree_options;
+    rtree_options.concurrent_reads = true;
+    server_ =
+        server::LbsServer::Build(dataset_, rtree_options).MoveValueOrDie();
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+};
+
+TEST_F(FaultInjectionTest, KitchenSinkAllFaultsAtOnce) {
+  // Everything misbehaving simultaneously — the realistic regime — must
+  // still yield only correct answers.
+  service::ServiceEngine engine(server_.get());
+  FaultRunOptions options;
+  options.load.num_clients = 6;
+  options.load.queries_per_client = 3;
+  options.load.seed = 777;
+  options.load.params.k = 8;
+  options.load.params.epsilon = 150.0;
+  options.load.params.anchor_distance = 400;
+  net::FaultRates rates;
+  rates.drop = 0.08;
+  rates.duplicate = 0.08;
+  rates.reorder = 0.08;
+  rates.corrupt = 0.08;
+  rates.stall = 0.04;
+  rates.disconnect = 0.02;
+  options.fault.uplink = rates;
+  options.fault.downlink = rates;
+
+  auto run = RunFaultedWorkload(&engine, server_->domain(), options);
+  ASSERT_TRUE(run.ok());
+  auto reference = RunReferencePerQueryDigests(server_.get(), options.load);
+  ASSERT_TRUE(reference.ok());
+
+  EXPECT_GT(run->queries_succeeded, 0u);
+  for (size_t c = 0; c < run->digests.size(); ++c) {
+    for (size_t q = 0; q < run->digests[c].size(); ++q) {
+      if (!run->succeeded[c][q]) continue;
+      EXPECT_TRUE(run->digests[c][q] == (*reference)[c][q])
+          << "client " << c << " query " << q;
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, PerMessageTypeOverridesScopeTheFaults) {
+  // Loss confined to Pull traffic: Open and Close stay clean, so the run
+  // must see zero reopens yet plenty of pull retries.
+  service::ServiceEngine engine(server_.get());
+  FaultRunOptions options;
+  options.load.num_clients = 3;
+  options.load.queries_per_client = 2;
+  options.load.params.k = 4;
+  options.load.params.anchor_distance = 300;
+  net::FaultRates lossy;
+  lossy.drop = 0.25;
+  options.fault.downlink_overrides.emplace_back(
+      net::MessageType::kPullRequest, lossy);
+
+  auto run = RunFaultedWorkload(&engine, server_->domain(), options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->queries_succeeded, run->queries_attempted);
+  EXPECT_GT(run->faults.drops, 0u);
+  EXPECT_EQ(run->retry.reopens, 0u);
+  for (const auto& log : run->fault_logs) {
+    for (const net::FaultEvent& event : log) {
+      EXPECT_EQ(event.request_type, net::MessageType::kPullRequest)
+          << net::ToString(event);
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, FaultLogReplaysTheRun) {
+  // The log is not decorative: replaying the transport with the same seed
+  // against a fresh engine reproduces the exact same event sequence, which
+  // is what makes any failure from a (seed, config) pair debuggable.
+  service::ServiceEngine engine(server_.get());
+  FaultRunOptions options;
+  options.load.num_clients = 2;
+  options.load.queries_per_client = 2;
+  options.load.params.anchor_distance = 250;
+  options.fault.uplink.drop = 0.1;
+  options.fault.downlink.drop = 0.1;
+  options.fault.downlink.corrupt = 0.1;
+
+  auto run = RunFaultedWorkload(&engine, server_->domain(), options);
+  ASSERT_TRUE(run.ok());
+  size_t events = 0;
+  for (const auto& log : run->fault_logs) events += log.size();
+  ASSERT_GT(events, 0u);
+
+  service::ServiceEngine replay_engine(server_.get());
+  auto replay = RunFaultedWorkload(&replay_engine, server_->domain(), options);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->fault_logs.size(), run->fault_logs.size());
+  for (size_t c = 0; c < run->fault_logs.size(); ++c) {
+    ASSERT_EQ(replay->fault_logs[c].size(), run->fault_logs[c].size());
+    for (size_t i = 0; i < run->fault_logs[c].size(); ++i) {
+      EXPECT_TRUE(SameEvent(replay->fault_logs[c][i], run->fault_logs[c][i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spacetwist::eval

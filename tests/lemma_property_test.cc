@@ -8,9 +8,12 @@
 #include "common/rng.h"
 #include "core/spacetwist_client.h"
 #include "datasets/generator.h"
+#include "eval/fault_sweep.h"
+#include "net/faulty_transport.h"
 #include "privacy/observation.h"
 #include "privacy/region.h"
 #include "server/lbs_server.h"
+#include "service/service_engine.h"
 
 namespace spacetwist {
 namespace {
@@ -83,6 +86,67 @@ TEST_P(LemmaSweepTest, Lemma1ExactnessLemma2BoundAndPsiSoundness) {
     if (!outcome->stream_exhausted) {
       EXPECT_LE(outcome->gamma + geom::Distance(q, outcome->anchor),
                 outcome->tau + 1e-9);
+    }
+  }
+}
+
+TEST(FaultedLemmaPropertyTest, RetrySuccessImpliesFaultFreeDigest) {
+  // Lemma 1, end-to-end under an adversarial link: for randomized datasets,
+  // workloads, and fault schedules, any query for which the retry layer
+  // reports success must produce a digest (kNN ids + distance bits + packet
+  // count) byte-identical to the fault-free reference. Faults may cost
+  // retries and backoff; they may never change an answer.
+  for (const uint64_t seed : {11ull, 3202ull, 909090ull}) {
+    Rng rng(seed);
+    const size_t n = static_cast<size_t>(rng.UniformInt(4000, 12000));
+    datasets::Dataset ds;
+    if (rng.Bernoulli(0.5)) {
+      ds = datasets::GenerateUniform(n, seed);
+    } else {
+      datasets::ClusterParams cluster;
+      cluster.num_clusters = 20;
+      cluster.sigma = 150;
+      cluster.background_fraction = 0.05;
+      ds = datasets::GenerateClustered(n, cluster, seed);
+    }
+    rtree::RTreeOptions rtree_options;
+    rtree_options.concurrent_reads = true;
+    auto server = server::LbsServer::Build(ds, rtree_options).MoveValueOrDie();
+    service::ServiceEngine engine(server.get());
+
+    eval::FaultRunOptions options;
+    options.load.num_clients = 3;
+    options.load.queries_per_client = 2;
+    options.load.seed = rng.Next();
+    options.load.params.k = static_cast<size_t>(rng.UniformInt(1, 16));
+    options.load.params.epsilon =
+        rng.Bernoulli(0.5) ? 0.0 : rng.Uniform(50, 500);
+    options.load.params.anchor_distance = rng.Uniform(100, 800);
+    options.fault_seed = rng.Next();
+    options.retry_seed = rng.Next();
+    net::FaultRates rates;
+    rates.drop = rng.Uniform(0, 0.15);
+    rates.duplicate = rng.Uniform(0, 0.15);
+    rates.reorder = rng.Uniform(0, 0.15);
+    rates.corrupt = rng.Uniform(0, 0.15);
+    rates.stall = rng.Uniform(0, 0.08);
+    rates.disconnect = rng.Uniform(0, 0.03);
+    options.fault.uplink = rates;
+    options.fault.downlink = rates;
+
+    auto run = eval::RunFaultedWorkload(&engine, server->domain(), options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    auto reference =
+        eval::RunReferencePerQueryDigests(server.get(), options.load);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+    ASSERT_EQ(run->digests.size(), reference->size());
+    for (size_t c = 0; c < run->digests.size(); ++c) {
+      for (size_t q = 0; q < run->digests[c].size(); ++q) {
+        if (!run->succeeded[c][q]) continue;
+        EXPECT_TRUE(run->digests[c][q] == (*reference)[c][q])
+            << "seed " << seed << " client " << c << " query " << q;
+      }
     }
   }
 }

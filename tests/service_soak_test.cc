@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/generator.h"
+#include "net/wire.h"
+#include "server/lbs_server.h"
+#include "service/service_engine.h"
+
+namespace spacetwist::service {
+namespace {
+
+/// Concurrency soak for ServiceEngine: many client threads churning
+/// open/pull/close against a deliberately tiny session cap while idle-TTL
+/// eviction (driven by an injectable virtual clock) races the active
+/// pulls. Runs under the TSan CI job; the assertions here are the
+/// *accounting invariants* that must survive any interleaving — kNotFound
+/// from a racing eviction is legal, lost sessions or corrupted counters
+/// are not.
+
+class ServiceSoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(2000, 4711);
+    rtree::RTreeOptions rtree_options;
+    rtree_options.concurrent_reads = true;
+    server_ =
+        server::LbsServer::Build(dataset_, rtree_options).MoveValueOrDie();
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+};
+
+TEST_F(ServiceSoakTest, OpenPullCloseChurnRacingTtlEviction) {
+  std::atomic<uint64_t> clock_ns{1};
+
+  ServiceOptions options;
+  options.num_shards = 4;
+  options.max_sessions = 8;  // small cap => constant backpressure
+  options.idle_ttl_ns = 2'000;
+  options.clock = [&clock_ns] { return clock_ns.load(); };
+  ServiceEngine engine(server_.get(), options);
+
+  constexpr size_t kThreads = 8;
+  constexpr int kIterations = 300;
+
+  std::atomic<bool> stop_evictor{false};
+  std::atomic<uint64_t> protocol_violations{0};
+
+  std::thread evictor([&] {
+    while (!stop_evictor.load(std::memory_order_relaxed)) {
+      clock_ns.fetch_add(1'500, std::memory_order_relaxed);
+      engine.EvictIdle();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (int iter = 0; iter < kIterations; ++iter) {
+        const geom::Point anchor{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+
+        // A third of the traffic goes through the wire path to exercise
+        // HandleFrame (including its decode-error branch) concurrently.
+        if (rng.Bernoulli(0.1)) {
+          std::vector<uint8_t> garbage(
+              static_cast<size_t>(rng.UniformInt(0, 32)));
+          for (uint8_t& b : garbage) {
+            b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+          }
+          (void)engine.HandleFrame(garbage);  // must never crash
+        }
+
+        auto id = engine.Open(anchor, 0.0, 1 + rng.UniformInt(0, 3));
+        if (!id.ok()) {
+          if (!id.status().IsResourceExhausted()) {
+            protocol_violations.fetch_add(1, std::memory_order_relaxed);
+          }
+          continue;  // backpressure: try again next iteration
+        }
+
+        const int pulls = static_cast<int>(rng.UniformInt(0, 4));
+        uint64_t seq = 0;
+        for (int p = 0; p < pulls; ++p) {
+          auto packet = rng.Bernoulli(0.5) ? engine.Pull(*id)
+                                           : engine.Pull(*id, seq);
+          if (packet.ok()) {
+            ++seq;
+            // Occasional idempotent replay of the packet just served.
+            if (rng.Bernoulli(0.3)) (void)engine.Pull(*id, seq - 1);
+            continue;
+          }
+          // A racing TTL sweep may evict us mid-stream; anything else
+          // (other than a dry stream) is a bug.
+          if (!packet.status().IsNotFound() &&
+              !packet.status().IsExhausted()) {
+            protocol_violations.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+
+        if (rng.Bernoulli(0.7)) {
+          const Status close = engine.Close(*id);
+          if (!close.ok() && !close.IsNotFound()) {
+            protocol_violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        // else: abandon the session — TTL eviction must reclaim it.
+
+        if (rng.Bernoulli(0.2)) {
+          clock_ns.fetch_add(500, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  stop_evictor.store(true);
+  evictor.join();
+
+  EXPECT_EQ(protocol_violations.load(), 0u);
+
+  // Push the clock far past the TTL so the final sweep reclaims every
+  // abandoned session.
+  clock_ns.fetch_add(1'000'000'000, std::memory_order_relaxed);
+  engine.EvictIdle();
+
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(engine.open_sessions(), 0u);
+  // Every opened session is accounted for exactly once: closed or evicted.
+  EXPECT_EQ(metrics.sessions_opened,
+            metrics.sessions_closed + metrics.sessions_evicted);
+  EXPECT_GT(metrics.sessions_opened, 0u);
+  EXPECT_GT(metrics.sessions_evicted, 0u);  // abandonment actually happened
+  EXPECT_GT(metrics.decode_errors, 0u);     // garbage frames actually sent
+  // The cap was genuinely contended.
+  EXPECT_GT(metrics.sessions_rejected, 0u);
+}
+
+TEST_F(ServiceSoakTest, EvictionRacingActivePullsKeepsCountersCoherent) {
+  std::atomic<uint64_t> clock_ns{1};
+
+  ServiceOptions options;
+  options.num_shards = 2;
+  options.max_sessions = 4;
+  options.idle_ttl_ns = 1;  // everything is instantly evictable
+  options.clock = [&clock_ns] { return clock_ns.load(); };
+  ServiceEngine engine(server_.get(), options);
+
+  // One thread hammers a single session with pulls (each pull refreshes
+  // last_touch); another advances time and sweeps. The session dies the
+  // moment a sweep wins the race — after which every pull must be a clean
+  // kNotFound, never a torn read.
+  auto id = engine.Open({5000, 5000}, 0.0, 1);
+  ASSERT_TRUE(id.ok());
+
+  std::atomic<bool> done{false};
+  std::thread sweeper([&] {
+    for (int i = 0; i < 2000; ++i) {
+      clock_ns.fetch_add(3, std::memory_order_relaxed);
+      engine.EvictIdle();
+    }
+    done.store(true);
+  });
+
+  uint64_t ok_pulls = 0;
+  uint64_t not_found = 0;
+  uint64_t other = 0;  // dry stream / replay-window rejections
+  uint64_t seq = 0;
+  while (!done.load(std::memory_order_relaxed)) {
+    auto packet = engine.Pull(*id, seq);
+    if (packet.ok()) {
+      ++ok_pulls;
+      ++seq;
+    } else if (packet.status().IsNotFound()) {
+      ++not_found;
+    } else if (packet.status().IsExhausted() ||
+               packet.status().IsInvalidArgument()) {
+      ++other;
+    } else {
+      ADD_FAILURE() << packet.status().ToString();
+      break;
+    }
+  }
+  sweeper.join();
+
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(metrics.sessions_opened,
+            metrics.sessions_closed + metrics.sessions_evicted +
+                engine.open_sessions());
+  // Every pull this thread issued is accounted exactly once — no counter
+  // increments were lost to the racing sweeps.
+  EXPECT_EQ(metrics.pull_requests, ok_pulls + not_found + other);
+}
+
+}  // namespace
+}  // namespace spacetwist::service

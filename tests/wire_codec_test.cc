@@ -41,10 +41,11 @@ Request RandomRequest(Rng* rng) {
       open.anchor = {rng->Uniform(-1e6, 1e6), rng->Uniform(-1e6, 1e6)};
       open.epsilon = rng->Uniform(0, 5000);
       open.k = static_cast<uint32_t>(rng->UniformInt(1, 1 << 20));
+      open.nonce = rng->Next();
       return open;
     }
     case 1:
-      return PullRequest{rng->Next()};
+      return PullRequest{rng->Next(), rng->Next()};
     default:
       return CloseRequest{rng->Next()};
   }
@@ -53,15 +54,17 @@ Request RandomRequest(Rng* rng) {
 Response RandomResponse(Rng* rng) {
   switch (rng->UniformInt(0, 3)) {
     case 0:
-      return OpenOk{rng->Next()};
+      return OpenOk{rng->Next(), rng->Next()};
     case 1:
       return PacketReply{
+          rng->Next(), rng->Next(),
           RandomPacket(rng, static_cast<size_t>(rng->UniformInt(0, 200)))};
     case 2:
-      return CloseOk{};
+      return CloseOk{rng->Next()};
     default: {
       ErrorReply error;
-      error.code = static_cast<StatusCode>(rng->UniformInt(1, 9));
+      error.code = static_cast<StatusCode>(rng->UniformInt(1, kMaxStatusCode));
+      error.session_id = rng->Next();
       const size_t len = static_cast<size_t>(rng->UniformInt(0, 64));
       for (size_t i = 0; i < len; ++i) {
         error.message.push_back(
@@ -69,6 +72,20 @@ Response RandomResponse(Rng* rng) {
       }
       return error;
     }
+  }
+}
+
+/// Recomputes a hand-patched frame's checksum (over type byte + payload) so
+/// tests can corrupt a *payload field* without tripping the integrity check.
+void ResealChecksum(std::vector<uint8_t>* frame) {
+  ASSERT_GE(frame->size(), 9u);
+  std::vector<uint8_t> protected_region;
+  protected_region.push_back((*frame)[4]);  // type byte
+  protected_region.insert(protected_region.end(), frame->begin() + 9,
+                          frame->end());
+  const uint32_t crc = Crc32(protected_region.data(), protected_region.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    (*frame)[5 + shift / 8] = static_cast<uint8_t>(crc >> shift);
   }
 }
 
@@ -116,7 +133,7 @@ TEST_P(WireCodecSweepTest, EveryTruncationFailsCleanly) {
   }
 }
 
-TEST_P(WireCodecSweepTest, SingleByteCorruptionNeverCrashes) {
+TEST_P(WireCodecSweepTest, SingleByteCorruptionAlwaysDetected) {
   Rng rng(GetParam() + 31);
   for (int trial = 0; trial < 10; ++trial) {
     Response response = RandomResponse(&rng);
@@ -128,13 +145,14 @@ TEST_P(WireCodecSweepTest, SingleByteCorruptionNeverCrashes) {
     for (size_t pos = 0; pos < frame.size(); ++pos) {
       std::vector<uint8_t> corrupt = frame;
       corrupt[pos] ^= static_cast<uint8_t>(1 + rng.UniformInt(0, 254));
-      // A flipped payload byte may still decode (the payload carries no
-      // checksum); the property is that decoding is total: it either
-      // returns a value or an error Status, and never reads out of bounds.
+      // Every single-byte flip must be *detected*: the length/type checks
+      // catch header damage and the CRC-32 covers type + payload, so a
+      // corrupted frame can never decode into a structurally valid message
+      // with silently wrong data.
       auto decoded = DecodeResponse(corrupt);
-      if (!decoded.ok()) {
-        EXPECT_FALSE(decoded.status().message().empty());
-      }
+      ASSERT_FALSE(decoded.ok())
+          << "flip at byte " << pos << " decoded successfully";
+      EXPECT_FALSE(decoded.status().message().empty());
     }
   }
 }
@@ -151,9 +169,10 @@ TEST(WireCodecTest, EmptyAndTinyBuffersAreRejected) {
 }
 
 TEST(WireCodecTest, HugeDeclaredLengthIsRejectedWithoutAllocating) {
-  // Header claims a 256 MiB payload; the frame itself is 5 bytes.
+  // Header claims a 256 MiB payload; the frame holds only the 9-byte header.
   std::vector<uint8_t> frame = {0x00, 0x00, 0x00, 0x10,
-                                static_cast<uint8_t>(MessageType::kPacket)};
+                                static_cast<uint8_t>(MessageType::kPacket),
+                                0x00, 0x00, 0x00, 0x00};
   EXPECT_TRUE(DecodeResponse(frame).status().IsCorruption());
 }
 
@@ -179,14 +198,21 @@ TEST(WireCodecTest, UnknownTypeTagIsCorruption) {
 
 TEST(WireCodecTest, ErrorReplyCodeZeroIsRejected) {
   // An ErrorReply claiming kOk is nonsense; the decoder must refuse it so
-  // ToStatus can never produce an OK status from an error frame.
+  // ToStatus can never produce an OK status from an error frame. The frame
+  // is resealed after each patch so the *semantic* check is exercised, not
+  // the checksum.
   ErrorReply error;
   error.code = StatusCode::kNotFound;
   error.message = "x";
   std::vector<uint8_t> frame = EncodeResponse(error);
-  frame[5] = 0;  // first payload byte holds the status code
+  frame[9] = 0;  // first payload byte holds the status code
+  ResealChecksum(&frame);
   EXPECT_TRUE(DecodeResponse(frame).status().IsCorruption());
-  frame[5] = 200;  // far beyond the last defined code
+  frame[9] = 200;  // far beyond the last defined code
+  ResealChecksum(&frame);
+  EXPECT_TRUE(DecodeResponse(frame).status().IsCorruption());
+  frame[9] = static_cast<uint8_t>(kMaxStatusCode) + 1;  // first undefined
+  ResealChecksum(&frame);
   EXPECT_TRUE(DecodeResponse(frame).status().IsCorruption());
 }
 
@@ -199,12 +225,41 @@ TEST(WireCodecTest, ToStatusPreservesCodeAndMessage) {
   EXPECT_EQ(status.message(), "session limit");
 }
 
+TEST(WireCodecTest, EveryStatusCodeRoundTripsThroughTheWire) {
+  // Exhaustive: each non-OK StatusCode (1 .. kMaxStatusCode, including
+  // kDeadlineExceeded) must survive Status -> ErrorReply -> frame ->
+  // ErrorReply -> Status with its code and message intact. Guards against
+  // a new enum value being added without a wire mapping.
+  for (int code = 1; code <= kMaxStatusCode; ++code) {
+    const Status original(static_cast<StatusCode>(code), "probe message");
+    ErrorReply error;
+    error.code = original.code();
+    error.session_id = 0x1234u + static_cast<uint64_t>(code);
+    error.message = original.message();
+    const std::vector<uint8_t> frame = EncodeResponse(error);
+    auto decoded = DecodeResponse(frame);
+    ASSERT_TRUE(decoded.ok()) << "code " << code << ": "
+                              << decoded.status().ToString();
+    const auto* reply = std::get_if<ErrorReply>(&*decoded);
+    ASSERT_NE(reply, nullptr) << "code " << code;
+    EXPECT_EQ(reply->session_id, error.session_id);
+    const Status round_tripped = ToStatus(*reply);
+    EXPECT_EQ(round_tripped.code(), original.code()) << "code " << code;
+    EXPECT_EQ(round_tripped.message(), original.message()) << "code " << code;
+    // The human-readable name must also be defined (not the fallback).
+    EXPECT_NE(round_tripped.ToString().find("probe message"),
+              std::string::npos);
+  }
+}
+
 TEST(WireCodecTest, EncodedPacketSizeMatchesSpec) {
   Rng rng(9);
   const Packet packet = RandomPacket(&rng, 67);
-  const std::vector<uint8_t> frame = EncodeResponse(PacketReply{packet});
-  // frame = 4 (length) + 1 (type) + 2 (count) + 67 * 12 (points).
-  EXPECT_EQ(frame.size(), 4u + 1u + 2u + 67u * kWirePointBytes);
+  const std::vector<uint8_t> frame =
+      EncodeResponse(PacketReply{7, 3, packet});
+  // frame = 4 (length) + 1 (type) + 4 (checksum)
+  //       + 8 (session id) + 8 (seq) + 2 (count) + 67 * 12 (points).
+  EXPECT_EQ(frame.size(), 4u + 1u + 4u + 8u + 8u + 2u + 67u * kWirePointBytes);
 }
 
 }  // namespace

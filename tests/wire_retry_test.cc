@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/generator.h"
+#include "net/wire.h"
+#include "server/lbs_server.h"
+#include "service/service_engine.h"
+#include "service/wire_client.h"
+
+namespace spacetwist::service {
+namespace {
+
+/// Unit tests of the client retry/resume layer (WireSession) against a
+/// scripted transport: each failure mode of the link is injected at an
+/// exact, hand-picked round trip, and the session must recover with the
+/// documented semantics (idempotent re-pull, nonce/session/seq staleness
+/// rejection, re-open + fast-forward resume, at-least-once close, bounded
+/// budget). The statistical version of the same claims lives in
+/// fault_injection_test.cc.
+
+/// A FrameTransport whose behaviour is a test-provided hook; the hook sees
+/// the request frame, the 0-based round-trip index, and the wrapped
+/// handler, and returns whatever the "network" should.
+class ScriptedTransport : public net::FrameTransport {
+ public:
+  using Hook = std::function<Result<std::vector<uint8_t>>(
+      const std::vector<uint8_t>& frame, size_t index,
+      net::FrameHandler* inner)>;
+
+  ScriptedTransport(net::FrameHandler* inner, Hook hook)
+      : inner_(inner), hook_(std::move(hook)) {}
+
+  Result<std::vector<uint8_t>> RoundTrip(
+      const std::vector<uint8_t>& request_frame) override {
+    return hook_(request_frame, index_++, inner_);
+  }
+
+  size_t calls() const { return index_; }
+
+ private:
+  net::FrameHandler* inner_;
+  Hook hook_;
+  size_t index_ = 0;
+};
+
+net::MessageType TypeOf(const std::vector<uint8_t>& frame) {
+  return static_cast<net::MessageType>(frame.at(4));
+}
+
+std::vector<uint32_t> Ids(const net::Packet& packet) {
+  std::vector<uint32_t> ids;
+  ids.reserve(packet.points.size());
+  for (const rtree::DataPoint& p : packet.points) ids.push_back(p.id);
+  return ids;
+}
+
+class WireRetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = datasets::GenerateUniform(5000, 321);
+    rtree::RTreeOptions rtree_options;
+    rtree_options.concurrent_reads = true;
+    server_ =
+        server::LbsServer::Build(dataset_, rtree_options).MoveValueOrDie();
+    engine_ = std::make_unique<ServiceEngine>(server_.get());
+  }
+
+  /// First `n` packet id-lists of a fault-free session for `anchor`.
+  std::vector<std::vector<uint32_t>> ReferencePackets(const geom::Point& anchor,
+                                                      size_t n) {
+    auto session = WireSession::Open(engine_.get(), anchor, 0.0, 1);
+    EXPECT_TRUE(session.ok());
+    std::vector<std::vector<uint32_t>> packets;
+    for (size_t i = 0; i < n; ++i) {
+      auto packet = (*session)->NextPacket();
+      EXPECT_TRUE(packet.ok());
+      packets.push_back(Ids(*packet));
+    }
+    EXPECT_TRUE((*session)->Close().ok());
+    return packets;
+  }
+
+  datasets::Dataset dataset_;
+  std::unique_ptr<server::LbsServer> server_;
+  std::unique_ptr<ServiceEngine> engine_;
+};
+
+const geom::Point kAnchor{5000, 5000};
+
+TEST_F(WireRetryTest, BudgetExhaustionSurfacesAsDeadlineExceeded) {
+  ScriptedTransport transport(
+      engine_.get(), [](const auto&, size_t, net::FrameHandler*) {
+        return Result<std::vector<uint8_t>>(
+            Status::DeadlineExceeded("frame lost"));
+      });
+  RetryConfig retry;
+  retry.policy.max_attempts = 5;
+  auto session = WireSession::Open(&transport, kAnchor, 0.0, 1, retry);
+  EXPECT_TRUE(session.status().IsDeadlineExceeded());
+  EXPECT_EQ(transport.calls(), 5u);  // budget fully spent, then stop
+}
+
+TEST_F(WireRetryTest, BackoffIsAccountedDeterministicallyInVirtualTime) {
+  const auto flaky_open = [](const std::vector<uint8_t>& frame, size_t index,
+                             net::FrameHandler* inner)
+      -> Result<std::vector<uint8_t>> {
+    if (index < 3) return Status::DeadlineExceeded("frame lost");
+    return inner->HandleFrame(frame);
+  };
+  std::vector<uint64_t> slept;
+  RetryConfig retry;
+  retry.seed = 99;
+  retry.sleep = [&slept](uint64_t ns) { slept.push_back(ns); };
+
+  ScriptedTransport transport(engine_.get(), flaky_open);
+  auto session = WireSession::Open(&transport, kAnchor, 0.0, 1, retry);
+  ASSERT_TRUE(session.ok());
+  const RetryStats stats = (*session)->retry_stats();
+  EXPECT_EQ(stats.attempts, 4u);
+  EXPECT_EQ(stats.retries, 3u);
+  EXPECT_GT(stats.backoff_ns, 0u);
+  // The sleep hook sees exactly the accounted backoffs, and they grow
+  // (exponential base dominates the +/-25% jitter at these magnitudes).
+  ASSERT_EQ(slept.size(), 3u);
+  EXPECT_EQ(slept[0] + slept[1] + slept[2], stats.backoff_ns);
+  EXPECT_LT(slept[0], slept[1]);
+  EXPECT_LT(slept[1], slept[2]);
+
+  // Same retry seed, same schedule => identical virtual backoff.
+  ScriptedTransport transport2(engine_.get(), flaky_open);
+  auto session2 = WireSession::Open(&transport2, kAnchor, 0.0, 1, retry);
+  ASSERT_TRUE(session2.ok());
+  EXPECT_EQ((*session2)->retry_stats().backoff_ns, stats.backoff_ns);
+}
+
+TEST_F(WireRetryTest, LostPullReplyIsReplayedNotSkipped) {
+  const std::vector<std::vector<uint32_t>> reference =
+      ReferencePackets(kAnchor, 4);
+
+  // The reply to the first pull reaches the server but dies on the way
+  // back: the server has advanced, the client has not.
+  bool dropped = false;
+  ScriptedTransport transport(
+      engine_.get(),
+      [&dropped](const std::vector<uint8_t>& frame, size_t,
+                 net::FrameHandler* inner) -> Result<std::vector<uint8_t>> {
+        if (!dropped && TypeOf(frame) == net::MessageType::kPullRequest) {
+          dropped = true;
+          inner->HandleFrame(frame);  // server side effect happens
+          return Status::DeadlineExceeded("response frame lost");
+        }
+        return inner->HandleFrame(frame);
+      });
+  auto session = WireSession::Open(&transport, kAnchor, 0.0, 1);
+  ASSERT_TRUE(session.ok());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    auto packet = (*session)->NextPacket();
+    ASSERT_TRUE(packet.ok());
+    EXPECT_EQ(Ids(*packet), reference[i]) << "packet " << i;
+  }
+  EXPECT_TRUE((*session)->Close().ok());
+  // The retried pull was served from the engine's one-packet replay cache.
+  EXPECT_EQ(engine_->metrics().pulls_replayed, 1u);
+  EXPECT_EQ((*session)->retry_stats().retries, 1u);
+}
+
+TEST_F(WireRetryTest, DisconnectReopensAndResumesMidStream) {
+  const std::vector<std::vector<uint32_t>> reference =
+      ReferencePackets(kAnchor, 5);
+
+  size_t pulls_delivered = 0;
+  bool injected = false;
+  ScriptedTransport transport(
+      engine_.get(),
+      [&](const std::vector<uint8_t>& frame, size_t,
+          net::FrameHandler* inner) -> Result<std::vector<uint8_t>> {
+        if (TypeOf(frame) == net::MessageType::kPullRequest) {
+          if (pulls_delivered == 2 && !injected) {
+            injected = true;
+            return Status::IoError("connection reset");
+          }
+          ++pulls_delivered;
+        }
+        return inner->HandleFrame(frame);
+      });
+  auto session = WireSession::Open(&transport, kAnchor, 0.0, 1);
+  ASSERT_TRUE(session.ok());
+  const uint64_t first_session = (*session)->session_id();
+  for (size_t i = 0; i < reference.size(); ++i) {
+    auto packet = (*session)->NextPacket();
+    ASSERT_TRUE(packet.ok()) << packet.status().ToString();
+    EXPECT_EQ(Ids(*packet), reference[i]) << "packet " << i;
+  }
+  EXPECT_NE((*session)->session_id(), first_session);
+  EXPECT_EQ((*session)->retry_stats().reopens, 1u);
+  // Three server sessions: the reference run, the original, the re-open.
+  EXPECT_EQ(engine_->metrics().sessions_opened, 3u);
+  EXPECT_TRUE((*session)->Close().ok());
+}
+
+TEST_F(WireRetryTest, ServerSideEvictionReopensAndResumes) {
+  const std::vector<std::vector<uint32_t>> reference =
+      ReferencePackets(kAnchor, 3);
+
+  auto session = WireSession::Open(engine_.get(), kAnchor, 0.0, 1);
+  ASSERT_TRUE(session.ok());
+  auto first = (*session)->NextPacket();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(Ids(*first), reference[0]);
+
+  // The engine evicts the session behind the client's back (idle TTL in
+  // production; a direct Close here). The next pull sees kNotFound and the
+  // session must re-open and fast-forward to packet 1.
+  ASSERT_TRUE(engine_->Close((*session)->session_id()).ok());
+  for (size_t i = 1; i < reference.size(); ++i) {
+    auto packet = (*session)->NextPacket();
+    ASSERT_TRUE(packet.ok()) << packet.status().ToString();
+    EXPECT_EQ(Ids(*packet), reference[i]) << "packet " << i;
+  }
+  EXPECT_EQ((*session)->retry_stats().reopens, 1u);
+  EXPECT_TRUE((*session)->Close().ok());
+}
+
+TEST_F(WireRetryTest, StaleOpenOkIsRejectedByNonce) {
+  ScriptedTransport transport(
+      engine_.get(),
+      [](const std::vector<uint8_t>& frame, size_t index,
+         net::FrameHandler* inner) -> Result<std::vector<uint8_t>> {
+        if (index == 0) {
+          // A stale OpenOk from some earlier query: wrong nonce, wrong id.
+          return net::EncodeResponse(net::OpenOk{999, 0xBAD});
+        }
+        return inner->HandleFrame(frame);
+      });
+  auto session = WireSession::Open(&transport, kAnchor, 0.0, 1);
+  ASSERT_TRUE(session.ok());
+  EXPECT_NE((*session)->session_id(), 999u);
+  EXPECT_EQ((*session)->retry_stats().stale_replies, 1u);
+  auto packet = (*session)->NextPacket();
+  EXPECT_TRUE(packet.ok());
+  EXPECT_TRUE((*session)->Close().ok());
+}
+
+TEST_F(WireRetryTest, StalePacketReplyIsRejectedBySessionAndSeq) {
+  const std::vector<std::vector<uint32_t>> reference =
+      ReferencePackets(kAnchor, 2);
+
+  bool injected = false;
+  ScriptedTransport transport(
+      engine_.get(),
+      [&injected](const std::vector<uint8_t>& frame, size_t,
+                  net::FrameHandler* inner) -> Result<std::vector<uint8_t>> {
+        if (!injected && TypeOf(frame) == net::MessageType::kPullRequest) {
+          injected = true;
+          // A straggler packet of a dead session must not be consumed.
+          return net::EncodeResponse(
+              net::PacketReply{/*session_id=*/9999, /*seq=*/0, net::Packet{}});
+        }
+        return inner->HandleFrame(frame);
+      });
+  auto session = WireSession::Open(&transport, kAnchor, 0.0, 1);
+  ASSERT_TRUE(session.ok());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    auto packet = (*session)->NextPacket();
+    ASSERT_TRUE(packet.ok());
+    EXPECT_EQ(Ids(*packet), reference[i]) << "packet " << i;
+  }
+  EXPECT_EQ((*session)->retry_stats().stale_replies, 1u);
+  EXPECT_TRUE((*session)->Close().ok());
+}
+
+TEST_F(WireRetryTest, CloseIsAtLeastOnce) {
+  bool dropped = false;
+  ScriptedTransport transport(
+      engine_.get(),
+      [&dropped](const std::vector<uint8_t>& frame, size_t,
+                 net::FrameHandler* inner) -> Result<std::vector<uint8_t>> {
+        if (!dropped && TypeOf(frame) == net::MessageType::kCloseRequest) {
+          dropped = true;
+          inner->HandleFrame(frame);  // the server does close the session
+          return Status::DeadlineExceeded("response frame lost");
+        }
+        return inner->HandleFrame(frame);
+      });
+  auto session = WireSession::Open(&transport, kAnchor, 0.0, 1);
+  ASSERT_TRUE(session.ok());
+  // The retried close finds nothing (kNotFound) — which proves the first
+  // attempt landed, so Close reports success.
+  EXPECT_TRUE((*session)->Close().ok());
+  EXPECT_TRUE((*session)->closed());
+  EXPECT_EQ(engine_->metrics().sessions_closed, 1u);
+  EXPECT_EQ(engine_->open_sessions(), 0u);
+}
+
+TEST_F(WireRetryTest, GenuineRejectionsAreNotRetried) {
+  ServiceOptions options;
+  options.max_sessions = 1;
+  ServiceEngine capped(server_.get(), options);
+  auto occupant = capped.Open(kAnchor, 0.0, 1);
+  ASSERT_TRUE(occupant.ok());
+
+  ScriptedTransport transport(
+      &capped, [](const std::vector<uint8_t>& frame, size_t,
+                  net::FrameHandler* inner) { return inner->HandleFrame(frame); });
+  auto session = WireSession::Open(&transport, kAnchor, 0.0, 1);
+  EXPECT_TRUE(session.status().IsResourceExhausted());
+  EXPECT_EQ(transport.calls(), 1u);  // backpressure must not be hammered
+}
+
+TEST_F(WireRetryTest, SequencedPullReplayWindowSemantics) {
+  auto id = engine_->Open(kAnchor, 0.0, 1);
+  ASSERT_TRUE(id.ok());
+  auto first = engine_->Pull(*id, 0);
+  ASSERT_TRUE(first.ok());
+  // Replaying the served packet is idempotent and byte-identical.
+  auto replay = engine_->Pull(*id, 0);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(Ids(*replay), Ids(*first));
+  // Jumping past the replay window is a protocol error...
+  EXPECT_TRUE(engine_->Pull(*id, 2).status().IsInvalidArgument());
+  // ...and so is reaching behind it.
+  auto second = engine_->Pull(*id, 1);
+  ASSERT_TRUE(second.ok());
+  auto third = engine_->Pull(*id, 2);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(engine_->Pull(*id, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(engine_->Close(*id).ok());
+  EXPECT_EQ(engine_->metrics().pulls_replayed, 1u);
+}
+
+}  // namespace
+}  // namespace spacetwist::service

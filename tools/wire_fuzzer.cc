@@ -1,0 +1,38 @@
+// libFuzzer entry point for the wire codec (built only with
+// -DSPACETWIST_FUZZ=ON, which requires a clang toolchain:
+//
+//   cmake -B build-fuzz -DSPACETWIST_FUZZ=ON \
+//         -DCMAKE_CXX_COMPILER=clang++ -DSPACETWIST_SANITIZE=address
+//   cmake --build build-fuzz --target wire_fuzzer
+//   ./build-fuzz/tools/wire_fuzzer corpus/
+//
+// The coverage-guided search explores the same property the deterministic
+// structured fuzzer (tests/wire_fuzz_test.cc) sweeps with a fixed budget:
+// DecodeRequest / DecodeResponse are total on arbitrary bytes — a value or
+// an error Status, never a crash, never an out-of-bounds read.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using spacetwist::net::DecodeRequest;
+  using spacetwist::net::DecodeResponse;
+
+  auto request = DecodeRequest(data, size);
+  if (request.ok()) {
+    // A frame that decodes must re-encode and decode to the same message
+    // (encode is canonical, so the round trip is a strict check).
+    const auto frame = spacetwist::net::EncodeRequest(*request);
+    auto again = DecodeRequest(frame.data(), frame.size());
+    if (!again.ok() || !(*again == *request)) __builtin_trap();
+  }
+  auto response = DecodeResponse(data, size);
+  if (response.ok()) {
+    const auto frame = spacetwist::net::EncodeResponse(*response);
+    auto again = DecodeResponse(frame.data(), frame.size());
+    if (!again.ok() || !(*again == *response)) __builtin_trap();
+  }
+  return 0;
+}
