@@ -1,0 +1,79 @@
+#ifndef SPACETWIST_COMMON_MUTEX_H_
+#define SPACETWIST_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace spacetwist {
+
+/// Annotated std::mutex wrapper. Concurrent classes use `Mutex` (not a raw
+/// std::mutex) so the clang thread-safety analysis can verify that every
+/// access to a `GUARDED_BY(mu_)` member actually holds the lock. Lock it
+/// with the scoped `MutexLock` below; call Lock()/Unlock() directly only in
+/// code that cannot use a scope (and keep the annotations honest).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Underlying handle, for CondVar's adopt/release dance only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for `Mutex`, annotated so clang tracks the critical section:
+///
+///   MutexLock lock(&mu_);
+///   // GUARDED_BY(mu_) members may be touched here
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with `Mutex`. Wait() atomically releases and
+/// re-acquires the mutex like std::condition_variable::wait; the REQUIRES
+/// annotation makes clang verify the caller holds the lock around the wait.
+/// Spurious wakeups are possible — always wait in a loop re-checking the
+/// guarded predicate.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    // Adopt the already-held lock for the wait, then release the guard so
+    // ownership stays with the caller's MutexLock on return.
+    std::unique_lock<std::mutex> lock(mu->native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace spacetwist
+
+#endif  // SPACETWIST_COMMON_MUTEX_H_

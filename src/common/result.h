@@ -11,9 +11,10 @@ namespace spacetwist {
 
 /// Value-or-error wrapper in the style of arrow::Result<T>: holds either a
 /// `T` or a non-OK `Status`. Constructing a Result from an OK status is a
-/// programming error and aborts.
+/// programming error and aborts. `[[nodiscard]]` for the same reason as
+/// Status: a dropped Result is a dropped error (see status.h).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so functions can `return value;`.
   Result(T value)  // NOLINT(google-explicit-constructor)
@@ -30,7 +31,7 @@ class Result {
   Result(Result&&) = default;
   Result& operator=(Result&&) = default;
 
-  bool ok() const { return repr_.index() == 0; }
+  [[nodiscard]] bool ok() const { return repr_.index() == 0; }
 
   /// Status of the result: OK when a value is held.
   Status status() const {

@@ -34,7 +34,13 @@ const char* StatusCodeName(StatusCode code);
 /// `Status` (or `Result<T>`, see result.h) instead.
 ///
 /// The OK status is cheap to construct and copy (no allocation).
-class Status {
+///
+/// `[[nodiscard]]` on the class makes every function returning a Status by
+/// value warn (and fail CI, which builds with SPACETWIST_WERROR) when the
+/// caller drops the return: silently ignored errors are exactly how a
+/// privacy guarantee drifts. A deliberate discard must be spelled
+/// `(void)expr;` with a comment saying why it is safe.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -80,7 +86,7 @@ class Status {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -1,0 +1,69 @@
+#ifndef SPACETWIST_COMMON_THREAD_ANNOTATIONS_H_
+#define SPACETWIST_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety annotations (-Wthread-safety), compiled out on GCC
+/// and other compilers. The macros mirror the canonical names from
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so lock discipline
+/// is machine-checked at compile time on the clang CI leg:
+///
+///  * `GUARDED_BY(mu)` on a member means every read/write must hold `mu`.
+///  * `REQUIRES(mu)` on a function means callers must already hold `mu`.
+///  * `ACQUIRE(mu)` / `RELEASE(mu)` mark functions that take/drop the lock.
+///  * `CAPABILITY` / `SCOPED_CAPABILITY` mark the lock types themselves
+///    (see common/mutex.h for the annotated wrappers to use).
+///
+/// Use `NO_THREAD_SAFETY_ANALYSIS` only as a last resort, with a comment
+/// explaining why the analysis cannot see the invariant (docs/ANALYSIS.md).
+
+#if defined(__clang__)
+#define SPACETWIST_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SPACETWIST_THREAD_ANNOTATION__(x)  // no-op on GCC/MSVC
+#endif
+
+#define CAPABILITY(x) SPACETWIST_THREAD_ANNOTATION__(capability(x))
+
+#define SCOPED_CAPABILITY SPACETWIST_THREAD_ANNOTATION__(scoped_lockable)
+
+#define GUARDED_BY(x) SPACETWIST_THREAD_ANNOTATION__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) SPACETWIST_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  SPACETWIST_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  SPACETWIST_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  SPACETWIST_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  SPACETWIST_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  SPACETWIST_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  SPACETWIST_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  SPACETWIST_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  SPACETWIST_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  SPACETWIST_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) SPACETWIST_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  SPACETWIST_THREAD_ANNOTATION__(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) SPACETWIST_THREAD_ANNOTATION__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SPACETWIST_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // SPACETWIST_COMMON_THREAD_ANNOTATIONS_H_

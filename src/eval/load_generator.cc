@@ -5,9 +5,9 @@
 #include <bit>
 #include <chrono>
 #include <functional>
-#include <mutex>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "core/anchor.h"
 #include "service/thread_pool.h"
@@ -107,7 +107,7 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
   }
 
   std::atomic<bool> failed{false};
-  std::mutex error_mu;
+  Mutex error_mu;
   Status first_error;
 
   using Clock = std::chrono::steady_clock;
@@ -123,7 +123,7 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
     const Clock::time_point end = Clock::now();
     if (!outcome.ok()) {
       failed.store(true, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(error_mu);
+      MutexLock lock(&error_mu);
       if (first_error.ok()) first_error = outcome.status();
       return;
     }
@@ -143,7 +143,7 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
   const Clock::time_point wall_end = Clock::now();
 
   if (failed.load()) {
-    std::lock_guard<std::mutex> lock(error_mu);
+    MutexLock lock(&error_mu);
     return first_error;
   }
 

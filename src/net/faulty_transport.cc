@@ -105,6 +105,7 @@ void FaultyTransport::BeginDisconnect(Direction direction,
 
 Result<std::vector<uint8_t>> FaultyTransport::RoundTrip(
     const std::vector<uint8_t>& request_frame) {
+  MutexLock lock(&mu_);
   ++ops_;
   now_ns_ += config_.latency_ns;
   ++stats_.round_trips;

@@ -6,8 +6,10 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "net/wire.h"
 
 namespace spacetwist::net {
@@ -103,8 +105,11 @@ struct FaultStats {
   uint64_t disconnects = 0;
 };
 
-/// The lossy link. Not thread-safe: one FaultyTransport per client, like
-/// one socket per client. The wrapped handler may be shared across threads.
+/// The lossy link. Typical use is one FaultyTransport per client, like one
+/// socket per client; an internal annotated mutex nevertheless serializes
+/// the fault schedule, so accidental sharing degrades to interleaving
+/// instead of a data race. The wrapped handler may be shared across
+/// threads.
 class FaultyTransport : public FrameTransport {
  public:
   /// Borrows `inner`, which must outlive the transport.
@@ -117,31 +122,49 @@ class FaultyTransport : public FrameTransport {
   /// handle. Returns kDeadlineExceeded for lost/stalled frames and
   /// kIoError while disconnected; corrupted replies are returned as-is
   /// (the codec checksum turns them into kCorruption at decode time).
+  /// Takes mu_ internally (no annotation: attribute placement on virtual
+  /// overrides is compiler-picky; the guarded helpers below carry REQUIRES).
   Result<std::vector<uint8_t>> RoundTrip(
       const std::vector<uint8_t>& request_frame) override;
 
   const FaultConfig& config() const { return config_; }
-  const std::vector<FaultEvent>& log() const { return log_; }
-  const FaultStats& stats() const { return stats_; }
-  uint64_t now_ns() const { return now_ns_; }
+  /// Snapshots of the mutable state, taken under the lock so they are
+  /// consistent even if the transport is (atypically) shared.
+  std::vector<FaultEvent> log() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return log_;
+  }
+  FaultStats stats() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+  uint64_t now_ns() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return now_ns_;
+  }
 
  private:
   MessageType PeekType(const std::vector<uint8_t>& frame) const;
-  bool Fire(double rate) { return rate > 0.0 && rng_.Bernoulli(rate); }
-  void Record(Direction direction, MessageType request, FaultKind kind);
-  void FlipByte(std::vector<uint8_t>* frame);
-  void HoldBack(std::vector<uint8_t> frame);
-  void BeginDisconnect(Direction direction, MessageType request);
+  bool Fire(double rate) REQUIRES(mu_) {
+    return rate > 0.0 && rng_.Bernoulli(rate);
+  }
+  void Record(Direction direction, MessageType request, FaultKind kind)
+      REQUIRES(mu_);
+  void FlipByte(std::vector<uint8_t>* frame) REQUIRES(mu_);
+  void HoldBack(std::vector<uint8_t> frame) REQUIRES(mu_);
+  void BeginDisconnect(Direction direction, MessageType request)
+      REQUIRES(mu_);
 
   FrameHandler* inner_;
   FaultConfig config_;
-  Rng rng_;
-  uint64_t now_ns_ = 0;
-  uint64_t ops_ = 0;
-  size_t down_ops_left_ = 0;
-  std::deque<std::vector<uint8_t>> holdback_;
-  std::vector<FaultEvent> log_;
-  FaultStats stats_;
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  uint64_t now_ns_ GUARDED_BY(mu_) = 0;
+  uint64_t ops_ GUARDED_BY(mu_) = 0;
+  size_t down_ops_left_ GUARDED_BY(mu_) = 0;
+  std::deque<std::vector<uint8_t>> holdback_ GUARDED_BY(mu_);
+  std::vector<FaultEvent> log_ GUARDED_BY(mu_);
+  FaultStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace spacetwist::net

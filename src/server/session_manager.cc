@@ -16,6 +16,7 @@ Result<SessionId> SessionManager::Open(const geom::Point& anchor,
                                        double epsilon, size_t k) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   if (epsilon < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+  MutexLock lock(&mu_);
   if (sessions_.size() >= max_sessions_) {
     return Status::ResourceExhausted(
         StrFormat("session limit (%zu) reached", max_sessions_));
@@ -31,6 +32,7 @@ Result<SessionId> SessionManager::Open(const geom::Point& anchor,
 }
 
 Result<net::Packet> SessionManager::NextPacket(SessionId id) {
+  MutexLock lock(&mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return Status::NotFound(StrFormat(
@@ -40,6 +42,7 @@ Result<net::Packet> SessionManager::NextPacket(SessionId id) {
 }
 
 Status SessionManager::Close(SessionId id) {
+  MutexLock lock(&mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return Status::NotFound(StrFormat(
@@ -51,6 +54,7 @@ Status SessionManager::Close(SessionId id) {
 }
 
 size_t SessionManager::CloseAll() {
+  MutexLock lock(&mu_);
   const size_t count = sessions_.size();
   for (const auto& [id, session] : sessions_) Absorb(session);
   sessions_.clear();
@@ -58,6 +62,7 @@ size_t SessionManager::CloseAll() {
 }
 
 Result<net::ChannelStats> SessionManager::SessionStats(SessionId id) const {
+  MutexLock lock(&mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return Status::NotFound(StrFormat(

@@ -5,7 +5,9 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "geom/point.h"
 #include "net/channel.h"
 #include "net/packet.h"
@@ -22,7 +24,12 @@ using SessionId = uint64_t;
 /// and packet channel, enforces a session cap, and aggregates the
 /// transport counters across sessions — i.e. the piece that turns the
 /// library's single-query objects into a multi-client server loop.
-/// Single-threaded, like the rest of the simulation.
+///
+/// Thread-safe: one internal annotated mutex serializes the session table
+/// and counters (the shard-striped ServiceEngine is the concurrent-scale
+/// front end; this class favours simplicity). Concurrent use additionally
+/// requires the server's R-tree to be built with
+/// RTreeOptions::concurrent_reads.
 class SessionManager {
  public:
   /// Borrows `server`, which must outlive the manager. At most
@@ -34,30 +41,40 @@ class SessionManager {
   /// everything the server ever learns about a query. kResourceExhausted
   /// once `max_sessions` sessions are open (backpressure, not a bug).
   Result<SessionId> Open(const geom::Point& anchor, double epsilon,
-                         size_t k);
+                         size_t k) EXCLUDES(mu_);
 
   /// Pulls the session's next packet; kExhausted when the stream is dry
   /// and kNotFound for unknown/closed ids.
-  Result<net::Packet> NextPacket(SessionId id);
+  Result<net::Packet> NextPacket(SessionId id) EXCLUDES(mu_);
 
   /// Closes a session. Not idempotent: closing an unknown or already-closed
   /// id returns kNotFound — the client is misbehaving and should know.
-  Status Close(SessionId id);
+  Status Close(SessionId id) EXCLUDES(mu_);
 
   /// Closes every open session (absorbing their counters into the totals)
   /// and returns how many there were. Lets a shutdown or sweep account for
   /// sessions that clients abandoned without closing.
-  size_t CloseAll();
+  size_t CloseAll() EXCLUDES(mu_);
 
   /// Transport counters of one open session — the per-session packet count
   /// a front end needs for metering without reaching into channels.
-  Result<net::ChannelStats> SessionStats(SessionId id) const;
+  Result<net::ChannelStats> SessionStats(SessionId id) const EXCLUDES(mu_);
 
-  size_t open_sessions() const { return sessions_.size(); }
-  uint64_t sessions_opened() const { return sessions_opened_; }
+  size_t open_sessions() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return sessions_.size();
+  }
+  uint64_t sessions_opened() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return sessions_opened_;
+  }
   /// Transport totals over every *retired* (closed or CloseAll-swept)
-  /// session; still-open sessions contribute once they retire.
-  const net::ChannelStats& total_stats() const { return totals_; }
+  /// session; still-open sessions contribute once they retire. Returned by
+  /// value so the snapshot is consistent under concurrency.
+  net::ChannelStats total_stats() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return totals_;
+  }
 
  private:
   struct Session {
@@ -66,15 +83,16 @@ class SessionManager {
   };
 
   /// Folds a closing session's counters into the totals.
-  void Absorb(const Session& session);
+  void Absorb(const Session& session) REQUIRES(mu_);
 
   LbsServer* server_;
   size_t max_sessions_;
   net::PacketConfig packet_;
-  std::unordered_map<SessionId, Session> sessions_;
-  SessionId next_id_ = 1;
-  uint64_t sessions_opened_ = 0;
-  net::ChannelStats totals_;
+  mutable Mutex mu_;
+  std::unordered_map<SessionId, Session> sessions_ GUARDED_BY(mu_);
+  SessionId next_id_ GUARDED_BY(mu_) = 1;
+  uint64_t sessions_opened_ GUARDED_BY(mu_) = 0;
+  net::ChannelStats totals_ GUARDED_BY(mu_);
 };
 
 }  // namespace spacetwist::server

@@ -38,7 +38,7 @@ ServiceEngine::~ServiceEngine() {
   // engine quiesces but before destruction) and the abandoned-session
   // accounting contract both hold for users who snapshot via EvictIdle.
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (const auto& [id, session] : shard.sessions) Absorb(session);
     shard.sessions.clear();
   }
@@ -77,7 +77,7 @@ Result<uint64_t> ServiceEngine::Open(const geom::Point& anchor, double epsilon,
   const uint64_t id = next_id_.fetch_add(1, kRelaxed);
   Shard& shard = ShardFor(id);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     // Piggyback idle reclamation on the write path so a pull-only workload
     // elsewhere cannot pin this shard's abandoned sessions forever.
     SweepShardLocked(&shard, now);
@@ -89,29 +89,30 @@ Result<uint64_t> ServiceEngine::Open(const geom::Point& anchor, double epsilon,
 
 Result<net::Packet> ServiceEngine::Pull(uint64_t session_id) {
   Shard& shard = ShardFor(session_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.sessions.find(session_id);
   if (it == shard.sessions.end()) {
     counters_.pull_requests.fetch_add(1, kRelaxed);
     return Status::NotFound(StrFormat(
         "session %llu", static_cast<unsigned long long>(session_id)));
   }
-  return PullLocked(&it->second, it->second.next_seq);
+  return PullLocked(&shard, &it->second, it->second.next_seq);
 }
 
 Result<net::Packet> ServiceEngine::Pull(uint64_t session_id, uint64_t seq) {
   Shard& shard = ShardFor(session_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.sessions.find(session_id);
   if (it == shard.sessions.end()) {
     counters_.pull_requests.fetch_add(1, kRelaxed);
     return Status::NotFound(StrFormat(
         "session %llu", static_cast<unsigned long long>(session_id)));
   }
-  return PullLocked(&it->second, seq);
+  return PullLocked(&shard, &it->second, seq);
 }
 
-Result<net::Packet> ServiceEngine::PullLocked(Session* session, uint64_t seq) {
+Result<net::Packet> ServiceEngine::PullLocked(Shard* /*shard*/, Session* session,
+                                              uint64_t seq) {
   counters_.pull_requests.fetch_add(1, kRelaxed);
   session->last_touch_ns = NowNs();
   if (session->has_cached && seq + 1 == session->next_seq) {
@@ -141,7 +142,7 @@ Status ServiceEngine::Close(uint64_t session_id) {
   counters_.close_requests.fetch_add(1, kRelaxed);
   Shard& shard = ShardFor(session_id);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.sessions.find(session_id);
     if (it == shard.sessions.end()) {
       return Status::NotFound(StrFormat(
@@ -158,7 +159,7 @@ Status ServiceEngine::Close(uint64_t session_id) {
 Result<net::ChannelStats> ServiceEngine::SessionStats(
     uint64_t session_id) const {
   const Shard& shard = ShardFor(session_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.sessions.find(session_id);
   if (it == shard.sessions.end()) {
     return Status::NotFound(StrFormat(
@@ -198,7 +199,7 @@ size_t ServiceEngine::EvictIdle() {
   const uint64_t now = NowNs();
   size_t evicted = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     evicted += SweepShardLocked(&shard, now);
   }
   return evicted;

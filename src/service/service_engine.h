@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "geom/point.h"
 #include "net/channel.h"
 #include "net/packet.h"
@@ -136,8 +137,8 @@ class ServiceEngine : public net::FrameHandler {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, Session> sessions;
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, Session> sessions GUARDED_BY(mu);
   };
 
   Shard& ShardFor(uint64_t session_id) {
@@ -150,15 +151,17 @@ class ServiceEngine : public net::FrameHandler {
   uint64_t NowNs() const { return options_.clock(); }
 
   /// Shared body of both Pull overloads; caller holds the owning shard's
-  /// mutex.
-  Result<net::Packet> PullLocked(Session* session, uint64_t seq);
+  /// mutex (`shard` names it for the static analysis).
+  Result<net::Packet> PullLocked(Shard* shard, Session* session, uint64_t seq)
+      REQUIRES(shard->mu);
 
   /// Folds a retiring session's transport counters into the totals.
-  /// Caller holds the owning shard's mutex.
+  /// Caller holds the owning shard's mutex (the totals themselves are
+  /// atomics; the lock protects the session being read).
   void Absorb(const Session& session);
 
   /// Evicts expired sessions of one shard; caller holds `shard->mu`.
-  size_t SweepShardLocked(Shard* shard, uint64_t now_ns);
+  size_t SweepShardLocked(Shard* shard, uint64_t now_ns) REQUIRES(shard->mu);
 
   /// Encodes `status` as a kError response frame; `session_id` names the
   /// session the failed request was about (0 when it never named one).

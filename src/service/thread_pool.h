@@ -1,13 +1,14 @@
 #ifndef SPACETWIST_SERVICE_THREAD_POOL_H_
 #define SPACETWIST_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace spacetwist::service {
 
@@ -32,22 +33,22 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues `task`; runs as soon as a worker frees up.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until no task is queued or running. Safe to call repeatedly;
   /// new work may be submitted afterwards.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< signals workers: work or shutdown
-  std::condition_variable idle_cv_;  ///< signals Wait(): fully drained
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  ///< queued + currently executing tasks
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar work_cv_;  ///< signals workers: work or shutdown
+  CondVar idle_cv_;  ///< signals Wait(): fully drained
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;  ///< queued + executing tasks
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  ///< written only in ctor/dtor
 };
 
 }  // namespace spacetwist::service

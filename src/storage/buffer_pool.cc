@@ -13,7 +13,7 @@ BufferPool::BufferPool(Pager* pager, size_t capacity, bool synchronized)
 }
 
 Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
-  std::unique_lock<std::mutex> lock = LockIfSynchronized();
+  MutexLock lock(&mu_);
   ++stats_.logical_reads;
   auto it = map_.find(id);
   if (it != map_.end()) {
@@ -30,7 +30,7 @@ Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
 }
 
 Status BufferPool::Write(PageId id, const Page& page) {
-  std::unique_lock<std::mutex> lock = LockIfSynchronized();
+  MutexLock lock(&mu_);
   ++stats_.physical_writes;
   SPACETWIST_RETURN_NOT_OK(pager_->Write(id, page));
   auto it = map_.find(id);
@@ -46,7 +46,7 @@ Status BufferPool::Write(PageId id, const Page& page) {
 PageId BufferPool::Allocate() { return pager_->Allocate(); }
 
 void BufferPool::Clear() {
-  std::unique_lock<std::mutex> lock = LockIfSynchronized();
+  MutexLock lock(&mu_);
   lru_.clear();
   map_.clear();
 }

@@ -3,11 +3,12 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/pager.h"
@@ -24,12 +25,15 @@ namespace spacetwist::storage {
 /// alive even if the pool evicts it, so cursors can safely hold nodes across
 /// subsequent fetches.
 ///
-/// By default the pool is single-threaded like the rest of the simulation.
-/// Constructing it with `synchronized == true` guards the cache state and
-/// counters with an internal mutex so many sessions can traverse the same
-/// tree from worker threads (the serving engine, src/service). The lock
-/// covers only the LRU/map bookkeeping; page deserialization happens outside
-/// it in the callers.
+/// Thread-safe: the LRU/map bookkeeping and counters are guarded by an
+/// internal mutex (annotated, so lock discipline is compile-checked on
+/// clang), which lets many sessions traverse the same tree from worker
+/// threads (the serving engine, src/service). The lock covers only the
+/// bookkeeping; page deserialization happens outside it in the callers, and
+/// the uncontended single-threaded cost is a few nanoseconds per fetch. The
+/// `synchronized` constructor flag is kept as caller intent metadata
+/// (RTreeOptions::concurrent_reads) but no longer changes behaviour — the
+/// earlier conditionally-engaged lock was invisible to static analysis.
 class BufferPool {
  public:
   using PageHandle = std::shared_ptr<const Page>;
@@ -41,29 +45,29 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   size_t capacity() const { return capacity_; }
-  size_t cached_pages() const {
-    std::unique_lock<std::mutex> lock = LockIfSynchronized();
+  size_t cached_pages() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return map_.size();
   }
   bool synchronized() const { return synchronized_; }
   /// Snapshot of the I/O counters (consistent even under concurrency).
-  IoStats stats() const {
-    std::unique_lock<std::mutex> lock = LockIfSynchronized();
+  IoStats stats() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return stats_;
   }
   Pager* pager() const { return pager_; }
 
   /// Fetches page `id`, from cache when possible.
-  Result<PageHandle> Fetch(PageId id);
+  Result<PageHandle> Fetch(PageId id) EXCLUDES(mu_);
 
   /// Writes `page` through to disk and refreshes the cached copy.
-  Status Write(PageId id, const Page& page);
+  Status Write(PageId id, const Page& page) EXCLUDES(mu_);
 
   /// Allocates a fresh page on the underlying pager.
   PageId Allocate();
 
   /// Drops all cached pages (counters are preserved).
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -71,22 +75,16 @@ class BufferPool {
     std::list<PageId>::iterator lru_it;
   };
 
-  void Touch(PageId id, Entry* entry);
-  void EvictIfNeeded();
-
-  /// Engaged lock in synchronized mode, disengaged (free) otherwise.
-  std::unique_lock<std::mutex> LockIfSynchronized() const {
-    return synchronized_ ? std::unique_lock<std::mutex>(mu_)
-                         : std::unique_lock<std::mutex>();
-  }
+  void Touch(PageId id, Entry* entry) REQUIRES(mu_);
+  void EvictIfNeeded() REQUIRES(mu_);
 
   Pager* pager_;
   size_t capacity_;
   bool synchronized_;
-  mutable std::mutex mu_;
-  std::list<PageId> lru_;  // front = most recently used
-  std::unordered_map<PageId, Entry> map_;
-  IoStats stats_;
+  mutable Mutex mu_;
+  std::list<PageId> lru_ GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<PageId, Entry> map_ GUARDED_BY(mu_);
+  IoStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace spacetwist::storage

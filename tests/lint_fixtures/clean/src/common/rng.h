@@ -1,0 +1,10 @@
+#ifndef SPACETWIST_COMMON_RNG_H_
+#define SPACETWIST_COMMON_RNG_H_
+#include <random>
+namespace spacetwist {
+// The one place a raw engine may live (rng rule exemption).
+class Rng {
+  std::mt19937_64 engine_;
+};
+}  // namespace spacetwist
+#endif  // SPACETWIST_COMMON_RNG_H_

@@ -1,0 +1,5 @@
+#include "common/rng.h"
+namespace spacetwist::datasets {
+double Quantize(double v) { return static_cast<double>(static_cast<float>(v)); }
+double Draw(Rng& rng) { return Quantize(rng.Uniform(0.0, 1.0)); }
+}  // namespace spacetwist::datasets

@@ -1,0 +1,8 @@
+#include "foo/good.h"
+namespace spacetwist::foo {
+// A comment may say throw, and so may a string:
+int Answer() {
+  const char* word = "throw";  /* throw in a block comment too */
+  return word != nullptr ? 42 : 0;
+}
+}  // namespace spacetwist::foo

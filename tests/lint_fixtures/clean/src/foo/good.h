@@ -1,0 +1,6 @@
+#ifndef SPACETWIST_FOO_GOOD_H_
+#define SPACETWIST_FOO_GOOD_H_
+namespace spacetwist::foo {
+int Answer();
+}  // namespace spacetwist::foo
+#endif  // SPACETWIST_FOO_GOOD_H_

@@ -1,0 +1,4 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+namespace spacetwist::foo {}
+#endif  // WRONG_GUARD_H

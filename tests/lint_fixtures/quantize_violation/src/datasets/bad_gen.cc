@@ -1,0 +1,4 @@
+#include "common/rng.h"
+namespace spacetwist::datasets {
+double Draw(Rng& rng) { return rng.Uniform(0.0, 1.0); }
+}  // namespace spacetwist::datasets

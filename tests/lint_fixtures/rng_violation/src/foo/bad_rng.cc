@@ -1,0 +1,8 @@
+#include <random>
+#include <cstdlib>
+namespace spacetwist::foo {
+int Draw() {
+  std::mt19937 engine;  // default-seeded: not reproducible
+  return static_cast<int>(engine()) + rand();
+}
+}  // namespace spacetwist::foo

@@ -1,0 +1,8 @@
+#include <random>
+namespace spacetwist::foo {
+int Draw() {
+  std::mt19937 engine;  // interop shim, seeded by caller — lint:allow rng
+  if (engine() == 0) throw 1;  // unreachable, exercise only — lint:allow no-throw
+  return 0;
+}
+}  // namespace spacetwist::foo

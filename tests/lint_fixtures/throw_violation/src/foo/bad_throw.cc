@@ -1,0 +1,6 @@
+namespace spacetwist::foo {
+int Answer(bool fail) {
+  if (fail) throw 42;
+  return 0;
+}
+}  // namespace spacetwist::foo

@@ -1,0 +1,351 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: machine-checks the conventions in CLAUDE.md.
+
+Rules (run `--list-rules` for the ids):
+
+  rng                All randomness flows through spacetwist::Rng seeded at
+                     the call site: no rand()/srand(), no raw std::mt19937 /
+                     std::default_random_engine / std::random_device /
+                     std::minstd_rand outside src/common/rng.{h,cc}.
+  header-guard       Headers use the SPACETWIST_<PATH>_H_ guard pattern
+                     (path relative to src/ for library headers, relative to
+                     the repo root elsewhere, uppercased, [/.-] -> _).
+  test-registration  Every tests/*_test.cc is registered via st_add_test in
+                     tests/CMakeLists.txt, and every bench/bench_*.cc via
+                     st_add_bench (or an explicit add_executable) in
+                     bench/CMakeLists.txt — an unregistered test never runs
+                     and silently rots.
+  no-throw           Library code (src/) never throws: fallible functions
+                     return Status / Result<T>.
+  quantize           Point producers in src/datasets/ that draw coordinates
+                     from an Rng must route them through the float32
+                     quantizer (reference `Quantize`), or exact-match
+                     lookups (e.g. RTree::Delete) will miss.
+
+Suppressing a finding: append `lint:allow <rule>` in a comment on the
+flagged line (for header-guard and test-registration, on the first line of
+the flagged file). Suppressions are for deliberate, reviewed exceptions —
+say why in the same comment. See docs/ANALYSIS.md.
+
+Usage:
+  tools/check_invariants.py [--root DIR] [--list-rules] [RULE ...]
+
+Exit status 0 when clean, 1 when any finding fires, 2 on usage errors.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_EXTENSIONS = (".h", ".cc")
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+SKIP_DIR_NAMES = {"lint_fixtures", "build", ".git", "__pycache__"}
+
+ALLOW_RE = re.compile(r"lint:allow\s+([A-Za-z0-9_-]+)")
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def walk_sources(root, subdir=None):
+    """Yields root-relative paths of .h/.cc files under root (or a subdir)."""
+    top = os.path.join(root, subdir) if subdir else root
+    for dirpath, dirnames, filenames in os.walk(top):
+        dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIR_NAMES)
+        for name in sorted(filenames):
+            if name.endswith(SOURCE_EXTENSIONS):
+                yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def read_lines(root, rel_path):
+    with open(os.path.join(root, rel_path), encoding="utf-8",
+              errors="replace") as f:
+        return f.read().splitlines()
+
+
+def strip_code_line(line, state):
+    """Removes comments and string/char literals from one line.
+
+    `state` is a dict carrying `in_block_comment` across lines. Keeps
+    `lint:allow` markers out of scope on purpose: suppressions are read from
+    the raw line.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if state["in_block_comment"]:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out)
+            state["in_block_comment"] = False
+            i = end + 2
+            continue
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            return "".join(out)
+        if c == "/" and nxt == "*":
+            state["in_block_comment"] = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append(quote + quote)  # keep token boundaries
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def code_lines(lines):
+    """Yields (1-based line number, comment/string-stripped text)."""
+    state = {"in_block_comment": False}
+    for number, raw in enumerate(lines, start=1):
+        yield number, strip_code_line(raw, state), raw
+
+
+def suppressed(raw_line, rule):
+    match = ALLOW_RE.search(raw_line)
+    return match is not None and match.group(1) == rule
+
+
+# --- rule: rng -------------------------------------------------------------
+
+RNG_EXEMPT = {os.path.join("src", "common", "rng.h"),
+              os.path.join("src", "common", "rng.cc")}
+RNG_FORBIDDEN = re.compile(
+    r"\b(?:std::)?(?:mt19937(?:_64)?|default_random_engine|random_device|"
+    r"minstd_rand0?|ranlux\w+|knuth_b)\b"
+    r"|\bs?rand\s*\(")
+
+
+def check_rng(root):
+    findings = []
+    for subdir in SCAN_DIRS:
+        for rel in walk_sources(root, subdir):
+            if rel in RNG_EXEMPT:
+                continue
+            for number, code, raw in code_lines(read_lines(root, rel)):
+                if RNG_FORBIDDEN.search(code) and not suppressed(raw, "rng"):
+                    findings.append(Finding(
+                        "rng", rel, number,
+                        "raw random source; draw from spacetwist::Rng "
+                        "(seeded at the call site) instead"))
+    return findings
+
+
+# --- rule: header-guard ----------------------------------------------------
+
+def expected_guard(rel_path):
+    if rel_path.startswith("src" + os.sep):
+        stem = rel_path[len("src" + os.sep):]
+    else:
+        stem = rel_path
+    token = re.sub(r"[^A-Za-z0-9]", "_", stem).upper()
+    return f"SPACETWIST_{token}_"
+
+
+def check_header_guard(root):
+    findings = []
+    for subdir in SCAN_DIRS:
+        for rel in walk_sources(root, subdir):
+            if not rel.endswith(".h"):
+                continue
+            lines = read_lines(root, rel)
+            if lines and suppressed(lines[0], "header-guard"):
+                continue
+            want = expected_guard(rel)
+            ifndef = None
+            define = None
+            for number, code, _raw in code_lines(lines):
+                stripped = code.strip()
+                if ifndef is None:
+                    m = re.match(r"#\s*ifndef\s+(\S+)", stripped)
+                    if m:
+                        ifndef = (number, m.group(1))
+                    elif stripped and not stripped.startswith("#"):
+                        break  # real code before any guard
+                elif define is None:
+                    m = re.match(r"#\s*define\s+(\S+)", stripped)
+                    if m:
+                        define = (number, m.group(1))
+                        break
+            if ifndef is None or define is None:
+                findings.append(Finding(
+                    "header-guard", rel, 1,
+                    f"missing include guard; expected {want}"))
+            elif ifndef[1] != want or define[1] != want:
+                findings.append(Finding(
+                    "header-guard", rel, ifndef[0],
+                    f"guard is {ifndef[1]}, expected {want}"))
+    return findings
+
+
+# --- rule: test-registration -----------------------------------------------
+
+def registered_names(root, cmake_rel, patterns):
+    path = os.path.join(root, cmake_rel)
+    if not os.path.isfile(path):
+        return None
+    text = "\n".join(read_lines(root, cmake_rel))
+    names = set()
+    for pattern in patterns:
+        names.update(re.findall(pattern, text))
+    return names
+
+
+def check_test_registration(root):
+    findings = []
+    tests = registered_names(root, os.path.join("tests", "CMakeLists.txt"),
+                             [r"st_add_test\(\s*([A-Za-z0-9_]+)"])
+    for rel in walk_sources(root, "tests"):
+        name, ext = os.path.splitext(os.path.basename(rel))
+        if ext != ".cc" or not name.endswith("_test"):
+            continue
+        if os.path.dirname(rel) != "tests":
+            continue  # fixtures and helpers live deeper
+        first = read_lines(root, rel)[:1]
+        if first and suppressed(first[0], "test-registration"):
+            continue
+        if tests is None:
+            findings.append(Finding("test-registration", rel, 1,
+                                    "tests/CMakeLists.txt not found"))
+        elif name not in tests:
+            findings.append(Finding(
+                "test-registration", rel, 1,
+                f"not registered via st_add_test({name}) in "
+                "tests/CMakeLists.txt; it will never run"))
+    benches = registered_names(root, os.path.join("bench", "CMakeLists.txt"),
+                               [r"st_add_bench\(\s*([A-Za-z0-9_]+)",
+                                r"add_executable\(\s*([A-Za-z0-9_]+)"])
+    for rel in walk_sources(root, "bench"):
+        name, ext = os.path.splitext(os.path.basename(rel))
+        if ext != ".cc" or not name.startswith("bench_"):
+            continue
+        if os.path.dirname(rel) != "bench":
+            continue
+        first = read_lines(root, rel)[:1]
+        if first and suppressed(first[0], "test-registration"):
+            continue
+        if benches is None:
+            findings.append(Finding("test-registration", rel, 1,
+                                    "bench/CMakeLists.txt not found"))
+        elif name not in benches:
+            findings.append(Finding(
+                "test-registration", rel, 1,
+                f"not registered via st_add_bench({name}) in "
+                "bench/CMakeLists.txt"))
+    return findings
+
+
+# --- rule: no-throw --------------------------------------------------------
+
+THROW_RE = re.compile(r"\bthrow\b")
+
+
+def check_no_throw(root):
+    findings = []
+    for rel in walk_sources(root, "src"):
+        for number, code, raw in code_lines(read_lines(root, rel)):
+            if THROW_RE.search(code) and not suppressed(raw, "no-throw"):
+                findings.append(Finding(
+                    "no-throw", rel, number,
+                    "library code must not throw; return Status / "
+                    "Result<T> (src/common/)"))
+    return findings
+
+
+# --- rule: quantize --------------------------------------------------------
+
+DRAW_RE = re.compile(r"\b(?:Uniform|Gaussian)\s*\(")
+
+
+def check_quantize(root):
+    findings = []
+    producer_dir = os.path.join("src", "datasets")
+    for rel in walk_sources(root, producer_dir):
+        if not rel.endswith(".cc"):
+            continue
+        lines = read_lines(root, rel)
+        text = "\n".join(code for _n, code, _r in code_lines(lines))
+        if not DRAW_RE.search(text) or "Quantize" in text:
+            continue
+        first = lines[:1]
+        if first and suppressed(first[0], "quantize"):
+            continue
+        number = next((n for n, code, _r in code_lines(lines)
+                       if DRAW_RE.search(code)), 1)
+        findings.append(Finding(
+            "quantize", rel, number,
+            "draws coordinates without referencing the float32 Quantize "
+            "helper; unquantized points break exact-match lookups "
+            "(RTree::Delete) and the wire representation"))
+    return findings
+
+
+RULES = {
+    "rng": check_rng,
+    "header-guard": check_header_guard,
+    "test-registration": check_test_registration,
+    "no-throw": check_no_throw,
+    "quantize": check_quantize,
+}
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="SpaceTwist project-invariant linter")
+    parser.add_argument("--root", default=None,
+                        help="repo root to scan (default: the checkout "
+                             "containing this script)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("rules", nargs="*",
+                        help="subset of rules to run (default: all)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(rule)
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    selected = args.rules or list(RULES)
+    for rule in selected:
+        if rule not in RULES:
+            print(f"unknown rule: {rule}", file=sys.stderr)
+            return 2
+
+    findings = []
+    for rule in selected:
+        findings.extend(RULES[rule](root))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} invariant violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Self-test for tools/check_invariants.py.
+
+Runs the linter over the fixture trees in tests/lint_fixtures/, asserting
+that every rule both passes on clean input and fires on a violation (and
+that `lint:allow` suppressions work) — so the linter itself cannot rot.
+Registered with ctest as `check_invariants_selftest`.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINTER = os.path.join(REPO_ROOT, "tools", "check_invariants.py")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+
+# fixture subtree -> (expected exit status, rule ids that must fire)
+CASES = {
+    "clean": (0, set()),
+    "rng_violation": (1, {"rng"}),
+    "guard_violation": (1, {"header-guard"}),
+    "registration_violation": (1, {"test-registration"}),
+    "throw_violation": (1, {"no-throw"}),
+    "quantize_violation": (1, {"quantize"}),
+    "suppressed": (0, set()),
+}
+
+# Violation fixtures must flag exactly these files.
+EXPECTED_FILES = {
+    "rng_violation": {os.path.join("src", "foo", "bad_rng.cc")},
+    "guard_violation": {os.path.join("src", "foo", "bad_guard.h")},
+    "registration_violation": {
+        os.path.join("tests", "orphan_test.cc"),
+        os.path.join("bench", "bench_orphan.cc"),
+    },
+    "throw_violation": {os.path.join("src", "foo", "bad_throw.cc")},
+    "quantize_violation": {os.path.join("src", "datasets", "bad_gen.cc")},
+}
+
+
+def run_linter(root, rules=()):
+    return subprocess.run(
+        [sys.executable, LINTER, "--root", root, *rules],
+        capture_output=True, text=True, check=False)
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fired_rules(stdout):
+    rules = set()
+    for line in stdout.splitlines():
+        if "[" in line and "]" in line:
+            rules.add(line.split("[", 1)[1].split("]", 1)[0])
+    return rules
+
+
+def flagged_files(stdout):
+    return {line.split(":", 1)[0] for line in stdout.splitlines() if ":" in line}
+
+
+def main():
+    for case, (want_exit, want_rules) in sorted(CASES.items()):
+        root = os.path.join(FIXTURES, case)
+        if not os.path.isdir(root):
+            fail(f"fixture missing: {root}")
+        proc = run_linter(root)
+        if proc.returncode != want_exit:
+            fail(f"{case}: exit {proc.returncode}, expected {want_exit}\n"
+                 f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+        got_rules = fired_rules(proc.stdout)
+        if want_rules and not want_rules <= got_rules:
+            fail(f"{case}: rules fired {got_rules}, expected at least "
+                 f"{want_rules}\n{proc.stdout}")
+        if not want_rules and got_rules:
+            fail(f"{case}: unexpected findings\n{proc.stdout}")
+        expected_files = EXPECTED_FILES.get(case)
+        if expected_files is not None:
+            got_files = flagged_files(proc.stdout)
+            if got_files != expected_files:
+                fail(f"{case}: flagged {got_files}, expected "
+                     f"{expected_files}\n{proc.stdout}")
+        print(f"ok: {case} ({'clean' if want_exit == 0 else 'fires'})")
+
+    # Rule selection: running only `rng` on the throw fixture must be clean.
+    proc = run_linter(os.path.join(FIXTURES, "throw_violation"), ["rng"])
+    if proc.returncode != 0:
+        fail(f"rule selection: expected clean rng-only run\n{proc.stdout}")
+    print("ok: rule selection")
+
+    # Unknown rule is a usage error, not a silent pass.
+    proc = run_linter(os.path.join(FIXTURES, "clean"), ["no-such-rule"])
+    if proc.returncode != 2:
+        fail(f"unknown rule: exit {proc.returncode}, expected 2")
+    print("ok: unknown rule rejected")
+
+    # The real repository must satisfy its own invariants.
+    proc = run_linter(REPO_ROOT)
+    if proc.returncode != 0:
+        fail(f"repository is not invariant-clean:\n{proc.stdout}")
+    print("ok: repository clean")
+    print("PASS")
+
+
+if __name__ == "__main__":
+    main()
