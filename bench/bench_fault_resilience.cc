@@ -125,30 +125,28 @@ void Run() {
               "digest is byte-identical to the fault-free reference\n",
               base.load.num_clients, base.load.queries_per_client);
 
-  std::FILE* json = std::fopen("BENCH_fault.json", "w");
-  SPACETWIST_CHECK(json != nullptr);
-  std::fprintf(json, "{\n  \"bench\": \"fault_resilience\",\n");
-  std::fprintf(json, "  \"clients\": %zu,\n  \"queries_per_client\": %zu,\n",
-               base.load.num_clients, base.load.queries_per_client);
-  std::fprintf(json, "  \"results\": [\n");
-  for (size_t i = 0; i < measurements.size(); ++i) {
-    const Measurement& m = measurements[i];
-    std::fprintf(
-        json,
-        "    {\"fault\": \"%s\", \"rate\": %.2f, \"goodput\": %.3f, "
-        "\"round_trips\": %llu, \"retries\": %llu, \"reopens\": %llu, "
-        "\"stale_replies\": %llu, \"backoff_ms\": %.1f}%s\n",
-        m.fault, m.rate, m.report.goodput(),
-        static_cast<unsigned long long>(m.report.faults.round_trips),
-        static_cast<unsigned long long>(m.report.retry.retries),
-        static_cast<unsigned long long>(m.report.retry.reopens),
-        static_cast<unsigned long long>(m.report.retry.stale_replies),
-        static_cast<double>(m.report.retry.backoff_ns) / 1e6,
-        i + 1 < measurements.size() ? "," : "");
+  telemetry::JsonWriter json;
+  json.BeginObject();
+  json.KV("bench", "fault_resilience");
+  json.KV("clients", static_cast<uint64_t>(base.load.num_clients));
+  json.KV("queries_per_client",
+          static_cast<uint64_t>(base.load.queries_per_client));
+  json.Key("results").BeginArray();
+  for (const Measurement& m : measurements) {
+    json.BeginObject();
+    json.KV("fault", m.fault);
+    json.KV("rate", m.rate, 2);
+    json.KV("goodput", m.report.goodput());
+    json.KV("round_trips", m.report.faults.round_trips);
+    json.KV("retries", m.report.retry.retries);
+    json.KV("reopens", m.report.retry.reopens);
+    json.KV("stale_replies", m.report.retry.stale_replies);
+    json.KV("backoff_ms",
+            static_cast<double>(m.report.retry.backoff_ns) / 1e6, 1);
+    json.EndObject();
   }
-  std::fprintf(json, "  ]\n}\n");
-  std::fclose(json);
-  std::printf("wrote BENCH_fault.json\n");
+  json.EndArray();
+  FinishBenchJson("BENCH_fault.json", &json);
 }
 
 }  // namespace

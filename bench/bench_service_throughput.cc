@@ -82,26 +82,42 @@ void Run() {
               load.num_clients, load.queries_per_client,
               std::thread::hardware_concurrency());
 
-  std::FILE* json = std::fopen("BENCH_service.json", "w");
-  SPACETWIST_CHECK(json != nullptr);
-  std::fprintf(json, "{\n  \"bench\": \"service_throughput\",\n");
-  std::fprintf(json, "  \"clients\": %zu,\n  \"queries_per_client\": %zu,\n",
-               load.num_clients, load.queries_per_client);
-  std::fprintf(json, "  \"hardware_cores\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(json, "  \"results\": [\n");
-  for (size_t i = 0; i < measurements.size(); ++i) {
-    const Measurement& m = measurements[i];
-    std::fprintf(json,
-                 "    {\"threads\": %zu, \"qps\": %.1f, \"p50_ms\": %.3f, "
-                 "\"p99_ms\": %.3f}%s\n",
-                 m.threads, m.report.queries_per_second,
-                 m.report.p50_latency_ms, m.report.p99_latency_ms,
-                 i + 1 < measurements.size() ? "," : "");
+  telemetry::JsonWriter json;
+  json.BeginObject();
+  json.KV("bench", "service_throughput");
+  json.KV("clients", static_cast<uint64_t>(load.num_clients));
+  json.KV("queries_per_client",
+          static_cast<uint64_t>(load.queries_per_client));
+  json.KV("hardware_cores", std::thread::hardware_concurrency());
+  json.Key("results").BeginArray();
+  for (const Measurement& m : measurements) {
+    json.BeginObject();
+    json.KV("threads", static_cast<uint64_t>(m.threads));
+    json.KV("qps", m.report.queries_per_second, 1);
+    json.KV("p50_ms", m.report.p50_latency_ms);
+    json.KV("p99_ms", m.report.p99_latency_ms);
+    json.EndObject();
   }
-  std::fprintf(json, "  ]\n}\n");
-  std::fclose(json);
-  std::printf("wrote BENCH_service.json\n");
+  json.EndArray();
+  FinishBenchJson("BENCH_service.json", &json);
+
+  // The full latency distributions behind the p50/p99 columns, one
+  // histogram per thread count (the tail is where contention shows first).
+  telemetry::JsonWriter latency_json;
+  latency_json.BeginObject();
+  latency_json.KV("bench", "service_latency");
+  latency_json.KV("schema", telemetry::kTelemetrySchema);
+  latency_json.Key("results").BeginArray();
+  for (const Measurement& m : measurements) {
+    latency_json.BeginObject();
+    latency_json.KV("threads", static_cast<uint64_t>(m.threads));
+    latency_json.Key("latency_ns");
+    telemetry::WriteHistogram(m.report.latency, &latency_json);
+    latency_json.EndObject();
+  }
+  latency_json.EndArray();
+  latency_json.EndObject();
+  WriteJsonFile("BENCH_latency.json", latency_json);
 }
 
 }  // namespace

@@ -14,6 +14,8 @@
 #include "eval/runner.h"
 #include "eval/workload.h"
 #include "server/lbs_server.h"
+#include "telemetry/export.h"
+#include "telemetry/registry.h"
 
 namespace spacetwist::bench {
 
@@ -90,6 +92,32 @@ inline GstMeasurement MeasureGst(server::LbsServer* server,
 
 inline std::string Fmt1(double v) { return StrFormat("%.1f", v); }
 inline std::string Fmt2(double v) { return StrFormat("%.2f", v); }
+
+/// Writes `writer`'s finished document to `path`. The writer must have all
+/// scopes closed (str() ends with a newline only then).
+inline void WriteJsonFile(const std::string& path,
+                          const telemetry::JsonWriter& writer) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  SPACETWIST_CHECK(f != nullptr) << "cannot open " << path;
+  const std::string doc = writer.str();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Closes a bench artifact: embeds the process-wide telemetry snapshot
+/// (every layer the run exercised — R-tree node I/O, packets, bytes, points,
+/// cells, faults, retries) under a "telemetry" key, ends the root object,
+/// and writes the file.
+inline void FinishBenchJson(const std::string& path,
+                            telemetry::JsonWriter* writer) {
+  writer->Key("telemetry").BeginObject();
+  telemetry::WriteSnapshot(telemetry::MetricRegistry::Default()->Snapshot(),
+                           writer);
+  writer->EndObject();
+  writer->EndObject();
+  WriteJsonFile(path, *writer);
+}
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

@@ -1,9 +1,7 @@
 #include "eval/load_generator.h"
 
-#include <algorithm>
 #include <atomic>
 #include <bit>
-#include <chrono>
 #include <functional>
 #include <utility>
 
@@ -12,6 +10,7 @@
 #include "core/anchor.h"
 #include "service/thread_pool.h"
 #include "service/wire_client.h"
+#include "telemetry/metric.h"
 
 namespace spacetwist::eval {
 
@@ -70,14 +69,6 @@ Status ValidateOptions(const LoadOptions& options) {
   return Status::OK();
 }
 
-double PercentileMs(std::vector<double>* sorted_ms, double fraction) {
-  if (sorted_ms->empty()) return 0.0;
-  const size_t index = std::min(
-      sorted_ms->size() - 1,
-      static_cast<size_t>(fraction * static_cast<double>(sorted_ms->size())));
-  return (*sorted_ms)[index];
-}
-
 }  // namespace
 
 Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
@@ -98,49 +89,59 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
     ClientWorkload workload;
     size_t next_query = 0;
     ClientDigest digest;
-    std::vector<double> latencies_ms;
+    uint64_t completed = 0;
   };
   std::vector<ClientState> states(options.num_clients);
   for (size_t i = 0; i < options.num_clients; ++i) {
     states[i].workload = MakeClientWorkload(domain, options, i);
-    states[i].latencies_ms.reserve(options.queries_per_client);
   }
 
   std::atomic<bool> failed{false};
   Mutex error_mu;
   Status first_error;
 
-  using Clock = std::chrono::steady_clock;
+  telemetry::Clock* clock = telemetry::OrDefault(options.clock);
+  telemetry::MetricRegistry* registry =
+      telemetry::MetricRegistry::OrDefault(options.registry);
+  // The run's own histogram feeds the per-run report; the registry
+  // instruments accumulate across runs for the process snapshot.
+  telemetry::Histogram run_latency;
+  telemetry::Histogram* latency_metric =
+      registry->GetHistogram("eval.load.latency_ns");
+  telemetry::Counter* queries_metric = registry->GetCounter("eval.load.queries");
   service::ThreadPool pool(options.worker_threads);
 
   std::function<void(size_t)> run_step = [&](size_t client) {
     if (failed.load(std::memory_order_relaxed)) return;
     ClientState& state = states[client];
     const auto& [q, anchor] = state.workload.queries[state.next_query];
-    const Clock::time_point start = Clock::now();
+    const uint64_t start_ns = clock->NowNs();
     Result<core::QueryOutcome> outcome =
         service::RemoteQuery(engine, q, anchor, options.params);
-    const Clock::time_point end = Clock::now();
+    const uint64_t end_ns = clock->NowNs();
     if (!outcome.ok()) {
       failed.store(true, std::memory_order_relaxed);
       MutexLock lock(&error_mu);
       if (first_error.ok()) first_error = outcome.status();
       return;
     }
-    state.latencies_ms.push_back(
-        std::chrono::duration<double, std::milli>(end - start).count());
+    const uint64_t latency_ns = end_ns - start_ns;
+    run_latency.Record(latency_ns);
+    latency_metric->Record(latency_ns);
+    queries_metric->Add();
+    ++state.completed;
     FoldOutcome(*outcome, &state.digest);
     if (++state.next_query < state.workload.queries.size()) {
       pool.Submit([&run_step, client] { run_step(client); });
     }
   };
 
-  const Clock::time_point wall_start = Clock::now();
+  const uint64_t wall_start_ns = clock->NowNs();
   for (size_t i = 0; i < options.num_clients; ++i) {
     pool.Submit([&run_step, i] { run_step(i); });
   }
   pool.Wait();
-  const Clock::time_point wall_end = Clock::now();
+  const uint64_t wall_end_ns = clock->NowNs();
 
   if (failed.load()) {
     MutexLock lock(&error_mu);
@@ -149,21 +150,17 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
 
   LoadReport report;
   report.wall_seconds =
-      std::chrono::duration<double>(wall_end - wall_start).count();
-  std::vector<double> all_latencies;
-  all_latencies.reserve(options.num_clients * options.queries_per_client);
+      static_cast<double>(wall_end_ns - wall_start_ns) / 1e9;
   report.digests.reserve(options.num_clients);
   for (const ClientState& state : states) {
-    report.queries += state.latencies_ms.size();
+    report.queries += state.completed;
     report.packets += state.digest.packets;
     report.points += state.digest.points;
     report.digests.push_back(state.digest);
-    all_latencies.insert(all_latencies.end(), state.latencies_ms.begin(),
-                         state.latencies_ms.end());
   }
-  std::sort(all_latencies.begin(), all_latencies.end());
-  report.p50_latency_ms = PercentileMs(&all_latencies, 0.50);
-  report.p99_latency_ms = PercentileMs(&all_latencies, 0.99);
+  report.latency = run_latency.Snapshot();
+  report.p50_latency_ms = report.latency.Percentile(0.50) / 1e6;
+  report.p99_latency_ms = report.latency.Percentile(0.99) / 1e6;
   report.queries_per_second =
       report.wall_seconds > 0.0
           ? static_cast<double>(report.queries) / report.wall_seconds

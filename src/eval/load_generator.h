@@ -9,6 +9,9 @@
 #include "geom/rect.h"
 #include "server/lbs_server.h"
 #include "service/service_engine.h"
+#include "telemetry/clock.h"
+#include "telemetry/metric.h"
+#include "telemetry/registry.h"
 
 namespace spacetwist::eval {
 
@@ -22,6 +25,12 @@ struct LoadOptions {
   size_t worker_threads = 4;
   core::QueryParams params;  ///< per-query k / epsilon / anchor distance
   uint64_t seed = 4242;      ///< client workloads derive from seed + index
+  /// Clock used for wall time and per-query latency (null = the process-wide
+  /// real clock; inject a telemetry::VirtualClock for deterministic reports).
+  telemetry::Clock* clock = nullptr;
+  /// Registry receiving the run's eval.load.* instruments (null = the
+  /// process-wide default).
+  telemetry::MetricRegistry* registry = nullptr;
 };
 
 /// Deterministic fingerprint of everything one client computed: the kNN
@@ -43,11 +52,14 @@ struct ClientDigest {
 struct LoadReport {
   double wall_seconds = 0.0;
   double queries_per_second = 0.0;
-  double p50_latency_ms = 0.0;
-  double p99_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;  ///< from `latency` (log-bucket estimate)
+  double p99_latency_ms = 0.0;  ///< from `latency` (log-bucket estimate)
   uint64_t queries = 0;
   uint64_t packets = 0;  ///< downlink packets across all clients
   uint64_t points = 0;   ///< POIs across all clients
+  /// Full per-query latency distribution in nanoseconds (the run's
+  /// eval.load.latency_ns histogram; feeds BENCH_latency.json).
+  telemetry::HistogramSnapshot latency;
   std::vector<ClientDigest> digests;  ///< index = client
 };
 

@@ -1,34 +1,14 @@
 #ifndef SPACETWIST_EVAL_METRICS_H_
 #define SPACETWIST_EVAL_METRICS_H_
 
-#include <algorithm>
-#include <cstddef>
-#include <limits>
+#include "telemetry/metric.h"
 
 namespace spacetwist::eval {
 
-/// Streaming accumulator for a scalar metric.
-class Accumulator {
- public:
-  void Add(double value) {
-    sum_ += value;
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-    ++count_;
-  }
-
-  size_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
-  double Min() const { return count_ == 0 ? 0.0 : min_; }
-  double Max() const { return count_ == 0 ? 0.0 : max_; }
-
- private:
-  double sum_ = 0.0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
-  size_t count_ = 0;
-};
+/// The evaluation harness's scalar accumulator now lives in src/telemetry
+/// (shared with the serving-stack instruments); this alias keeps the many
+/// eval/bench call sites and their spelling (`eval::Accumulator`) stable.
+using Accumulator = telemetry::Accumulator;
 
 }  // namespace spacetwist::eval
 

@@ -45,7 +45,17 @@ const FaultRates& FaultConfig::RatesFor(Direction direction,
 
 FaultyTransport::FaultyTransport(FrameHandler* inner,
                                  const FaultConfig& config, uint64_t seed)
-    : inner_(inner), config_(config), rng_(seed) {}
+    : inner_(inner), config_(config), rng_(seed) {
+  telemetry::MetricRegistry* r =
+      telemetry::MetricRegistry::OrDefault(config_.registry);
+  round_trips_metric_ = r->GetCounter("net.faulty.round_trips");
+  delivered_metric_ = r->GetCounter("net.faulty.delivered");
+  for (uint8_t kind = 0; kind < 6; ++kind) {
+    fault_metrics_[kind] = r->GetCounter(
+        StrFormat("net.faults.%s",
+                  FaultKindName(static_cast<FaultKind>(kind))));
+  }
+}
 
 MessageType FaultyTransport::PeekType(
     const std::vector<uint8_t>& frame) const {
@@ -58,6 +68,7 @@ MessageType FaultyTransport::PeekType(
 void FaultyTransport::Record(Direction direction, MessageType request,
                              FaultKind kind) {
   log_.push_back({ops_ - 1, now_ns_, direction, request, kind});
+  fault_metrics_[static_cast<uint8_t>(kind)]->Add();
   switch (kind) {
     case FaultKind::kDrop:
       ++stats_.drops;
@@ -109,6 +120,7 @@ Result<std::vector<uint8_t>> FaultyTransport::RoundTrip(
   ++ops_;
   now_ns_ += config_.latency_ns;
   ++stats_.round_trips;
+  round_trips_metric_->Add();
 
   if (down_ops_left_ > 0) {
     --down_ops_left_;
@@ -192,6 +204,7 @@ Result<std::vector<uint8_t>> FaultyTransport::RoundTrip(
     holdback_.pop_front();
   }
   ++stats_.delivered;
+  delivered_metric_->Add();
   return reply;
 }
 

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/thread_annotations.h"
 #include "net/wire.h"
+#include "telemetry/registry.h"
 
 namespace spacetwist::net {
 
@@ -77,6 +78,9 @@ struct FaultConfig {
   /// Held-back (reordered/duplicated/stalled) frames kept for later
   /// delivery; the oldest is dropped beyond this.
   size_t max_holdback = 4;
+  /// Metric registry receiving the net.faults.* / net.faulty.* counters
+  /// (null = the process-wide default). Aggregates across transports.
+  telemetry::MetricRegistry* registry = nullptr;
 
   /// Effective rates for one round trip in one direction.
   const FaultRates& RatesFor(Direction direction, MessageType request) const;
@@ -157,6 +161,10 @@ class FaultyTransport : public FrameTransport {
 
   FrameHandler* inner_;
   FaultConfig config_;
+  /// Registry mirrors of FaultStats, keyed by kind name.
+  telemetry::Counter* round_trips_metric_;
+  telemetry::Counter* delivered_metric_;
+  telemetry::Counter* fault_metrics_[6];  ///< indexed by FaultKind
   mutable Mutex mu_;
   Rng rng_ GUARDED_BY(mu_);
   uint64_t now_ns_ GUARDED_BY(mu_) = 0;

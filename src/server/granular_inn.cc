@@ -16,6 +16,13 @@ GranularInnStream::GranularInnStream(rtree::RTree* tree,
   SPACETWIST_CHECK(tree != nullptr);
   SPACETWIST_CHECK(epsilon >= 0.0);
   SPACETWIST_CHECK(k >= 1);
+  telemetry::MetricRegistry* r =
+      telemetry::MetricRegistry::OrDefault(options_.registry);
+  node_reads_metric_ = r->GetCounter("server.granular.node_reads");
+  heap_pops_metric_ = r->GetCounter("server.granular.heap_pops");
+  cells_visited_metric_ = r->GetCounter("server.granular.cells_visited");
+  cells_evicted_metric_ = r->GetCounter("server.granular.cells_evicted");
+  points_reported_metric_ = r->GetCounter("server.granular.points_reported");
   if (epsilon_ > 0.0) {
     // Lemma 2: cell extent lambda = epsilon / sqrt(2) guarantees the
     // epsilon-relaxed result.
@@ -36,7 +43,10 @@ void GranularInnStream::EvictCells(double frontier) {
          eviction_queue_.top().max_dist < frontier) {
     const geom::GridCell cell = eviction_queue_.top().cell;
     eviction_queue_.pop();
-    if (cells_.erase(cell) > 0) ++cells_evicted_;
+    if (cells_.erase(cell) > 0) {
+      ++cells_evicted_;
+      cells_evicted_metric_->Add();
+    }
   }
 }
 
@@ -63,18 +73,21 @@ Result<rtree::DataPoint> GranularInnStream::Next() {
     const HeapItem item = heap_.top();
     heap_.pop();
     ++pops_;
+    heap_pops_metric_->Add();
 
     if (grid_.has_value() && options_.lazy_eviction) EvictCells(item.key);
 
     if (item.is_point) {
       if (!grid_.has_value()) {
         last_report_distance_ = item.key;
+        points_reported_metric_->Add();
         return item.point;
       }
       const geom::GridCell cell = grid_->CellOf(item.point.point);
       auto [it, inserted] = cells_.try_emplace(cell, 0);
       if (it->second >= k_) continue;  // cell already reported k points
       if (inserted) {
+        cells_visited_metric_->Add();
         eviction_queue_.push(
             EvictionEntry{geom::MaxDist(anchor_, grid_->CellRect(cell)),
                           cell});
@@ -82,6 +95,7 @@ Result<rtree::DataPoint> GranularInnStream::Next() {
       ++it->second;
       peak_live_cells_ = std::max(peak_live_cells_, cells_.size());
       last_report_distance_ = item.key;
+      points_reported_metric_->Add();
       return item.point;
     }
 
@@ -90,6 +104,7 @@ Result<rtree::DataPoint> GranularInnStream::Next() {
     // they pop; children have tighter MBRs than the node itself, so this
     // prunes at least as much as a node-level check.
     SPACETWIST_RETURN_NOT_OK(tree_->ReadNode(item.node_page, &node));
+    node_reads_metric_->Add();
     if (node.IsLeaf()) {
       for (const rtree::DataPoint& p : node.points) {
         if (grid_.has_value()) {

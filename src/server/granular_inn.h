@@ -14,6 +14,7 @@
 #include "rtree/entry.h"
 #include "rtree/rtree.h"
 #include "storage/page.h"
+#include "telemetry/registry.h"
 
 namespace spacetwist::server {
 
@@ -26,6 +27,9 @@ struct GranularOptions {
   /// Coverage tests for an entry spanning more than this many grid cells
   /// conservatively report "not covered" (correct, possibly more work).
   int64_t max_coverage_cells = 4096;
+  /// Metric registry the stream publishes its server.granular.* counters to
+  /// (null = the process-wide default).
+  telemetry::MetricRegistry* registry = nullptr;
 };
 
 /// Server-side granular incremental NN search — Algorithm 2 of the paper,
@@ -113,6 +117,14 @@ class GranularInnStream : public net::PointSource {
   size_t peak_live_cells_ = 0;
   uint64_t cells_evicted_ = 0;
   uint64_t pops_ = 0;
+
+  /// Registry mirrors of the per-stream counters above, aggregated across
+  /// streams (the paper's server-side cost metrics).
+  telemetry::Counter* node_reads_metric_;
+  telemetry::Counter* heap_pops_metric_;
+  telemetry::Counter* cells_visited_metric_;
+  telemetry::Counter* cells_evicted_metric_;
+  telemetry::Counter* points_reported_metric_;
 };
 
 }  // namespace spacetwist::server

@@ -1,7 +1,6 @@
 #include "service/service_engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 #include <variant>
 
@@ -12,13 +11,6 @@ namespace spacetwist::service {
 
 namespace {
 
-uint64_t SteadyNowNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
 constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
 
 }  // namespace
@@ -27,10 +19,36 @@ ServiceEngine::ServiceEngine(server::LbsServer* server,
                              const ServiceOptions& options)
     : server_(server),
       options_(options),
+      clock_(telemetry::OrDefault(options.clock)),
       shards_(std::max<size_t>(1, options.num_shards)) {
   SPACETWIST_CHECK(server != nullptr);
   SPACETWIST_CHECK(options_.max_sessions >= 1);
-  if (!options_.clock) options_.clock = SteadyNowNs;
+  telemetry::MetricRegistry* r =
+      telemetry::MetricRegistry::OrDefault(options_.registry);
+  // One injected registry observes the whole stack: the engine hands its
+  // registry down to the per-session granular streams.
+  if (options_.granular.registry == nullptr) options_.granular.registry = r;
+  instruments_.open_requests = r->GetCounter("service.engine.open_requests");
+  instruments_.pull_requests = r->GetCounter("service.engine.pull_requests");
+  instruments_.pulls_replayed = r->GetCounter("service.engine.pulls_replayed");
+  instruments_.close_requests = r->GetCounter("service.engine.close_requests");
+  instruments_.decode_errors = r->GetCounter("service.engine.decode_errors");
+  instruments_.sessions_opened =
+      r->GetCounter("service.engine.sessions_opened");
+  instruments_.sessions_closed =
+      r->GetCounter("service.engine.sessions_closed");
+  instruments_.sessions_evicted =
+      r->GetCounter("service.engine.sessions_evicted");
+  instruments_.sessions_rejected =
+      r->GetCounter("service.engine.sessions_rejected");
+  instruments_.open_sessions = r->GetGauge("service.engine.open_sessions");
+  instruments_.shard_sessions =
+      r->GetHistogram("service.engine.shard_sessions");
+  instruments_.downlink_packets = r->GetCounter("net.channel.downlink_packets");
+  instruments_.downlink_points = r->GetCounter("net.channel.downlink_points");
+  instruments_.uplink_packets = r->GetCounter("net.channel.uplink_packets");
+  instruments_.downlink_bytes = r->GetCounter("net.channel.downlink_bytes");
+  instruments_.uplink_bytes = r->GetCounter("net.channel.uplink_bytes");
 }
 
 ServiceEngine::~ServiceEngine() {
@@ -47,6 +65,7 @@ ServiceEngine::~ServiceEngine() {
 Result<uint64_t> ServiceEngine::Open(const geom::Point& anchor, double epsilon,
                                      size_t k) {
   counters_.open_requests.fetch_add(1, kRelaxed);
+  instruments_.open_requests->Add();
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   if (epsilon < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
 
@@ -63,6 +82,7 @@ Result<uint64_t> ServiceEngine::Open(const geom::Point& anchor, double epsilon,
   };
   if (!try_claim() && (EvictIdle() == 0 || !try_claim())) {
     counters_.sessions_rejected.fetch_add(1, kRelaxed);
+    instruments_.sessions_rejected->Add();
     return Status::ResourceExhausted(
         StrFormat("session limit (%zu) reached", options_.max_sessions));
   }
@@ -82,8 +102,11 @@ Result<uint64_t> ServiceEngine::Open(const geom::Point& anchor, double epsilon,
     // elsewhere cannot pin this shard's abandoned sessions forever.
     SweepShardLocked(&shard, now);
     shard.sessions.emplace(id, std::move(session));
+    instruments_.shard_sessions->Record(shard.sessions.size());
   }
   counters_.sessions_opened.fetch_add(1, kRelaxed);
+  instruments_.sessions_opened->Add();
+  instruments_.open_sessions->Add(1);
   return id;
 }
 
@@ -93,6 +116,7 @@ Result<net::Packet> ServiceEngine::Pull(uint64_t session_id) {
   auto it = shard.sessions.find(session_id);
   if (it == shard.sessions.end()) {
     counters_.pull_requests.fetch_add(1, kRelaxed);
+    instruments_.pull_requests->Add();
     return Status::NotFound(StrFormat(
         "session %llu", static_cast<unsigned long long>(session_id)));
   }
@@ -105,6 +129,7 @@ Result<net::Packet> ServiceEngine::Pull(uint64_t session_id, uint64_t seq) {
   auto it = shard.sessions.find(session_id);
   if (it == shard.sessions.end()) {
     counters_.pull_requests.fetch_add(1, kRelaxed);
+    instruments_.pull_requests->Add();
     return Status::NotFound(StrFormat(
         "session %llu", static_cast<unsigned long long>(session_id)));
   }
@@ -114,10 +139,12 @@ Result<net::Packet> ServiceEngine::Pull(uint64_t session_id, uint64_t seq) {
 Result<net::Packet> ServiceEngine::PullLocked(Shard* /*shard*/, Session* session,
                                               uint64_t seq) {
   counters_.pull_requests.fetch_add(1, kRelaxed);
+  instruments_.pull_requests->Add();
   session->last_touch_ns = NowNs();
   if (session->has_cached && seq + 1 == session->next_seq) {
     // Idempotent retry: the client never saw the reply to its last pull.
     counters_.pulls_replayed.fetch_add(1, kRelaxed);
+    instruments_.pulls_replayed->Add();
     return session->cached;
   }
   if (seq != session->next_seq) {
@@ -140,6 +167,7 @@ Result<net::Packet> ServiceEngine::PullLocked(Shard* /*shard*/, Session* session
 
 Status ServiceEngine::Close(uint64_t session_id) {
   counters_.close_requests.fetch_add(1, kRelaxed);
+  instruments_.close_requests->Add();
   Shard& shard = ShardFor(session_id);
   {
     MutexLock lock(&shard.mu);
@@ -153,6 +181,8 @@ Status ServiceEngine::Close(uint64_t session_id) {
   }
   open_count_.fetch_sub(1, kRelaxed);
   counters_.sessions_closed.fetch_add(1, kRelaxed);
+  instruments_.sessions_closed->Add();
+  instruments_.open_sessions->Add(-1);
   return Status::OK();
 }
 
@@ -173,6 +203,7 @@ std::vector<uint8_t> ServiceEngine::HandleFrame(
   Result<net::Request> request = net::DecodeRequest(request_frame);
   if (!request.ok()) {
     counters_.decode_errors.fetch_add(1, kRelaxed);
+    instruments_.decode_errors->Add();
     return EncodeErrorFrame(request.status());
   }
 
@@ -232,6 +263,11 @@ void ServiceEngine::Absorb(const Session& session) {
   totals_.uplink_packets.fetch_add(stats.uplink_packets, kRelaxed);
   totals_.downlink_bytes.fetch_add(stats.downlink_bytes, kRelaxed);
   totals_.uplink_bytes.fetch_add(stats.uplink_bytes, kRelaxed);
+  instruments_.downlink_packets->Add(stats.downlink_packets);
+  instruments_.downlink_points->Add(stats.downlink_points);
+  instruments_.uplink_packets->Add(stats.uplink_packets);
+  instruments_.downlink_bytes->Add(stats.downlink_bytes);
+  instruments_.uplink_bytes->Add(stats.uplink_bytes);
 }
 
 size_t ServiceEngine::SweepShardLocked(Shard* shard, uint64_t now_ns) {
@@ -250,6 +286,8 @@ size_t ServiceEngine::SweepShardLocked(Shard* shard, uint64_t now_ns) {
   if (evicted > 0) {
     open_count_.fetch_sub(evicted, kRelaxed);
     counters_.sessions_evicted.fetch_add(evicted, kRelaxed);
+    instruments_.sessions_evicted->Add(evicted);
+    instruments_.open_sessions->Add(-static_cast<int64_t>(evicted));
   }
   return evicted;
 }

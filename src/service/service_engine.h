@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +16,8 @@
 #include "net/wire.h"
 #include "server/granular_inn.h"
 #include "server/lbs_server.h"
+#include "telemetry/clock.h"
+#include "telemetry/registry.h"
 
 namespace spacetwist::service {
 
@@ -34,10 +35,15 @@ struct ServiceOptions {
   uint64_t idle_ttl_ns = 0;
   net::PacketConfig packet;  ///< downlink packet sizing (beta = 67)
   server::GranularOptions granular;
-  /// Monotonic nanosecond clock; injectable so tests drive TTL eviction
-  /// deterministically. Defaults to std::chrono::steady_clock. Must be
-  /// callable from any thread.
-  std::function<uint64_t()> clock;
+  /// Monotonic nanosecond clock; inject a telemetry::VirtualClock so tests
+  /// drive TTL eviction deterministically. Null = the process-wide real
+  /// clock. Must be safe to call from any thread.
+  telemetry::Clock* clock = nullptr;
+  /// Metric registry receiving the engine's service.engine.* and
+  /// net.channel.* instruments (null = the process-wide default). Also
+  /// propagated to the granular streams when `granular.registry` is null,
+  /// so one injected registry captures the whole serving stack.
+  telemetry::MetricRegistry* registry = nullptr;
 };
 
 /// Snapshot of the engine's counters. Transport totals cover closed,
@@ -148,7 +154,7 @@ class ServiceEngine : public net::FrameHandler {
     return shards_[session_id % shards_.size()];
   }
 
-  uint64_t NowNs() const { return options_.clock(); }
+  uint64_t NowNs() const { return clock_->NowNs(); }
 
   /// Shared body of both Pull overloads; caller holds the owning shard's
   /// mutex (`shard` names it for the static analysis).
@@ -170,6 +176,7 @@ class ServiceEngine : public net::FrameHandler {
 
   server::LbsServer* server_;
   ServiceOptions options_;
+  telemetry::Clock* clock_;
   std::vector<Shard> shards_;
 
   std::atomic<uint64_t> next_id_{1};
@@ -198,6 +205,30 @@ class ServiceEngine : public net::FrameHandler {
     std::atomic<uint64_t> uplink_bytes{0};
   };
   TransportTotals totals_;
+
+  /// Registry mirrors of Counters/TransportTotals plus the occupancy
+  /// instruments (gauge of live sessions, histogram of per-shard session
+  /// counts sampled at each Open). Resolved once in the constructor; the
+  /// engine's own atomics stay the source of truth for metrics().
+  struct Instruments {
+    telemetry::Counter* open_requests;
+    telemetry::Counter* pull_requests;
+    telemetry::Counter* pulls_replayed;
+    telemetry::Counter* close_requests;
+    telemetry::Counter* decode_errors;
+    telemetry::Counter* sessions_opened;
+    telemetry::Counter* sessions_closed;
+    telemetry::Counter* sessions_evicted;
+    telemetry::Counter* sessions_rejected;
+    telemetry::Gauge* open_sessions;
+    telemetry::Histogram* shard_sessions;
+    telemetry::Counter* downlink_packets;
+    telemetry::Counter* downlink_points;
+    telemetry::Counter* uplink_packets;
+    telemetry::Counter* downlink_bytes;
+    telemetry::Counter* uplink_bytes;
+  };
+  Instruments instruments_;
 };
 
 }  // namespace spacetwist::service

@@ -27,12 +27,23 @@ WireSession::WireSession(net::FrameTransport* transport,
       rng_(retry.seed),
       anchor_(anchor),
       epsilon_(epsilon),
-      k_(k) {}
+      k_(k) {
+  telemetry::MetricRegistry* r =
+      telemetry::MetricRegistry::OrDefault(retry_.registry);
+  round_trips_metric_ = r->GetCounter("client.wire.round_trips");
+  retries_metric_ = r->GetCounter("client.wire.retries");
+  reopens_metric_ = r->GetCounter("client.wire.reopens");
+  stale_replies_metric_ = r->GetCounter("client.wire.stale_replies");
+  backoff_ns_metric_ = r->GetCounter("client.wire.backoff_ns");
+  bytes_sent_metric_ = r->GetCounter("client.wire.bytes_sent");
+  bytes_received_metric_ = r->GetCounter("client.wire.bytes_received");
+}
 
 bool WireSession::Tick(Budget* budget) {
   if (budget->attempts >= retry_.policy.max_attempts) return false;
   if (budget->attempts > 0) {
     ++stats_.retries;
+    retries_metric_->Add();
     const size_t retry_index = budget->attempts;  // 1-based
     const int shift = static_cast<int>(std::min<size_t>(retry_index - 1, 20));
     uint64_t backoff = std::min(retry_.policy.base_backoff_ns << shift,
@@ -43,21 +54,28 @@ bool WireSession::Tick(Budget* budget) {
       backoff = static_cast<uint64_t>(static_cast<double>(backoff) * factor);
     }
     stats_.backoff_ns += backoff;
+    backoff_ns_metric_->Add(backoff);
+    telemetry::Trace::EventOn(retry_.trace, "wire.backoff", backoff);
     if (retry_.sleep) retry_.sleep(backoff);
   }
   ++budget->attempts;
   ++stats_.attempts;
+  round_trips_metric_->Add();
   return true;
 }
 
 Result<net::Response> WireSession::RoundTrip(const net::Request& request) {
-  SPACETWIST_ASSIGN_OR_RETURN(
-      std::vector<uint8_t> reply,
-      transport_->RoundTrip(net::EncodeRequest(request)));
+  const std::vector<uint8_t> frame = net::EncodeRequest(request);
+  bytes_sent_metric_->Add(frame.size());
+  SPACETWIST_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                              transport_->RoundTrip(frame));
+  bytes_received_metric_->Add(reply.size());
   return net::DecodeResponse(reply);
 }
 
 Status WireSession::OpenSession(Budget* budget) {
+  telemetry::Trace::Span span =
+      telemetry::Trace::SpanOn(retry_.trace, "wire.open");
   // Every attempt gets a fresh nonce; any of them identifies *this* open
   // (an earlier attempt's reply may arrive late and is equally valid).
   std::vector<uint64_t> nonces;
@@ -80,16 +98,17 @@ Status WireSession::OpenSession(Budget* budget) {
       if (std::find(nonces.begin(), nonces.end(), ok->nonce) !=
           nonces.end()) {
         session_id_ = ok->session_id;
+        span.Note("attempts", budget->attempts);
         return Status::OK();
       }
-      ++stats_.stale_replies;  // OpenOk of some earlier query
+      MarkStale();  // OpenOk of some earlier query
       continue;
     }
     if (const auto* error = std::get_if<net::ErrorReply>(&*response)) {
       // Open errors carry no session id; an error echoing one is a stale
       // reply to some earlier pull or close.
       if (error->session_id != 0) {
-        ++stats_.stale_replies;
+        MarkStale();
         continue;
       }
       const Status status = net::ToStatus(*error);
@@ -98,7 +117,7 @@ Status WireSession::OpenSession(Budget* budget) {
       }
       continue;  // transient server-side condition
     }
-    ++stats_.stale_replies;  // PacketReply/CloseOk: stale frames
+    MarkStale();  // PacketReply/CloseOk: stale frames
   }
   return Status::DeadlineExceeded("open retry budget exhausted");
 }
@@ -133,6 +152,9 @@ Result<std::unique_ptr<WireSession>> WireSession::Open(
 
 Result<net::Packet> WireSession::NextPacket() {
   if (closed_) return Status::Internal("session already closed");
+  telemetry::Trace::Span span =
+      telemetry::Trace::SpanOn(retry_.trace, "wire.pull");
+  span.Note("seq", next_seq_);
   Budget budget;
   size_t reopens = 0;
   // `cursor` is the sequence number we need from the *current* server
@@ -148,6 +170,8 @@ Result<net::Packet> WireSession::NextPacket() {
     }
     SPACETWIST_RETURN_NOT_OK(OpenSession(&budget));
     ++stats_.reopens;
+    reopens_metric_->Add();
+    telemetry::Trace::EventOn(retry_.trace, "wire.reopen");
     cursor = 0;
     budget.attempts = 0;
     return Status::OK();
@@ -168,7 +192,7 @@ Result<net::Packet> WireSession::NextPacket() {
     }
     if (auto* packet = std::get_if<net::PacketReply>(&*response)) {
       if (packet->session_id != session_id_ || packet->seq != cursor) {
-        ++stats_.stale_replies;
+        MarkStale();
         continue;
       }
       if (cursor < next_seq_) {
@@ -181,7 +205,7 @@ Result<net::Packet> WireSession::NextPacket() {
     }
     if (const auto* error = std::get_if<net::ErrorReply>(&*response)) {
       if (error->session_id != session_id_) {
-        ++stats_.stale_replies;
+        MarkStale();
         continue;
       }
       const Status status = net::ToStatus(*error);
@@ -201,13 +225,15 @@ Result<net::Packet> WireSession::NextPacket() {
       if (status.IsInvalidArgument()) return status;  // protocol misuse
       continue;  // transient server-side condition
     }
-    ++stats_.stale_replies;  // OpenOk/CloseOk: stale frames
+    MarkStale();  // OpenOk/CloseOk: stale frames
   }
   return Status::DeadlineExceeded("pull retry budget exhausted");
 }
 
 Status WireSession::Close() {
   if (closed_) return Status::Internal("session already closed");
+  telemetry::Trace::Span span =
+      telemetry::Trace::SpanOn(retry_.trace, "wire.close");
   Budget budget;
   while (Tick(&budget)) {
     Result<net::Response> response =
@@ -221,7 +247,7 @@ Status WireSession::Close() {
     }
     if (const auto* ok = std::get_if<net::CloseOk>(&*response)) {
       if (ok->session_id != session_id_) {
-        ++stats_.stale_replies;
+        MarkStale();
         continue;
       }
       closed_ = true;
@@ -229,7 +255,7 @@ Status WireSession::Close() {
     }
     if (const auto* error = std::get_if<net::ErrorReply>(&*response)) {
       if (error->session_id != session_id_) {
-        ++stats_.stale_replies;
+        MarkStale();
         continue;
       }
       const Status status = net::ToStatus(*error);
@@ -242,7 +268,7 @@ Status WireSession::Close() {
       if (status.IsInvalidArgument()) return status;
       continue;
     }
-    ++stats_.stale_replies;
+    MarkStale();
   }
   return Status::DeadlineExceeded("close retry budget exhausted");
 }

@@ -13,6 +13,8 @@
 #include "net/channel.h"
 #include "net/packet.h"
 #include "net/wire.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace spacetwist::service {
 
@@ -45,6 +47,13 @@ struct RetryConfig {
   /// Invoked with each backoff duration; wire it to a real sleep in a
   /// deployment, leave empty in tests (virtual time only).
   std::function<void(uint64_t ns)> sleep;
+  /// Metric registry receiving the session's client.wire.* counters
+  /// (null = the process-wide default).
+  telemetry::MetricRegistry* registry = nullptr;
+  /// Optional per-query trace: the session records open/pull/close spans
+  /// and backoff/reopen/stale events on it. Null disables tracing. The
+  /// trace is borrowed and must outlive the session.
+  telemetry::Trace* trace = nullptr;
 };
 
 /// What resilience cost: retransmissions, stale frames discarded, session
@@ -140,10 +149,27 @@ class WireSession : public net::PacketTransport {
   /// Sets session_id_ on success.
   Status OpenSession(Budget* budget);
 
+  /// Counts one stale reply (local stats + registry mirror).
+  void MarkStale() {
+    ++stats_.stale_replies;
+    stale_replies_metric_->Add();
+    telemetry::Trace::EventOn(retry_.trace, "wire.stale");
+  }
+
   net::FrameTransport* transport_;
   std::unique_ptr<net::DirectTransport> owned_transport_;
   RetryConfig retry_;
   Rng rng_;
+
+  /// Registry mirrors of RetryStats plus wire volume, aggregated across
+  /// sessions.
+  telemetry::Counter* round_trips_metric_;
+  telemetry::Counter* retries_metric_;
+  telemetry::Counter* reopens_metric_;
+  telemetry::Counter* stale_replies_metric_;
+  telemetry::Counter* backoff_ns_metric_;
+  telemetry::Counter* bytes_sent_metric_;
+  telemetry::Counter* bytes_received_metric_;
 
   geom::Point anchor_;  ///< kept for re-opens after disconnects
   double epsilon_;

@@ -6,10 +6,15 @@
 
 namespace spacetwist::storage {
 
-BufferPool::BufferPool(Pager* pager, size_t capacity, bool synchronized)
+BufferPool::BufferPool(Pager* pager, size_t capacity, bool synchronized,
+                       telemetry::MetricRegistry* registry)
     : pager_(pager), capacity_(capacity), synchronized_(synchronized) {
   SPACETWIST_CHECK(pager != nullptr);
   SPACETWIST_CHECK(capacity >= 1);
+  telemetry::MetricRegistry* r = telemetry::MetricRegistry::OrDefault(registry);
+  hits_ = r->GetCounter("storage.buffer_pool.hits");
+  misses_ = r->GetCounter("storage.buffer_pool.misses");
+  evictions_ = r->GetCounter("storage.buffer_pool.evictions");
 }
 
 Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
@@ -18,9 +23,11 @@ Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
   auto it = map_.find(id);
   if (it != map_.end()) {
     Touch(id, &it->second);
+    hits_->Add();
     return it->second.page;
   }
   ++stats_.physical_reads;
+  misses_->Add();
   auto page = std::make_shared<Page>(pager_->page_size());
   SPACETWIST_RETURN_NOT_OK(pager_->Read(id, page.get()));
   EvictIfNeeded();
@@ -62,6 +69,7 @@ void BufferPool::EvictIfNeeded() {
     const PageId victim = lru_.back();
     lru_.pop_back();
     map_.erase(victim);
+    evictions_->Add();
   }
 }
 

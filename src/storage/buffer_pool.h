@@ -12,6 +12,7 @@
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/pager.h"
+#include "telemetry/registry.h"
 
 namespace spacetwist::storage {
 
@@ -38,8 +39,12 @@ class BufferPool {
  public:
   using PageHandle = std::shared_ptr<const Page>;
 
-  /// `capacity` is the number of cached pages (>= 1).
-  BufferPool(Pager* pager, size_t capacity, bool synchronized = false);
+  /// `capacity` is the number of cached pages (>= 1). Cache traffic is
+  /// additionally published to `registry` (null = the process-wide default)
+  /// as the storage.buffer_pool.{hits,misses,evictions} counters — the
+  /// paper's R-tree node I/O cost metric, aggregated across pools.
+  BufferPool(Pager* pager, size_t capacity, bool synchronized = false,
+             telemetry::MetricRegistry* registry = nullptr);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -81,6 +86,9 @@ class BufferPool {
   Pager* pager_;
   size_t capacity_;
   bool synchronized_;
+  telemetry::Counter* hits_;
+  telemetry::Counter* misses_;
+  telemetry::Counter* evictions_;
   mutable Mutex mu_;
   std::list<PageId> lru_ GUARDED_BY(mu_);  // front = most recently used
   std::unordered_map<PageId, Entry> map_ GUARDED_BY(mu_);

@@ -1,0 +1,19 @@
+#include "telemetry/clock.h"
+
+#include <chrono>
+
+namespace spacetwist::telemetry {
+
+uint64_t RealClock::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Clock* DefaultClock() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace spacetwist::telemetry

@@ -1,0 +1,67 @@
+#ifndef SPACETWIST_TELEMETRY_CLOCK_H_
+#define SPACETWIST_TELEMETRY_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace spacetwist::telemetry {
+
+/// Injectable monotonic nanosecond clock — the only sanctioned way to read
+/// time in this codebase (machine-enforced: the `clock` rule of
+/// tools/check_invariants.py forbids direct std::chrono clock reads outside
+/// src/telemetry/clock.*). Production code takes a `Clock*` and defaults to
+/// the process-wide RealClock; tests inject a VirtualClock so traces,
+/// latency histograms, and TTL eviction are byte-identical across runs —
+/// the same virtual-time discipline net::FaultyTransport uses internally.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds on a monotonic timeline. Must be callable from any thread.
+  virtual uint64_t NowNs() = 0;
+};
+
+/// Wall-time implementation over std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  uint64_t NowNs() override;
+};
+
+/// Deterministic manually-driven clock. Every NowNs() returns the current
+/// time and then advances it by `auto_advance_ns` — a nonzero step makes
+/// span durations nonzero and reproducible without any explicit Advance()
+/// calls. Thread-safe (atomic timeline).
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(uint64_t start_ns = 0, uint64_t auto_advance_ns = 0)
+      : now_ns_(start_ns), auto_advance_ns_(auto_advance_ns) {}
+
+  uint64_t NowNs() override {
+    return now_ns_.fetch_add(auto_advance_ns_, std::memory_order_relaxed);
+  }
+
+  void Advance(uint64_t delta_ns) {
+    now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+
+  void Set(uint64_t now_ns) {
+    now_ns_.store(now_ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> now_ns_;
+  uint64_t auto_advance_ns_;
+};
+
+/// The process-wide RealClock.
+Clock* DefaultClock();
+
+/// `clock` when non-null, the process-wide RealClock otherwise — the
+/// idiom every `Clock*`-taking option struct resolves through.
+inline Clock* OrDefault(Clock* clock) {
+  return clock != nullptr ? clock : DefaultClock();
+}
+
+}  // namespace spacetwist::telemetry
+
+#endif  // SPACETWIST_TELEMETRY_CLOCK_H_

@@ -1,0 +1,200 @@
+#include "telemetry/export.h"
+
+#include "common/strings.h"
+
+namespace spacetwist::telemetry {
+
+void JsonWriter::Prefix() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+    out_ += '\n';
+    Indent();
+  }
+}
+
+void JsonWriter::Indent() {
+  out_.append(needs_comma_.size() * 2, ' ');
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Prefix();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  const bool had_members = needs_comma_.back();
+  needs_comma_.pop_back();
+  if (had_members) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Prefix();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  const bool had_members = needs_comma_.back();
+  needs_comma_.pop_back();
+  if (had_members) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  Prefix();
+  AppendString(name);
+  out_ += ": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t value) {
+  Prefix();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  Prefix();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value, int precision) {
+  Prefix();
+  out_ += FormatDouble(value, precision);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  Prefix();
+  AppendString(value);
+  return *this;
+}
+
+void JsonWriter::AppendString(std::string_view value) {
+  out_ += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out_ += StrFormat("\\u%04x", c);
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+std::string JsonWriter::str() const {
+  return needs_comma_.empty() ? out_ + "\n" : out_;
+}
+
+void WriteHistogram(const HistogramSnapshot& histogram, JsonWriter* writer) {
+  JsonWriter& w = *writer;
+  w.BeginObject();
+  w.KV("count", histogram.count);
+  w.KV("sum", histogram.sum);
+  w.KV("min", histogram.min);
+  w.KV("max", histogram.max);
+  w.KV("mean", histogram.Mean());
+  w.KV("p50", histogram.Percentile(0.50));
+  w.KV("p95", histogram.Percentile(0.95));
+  w.KV("p99", histogram.Percentile(0.99));
+  w.Key("buckets").BeginArray();
+  for (const HistogramBucket& bucket : histogram.buckets) {
+    w.BeginArray()
+        .Value(bucket.lo)
+        .Value(bucket.hi)
+        .Value(bucket.count)
+        .EndArray();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+void WriteSnapshot(const RegistrySnapshot& snapshot, JsonWriter* writer) {
+  JsonWriter& w = *writer;
+  w.KV("schema", kTelemetrySchema);
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) w.KV(name, value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) w.KV(name, value);
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    w.Key(name);
+    WriteHistogram(histogram, &w);
+  }
+  w.EndObject();
+}
+
+std::string ToJson(const RegistrySnapshot& snapshot) {
+  JsonWriter writer;
+  writer.BeginObject();
+  WriteSnapshot(snapshot, &writer);
+  writer.EndObject();
+  return writer.str();
+}
+
+std::string ToStatsz(const RegistrySnapshot& snapshot) {
+  std::string out = "=== spacetwist statsz ===\n";
+  out += StrFormat("schema: %.*s\n",
+                   static_cast<int>(kTelemetrySchema.size()),
+                   kTelemetrySchema.data());
+  out += "\ncounters:\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out += StrFormat("  %-44s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  out += "\ngauges:\n";
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += StrFormat("  %-44s %lld\n", name.c_str(),
+                     static_cast<long long>(value));
+  }
+  out += "\nhistograms:\n";
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    out += StrFormat(
+        "  %-44s count=%llu mean=%.1f min=%llu max=%llu p50=%.1f "
+        "p95=%.1f p99=%.1f\n",
+        name.c_str(), static_cast<unsigned long long>(histogram.count),
+        histogram.Mean(), static_cast<unsigned long long>(histogram.min),
+        static_cast<unsigned long long>(histogram.max),
+        histogram.Percentile(0.50), histogram.Percentile(0.95),
+        histogram.Percentile(0.99));
+  }
+  return out;
+}
+
+}  // namespace spacetwist::telemetry

@@ -1,0 +1,88 @@
+#ifndef SPACETWIST_TELEMETRY_EXPORT_H_
+#define SPACETWIST_TELEMETRY_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/registry.h"
+
+namespace spacetwist::telemetry {
+
+/// Deterministic incremental JSON builder: two-space indentation, keys
+/// emitted in call order, fixed number formatting — identical calls yield
+/// identical bytes, which is what lets snapshot exports (and the bench
+/// BENCH_*.json artifacts built on this writer) be diffed across runs.
+/// No validation beyond comma/indent bookkeeping; callers must pair
+/// Begin/End correctly.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits `"name":` — must be followed by a value or Begin*.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(unsigned value) {
+    return Value(static_cast<uint64_t>(value));
+  }
+  /// Fixed-point with `precision` decimals (deterministic formatting).
+  JsonWriter& Value(double value, int precision = 3);
+  JsonWriter& Value(std::string_view value);
+
+  /// Shorthand for Key(name).Value(value).
+  template <typename T>
+  JsonWriter& KV(std::string_view name, T value) {
+    Key(name);
+    return Value(value);
+  }
+  JsonWriter& KV(std::string_view name, double value, int precision) {
+    Key(name);
+    return Value(value, precision);
+  }
+
+  /// The document built so far (with a trailing newline once all scopes
+  /// are closed).
+  std::string str() const;
+
+ private:
+  void Prefix();
+  void Indent();
+  void AppendString(std::string_view value);
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  ///< one flag per open scope
+  bool after_key_ = false;
+};
+
+/// Identifier of the exporter's JSON layout; bumped on incompatible
+/// changes. tools/validate_telemetry_json.py checks documents against this
+/// schema (documented in docs/OBSERVABILITY.md).
+inline constexpr std::string_view kTelemetrySchema =
+    "spacetwist.telemetry.v1";
+
+/// Renders `snapshot` as the schema's stable-ordered JSON document.
+std::string ToJson(const RegistrySnapshot& snapshot);
+
+/// Emits one histogram snapshot as a JSON object value (the schema's
+/// histogram layout) — call after Key(name) when embedding a standalone
+/// distribution (e.g. the load generator's BENCH_latency.json).
+void WriteHistogram(const HistogramSnapshot& histogram, JsonWriter* writer);
+
+/// Emits the snapshot's instruments into an already-open object scope of
+/// `writer` (schema marker included) — how benches embed telemetry inside
+/// a larger document.
+void WriteSnapshot(const RegistrySnapshot& snapshot, JsonWriter* writer);
+
+/// Renders `snapshot` as the human-readable /statsz text page.
+std::string ToStatsz(const RegistrySnapshot& snapshot);
+
+}  // namespace spacetwist::telemetry
+
+#endif  // SPACETWIST_TELEMETRY_EXPORT_H_

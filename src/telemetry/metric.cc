@@ -1,0 +1,99 @@
+#include "telemetry/metric.h"
+
+#include <bit>
+#include <cmath>
+
+namespace spacetwist::telemetry {
+
+namespace {
+
+/// First octave with sub-bucketing; values below 2^kFirstOctave get exact
+/// unit buckets.
+constexpr int kFirstOctave = 4;
+constexpr uint64_t kLinearCutoff = uint64_t{1} << kFirstOctave;  // 16
+constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave
+
+}  // namespace
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kLinearCutoff) return static_cast<size_t>(value);
+  const int octave = std::bit_width(value) - 1;  // 2^octave <= value
+  const uint64_t sub = (value - (uint64_t{1} << octave)) >>
+                       (octave - kSubBucketBits);
+  return kLinearCutoff +
+         static_cast<size_t>(octave - kFirstOctave) * (1u << kSubBucketBits) +
+         static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketLo(size_t index) {
+  if (index < kLinearCutoff) return index;
+  const size_t offset = index - kLinearCutoff;
+  const int octave = kFirstOctave + static_cast<int>(offset >> kSubBucketBits);
+  const uint64_t sub = offset & ((1u << kSubBucketBits) - 1);
+  return (uint64_t{1} << octave) + (sub << (octave - kSubBucketBits));
+}
+
+uint64_t Histogram::BucketHi(size_t index) {
+  if (index < kLinearCutoff) return index + 1;
+  const size_t offset = index - kLinearCutoff;
+  const int octave = kFirstOctave + static_cast<int>(offset >> kSubBucketBits);
+  const uint64_t lo = BucketLo(index);
+  const uint64_t hi = lo + (uint64_t{1} << (octave - kSubBucketBits));
+  // The very last sub-bucket's bound is 2^64; saturate instead of wrapping.
+  return hi > lo ? hi : std::numeric_limits<uint64_t>::max();
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (const std::atomic<uint64_t>& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t count = buckets_[i].load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    snapshot.buckets.push_back(HistogramBucket{BucketLo(i), BucketHi(i),
+                                               count});
+    snapshot.count += count;
+  }
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  const uint64_t min = min_.load(std::memory_order_relaxed);
+  snapshot.min =
+      snapshot.count == 0 || min == std::numeric_limits<uint64_t>::max()
+          ? 0
+          : min;
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank (1-based) of the requested quantile.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(clamped * static_cast<double>(count)));
+  rank = std::min<uint64_t>(std::max<uint64_t>(rank, 1), count);
+  uint64_t cumulative = 0;
+  for (const HistogramBucket& bucket : buckets) {
+    if (cumulative + bucket.count < rank) {
+      cumulative += bucket.count;
+      continue;
+    }
+    // Midpoint interpolation: the j-th of c values in [lo, hi) is estimated
+    // at lo + width * (2j - 1) / (2c) — always inside the bucket, so the
+    // error is bounded by the bucket width regardless of c.
+    const uint64_t position = rank - cumulative;  // 1..bucket.count
+    const double width = static_cast<double>(bucket.hi - bucket.lo);
+    return static_cast<double>(bucket.lo) +
+           width * (2.0 * static_cast<double>(position) - 1.0) /
+               (2.0 * static_cast<double>(bucket.count));
+  }
+  // Unreachable when the invariants hold; fall back to the max seen.
+  return static_cast<double>(max);
+}
+
+}  // namespace spacetwist::telemetry

@@ -1,0 +1,165 @@
+#ifndef SPACETWIST_TELEMETRY_METRIC_H_
+#define SPACETWIST_TELEMETRY_METRIC_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace spacetwist::telemetry {
+
+/// Monotone event counter. Hot-path cost is one relaxed fetch_add; safe to
+/// hit from any thread. Instruments live in a MetricRegistry and are
+/// addressed by stable pointer, so callers fetch them once at construction
+/// and increment without any lookup or lock.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (occupancy, depth, watermark).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// One bucket of a histogram snapshot: counts values in [lo, hi).
+struct HistogramBucket {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  uint64_t count = 0;
+};
+
+/// Consistent read of a Histogram. `count` is by construction the sum of
+/// the bucket counts, so exporters can rely on the cumulative invariant
+/// even when the snapshot raced concurrent recorders.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< 0 when empty
+  uint64_t max = 0;
+  std::vector<HistogramBucket> buckets;  ///< non-empty buckets, ascending lo
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Deterministic quantile estimate for `q` in [0, 1]: nearest-rank bucket
+  /// lookup with midpoint interpolation inside the bucket. The log-linear
+  /// bucket layout (16 sub-buckets per octave) bounds the error to one
+  /// bucket width: |estimate - exact| <= max(1, exact / 16).
+  double Percentile(double q) const;
+};
+
+/// Fixed log-bucketed concurrent histogram over uint64 values (typically
+/// nanoseconds). Values 0..15 get exact unit buckets; every later octave
+/// [2^o, 2^(o+1)) is split into 16 linear sub-buckets, so quantile
+/// estimates carry at most ~6.25% relative error while the whole histogram
+/// is a flat array of relaxed atomics — recording is wait-free and needs
+/// no locks, which keeps it viable on the serving hot path.
+class Histogram {
+ public:
+  /// 16 unit buckets + 16 sub-buckets for each octave 4..63.
+  static constexpr size_t kNumBuckets = 16 + 60 * 16;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    UpdateMin(value);
+    UpdateMax(value);
+  }
+
+  uint64_t count() const;
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Bucket index for `value` (exposed for the property test).
+  static size_t BucketIndex(uint64_t value);
+  /// Inclusive lower bound of bucket `index`.
+  static uint64_t BucketLo(size_t index);
+  /// Exclusive upper bound of bucket `index`.
+  static uint64_t BucketHi(size_t index);
+
+ private:
+  void UpdateMin(uint64_t value) {
+    uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  void UpdateMax(uint64_t value) {
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{std::numeric_limits<uint64_t>::max()};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Streaming min/max/mean accumulator for a scalar metric — the
+/// single-threaded bookkeeping helper the evaluation harness and benches
+/// use for table rows (use Histogram when percentiles or concurrency are
+/// needed).
+class Accumulator {
+ public:
+  void Add(double value) {
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    ++count_;
+  }
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double Min() const { return count_ == 0 ? 0.0 : min_; }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  size_t count_ = 0;
+};
+
+}  // namespace spacetwist::telemetry
+
+#endif  // SPACETWIST_TELEMETRY_METRIC_H_

@@ -1,0 +1,89 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace spacetwist::telemetry {
+
+namespace {
+
+constexpr size_t kStripes = 16;
+
+}  // namespace
+
+MetricRegistry::MetricRegistry() : stripes_(kStripes) {}
+
+MetricRegistry::Stripe& MetricRegistry::StripeFor(std::string_view name) {
+  return stripes_[std::hash<std::string_view>{}(name) % stripes_.size()];
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  Stripe& stripe = StripeFor(name);
+  MutexLock lock(&stripe.mu);
+  Entry& entry = stripe.entries[std::string(name)];
+  if (entry.counter == nullptr) {
+    SPACETWIST_CHECK(entry.gauge == nullptr && entry.histogram == nullptr)
+        << "instrument '" << std::string(name)
+        << "' already registered with a different kind";
+    entry.counter = std::make_unique<Counter>();
+  }
+  return entry.counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  Stripe& stripe = StripeFor(name);
+  MutexLock lock(&stripe.mu);
+  Entry& entry = stripe.entries[std::string(name)];
+  if (entry.gauge == nullptr) {
+    SPACETWIST_CHECK(entry.counter == nullptr && entry.histogram == nullptr)
+        << "instrument '" << std::string(name)
+        << "' already registered with a different kind";
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return entry.gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name) {
+  Stripe& stripe = StripeFor(name);
+  MutexLock lock(&stripe.mu);
+  Entry& entry = stripe.entries[std::string(name)];
+  if (entry.histogram == nullptr) {
+    SPACETWIST_CHECK(entry.counter == nullptr && entry.gauge == nullptr)
+        << "instrument '" << std::string(name)
+        << "' already registered with a different kind";
+    entry.histogram = std::make_unique<Histogram>();
+  }
+  return entry.histogram.get();
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  for (const Stripe& stripe : stripes_) {
+    MutexLock lock(&stripe.mu);
+    for (const auto& [name, entry] : stripe.entries) {
+      if (entry.counter != nullptr) {
+        snapshot.counters.emplace_back(name, entry.counter->value());
+      } else if (entry.gauge != nullptr) {
+        snapshot.gauges.emplace_back(name, entry.gauge->value());
+      } else if (entry.histogram != nullptr) {
+        snapshot.histograms.emplace_back(name, entry.histogram->Snapshot());
+      }
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+MetricRegistry* MetricRegistry::Default() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return registry;
+}
+
+}  // namespace spacetwist::telemetry

@@ -1,0 +1,81 @@
+#ifndef SPACETWIST_TELEMETRY_REGISTRY_H_
+#define SPACETWIST_TELEMETRY_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "telemetry/metric.h"
+
+namespace spacetwist::telemetry {
+
+/// Point-in-time view of a registry: instruments of each kind sorted by
+/// name, so rendering it (export.h) is stable-ordered and byte-identical
+/// for identical counter values.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Process-wide directory of named instruments. Registration (GetCounter /
+/// GetGauge / GetHistogram) is lock-striped: the name hashes to one of a
+/// fixed set of stripes, each an annotated Mutex plus name -> instrument
+/// map, so instrument creation from many threads never funnels through one
+/// lock. The returned pointers are stable for the registry's lifetime —
+/// instrumented classes resolve them once at construction and the hot path
+/// touches only the instrument's relaxed atomics, never the registry.
+///
+/// Names are dot-separated lowercase paths, `layer.component.metric`
+/// (catalog in docs/OBSERVABILITY.md). Asking for an existing name with a
+/// different kind is a programming error and CHECK-fails.
+class MetricRegistry {
+ public:
+  MetricRegistry();
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Consistent-per-instrument snapshot of everything registered so far,
+  /// sorted by name within each kind.
+  RegistrySnapshot Snapshot() const;
+
+  /// The process-wide registry every instrumented layer defaults to, so one
+  /// snapshot covers the whole serving stack.
+  static MetricRegistry* Default();
+
+  /// `registry` when non-null, the process-wide default otherwise.
+  static MetricRegistry* OrDefault(MetricRegistry* registry) {
+    return registry != nullptr ? registry : Default();
+  }
+
+ private:
+  /// Exactly one of the pointers is set, keyed by which Get* registered
+  /// the name first.
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Stripe {
+    mutable Mutex mu;
+    std::unordered_map<std::string, Entry> entries GUARDED_BY(mu);
+  };
+
+  Stripe& StripeFor(std::string_view name);
+
+  std::vector<Stripe> stripes_;
+};
+
+}  // namespace spacetwist::telemetry
+
+#endif  // SPACETWIST_TELEMETRY_REGISTRY_H_

@@ -1,0 +1,61 @@
+#include "telemetry/trace.h"
+
+#include "common/strings.h"
+
+namespace spacetwist::telemetry {
+
+Trace::Span Trace::StartSpan(std::string_view name) {
+  TraceEvent event;
+  event.name = std::string(name);
+  event.start_ns = clock_->NowNs();
+  event.end_ns = event.start_ns;
+  event.depth = depth_++;
+  event.open = true;
+  events_.push_back(std::move(event));
+  return Span(this, events_.size() - 1);
+}
+
+void Trace::Event(std::string_view name, uint64_t value) {
+  TraceEvent event;
+  event.name = std::string(name);
+  event.start_ns = clock_->NowNs();
+  event.end_ns = event.start_ns;
+  event.depth = depth_;
+  if (value != 0) event.notes.emplace_back("value", value);
+  events_.push_back(std::move(event));
+}
+
+void Trace::Span::Note(std::string_view key, uint64_t value) {
+  if (trace_ == nullptr) return;
+  trace_->events_[index_].notes.emplace_back(std::string(key), value);
+}
+
+void Trace::Span::End() {
+  if (trace_ == nullptr) return;
+  TraceEvent& event = trace_->events_[index_];
+  if (event.open) {
+    event.end_ns = trace_->clock_->NowNs();
+    event.open = false;
+    --trace_->depth_;
+  }
+  trace_ = nullptr;
+}
+
+std::string Trace::ToString() const {
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    out.append(static_cast<size_t>(event.depth) * 2, ' ');
+    out += event.name;
+    out += StrFormat(" [%llu,%llu)",
+                     static_cast<unsigned long long>(event.start_ns),
+                     static_cast<unsigned long long>(event.end_ns));
+    for (const auto& [key, value] : event.notes) {
+      out += StrFormat(" %s=%llu", key.c_str(),
+                       static_cast<unsigned long long>(value));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace spacetwist::telemetry

@@ -1,0 +1,112 @@
+#ifndef SPACETWIST_TELEMETRY_TRACE_H_
+#define SPACETWIST_TELEMETRY_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/clock.h"
+
+namespace spacetwist::telemetry {
+
+/// Per-query execution trace: a stack of named spans with nanosecond
+/// timestamps from an injectable Clock, plus integer annotations. One Trace
+/// belongs to one query on one thread (not thread-safe — a query is a
+/// single logical control flow even when retried). Under a VirtualClock
+/// (fixed auto-advance) two executions of the same deterministic code path
+/// render byte-identical ToString() output, which is the contract the
+/// deterministic-trace test locks in.
+///
+/// Tracing is opt-in and free when off: everything below accepts a null
+/// Trace* and degrades to a no-op, so instrumented code traces
+/// unconditionally and callers decide per query whether to pay for it.
+class Trace {
+ public:
+  /// Spans are RAII: StartSpan opens, the destructor closes (strictly
+  /// LIFO — interleaved spans would corrupt the depth bookkeeping).
+  /// A default-constructed or null-trace Span is a no-op.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept
+        : trace_(std::exchange(other.trace_, nullptr)),
+          index_(other.index_) {}
+    Span& operator=(Span&& other) noexcept {
+      if (this != &other) {
+        End();
+        trace_ = std::exchange(other.trace_, nullptr);
+        index_ = other.index_;
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { End(); }
+
+    /// Attaches `key`=`value` to this span.
+    void Note(std::string_view key, uint64_t value);
+
+    /// Closes the span now (idempotent; the destructor is the usual path).
+    void End();
+
+   private:
+    friend class Trace;
+    Span(Trace* trace, size_t index) : trace_(trace), index_(index) {}
+
+    Trace* trace_ = nullptr;
+    size_t index_ = 0;
+  };
+
+  /// `clock` null means the process-wide RealClock.
+  explicit Trace(Clock* clock = nullptr) : clock_(OrDefault(clock)) {}
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Opens a span named `name` at the clock's current time.
+  Span StartSpan(std::string_view name);
+
+  /// Records an instantaneous event (zero-length span at now).
+  void Event(std::string_view name, uint64_t value = 0);
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Deterministic human-readable rendering, one line per span in start
+  /// order, indented by nesting depth:
+  ///   open [0,3) attempts=1
+  ///     pull [3,5)
+  std::string ToString() const;
+
+  /// Opens a span on `trace` or a no-op Span when `trace` is null — the
+  /// form instrumented code uses so tracing stays optional.
+  static Span SpanOn(Trace* trace, std::string_view name) {
+    return trace == nullptr ? Span() : trace->StartSpan(name);
+  }
+
+  /// Event on `trace`, ignored when `trace` is null.
+  static void EventOn(Trace* trace, std::string_view name,
+                      uint64_t value = 0) {
+    if (trace != nullptr) trace->Event(name, value);
+  }
+
+ private:
+  struct TraceEvent {
+    std::string name;
+    uint64_t start_ns = 0;
+    uint64_t end_ns = 0;
+    int depth = 0;
+    bool open = false;
+    std::vector<std::pair<std::string, uint64_t>> notes;
+  };
+
+  Clock* clock_;
+  std::vector<TraceEvent> events_;
+  int depth_ = 0;
+};
+
+}  // namespace spacetwist::telemetry
+
+#endif  // SPACETWIST_TELEMETRY_TRACE_H_

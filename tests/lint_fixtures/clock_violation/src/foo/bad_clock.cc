@@ -1,0 +1,9 @@
+#include <chrono>
+namespace spacetwist::foo {
+unsigned long long NowNs() {
+  return static_cast<unsigned long long>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace spacetwist::foo

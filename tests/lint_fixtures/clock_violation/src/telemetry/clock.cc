@@ -1,0 +1,8 @@
+#include <chrono>
+namespace spacetwist::telemetry {
+// The one sanctioned wall-clock read (clock rule exemption).
+unsigned long long RealNowNs() {
+  return static_cast<unsigned long long>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+}  // namespace spacetwist::telemetry

@@ -1,8 +1,10 @@
+#include <chrono>
 #include <random>
 namespace spacetwist::foo {
 int Draw() {
   std::mt19937 engine;  // interop shim, seeded by caller — lint:allow rng
   if (engine() == 0) throw 1;  // unreachable, exercise only — lint:allow no-throw
+  (void)std::chrono::steady_clock::now();  // boot-time stamp, never compared — lint:allow clock
   return 0;
 }
 }  // namespace spacetwist::foo

@@ -16,6 +16,7 @@
 #include "service/service_engine.h"
 #include "service/thread_pool.h"
 #include "service/wire_client.h"
+#include "telemetry/clock.h"
 
 namespace spacetwist::service {
 namespace {
@@ -98,21 +99,21 @@ TEST_F(ServiceEngineTest, SessionCapGivesResourceExhausted) {
 }
 
 TEST_F(ServiceEngineTest, IdleSessionsAreEvictedByTtl) {
-  uint64_t fake_now = 0;
+  telemetry::VirtualClock fake_now;
   ServiceOptions options;
   options.idle_ttl_ns = 1000;
-  options.clock = [&fake_now] { return fake_now; };
+  options.clock = &fake_now;
   ServiceEngine engine(server_.get(), options);
 
   auto stale = engine.Open({1000, 1000}, 0.0, 1);
   ASSERT_TRUE(stale.ok());
   ASSERT_TRUE(engine.Pull(*stale).ok());
-  fake_now = 900;
+  fake_now.Set(900);
   auto fresh = engine.Open({9000, 9000}, 0.0, 1);
   ASSERT_TRUE(fresh.ok());
   ASSERT_TRUE(engine.Pull(*fresh).ok());
 
-  fake_now = 1500;  // stale idle 1500ns > ttl; fresh idle 600ns
+  fake_now.Set(1500);  // stale idle 1500ns > ttl; fresh idle 600ns
   EXPECT_EQ(engine.EvictIdle(), 1u);
   EXPECT_EQ(engine.open_sessions(), 1u);
   EXPECT_TRUE(engine.Pull(*stale).status().IsNotFound());
@@ -125,18 +126,18 @@ TEST_F(ServiceEngineTest, IdleSessionsAreEvictedByTtl) {
 }
 
 TEST_F(ServiceEngineTest, OpenPathSweepsExpiredSessionsToMakeRoom) {
-  uint64_t fake_now = 0;
+  telemetry::VirtualClock fake_now;
   ServiceOptions options;
   options.max_sessions = 1;
   options.idle_ttl_ns = 1000;
-  options.clock = [&fake_now] { return fake_now; };
+  options.clock = &fake_now;
   ServiceEngine engine(server_.get(), options);
 
   auto abandoned = engine.Open({1000, 1000}, 0.0, 1);
   ASSERT_TRUE(abandoned.ok());
   // At capacity and not yet expired: backpressure.
   EXPECT_TRUE(engine.Open({2, 2}, 0, 1).status().IsResourceExhausted());
-  fake_now = 5000;
+  fake_now.Set(5000);
   // Now expired: Open reclaims the slot instead of rejecting.
   auto id = engine.Open({2, 2}, 0, 1);
   ASSERT_TRUE(id.ok());

@@ -11,6 +11,7 @@
 #include "net/wire.h"
 #include "server/lbs_server.h"
 #include "service/service_engine.h"
+#include "telemetry/clock.h"
 
 namespace spacetwist::service {
 namespace {
@@ -38,13 +39,13 @@ class ServiceSoakTest : public ::testing::Test {
 };
 
 TEST_F(ServiceSoakTest, OpenPullCloseChurnRacingTtlEviction) {
-  std::atomic<uint64_t> clock_ns{1};
+  telemetry::VirtualClock clock_ns(1);
 
   ServiceOptions options;
   options.num_shards = 4;
   options.max_sessions = 8;  // small cap => constant backpressure
   options.idle_ttl_ns = 2'000;
-  options.clock = [&clock_ns] { return clock_ns.load(); };
+  options.clock = &clock_ns;
   ServiceEngine engine(server_.get(), options);
 
   constexpr size_t kThreads = 8;
@@ -55,7 +56,7 @@ TEST_F(ServiceSoakTest, OpenPullCloseChurnRacingTtlEviction) {
 
   std::thread evictor([&] {
     while (!stop_evictor.load(std::memory_order_relaxed)) {
-      clock_ns.fetch_add(1'500, std::memory_order_relaxed);
+      clock_ns.Advance(1'500);
       engine.EvictIdle();
       std::this_thread::yield();
     }
@@ -117,7 +118,7 @@ TEST_F(ServiceSoakTest, OpenPullCloseChurnRacingTtlEviction) {
         // else: abandon the session — TTL eviction must reclaim it.
 
         if (rng.Bernoulli(0.2)) {
-          clock_ns.fetch_add(500, std::memory_order_relaxed);
+          clock_ns.Advance(500);
         }
       }
     });
@@ -130,7 +131,7 @@ TEST_F(ServiceSoakTest, OpenPullCloseChurnRacingTtlEviction) {
 
   // Push the clock far past the TTL so the final sweep reclaims every
   // abandoned session.
-  clock_ns.fetch_add(1'000'000'000, std::memory_order_relaxed);
+  clock_ns.Advance(1'000'000'000);
   engine.EvictIdle();
 
   const EngineMetrics metrics = engine.metrics();
@@ -146,13 +147,13 @@ TEST_F(ServiceSoakTest, OpenPullCloseChurnRacingTtlEviction) {
 }
 
 TEST_F(ServiceSoakTest, EvictionRacingActivePullsKeepsCountersCoherent) {
-  std::atomic<uint64_t> clock_ns{1};
+  telemetry::VirtualClock clock_ns(1);
 
   ServiceOptions options;
   options.num_shards = 2;
   options.max_sessions = 4;
   options.idle_ttl_ns = 1;  // everything is instantly evictable
-  options.clock = [&clock_ns] { return clock_ns.load(); };
+  options.clock = &clock_ns;
   ServiceEngine engine(server_.get(), options);
 
   // One thread hammers a single session with pulls (each pull refreshes
@@ -165,7 +166,7 @@ TEST_F(ServiceSoakTest, EvictionRacingActivePullsKeepsCountersCoherent) {
   std::atomic<bool> done{false};
   std::thread sweeper([&] {
     for (int i = 0; i < 2000; ++i) {
-      clock_ns.fetch_add(3, std::memory_order_relaxed);
+      clock_ns.Advance(3);
       engine.EvictIdle();
     }
     done.store(true);

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/export.h"
+#include "telemetry/metric.h"
+#include "telemetry/registry.h"
+
+namespace spacetwist::telemetry {
+namespace {
+
+// Concurrency tests for the metric registry and instruments — run under
+// TSan in CI (see .github/workflows/ci.yml) so any data race in the
+// lock-striped registration path or the relaxed-atomic hot path is caught,
+// not just miscounts.
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 5000;
+
+TEST(RegistryConcurrencyTest, ConcurrentRegistrationYieldsOneInstrument) {
+  MetricRegistry registry;
+  // Every thread races GetCounter on the same names while also creating
+  // thread-private names; pointers must be stable and counts exact.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      Counter* shared = registry.GetCounter("race.shared");
+      Counter* mine =
+          registry.GetCounter("race.private." + std::to_string(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        shared->Add();
+        mine->Add();
+        // Re-registration mid-flight must return the same instrument.
+        if (i % 512 == 0) {
+          EXPECT_EQ(registry.GetCounter("race.shared"), shared);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.GetCounter("race.shared")->value(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(
+        registry.GetCounter("race.private." + std::to_string(t))->value(),
+        static_cast<uint64_t>(kOpsPerThread));
+  }
+}
+
+TEST(RegistryConcurrencyTest, HistogramRecordingRacesSnapshot) {
+  MetricRegistry registry;
+  Histogram* latency = registry.GetHistogram("race.latency_ns");
+  Gauge* depth = registry.GetGauge("race.depth");
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([latency, depth, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        latency->Record(static_cast<uint64_t>(t * kOpsPerThread + i));
+        depth->Add(1);
+        depth->Add(-1);
+      }
+    });
+  }
+  // Snapshot continuously while writers hammer the instruments; every
+  // snapshot must satisfy the cumulative invariant (count == sum of bucket
+  // counts) even when it races recording.
+  std::thread reader([&registry] {
+    for (int i = 0; i < 200; ++i) {
+      const RegistrySnapshot snapshot = registry.Snapshot();
+      for (const auto& [name, histogram] : snapshot.histograms) {
+        uint64_t bucket_total = 0;
+        for (const HistogramBucket& bucket : histogram.buckets) {
+          bucket_total += bucket.count;
+        }
+        EXPECT_EQ(bucket_total, histogram.count) << name;
+      }
+      // Exercise the exporter under race as well.
+      if (i % 50 == 0) (void)ToJson(snapshot);
+    }
+  });
+  for (std::thread& writer : writers) writer.join();
+  reader.join();
+
+  const HistogramSnapshot final_snapshot = latency->Snapshot();
+  EXPECT_EQ(final_snapshot.count,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(final_snapshot.min, 0u);
+  EXPECT_EQ(final_snapshot.max,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread - 1);
+  EXPECT_EQ(depth->value(), 0);
+}
+
+TEST(RegistryConcurrencyTest, MixedKindRegistrationAcrossStripes) {
+  MetricRegistry registry;
+  // Many distinct names from many threads: exercises every stripe's mutex
+  // and the snapshot's merge across stripes.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 64; ++i) {
+        const std::string stem =
+            "stripe." + std::to_string(t) + "." + std::to_string(i);
+        registry.GetCounter(stem + ".count")->Add(1);
+        registry.GetGauge(stem + ".gauge")->Set(i);
+        registry.GetHistogram(stem + ".hist")->Record(i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.size(), static_cast<size_t>(kThreads) * 64);
+  EXPECT_EQ(snapshot.gauges.size(), static_cast<size_t>(kThreads) * 64);
+  EXPECT_EQ(snapshot.histograms.size(), static_cast<size_t>(kThreads) * 64);
+  // Snapshot ordering is total and stable.
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].first, snapshot.counters[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace spacetwist::telemetry

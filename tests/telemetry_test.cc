@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "telemetry/export.h"
+#include "telemetry/metric.h"
+#include "telemetry/registry.h"
+
+namespace spacetwist::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket layout
+
+TEST(BucketLayoutTest, BucketsPartitionTheValueRange) {
+  // Buckets tile [0, 2^64) contiguously: each bucket is non-empty, starts
+  // where the previous ended, and both of its end values map back to it.
+  EXPECT_EQ(Histogram::BucketLo(0), 0u);
+  for (size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    const uint64_t lo = Histogram::BucketLo(i);
+    const uint64_t hi = Histogram::BucketHi(i);
+    ASSERT_LT(lo, hi) << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(lo), i);
+    EXPECT_EQ(Histogram::BucketIndex(hi - 1), i);
+    EXPECT_EQ(Histogram::BucketLo(i + 1), hi) << "gap after bucket " << i;
+  }
+  // The top bucket saturates: its exclusive upper bound would be 2^64.
+  const size_t top = Histogram::kNumBuckets - 1;
+  EXPECT_EQ(Histogram::BucketHi(top),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<uint64_t>::max()),
+            top);
+}
+
+TEST(BucketLayoutTest, RelativeWidthBoundHolds) {
+  // Every bucket beyond the unit range is at most lo/16 wide — the source
+  // of the max(1, value/16) percentile error bound.
+  for (size_t i = 16; i + 1 < Histogram::kNumBuckets; ++i) {
+    const uint64_t lo = Histogram::BucketLo(i);
+    const uint64_t width = Histogram::BucketHi(i) - lo;
+    EXPECT_LE(width, std::max<uint64_t>(1, lo / 16)) << "bucket " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram vs sorted-vector oracle
+
+// Exact nearest-rank percentile over the raw sample (the oracle the
+// histogram estimate is compared against).
+uint64_t OraclePercentile(const std::vector<uint64_t>& sorted, double q) {
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  rank = std::min<uint64_t>(std::max<uint64_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+void CheckAgainstOracle(const std::vector<uint64_t>& values) {
+  Histogram histogram;
+  for (const uint64_t v : values) histogram.Record(v);
+
+  std::vector<uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, values.size());
+  EXPECT_EQ(snapshot.min, sorted.front());
+  EXPECT_EQ(snapshot.max, sorted.back());
+  uint64_t sum = 0;
+  uint64_t bucket_total = 0;
+  for (const uint64_t v : values) sum += v;
+  for (const HistogramBucket& b : snapshot.buckets) bucket_total += b.count;
+  EXPECT_EQ(snapshot.sum, sum);
+  EXPECT_EQ(bucket_total, snapshot.count);
+
+  for (const double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99,
+                         1.0}) {
+    const double exact = static_cast<double>(OraclePercentile(sorted, q));
+    const double estimate = snapshot.Percentile(q);
+    const double bound = std::max(1.0, exact / 16.0);
+    EXPECT_LE(std::abs(estimate - exact), bound)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+}
+
+TEST(HistogramPropertyTest, PercentileTracksOracleAcrossDistributions) {
+  Rng rng(4242);
+  // Distribution shapes chosen to stress different bucket regimes: unit
+  // buckets, one octave, many octaves, heavy tail, and ties.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint64_t> values;
+    const size_t n = static_cast<size_t>(rng.UniformInt(1, 5000));
+    const int shape = trial % 5;
+    values.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      switch (shape) {
+        case 0:  // tiny values, exact unit buckets
+          values.push_back(static_cast<uint64_t>(rng.UniformInt(0, 15)));
+          break;
+        case 1:  // single octave
+          values.push_back(static_cast<uint64_t>(rng.UniformInt(1024, 2047)));
+          break;
+        case 2:  // wide uniform (many octaves)
+          values.push_back(
+              static_cast<uint64_t>(rng.UniformInt(0, 1'000'000'000)));
+          break;
+        case 3: {  // log-uniform heavy tail
+          const double log_value = rng.Uniform(0.0, 40.0);
+          values.push_back(static_cast<uint64_t>(std::exp2(log_value)));
+          break;
+        }
+        default:  // few distinct values, lots of ties
+          values.push_back(
+              static_cast<uint64_t>(rng.UniformInt(0, 3)) * 977);
+          break;
+      }
+    }
+    CheckAgainstOracle(values);
+  }
+}
+
+TEST(HistogramPropertyTest, PercentileIsMonotoneInQ) {
+  Rng rng(77);
+  Histogram histogram;
+  for (int i = 0; i < 2000; ++i) {
+    histogram.Record(static_cast<uint64_t>(rng.UniformInt(0, 1 << 20)));
+  }
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  double previous = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double estimate = snapshot.Percentile(q);
+    EXPECT_GE(estimate, previous) << "q=" << q;
+    previous = estimate;
+  }
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram histogram;
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.sum, 0u);
+  EXPECT_EQ(snapshot.min, 0u);
+  EXPECT_EQ(snapshot.max, 0u);
+  EXPECT_TRUE(snapshot.buckets.empty());
+  EXPECT_EQ(snapshot.Mean(), 0.0);
+  EXPECT_EQ(snapshot.Percentile(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge / Accumulator
+
+TEST(CounterTest, AddAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+}
+
+TEST(AccumulatorTest, TracksMinMaxMean) {
+  Accumulator accumulator;
+  EXPECT_EQ(accumulator.Mean(), 0.0);
+  EXPECT_EQ(accumulator.Min(), 0.0);
+  for (const double v : {3.0, 1.0, 2.0}) accumulator.Add(v);
+  EXPECT_EQ(accumulator.count(), 3u);
+  EXPECT_DOUBLE_EQ(accumulator.Mean(), 2.0);
+  EXPECT_EQ(accumulator.Min(), 1.0);
+  EXPECT_EQ(accumulator.Max(), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(RegistryTest, SameNameReturnsSameInstrument) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("layer.component.events");
+  Counter* b = registry.GetCounter("layer.component.events");
+  EXPECT_EQ(a, b);
+  a->Add(5);
+  EXPECT_EQ(b->value(), 5u);
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("layer.component.depth")),
+            static_cast<void*>(a));
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  MetricRegistry registry;
+  registry.GetCounter("z.last")->Add(1);
+  registry.GetCounter("a.first")->Add(2);
+  registry.GetCounter("m.middle")->Add(3);
+  registry.GetGauge("g.two")->Set(-4);
+  registry.GetGauge("g.one")->Set(4);
+  registry.GetHistogram("h.latency")->Record(9);
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].first, "a.first");
+  EXPECT_EQ(snapshot.counters[1].first, "m.middle");
+  EXPECT_EQ(snapshot.counters[2].first, "z.last");
+  EXPECT_EQ(snapshot.counters[2].second, 1u);
+  ASSERT_EQ(snapshot.gauges.size(), 2u);
+  EXPECT_EQ(snapshot.gauges[0].first, "g.one");
+  EXPECT_EQ(snapshot.gauges[1].second, -4);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].second.count, 1u);
+}
+
+TEST(RegistryTest, DefaultIsProcessWideSingleton) {
+  EXPECT_EQ(MetricRegistry::Default(), MetricRegistry::Default());
+  MetricRegistry local;
+  EXPECT_EQ(MetricRegistry::OrDefault(nullptr), MetricRegistry::Default());
+  EXPECT_EQ(MetricRegistry::OrDefault(&local), &local);
+}
+
+// ---------------------------------------------------------------------------
+// Exporter
+
+TEST(ExportTest, JsonIsDeterministicAndParsesTheSchema) {
+  MetricRegistry registry;
+  registry.GetCounter("net.packets")->Add(7);
+  registry.GetGauge("sessions.open")->Set(3);
+  Histogram* latency = registry.GetHistogram("latency_ns");
+  for (uint64_t v : {100u, 200u, 300u, 400u}) latency->Record(v);
+
+  const std::string json = ToJson(registry.Snapshot());
+  EXPECT_EQ(json, ToJson(registry.Snapshot()));  // byte-identical re-render
+  EXPECT_NE(json.find(kTelemetrySchema), std::string::npos);
+  EXPECT_NE(json.find("\"net.packets\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"sessions.open\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 1000"), std::string::npos);
+}
+
+TEST(ExportTest, StatszListsEveryInstrument) {
+  MetricRegistry registry;
+  registry.GetCounter("alpha.count")->Add(1);
+  registry.GetGauge("beta.depth")->Set(-2);
+  registry.GetHistogram("gamma.latency")->Record(5);
+  const std::string page = ToStatsz(registry.Snapshot());
+  EXPECT_NE(page.find("alpha.count"), std::string::npos);
+  EXPECT_NE(page.find("beta.depth"), std::string::npos);
+  EXPECT_NE(page.find("gamma.latency"), std::string::npos);
+  EXPECT_NE(page.find(kTelemetrySchema), std::string::npos);
+}
+
+TEST(ExportTest, JsonWriterEscapesAndNests) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.KV("text", std::string_view("a\"b\\c\n"));
+  writer.Key("list").BeginArray();
+  writer.Value(static_cast<uint64_t>(1));
+  writer.Value(-2.5, 1);
+  writer.EndArray();
+  writer.EndObject();
+  const std::string out = writer.str();
+  EXPECT_NE(out.find("\"a\\\"b\\\\c\\n\""), std::string::npos);
+  EXPECT_NE(out.find("-2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spacetwist::telemetry

@@ -21,6 +21,12 @@ Rules (run `--list-rules` for the ids):
                      from an Rng must route them through the float32
                      quantizer (reference `Quantize`), or exact-match
                      lookups (e.g. RTree::Delete) will miss.
+  clock              All time flows through telemetry::Clock: no direct
+                     std::chrono::steady_clock / system_clock /
+                     high_resolution_clock reads outside
+                     src/telemetry/clock.{h,cc}. Injectable clocks are what
+                     keep TTL eviction, traces, and latency reports
+                     deterministic under test.
 
 Suppressing a finding: append `lint:allow <rule>` in a comment on the
 flagged line (for header-guard and test-registration, on the first line of
@@ -257,6 +263,32 @@ def check_test_registration(root):
     return findings
 
 
+# --- rule: clock -----------------------------------------------------------
+
+CLOCK_EXEMPT = {os.path.join("src", "telemetry", "clock.h"),
+                os.path.join("src", "telemetry", "clock.cc")}
+CLOCK_FORBIDDEN = re.compile(
+    r"\b(?:std::)?chrono::(?:steady_clock|system_clock|"
+    r"high_resolution_clock)\b")
+
+
+def check_clock(root):
+    findings = []
+    for subdir in SCAN_DIRS:
+        for rel in walk_sources(root, subdir):
+            if rel in CLOCK_EXEMPT:
+                continue
+            for number, code, raw in code_lines(read_lines(root, rel)):
+                if (CLOCK_FORBIDDEN.search(code)
+                        and not suppressed(raw, "clock")):
+                    findings.append(Finding(
+                        "clock", rel, number,
+                        "direct wall-clock read; go through "
+                        "telemetry::Clock (src/telemetry/clock.h) so time "
+                        "is injectable and tests stay deterministic"))
+    return findings
+
+
 # --- rule: no-throw --------------------------------------------------------
 
 THROW_RE = re.compile(r"\bthrow\b")
@@ -308,6 +340,7 @@ RULES = {
     "test-registration": check_test_registration,
     "no-throw": check_no_throw,
     "quantize": check_quantize,
+    "clock": check_clock,
 }
 
 

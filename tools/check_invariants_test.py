@@ -23,6 +23,7 @@ CASES = {
     "registration_violation": (1, {"test-registration"}),
     "throw_violation": (1, {"no-throw"}),
     "quantize_violation": (1, {"quantize"}),
+    "clock_violation": (1, {"clock"}),
     "suppressed": (0, set()),
 }
 
@@ -36,6 +37,9 @@ EXPECTED_FILES = {
     },
     "throw_violation": {os.path.join("src", "foo", "bad_throw.cc")},
     "quantize_violation": {os.path.join("src", "datasets", "bad_gen.cc")},
+    # clock.cc in the fixture also reads the wall clock but is the
+    # sanctioned location — only the stray read may be flagged.
+    "clock_violation": {os.path.join("src", "foo", "bad_clock.cc")},
 }
 
 

@@ -16,6 +16,7 @@
 //   spacetwist_cli serve-bench --dataset ds.bin [--clients 64 --queries 4
 //                          --threads 1,2,4,8 --k 1 --epsilon 200
 //                          --anchor-dist 200 --seed 7]
+//                          [--statsz [out.txt]]  # dump the telemetry page
 //
 // Exit code 0 on success, 1 on any error (message on stderr).
 
@@ -30,6 +31,8 @@
 #include "rtree/persistence.h"
 #include "rtree/tree_stats.h"
 #include "spacetwist/spacetwist.h"
+#include "telemetry/export.h"
+#include "telemetry/registry.h"
 
 namespace spacetwist::cli {
 namespace {
@@ -302,6 +305,25 @@ Status RunServeBench(const Flags& flags) {
   table.Print(std::cout);
   std::printf("results verified byte-identical to the single-threaded "
               "direct path at every thread count\n");
+  if (flags.Has("statsz")) {
+    // Every layer registered into the process-default registry during the
+    // run; render the cumulative page (engine, wire, storage, granular
+    // server, load generator) as human-readable text.
+    const std::string statsz = telemetry::ToStatsz(
+        telemetry::MetricRegistry::Default()->Snapshot());
+    const std::string out = flags.GetString("statsz", "");
+    if (out.empty()) {
+      std::printf("\n%s", statsz.c_str());
+    } else {
+      std::FILE* f = std::fopen(out.c_str(), "w");
+      if (f == nullptr) {
+        return Status::IoError(StrFormat("cannot open %s", out.c_str()));
+      }
+      std::fwrite(statsz.data(), 1, statsz.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", out.c_str());
+    }
+  }
   return Status::OK();
 }
 

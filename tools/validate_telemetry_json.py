@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validator for the telemetry exporter's JSON layout (spacetwist.telemetry.v1).
+
+Checks every document passed on the command line:
+
+* a telemetry section — the document itself when it carries the schema
+  marker, or the object under a top-level "telemetry" key (how the
+  BENCH_*.json artifacts embed their end-of-run registry snapshot) — must
+  have string->int counter and gauge maps and well-formed histograms;
+* every histogram-shaped object anywhere in the document (including the
+  standalone distributions in BENCH_latency.json) must carry the required
+  keys, [lo, hi, count) bucket triples in ascending order, bucket counts
+  summing to `count`, and monotone p50 <= p95 <= p99.
+
+Exit status 0 when every file validates, 1 otherwise (messages on stderr).
+Runs under ctest (`validate_telemetry_json`) over the committed bench
+artifacts and in the CI bench-smoke job over freshly generated ones.
+"""
+
+import json
+import sys
+
+SCHEMA = "spacetwist.telemetry.v1"
+HISTOGRAM_KEYS = {
+    "count", "sum", "min", "max", "mean", "p50", "p95", "p99", "buckets",
+}
+
+_errors = []
+
+
+def error(path, message):
+    _errors.append(f"{path}: {message}")
+
+
+def is_int(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def is_number(value):
+    return is_int(value) or isinstance(value, float)
+
+
+def validate_histogram(histogram, path):
+    missing = HISTOGRAM_KEYS - histogram.keys()
+    if missing:
+        error(path, f"histogram missing keys {sorted(missing)}")
+        return
+    for key in ("count", "sum", "min", "max"):
+        if not is_int(histogram[key]) or histogram[key] < 0:
+            error(path, f"{key} must be a non-negative integer")
+            return
+    for key in ("mean", "p50", "p95", "p99"):
+        if not is_number(histogram[key]):
+            error(path, f"{key} must be a number")
+            return
+    if not histogram["p50"] <= histogram["p95"] <= histogram["p99"]:
+        error(path, "percentiles not monotone: p50 <= p95 <= p99 required")
+    buckets = histogram["buckets"]
+    if not isinstance(buckets, list):
+        error(path, "buckets must be a list")
+        return
+    total = 0
+    previous_lo = -1
+    for i, bucket in enumerate(buckets):
+        if (not isinstance(bucket, list) or len(bucket) != 3
+                or not all(is_int(v) and v >= 0 for v in bucket)):
+            error(path, f"buckets[{i}] must be a [lo, hi, count] int triple")
+            return
+        lo, hi, count = bucket
+        if lo >= hi:
+            error(path, f"buckets[{i}]: lo {lo} >= hi {hi}")
+        if lo <= previous_lo:
+            error(path, f"buckets[{i}]: lower bounds not ascending")
+        previous_lo = lo
+        total += count
+    if total != histogram["count"]:
+        error(path,
+              f"bucket counts sum to {total}, count says {histogram['count']}")
+    if histogram["count"] > 0 and histogram["min"] > histogram["max"]:
+        error(path, "min > max on a non-empty histogram")
+
+
+def validate_section(section, path):
+    """A full exporter snapshot: schema marker + three instrument maps."""
+    if section.get("schema") != SCHEMA:
+        error(path, f"schema is {section.get('schema')!r}, expected {SCHEMA!r}")
+    for kind in ("counters", "gauges", "histograms"):
+        if not isinstance(section.get(kind), dict):
+            error(path, f"missing {kind} object")
+            return
+    for name, value in section["counters"].items():
+        if not is_int(value) or value < 0:
+            error(f"{path}.counters.{name}", "must be a non-negative integer")
+    for name, value in section["gauges"].items():
+        if not is_int(value):
+            error(f"{path}.gauges.{name}", "must be an integer")
+    for name, histogram in section["histograms"].items():
+        if not isinstance(histogram, dict):
+            error(f"{path}.histograms.{name}", "must be an object")
+        else:
+            validate_histogram(histogram, f"{path}.histograms.{name}")
+
+
+def looks_like_section(node):
+    return isinstance(node, dict) and {"schema", "counters", "gauges",
+                                       "histograms"} <= node.keys()
+
+
+def looks_like_histogram(node):
+    return isinstance(node, dict) and HISTOGRAM_KEYS <= node.keys()
+
+
+def walk(node, path, found):
+    """Finds and validates every telemetry section and histogram."""
+    if looks_like_section(node):
+        validate_section(node, path)
+        found.append(path)
+        return  # histograms inside were validated by the section
+    if looks_like_histogram(node):
+        validate_histogram(node, path)
+        found.append(path)
+        return
+    if isinstance(node, dict):
+        for key, value in node.items():
+            walk(value, f"{path}.{key}", found)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            walk(value, f"{path}[{i}]", found)
+
+
+def validate_file(filename):
+    try:
+        with open(filename, encoding="utf-8") as f:
+            document = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        error(filename, f"unreadable: {exc}")
+        return
+    found = []
+    walk(document, filename, found)
+    # A telemetry artifact with nothing telemetry-shaped in it is a schema
+    # drift, not a pass.
+    if not found:
+        error(filename, "no telemetry section or histogram found")
+    # Documents that declare the schema at top level must validate as (or
+    # contain) telemetry content — already covered by `found`.
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} <file.json>...", file=sys.stderr)
+        return 2
+    for filename in argv[1:]:
+        before = len(_errors)
+        validate_file(filename)
+        if len(_errors) == before:
+            print(f"ok: {filename}")
+    if _errors:
+        for message in _errors:
+            print(f"error: {message}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
