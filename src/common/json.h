@@ -1,0 +1,71 @@
+#ifndef SPACETWIST_COMMON_JSON_H_
+#define SPACETWIST_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace spacetwist {
+
+/// A parsed JSON document node. Minimal by design: just enough for tools
+/// that read back our own deterministic exports (telemetry snapshots, trace
+/// documents) — e.g. the spacetwist_cli trace-report subcommand. Objects
+/// preserve key order (our writers emit fixed orders, and reports should
+/// too); duplicate keys keep both entries, Find returns the first.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object() const {
+    return object_;
+  }
+
+  /// First member named `key`, or null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Builders (used by the parser; handy for tests).
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool v);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string v);
+  static JsonValue Array(std::vector<JsonValue> v);
+  static JsonValue Object(std::vector<std::pair<std::string, JsonValue>> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document occupying the whole input (trailing whitespace
+/// allowed, anything else is kInvalidArgument). Strings decode the standard
+/// escapes including \uXXXX (encoded as UTF-8; unpaired surrogates are
+/// rejected). Nesting beyond 64 levels is rejected so hostile inputs cannot
+/// blow the stack.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace spacetwist
+
+#endif  // SPACETWIST_COMMON_JSON_H_

@@ -49,7 +49,20 @@ class LogMessage {
       .stream()                                                       \
       << "Check failed: " #condition " "
 
+/// Debug-only variant of SPACETWIST_CHECK: aborts in !NDEBUG builds,
+/// compiles to a never-evaluated stream in release builds (the condition is
+/// still type-checked but not executed). Use it for misuse detection where
+/// release builds must degrade gracefully instead of crashing.
+#ifndef NDEBUG
 #define SPACETWIST_DCHECK(condition) SPACETWIST_CHECK(condition)
+#else
+#define SPACETWIST_DCHECK(condition)                                  \
+  if (false)                                                          \
+  ::spacetwist::internal_logging::LogMessage(                         \
+      ::spacetwist::LogLevel::kFatal, __FILE__, __LINE__)             \
+      .stream()                                                       \
+      << "Check failed: " #condition " "
+#endif
 
 }  // namespace spacetwist
 

@@ -8,6 +8,7 @@
 #include "common/mutex.h"
 #include "common/rng.h"
 #include "core/anchor.h"
+#include "geom/point.h"
 #include "service/thread_pool.h"
 #include "service/wire_client.h"
 #include "telemetry/metric.h"
@@ -17,6 +18,17 @@ namespace spacetwist::eval {
 uint64_t ClientSeed(uint64_t base_seed, size_t client) {
   // Golden-ratio stride keeps per-client streams decorrelated.
   return base_seed + 0x9E3779B97F4A7C15ULL * (client + 1);
+}
+
+uint64_t QueryTraceId(uint64_t base_seed, size_t client, size_t query) {
+  // splitmix64 finalizer over (client seed, query) — a pure hash, so trace
+  // ids are reproducible from the run parameters alone.
+  uint64_t z = ClientSeed(base_seed, client) ^
+               (0xBF58476D1CE4E5B9ULL * (query + 1));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;  // 0 is reserved for "unsampled"
 }
 
 ClientWorkload MakeClientWorkload(const geom::Rect& domain,
@@ -90,6 +102,8 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
     size_t next_query = 0;
     ClientDigest digest;
     uint64_t completed = 0;
+    std::vector<TradeoffRecord> tradeoffs;
+    std::vector<telemetry::TraceRecord> traces;
   };
   std::vector<ClientState> states(options.num_clients);
   for (size_t i = 0; i < options.num_clients; ++i) {
@@ -114,10 +128,36 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
   std::function<void(size_t)> run_step = [&](size_t client) {
     if (failed.load(std::memory_order_relaxed)) return;
     ClientState& state = states[client];
-    const auto& [q, anchor] = state.workload.queries[state.next_query];
+    const size_t query_index = state.next_query;
+    const auto& [q, anchor] = state.workload.queries[query_index];
+    const bool tracing =
+        options.trace_every != 0 &&
+        (client * options.queries_per_client + query_index) %
+                options.trace_every ==
+            0;
+    const bool via_retry_client = options.record_tradeoffs || tracing;
+    telemetry::Trace trace(clock);
+    service::RetryStats retry_stats;
+    const uint64_t qtrace_id =
+        tracing ? QueryTraceId(options.seed, client, query_index) : 0;
     const uint64_t start_ns = clock->NowNs();
     Result<core::QueryOutcome> outcome =
-        service::RemoteQuery(engine, q, anchor, options.params);
+        [&]() -> Result<core::QueryOutcome> {
+      if (!via_retry_client) {
+        return service::RemoteQuery(engine, q, anchor, options.params);
+      }
+      // Same termination loop, but through the retrying wire client (over
+      // the perfect in-process link, so outcomes are byte-identical) to
+      // get per-query retry accounting and distributed tracing.
+      net::DirectTransport transport(engine);
+      service::RetryConfig retry;
+      if (tracing) {
+        retry.trace = &trace;
+        retry.trace_id = qtrace_id;
+      }
+      return service::RemoteQuery(&transport, q, anchor, options.params,
+                                  retry, &retry_stats);
+    }();
     const uint64_t end_ns = clock->NowNs();
     if (!outcome.ok()) {
       failed.store(true, std::memory_order_relaxed);
@@ -131,6 +171,33 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
     queries_metric->Add();
     ++state.completed;
     FoldOutcome(*outcome, &state.digest);
+    if (tracing) {
+      state.traces.push_back(
+          telemetry::TraceRecord{qtrace_id, trace.records()});
+    }
+    if (options.record_tradeoffs) {
+      TradeoffRecord rec;
+      rec.trace_id = qtrace_id;
+      rec.client = static_cast<uint32_t>(client);
+      rec.query_index = static_cast<uint32_t>(query_index);
+      rec.anchor_distance = geom::Distance(q, anchor);
+      rec.tau = outcome->tau;
+      rec.gamma = outcome->gamma;
+      rec.epsilon = options.params.epsilon;
+      rec.reported_kth_distance =
+          outcome->neighbors.empty() ? 0.0 : outcome->neighbors.back().distance;
+      rec.result_count = static_cast<uint32_t>(outcome->neighbors.size());
+      rec.packets = outcome->packets;
+      rec.points = outcome->retrieved.size();
+      const net::PacketConfig& pc = options.params.packet;
+      rec.downlink_bytes =
+          outcome->packets * pc.header_bytes + rec.points * pc.point_bytes;
+      // Uplink: one header-sized pull frame per packet plus open + close.
+      rec.uplink_bytes = (outcome->packets + 2) * pc.header_bytes;
+      rec.latency_ns = latency_ns;
+      rec.retry = retry_stats;
+      state.tradeoffs.push_back(rec);
+    }
     if (++state.next_query < state.workload.queries.size()) {
       pool.Submit([&run_step, client] { run_step(client); });
     }
@@ -152,11 +219,36 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
   report.wall_seconds =
       static_cast<double>(wall_end_ns - wall_start_ns) / 1e9;
   report.digests.reserve(options.num_clients);
-  for (const ClientState& state : states) {
+  for (ClientState& state : states) {
     report.queries += state.completed;
     report.packets += state.digest.packets;
     report.points += state.digest.points;
     report.digests.push_back(state.digest);
+    // Client-major fold keeps record/trace order independent of thread
+    // interleaving — reruns produce byte-identical exports.
+    for (TradeoffRecord& rec : state.tradeoffs) {
+      report.tradeoffs.push_back(std::move(rec));
+    }
+    for (telemetry::TraceRecord& t : state.traces) {
+      report.traces.push_back(std::move(t));
+    }
+  }
+  // Accuracy leg of the triangle: score every record against ground truth,
+  // sequentially and after the run so ExactKnn never sits on the latency
+  // path. Error semantics match eval/runner.cc: reported kth-NN distance
+  // minus true kth-NN distance, 0 when either side is incomplete.
+  if (options.record_tradeoffs && options.truth != nullptr) {
+    for (TradeoffRecord& rec : report.tradeoffs) {
+      const auto& [q, anchor] =
+          states[rec.client].workload.queries[rec.query_index];
+      SPACETWIST_ASSIGN_OR_RETURN(
+          std::vector<rtree::Neighbor> truth,
+          options.truth->ExactKnn(q, options.params.k));
+      if (!truth.empty() && rec.result_count == truth.size()) {
+        rec.achieved_error = rec.reported_kth_distance - truth.back().distance;
+      }
+      rec.error_evaluated = true;
+    }
   }
   report.latency = run_latency.Snapshot();
   report.p50_latency_ms = report.latency.Percentile(0.50) / 1e6;

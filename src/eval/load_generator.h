@@ -6,12 +6,14 @@
 
 #include "common/result.h"
 #include "core/spacetwist_client.h"
+#include "eval/tradeoff.h"
 #include "geom/rect.h"
 #include "server/lbs_server.h"
 #include "service/service_engine.h"
 #include "telemetry/clock.h"
 #include "telemetry/metric.h"
 #include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace spacetwist::eval {
 
@@ -31,6 +33,20 @@ struct LoadOptions {
   /// Registry receiving the run's eval.load.* instruments (null = the
   /// process-wide default).
   telemetry::MetricRegistry* registry = nullptr;
+  /// Emits one TradeoffRecord per query into LoadReport::tradeoffs.
+  /// Queries are then driven through the retrying wire client over a
+  /// perfect in-process link — outcome-identical to the plain path, but
+  /// with per-query retry accounting.
+  bool record_tradeoffs = false;
+  /// Deterministic end-to-end trace sampling: every Nth query (by global
+  /// index client * queries_per_client + query) gets a distributed trace —
+  /// client spans merged with the server's piggybacked spans — collected
+  /// into LoadReport::traces. 0 disables tracing.
+  uint64_t trace_every = 0;
+  /// Ground truth for TradeoffRecord::achieved_error (the server whose
+  /// dataset `engine` serves). Null leaves records unevaluated. Evaluated
+  /// sequentially after the run, off the latency path.
+  server::LbsServer* truth = nullptr;
 };
 
 /// Deterministic fingerprint of everything one client computed: the kNN
@@ -61,6 +77,12 @@ struct LoadReport {
   /// eval.load.latency_ns histogram; feeds BENCH_latency.json).
   telemetry::HistogramSnapshot latency;
   std::vector<ClientDigest> digests;  ///< index = client
+  /// One record per query (client-major, query order within a client) when
+  /// LoadOptions::record_tradeoffs is set.
+  std::vector<TradeoffRecord> tradeoffs;
+  /// Merged client+server trace of every sampled query (client-major) when
+  /// LoadOptions::trace_every > 0.
+  std::vector<telemetry::TraceRecord> traces;
 };
 
 /// One client's predetermined workload: (true location, anchor) per query.
@@ -73,6 +95,10 @@ struct ClientWorkload {
 /// Derives client i's seed from a base seed (golden-ratio stride keeps
 /// per-client streams decorrelated).
 uint64_t ClientSeed(uint64_t base_seed, size_t client);
+
+/// Deterministic, never-zero trace id for client `client`'s query `query`
+/// of a run seeded with `base_seed` (0 is reserved for "unsampled").
+uint64_t QueryTraceId(uint64_t base_seed, size_t client, size_t query);
 
 /// Builds client `client`'s workload for `options` over `domain`.
 ClientWorkload MakeClientWorkload(const geom::Rect& domain,

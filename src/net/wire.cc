@@ -1,7 +1,9 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
+#include <utility>
 
 #include "common/strings.h"
 
@@ -177,6 +179,113 @@ Result<std::pair<MessageType, WireReader>> OpenFrame(const uint8_t* data,
   return std::make_pair(static_cast<MessageType>(type), header);
 }
 
+/// Request-side trace context (v3): trace id + flags byte (bit 0 = sampled,
+/// other bits reserved and rejected so they stay available).
+void PutTraceContext(std::vector<uint8_t>* out, uint64_t trace_id,
+                     bool sampled) {
+  PutU64(out, trace_id);
+  PutU8(out, sampled ? 1 : 0);
+}
+
+Status ReadTraceContext(WireReader* r, uint64_t* trace_id, bool* sampled) {
+  SPACETWIST_ASSIGN_OR_RETURN(*trace_id, r->ReadU64());
+  SPACETWIST_ASSIGN_OR_RETURN(uint8_t flags, r->ReadU8());
+  if ((flags & ~uint8_t{1}) != 0) {
+    return Status::Corruption(
+        StrFormat("reserved trace flag bits set: 0x%02x", flags));
+  }
+  *sampled = (flags & 1) != 0;
+  return Status::OK();
+}
+
+/// Span piggyback block (v3), appended to PacketReply and CloseOk payloads:
+///
+///   uint16  span_count
+///   per span:
+///     uint8   name_len, name_len bytes of name
+///     uint64  start_ns
+///     uint64  end_ns
+///     uint8   depth
+///     uint8   flags          (bit 0 = instant event, others reserved)
+///     uint8   note_count
+///     per note:
+///       uint8   key_len, key_len bytes of key
+///       uint64  value
+///
+/// The encoder clamps to the kMaxWireSpan* bounds (truncating names/keys,
+/// dropping excess spans/notes) so any in-process span list produces a
+/// valid frame; the decoder rejects anything beyond the bounds.
+void PutSpans(std::vector<uint8_t>* out,
+              const std::vector<telemetry::SpanRecord>& spans) {
+  const size_t count = std::min(spans.size(), kMaxWireSpansPerFrame);
+  PutU16(out, static_cast<uint16_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    const telemetry::SpanRecord& span = spans[i];
+    const size_t name_len =
+        std::min(span.name.size(), kMaxWireSpanNameBytes);
+    PutU8(out, static_cast<uint8_t>(name_len));
+    out->insert(out->end(), span.name.begin(),
+                span.name.begin() + static_cast<ptrdiff_t>(name_len));
+    PutU64(out, span.start_ns);
+    PutU64(out, span.end_ns);
+    PutU8(out, static_cast<uint8_t>(std::min(span.depth, 255)));
+    PutU8(out, span.instant ? 1 : 0);
+    const size_t note_count = std::min(span.notes.size(), kMaxWireSpanNotes);
+    PutU8(out, static_cast<uint8_t>(note_count));
+    for (size_t n = 0; n < note_count; ++n) {
+      const auto& [key, value] = span.notes[n];
+      const size_t key_len = std::min(key.size(), kMaxWireNoteKeyBytes);
+      PutU8(out, static_cast<uint8_t>(key_len));
+      out->insert(out->end(), key.begin(),
+                  key.begin() + static_cast<ptrdiff_t>(key_len));
+      PutU64(out, value);
+    }
+  }
+}
+
+Result<std::vector<telemetry::SpanRecord>> ReadSpans(WireReader* r) {
+  SPACETWIST_ASSIGN_OR_RETURN(uint16_t count, r->ReadU16());
+  if (count > kMaxWireSpansPerFrame) {
+    return Status::Corruption("span count exceeds frame limit");
+  }
+  std::vector<telemetry::SpanRecord> spans;
+  spans.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    telemetry::SpanRecord span;
+    SPACETWIST_ASSIGN_OR_RETURN(uint8_t name_len, r->ReadU8());
+    if (name_len > kMaxWireSpanNameBytes) {
+      return Status::Corruption("span name exceeds frame limit");
+    }
+    SPACETWIST_ASSIGN_OR_RETURN(span.name, r->ReadBytes(name_len));
+    SPACETWIST_ASSIGN_OR_RETURN(span.start_ns, r->ReadU64());
+    SPACETWIST_ASSIGN_OR_RETURN(span.end_ns, r->ReadU64());
+    SPACETWIST_ASSIGN_OR_RETURN(uint8_t depth, r->ReadU8());
+    span.depth = depth;
+    SPACETWIST_ASSIGN_OR_RETURN(uint8_t flags, r->ReadU8());
+    if ((flags & ~uint8_t{1}) != 0) {
+      return Status::Corruption(
+          StrFormat("reserved span flag bits set: 0x%02x", flags));
+    }
+    span.instant = (flags & 1) != 0;
+    SPACETWIST_ASSIGN_OR_RETURN(uint8_t note_count, r->ReadU8());
+    if (note_count > kMaxWireSpanNotes) {
+      return Status::Corruption("span note count exceeds frame limit");
+    }
+    span.notes.reserve(note_count);
+    for (uint8_t n = 0; n < note_count; ++n) {
+      SPACETWIST_ASSIGN_OR_RETURN(uint8_t key_len, r->ReadU8());
+      if (key_len > kMaxWireNoteKeyBytes) {
+        return Status::Corruption("span note key exceeds frame limit");
+      }
+      SPACETWIST_ASSIGN_OR_RETURN(std::string key, r->ReadBytes(key_len));
+      SPACETWIST_ASSIGN_OR_RETURN(uint64_t value, r->ReadU64());
+      span.notes.emplace_back(std::move(key), value);
+    }
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
 Result<OpenRequest> DecodeOpenPayload(WireReader* r) {
   OpenRequest msg;
   SPACETWIST_ASSIGN_OR_RETURN(msg.anchor.x, r->ReadF64());
@@ -184,6 +293,8 @@ Result<OpenRequest> DecodeOpenPayload(WireReader* r) {
   SPACETWIST_ASSIGN_OR_RETURN(msg.epsilon, r->ReadF64());
   SPACETWIST_ASSIGN_OR_RETURN(msg.k, r->ReadU32());
   SPACETWIST_ASSIGN_OR_RETURN(msg.nonce, r->ReadU64());
+  SPACETWIST_RETURN_NOT_OK(
+      ReadTraceContext(r, &msg.trace_id, &msg.sampled));
   return msg;
 }
 
@@ -195,7 +306,7 @@ Result<PacketReply> DecodePacketPayload(WireReader* r) {
   if (count > kMaxWirePointsPerFrame) {
     return Status::Corruption("point count exceeds frame limit");
   }
-  if (r->remaining() != count * kWirePointBytes) {
+  if (r->remaining() < count * kWirePointBytes) {
     return Status::Corruption(
         StrFormat("packet payload size mismatch for %u points", count));
   }
@@ -208,6 +319,7 @@ Result<PacketReply> DecodePacketPayload(WireReader* r) {
     p.point = {x, y};
     msg.packet.points.push_back(p);
   }
+  SPACETWIST_ASSIGN_OR_RETURN(msg.server_spans, ReadSpans(r));
   return msg;
 }
 
@@ -241,10 +353,12 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
     PutF64(&payload, open->epsilon);
     PutU32(&payload, open->k);
     PutU64(&payload, open->nonce);
+    PutTraceContext(&payload, open->trace_id, open->sampled);
   } else if (const auto* pull = std::get_if<PullRequest>(&request)) {
     type = MessageType::kPullRequest;
     PutU64(&payload, pull->session_id);
     PutU64(&payload, pull->seq);
+    PutTraceContext(&payload, pull->trace_id, pull->sampled);
   } else {
     type = MessageType::kCloseRequest;
     PutU64(&payload, std::get<CloseRequest>(request).session_id);
@@ -272,9 +386,11 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       PutF32(&payload, static_cast<float>(p.point.y));
       PutU32(&payload, p.id);
     }
+    PutSpans(&payload, packet->server_spans);
   } else if (const auto* closed = std::get_if<CloseOk>(&response)) {
     type = MessageType::kCloseOk;
     PutU64(&payload, closed->session_id);
+    PutSpans(&payload, closed->server_spans);
   } else {
     type = MessageType::kError;
     const ErrorReply& error = std::get<ErrorReply>(response);
@@ -303,6 +419,8 @@ Result<Request> DecodeRequest(const uint8_t* data, size_t size) {
       PullRequest msg;
       SPACETWIST_ASSIGN_OR_RETURN(msg.session_id, r.ReadU64());
       SPACETWIST_ASSIGN_OR_RETURN(msg.seq, r.ReadU64());
+      SPACETWIST_RETURN_NOT_OK(
+          ReadTraceContext(&r, &msg.trace_id, &msg.sampled));
       SPACETWIST_RETURN_NOT_OK(r.ExpectDrained());
       return Request(msg);
     }
@@ -341,8 +459,9 @@ Result<Response> DecodeResponse(const uint8_t* data, size_t size) {
     case MessageType::kCloseOk: {
       CloseOk msg;
       SPACETWIST_ASSIGN_OR_RETURN(msg.session_id, r.ReadU64());
+      SPACETWIST_ASSIGN_OR_RETURN(msg.server_spans, ReadSpans(&r));
       SPACETWIST_RETURN_NOT_OK(r.ExpectDrained());
-      return Response(msg);
+      return Response(std::move(msg));
     }
     case MessageType::kError: {
       SPACETWIST_ASSIGN_OR_RETURN(ErrorReply msg, DecodeErrorPayload(&r));

@@ -10,6 +10,7 @@
 #include "geom/point.h"
 #include "net/packet.h"
 #include "rtree/entry.h"
+#include "telemetry/trace.h"
 
 namespace spacetwist::net {
 
@@ -40,6 +41,14 @@ namespace spacetwist::net {
 /// retry after a lost response re-fetches the same packet instead of
 /// skipping one, and PacketReply/CloseOk/ErrorReply echo the session id so
 /// delayed frames of an older session are recognized as stale.
+///
+/// Wire v3 adds distributed-trace plumbing: OpenRequest and PullRequest
+/// carry a trace context (64-bit trace id + sampled flag), and
+/// PacketReply/CloseOk piggyback the completed server-side span list of the
+/// work they answer (empty unless the request was sampled), so the client
+/// can merge both tiers into one trace tree. ErrorReply stays span-free;
+/// spans produced by a failed request are held server-side and ride on the
+/// next successful reply of the session.
 
 /// Frame type tags. Requests are 1-15, responses 16-31.
 enum class MessageType : uint8_t {
@@ -61,10 +70,16 @@ struct OpenRequest {
   double epsilon = 0.0;
   uint32_t k = 1;
   uint64_t nonce = 0;
+  /// Distributed-trace context (v3): the client's 64-bit trace id and
+  /// whether this query is sampled. An unsampled request (the default)
+  /// makes the server skip span collection entirely.
+  uint64_t trace_id = 0;
+  bool sampled = false;
 
   friend bool operator==(const OpenRequest& a, const OpenRequest& b) {
     return a.anchor == b.anchor && a.epsilon == b.epsilon && a.k == b.k &&
-           a.nonce == b.nonce;
+           a.nonce == b.nonce && a.trace_id == b.trace_id &&
+           a.sampled == b.sampled;
   }
 };
 
@@ -75,9 +90,15 @@ struct OpenRequest {
 struct PullRequest {
   uint64_t session_id = 0;
   uint64_t seq = 0;
+  /// Distributed-trace context (v3); see OpenRequest. Pull carries its own
+  /// context because a re-opened session may serve a different trace than
+  /// the one that opened it.
+  uint64_t trace_id = 0;
+  bool sampled = false;
 
   friend bool operator==(const PullRequest& a, const PullRequest& b) {
-    return a.session_id == b.session_id && a.seq == b.seq;
+    return a.session_id == b.session_id && a.seq == b.seq &&
+           a.trace_id == b.trace_id && a.sampled == b.sampled;
   }
 };
 
@@ -110,18 +131,26 @@ struct PacketReply {
   uint64_t session_id = 0;
   uint64_t seq = 0;
   Packet packet;
+  /// Completed server-side spans of the sampled work this reply answers
+  /// (v3), in server start order; empty for unsampled requests.
+  std::vector<telemetry::SpanRecord> server_spans;
 
   friend bool operator==(const PacketReply& a, const PacketReply& b) {
     return a.session_id == b.session_id && a.seq == b.seq &&
-           a.packet.points == b.packet.points;
+           a.packet.points == b.packet.points &&
+           a.server_spans == b.server_spans;
   }
 };
 
 struct CloseOk {
   uint64_t session_id = 0;  ///< echo of CloseRequest::session_id
+  /// Final server-side spans of a sampled session (v3): the close work
+  /// plus anything still unshipped (e.g. spans of a pull that ended in
+  /// kExhausted, which travels as a span-free ErrorReply).
+  std::vector<telemetry::SpanRecord> server_spans;
 
   friend bool operator==(const CloseOk& a, const CloseOk& b) {
-    return a.session_id == b.session_id;
+    return a.session_id == b.session_id && a.server_spans == b.server_spans;
   }
 };
 
@@ -150,6 +179,13 @@ inline constexpr size_t kMaxWireErrorMessageBytes = 4096;
 
 /// Bytes per encoded data point in a kPacket payload.
 inline constexpr size_t kWirePointBytes = 12;
+
+/// Span-piggyback bounds (v3). Encoders clamp to these, so any in-process
+/// span list survives the trip; decoders reject anything beyond them.
+inline constexpr size_t kMaxWireSpansPerFrame = 256;
+inline constexpr size_t kMaxWireSpanNameBytes = 64;
+inline constexpr size_t kMaxWireSpanNotes = 16;
+inline constexpr size_t kMaxWireNoteKeyBytes = 32;
 
 /// Serializes a message into one self-contained frame.
 std::vector<uint8_t> EncodeRequest(const Request& request);

@@ -103,7 +103,20 @@ Result<rtree::DataPoint> GranularInnStream::Next() {
     // child entry before it enters the heap, and re-checked for points when
     // they pop; children have tighter MBRs than the node itself, so this
     // prunes at least as much as a node-level check.
-    SPACETWIST_RETURN_NOT_OK(tree_->ReadNode(item.node_page, &node));
+    if (trace_ == nullptr) {
+      SPACETWIST_RETURN_NOT_OK(tree_->ReadNode(item.node_page, &node));
+    } else {
+      const uint64_t misses_before =
+          tree_->buffer_pool()->stats().physical_reads;
+      telemetry::Trace::Span fetch = trace_->StartSpan("server.page.fetch");
+      Status read = tree_->ReadNode(item.node_page, &node);
+      fetch.Note("page", item.node_page);
+      fetch.Note("miss",
+                 tree_->buffer_pool()->stats().physical_reads - misses_before);
+      fetch.End();
+      SPACETWIST_RETURN_NOT_OK(read);
+    }
+    ++node_reads_;
     node_reads_metric_->Add();
     if (node.IsLeaf()) {
       for (const rtree::DataPoint& p : node.points) {

@@ -15,6 +15,7 @@
 #include "rtree/rtree.h"
 #include "storage/page.h"
 #include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace spacetwist::server {
 
@@ -67,6 +68,14 @@ class GranularInnStream : public net::PointSource {
   size_t peak_live_cells() const { return peak_live_cells_; }
   uint64_t cells_evicted() const { return cells_evicted_; }
   uint64_t heap_pops() const { return pops_; }
+  uint64_t node_reads() const { return node_reads_; }
+
+  /// Attaches a distributed trace for the duration of the next Next() calls
+  /// (null detaches). While attached, every R-tree node fetch is recorded as
+  /// a "server.page.fetch" span noting the page id and whether it missed the
+  /// buffer pool. The trace is borrowed per request — callers must detach
+  /// before the trace dies.
+  void set_trace(telemetry::Trace* trace) { trace_ = trace; }
 
  private:
   struct HeapItem {
@@ -117,6 +126,8 @@ class GranularInnStream : public net::PointSource {
   size_t peak_live_cells_ = 0;
   uint64_t cells_evicted_ = 0;
   uint64_t pops_ = 0;
+  uint64_t node_reads_ = 0;
+  telemetry::Trace* trace_ = nullptr;  ///< borrowed; see set_trace()
 
   /// Registry mirrors of the per-stream counters above, aggregated across
   /// streams (the paper's server-side cost metrics).

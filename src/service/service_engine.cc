@@ -13,6 +13,19 @@ namespace {
 
 constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
 
+/// Cap on the span copy a session keeps for the trace sink — well above
+/// anything a β=67 stream produces, but bounded so a never-closing sampled
+/// session cannot grow without limit.
+constexpr size_t kMaxSinkSpansPerSession = 1024;
+
+void AppendSpans(std::vector<telemetry::SpanRecord>* dst,
+                 const std::vector<telemetry::SpanRecord>& src, size_t cap) {
+  for (const telemetry::SpanRecord& span : src) {
+    if (dst->size() >= cap) break;
+    dst->push_back(span);
+  }
+}
+
 }  // namespace
 
 ServiceEngine::ServiceEngine(server::LbsServer* server,
@@ -57,7 +70,7 @@ ServiceEngine::~ServiceEngine() {
   // accounting contract both hold for users who snapshot via EvictIdle.
   for (Shard& shard : shards_) {
     MutexLock lock(&shard.mu);
-    for (const auto& [id, session] : shard.sessions) Absorb(session);
+    for (auto& [id, session] : shard.sessions) Absorb(session);
     shard.sessions.clear();
   }
 }
@@ -120,7 +133,7 @@ Result<net::Packet> ServiceEngine::Pull(uint64_t session_id) {
     return Status::NotFound(StrFormat(
         "session %llu", static_cast<unsigned long long>(session_id)));
   }
-  return PullLocked(&shard, &it->second, it->second.next_seq);
+  return PullLocked(&shard, &it->second, it->second.next_seq, nullptr);
 }
 
 Result<net::Packet> ServiceEngine::Pull(uint64_t session_id, uint64_t seq) {
@@ -133,11 +146,12 @@ Result<net::Packet> ServiceEngine::Pull(uint64_t session_id, uint64_t seq) {
     return Status::NotFound(StrFormat(
         "session %llu", static_cast<unsigned long long>(session_id)));
   }
-  return PullLocked(&shard, &it->second, seq);
+  return PullLocked(&shard, &it->second, seq, nullptr);
 }
 
 Result<net::Packet> ServiceEngine::PullLocked(Shard* /*shard*/, Session* session,
-                                              uint64_t seq) {
+                                              uint64_t seq,
+                                              telemetry::Trace* trace) {
   counters_.pull_requests.fetch_add(1, kRelaxed);
   instruments_.pull_requests->Add();
   session->last_touch_ns = NowNs();
@@ -145,6 +159,7 @@ Result<net::Packet> ServiceEngine::PullLocked(Shard* /*shard*/, Session* session
     // Idempotent retry: the client never saw the reply to its last pull.
     counters_.pulls_replayed.fetch_add(1, kRelaxed);
     instruments_.pulls_replayed->Add();
+    if (trace != nullptr) trace->Event("server.replay", seq);
     return session->cached;
   }
   if (seq != session->next_seq) {
@@ -157,15 +172,82 @@ Result<net::Packet> ServiceEngine::PullLocked(Shard* /*shard*/, Session* session
   // proceed in parallel and share the tree through its synchronized
   // buffer pool. kExhausted is not cached: PacketChannel keeps reporting
   // it, so retried end-of-stream pulls are naturally idempotent.
-  SPACETWIST_ASSIGN_OR_RETURN(net::Packet packet,
-                              session->channel->NextPacket());
-  session->cached = packet;
+  if (trace == nullptr) {
+    SPACETWIST_ASSIGN_OR_RETURN(net::Packet packet,
+                                session->channel->NextPacket());
+    session->cached = packet;
+    session->has_cached = true;
+    ++session->next_seq;
+    return packet;
+  }
+  // Sampled pull: the stream advance is one "server.granular.scan" span
+  // annotated with the work it caused; the stream nests a
+  // "server.page.fetch" span per R-tree node it touched. Result handling
+  // is hand-rolled (no ASSIGN_OR_RETURN) so the stream's borrowed trace
+  // pointer is detached on every path.
+  server::GranularInnStream* stream = session->stream.get();
+  const uint64_t pops_before = stream->heap_pops();
+  const uint64_t reads_before = stream->node_reads();
+  telemetry::Trace::Span scan = trace->StartSpan("server.granular.scan");
+  stream->set_trace(trace);
+  Result<net::Packet> packet = session->channel->NextPacket();
+  stream->set_trace(nullptr);
+  scan.Note("heap_pops", stream->heap_pops() - pops_before);
+  scan.Note("node_reads", stream->node_reads() - reads_before);
+  scan.Note("points", packet.ok() ? packet->points.size() : 0);
+  scan.End();
+  if (!packet.ok()) return packet;
+  session->cached = *packet;
   session->has_cached = true;
   ++session->next_seq;
   return packet;
 }
 
+Result<net::Packet> ServiceEngine::PullForWire(
+    uint64_t session_id, uint64_t seq, uint64_t trace_id,
+    std::vector<telemetry::SpanRecord>* spans_out) {
+  Shard& shard = ShardFor(session_id);
+  MutexLock lock(&shard.mu);
+  auto it = shard.sessions.find(session_id);
+  if (it == shard.sessions.end()) {
+    counters_.pull_requests.fetch_add(1, kRelaxed);
+    instruments_.pull_requests->Add();
+    return Status::NotFound(StrFormat(
+        "session %llu", static_cast<unsigned long long>(session_id)));
+  }
+  Session& session = it->second;
+  // A sampled pull (re)binds the session to its trace: a re-opened session
+  // may serve a different query than the one that opened it.
+  session.trace_id = trace_id;
+  session.sampled = true;
+  telemetry::Trace trace(clock_);
+  trace.set_trace_id(trace_id);
+  telemetry::Trace::Span dispatch = trace.StartSpan("server.dispatch");
+  telemetry::Trace::Span pull_span = trace.StartSpan("server.pull");
+  pull_span.Note("seq", seq);
+  Result<net::Packet> packet = PullLocked(&shard, &session, seq, &trace);
+  pull_span.End();
+  dispatch.End();
+  AppendSpans(&session.sink_spans, trace.records(), kMaxSinkSpansPerSession);
+  if (!packet.ok()) {
+    // The reply is a span-free ErrorReply; hold this request's spans for
+    // the session's next successful reply.
+    AppendSpans(&session.pending_spans, trace.records(),
+                net::kMaxWireSpansPerFrame);
+    return packet;
+  }
+  *spans_out = std::move(session.pending_spans);
+  session.pending_spans.clear();
+  AppendSpans(spans_out, trace.records(), net::kMaxWireSpansPerFrame);
+  return packet;
+}
+
 Status ServiceEngine::Close(uint64_t session_id) {
+  return CloseInternal(session_id, nullptr);
+}
+
+Status ServiceEngine::CloseInternal(
+    uint64_t session_id, std::vector<telemetry::SpanRecord>* spans_out) {
   counters_.close_requests.fetch_add(1, kRelaxed);
   instruments_.close_requests->Add();
   Shard& shard = ShardFor(session_id);
@@ -176,7 +258,23 @@ Status ServiceEngine::Close(uint64_t session_id) {
       return Status::NotFound(StrFormat(
           "session %llu", static_cast<unsigned long long>(session_id)));
     }
-    Absorb(it->second);
+    Session& session = it->second;
+    if (spans_out != nullptr && session.sampled) {
+      // CloseRequest carries no trace context on the wire; the session
+      // remembers which trace it belongs to.
+      telemetry::Trace trace(clock_);
+      trace.set_trace_id(session.trace_id);
+      telemetry::Trace::Span dispatch = trace.StartSpan("server.dispatch");
+      telemetry::Trace::Span close_span = trace.StartSpan("server.close");
+      close_span.End();
+      dispatch.End();
+      AppendSpans(&session.sink_spans, trace.records(),
+                  kMaxSinkSpansPerSession);
+      *spans_out = std::move(session.pending_spans);
+      session.pending_spans.clear();
+      AppendSpans(spans_out, trace.records(), net::kMaxWireSpansPerFrame);
+    }
+    Absorb(session);
     shard.sessions.erase(it);
   }
   open_count_.fetch_sub(1, kRelaxed);
@@ -208,22 +306,56 @@ std::vector<uint8_t> ServiceEngine::HandleFrame(
   }
 
   if (const auto* open = std::get_if<net::OpenRequest>(&*request)) {
+    if (!open->sampled) {
+      Result<uint64_t> id = Open(open->anchor, open->epsilon, open->k);
+      if (!id.ok()) return EncodeErrorFrame(id.status());
+      return net::EncodeResponse(net::OpenOk{*id, open->nonce});
+    }
+    // Sampled open: trace the dispatch, then park the spans on the session
+    // (OpenOk has no span field; they ride the next successful reply).
+    telemetry::Trace trace(clock_);
+    trace.set_trace_id(open->trace_id);
+    telemetry::Trace::Span dispatch = trace.StartSpan("server.dispatch");
+    telemetry::Trace::Span open_span = trace.StartSpan("server.open");
     Result<uint64_t> id = Open(open->anchor, open->epsilon, open->k);
+    open_span.End();
+    dispatch.End();
     if (!id.ok()) return EncodeErrorFrame(id.status());
+    AttachTrace(*id, open->trace_id, trace.records());
     return net::EncodeResponse(net::OpenOk{*id, open->nonce});
   }
   if (const auto* pull = std::get_if<net::PullRequest>(&*request)) {
-    Result<net::Packet> packet = Pull(pull->session_id, pull->seq);
+    std::vector<telemetry::SpanRecord> spans;
+    Result<net::Packet> packet =
+        pull->sampled
+            ? PullForWire(pull->session_id, pull->seq, pull->trace_id, &spans)
+            : Pull(pull->session_id, pull->seq);
     if (!packet.ok()) {
       return EncodeErrorFrame(packet.status(), pull->session_id);
     }
     return net::EncodeResponse(net::PacketReply{
-        pull->session_id, pull->seq, packet.MoveValueOrDie()});
+        pull->session_id, pull->seq, packet.MoveValueOrDie(),
+        std::move(spans)});
   }
   const auto& close = std::get<net::CloseRequest>(*request);
-  Status status = Close(close.session_id);
+  std::vector<telemetry::SpanRecord> spans;
+  Status status = CloseInternal(close.session_id, &spans);
   if (!status.ok()) return EncodeErrorFrame(status, close.session_id);
-  return net::EncodeResponse(net::CloseOk{close.session_id});
+  return net::EncodeResponse(net::CloseOk{close.session_id, std::move(spans)});
+}
+
+void ServiceEngine::AttachTrace(
+    uint64_t session_id, uint64_t trace_id,
+    const std::vector<telemetry::SpanRecord>& spans) {
+  Shard& shard = ShardFor(session_id);
+  MutexLock lock(&shard.mu);
+  auto it = shard.sessions.find(session_id);
+  if (it == shard.sessions.end()) return;  // evicted before we got back
+  Session& session = it->second;
+  session.trace_id = trace_id;
+  session.sampled = true;
+  AppendSpans(&session.pending_spans, spans, net::kMaxWireSpansPerFrame);
+  AppendSpans(&session.sink_spans, spans, kMaxSinkSpansPerSession);
 }
 
 size_t ServiceEngine::EvictIdle() {
@@ -256,7 +388,13 @@ EngineMetrics ServiceEngine::metrics() const {
   return m;
 }
 
-void ServiceEngine::Absorb(const Session& session) {
+void ServiceEngine::Absorb(Session& session) {
+  if (options_.trace_sink != nullptr && session.sampled &&
+      !session.sink_spans.empty()) {
+    options_.trace_sink->Offer(telemetry::TraceRecord{
+        session.trace_id, std::move(session.sink_spans)});
+    session.sink_spans.clear();
+  }
   const net::ChannelStats& stats = session.channel->stats();
   totals_.downlink_packets.fetch_add(stats.downlink_packets, kRelaxed);
   totals_.downlink_points.fetch_add(stats.downlink_points, kRelaxed);

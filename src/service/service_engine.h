@@ -18,6 +18,8 @@
 #include "server/lbs_server.h"
 #include "telemetry/clock.h"
 #include "telemetry/registry.h"
+#include "telemetry/trace.h"
+#include "telemetry/trace_sink.h"
 
 namespace spacetwist::service {
 
@@ -44,6 +46,11 @@ struct ServiceOptions {
   /// propagated to the granular streams when `granular.registry` is null,
   /// so one injected registry captures the whole serving stack.
   telemetry::MetricRegistry* registry = nullptr;
+  /// Server-side collector of sampled sessions' span lists (one TraceRecord
+  /// per session, offered when it retires via close, eviction, or engine
+  /// destruction). Null disables server-side retention; span piggybacking
+  /// to the client is independent of it. Must outlive the engine.
+  telemetry::TraceSink* trace_sink = nullptr;
 };
 
 /// Snapshot of the engine's counters. Transport totals cover closed,
@@ -140,6 +147,14 @@ class ServiceEngine : public net::FrameHandler {
     uint64_t next_seq = 0;
     bool has_cached = false;
     net::Packet cached;
+    /// Distributed-trace state (wire v3): the trace the session belongs to
+    /// (from the last sampled request), spans awaiting piggyback on the
+    /// next successful reply, and the full session span list offered to
+    /// ServiceOptions::trace_sink when the session retires.
+    uint64_t trace_id = 0;
+    bool sampled = false;
+    std::vector<telemetry::SpanRecord> pending_spans;
+    std::vector<telemetry::SpanRecord> sink_spans;
   };
 
   struct Shard {
@@ -156,15 +171,37 @@ class ServiceEngine : public net::FrameHandler {
 
   uint64_t NowNs() const { return clock_->NowNs(); }
 
-  /// Shared body of both Pull overloads; caller holds the owning shard's
-  /// mutex (`shard` names it for the static analysis).
-  Result<net::Packet> PullLocked(Shard* shard, Session* session, uint64_t seq)
-      REQUIRES(shard->mu);
+  /// Shared body of the Pull overloads; caller holds the owning shard's
+  /// mutex (`shard` names it for the static analysis). With a non-null
+  /// `trace`, the stream advance is recorded as a "server.granular.scan"
+  /// span (page fetches nested inside) and replays as "server.replay"
+  /// events.
+  Result<net::Packet> PullLocked(Shard* shard, Session* session, uint64_t seq,
+                                 telemetry::Trace* trace) REQUIRES(shard->mu);
 
-  /// Folds a retiring session's transport counters into the totals.
-  /// Caller holds the owning shard's mutex (the totals themselves are
-  /// atomics; the lock protects the session being read).
-  void Absorb(const Session& session);
+  /// Traced variant of Pull(id, seq) for sampled wire requests: runs the
+  /// pull under a server-side trace and moves the session's shippable spans
+  /// (anything pending plus this request's) into `spans_out` on success.
+  Result<net::Packet> PullForWire(uint64_t session_id, uint64_t seq,
+                                  uint64_t trace_id,
+                                  std::vector<telemetry::SpanRecord>* spans_out);
+
+  /// Body of Close(); with a non-null `spans_out` (the wire path) a sampled
+  /// session's close is traced and its final shippable spans moved out.
+  Status CloseInternal(uint64_t session_id,
+                       std::vector<telemetry::SpanRecord>* spans_out);
+
+  /// Marks `session_id` as sampled under `trace_id` and queues `spans`
+  /// (the open-path spans, which have no reply field to ride on) for the
+  /// session's next successful reply. No-op if the session is gone.
+  void AttachTrace(uint64_t session_id, uint64_t trace_id,
+                   const std::vector<telemetry::SpanRecord>& spans);
+
+  /// Folds a retiring session's transport counters into the totals and
+  /// offers a sampled session's span list to the trace sink. Caller holds
+  /// the owning shard's mutex (the totals themselves are atomics; the lock
+  /// protects the session being consumed).
+  void Absorb(Session& session);
 
   /// Evicts expired sessions of one shard; caller holds `shard->mu`.
   size_t SweepShardLocked(Shard* shard, uint64_t now_ns) REQUIRES(shard->mu);

@@ -15,6 +15,16 @@ bool TransportRetryable(const Status& status) {
   return status.IsDeadlineExceeded() || status.IsIoError();
 }
 
+/// Deterministic default trace id: the splitmix64 finalizer of the retry
+/// seed. A pure hash, not a draw from the session's Rng, so attaching a
+/// trace perturbs none of the existing nonce/jitter streams.
+uint64_t DeriveTraceId(uint64_t seed) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 WireSession::WireSession(net::FrameTransport* transport,
@@ -27,7 +37,13 @@ WireSession::WireSession(net::FrameTransport* transport,
       rng_(retry.seed),
       anchor_(anchor),
       epsilon_(epsilon),
-      k_(k) {
+      k_(k),
+      trace_id_(retry.trace_id != 0 ? retry.trace_id
+                                    : DeriveTraceId(retry.seed)),
+      sampled_(retry.trace != nullptr) {
+  if (retry_.trace != nullptr && retry_.trace->trace_id() == 0) {
+    retry_.trace->set_trace_id(trace_id_);
+  }
   telemetry::MetricRegistry* r =
       telemetry::MetricRegistry::OrDefault(retry_.registry);
   round_trips_metric_ = r->GetCounter("client.wire.round_trips");
@@ -85,6 +101,8 @@ Status WireSession::OpenSession(Budget* budget) {
     open.epsilon = epsilon_;
     open.k = static_cast<uint32_t>(k_);
     open.nonce = rng_.Next();
+    open.trace_id = trace_id_;
+    open.sampled = sampled_;
     nonces.push_back(open.nonce);
     Result<net::Response> response = RoundTrip(open);
     if (!response.ok()) {
@@ -177,8 +195,10 @@ Result<net::Packet> WireSession::NextPacket() {
     return Status::OK();
   };
   while (Tick(&budget)) {
-    Result<net::Response> response =
-        RoundTrip(net::PullRequest{session_id_, cursor});
+    net::PullRequest pull{session_id_, cursor};
+    pull.trace_id = trace_id_;
+    pull.sampled = sampled_;
+    Result<net::Response> response = RoundTrip(pull);
     if (!response.ok()) {
       const Status status = response.status();
       if (status.IsIoError()) {
@@ -196,9 +216,17 @@ Result<net::Packet> WireSession::NextPacket() {
         continue;
       }
       if (cursor < next_seq_) {
-        ++cursor;  // resume fast-forward: already-consumed prefix
+        // Resume fast-forward: already-consumed prefix. Piggybacked spans
+        // are dropped with it — their work was already traced the first
+        // time the packet was served.
+        ++cursor;
         budget.attempts = 0;
         continue;
+      }
+      // Merge the server's spans into the client trace, nested under the
+      // wire.pull span (still open) that carried them.
+      if (retry_.trace != nullptr) {
+        retry_.trace->Adopt(packet->server_spans);
       }
       ++next_seq_;
       return std::move(packet->packet);
@@ -249,6 +277,9 @@ Status WireSession::Close() {
       if (ok->session_id != session_id_) {
         MarkStale();
         continue;
+      }
+      if (retry_.trace != nullptr) {
+        retry_.trace->Adopt(ok->server_spans);
       }
       closed_ = true;
       return Status::OK();

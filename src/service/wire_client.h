@@ -53,7 +53,18 @@ struct RetryConfig {
   /// Optional per-query trace: the session records open/pull/close spans
   /// and backoff/reopen/stale events on it. Null disables tracing. The
   /// trace is borrowed and must outlive the session.
+  ///
+  /// With a trace attached the session also propagates a distributed-trace
+  /// context over the wire (wire v3 `sampled` flag): the server records its
+  /// own spans and piggybacks them on replies, and the session merges them
+  /// into `trace` (nested under the wire.pull/wire.close span that carried
+  /// them) — one trace tree spanning both tiers.
   telemetry::Trace* trace = nullptr;
+  /// 64-bit id identifying the query's trace across tiers. 0 (the default)
+  /// derives one deterministically from `seed` — distinct from everything
+  /// the session's Rng produces, so existing nonce/jitter streams are
+  /// unchanged.
+  uint64_t trace_id = 0;
 };
 
 /// What resilience cost: retransmissions, stale frames discarded, session
@@ -124,6 +135,8 @@ class WireSession : public net::PacketTransport {
   uint64_t next_seq() const { return next_seq_; }
   bool closed() const { return closed_; }
   const RetryStats& retry_stats() const { return stats_; }
+  /// The distributed-trace id this session stamps on sampled requests.
+  uint64_t trace_id() const { return trace_id_; }
 
  private:
   /// Per-operation retry budget.
@@ -179,6 +192,8 @@ class WireSession : public net::PacketTransport {
   uint64_t next_seq_ = 0;  ///< packets consumed so far
   bool closed_ = false;
   RetryStats stats_;
+  uint64_t trace_id_ = 0;
+  bool sampled_ = false;  ///< trace context goes on the wire iff tracing
 };
 
 /// Runs one SpaceTwist query end-to-end over the wire codec: validates

@@ -1,0 +1,69 @@
+#ifndef SPACETWIST_TELEMETRY_STATSZ_TICKER_H_
+#define SPACETWIST_TELEMETRY_STATSZ_TICKER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/clock.h"
+#include "telemetry/export.h"
+#include "telemetry/registry.h"
+
+namespace spacetwist::telemetry {
+
+/// One periodic /statsz capture: the clock reading it was taken at and the
+/// rendered page.
+struct StatszSample {
+  uint64_t at_ns = 0;
+  std::string text;
+};
+
+/// Interval-driven /statsz capture over an injected Clock — the engine
+/// behind `spacetwist_cli serve-bench --statsz-interval`. The ticker holds
+/// no thread of its own: a caller (the CLI's poller thread, or a test
+/// driving a VirtualClock) calls Poll(), and whenever at least one interval
+/// has elapsed since the previous capture the ticker snapshots the registry
+/// and renders one sample. Deadlines are fixed multiples of the interval
+/// from construction time, so under a VirtualClock the sample timeline is
+/// fully deterministic. If several intervals elapse between polls only one
+/// catch-up sample is taken (the page is cumulative; a burst of identical
+/// snapshots would add nothing).
+///
+/// Not thread-safe: Poll() and samples() must come from one thread.
+class StatszTicker {
+ public:
+  StatszTicker(Clock* clock, MetricRegistry* registry, uint64_t interval_ns)
+      : clock_(OrDefault(clock)),
+        registry_(MetricRegistry::OrDefault(registry)),
+        interval_ns_(interval_ns == 0 ? 1 : interval_ns),
+        start_ns_(clock_->NowNs()),
+        next_deadline_ns_(start_ns_ + interval_ns_) {}
+
+  /// Takes a sample if the current interval has expired; returns whether
+  /// one was taken.
+  bool Poll() {
+    const uint64_t now = clock_->NowNs();
+    if (now < next_deadline_ns_) return false;
+    samples_.push_back(StatszSample{now, ToStatsz(registry_->Snapshot())});
+    while (next_deadline_ns_ <= now) next_deadline_ns_ += interval_ns_;
+    return true;
+  }
+
+  uint64_t start_ns() const { return start_ns_; }
+  uint64_t interval_ns() const { return interval_ns_; }
+  const std::vector<StatszSample>& samples() const { return samples_; }
+  std::vector<StatszSample> TakeSamples() { return std::move(samples_); }
+
+ private:
+  Clock* clock_;
+  MetricRegistry* registry_;
+  uint64_t interval_ns_;
+  uint64_t start_ns_;
+  uint64_t next_deadline_ns_;
+  std::vector<StatszSample> samples_;
+};
+
+}  // namespace spacetwist::telemetry
+
+#endif  // SPACETWIST_TELEMETRY_STATSZ_TICKER_H_

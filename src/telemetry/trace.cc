@@ -1,28 +1,42 @@
 #include "telemetry/trace.h"
 
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace spacetwist::telemetry {
 
 Trace::Span Trace::StartSpan(std::string_view name) {
-  TraceEvent event;
+  SpanRecord event;
   event.name = std::string(name);
   event.start_ns = clock_->NowNs();
   event.end_ns = event.start_ns;
-  event.depth = depth_++;
+  event.depth = static_cast<int>(open_stack_.size());
   event.open = true;
   events_.push_back(std::move(event));
+  open_stack_.push_back(events_.size() - 1);
   return Span(this, events_.size() - 1);
 }
 
 void Trace::Event(std::string_view name, uint64_t value) {
-  TraceEvent event;
+  SpanRecord event;
   event.name = std::string(name);
   event.start_ns = clock_->NowNs();
   event.end_ns = event.start_ns;
-  event.depth = depth_;
+  event.depth = static_cast<int>(open_stack_.size());
+  event.instant = true;
   if (value != 0) event.notes.emplace_back("value", value);
   events_.push_back(std::move(event));
+}
+
+void Trace::Adopt(const std::vector<SpanRecord>& spans) {
+  const int base = static_cast<int>(open_stack_.size());
+  events_.reserve(events_.size() + spans.size());
+  for (const SpanRecord& span : spans) {
+    SpanRecord copy = span;
+    copy.depth += base;
+    copy.open = false;  // only completed spans travel between tiers
+    events_.push_back(std::move(copy));
+  }
 }
 
 void Trace::Span::Note(std::string_view key, uint64_t value) {
@@ -32,18 +46,27 @@ void Trace::Span::Note(std::string_view key, uint64_t value) {
 
 void Trace::Span::End() {
   if (trace_ == nullptr) return;
-  TraceEvent& event = trace_->events_[index_];
-  if (event.open) {
-    event.end_ns = trace_->clock_->NowNs();
-    event.open = false;
-    --trace_->depth_;
+  Trace* trace = std::exchange(trace_, nullptr);
+  SpanRecord& event = trace->events_[index_];
+  if (!event.open) return;
+  if (trace->open_stack_.empty() || trace->open_stack_.back() != index_) {
+    // Non-LIFO close: an enclosing span was ended while an inner one is
+    // still open. Closing it anyway would corrupt the depth bookkeeping of
+    // every span still on the stack, so the End is dropped — the span
+    // stays open (rendered as [start,start)) and the misuse is counted.
+    ++trace->misordered_ends_;
+    SPACETWIST_DCHECK(false) << "non-LIFO Trace::Span::End for '"
+                             << event.name << "'";
+    return;
   }
-  trace_ = nullptr;
+  event.end_ns = trace->clock_->NowNs();
+  event.open = false;
+  trace->open_stack_.pop_back();
 }
 
 std::string Trace::ToString() const {
   std::string out;
-  for (const TraceEvent& event : events_) {
+  for (const SpanRecord& event : events_) {
     out.append(static_cast<size_t>(event.depth) * 2, ' ');
     out += event.name;
     out += StrFormat(" [%llu,%llu)",

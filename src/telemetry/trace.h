@@ -12,6 +12,35 @@
 
 namespace spacetwist::telemetry {
 
+/// One trace entry: a named span (or instantaneous event) with nanosecond
+/// timestamps, a nesting depth, and integer annotations. This is both the
+/// in-memory representation inside Trace and the unit the wire codec ships
+/// across the tier boundary (wire v3 piggybacks completed server-side span
+/// lists on PacketReply/CloseOk), so it carries no pointers and compares
+/// field-wise.
+struct SpanRecord {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  int depth = 0;
+  bool open = false;     ///< still running (never shipped in this state)
+  bool instant = false;  ///< an Event() mark: zero-length by construction
+  std::vector<std::pair<std::string, uint64_t>> notes;
+
+  friend bool operator==(const SpanRecord& a, const SpanRecord& b) {
+    return a.name == b.name && a.start_ns == b.start_ns &&
+           a.end_ns == b.end_ns && a.depth == b.depth && a.open == b.open &&
+           a.instant == b.instant && a.notes == b.notes;
+  }
+};
+
+/// One query's spans under one 64-bit trace id — the unit TraceSink buffers
+/// and the trace exporter renders.
+struct TraceRecord {
+  uint64_t trace_id = 0;
+  std::vector<SpanRecord> spans;
+};
+
 /// Per-query execution trace: a stack of named spans with nanosecond
 /// timestamps from an injectable Clock, plus integer annotations. One Trace
 /// belongs to one query on one thread (not thread-safe — a query is a
@@ -26,8 +55,11 @@ namespace spacetwist::telemetry {
 class Trace {
  public:
   /// Spans are RAII: StartSpan opens, the destructor closes (strictly
-  /// LIFO — interleaved spans would corrupt the depth bookkeeping).
-  /// A default-constructed or null-trace Span is a no-op.
+  /// LIFO). A non-LIFO explicit End() is a caller bug: it is detected
+  /// against the open-span stack, counted in misordered_ends(), aborts
+  /// under SPACETWIST_DCHECK in debug builds, and degrades to a no-op in
+  /// release builds (the span simply stays open; depth bookkeeping is
+  /// never corrupted). A default-constructed or null-trace Span is a no-op.
   class Span {
    public:
     Span() = default;
@@ -71,8 +103,26 @@ class Trace {
   /// Records an instantaneous event (zero-length span at now).
   void Event(std::string_view name, uint64_t value = 0);
 
+  /// Appends foreign completed spans (e.g. the server half of a
+  /// distributed trace) below the currently open span, preserving their
+  /// relative nesting — how the client merges piggybacked server span
+  /// lists into one tree. Spans arrive in the foreign trace's start order
+  /// and keep it.
+  void Adopt(const std::vector<SpanRecord>& spans);
+
   size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
+
+  /// The 64-bit distributed-trace id this trace runs under (0 = unset).
+  uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+
+  /// Out-of-order Span::End() calls detected (and ignored) so far.
+  uint64_t misordered_ends() const { return misordered_ends_; }
+
+  /// All spans recorded so far, in start order. Shipping a trace across
+  /// the wire or into a TraceSink means copying these records.
+  const std::vector<SpanRecord>& records() const { return events_; }
 
   /// Deterministic human-readable rendering, one line per span in start
   /// order, indented by nesting depth:
@@ -93,18 +143,13 @@ class Trace {
   }
 
  private:
-  struct TraceEvent {
-    std::string name;
-    uint64_t start_ns = 0;
-    uint64_t end_ns = 0;
-    int depth = 0;
-    bool open = false;
-    std::vector<std::pair<std::string, uint64_t>> notes;
-  };
-
   Clock* clock_;
-  std::vector<TraceEvent> events_;
-  int depth_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t misordered_ends_ = 0;
+  std::vector<SpanRecord> events_;
+  /// Indices into events_ of the currently open spans, innermost last.
+  /// Depth of a new span == the stack size; End() must match the top.
+  std::vector<size_t> open_stack_;
 };
 
 }  // namespace spacetwist::telemetry

@@ -1,0 +1,99 @@
+#include "telemetry/trace_export.h"
+
+#include <string_view>
+
+#include "common/strings.h"
+
+namespace spacetwist::telemetry {
+
+namespace {
+
+/// Server-side spans are produced under the engine's clock and named
+/// server.*; everything else is client-side. The two sides render as two
+/// Chrome-trace processes so Perfetto lays them out as separate tracks.
+bool IsServerSpan(std::string_view name) {
+  return name.rfind("server.", 0) == 0;
+}
+
+constexpr int kClientPid = 1;
+constexpr int kServerPid = 2;
+
+void WriteProcessName(int pid, std::string_view name, JsonWriter* writer) {
+  writer->BeginObject();
+  writer->KV("name", "process_name");
+  writer->KV("ph", "M");
+  writer->KV("pid", pid);
+  writer->KV("tid", 0);
+  writer->KV("ts", uint64_t{0});
+  writer->Key("args").BeginObject();
+  writer->KV("name", name);
+  writer->EndObject();
+  writer->EndObject();
+}
+
+/// Nanoseconds -> trace_event microseconds (3 decimals keep ns precision).
+double ToMicros(uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void WriteSpanEvent(const SpanRecord& span, uint64_t trace_id, int tid,
+                    JsonWriter* writer) {
+  const bool server = IsServerSpan(span.name);
+  writer->BeginObject();
+  writer->KV("name", span.name);
+  writer->KV("cat", server ? "server" : "client");
+  if (span.instant) {
+    writer->KV("ph", "i");
+    writer->KV("s", "t");
+  } else {
+    writer->KV("ph", "X");
+  }
+  writer->KV("ts", ToMicros(span.start_ns), 3);
+  if (!span.instant) {
+    const uint64_t dur_ns =
+        span.end_ns >= span.start_ns ? span.end_ns - span.start_ns : 0;
+    writer->KV("dur", ToMicros(dur_ns), 3);
+  }
+  writer->KV("pid", server ? kServerPid : kClientPid);
+  writer->KV("tid", tid);
+  writer->Key("args").BeginObject();
+  writer->KV("trace_id", FormatTraceId(trace_id));
+  writer->KV("depth", span.depth);
+  for (const auto& [key, value] : span.notes) {
+    writer->KV(key, value);
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+}  // namespace
+
+std::string FormatTraceId(uint64_t trace_id) {
+  return StrFormat("0x%016llx", static_cast<unsigned long long>(trace_id));
+}
+
+void WriteTraceEvents(const std::vector<TraceRecord>& traces,
+                      JsonWriter* writer) {
+  writer->KV("displayTimeUnit", "ns");
+  writer->Key("traceEvents").BeginArray();
+  WriteProcessName(kClientPid, "spacetwist client", writer);
+  WriteProcessName(kServerPid, "spacetwist server", writer);
+  for (size_t i = 0; i < traces.size(); ++i) {
+    // One lane (tid) per trace: client and server halves share the lane
+    // index across their two processes, so a query reads as one row pair.
+    const int tid = static_cast<int>(i) + 1;
+    for (const SpanRecord& span : traces[i].spans) {
+      WriteSpanEvent(span, traces[i].trace_id, tid, writer);
+    }
+  }
+  writer->EndArray();
+}
+
+std::string TracesToJson(const std::vector<TraceRecord>& traces) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.KV("schema", kTraceSchema);
+  WriteTraceEvents(traces, &writer);
+  writer.EndObject();
+  return writer.str();
+}
+
+}  // namespace spacetwist::telemetry

@@ -1,0 +1,93 @@
+#ifndef SPACETWIST_TELEMETRY_TRACE_SINK_H_
+#define SPACETWIST_TELEMETRY_TRACE_SINK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "telemetry/trace.h"
+
+namespace spacetwist::telemetry {
+
+/// Tuning knobs for TraceSink.
+struct TraceSinkOptions {
+  /// Maximum TraceRecords buffered between Drain() calls; offers beyond it
+  /// are dropped (and counted) so a sink nobody drains stays bounded.
+  size_t capacity = 256;
+  /// Deterministic sampling: of the records that reach the sink, every
+  /// Nth (1st, N+1st, ...) is kept. 1 keeps everything; 0 behaves like 1.
+  uint64_t sample_every = 1;
+};
+
+/// Thread-safe bounded buffer of completed traces — where the server side
+/// of the distributed-tracing pipeline collects per-query span lists (one
+/// TraceRecord per sampled session, offered when the session retires).
+/// Admission is deterministic: a fixed every-Nth sampler plus a hard
+/// capacity, so identical runs buffer identical records in identical order
+/// (offers arrive under the caller's serialization; the sink adds none).
+class TraceSink {
+ public:
+  explicit TraceSink(const TraceSinkOptions& options = TraceSinkOptions())
+      : options_(options) {}
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Offers one completed trace. Returns true when the record was
+  /// buffered, false when the every-Nth sampler skipped it or the buffer
+  /// was full (counted in dropped()).
+  bool Offer(TraceRecord record) {
+    MutexLock lock(&mu_);
+    const uint64_t n = offered_++;
+    const uint64_t every = options_.sample_every == 0 ? 1
+                                                      : options_.sample_every;
+    if (n % every != 0) return false;
+    if (records_.size() >= options_.capacity) {
+      ++dropped_;
+      return false;
+    }
+    records_.push_back(std::move(record));
+    ++recorded_;
+    return true;
+  }
+
+  /// Removes and returns everything buffered, in offer order.
+  std::vector<TraceRecord> Drain() {
+    MutexLock lock(&mu_);
+    std::vector<TraceRecord> out;
+    out.swap(records_);
+    return out;
+  }
+
+  size_t size() const {
+    MutexLock lock(&mu_);
+    return records_.size();
+  }
+  uint64_t offered() const {
+    MutexLock lock(&mu_);
+    return offered_;
+  }
+  uint64_t recorded() const {
+    MutexLock lock(&mu_);
+    return recorded_;
+  }
+  /// Sampled-in records lost to the capacity bound.
+  uint64_t dropped() const {
+    MutexLock lock(&mu_);
+    return dropped_;
+  }
+
+ private:
+  const TraceSinkOptions options_;
+  mutable Mutex mu_;
+  std::vector<TraceRecord> records_ GUARDED_BY(mu_);
+  uint64_t offered_ GUARDED_BY(mu_) = 0;
+  uint64_t recorded_ GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace spacetwist::telemetry
+
+#endif  // SPACETWIST_TELEMETRY_TRACE_SINK_H_

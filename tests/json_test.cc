@@ -1,0 +1,102 @@
+// Tests for the minimal JSON parser (common/json.h) that backs the
+// spacetwist_cli trace-report subcommand.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.h"
+
+namespace spacetwist {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->number(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.5e2")->number(), -350.0);
+  EXPECT_DOUBLE_EQ(ParseJson("0.25")->number(), 0.25);
+  EXPECT_EQ(ParseJson("\"hi\"")->string(), "hi");
+  EXPECT_TRUE(ParseJson("  42  ")->is_number());  // surrounding whitespace
+}
+
+TEST(JsonTest, ParsesContainersAndPreservesOrder) {
+  auto doc = ParseJson(R"({"b": [1, 2, {"c": null}], "a": "x", "b": 7})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_EQ(doc->object().size(), 3u);
+  // Key order is emission order; Find returns the first duplicate.
+  EXPECT_EQ(doc->object()[0].first, "b");
+  EXPECT_EQ(doc->object()[1].first, "a");
+  const JsonValue* b = doc->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(b->array()[1].number(), 2.0);
+  EXPECT_TRUE(b->array()[2].Find("c")->is_null());
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+  EXPECT_EQ(b->Find("anything"), nullptr);  // Find on a non-object
+}
+
+TEST(JsonTest, DecodesStringEscapes) {
+  auto doc = ParseJson(R"("a\"b\\c\/d\b\f\n\r\t")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string(), "a\"b\\c/d\b\f\n\r\t");
+
+  // \u escapes, including a surrogate pair (UTF-8 encoded on the way out).
+  EXPECT_EQ(ParseJson(R"("\u0041")")->string(), "A");
+  EXPECT_EQ(ParseJson(R"("\u00e9")")->string(), "\xc3\xa9");
+  EXPECT_EQ(ParseJson(R"("\u20ac")")->string(), "\xe2\x82\xac");
+  EXPECT_EQ(ParseJson(R"("\ud83d\ude00")")->string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",                        // empty
+      "{",                       // unterminated object
+      "[1, 2",                   // unterminated array
+      "{\"a\" 1}",               // missing colon
+      "{\"a\": 1,}",             // trailing comma
+      "[1, , 2]",                // hole
+      "\"abc",                   // unterminated string
+      "\"\\x\"",                 // bad escape
+      "\"\\ud800\"",             // unpaired surrogate
+      "\"\\udc00\"",             // lone low surrogate
+      "\"a\nb\"",                // raw control character
+      "01",                      // leading zero
+      "1.",                      // digits required after '.'
+      "1e",                      // digits required after exponent
+      "+1",                      // no leading plus
+      "truth",                   // bad literal
+      "42 extra",                // trailing characters
+  };
+  for (const char* text : bad) {
+    auto doc = ParseJson(text);
+    EXPECT_FALSE(doc.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonTest, RejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  auto doc = ParseJson(deep);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().ToString().find("nesting"), std::string::npos);
+
+  // 64 levels (the documented cap) still parse.
+  std::string ok_doc;
+  for (int i = 0; i < 64; ++i) ok_doc += "[";
+  for (int i = 0; i < 64; ++i) ok_doc += "]";
+  EXPECT_TRUE(ParseJson(ok_doc).ok());
+}
+
+TEST(JsonTest, ErrorsCarryBytePosition) {
+  auto doc = ParseJson("{\"a\": nope}");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().ToString().find("byte 6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spacetwist

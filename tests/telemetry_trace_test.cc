@@ -55,6 +55,34 @@ TEST(TraceTest, NullTraceHelpersAreNoOps) {
   EXPECT_EQ(trace.size(), 2u);
 }
 
+TEST(TraceTest, NonLifoEndIsHardened) {
+  VirtualClock clock(0, 1);
+  Trace trace(&clock);
+  Trace::Span outer = trace.StartSpan("outer");
+  Trace::Span inner = trace.StartSpan("inner");
+  // Ending the outer span while the inner one is still open is a caller
+  // bug: debug builds abort on it, release builds count it and ignore it.
+  EXPECT_DEBUG_DEATH(outer.End(), "non-LIFO");
+#ifdef NDEBUG
+  // The mismatched End() above executed in-process as a graceful no-op:
+  // the inner span still closes correctly, while the misordered span is
+  // permanently detached and stays open (rendered as [start,start)) —
+  // closing it late would corrupt the depth bookkeeping.
+  EXPECT_EQ(trace.misordered_ends(), 1u);
+  inner.End();
+  outer.End();  // detached handle: a further no-op
+  EXPECT_EQ(trace.misordered_ends(), 1u);
+  for (const SpanRecord& span : trace.records()) {
+    EXPECT_EQ(span.open, span.name == "outer") << span.name;
+  }
+#else
+  // The death test ran in a child; this process's spans are untouched.
+  inner.End();
+  outer.End();
+  EXPECT_EQ(trace.misordered_ends(), 0u);
+#endif
+}
+
 TEST(TraceTest, MovedFromSpanDoesNotDoubleClose) {
   VirtualClock clock(0, 1);
   Trace trace(&clock);

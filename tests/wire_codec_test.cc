@@ -34,6 +34,31 @@ Packet RandomPacket(Rng* rng, size_t num_points) {
   return packet;
 }
 
+/// Random piggybacked server spans (v3) within the wire bounds, so encoded
+/// spans round-trip bit-exactly (the encoder only clamps beyond them).
+std::vector<telemetry::SpanRecord> RandomSpans(Rng* rng) {
+  static constexpr const char* kNames[] = {
+      "server.dispatch", "server.pull", "server.granular.scan",
+      "server.page.fetch", "server.replay"};
+  std::vector<telemetry::SpanRecord> spans;
+  const int count = rng->UniformInt(0, 5);
+  for (int i = 0; i < count; ++i) {
+    telemetry::SpanRecord span;
+    span.name = kNames[rng->UniformInt(0, 4)];
+    span.start_ns = rng->Next();
+    span.end_ns = span.start_ns + static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+    span.depth = rng->UniformInt(0, 5);
+    span.instant = rng->UniformInt(0, 1) == 1;
+    const int notes = rng->UniformInt(0, 3);
+    for (int n = 0; n < notes; ++n) {
+      span.notes.emplace_back(std::string("note") + static_cast<char>('a' + n),
+                              rng->Next());
+    }
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
 Request RandomRequest(Rng* rng) {
   switch (rng->UniformInt(0, 2)) {
     case 0: {
@@ -42,10 +67,16 @@ Request RandomRequest(Rng* rng) {
       open.epsilon = rng->Uniform(0, 5000);
       open.k = static_cast<uint32_t>(rng->UniformInt(1, 1 << 20));
       open.nonce = rng->Next();
+      open.trace_id = rng->Next();
+      open.sampled = rng->UniformInt(0, 1) == 1;
       return open;
     }
-    case 1:
-      return PullRequest{rng->Next(), rng->Next()};
+    case 1: {
+      PullRequest pull{rng->Next(), rng->Next()};
+      pull.trace_id = rng->Next();
+      pull.sampled = rng->UniformInt(0, 1) == 1;
+      return pull;
+    }
     default:
       return CloseRequest{rng->Next()};
   }
@@ -58,9 +89,10 @@ Response RandomResponse(Rng* rng) {
     case 1:
       return PacketReply{
           rng->Next(), rng->Next(),
-          RandomPacket(rng, static_cast<size_t>(rng->UniformInt(0, 200)))};
+          RandomPacket(rng, static_cast<size_t>(rng->UniformInt(0, 200))),
+          RandomSpans(rng)};
     case 2:
-      return CloseOk{rng->Next()};
+      return CloseOk{rng->Next(), RandomSpans(rng)};
     default: {
       ErrorReply error;
       error.code = static_cast<StatusCode>(rng->UniformInt(1, kMaxStatusCode));
@@ -258,8 +290,34 @@ TEST(WireCodecTest, EncodedPacketSizeMatchesSpec) {
   const std::vector<uint8_t> frame =
       EncodeResponse(PacketReply{7, 3, packet});
   // frame = 4 (length) + 1 (type) + 4 (checksum)
-  //       + 8 (session id) + 8 (seq) + 2 (count) + 67 * 12 (points).
-  EXPECT_EQ(frame.size(), 4u + 1u + 4u + 8u + 8u + 2u + 67u * kWirePointBytes);
+  //       + 8 (session id) + 8 (seq) + 2 (count) + 67 * 12 (points)
+  //       + 2 (span count, zero spans).
+  EXPECT_EQ(frame.size(),
+            4u + 1u + 4u + 8u + 8u + 2u + 67u * kWirePointBytes + 2u);
+}
+
+TEST(WireCodecTest, OversizedSpanListIsClampedToValidFrame) {
+  // The encoder clamps span names/notes/counts to the wire bounds rather
+  // than failing, so arbitrary in-process traces always produce decodable
+  // frames; the decode yields the clamped list.
+  telemetry::SpanRecord huge;
+  huge.name = std::string(300, 'n');
+  huge.start_ns = 10;
+  huge.end_ns = 20;
+  for (int i = 0; i < 40; ++i) {
+    huge.notes.emplace_back(std::string(100, 'k'), static_cast<uint64_t>(i));
+  }
+  CloseOk closed{7, std::vector<telemetry::SpanRecord>(300, huge)};
+  auto decoded = DecodeResponse(EncodeResponse(closed));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const auto* reply = std::get_if<CloseOk>(&*decoded);
+  ASSERT_NE(reply, nullptr);
+  ASSERT_EQ(reply->server_spans.size(), kMaxWireSpansPerFrame);
+  const telemetry::SpanRecord& span = reply->server_spans[0];
+  EXPECT_EQ(span.name.size(), kMaxWireSpanNameBytes);
+  ASSERT_EQ(span.notes.size(), kMaxWireSpanNotes);
+  EXPECT_EQ(span.notes[0].first.size(), kMaxWireNoteKeyBytes);
+  EXPECT_EQ(span.notes[0].second, 0u);
 }
 
 }  // namespace

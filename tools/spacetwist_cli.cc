@@ -17,22 +17,39 @@
 //                          --threads 1,2,4,8 --k 1 --epsilon 200
 //                          --anchor-dist 200 --seed 7]
 //                          [--statsz [out.txt]]  # dump the telemetry page
+//                          [--statsz-interval 1] # + periodic samples, every
+//                                                # N clock seconds
+//                          [--trace out.json [--trace-every 1]]
+//                                                # distributed traces +
+//                                                # per-query trade-offs
+//   spacetwist_cli trace-report --in trace.json [--top 5]
 //
 // Exit code 0 on success, 1 on any error (message on stderr).
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <memory>
+#include <numeric>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "cli/flags.h"
+#include "common/json.h"
 #include "common/strings.h"
 #include "core/params.h"
 #include "eval/table.h"
+#include "eval/tradeoff.h"
 #include "privacy/exact_region.h"
 #include "rtree/persistence.h"
 #include "rtree/tree_stats.h"
 #include "spacetwist/spacetwist.h"
 #include "telemetry/export.h"
 #include "telemetry/registry.h"
+#include "telemetry/statsz_ticker.h"
+#include "telemetry/trace_export.h"
 
 namespace spacetwist::cli {
 namespace {
@@ -41,9 +58,39 @@ void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: spacetwist_cli "
-      "<gen|import|index|info|query|privacy|sweep|serve-bench> [--flags]\n"
+      "<gen|import|index|info|query|privacy|sweep|serve-bench|trace-report> "
+      "[--flags]\n"
       "run with a command and no flags for that command's defaults; see "
       "the header of tools/spacetwist_cli.cc for the full synopsis\n");
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::string out;
+  char buffer[65536];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out.append(buffer, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::IoError(StrFormat("error reading %s", path.c_str()));
+  }
+  return out;
+}
+
+Status WriteFile(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return Status::OK();
 }
 
 Result<datasets::Dataset> LoadDatasetFlag(const Flags& flags) {
@@ -255,6 +302,145 @@ Status RunSweep(const Flags& flags) {
   return Status::OK();
 }
 
+/// Numeric member of a JSON object, 0 when absent or not a number — the
+/// trade-off writer always emits every field, so 0 only shows up for
+/// documents from older schema revisions.
+double NumberField(const JsonValue& object, std::string_view key) {
+  const JsonValue* value = object.Find(key);
+  return (value != nullptr && value->is_number()) ? value->number() : 0.0;
+}
+
+std::string StringField(const JsonValue& object, std::string_view key) {
+  const JsonValue* value = object.Find(key);
+  return (value != nullptr && value->is_string()) ? value->string()
+                                                  : std::string();
+}
+
+/// Prints the top-`top` trade-off records ranked by `key` (descending,
+/// stable — document order breaks ties, so reports are deterministic).
+void PrintTopQueries(const std::vector<const JsonValue*>& records,
+                     std::string_view key, size_t top, std::string_view title) {
+  std::vector<size_t> order(records.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return NumberField(*records[a], key) > NumberField(*records[b], key);
+  });
+  if (order.size() > top) order.resize(top);
+  std::printf("%.*s\n", static_cast<int>(title.size()), title.data());
+  eval::Table table({"trace_id", "client", "query", "latency(ms)", "packets",
+                     "down(B)", "error(m)", "retries"});
+  for (const size_t i : order) {
+    const JsonValue& rec = *records[i];
+    table.AddRow(
+        {StringField(rec, "trace_id"),
+         FormatDouble(NumberField(rec, "client"), 0),
+         FormatDouble(NumberField(rec, "query"), 0),
+         FormatDouble(NumberField(rec, "latency_ns") / 1e6, 3),
+         FormatDouble(NumberField(rec, "packets"), 0),
+         FormatDouble(NumberField(rec, "downlink_bytes"), 0),
+         FormatDouble(NumberField(rec, "achieved_error"), 1),
+         FormatDouble(NumberField(rec, "retries"), 0)});
+  }
+  table.Print(std::cout);
+}
+
+Status RunTraceReport(const Flags& flags) {
+  const std::string in = flags.GetString("in", "");
+  if (in.empty()) {
+    return Status::InvalidArgument("--in <trace.json> is required");
+  }
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t top, flags.GetInt("top", 5));
+  if (top < 1) return Status::InvalidArgument("--top must be >= 1");
+  SPACETWIST_ASSIGN_OR_RETURN(std::string text, ReadFile(in));
+  SPACETWIST_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(text));
+  if (StringField(doc, "schema") != telemetry::kTraceSchema) {
+    return Status::InvalidArgument(StrFormat(
+        "%s is not a %.*s document", in.c_str(),
+        static_cast<int>(telemetry::kTraceSchema.size()),
+        telemetry::kTraceSchema.data()));
+  }
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Status::InvalidArgument("document has no traceEvents array");
+  }
+
+  // Per-phase latency breakdown: fold every complete (ph:"X") span by name,
+  // in first-seen order (the exporter's order, so the report is stable).
+  struct PhaseAgg {
+    std::string name;
+    uint64_t spans = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::vector<PhaseAgg> phases;
+  uint64_t instants = 0;
+  for (const JsonValue& event : events->array()) {
+    const std::string ph = StringField(event, "ph");
+    if (ph == "i") ++instants;
+    if (ph != "X") continue;
+    const std::string name = StringField(event, "name");
+    const double dur_us = NumberField(event, "dur");
+    PhaseAgg* agg = nullptr;
+    for (PhaseAgg& candidate : phases) {
+      if (candidate.name == name) {
+        agg = &candidate;
+        break;
+      }
+    }
+    if (agg == nullptr) {
+      phases.push_back(PhaseAgg{name, 0, 0.0, 0.0});
+      agg = &phases.back();
+    }
+    ++agg->spans;
+    agg->total_us += dur_us;
+    agg->max_us = std::max(agg->max_us, dur_us);
+  }
+  std::printf("per-phase latency breakdown (%zu phases, %llu instants)\n",
+              phases.size(), static_cast<unsigned long long>(instants));
+  eval::Table phase_table(
+      {"phase", "spans", "total(us)", "mean(us)", "max(us)"});
+  for (const PhaseAgg& agg : phases) {
+    phase_table.AddRow(
+        {agg.name, StrFormat("%llu", static_cast<unsigned long long>(agg.spans)),
+         FormatDouble(agg.total_us, 3),
+         FormatDouble(agg.spans > 0 ? agg.total_us / agg.spans : 0.0, 3),
+         FormatDouble(agg.max_us, 3)});
+  }
+  phase_table.Print(std::cout);
+
+  const JsonValue* tradeoffs = doc.Find("tradeoffs");
+  if (tradeoffs == nullptr || !tradeoffs->is_array()) {
+    std::printf("\nno trade-off records in this document\n");
+    return Status::OK();
+  }
+  std::vector<const JsonValue*> records;
+  records.reserve(tradeoffs->array().size());
+  for (const JsonValue& rec : tradeoffs->array()) {
+    if (rec.is_object()) records.push_back(&rec);
+  }
+  double total_latency_ns = 0.0;
+  double total_down = 0.0;
+  double total_packets = 0.0;
+  for (const JsonValue* rec : records) {
+    total_latency_ns += NumberField(*rec, "latency_ns");
+    total_down += NumberField(*rec, "downlink_bytes");
+    total_packets += NumberField(*rec, "packets");
+  }
+  std::printf("\n%zu trade-off records: mean latency %.3f ms, "
+              "mean packets %.2f, mean downlink %.0f B\n\n",
+              records.size(),
+              records.empty() ? 0.0
+                              : total_latency_ns / records.size() / 1e6,
+              records.empty() ? 0.0 : total_packets / records.size(),
+              records.empty() ? 0.0 : total_down / records.size());
+  const size_t n = static_cast<size_t>(top);
+  PrintTopQueries(records, "latency_ns", n, "slowest queries");
+  std::printf("\n");
+  PrintTopQueries(records, "downlink_bytes", n,
+                  "most expensive queries (downlink bytes)");
+  return Status::OK();
+}
+
 Status RunServeBench(const Flags& flags) {
   SPACETWIST_ASSIGN_OR_RETURN(datasets::Dataset ds, LoadDatasetFlag(flags));
   SPACETWIST_ASSIGN_OR_RETURN(int64_t clients, flags.GetInt("clients", 64));
@@ -264,6 +450,17 @@ Status RunServeBench(const Flags& flags) {
   SPACETWIST_ASSIGN_OR_RETURN(QueryFlagValues qf, ParseQueryFlags(flags));
   if (clients < 1 || queries < 1) {
     return Status::InvalidArgument("--clients and --queries must be >= 1");
+  }
+  const std::string trace_out = flags.GetString("trace", "");
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t trace_every,
+                              flags.GetInt("trace-every", 1));
+  if (trace_every < 0) {
+    return Status::InvalidArgument("--trace-every must be >= 0");
+  }
+  SPACETWIST_ASSIGN_OR_RETURN(double statsz_interval,
+                              flags.GetDouble("statsz-interval", 0.0));
+  if (flags.Has("statsz-interval") && statsz_interval <= 0.0) {
+    return Status::InvalidArgument("--statsz-interval must be > 0 seconds");
   }
 
   rtree::RTreeOptions rtree_options;
@@ -276,51 +473,118 @@ Status RunServeBench(const Flags& flags) {
   load.queries_per_client = static_cast<size_t>(queries);
   load.params = qf.params;
   load.seed = qf.seed;
+  if (!trace_out.empty()) {
+    // Trade-off accounting for every query, distributed traces for every
+    // --trace-every'th, ground truth for the accuracy leg.
+    load.record_tradeoffs = true;
+    load.trace_every = static_cast<uint64_t>(trace_every);
+    load.truth = server.get();
+  }
 
   SPACETWIST_ASSIGN_OR_RETURN(std::vector<eval::ClientDigest> reference,
                               eval::RunReferenceWorkload(server.get(), load));
 
-  eval::Table table({"threads", "qps", "p50(ms)", "p99(ms)", "packets"});
-  for (const double t : threads) {
-    if (t < 1) return Status::InvalidArgument("--threads values must be >= 1");
-    service::ServiceOptions options;
-    options.max_sessions = load.num_clients * 2;
-    service::ServiceEngine engine(server.get(), options);
-    load.worker_threads = static_cast<size_t>(t);
-    SPACETWIST_ASSIGN_OR_RETURN(
-        eval::LoadReport report,
-        eval::RunClosedLoopLoad(&engine, server->domain(), load));
-    if (!(report.digests == reference)) {
-      return Status::Internal(StrFormat(
-          "results at %zu threads diverge from the single-threaded "
-          "reference", load.worker_threads));
-    }
-    table.AddRow({FormatDouble(t, 0),
-                  FormatDouble(report.queries_per_second, 1),
-                  FormatDouble(report.p50_latency_ms, 3),
-                  FormatDouble(report.p99_latency_ms, 3),
-                  StrFormat("%llu",
-                            static_cast<unsigned long long>(report.packets))});
+  // Periodic /statsz sampling: a poller thread drives the clock-disciplined
+  // ticker while the measured runs execute; samples render at the end next
+  // to the cumulative page.
+  std::unique_ptr<telemetry::StatszTicker> ticker;
+  std::atomic<bool> stop_poller{false};
+  std::thread poller;
+  if (flags.Has("statsz-interval")) {
+    ticker = std::make_unique<telemetry::StatszTicker>(
+        nullptr, nullptr, static_cast<uint64_t>(statsz_interval * 1e9));
+    poller = std::thread([&ticker, &stop_poller] {
+      while (!stop_poller.load(std::memory_order_relaxed)) {
+        ticker->Poll();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
   }
+
+  eval::Table table({"threads", "qps", "p50(ms)", "p99(ms)", "packets"});
+  eval::LoadReport traced_report;
+  // The measurement loop runs inside a lambda so every early return still
+  // joins the poller thread.
+  Status run_status = [&]() -> Status {
+    for (const double t : threads) {
+      if (t < 1) {
+        return Status::InvalidArgument("--threads values must be >= 1");
+      }
+      service::ServiceOptions options;
+      options.max_sessions = load.num_clients * 2;
+      service::ServiceEngine engine(server.get(), options);
+      load.worker_threads = static_cast<size_t>(t);
+      SPACETWIST_ASSIGN_OR_RETURN(
+          eval::LoadReport report,
+          eval::RunClosedLoopLoad(&engine, server->domain(), load));
+      if (!(report.digests == reference)) {
+        return Status::Internal(StrFormat(
+            "results at %zu threads diverge from the single-threaded "
+            "reference", load.worker_threads));
+      }
+      table.AddRow({FormatDouble(t, 0),
+                    FormatDouble(report.queries_per_second, 1),
+                    FormatDouble(report.p50_latency_ms, 3),
+                    FormatDouble(report.p99_latency_ms, 3),
+                    StrFormat("%llu", static_cast<unsigned long long>(
+                                          report.packets))});
+      // Traces and trade-off records are identical across thread counts
+      // (fixed seeds, client-major fold); keep the last run's.
+      traced_report = std::move(report);
+    }
+    return Status::OK();
+  }();
+  if (poller.joinable()) {
+    stop_poller.store(true, std::memory_order_relaxed);
+    poller.join();
+  }
+  SPACETWIST_RETURN_NOT_OK(run_status);
   table.Print(std::cout);
   std::printf("results verified byte-identical to the single-threaded "
               "direct path at every thread count\n");
-  if (flags.Has("statsz")) {
+
+  if (!trace_out.empty()) {
+    telemetry::JsonWriter writer;
+    writer.BeginObject();
+    writer.KV("schema", telemetry::kTraceSchema);
+    writer.KV("dataset", ds.name);
+    writer.KV("clients", static_cast<uint64_t>(clients));
+    writer.KV("queries_per_client", static_cast<uint64_t>(queries));
+    writer.KV("seed", qf.seed);
+    telemetry::WriteTraceEvents(traced_report.traces, &writer);
+    eval::WriteTradeoffs(traced_report.tradeoffs, &writer);
+    writer.EndObject();
+    SPACETWIST_RETURN_NOT_OK(WriteFile(trace_out, writer.str()));
+    std::printf("wrote %s (%zu traces, %zu trade-off records)\n",
+                trace_out.c_str(), traced_report.traces.size(),
+                traced_report.tradeoffs.size());
+  }
+
+  if (flags.Has("statsz") || ticker != nullptr) {
     // Every layer registered into the process-default registry during the
     // run; render the cumulative page (engine, wire, storage, granular
-    // server, load generator) as human-readable text.
-    const std::string statsz = telemetry::ToStatsz(
+    // server, load generator) as human-readable text, preceded by any
+    // periodic samples the ticker captured.
+    std::string statsz;
+    if (ticker != nullptr) {
+      size_t index = 0;
+      for (const telemetry::StatszSample& sample : ticker->samples()) {
+        statsz += StrFormat(
+            "--- statsz sample %llu at %.3f s ---\n",
+            static_cast<unsigned long long>(index++),
+            static_cast<double>(sample.at_ns - ticker->start_ns()) / 1e9);
+        statsz += sample.text;
+        statsz += "\n";
+      }
+      statsz += "--- statsz final (cumulative) ---\n";
+    }
+    statsz += telemetry::ToStatsz(
         telemetry::MetricRegistry::Default()->Snapshot());
     const std::string out = flags.GetString("statsz", "");
     if (out.empty()) {
       std::printf("\n%s", statsz.c_str());
     } else {
-      std::FILE* f = std::fopen(out.c_str(), "w");
-      if (f == nullptr) {
-        return Status::IoError(StrFormat("cannot open %s", out.c_str()));
-      }
-      std::fwrite(statsz.data(), 1, statsz.size(), f);
-      std::fclose(f);
+      SPACETWIST_RETURN_NOT_OK(WriteFile(out, statsz));
       std::printf("wrote %s\n", out.c_str());
     }
   }
@@ -351,6 +615,8 @@ int Main(int argc, const char* const* argv) {
     status = RunSweep(*flags);
   } else if (command == "serve-bench") {
     status = RunServeBench(*flags);
+  } else if (command == "trace-report") {
+    status = RunTraceReport(*flags);
   } else {
     PrintUsage();
     return 1;

@@ -1,28 +1,63 @@
 #!/usr/bin/env python3
-"""Validator for the telemetry exporter's JSON layout (spacetwist.telemetry.v1).
+"""Validator for the telemetry exporters' JSON layouts.
 
 Checks every document passed on the command line:
 
-* a telemetry section — the document itself when it carries the schema
-  marker, or the object under a top-level "telemetry" key (how the
-  BENCH_*.json artifacts embed their end-of-run registry snapshot) — must
-  have string->int counter and gauge maps and well-formed histograms;
-* every histogram-shaped object anywhere in the document (including the
-  standalone distributions in BENCH_latency.json) must carry the required
-  keys, [lo, hi, count) bucket triples in ascending order, bucket counts
-  summing to `count`, and monotone p50 <= p95 <= p99.
+* spacetwist.telemetry.v1 — a telemetry section (the document itself when
+  it carries the schema marker, or the object under a top-level "telemetry"
+  key, how the BENCH_*.json artifacts embed their end-of-run registry
+  snapshot) must have string->int counter and gauge maps and well-formed
+  histograms; every histogram-shaped object anywhere in the document
+  (including the standalone distributions in BENCH_latency.json) must carry
+  the required keys, [lo, hi, count) bucket triples in ascending order,
+  bucket counts summing to `count`, and monotone p50 <= p95 <= p99;
+* spacetwist.trace.v1 — a distributed-trace document (BENCH_trace.json,
+  `spacetwist_cli serve-bench --trace`) must be a well-formed
+  Chrome-trace_event export: a traceEvents array of ph:"X"/"M"/"i" events
+  with name/ts/pid/tid, non-negative dur on complete events, process_name
+  metadata, hex trace ids, plus an optional "tradeoffs" array carrying one
+  fully-populated per-query trade-off record each (docs/OBSERVABILITY.md).
 
 Exit status 0 when every file validates, 1 otherwise (messages on stderr).
 Runs under ctest (`validate_telemetry_json`) over the committed bench
-artifacts and in the CI bench-smoke job over freshly generated ones.
+artifacts and in the CI bench-smoke job over freshly generated ones;
+tools/validate_telemetry_json_test.py exercises both branches against
+negative fixtures.
 """
 
 import json
+import re
 import sys
 
 SCHEMA = "spacetwist.telemetry.v1"
+TRACE_SCHEMA = "spacetwist.trace.v1"
 HISTOGRAM_KEYS = {
     "count", "sum", "min", "max", "mean", "p50", "p95", "p99", "buckets",
+}
+TRACE_ID_RE = re.compile(r"^0x[0-9a-f]{16}$")
+# Every field eval::WriteTradeoffs emits, with the checker applied to it.
+TRADEOFF_FIELDS = {
+    "trace_id": "trace_id",
+    "client": "uint",
+    "query": "uint",
+    "anchor_distance": "number",
+    "tau": "number",
+    "gamma": "number",
+    "epsilon": "number",
+    "achieved_error": "number",
+    "error_evaluated": "flag",
+    "reported_kth_distance": "number",
+    "result_count": "uint",
+    "packets": "uint",
+    "points": "uint",
+    "downlink_bytes": "uint",
+    "uplink_bytes": "uint",
+    "latency_ns": "uint",
+    "attempts": "uint",
+    "retries": "uint",
+    "reopens": "uint",
+    "stale_replies": "uint",
+    "backoff_ns": "uint",
 }
 
 _errors = []
@@ -101,6 +136,89 @@ def validate_section(section, path):
             validate_histogram(histogram, f"{path}.histograms.{name}")
 
 
+def validate_trace_event(event, path):
+    if not isinstance(event, dict):
+        error(path, "trace event must be an object")
+        return
+    for key, checker in (("name", str), ("ph", str)):
+        if not isinstance(event.get(key), checker):
+            error(path, f"trace event needs a string {key}")
+            return
+    ph = event["ph"]
+    if ph not in ("X", "M", "i"):
+        error(path, f"unknown event phase {ph!r} (expected X, M, or i)")
+        return
+    if not is_number(event.get("ts")) or event["ts"] < 0:
+        error(path, "ts must be a non-negative number")
+    for key in ("pid", "tid"):
+        if not is_int(event.get(key)) or event[key] < 0:
+            error(path, f"{key} must be a non-negative integer")
+    args = event.get("args")
+    if args is not None and not isinstance(args, dict):
+        error(path, "args must be an object")
+        args = None
+    if ph == "X":
+        if not is_number(event.get("dur")) or event["dur"] < 0:
+            error(path, "complete event needs a non-negative dur")
+    elif ph == "i":
+        if event.get("s") not in ("t", "p", "g"):
+            error(path, "instant event needs scope s in {t, p, g}")
+    elif ph == "M":
+        if event["name"] != "process_name":
+            error(path, f"unexpected metadata event {event['name']!r}")
+        elif not args or not isinstance(args.get("name"), str):
+            error(path, "process_name metadata needs args.name")
+    if args and "trace_id" in args:
+        trace_id = args["trace_id"]
+        if not isinstance(trace_id, str) or not TRACE_ID_RE.match(trace_id):
+            error(path, f"malformed trace_id {trace_id!r}")
+
+
+def validate_tradeoff(record, path):
+    if not isinstance(record, dict):
+        error(path, "trade-off record must be an object")
+        return
+    for key, kind in TRADEOFF_FIELDS.items():
+        if key not in record:
+            error(path, f"trade-off record missing {key}")
+            continue
+        value = record[key]
+        if kind == "trace_id":
+            if not isinstance(value, str) or not TRACE_ID_RE.match(value):
+                error(path, f"malformed trace_id {value!r}")
+        elif kind == "uint":
+            if not is_int(value) or value < 0:
+                error(path, f"{key} must be a non-negative integer")
+        elif kind == "flag":
+            if value not in (0, 1):
+                error(path, f"{key} must be 0 or 1")
+        elif not is_number(value):
+            error(path, f"{key} must be a number")
+
+
+def validate_trace_document(document, path):
+    """A spacetwist.trace.v1 export (docs/OBSERVABILITY.md trace schema)."""
+    if document.get("displayTimeUnit") != "ns":
+        error(path, "trace document needs displayTimeUnit \"ns\"")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        error(path, "trace document needs a traceEvents array")
+        return
+    for i, event in enumerate(events):
+        validate_trace_event(event, f"{path}.traceEvents[{i}]")
+    complete = sum(1 for e in events
+                   if isinstance(e, dict) and e.get("ph") == "X")
+    if events and complete == 0:
+        error(path, "traceEvents has entries but no complete (ph:X) spans")
+    tradeoffs = document.get("tradeoffs")
+    if tradeoffs is not None:
+        if not isinstance(tradeoffs, list):
+            error(path, "tradeoffs must be an array")
+            return
+        for i, record in enumerate(tradeoffs):
+            validate_tradeoff(record, f"{path}.tradeoffs[{i}]")
+
+
 def looks_like_section(node):
     return isinstance(node, dict) and {"schema", "counters", "gauges",
                                        "histograms"} <= node.keys()
@@ -134,6 +252,10 @@ def validate_file(filename):
             document = json.load(f)
     except (OSError, json.JSONDecodeError) as exc:
         error(filename, f"unreadable: {exc}")
+        return
+    if (isinstance(document, dict)
+            and document.get("schema") == TRACE_SCHEMA):
+        validate_trace_document(document, filename)
         return
     found = []
     walk(document, filename, found)

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Self-test for tools/validate_telemetry_json.py.
+
+Feeds the validator hand-built fixtures — well-formed telemetry and trace
+documents that must pass, and one broken variant per rule that must fail
+with a message naming the defect — so a rotted validator (one that started
+accepting everything, or rejecting valid exports) fails ctest like any
+other test. Runs under ctest as `validate_telemetry_json_selftest`.
+"""
+
+import copy
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "validate_telemetry_json",
+    os.path.join(_HERE, "validate_telemetry_json.py"))
+validator = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(validator)
+
+GOOD_TELEMETRY = {
+    "schema": "spacetwist.telemetry.v1",
+    "counters": {"net.packets": 24},
+    "gauges": {"service.engine.sessions": 0},
+    "histograms": {
+        "eval.load.latency_ns": {
+            "count": 2, "sum": 30, "min": 10, "max": 20, "mean": 15.0,
+            "p50": 10.0, "p95": 20.0, "p99": 20.0,
+            "buckets": [[8, 16, 1], [16, 32, 1]],
+        },
+    },
+}
+
+GOOD_TRACE = {
+    "schema": "spacetwist.trace.v1",
+    "displayTimeUnit": "ns",
+    "traceEvents": [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "ts": 0,
+         "args": {"name": "spacetwist client"}},
+        {"name": "process_name", "ph": "M", "pid": 2, "tid": 0, "ts": 0,
+         "args": {"name": "spacetwist server"}},
+        {"name": "wire.pull", "cat": "client", "ph": "X", "ts": 1.0,
+         "dur": 5.0, "pid": 1, "tid": 1,
+         "args": {"trace_id": "0x0123456789abcdef", "depth": 0, "seq": 0}},
+        {"name": "server.granular.scan", "cat": "server", "ph": "X",
+         "ts": 2.0, "dur": 3.0, "pid": 2, "tid": 1,
+         "args": {"trace_id": "0x0123456789abcdef", "depth": 2,
+                  "heap_pops": 4}},
+        {"name": "server.replay", "ph": "i", "s": "t", "ts": 4.0, "pid": 2,
+         "tid": 1, "args": {"trace_id": "0x0123456789abcdef", "value": 1}},
+    ],
+    "tradeoffs": [{
+        "trace_id": "0x0123456789abcdef", "client": 0, "query": 0,
+        "anchor_distance": 200.0, "tau": 350.5, "gamma": 140.25,
+        "epsilon": 200.0, "achieved_error": 0.0, "error_evaluated": 1,
+        "reported_kth_distance": 120.5, "result_count": 1, "packets": 1,
+        "points": 60, "downlink_bytes": 520, "uplink_bytes": 120,
+        "latency_ns": 5000, "attempts": 1, "retries": 0, "reopens": 0,
+        "stale_replies": 0, "backoff_ns": 0,
+    }],
+}
+
+_failures = []
+
+
+def run_validator(document):
+    """Runs validate_file over `document`; returns the error messages."""
+    validator._errors.clear()
+    with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False) as f:
+        json.dump(document, f)
+        path = f.name
+    try:
+        validator.validate_file(path)
+        return list(validator._errors)
+    finally:
+        os.unlink(path)
+
+
+def expect_ok(name, document):
+    errors = run_validator(document)
+    if errors:
+        _failures.append(f"{name}: expected pass, got {errors}")
+
+
+def expect_error(name, document, needle):
+    errors = run_validator(document)
+    if not any(needle in message for message in errors):
+        _failures.append(
+            f"{name}: expected an error containing {needle!r}, got {errors}")
+
+
+def broken(document, mutate):
+    clone = copy.deepcopy(document)
+    mutate(clone)
+    return clone
+
+
+def main():
+    expect_ok("good telemetry", GOOD_TELEMETRY)
+    expect_ok("good trace", GOOD_TRACE)
+    # Trace documents carry no registry snapshot; the telemetry branch must
+    # not demand one of them.
+    expect_ok("trace without telemetry section",
+              broken(GOOD_TRACE, lambda d: d.pop("tradeoffs")))
+
+    # --- telemetry.v1 negatives ------------------------------------------
+    expect_error("empty document", {}, "no telemetry section")
+    expect_error(
+        "negative counter",
+        broken(GOOD_TELEMETRY,
+               lambda d: d["counters"].__setitem__("net.packets", -1)),
+        "non-negative")
+    expect_error(
+        "bucket sum mismatch",
+        broken(GOOD_TELEMETRY,
+               lambda d: d["histograms"]["eval.load.latency_ns"]
+               ["buckets"][0].__setitem__(2, 7)),
+        "bucket counts sum")
+    expect_error(
+        "non-monotone percentiles",
+        broken(GOOD_TELEMETRY,
+               lambda d: d["histograms"]["eval.load.latency_ns"]
+               .__setitem__("p50", 99.0)),
+        "percentiles not monotone")
+
+    # --- trace.v1 negatives ----------------------------------------------
+    expect_error(
+        "missing traceEvents",
+        broken(GOOD_TRACE, lambda d: d.pop("traceEvents")),
+        "traceEvents")
+    expect_error(
+        "wrong displayTimeUnit",
+        broken(GOOD_TRACE,
+               lambda d: d.__setitem__("displayTimeUnit", "ms")),
+        "displayTimeUnit")
+    expect_error(
+        "unknown phase",
+        broken(GOOD_TRACE,
+               lambda d: d["traceEvents"][2].__setitem__("ph", "B")),
+        "unknown event phase")
+    expect_error(
+        "negative dur",
+        broken(GOOD_TRACE,
+               lambda d: d["traceEvents"][2].__setitem__("dur", -1.0)),
+        "non-negative dur")
+    expect_error(
+        "instant without scope",
+        broken(GOOD_TRACE, lambda d: d["traceEvents"][4].pop("s")),
+        "scope")
+    expect_error(
+        "metadata without args.name",
+        broken(GOOD_TRACE, lambda d: d["traceEvents"][0].pop("args")),
+        "args.name")
+    expect_error(
+        "malformed trace id",
+        broken(GOOD_TRACE,
+               lambda d: d["traceEvents"][2]["args"]
+               .__setitem__("trace_id", "0xZZ")),
+        "malformed trace_id")
+    expect_error(
+        "events but no spans",
+        broken(GOOD_TRACE,
+               lambda d: d.__setitem__("traceEvents",
+                                       [d["traceEvents"][0]])),
+        "no complete")
+    expect_error(
+        "trade-off missing field",
+        broken(GOOD_TRACE, lambda d: d["tradeoffs"][0].pop("latency_ns")),
+        "missing latency_ns")
+    expect_error(
+        "trade-off negative packets",
+        broken(GOOD_TRACE,
+               lambda d: d["tradeoffs"][0].__setitem__("packets", -3)),
+        "non-negative")
+    expect_error(
+        "trade-off bad flag",
+        broken(GOOD_TRACE,
+               lambda d: d["tradeoffs"][0].__setitem__(
+                   "error_evaluated", 2)),
+        "0 or 1")
+
+    if _failures:
+        for failure in _failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print("validate_telemetry_json selftest: all fixtures behaved")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
