@@ -196,6 +196,9 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
       rec.uplink_bytes = (outcome->packets + 2) * pc.header_bytes;
       rec.latency_ns = latency_ns;
       rec.retry = retry_stats;
+      // The query's session is closed by now (RemoteQuery returned), so a
+      // sharded backend has already retired the stream the probe reads.
+      if (options.fanout_probe != nullptr) options.fanout_probe(anchor, &rec);
       state.tradeoffs.push_back(rec);
     }
     if (++state.next_query < state.workload.queries.size()) {

@@ -2,6 +2,7 @@
 #define SPACETWIST_EVAL_LOAD_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/result.h"
@@ -47,6 +48,14 @@ struct LoadOptions {
   /// dataset `engine` serves). Null leaves records unevaluated. Evaluated
   /// sequentially after the run, off the latency path.
   server::LbsServer* truth = nullptr;
+  /// Fan-out leg of the trade-off: invoked once per query, right after the
+  /// query's session closed, with the anchor it disclosed — a sharded
+  /// deployment fills TradeoffRecord::fanout / shard_pulls from its router
+  /// (shard::ShardRouter::TakeFanout). Null (or a single-server backend)
+  /// leaves them 0. Only consulted when `record_tradeoffs` is set; must be
+  /// thread-safe (called from worker threads).
+  std::function<void(const geom::Point& anchor, TradeoffRecord* record)>
+      fanout_probe;
 };
 
 /// Deterministic fingerprint of everything one client computed: the kNN

@@ -10,9 +10,9 @@
 #include "common/result.h"
 #include "geom/grid.h"
 #include "geom/point.h"
-#include "net/channel.h"
 #include "rtree/entry.h"
 #include "rtree/rtree.h"
+#include "server/inn_backend.h"
 #include "storage/page.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
@@ -44,7 +44,7 @@ struct GranularOptions {
 /// the reported points is within epsilon of its true kNN.
 ///
 /// With epsilon == 0 the stream degenerates to plain incremental NN.
-class GranularInnStream : public net::PointSource {
+class GranularInnStream : public InnSource {
  public:
   /// Borrows `tree`, which must outlive the stream. `epsilon` >= 0 is the
   /// client's error bound; `k` >= 1 the number of results it needs.
@@ -67,15 +67,15 @@ class GranularInnStream : public net::PointSource {
   size_t live_cells() const { return cells_.size(); }
   size_t peak_live_cells() const { return peak_live_cells_; }
   uint64_t cells_evicted() const { return cells_evicted_; }
-  uint64_t heap_pops() const { return pops_; }
-  uint64_t node_reads() const { return node_reads_; }
+  uint64_t heap_pops() const override { return pops_; }
+  uint64_t node_reads() const override { return node_reads_; }
 
   /// Attaches a distributed trace for the duration of the next Next() calls
   /// (null detaches). While attached, every R-tree node fetch is recorded as
   /// a "server.page.fetch" span noting the page id and whether it missed the
   /// buffer pool. The trace is borrowed per request — callers must detach
   /// before the trace dies.
-  void set_trace(telemetry::Trace* trace) { trace_ = trace; }
+  void set_trace(telemetry::Trace* trace) override { trace_ = trace; }
 
  private:
   struct HeapItem {
@@ -86,7 +86,14 @@ class GranularInnStream : public net::PointSource {
 
     bool operator<(const HeapItem& other) const {
       if (key != other.key) return key > other.key;
-      return is_point < other.is_point;
+      // Equal keys: points before nodes, then ascending point id /
+      // ascending page. A fully deterministic order is what lets a
+      // scatter-gather merge of per-shard streams (src/shard) reproduce the
+      // single-server sequence byte-for-byte even through distance ties
+      // (duplicate quantized coordinates are common in real datasets).
+      if (is_point != other.is_point) return is_point < other.is_point;
+      if (is_point) return point.id > other.point.id;
+      return node_page > other.node_page;
     }
   };
 

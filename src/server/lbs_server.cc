@@ -27,6 +27,12 @@ std::unique_ptr<GranularInnStream> LbsServer::OpenGranularSession(
                                              options);
 }
 
+std::unique_ptr<InnSource> LbsServer::OpenInnSource(
+    const geom::Point& anchor, double epsilon, size_t k,
+    const GranularOptions& options) {
+  return OpenGranularSession(anchor, epsilon, k, options);
+}
+
 Result<std::vector<rtree::DataPoint>> LbsServer::CloakedQuery(
     const geom::Rect& region, size_t k) {
   CloakedQueryProcessor processor(tree_.get());

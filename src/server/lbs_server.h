@@ -28,7 +28,10 @@ namespace spacetwist::server {
 ///   * exact kNN (used as ground truth by the evaluation harness).
 /// The SHB/DHB Hilbert tables are built separately (see HilbertIndex); they
 /// replace the spatial index entirely in that architecture.
-class LbsServer {
+///
+/// Implements InnBackend, so service::ServiceEngine can serve from one
+/// LbsServer or from a sharded fleet (shard::ShardRouter) interchangeably.
+class LbsServer : public InnBackend {
  public:
   /// Bulk-loads the dataset into a fresh R-tree.
   static Result<std::unique_ptr<LbsServer>> Build(
@@ -53,6 +56,11 @@ class LbsServer {
   std::unique_ptr<GranularInnStream> OpenGranularSession(
       const geom::Point& anchor, double epsilon, size_t k,
       const GranularOptions& options = GranularOptions());
+
+  /// InnBackend: the granular session behind the serving-layer interface.
+  std::unique_ptr<InnSource> OpenInnSource(
+      const geom::Point& anchor, double epsilon, size_t k,
+      const GranularOptions& options) override;
 
   /// Candidate set for a cloaked kNN query (the CLK baseline).
   Result<std::vector<rtree::DataPoint>> CloakedQuery(const geom::Rect& region,

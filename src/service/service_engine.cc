@@ -28,13 +28,13 @@ void AppendSpans(std::vector<telemetry::SpanRecord>* dst,
 
 }  // namespace
 
-ServiceEngine::ServiceEngine(server::LbsServer* server,
+ServiceEngine::ServiceEngine(server::InnBackend* backend,
                              const ServiceOptions& options)
-    : server_(server),
+    : backend_(backend),
       options_(options),
       clock_(telemetry::OrDefault(options.clock)),
       shards_(std::max<size_t>(1, options.num_shards)) {
-  SPACETWIST_CHECK(server != nullptr);
+  SPACETWIST_CHECK(backend != nullptr);
   SPACETWIST_CHECK(options_.max_sessions >= 1);
   telemetry::MetricRegistry* r =
       telemetry::MetricRegistry::OrDefault(options_.registry);
@@ -102,7 +102,7 @@ Result<uint64_t> ServiceEngine::Open(const geom::Point& anchor, double epsilon,
 
   Session session;
   session.stream =
-      server_->OpenGranularSession(anchor, epsilon, k, options_.granular);
+      backend_->OpenInnSource(anchor, epsilon, k, options_.granular);
   session.channel = std::make_unique<net::PacketChannel>(session.stream.get(),
                                                          options_.packet);
   session.last_touch_ns = now;
@@ -149,6 +149,20 @@ Result<net::Packet> ServiceEngine::Pull(uint64_t session_id, uint64_t seq) {
   return PullLocked(&shard, &it->second, seq, nullptr);
 }
 
+Result<net::Packet> ServiceEngine::Pull(uint64_t session_id, uint64_t seq,
+                                        telemetry::Trace* trace) {
+  Shard& shard = ShardFor(session_id);
+  MutexLock lock(&shard.mu);
+  auto it = shard.sessions.find(session_id);
+  if (it == shard.sessions.end()) {
+    counters_.pull_requests.fetch_add(1, kRelaxed);
+    instruments_.pull_requests->Add();
+    return Status::NotFound(StrFormat(
+        "session %llu", static_cast<unsigned long long>(session_id)));
+  }
+  return PullLocked(&shard, &it->second, seq, trace);
+}
+
 Result<net::Packet> ServiceEngine::PullLocked(Shard* /*shard*/, Session* session,
                                               uint64_t seq,
                                               telemetry::Trace* trace) {
@@ -182,10 +196,11 @@ Result<net::Packet> ServiceEngine::PullLocked(Shard* /*shard*/, Session* session
   }
   // Sampled pull: the stream advance is one "server.granular.scan" span
   // annotated with the work it caused; the stream nests a
-  // "server.page.fetch" span per R-tree node it touched. Result handling
-  // is hand-rolled (no ASSIGN_OR_RETURN) so the stream's borrowed trace
-  // pointer is detached on every path.
-  server::GranularInnStream* stream = session->stream.get();
+  // "server.page.fetch" span per R-tree node it touched (or a
+  // "router.shard.pull" span per shard packet, for a scatter-gather
+  // stream). Result handling is hand-rolled (no ASSIGN_OR_RETURN) so the
+  // stream's borrowed trace pointer is detached on every path.
+  server::InnSource* stream = session->stream.get();
   const uint64_t pops_before = stream->heap_pops();
   const uint64_t reads_before = stream->node_reads();
   telemetry::Trace::Span scan = trace->StartSpan("server.granular.scan");

@@ -15,7 +15,7 @@
 #include "net/packet.h"
 #include "net/wire.h"
 #include "server/granular_inn.h"
-#include "server/lbs_server.h"
+#include "server/inn_backend.h"
 #include "telemetry/clock.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
@@ -85,12 +85,16 @@ struct EngineMetrics {
 ///    to the typed API, and encodes the response frame — the engine is a
 ///    net::FrameHandler, i.e. a drop-in in-process "server socket".
 ///
-/// Requires the server's R-tree to be built with
+/// Requires the backend's R-tree(s) to be built with
 /// RTreeOptions::concurrent_reads so concurrent traversals are safe.
+///
+/// The engine serves whatever server::InnBackend it is given: a single
+/// LbsServer, or a shard::ShardRouter fronting a Hilbert-partitioned fleet
+/// — sessions, backpressure, replay, and tracing are identical either way.
 class ServiceEngine : public net::FrameHandler {
  public:
-  /// Borrows `server`, which must outlive the engine.
-  ServiceEngine(server::LbsServer* server,
+  /// Borrows `backend`, which must outlive the engine.
+  ServiceEngine(server::InnBackend* backend,
                 const ServiceOptions& options = ServiceOptions());
 
   ~ServiceEngine() override;
@@ -114,6 +118,15 @@ class ServiceEngine : public net::FrameHandler {
   /// while `seq == packets served` advances the stream. Anything else is
   /// out of the replay window and yields kInvalidArgument.
   Result<net::Packet> Pull(uint64_t session_id, uint64_t seq);
+
+  /// Sequenced pull under a caller-owned distributed trace: the stream
+  /// advance is recorded on `trace` exactly like a sampled wire pull
+  /// ("server.granular.scan" span, nested page fetches / shard pulls), but
+  /// no spans are parked on the session for piggybacking — the caller owns
+  /// the whole trace tree. This is how the shard router pulls from its
+  /// shard engines while keeping router→shard spans in one tree.
+  Result<net::Packet> Pull(uint64_t session_id, uint64_t seq,
+                           telemetry::Trace* trace);
 
   /// Closes a session. Not idempotent: a second Close (or a Close after
   /// eviction) is kNotFound so misbehaving clients are surfaced.
@@ -139,7 +152,7 @@ class ServiceEngine : public net::FrameHandler {
 
  private:
   struct Session {
-    std::unique_ptr<server::GranularInnStream> stream;
+    std::unique_ptr<server::InnSource> stream;
     std::unique_ptr<net::PacketChannel> channel;
     uint64_t last_touch_ns = 0;
     /// Sequenced-pull state: `next_seq` packets have been served so far;
@@ -211,7 +224,7 @@ class ServiceEngine : public net::FrameHandler {
   static std::vector<uint8_t> EncodeErrorFrame(const Status& status,
                                                uint64_t session_id = 0);
 
-  server::LbsServer* server_;
+  server::InnBackend* backend_;
   ServiceOptions options_;
   telemetry::Clock* clock_;
   std::vector<Shard> shards_;

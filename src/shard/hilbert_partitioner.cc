@@ -1,0 +1,99 @@
+#include "shard/hilbert_partitioner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace spacetwist::shard {
+
+Result<HilbertRangePartitioner> HilbertRangePartitioner::Build(
+    const datasets::Dataset& dataset, size_t num_shards,
+    const Options& options) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.order < 1 || options.order > 16) {
+    return Status::InvalidArgument("curve order must be in [1, 16]");
+  }
+  const geom::HilbertCurve curve(dataset.domain, options.order, options.key);
+
+  // Sort point indices by (Hilbert key, id). The id tie-break makes the
+  // chunking deterministic for duplicate coordinates; the key-boundary
+  // snapping below then keeps every equal-key run inside one shard.
+  struct Keyed {
+    uint64_t key;
+    uint32_t index;
+  };
+  std::vector<Keyed> keyed(dataset.points.size());
+  for (size_t i = 0; i < dataset.points.size(); ++i) {
+    keyed[i] = Keyed{curve.Encode(dataset.points[i].point),
+                     static_cast<uint32_t>(i)};
+  }
+  std::sort(keyed.begin(), keyed.end(), [&](const Keyed& a, const Keyed& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return dataset.points[a.index].id < dataset.points[b.index].id;
+  });
+
+  // Chunk into ~n/N slices, snapping each boundary forward past any run of
+  // equal keys (a point exactly on a split must not be torn from its
+  // duplicates). `starts[i]` is the index of shard i's first point.
+  const size_t n = keyed.size();
+  std::vector<size_t> starts(num_shards + 1, n);
+  starts[0] = 0;
+  for (size_t i = 1; i < num_shards; ++i) {
+    size_t cut = std::min(n, (n * i + num_shards - 1) / num_shards);
+    cut = std::max(cut, starts[i - 1]);
+    while (cut > 0 && cut < n && keyed[cut].key == keyed[cut - 1].key) ++cut;
+    starts[i] = cut;
+  }
+
+  // Key-range boundaries, right to left: shard i covers
+  // [boundary[i], boundary[i + 1]). An empty chunk inherits its successor's
+  // boundary, giving it an empty (but well-placed) range; the ranges stay
+  // contiguous and tile the whole keyspace.
+  std::vector<uint64_t> boundary(num_shards + 1);
+  boundary[0] = 0;
+  boundary[num_shards] = curve.MaxIndex() + 1;
+  for (size_t i = num_shards - 1; i >= 1; --i) {
+    boundary[i] = starts[i] < starts[i + 1] ? keyed[starts[i]].key
+                                            : boundary[i + 1];
+  }
+
+  std::vector<ShardPartition> partitions(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    ShardPartition& part = partitions[i];
+    part.begin_key = boundary[i];
+    part.end_key = boundary[i + 1];
+    part.dataset.name =
+        StrFormat("%s/shard%zu", dataset.name.c_str(), i);
+    part.dataset.domain = dataset.domain;
+    part.dataset.points.reserve(starts[i + 1] - starts[i]);
+    for (size_t j = starts[i]; j < starts[i + 1]; ++j) {
+      const rtree::DataPoint& p = dataset.points[keyed[j].index];
+      part.dataset.points.push_back(p);
+      part.bounds.Expand(p.point);
+    }
+  }
+  return HilbertRangePartitioner(curve, std::move(partitions));
+}
+
+size_t HilbertRangePartitioner::ShardOf(const geom::Point& p) const {
+  const uint64_t key = curve_.Encode(p);
+  // First shard whose end_key exceeds the point's key. Empty shards share
+  // their boundary with a neighbor (begin == end), so the search lands on
+  // the unique non-empty range containing the key.
+  size_t lo = 0;
+  size_t hi = partitions_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (partitions_[mid].end_key > key) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace spacetwist::shard

@@ -1,0 +1,89 @@
+#ifndef SPACETWIST_SHARD_HILBERT_PARTITIONER_H_
+#define SPACETWIST_SHARD_HILBERT_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "datasets/dataset.h"
+#include "geom/hilbert.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spacetwist::shard {
+
+/// One shard's slice of the keyspace and of the dataset. Ranges are
+/// half-open Hilbert-key intervals [begin_key, end_key); together the N
+/// ranges tile [0, curve.MaxIndex() + 1) exactly, so every point in the
+/// domain has exactly one owner. `dataset` keeps the points' original ids
+/// and the full domain (shard R-trees serve the same coordinate space the
+/// clients query); `bounds` is the tight bounding box of the shard's
+/// points — the router's pruning rectangle — and is Rect::Empty() for a
+/// shard that owns keyspace but no points.
+struct ShardPartition {
+  uint64_t begin_key = 0;
+  uint64_t end_key = 0;
+  datasets::Dataset dataset;
+  geom::Rect bounds = geom::Rect::Empty();
+
+  bool HasPoints() const { return !dataset.points.empty(); }
+};
+
+/// Splits a dataset into N contiguous ranges of a keyed Hilbert curve —
+/// the spatial partitioning behind the scale-out deployment (src/shard).
+/// Contiguous curve ranges keep each shard spatially clustered, so a query
+/// anchor's supply disk intersects few shard bounding boxes and the router
+/// fan-out stays far below N.
+///
+/// Boundary correctness: points are sorted by (Hilbert key, id) and chunk
+/// boundaries are snapped forward so every point with a given key lands in
+/// the same shard. Points exactly on a would-be split — including duplicate
+/// float32-quantized coordinates, which share a key by construction —
+/// therefore belong to exactly one shard: no drops, no double-ownership.
+class HilbertRangePartitioner {
+ public:
+  struct Options {
+    /// Curve resolution; the paper's Hilbert baselines fix order = 12.
+    int order = 12;
+    /// Keyed dihedral orientation (0 = canonical). Any key yields a valid
+    /// partitioning; it only rotates which points become range neighbors.
+    uint64_t key = 0;
+  };
+
+  /// Partitions `dataset` into `num_shards` >= 1 ranges. Shards may be
+  /// empty when the dataset is small or heavily duplicated; empty shards
+  /// still own their keyspace range.
+  static Result<HilbertRangePartitioner> Build(
+      const datasets::Dataset& dataset, size_t num_shards,
+      const Options& options);
+  static Result<HilbertRangePartitioner> Build(
+      const datasets::Dataset& dataset, size_t num_shards);
+
+  size_t num_shards() const { return partitions_.size(); }
+  const std::vector<ShardPartition>& partitions() const {
+    return partitions_;
+  }
+  const ShardPartition& partition(size_t i) const { return partitions_[i]; }
+  const geom::HilbertCurve& curve() const { return curve_; }
+
+  /// The unique shard whose key range contains `p`'s Hilbert key. Total:
+  /// every point of the domain (and, by clamping, outside it) has an owner.
+  size_t ShardOf(const geom::Point& p) const;
+
+ private:
+  HilbertRangePartitioner(const geom::HilbertCurve& curve,
+                          std::vector<ShardPartition> partitions)
+      : curve_(curve), partitions_(std::move(partitions)) {}
+
+  geom::HilbertCurve curve_;
+  std::vector<ShardPartition> partitions_;
+};
+
+inline Result<HilbertRangePartitioner> HilbertRangePartitioner::Build(
+    const datasets::Dataset& dataset, size_t num_shards) {
+  return Build(dataset, num_shards, Options());
+}
+
+}  // namespace spacetwist::shard
+
+#endif  // SPACETWIST_SHARD_HILBERT_PARTITIONER_H_

@@ -1,0 +1,190 @@
+#include "shard/scatter_gather.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace spacetwist::shard {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ScatterGatherStream::ScatterGatherStream(
+    std::vector<ShardTarget> targets, const geom::Point& anchor,
+    double epsilon, size_t k, const server::GranularOptions& options,
+    RetireFn on_retire)
+    : anchor_(anchor), epsilon_(epsilon), k_(k),
+      lazy_eviction_(options.lazy_eviction),
+      on_retire_(std::move(on_retire)) {
+  SPACETWIST_CHECK(!targets.empty());
+  SPACETWIST_CHECK(epsilon >= 0.0);
+  SPACETWIST_CHECK(k >= 1);
+  shards_.reserve(targets.size());
+  for (ShardTarget& t : targets) {
+    SPACETWIST_CHECK(t.engine != nullptr);
+    SPACETWIST_CHECK(t.partition != nullptr);
+    ShardState s;
+    s.target = t;
+    // A shard with no points has nothing to deliver; retiring it up front
+    // keeps it out of the merge and out of the fan-out count.
+    s.exhausted = !t.partition->HasPoints();
+    shards_.push_back(std::move(s));
+  }
+  if (epsilon_ > 0.0) {
+    // Same lambda as the single-server stream (Lemma 2).
+    grid_.emplace(epsilon_ / std::sqrt(2.0));
+  }
+  telemetry::MetricRegistry* r =
+      telemetry::MetricRegistry::OrDefault(options.registry);
+  opens_metric_ = r->GetCounter("shard.router.opens");
+  pulls_metric_ = r->GetCounter("shard.router.shard_pulls");
+  merge_pops_metric_ = r->GetCounter("shard.router.merge_pops");
+  points_reported_metric_ = r->GetCounter("shard.router.points_reported");
+}
+
+ScatterGatherStream::~ScatterGatherStream() {
+  for (ShardState& s : shards_) {
+    if (s.opened && !s.exhausted) {
+      // Best effort: the shard engine also reclaims abandoned sessions via
+      // its idle sweep, so a failed close cannot leak.
+      (void)s.target.engine->Close(s.session_id);
+    }
+  }
+  if (on_retire_ != nullptr) on_retire_(anchor_, stats_);
+}
+
+double ScatterGatherStream::LowerBound(const ShardState& s) const {
+  if (s.exhausted) return kInf;
+  if (!s.opened) return geom::MinDist(anchor_, s.target.partition->bounds);
+  if (!s.buffer.empty()) return s.buffer.front().distance;
+  return s.floor;
+}
+
+Status ScatterGatherStream::Fill(ShardState* s, size_t shard_index) {
+  service::ServiceEngine* engine = s->target.engine;
+  if (!s->opened) {
+    telemetry::Trace::Span open =
+        telemetry::Trace::SpanOn(trace_, "router.shard.open");
+    open.Note("shard", shard_index);
+    // Shard streams run plain INN (epsilon == 0): the global cell cap is
+    // the router's job — see the class comment.
+    SPACETWIST_ASSIGN_OR_RETURN(s->session_id,
+                                engine->Open(anchor_, /*epsilon=*/0.0, k_));
+    s->opened = true;
+    ++stats_.fanout;
+    opens_metric_->Add();
+  }
+  telemetry::Trace::Span pull =
+      telemetry::Trace::SpanOn(trace_, "router.shard.pull");
+  pull.Note("shard", shard_index);
+  pull.Note("seq", s->next_seq);
+  Result<net::Packet> packet = engine->Pull(s->session_id, s->next_seq, trace_);
+  ++stats_.shard_pulls;
+  pulls_metric_->Add();
+  if (s->target.pulls != nullptr) s->target.pulls->Add();
+  if (!packet.ok()) {
+    if (packet.status().IsExhausted()) {
+      pull.Note("exhausted", 1);
+      s->exhausted = true;
+      SPACETWIST_RETURN_NOT_OK(engine->Close(s->session_id));
+      return Status::OK();
+    }
+    return packet.status();
+  }
+  ++s->next_seq;
+  pull.Note("points", packet->points.size());
+  for (const rtree::DataPoint& p : packet->points) {
+    rtree::Neighbor n;
+    n.point = p;
+    n.distance = geom::Distance(anchor_, p.point);
+    s->floor = n.distance;  // ascending within the shard stream
+    s->buffer.push_back(n);
+  }
+  return Status::OK();
+}
+
+void ScatterGatherStream::EvictCells(double frontier) {
+  while (!eviction_queue_.empty() &&
+         eviction_queue_.top().max_dist < frontier) {
+    const geom::GridCell cell = eviction_queue_.top().cell;
+    eviction_queue_.pop();
+    cells_.erase(cell);
+  }
+}
+
+bool ScatterGatherStream::PassesCellFilter(const rtree::Neighbor& n) {
+  if (!grid_.has_value()) return true;
+  if (lazy_eviction_) EvictCells(n.distance);
+  const geom::GridCell cell = grid_->CellOf(n.point.point);
+  auto [it, inserted] = cells_.try_emplace(cell, 0);
+  if (it->second >= k_) return false;  // cell already reported k points
+  if (inserted) {
+    eviction_queue_.push(
+        EvictionEntry{geom::MaxDist(anchor_, grid_->CellRect(cell)), cell});
+  }
+  ++it->second;
+  return true;
+}
+
+Result<rtree::DataPoint> ScatterGatherStream::Next() {
+  for (;;) {
+    // The buffered head with the globally smallest (distance, id) — the
+    // same total order the single-server heap pops points in.
+    size_t best = shards_.size();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const ShardState& s = shards_[i];
+      if (s.buffer.empty()) continue;
+      if (best == shards_.size()) {
+        best = i;
+        continue;
+      }
+      const rtree::Neighbor& a = s.buffer.front();
+      const rtree::Neighbor& b = shards_[best].buffer.front();
+      if (a.distance != b.distance ? a.distance < b.distance
+                                   : a.point.id < b.point.id) {
+        best = i;
+      }
+    }
+
+    // Any headless shard whose lower bound does not exceed the head's
+    // distance could still own the global minimum (equal distance with a
+    // smaller id included), so it must be filled before the head can be
+    // merged out. Filling the smallest lower bound first keeps shard opens
+    // in mindist order — the pruning-tightness invariant.
+    size_t fill = shards_.size();
+    double fill_lb = kInf;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const ShardState& s = shards_[i];
+      if (s.exhausted || !s.buffer.empty()) continue;
+      const double lb = LowerBound(s);
+      if (lb < fill_lb) {
+        fill_lb = lb;
+        fill = i;
+      }
+    }
+    if (fill != shards_.size() &&
+        (best == shards_.size() ||
+         fill_lb <= shards_[best].buffer.front().distance)) {
+      SPACETWIST_RETURN_NOT_OK(Fill(&shards_[fill], fill));
+      continue;
+    }
+
+    if (best == shards_.size()) {
+      return Status::Exhausted("scatter-gather stream is dry");
+    }
+
+    const rtree::Neighbor head = shards_[best].buffer.front();
+    shards_[best].buffer.pop_front();
+    ++merge_pops_;
+    merge_pops_metric_->Add();
+    if (!PassesCellFilter(head)) continue;
+    last_report_distance_ = head.distance;
+    points_reported_metric_->Add();
+    return head.point;
+  }
+}
+
+}  // namespace spacetwist::shard

@@ -1,0 +1,165 @@
+#ifndef SPACETWIST_SHARD_SCATTER_GATHER_H_
+#define SPACETWIST_SHARD_SCATTER_GATHER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/grid.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "rtree/entry.h"
+#include "server/granular_inn.h"
+#include "server/inn_backend.h"
+#include "service/service_engine.h"
+#include "shard/hilbert_partitioner.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace spacetwist::shard {
+
+/// Per-query fan-out accounting for one merged stream: how many shard
+/// sessions the query actually opened (<= N thanks to rectangle pruning and
+/// lazy opening) and how many shard packets it pulled.
+struct StreamStats {
+  uint32_t fanout = 0;
+  uint64_t shard_pulls = 0;
+};
+
+/// The router's k-way merge of per-shard INN streams — the server::InnSource
+/// a ShardRouter hands to its fronting ServiceEngine, so one query against
+/// the fleet is indistinguishable from one query against a single server.
+///
+/// Each shard engine runs a *plain* INN stream (epsilon == 0): the global
+/// granular cell cap cannot be enforced shard-locally, because a grid cell
+/// split across two shards would report up to k points from each. Instead
+/// the shards deliver every point in exact (distance, id) order and the
+/// router applies Algorithm 2's cell filter — identical rule, identical
+/// state evolution, hence byte-identical output to GranularInnStream.
+///
+/// Laziness is what keeps the fan-out below N:
+///  * a shard session is opened only when its partition rectangle's mindist
+///    to the anchor is <= the distance of the point about to be merged out
+///    (shards the supply disk never reaches are never contacted);
+///  * one packet is pulled at a time, only when the shard's buffered head
+///    (or, unopened/drained, its lower bound) could be the global minimum.
+///
+/// Every shard filled during a Next() call therefore has lower bound <= the
+/// distance of some delivered point <= the query's final supply radius tau —
+/// the pruning-tightness property the shard tests pin down.
+class ScatterGatherStream : public server::InnSource {
+ public:
+  /// One shard of the fleet, as seen by the merge.
+  struct ShardTarget {
+    service::ServiceEngine* engine = nullptr;   ///< borrowed
+    const ShardPartition* partition = nullptr;  ///< borrowed
+    telemetry::Counter* pulls = nullptr;        ///< router's shard.<i>.pulls
+  };
+
+  /// Invoked exactly once, from the destructor, with the final per-query
+  /// fan-out numbers (the router aggregates them into histograms and the
+  /// per-anchor log behind eval's fan-out leg).
+  using RetireFn = std::function<void(const geom::Point& anchor,
+                                      const StreamStats& stats)>;
+
+  /// Borrows everything in `targets`; `on_retire` may be null.
+  ScatterGatherStream(std::vector<ShardTarget> targets,
+                      const geom::Point& anchor, double epsilon, size_t k,
+                      const server::GranularOptions& options,
+                      RetireFn on_retire);
+
+  /// Closes any open shard sessions and reports the final StreamStats.
+  ~ScatterGatherStream() override;
+
+  ScatterGatherStream(const ScatterGatherStream&) = delete;
+  ScatterGatherStream& operator=(const ScatterGatherStream&) = delete;
+
+  /// Next globally distance-ordered (cell-filtered) point, or kExhausted
+  /// once every reachable shard stream is dry.
+  Result<rtree::DataPoint> Next() override;
+
+  void set_trace(telemetry::Trace* trace) override { trace_ = trace; }
+
+  /// Merge steps play the role heap pops play in the single-server stream;
+  /// node reads map to per-shard packet pulls (the unit of router I/O).
+  uint64_t heap_pops() const override { return merge_pops_; }
+  uint64_t node_reads() const override { return stats_.shard_pulls; }
+
+  const geom::Point& anchor() const { return anchor_; }
+  uint32_t fanout() const { return stats_.fanout; }
+  uint64_t shard_pulls() const { return stats_.shard_pulls; }
+  double last_report_distance() const { return last_report_distance_; }
+
+ private:
+  struct ShardState {
+    ShardTarget target;
+    uint64_t session_id = 0;
+    bool opened = false;
+    bool exhausted = false;
+    uint64_t next_seq = 0;
+    /// Points buffered from pulled packets, each with its anchor distance
+    /// (ascending within and across packets of one shard).
+    std::deque<rtree::Neighbor> buffer;
+    /// Distance of the last point buffered so far: once the buffer drains,
+    /// this lower-bounds everything the shard has yet to deliver.
+    double floor = 0.0;
+  };
+
+  /// Lower bound on the next point shard `s` can deliver (infinity when
+  /// exhausted; mindist to the partition rectangle before the first open).
+  double LowerBound(const ShardState& s) const;
+
+  /// Opens the shard session if needed and pulls exactly one packet,
+  /// buffering its points or marking the shard exhausted.
+  Status Fill(ShardState* s, size_t shard_index);
+
+  /// Algorithm 2's per-point cell filter (see GranularInnStream::Next):
+  /// true if the point must be reported, false if its cell is full.
+  bool PassesCellFilter(const rtree::Neighbor& n);
+
+  /// Drops cells whose maxdist is below the merge frontier (lazy eviction;
+  /// output-neutral, identical rule to the single-server stream).
+  void EvictCells(double frontier);
+
+  std::vector<ShardState> shards_;
+  geom::Point anchor_;
+  double epsilon_;
+  size_t k_;
+  bool lazy_eviction_;
+  RetireFn on_retire_;
+
+  std::optional<geom::Grid> grid_;  ///< engaged iff epsilon > 0
+  std::unordered_map<geom::GridCell, size_t, geom::GridCellHash> cells_;
+  struct EvictionEntry {
+    double max_dist = 0.0;
+    geom::GridCell cell;
+  };
+  struct EvictionGreater {
+    bool operator()(const EvictionEntry& a, const EvictionEntry& b) const {
+      return a.max_dist > b.max_dist;
+    }
+  };
+  std::priority_queue<EvictionEntry, std::vector<EvictionEntry>,
+                      EvictionGreater>
+      eviction_queue_;
+
+  StreamStats stats_;
+  uint64_t merge_pops_ = 0;
+  double last_report_distance_ = 0.0;
+  telemetry::Trace* trace_ = nullptr;  ///< borrowed; see set_trace()
+
+  /// Router-level registry mirrors, aggregated across streams.
+  telemetry::Counter* opens_metric_;
+  telemetry::Counter* pulls_metric_;
+  telemetry::Counter* merge_pops_metric_;
+  telemetry::Counter* points_reported_metric_;
+};
+
+}  // namespace spacetwist::shard
+
+#endif  // SPACETWIST_SHARD_SCATTER_GATHER_H_

@@ -25,5 +25,7 @@
 #include "server/lbs_server.h"            // IWYU pragma: export
 #include "service/service_engine.h"       // IWYU pragma: export
 #include "service/wire_client.h"          // IWYU pragma: export
+#include "shard/hilbert_partitioner.h"    // IWYU pragma: export
+#include "shard/router.h"                 // IWYU pragma: export
 
 #endif  // SPACETWIST_SPACETWIST_SPACETWIST_H_

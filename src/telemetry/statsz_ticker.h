@@ -40,14 +40,34 @@ class StatszTicker {
         start_ns_(clock_->NowNs()),
         next_deadline_ns_(start_ns_ + interval_ns_) {}
 
+  /// Adds a named auxiliary registry whose snapshot is rendered after the
+  /// main page under a `== label ==` header — how serve-bench --shards N
+  /// shows each shard engine's private registry per capture. Call before
+  /// the first Poll(); `registry` must outlive the ticker.
+  void AddSection(std::string label, MetricRegistry* registry) {
+    sections_.emplace_back(std::move(label),
+                           MetricRegistry::OrDefault(registry));
+  }
+
   /// Takes a sample if the current interval has expired; returns whether
   /// one was taken.
   bool Poll() {
     const uint64_t now = clock_->NowNs();
     if (now < next_deadline_ns_) return false;
-    samples_.push_back(StatszSample{now, ToStatsz(registry_->Snapshot())});
+    samples_.push_back(StatszSample{now, Render()});
     while (next_deadline_ns_ <= now) next_deadline_ns_ += interval_ns_;
     return true;
+  }
+
+  /// The page a sample taken now would contain (main registry plus
+  /// sections) — also what the CLI prints as the final cumulative page.
+  std::string Render() const {
+    std::string page = ToStatsz(registry_->Snapshot());
+    for (const auto& [label, registry] : sections_) {
+      page += "== " + label + " ==\n";
+      page += ToStatsz(registry->Snapshot());
+    }
+    return page;
   }
 
   uint64_t start_ns() const { return start_ns_; }
@@ -61,6 +81,7 @@ class StatszTicker {
   uint64_t interval_ns_;
   uint64_t start_ns_;
   uint64_t next_deadline_ns_;
+  std::vector<std::pair<std::string, MetricRegistry*>> sections_;
   std::vector<StatszSample> samples_;
 };
 

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "spacetwist/spacetwist.h"
+
+namespace spacetwist::shard {
+namespace {
+
+datasets::Dataset SmallGridDataset(int side, bool with_duplicates) {
+  // Every cell center of a side x side lattice over the default domain,
+  // float32-quantized like every dataset producer. With duplicates, every
+  // third point is doubled at the exact same coordinates (fresh id) — the
+  // regression shape for split-boundary correctness: duplicate quantized
+  // coordinates share a Hilbert key and must land in exactly one shard.
+  datasets::Dataset dataset;
+  dataset.name = "small_grid";
+  dataset.domain = datasets::DefaultDomain();
+  const double extent = dataset.domain.max.x - dataset.domain.min.x;
+  uint32_t id = 0;
+  for (int ix = 0; ix < side; ++ix) {
+    for (int iy = 0; iy < side; ++iy) {
+      geom::Point p{(ix + 0.5) * extent / side, (iy + 0.5) * extent / side};
+      p.x = static_cast<float>(p.x);
+      p.y = static_cast<float>(p.y);
+      dataset.points.push_back(rtree::DataPoint{p, id++});
+      if (with_duplicates && (ix * side + iy) % 3 == 0) {
+        dataset.points.push_back(rtree::DataPoint{p, id++});
+      }
+    }
+  }
+  return dataset;
+}
+
+/// The partitioning invariants, checked exhaustively: ranges tile the
+/// keyspace, every input point lands in exactly one shard, ShardOf agrees
+/// with membership, and equal keys are never torn apart.
+void CheckPartitioning(const datasets::Dataset& dataset,
+                       const HilbertRangePartitioner& part) {
+  const size_t n = part.num_shards();
+
+  // Ranges are contiguous half-open intervals tiling [0, MaxIndex() + 1).
+  EXPECT_EQ(part.partition(0).begin_key, 0u);
+  EXPECT_EQ(part.partition(n - 1).end_key, part.curve().MaxIndex() + 1);
+  for (size_t i = 0; i < n; ++i) {
+    const ShardPartition& p = part.partition(i);
+    EXPECT_LE(p.begin_key, p.end_key) << "shard " << i;
+    if (i > 0) {
+      EXPECT_EQ(p.begin_key, part.partition(i - 1).end_key) << "shard " << i;
+    }
+  }
+
+  // Exactly-one ownership: the union of shard datasets is the input
+  // multiset (ids are unique in these inputs, so sorted id lists compare).
+  std::vector<uint32_t> input_ids;
+  for (const rtree::DataPoint& p : dataset.points) input_ids.push_back(p.id);
+  std::sort(input_ids.begin(), input_ids.end());
+  std::vector<uint32_t> owned_ids;
+  for (size_t i = 0; i < n; ++i) {
+    for (const rtree::DataPoint& p : part.partition(i).dataset.points) {
+      owned_ids.push_back(p.id);
+      // Membership matches the shard's key range and ShardOf.
+      const uint64_t key = part.curve().Encode(p.point);
+      EXPECT_GE(key, part.partition(i).begin_key) << "shard " << i;
+      EXPECT_LT(key, part.partition(i).end_key) << "shard " << i;
+      EXPECT_EQ(part.ShardOf(p.point), i) << "id " << p.id;
+      EXPECT_TRUE(part.partition(i).bounds.Contains(p.point));
+    }
+  }
+  std::sort(owned_ids.begin(), owned_ids.end());
+  EXPECT_EQ(owned_ids, input_ids);
+
+  // Equal-key co-location: all points sharing a Hilbert key share a shard.
+  std::map<uint64_t, std::set<size_t>> key_owners;
+  for (size_t i = 0; i < n; ++i) {
+    for (const rtree::DataPoint& p : part.partition(i).dataset.points) {
+      key_owners[part.curve().Encode(p.point)].insert(i);
+    }
+  }
+  for (const auto& [key, owners] : key_owners) {
+    EXPECT_EQ(owners.size(), 1u) << "key " << key << " torn across shards";
+  }
+}
+
+TEST(HilbertPartitionerTest, ExhaustiveSmallGridSweep) {
+  // Sweep curve order, dihedral key, shard count, and duplicate presence;
+  // the invariants must hold in every combination. Low orders force many
+  // coordinate collisions per curve cell (order 1 has 4 cells total), which
+  // is exactly where naive index chunking would tear an equal-key run.
+  for (int order = 1; order <= 4; ++order) {
+    for (const uint64_t key : {0u, 1u, 5u, 7u}) {
+      for (const size_t shards : {1u, 2u, 3u, 4u, 7u}) {
+        for (const bool dups : {false, true}) {
+          const datasets::Dataset dataset = SmallGridDataset(5, dups);
+          HilbertRangePartitioner::Options options;
+          options.order = order;
+          options.key = key;
+          auto part =
+              HilbertRangePartitioner::Build(dataset, shards, options);
+          ASSERT_TRUE(part.ok()) << part.status().ToString();
+          SCOPED_TRACE(testing::Message()
+                       << "order=" << order << " key=" << key
+                       << " shards=" << shards << " dups=" << dups);
+          CheckPartitioning(dataset, *part);
+        }
+      }
+    }
+  }
+}
+
+TEST(HilbertPartitionerTest, UniformDatasetBalancedAndTotal) {
+  const datasets::Dataset dataset = datasets::GenerateUniform(5000, 77);
+  auto part = HilbertRangePartitioner::Build(dataset, 8);
+  ASSERT_TRUE(part.ok());
+  CheckPartitioning(dataset, *part);
+  // Uniform data over a contiguous-range split: no shard is empty and the
+  // largest shard is within 2x of the smallest (a boundary snap moves a cut
+  // by at most one equal-key run, which is tiny for quantized uniform data).
+  size_t min_points = dataset.points.size();
+  size_t max_points = 0;
+  for (size_t i = 0; i < part->num_shards(); ++i) {
+    const size_t count = part->partition(i).dataset.points.size();
+    min_points = std::min(min_points, count);
+    max_points = std::max(max_points, count);
+  }
+  EXPECT_GT(min_points, 0u);
+  EXPECT_LE(max_points, 2 * min_points);
+}
+
+TEST(HilbertPartitionerTest, MoreShardsThanPointsLeavesEmptyShards) {
+  datasets::Dataset dataset = SmallGridDataset(2, false);  // 4 points
+  auto part = HilbertRangePartitioner::Build(dataset, 7);
+  ASSERT_TRUE(part.ok());
+  CheckPartitioning(dataset, *part);
+  size_t with_points = 0;
+  for (size_t i = 0; i < part->num_shards(); ++i) {
+    if (part->partition(i).HasPoints()) {
+      ++with_points;
+    } else {
+      EXPECT_TRUE(part->partition(i).bounds.IsEmpty());
+    }
+  }
+  EXPECT_GE(with_points, 1u);
+  EXPECT_LE(with_points, 4u);
+}
+
+TEST(HilbertPartitionerTest, AllPointsIdenticalLandInOneShard) {
+  // The extreme duplicate case: one quantized coordinate repeated — one
+  // Hilbert key, so exactly one shard owns everything.
+  datasets::Dataset dataset;
+  dataset.name = "dupes";
+  dataset.domain = datasets::DefaultDomain();
+  geom::Point p{1234.5, 6789.25};
+  p.x = static_cast<float>(p.x);
+  p.y = static_cast<float>(p.y);
+  for (uint32_t id = 0; id < 50; ++id) {
+    dataset.points.push_back(rtree::DataPoint{p, id});
+  }
+  auto part = HilbertRangePartitioner::Build(dataset, 4);
+  ASSERT_TRUE(part.ok());
+  CheckPartitioning(dataset, *part);
+  const size_t owner = part->ShardOf(p);
+  EXPECT_EQ(part->partition(owner).dataset.points.size(), 50u);
+}
+
+TEST(HilbertPartitionerTest, RejectsBadArguments) {
+  const datasets::Dataset dataset = SmallGridDataset(2, false);
+  EXPECT_FALSE(HilbertRangePartitioner::Build(dataset, 0).ok());
+  HilbertRangePartitioner::Options options;
+  options.order = 0;
+  EXPECT_FALSE(HilbertRangePartitioner::Build(dataset, 2, options).ok());
+  options.order = 17;
+  EXPECT_FALSE(HilbertRangePartitioner::Build(dataset, 2, options).ok());
+}
+
+}  // namespace
+}  // namespace spacetwist::shard

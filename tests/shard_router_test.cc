@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "eval/fault_sweep.h"
+#include "net/faulty_transport.h"
+#include "spacetwist/spacetwist.h"
+
+namespace spacetwist::shard {
+namespace {
+
+/// Clustered data with injected duplicates: distance ties across shard
+/// boundaries are exactly what the merge's (distance, id) order must get
+/// right, so the identity tests would be toothless without them.
+datasets::Dataset TestDataset(size_t n, uint64_t seed) {
+  datasets::Dataset dataset = datasets::GenerateUniform(n, seed);
+  const size_t base = dataset.points.size();
+  for (size_t i = 0; i < base / 10; ++i) {
+    rtree::DataPoint dup = dataset.points[i * 7 % base];
+    dup.id = static_cast<uint32_t>(base + i);
+    dataset.points.push_back(dup);
+  }
+  dataset.name = "shard_test";
+  return dataset;
+}
+
+std::unique_ptr<ShardRouter> BuildRouter(const datasets::Dataset& dataset,
+                                         size_t num_shards,
+                                         telemetry::MetricRegistry* registry) {
+  ShardRouterOptions options;
+  options.num_shards = num_shards;
+  options.registry = registry;
+  options.front.registry = registry;
+  options.front.granular.registry = registry;
+  return ShardRouter::Build(dataset, options).MoveValueOrDie();
+}
+
+/// Satellite 1 (stream level): the router's merged stream is point-for-point
+/// identical to the single server's granular stream — every rank, every
+/// epsilon, including exact INN and through exhaustion.
+TEST(ShardRouterStreamTest, MergedStreamByteIdenticalToSingleServer) {
+  const datasets::Dataset dataset = TestDataset(3000, 901);
+  auto single = server::LbsServer::Build(dataset).MoveValueOrDie();
+  telemetry::MetricRegistry registry;
+  for (const size_t num_shards : {2u, 4u, 8u}) {
+    auto router = BuildRouter(dataset, num_shards, &registry);
+    const std::vector<geom::Point> anchors = {
+        {5000, 5000}, {123, 456}, {9990, 120}, {4000, 9500}};
+    for (const double epsilon : {0.0, 150.0, 500.0}) {
+      for (const size_t k : {1u, 4u}) {
+        for (const geom::Point& anchor : anchors) {
+          server::GranularOptions stream_options;
+          stream_options.registry = &registry;
+          auto expected = single->OpenGranularSession(anchor, epsilon, k,
+                                                      stream_options);
+          auto actual =
+              router->OpenInnSource(anchor, epsilon, k, stream_options);
+          for (int rank = 0;; ++rank) {
+            auto want = expected->Next();
+            auto got = actual->Next();
+            ASSERT_EQ(want.ok(), got.ok())
+                << "shards=" << num_shards << " eps=" << epsilon
+                << " k=" << k << " rank=" << rank;
+            if (!want.ok()) {
+              EXPECT_TRUE(want.status().IsExhausted());
+              EXPECT_TRUE(got.status().IsExhausted());
+              break;
+            }
+            ASSERT_EQ(*want, *got)
+                << "shards=" << num_shards << " eps=" << epsilon
+                << " k=" << k << " rank=" << rank;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Satellite 1 (workload level): closed-loop workload digests through the
+/// fronting engine are byte-identical to the single-server reference for
+/// every fleet size.
+TEST(ShardRouterWorkloadTest, DigestsMatchReferenceAcrossFleetSizes) {
+  const datasets::Dataset dataset = TestDataset(4000, 902);
+  auto single = server::LbsServer::Build(dataset).MoveValueOrDie();
+  eval::LoadOptions load;
+  load.num_clients = 12;
+  load.queries_per_client = 3;
+  load.worker_threads = 4;
+  load.params.k = 4;
+  load.params.epsilon = 250.0;
+  load.params.anchor_distance = 300.0;
+  const auto reference =
+      eval::RunReferenceWorkload(single.get(), load).MoveValueOrDie();
+  for (const size_t num_shards : {1u, 2u, 4u, 8u}) {
+    telemetry::MetricRegistry registry;
+    auto router = BuildRouter(dataset, num_shards, &registry);
+    auto report =
+        eval::RunClosedLoopLoad(router->front(), dataset.domain, load);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->digests, reference) << "shards=" << num_shards;
+  }
+}
+
+/// Satellite 1 (faulted wire): with a FaultyTransport between client and
+/// router, every query the retry layer reports as succeeded is still
+/// byte-identical to the fault-free single-server reference.
+TEST(ShardRouterWorkloadTest, FaultedClientRouterLegStillByteIdentical) {
+  const datasets::Dataset dataset = TestDataset(2500, 903);
+  auto single = server::LbsServer::Build(dataset).MoveValueOrDie();
+  telemetry::MetricRegistry registry;
+  auto router = BuildRouter(dataset, 4, &registry);
+
+  eval::FaultRunOptions options;
+  options.load.num_clients = 8;
+  options.load.queries_per_client = 3;
+  options.load.params.k = 2;
+  options.load.params.epsilon = 200.0;
+  options.load.params.anchor_distance = 250.0;
+  options.fault.uplink.drop = 0.08;
+  options.fault.downlink.drop = 0.08;
+  options.fault.downlink.corrupt = 0.05;
+  options.policy.max_attempts = 8;
+
+  const auto reference =
+      eval::RunReferencePerQueryDigests(single.get(), options.load)
+          .MoveValueOrDie();
+  auto report =
+      eval::RunFaultedWorkload(router->front(), dataset.domain, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_GT(report->faults.drops + report->faults.corruptions, 0u);
+  size_t compared = 0;
+  for (size_t c = 0; c < options.load.num_clients; ++c) {
+    for (size_t q = 0; q < options.load.queries_per_client; ++q) {
+      if (!report->succeeded[c][q]) continue;
+      EXPECT_EQ(report->digests[c][q], reference[c][q])
+          << "client " << c << " query " << q;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+/// Satellite 3: the per-query fan-out never exceeds the number of partition
+/// rectangles the final supply disk (radius tau around the anchor)
+/// intersects — the router provably opens no shard the query could not
+/// need. Exhausted streams are exempt (draining the fleet touches every
+/// populated shard by definition).
+TEST(ShardRouterFanoutTest, FanoutBoundedBySupplyDiskIntersections) {
+  const datasets::Dataset dataset = TestDataset(4000, 904);
+  telemetry::MetricRegistry registry;
+  auto router = BuildRouter(dataset, 8, &registry);
+
+  core::QueryParams params;
+  params.k = 4;
+  params.epsilon = 250.0;
+  params.anchor_distance = 300.0;
+  eval::LoadOptions load;
+  load.num_clients = 24;
+  load.queries_per_client = 2;
+  load.params = params;
+  size_t checked = 0;
+  for (size_t c = 0; c < load.num_clients; ++c) {
+    const eval::ClientWorkload workload =
+        eval::MakeClientWorkload(dataset.domain, load, c);
+    for (const auto& [q, anchor] : workload.queries) {
+      auto outcome = service::RemoteQuery(router.get(), q, anchor, params);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      auto fanout = router->TakeFanout(anchor);
+      ASSERT_TRUE(fanout.has_value());
+      EXPECT_GE(fanout->fanout, 1u);
+      EXPECT_GE(fanout->shard_pulls, fanout->fanout);
+      if (outcome->stream_exhausted) continue;
+      size_t reachable = 0;
+      for (size_t i = 0; i < router->num_shards(); ++i) {
+        const ShardPartition& part = router->partitioner().partition(i);
+        if (part.HasPoints() &&
+            geom::MinDist(anchor, part.bounds) <= outcome->tau) {
+          ++reachable;
+        }
+      }
+      EXPECT_LE(fanout->fanout, reachable)
+          << "client " << c << " tau " << outcome->tau;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+/// Satellite 3 (pinned regression): the default beta = 67 workload's total
+/// fan-out is deterministic; mean fan-out must stay strictly below the
+/// fleet size (the whole point of spatial routing) and any change to the
+/// pinned totals is a routing-behavior change that needs review.
+TEST(ShardRouterFanoutTest, DefaultBetaFanoutPinnedAndSubLinear) {
+  const datasets::Dataset dataset = TestDataset(4000, 905);
+  telemetry::MetricRegistry registry;
+  auto router = BuildRouter(dataset, 8, &registry);
+  ASSERT_EQ(net::PacketConfig().Capacity(), 67u);
+
+  core::QueryParams params;  // defaults: k=1, eps=200, beta=67
+  eval::LoadOptions load;
+  load.num_clients = 16;
+  load.queries_per_client = 2;
+  load.params = params;
+  uint64_t total_fanout = 0;
+  uint64_t total_pulls = 0;
+  uint64_t queries = 0;
+  for (size_t c = 0; c < load.num_clients; ++c) {
+    const eval::ClientWorkload workload =
+        eval::MakeClientWorkload(dataset.domain, load, c);
+    for (const auto& [q, anchor] : workload.queries) {
+      auto outcome = service::RemoteQuery(router.get(), q, anchor, params);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      auto fanout = router->TakeFanout(anchor);
+      ASSERT_TRUE(fanout.has_value());
+      total_fanout += fanout->fanout;
+      total_pulls += fanout->shard_pulls;
+      ++queries;
+    }
+  }
+  EXPECT_EQ(queries, 32u);
+  const double mean_fanout =
+      static_cast<double>(total_fanout) / static_cast<double>(queries);
+  EXPECT_LT(mean_fanout, 8.0);
+  // Pinned totals for this seeded workload (deterministic by construction).
+  // A diff here means the routing policy changed — re-derive deliberately.
+  EXPECT_EQ(total_fanout, 58u);
+  EXPECT_EQ(total_pulls, 85u);
+}
+
+/// Tentpole plumbing: per-shard pull counters and the fan-out histogram
+/// land in the router's registry, and a traced query carries router ->
+/// shard spans in one tree.
+TEST(ShardRouterTelemetryTest, MetricsAndTraceSpans) {
+  const datasets::Dataset dataset = TestDataset(2000, 906);
+  telemetry::MetricRegistry registry;
+  auto router = BuildRouter(dataset, 4, &registry);
+
+  core::QueryParams params;
+  params.k = 2;
+  telemetry::Trace trace;
+  service::RetryConfig retry;
+  retry.trace = &trace;
+  retry.trace_id = 0x70;
+  net::DirectTransport transport(router.get());
+  const geom::Point q{5000, 5000};
+  const geom::Point anchor{5150, 4900};
+  auto outcome = service::RemoteQuery(&transport, q, anchor, params, retry);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  size_t shard_pull_spans = 0;
+  size_t shard_open_spans = 0;
+  for (const telemetry::SpanRecord& span : trace.records()) {
+    if (span.name == "router.shard.pull") ++shard_pull_spans;
+    if (span.name == "router.shard.open") ++shard_open_spans;
+  }
+  EXPECT_GT(shard_open_spans, 0u);
+  EXPECT_GT(shard_pull_spans, 0u);
+
+  const telemetry::RegistrySnapshot snapshot = registry.Snapshot();
+  uint64_t shard_pulls_total = 0;
+  bool saw_fanout_hist = false;
+  bool saw_partition_hist = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("shard.", 0) == 0 &&
+        name.find(".pulls") != std::string::npos) {
+      shard_pulls_total += value;
+    }
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (name == "shard.router.fanout") {
+      saw_fanout_hist = true;
+      EXPECT_GT(hist.count, 0u);
+    }
+    if (name == "shard.partition.points") {
+      saw_partition_hist = true;
+      EXPECT_EQ(hist.count, 4u);
+    }
+  }
+  EXPECT_TRUE(saw_fanout_hist);
+  EXPECT_TRUE(saw_partition_hist);
+  EXPECT_GT(shard_pulls_total, 0u);
+  // Per-shard engines report on their own registries.
+  uint64_t shard_engine_pulls = 0;
+  for (size_t i = 0; i < router->num_shards(); ++i) {
+    shard_engine_pulls += router->shard_engine(i)->metrics().pull_requests;
+  }
+  EXPECT_EQ(shard_engine_pulls, shard_pulls_total);
+}
+
+/// The eval fan-out probe: tradeoff records carry the fan-out leg when the
+/// load generator runs against a sharded backend.
+TEST(ShardRouterTelemetryTest, LoadGeneratorFanoutProbe) {
+  const datasets::Dataset dataset = TestDataset(2500, 907);
+  telemetry::MetricRegistry registry;
+  auto router = BuildRouter(dataset, 4, &registry);
+  eval::LoadOptions load;
+  load.num_clients = 6;
+  load.queries_per_client = 2;
+  load.params.k = 2;
+  load.record_tradeoffs = true;
+  ShardRouter* raw = router.get();
+  load.fanout_probe = [raw](const geom::Point& anchor,
+                            eval::TradeoffRecord* record) {
+    if (auto fanout = raw->TakeFanout(anchor)) {
+      record->fanout = fanout->fanout;
+      record->shard_pulls = fanout->shard_pulls;
+    }
+  };
+  auto report = eval::RunClosedLoopLoad(router->front(), dataset.domain, load);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->tradeoffs.size(), 12u);
+  for (const eval::TradeoffRecord& rec : report->tradeoffs) {
+    EXPECT_GE(rec.fanout, 1u);
+    EXPECT_LE(rec.fanout, 4u);
+    EXPECT_GE(rec.shard_pulls, rec.fanout);
+  }
+}
+
+}  // namespace
+}  // namespace spacetwist::shard

@@ -16,6 +16,8 @@
 //   spacetwist_cli serve-bench --dataset ds.bin [--clients 64 --queries 4
 //                          --threads 1,2,4,8 --k 1 --epsilon 200
 //                          --anchor-dist 200 --seed 7]
+//                          [--shards N]          # Hilbert-sharded fleet
+//                                                # behind a ShardRouter
 //                          [--statsz [out.txt]]  # dump the telemetry page
 //                          [--statsz-interval 1] # + periodic samples, every
 //                                                # N clock seconds
@@ -462,6 +464,10 @@ Status RunServeBench(const Flags& flags) {
   if (flags.Has("statsz-interval") && statsz_interval <= 0.0) {
     return Status::InvalidArgument("--statsz-interval must be > 0 seconds");
   }
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t shards, flags.GetInt("shards", 1));
+  if (shards < 1) {
+    return Status::InvalidArgument("--shards must be >= 1");
+  }
 
   rtree::RTreeOptions rtree_options;
   rtree_options.concurrent_reads = true;
@@ -484,6 +490,29 @@ Status RunServeBench(const Flags& flags) {
   SPACETWIST_ASSIGN_OR_RETURN(std::vector<eval::ClientDigest> reference,
                               eval::RunReferenceWorkload(server.get(), load));
 
+  // --shards N > 1: serve the load from a Hilbert-sharded fleet behind a
+  // ShardRouter instead of one engine. The reference digests (and --trace
+  // ground truth) still come from the single server above — the fleet must
+  // reproduce them byte-for-byte at every thread count.
+  std::unique_ptr<shard::ShardRouter> router;
+  if (shards > 1) {
+    shard::ShardRouterOptions router_options;
+    router_options.num_shards = static_cast<size_t>(shards);
+    router_options.front.max_sessions = load.num_clients * 2;
+    SPACETWIST_ASSIGN_OR_RETURN(
+        router, shard::ShardRouter::Build(ds, router_options));
+    if (load.record_tradeoffs) {
+      shard::ShardRouter* rt = router.get();
+      load.fanout_probe = [rt](const geom::Point& anchor,
+                               eval::TradeoffRecord* record) {
+        if (auto fanout = rt->TakeFanout(anchor)) {
+          record->fanout = fanout->fanout;
+          record->shard_pulls = fanout->shard_pulls;
+        }
+      };
+    }
+  }
+
   // Periodic /statsz sampling: a poller thread drives the clock-disciplined
   // ticker while the measured runs execute; samples render at the end next
   // to the cumulative page.
@@ -493,6 +522,14 @@ Status RunServeBench(const Flags& flags) {
   if (flags.Has("statsz-interval")) {
     ticker = std::make_unique<telemetry::StatszTicker>(
         nullptr, nullptr, static_cast<uint64_t>(statsz_interval * 1e9));
+    if (router != nullptr) {
+      // Each capture shows every shard engine's private registry after the
+      // fleet-wide page.
+      for (size_t i = 0; i < router->num_shards(); ++i) {
+        ticker->AddSection(StrFormat("shard%zu", i),
+                           router->shard_registry(i));
+      }
+    }
     poller = std::thread([&ticker, &stop_poller] {
       while (!stop_poller.load(std::memory_order_relaxed)) {
         ticker->Poll();
@@ -510,13 +547,22 @@ Status RunServeBench(const Flags& flags) {
       if (t < 1) {
         return Status::InvalidArgument("--threads values must be >= 1");
       }
-      service::ServiceOptions options;
-      options.max_sessions = load.num_clients * 2;
-      service::ServiceEngine engine(server.get(), options);
+      // Single-server runs get a fresh engine per thread count; a sharded
+      // run reuses the router's fronting engine (sessions all close between
+      // runs, and the fleet's R-trees are expensive to rebuild).
+      std::unique_ptr<service::ServiceEngine> single_engine;
+      if (router == nullptr) {
+        service::ServiceOptions options;
+        options.max_sessions = load.num_clients * 2;
+        single_engine =
+            std::make_unique<service::ServiceEngine>(server.get(), options);
+      }
+      service::ServiceEngine* engine =
+          router != nullptr ? router->front() : single_engine.get();
       load.worker_threads = static_cast<size_t>(t);
       SPACETWIST_ASSIGN_OR_RETURN(
           eval::LoadReport report,
-          eval::RunClosedLoopLoad(&engine, server->domain(), load));
+          eval::RunClosedLoopLoad(engine, server->domain(), load));
       if (!(report.digests == reference)) {
         return Status::Internal(StrFormat(
             "results at %zu threads diverge from the single-threaded "
@@ -540,8 +586,14 @@ Status RunServeBench(const Flags& flags) {
   }
   SPACETWIST_RETURN_NOT_OK(run_status);
   table.Print(std::cout);
-  std::printf("results verified byte-identical to the single-threaded "
-              "direct path at every thread count\n");
+  if (router != nullptr) {
+    std::printf("%zu-shard fleet verified byte-identical to the "
+                "single-server direct path at every thread count\n",
+                router->num_shards());
+  } else {
+    std::printf("results verified byte-identical to the single-threaded "
+                "direct path at every thread count\n");
+  }
 
   if (!trace_out.empty()) {
     telemetry::JsonWriter writer;
@@ -580,6 +632,14 @@ Status RunServeBench(const Flags& flags) {
     }
     statsz += telemetry::ToStatsz(
         telemetry::MetricRegistry::Default()->Snapshot());
+    if (router != nullptr) {
+      // Mirror StatszTicker's section layout so the cumulative page breaks
+      // down the fleet the same way the periodic samples do.
+      for (size_t i = 0; i < router->num_shards(); ++i) {
+        statsz += StrFormat("== shard%zu ==\n", i);
+        statsz += telemetry::ToStatsz(router->shard_registry(i)->Snapshot());
+      }
+    }
     const std::string out = flags.GetString("statsz", "");
     if (out.empty()) {
       std::printf("\n%s", statsz.c_str());

@@ -16,7 +16,12 @@ Checks every document passed on the command line:
   Chrome-trace_event export: a traceEvents array of ph:"X"/"M"/"i" events
   with name/ts/pid/tid, non-negative dur on complete events, process_name
   metadata, hex trace ids, plus an optional "tradeoffs" array carrying one
-  fully-populated per-query trade-off record each (docs/OBSERVABILITY.md).
+  fully-populated per-query trade-off record each (docs/OBSERVABILITY.md);
+* spacetwist.shard.v1 — a shard scale-out artifact (BENCH_shard.json) must
+  carry per-fleet-size results with digest_match == 1, mean fan-out within
+  (and beyond one shard strictly below) the fleet size, and per-shard
+  arrays sized to the declared shard count, alongside the usual embedded
+  telemetry section.
 
 Exit status 0 when every file validates, 1 otherwise (messages on stderr).
 Runs under ctest (`validate_telemetry_json`) over the committed bench
@@ -31,6 +36,7 @@ import sys
 
 SCHEMA = "spacetwist.telemetry.v1"
 TRACE_SCHEMA = "spacetwist.trace.v1"
+SHARD_SCHEMA = "spacetwist.shard.v1"
 HISTOGRAM_KEYS = {
     "count", "sum", "min", "max", "mean", "p50", "p95", "p99", "buckets",
 }
@@ -53,6 +59,8 @@ TRADEOFF_FIELDS = {
     "downlink_bytes": "uint",
     "uplink_bytes": "uint",
     "latency_ns": "uint",
+    "fanout": "uint",
+    "shard_pulls": "uint",
     "attempts": "uint",
     "retries": "uint",
     "reopens": "uint",
@@ -219,6 +227,55 @@ def validate_trace_document(document, path):
             validate_tradeoff(record, f"{path}.tradeoffs[{i}]")
 
 
+def validate_shard_document(document, path):
+    """A spacetwist.shard.v1 export (bench_shard_scaling's BENCH_shard.json).
+
+    Checks the scale-out claims the artifact exists to record: per-fleet-size
+    results whose digests matched the single server, whose fan-out stays
+    within (and, beyond one shard, strictly below) the fleet size, and whose
+    per-shard arrays match the declared shard count. The embedded telemetry
+    section is validated by the caller's walk.
+    """
+    results = document.get("results")
+    if not isinstance(results, list) or not results:
+        error(path, "shard document needs a non-empty results array")
+        return
+    for i, entry in enumerate(results):
+        entry_path = f"{path}.results[{i}]"
+        if not isinstance(entry, dict):
+            error(entry_path, "result entry must be an object")
+            continue
+        shards = entry.get("shards")
+        if not is_int(shards) or shards < 1:
+            error(entry_path, "shards must be a positive integer")
+            continue
+        if not is_number(entry.get("qps")) or entry["qps"] < 0:
+            error(entry_path, "qps must be a non-negative number")
+        if entry.get("digest_match") != 1:
+            error(entry_path, "digest_match must be 1 (byte-identity is the "
+                  "router's contract)")
+        mean_fanout = entry.get("mean_fanout")
+        if not is_number(mean_fanout) or mean_fanout < 0:
+            error(entry_path, "mean_fanout must be a non-negative number")
+        elif mean_fanout > shards:
+            error(entry_path,
+                  f"mean_fanout {mean_fanout} exceeds fleet size {shards}")
+        elif shards > 1 and mean_fanout >= shards:
+            error(entry_path,
+                  f"mean_fanout {mean_fanout} not strictly below fleet size "
+                  f"{shards}: Hilbert pruning is not pruning")
+        max_fanout = entry.get("max_fanout")
+        if not is_int(max_fanout) or max_fanout < 0 or max_fanout > shards:
+            error(entry_path, f"max_fanout must be an integer in [0, {shards}]")
+        for key in ("per_shard_pulls", "shard_points"):
+            values = entry.get(key)
+            if (not isinstance(values, list)
+                    or len(values) != shards
+                    or not all(is_int(v) and v >= 0 for v in values)):
+                error(entry_path,
+                      f"{key} must be a list of {shards} non-negative ints")
+
+
 def looks_like_section(node):
     return isinstance(node, dict) and {"schema", "counters", "gauges",
                                        "histograms"} <= node.keys()
@@ -257,6 +314,11 @@ def validate_file(filename):
             and document.get("schema") == TRACE_SCHEMA):
         validate_trace_document(document, filename)
         return
+    if (isinstance(document, dict)
+            and document.get("schema") == SHARD_SCHEMA):
+        # Shard documents also embed an end-of-run telemetry snapshot, so
+        # fall through to the generic walk after the schema checks.
+        validate_shard_document(document, filename)
     found = []
     walk(document, filename, found)
     # A telemetry artifact with nothing telemetry-shaped in it is a schema

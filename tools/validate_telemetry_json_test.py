@@ -59,9 +59,26 @@ GOOD_TRACE = {
         "epsilon": 200.0, "achieved_error": 0.0, "error_evaluated": 1,
         "reported_kth_distance": 120.5, "result_count": 1, "packets": 1,
         "points": 60, "downlink_bytes": 520, "uplink_bytes": 120,
-        "latency_ns": 5000, "attempts": 1, "retries": 0, "reopens": 0,
-        "stale_replies": 0, "backoff_ns": 0,
+        "latency_ns": 5000, "fanout": 2, "shard_pulls": 3, "attempts": 1,
+        "retries": 0, "reopens": 0, "stale_replies": 0, "backoff_ns": 0,
     }],
+}
+
+GOOD_SHARD = {
+    "bench": "shard_scaling",
+    "schema": "spacetwist.shard.v1",
+    "clients": 256,
+    "queries_per_client": 32,
+    "results": [
+        {"shards": 1, "qps": 8000.0, "p99_ms": 1.5, "mean_fanout": 1.0,
+         "max_fanout": 1, "digest_match": 1, "per_shard_pulls": [5047],
+         "shard_points": [500000]},
+        {"shards": 4, "qps": 4000.0, "p99_ms": 2.0, "mean_fanout": 1.34,
+         "max_fanout": 4, "digest_match": 1,
+         "per_shard_pulls": [1300, 1200, 1400, 1381],
+         "shard_points": [125000, 125000, 125000, 125000]},
+    ],
+    "telemetry": copy.deepcopy(GOOD_TELEMETRY),
 }
 
 _failures = []
@@ -183,6 +200,52 @@ def main():
                lambda d: d["tradeoffs"][0].__setitem__(
                    "error_evaluated", 2)),
         "0 or 1")
+    expect_error(
+        "trade-off missing fanout",
+        broken(GOOD_TRACE, lambda d: d["tradeoffs"][0].pop("fanout")),
+        "missing fanout")
+
+    # --- shard.v1 negatives ----------------------------------------------
+    expect_ok("good shard document", GOOD_SHARD)
+    expect_error(
+        "shard empty results",
+        broken(GOOD_SHARD, lambda d: d.__setitem__("results", [])),
+        "non-empty results")
+    expect_error(
+        "shard digest mismatch",
+        broken(GOOD_SHARD,
+               lambda d: d["results"][1].__setitem__("digest_match", 0)),
+        "digest_match")
+    expect_error(
+        "shard fanout above fleet",
+        broken(GOOD_SHARD,
+               lambda d: d["results"][1].__setitem__("mean_fanout", 4.5)),
+        "exceeds fleet size")
+    expect_error(
+        "shard fanout not pruning",
+        broken(GOOD_SHARD,
+               lambda d: d["results"][1].__setitem__("mean_fanout", 4.0)),
+        "not strictly below")
+    expect_error(
+        "shard max fanout above fleet",
+        broken(GOOD_SHARD,
+               lambda d: d["results"][1].__setitem__("max_fanout", 5)),
+        "max_fanout")
+    expect_error(
+        "shard pulls array wrong length",
+        broken(GOOD_SHARD,
+               lambda d: d["results"][1]["per_shard_pulls"].pop()),
+        "per_shard_pulls")
+    expect_error(
+        "shard points negative",
+        broken(GOOD_SHARD,
+               lambda d: d["results"][1]["shard_points"]
+               .__setitem__(0, -1)),
+        "shard_points")
+    expect_error(
+        "shard missing telemetry snapshot",
+        broken(GOOD_SHARD, lambda d: d.pop("telemetry")),
+        "no telemetry section")
 
     if _failures:
         for failure in _failures:
