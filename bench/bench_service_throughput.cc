@@ -96,28 +96,15 @@ void Run() {
     json.KV("qps", m.report.queries_per_second, 1);
     json.KV("p50_ms", m.report.p50_latency_ms);
     json.KV("p99_ms", m.report.p99_latency_ms);
+    // The full distribution behind the p50/p99 columns (the tail is where
+    // contention shows first). BENCH_latency.json now belongs to
+    // bench_memidx's serving-backend comparison.
+    json.Key("latency_ns");
+    telemetry::WriteHistogram(m.report.latency, &json);
     json.EndObject();
   }
   json.EndArray();
   FinishBenchJson("BENCH_service.json", &json);
-
-  // The full latency distributions behind the p50/p99 columns, one
-  // histogram per thread count (the tail is where contention shows first).
-  telemetry::JsonWriter latency_json;
-  latency_json.BeginObject();
-  latency_json.KV("bench", "service_latency");
-  latency_json.KV("schema", telemetry::kTelemetrySchema);
-  latency_json.Key("results").BeginArray();
-  for (const Measurement& m : measurements) {
-    latency_json.BeginObject();
-    latency_json.KV("threads", static_cast<uint64_t>(m.threads));
-    latency_json.Key("latency_ns");
-    telemetry::WriteHistogram(m.report.latency, &latency_json);
-    latency_json.EndObject();
-  }
-  latency_json.EndArray();
-  latency_json.EndObject();
-  WriteJsonFile("BENCH_latency.json", latency_json);
 }
 
 }  // namespace

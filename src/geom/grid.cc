@@ -10,17 +10,6 @@ Grid::Grid(double cell_extent) : cell_extent_(cell_extent) {
   SPACETWIST_CHECK(cell_extent > 0.0) << "grid cell extent must be positive";
 }
 
-GridCell Grid::CellOf(const Point& p) const {
-  return GridCell{static_cast<int64_t>(std::floor(p.x / cell_extent_)),
-                  static_cast<int64_t>(std::floor(p.y / cell_extent_))};
-}
-
-Rect Grid::CellRect(const GridCell& cell) const {
-  const double x0 = cell.ix * cell_extent_;
-  const double y0 = cell.iy * cell_extent_;
-  return Rect{{x0, y0}, {x0 + cell_extent_, y0 + cell_extent_}};
-}
-
 bool Grid::ForEachCellOverlapping(
     const Rect& r, const std::function<bool(const GridCell&)>& fn,
     int64_t max_cells) const {

@@ -1,6 +1,7 @@
 #ifndef SPACETWIST_GEOM_GRID_H_
 #define SPACETWIST_GEOM_GRID_H_
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -42,10 +43,18 @@ class Grid {
   double cell_extent() const { return cell_extent_; }
 
   /// Cell containing `p` (cells are half-open: [i*ext, (i+1)*ext)).
-  GridCell CellOf(const Point& p) const;
+  /// Inline: the granular streams call this once per scanned point.
+  GridCell CellOf(const Point& p) const {
+    return GridCell{static_cast<int64_t>(std::floor(p.x / cell_extent_)),
+                    static_cast<int64_t>(std::floor(p.y / cell_extent_))};
+  }
 
   /// The rectangle covered by `cell`.
-  Rect CellRect(const GridCell& cell) const;
+  Rect CellRect(const GridCell& cell) const {
+    const double x0 = static_cast<double>(cell.ix) * cell_extent_;
+    const double y0 = static_cast<double>(cell.iy) * cell_extent_;
+    return Rect{{x0, y0}, {x0 + cell_extent_, y0 + cell_extent_}};
+  }
 
   /// Invokes `fn` for every cell whose rectangle intersects `r`, row by row.
   /// Returns false (and stops early) the first time `fn` returns false;

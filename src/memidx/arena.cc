@@ -1,0 +1,25 @@
+#include "memidx/arena.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace spacetwist::memidx {
+
+Arena::Arena(size_t slot_bytes, size_t slots_per_block)
+    : slot_bytes_((slot_bytes + 7) / 8 * 8), slots_per_block_(slots_per_block) {
+  SPACETWIST_CHECK(slot_bytes >= 1);
+  SPACETWIST_CHECK(slots_per_block >= 1);
+}
+
+uint32_t Arena::Allocate() {
+  if (slots_ == blocks_.size() * slots_per_block_) {
+    auto block = std::make_unique<unsigned char[]>(slots_per_block_ *
+                                                   slot_bytes_);
+    std::memset(block.get(), 0, slots_per_block_ * slot_bytes_);
+    blocks_.push_back(std::move(block));
+  }
+  return static_cast<uint32_t>(slots_++);
+}
+
+}  // namespace spacetwist::memidx

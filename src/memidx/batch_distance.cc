@@ -1,0 +1,24 @@
+#include "memidx/batch_distance.h"
+
+#include <cmath>
+
+namespace spacetwist::memidx {
+
+void BatchedSquaredDistances(const geom::Point& q, const float* xs,
+                             const float* ys, size_t n, double* out) {
+  const double qx = q.x;
+  const double qy = q.y;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = qx - static_cast<double>(xs[i]);
+    const double dy = qy - static_cast<double>(ys[i]);
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+double ScalarSquaredDistance(const geom::Point& q, float x, float y) {
+  const double dx = q.x - static_cast<double>(x);
+  const double dy = q.y - static_cast<double>(y);
+  return dx * dx + dy * dy;
+}
+
+}  // namespace spacetwist::memidx

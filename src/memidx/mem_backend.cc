@@ -1,0 +1,24 @@
+#include "memidx/mem_backend.h"
+
+#include <utility>
+
+#include "memidx/mem_inn_stream.h"
+
+namespace spacetwist::memidx {
+
+Result<std::unique_ptr<MemBackend>> MemBackend::Build(
+    const MemRTreeOptions& options, std::vector<rtree::DataPoint> points) {
+  SPACETWIST_ASSIGN_OR_RETURN(
+      std::unique_ptr<MemRTree> tree,
+      MemRTree::BulkLoad(options, /*fill=*/1.0, std::move(points)));
+  return std::make_unique<MemBackend>(std::move(tree));
+}
+
+std::unique_ptr<server::InnSource> MemBackend::OpenInnSource(
+    const geom::Point& anchor, double epsilon, size_t k,
+    const server::GranularOptions& options) {
+  return std::make_unique<MemInnStream>(tree_.get(), anchor, epsilon, k,
+                                        options);
+}
+
+}  // namespace spacetwist::memidx

@@ -1,0 +1,42 @@
+#ifndef SPACETWIST_MEMIDX_MEM_BACKEND_H_
+#define SPACETWIST_MEMIDX_MEM_BACKEND_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/point.h"
+#include "memidx/mem_rtree.h"
+#include "rtree/entry.h"
+#include "server/inn_backend.h"
+
+namespace spacetwist::memidx {
+
+/// server::InnBackend over a MemRTree — the second serving backend next to
+/// the paged LbsServer path. A ServiceEngine fronting this backend answers
+/// byte-identically to one fronting the paged tree built from the same
+/// dataset; only the server-local cost (ns per pull) changes.
+class MemBackend : public server::InnBackend {
+ public:
+  /// Bulk-loads the in-memory tree from `points` (same STR packing as the
+  /// paged bulk loader, `fill` = 1.0).
+  static Result<std::unique_ptr<MemBackend>> Build(
+      const MemRTreeOptions& options, std::vector<rtree::DataPoint> points);
+
+  explicit MemBackend(std::unique_ptr<MemRTree> tree)
+      : tree_(std::move(tree)) {}
+
+  std::unique_ptr<server::InnSource> OpenInnSource(
+      const geom::Point& anchor, double epsilon, size_t k,
+      const server::GranularOptions& options) override;
+
+  MemRTree* tree() { return tree_.get(); }
+  const MemRTree* tree() const { return tree_.get(); }
+
+ private:
+  std::unique_ptr<MemRTree> tree_;
+};
+
+}  // namespace spacetwist::memidx
+
+#endif  // SPACETWIST_MEMIDX_MEM_BACKEND_H_

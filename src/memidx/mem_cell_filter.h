@@ -1,0 +1,382 @@
+#ifndef SPACETWIST_MEMIDX_MEM_CELL_FILTER_H_
+#define SPACETWIST_MEMIDX_MEM_CELL_FILTER_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "geom/grid.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "telemetry/registry.h"
+
+namespace spacetwist::memidx {
+
+/// Algorithm 2's grid-cell bookkeeping (the set V), re-plumbed for the
+/// serving fast path. Semantically equivalent to server::CellFilter — the
+/// differential suite pins the reported stream bit for bit against the
+/// paged oracle — but engineered for the per-scanned-point hot loop:
+///
+///  * one open-addressing probe per scanned point over 32-byte slots that
+///    stay cache-resident for a whole query, where server::CellFilter pays
+///    an unordered_map find per check;
+///  * frontier admission control: each cell records the k smallest
+///    (distance, id) points pushed so far, letting AdmitToFrontier() drop,
+///    at push time, any point that k better same-cell points already
+///    dominate. A dominated point can never be reported — its k dominators
+///    sit in the frontier with strictly smaller heap keys, pop first, and
+///    fill the cell — so pruning shrinks the frontier from "every scanned
+///    point in a non-full cell" to O(k) per cell without touching the
+///    output sequence.
+///
+/// Relative to the oracle, heap_pops shrinks (that is the point) and the
+/// eviction tail may lag (fewer pops means EvictUpTo sees fewer
+/// intermediate frontiers; the evicted set still matches at every node
+/// expansion because eviction is threshold-driven, not pop-count-driven).
+/// Node expansions, admissions, and the reported stream are identical —
+/// index_differential_test asserts exactly that split.
+class MemCellFilter {
+ public:
+  /// Same contract as server::CellFilter: epsilon == 0 disables the filter
+  /// (plain incremental NN); `visited` / `evicted` optionally mirror the
+  /// per-stream totals into registry counters.
+  MemCellFilter(const geom::Point& anchor, double epsilon, size_t k,
+                bool lazy_eviction, int64_t max_coverage_cells,
+                telemetry::Counter* visited = nullptr,
+                telemetry::Counter* evicted = nullptr);
+
+  bool enabled() const { return grid_.has_value(); }
+
+  /// Only meaningful when enabled(): the grid's lambda.
+  double cell_extent() const { return grid_->cell_extent(); }
+
+  /// Lazy eviction (Algorithm 2, Line 8): forgets every cell whose maxdist
+  /// lies strictly below `frontier`. No-op unless enabled and lazy_eviction.
+  /// Inline fast path — this runs once per heap pop, and almost always the
+  /// eviction frontier has not moved past the queue head.
+  void EvictUpTo(double frontier) {
+    if (!lazy_eviction_ || eviction_queue_.empty() ||
+        eviction_queue_.top().max_dist >= frontier) {
+      return;
+    }
+    EvictUpToSlow(frontier);
+  }
+
+  /// A leaf overlaps only a handful of grid cells (lambda is of leaf
+  /// order), so a whole-leaf scan can probe each overlapped cell once up
+  /// front and classify every point with an array index plus one compare.
+  /// Plans wider than this fall back to per-point AdmitToFrontier().
+  static constexpr int64_t kMaxLeafScanCells = 16;
+  /// Marks a full cell in LeafScanPlan::slot: its points need no probe.
+  static constexpr uint32_t kFullCell = 0xFFFFFFFFu;
+
+  /// One leaf's scan plan. Valid for a single leaf expansion: admissions
+  /// and evictions (pop-time events) invalidate the full flags, but no pop
+  /// happens mid-expansion.
+  struct LeafScanPlan {
+    int64_t c0x = 0;  ///< cell-range origin
+    int64_t c0y = 0;
+    int64_t nx = 0;      ///< range width in cells
+    int64_t ny = 0;      ///< range height in cells
+    int64_t ncells = 0;  ///< total cells in the plan (nx * ny)
+    /// Max reject threshold over the plan's non-full cells: a scanned point
+    /// with dist_squared above this is rejected no matter which cell it
+    /// falls in (full cell => rejected outright; non-full => above that
+    /// cell's own threshold), so the hot loop skips it with one compare —
+    /// no cell classification at all. +inf until every plan cell has k
+    /// pushed points; kept current by TestScanPoint as thresholds tighten.
+    double max_reject = 0.0;
+    bool skip_all = false;  ///< every overlapped cell is full
+    std::array<uint32_t, kMaxLeafScanCells> slot = {};
+    /// Float thresholds of the plan's internal cell boundaries: bx[j] is
+    /// the smallest float32 coordinate Grid::CellOf maps to column
+    /// c0x + j + 1 or beyond (see BoundaryThreshold()), so a point's
+    /// column is c0x + (count of bx[j] <= x) — compares replace the
+    /// per-point IEEE divide, with an identical verdict.
+    std::array<float, kMaxLeafScanCells - 1> bx = {};
+    std::array<float, kMaxLeafScanCells - 1> by = {};
+  };
+
+  /// Builds the plan for a leaf whose points all lie inside `mbr`. Returns
+  /// false when the fast path does not apply (filter disabled, or the leaf
+  /// spans more than kMaxLeafScanCells cells) — the caller then probes per
+  /// point. With skip_all set, every point of the leaf lands in a cell
+  /// that already reported k points, so the whole scan can be skipped: the
+  /// oracle would push those points and reject each at pop.
+  bool BeginLeafScan(const geom::Rect& mbr, LeafScanPlan* plan);
+
+  /// Admission verdicts of TestScanPoint / AdmitToFrontier. Non-negative
+  /// values are a FrontierHeap handle: the point dominates the cell's
+  /// kth-best pushed point, whose heap entry it must replace (decrease-key)
+  /// — the oracle pushes such points and rejects the displaced one at pop.
+  static constexpr int64_t kRejectAction = -1;  ///< never reportable: drop
+  static constexpr int64_t kFreshAction = -2;   ///< push, tracked by record
+  static constexpr int64_t kUntrackedAction = -3;  ///< push, no record
+
+  /// Per-point test against a plan, for points that survive the caller's
+  /// `dist_squared <= plan.max_reject` pre-check. Same key and the same
+  /// push-or-never-reported verdict as AdmitToFrontier, minus the per-point
+  /// hash probe and divide: the point's cell comes from comparing against
+  /// the plan's precomputed boundary thresholds (exactly Grid::CellOf's
+  /// verdict — see LeafScanPlan::bx) and indexes straight into the plan.
+  /// `fresh_handle` is recorded iff the verdict is kFreshAction.
+  int64_t TestScanPoint(LeafScanPlan* plan, float x, float y,
+                        double dist_squared, uint32_t id,
+                        uint32_t fresh_handle, double* key) {
+    int64_t ix = 0;
+    for (int64_t j = 1; j < plan->nx; ++j) {
+      ix += static_cast<int64_t>(x >= plan->bx[static_cast<size_t>(j - 1)]);
+    }
+    int64_t iy = 0;
+    for (int64_t j = 1; j < plan->ny; ++j) {
+      iy += static_cast<int64_t>(y >= plan->by[static_cast<size_t>(j - 1)]);
+    }
+    const size_t idx = static_cast<size_t>(iy * plan->nx + ix);
+    const uint32_t si = plan->slot[idx];
+    if (si == kFullCell) return kRejectAction;  // cell already reported k
+    Slot& s = slots_[si];
+    if (dist_squared > s.reject) return kRejectAction;  // dominated
+    const double before = s.reject;
+    const int64_t action = SlowPush(&s, dist_squared, id, fresh_handle, key);
+    if (s.reject != before) RecomputeMaxReject(plan);
+    return action;
+  }
+
+  /// Expansion-time admission, fused into one probe: a non-reject verdict
+  /// means the point enters the frontier (see the action constants) and
+  /// `*key` receives its heap key — sqrt(dist_squared), the exact key the
+  /// paged stream computes. kRejectAction comes back without ever taking
+  /// the sqrt when the cell already reported k points, or when k
+  /// already-pushed same-cell points dominate it under the frontier's
+  /// (key, id) order.
+  ///
+  /// Inline: this runs once per scanned point (tens of thousands per
+  /// query); a cross-TU call here is measurable.
+  int64_t AdmitToFrontier(const geom::Point& p, double dist_squared,
+                          uint32_t id, uint32_t fresh_handle, double* key) {
+    if (!grid_.has_value()) {
+      *key = std::sqrt(dist_squared);
+      return kUntrackedAction;
+    }
+    Slot* s = FindOrCreate(grid_->CellOf(p));
+    if (s->admitted >= k_) return kRejectAction;  // cell already reported k
+    if (dist_squared > s->reject) return kRejectAction;  // dominated
+    return SlowPush(s, dist_squared, id, fresh_handle, key);
+  }
+
+  /// Pop-time admission: charges the point to its cell and returns true if
+  /// it must be reported. Identical semantics to CellFilter::AdmitPoint.
+  bool AdmitPoint(const geom::Point& p);
+
+  /// True when `mbr` is fully covered by cells that already reported k
+  /// points (Algorithm 2, Line 9). Identical decisions to the oracle's —
+  /// the short-circuit compares against the same live-admitted-cell count.
+  /// Non-const only because classifying the corners warms the boundary
+  /// threshold cache.
+  bool CoveredByFullCells(const geom::Rect& mbr);
+
+  /// Introspection, same meaning as CellFilter's: cells that have admitted
+  /// at least one point and were not evicted.
+  size_t live_cells() const { return live_cells_; }
+  size_t peak_live_cells() const { return peak_live_cells_; }
+  uint64_t cells_evicted() const { return cells_evicted_; }
+
+ private:
+  /// 32-byte open-addressing slot. A slot exists for every cell ever
+  /// probed at expansion time; `admitted > 0` marks the cells that the
+  /// oracle's map would contain (coverage and eviction only ever look at
+  /// those).
+  struct Slot {
+    geom::GridCell cell;
+    /// Quick-reject bound: dist_squared above it has a key (sqrt) strictly
+    /// greater than the cell's kth-best pushed key, so the point is
+    /// dominated and can be dropped without taking the sqrt; at or below,
+    /// SlowPush decides exactly. +inf until k points are pushed (see
+    /// RejectThreshold()).
+    double reject = 0.0;
+    uint32_t state = 0;     ///< 0 empty, 1 occupied, 2 tombstone
+    uint32_t admitted = 0;  ///< points reported from this cell, <= k
+    uint32_t pushed = 0;    ///< size of the k-best record, <= k
+    uint32_t kbest = 0;     ///< offset of this cell's record in kbest_pool_
+  };
+  /// One entry of a cell's k-best record: the frontier's (key, id) order,
+  /// plus the point's FrontierHeap handle — record shifts copy it along, so
+  /// it always travels with its point.
+  struct PushedPoint {
+    double key = 0.0;
+    uint32_t id = 0;
+    uint32_t handle = 0;
+  };
+  struct EvictionEntry {
+    double max_dist = 0.0;
+    geom::GridCell cell;
+  };
+  struct EvictionGreater {
+    bool operator()(const EvictionEntry& a, const EvictionEntry& b) const {
+      return a.max_dist > b.max_dist;
+    }
+  };
+
+  /// Linear-probe lookup/insert. The fast path (hit on an occupied slot)
+  /// is inline; creation and table growth live in the .cc.
+  Slot* FindOrCreate(const geom::GridCell& cell) {
+    const size_t mask = slots_.size() - 1;
+    size_t i = geom::GridCellHash()(cell) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.state == 1) {
+        if (s.cell == cell) return &s;
+      } else if (s.state == 0) {
+        return CreateSlot(cell);
+      }
+      i = (i + 1) & mask;
+    }
+  }
+  const Slot* Find(const geom::GridCell& cell) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = geom::GridCellHash()(cell) & mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.state == 0) return nullptr;
+      if (s.state == 1 && s.cell == cell) return &s;
+      i = (i + 1) & mask;
+    }
+  }
+  /// The exact-compare tail shared by AdmitToFrontier and TestScanPoint:
+  /// takes the sqrt, applies the oracle's (key, id) dominance test against
+  /// the cell's k-best record, inserts on success, and refreshes the
+  /// sqrt-free reject threshold. When the insert displaces the record's
+  /// kth entry, the displaced point is still in the heap (it cannot have
+  /// popped — fewer than k cell pops so far, and record entries pop in
+  /// record order), so the verdict hands its handle to the caller for an
+  /// in-place Replace; the dominating point orders strictly earlier.
+  int64_t SlowPush(Slot* s, double dist_squared, uint32_t id,
+                   uint32_t fresh_handle, double* key) {
+    const double d = std::sqrt(dist_squared);
+    PushedPoint* best = kbest_pool_.data() + s->kbest;
+    int64_t action = kFreshAction;
+    uint32_t handle = fresh_handle;
+    uint32_t at = s->pushed;
+    if (at == k_) {
+      const PushedPoint& kth = best[k_ - 1];
+      if (d > kth.key || (d == kth.key && id > kth.id)) return kRejectAction;
+      handle = kth.handle;  // reuse the displaced point's heap entry
+      action = static_cast<int64_t>(handle);
+      at = static_cast<uint32_t>(k_) - 1;
+    } else {
+      ++s->pushed;
+    }
+    while (at > 0 && (best[at - 1].key > d ||
+                      (best[at - 1].key == d && best[at - 1].id > id))) {
+      best[at] = best[at - 1];
+      --at;
+    }
+    best[at] = PushedPoint{d, id, handle};
+    if (s->pushed == k_) s->reject = RejectThreshold(best[k_ - 1].key);
+    *key = d;
+    return action;
+  }
+
+  /// Upper bound of the largest X with sqrt(X) <= key under IEEE
+  /// round-to-nearest: any dist_squared above it has a key strictly greater
+  /// and is dominated regardless of id, so quick-rejecting against it is
+  /// sound. It is only a bound, not the exact edge — dist_squared in the
+  /// few-ulp band between the exact threshold and this value survives the
+  /// quick test and falls through to SlowPush's exact (key, id) compare, so
+  /// the verdict stream is unchanged. Soundness of the slack: the exact
+  /// threshold is at most ~3 ulps above key*key's rounded value, the 1e-15
+  /// relative term adds >= 4.5 ulps even after its own rounding, and the
+  /// 1e-300 absolute term covers the subnormal range where relative slack
+  /// can round away. Runs on every cell-filling push (with k = 1, every
+  /// push), which is why this is two multiplies and an add rather than the
+  /// obvious sqrt-and-nextafter refinement loop.
+  static double RejectThreshold(double key) {
+    const double x = key * key;  // key = +inf stays +inf: never quick-reject
+    return x + (x * 1e-15 + 1e-300);
+  }
+
+  /// Refreshes plan->max_reject from the plan's non-full slots (at most
+  /// kMaxLeafScanCells loads; runs only when a threshold actually tightens,
+  /// a few times per query).
+  void RecomputeMaxReject(LeafScanPlan* plan) const {
+    double m = -std::numeric_limits<double>::infinity();
+    for (int64_t i = 0; i < plan->ncells; ++i) {
+      const uint32_t si = plan->slot[static_cast<size_t>(i)];
+      if (si == kFullCell) continue;
+      m = std::max(m, slots_[si].reject);
+    }
+    plan->max_reject = m;
+  }
+
+  Slot* CreateSlot(const geom::GridCell& cell);
+  /// Guarantees `n` CreateSlot calls without a Grow(), so slot indices
+  /// handed out by BeginLeafScan stay valid for the whole leaf scan.
+  void ReserveSlots(size_t n);
+  void EraseAdmitted(const geom::GridCell& cell);
+  void EvictUpToSlow(double frontier);
+  void Grow();
+  /// Smallest float32 coordinate that Grid::CellOf assigns to cell index
+  /// >= `c` (both axes share the extent, so one function serves columns and
+  /// rows). Cached densely per boundary — a query touches a few dozen.
+  float BoundaryThreshold(int64_t c);
+  float ComputeBoundaryThreshold(int64_t c) const;
+  /// Cache-hit fast path of BoundaryThreshold; an index below the base
+  /// wraps past the size check and takes the slow path.
+  float CachedBoundary(int64_t c) {
+    const size_t i = static_cast<size_t>(c - boundary_base_);
+    if (i < boundary_cache_.size() && !std::isnan(boundary_cache_[i])) {
+      return boundary_cache_[i];
+    }
+    return BoundaryThreshold(c);
+  }
+  /// Exact Grid::CellOf index of a float32-exact coordinate, divide-free:
+  /// a reciprocal-multiply guess settled against the cached boundary
+  /// thresholds. T(c) is the smallest float32 whose column is >= c and the
+  /// column function is monotone, so the loops stop at the unique c with
+  /// T(c) <= x < T(c + 1) — exactly floor(x / extent). The guess is off by
+  /// at most a step, so each loop is O(1); hot-path callers (corner
+  /// classification in BeginLeafScan / CoveredByFullCells / AdmitPoint)
+  /// replace two IEEE divides per corner with multiplies and cached loads.
+  int64_t CellIndexOf(float x) {
+    int64_t c = static_cast<int64_t>(
+        std::floor(static_cast<double>(x) * inv_extent_));
+    while (x < CachedBoundary(c)) --c;
+    while (x >= CachedBoundary(c + 1)) ++c;
+    return c;
+  }
+
+  geom::Point anchor_;
+  size_t k_;
+  bool lazy_eviction_;
+  int64_t max_coverage_cells_;
+  telemetry::Counter* visited_metric_;  ///< borrowed, may be null
+  telemetry::Counter* evicted_metric_;  ///< borrowed, may be null
+
+  std::optional<geom::Grid> grid_;  ///< engaged iff epsilon > 0
+  double inv_extent_ = 0.0;         ///< 1 / cell_extent, CellIndexOf's guess
+  std::vector<Slot> slots_;         ///< power-of-two open-addressing table
+  /// Dense BoundaryThreshold cache: entry i holds the threshold of cell
+  /// boundary boundary_base_ + i, NaN when not yet computed.
+  std::vector<float> boundary_cache_;
+  int64_t boundary_base_ = 0;
+  bool boundary_base_set_ = false;
+  size_t filled_ = 0;               ///< occupied + tombstoned slots
+  std::vector<PushedPoint> kbest_pool_;  ///< k entries per created slot
+  std::priority_queue<EvictionEntry, std::vector<EvictionEntry>,
+                      EvictionGreater>
+      eviction_queue_;
+
+  size_t live_cells_ = 0;  ///< slots with admitted > 0 (== oracle map size)
+  size_t peak_live_cells_ = 0;
+  uint64_t cells_evicted_ = 0;
+};
+
+}  // namespace spacetwist::memidx
+
+#endif  // SPACETWIST_MEMIDX_MEM_CELL_FILTER_H_

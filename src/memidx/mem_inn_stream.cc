@@ -1,0 +1,178 @@
+#include "memidx/mem_inn_stream.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "geom/rect.h"
+#include "memidx/batch_distance.h"
+
+namespace spacetwist::memidx {
+
+MemInnStream::MemInnStream(const MemRTree* tree, const geom::Point& anchor,
+                           double epsilon, size_t k,
+                           const server::GranularOptions& options)
+    : tree_(tree), anchor_(anchor), epsilon_(epsilon), k_(k),
+      filter_(anchor, epsilon, k, options.lazy_eviction,
+              options.max_coverage_cells,
+              telemetry::MetricRegistry::OrDefault(options.registry)
+                  ->GetCounter("server.granular.cells_visited"),
+              telemetry::MetricRegistry::OrDefault(options.registry)
+                  ->GetCounter("server.granular.cells_evicted")) {
+  SPACETWIST_CHECK(tree != nullptr);
+  SPACETWIST_CHECK(epsilon >= 0.0);
+  SPACETWIST_CHECK(k >= 1);
+  telemetry::MetricRegistry* r =
+      telemetry::MetricRegistry::OrDefault(options.registry);
+  node_reads_metric_ = r->GetCounter("server.granular.node_reads");
+  heap_pops_metric_ = r->GetCounter("server.granular.heap_pops");
+  points_reported_metric_ = r->GetCounter("server.granular.points_reported");
+  scratch_.resize(tree_->leaf_capacity());
+  FrontierEntry root;
+  root.key = 0.0;
+  root.id = tree_->root();
+  root.handle = FrontierEntry::kNodeEntry;
+  heap_.Push(root);
+}
+
+void MemInnStream::ApplyAction(int64_t action, double key, float x, float y,
+                               uint32_t id) {
+  FrontierEntry child;
+  child.key = key;
+  child.x = x;
+  child.y = y;
+  child.id = id;
+  if (action == MemCellFilter::kFreshAction) {
+    child.handle = heap_.next_handle();
+    heap_.Push(child);
+  } else if (action == MemCellFilter::kUntrackedAction) {
+    child.handle = FrontierEntry::kUntracked;
+    heap_.Push(child);
+  } else {
+    child.handle = static_cast<uint32_t>(action);
+    heap_.Replace(child.handle, child);
+  }
+}
+
+void MemInnStream::ExpandNode(const FrontierEntry& item) {
+  ++node_reads_;
+  const uint32_t node_id = item.id;
+  if (tree_->IsLeaf(node_id)) {
+    // Fast path: probe each of the leaf's few overlapped cells once, then
+    // admit per point with an array index plus one compare. Needs the
+    // node's MBR (unknown only for a leaf root).
+    MemCellFilter::LeafScanPlan plan;
+    if (item.max_x >= item.x && item.max_y >= item.y &&
+        filter_.BeginLeafScan(
+            geom::Rect{geom::Point{static_cast<double>(item.x),
+                                   static_cast<double>(item.y)},
+                       geom::Point{static_cast<double>(item.max_x),
+                                   static_cast<double>(item.max_y)}},
+            &plan)) {
+      // Every overlapped cell already reported k points: the oracle would
+      // push each point and reject it at pop, so skip the scan outright.
+      if (plan.skip_all) return;
+      const MemRTree::LeafView leaf = tree_->Leaf(node_id);
+      BatchedSquaredDistances(anchor_, leaf.xs, leaf.ys, leaf.count,
+                              scratch_.data());
+      double max_reject = plan.max_reject;
+      for (uint32_t i = 0; i < leaf.count; ++i) {
+        // One compare rejects the point whichever plan cell holds it; only
+        // survivors pay for cell classification, and only pushed points
+        // build a frontier entry.
+        if (scratch_[i] > max_reject) continue;
+        double key;
+        const int64_t action =
+            filter_.TestScanPoint(&plan, leaf.xs[i], leaf.ys[i], scratch_[i],
+                                  leaf.ids[i], heap_.next_handle(), &key);
+        if (action == MemCellFilter::kRejectAction) continue;
+        max_reject = plan.max_reject;  // a push may tighten it
+        ApplyAction(action, key, leaf.xs[i], leaf.ys[i], leaf.ids[i]);
+      }
+      return;
+    }
+    // Fallback (filter disabled, unknown MBR, or a leaf spanning more
+    // cells than a plan covers): one fused probe per point.
+    const MemRTree::LeafView leaf = tree_->Leaf(node_id);
+    BatchedSquaredDistances(anchor_, leaf.xs, leaf.ys, leaf.count,
+                            scratch_.data());
+    for (uint32_t i = 0; i < leaf.count; ++i) {
+      const geom::Point p{static_cast<double>(leaf.xs[i]),
+                          static_cast<double>(leaf.ys[i])};
+      double key;
+      const int64_t action = filter_.AdmitToFrontier(
+          p, scratch_[i], leaf.ids[i], heap_.next_handle(), &key);
+      if (action == MemCellFilter::kRejectAction) continue;
+      ApplyAction(action, key, leaf.xs[i], leaf.ys[i], leaf.ids[i]);
+    }
+    return;
+  }
+  const MemRTree::BranchView branch = tree_->Branch(node_id);
+  for (uint32_t i = 0; i < branch.count; ++i) {
+    const MemRTree::BranchRecord& e = branch.entries[i];
+    const geom::Rect mbr{
+        geom::Point{static_cast<double>(e.min_x),
+                    static_cast<double>(e.min_y)},
+        geom::Point{static_cast<double>(e.max_x),
+                    static_cast<double>(e.max_y)}};
+    if (filter_.CoveredByFullCells(mbr)) continue;
+    FrontierEntry child;
+    child.key = geom::MinDist(anchor_, mbr);
+    child.x = e.min_x;
+    child.y = e.min_y;
+    child.max_x = e.max_x;
+    child.max_y = e.max_y;
+    child.id = e.child;
+    child.handle = FrontierEntry::kNodeEntry;
+    heap_.Push(child);
+  }
+}
+
+Status MemInnStream::NextBatch(size_t max_points,
+                               std::vector<rtree::DataPoint>* out) {
+  // One index visit per pull: the whole beta-point batch advances the
+  // frontier in this loop without surfacing per point. Registry counters
+  // are flushed once per pull, not per pop — atomic adds are measurable at
+  // this loop's rate.
+  const uint64_t pops_before = pops_;
+  const uint64_t reads_before = node_reads_;
+  const size_t out_before = out->size();
+  while (out->size() < max_points && !heap_.empty()) {
+    const FrontierEntry item = heap_.top();
+    heap_.Pop();
+    ++pops_;
+
+    // The new top is very often a node whose arena slot is cold; start its
+    // lines toward cache while this item is processed (an expansion is
+    // hundreds of nanoseconds — enough to hide most of the miss).
+    if (!heap_.empty()) {
+      const FrontierEntry& next = heap_.top();
+      if (next.is_node()) tree_->PrefetchNode(next.id);
+    }
+
+    filter_.EvictUpTo(item.key);
+
+    if (item.is_node()) {
+      ExpandNode(item);
+      continue;
+    }
+    const geom::Point p{static_cast<double>(item.x),
+                        static_cast<double>(item.y)};
+    if (!filter_.AdmitPoint(p)) continue;
+    last_report_distance_ = item.key;
+    out->push_back(rtree::DataPoint{p, item.id});
+  }
+  heap_pops_metric_->Add(pops_ - pops_before);
+  node_reads_metric_->Add(node_reads_ - reads_before);
+  points_reported_metric_->Add(
+      static_cast<uint64_t>(out->size() - out_before));
+  return Status::OK();
+}
+
+Result<rtree::DataPoint> MemInnStream::Next() {
+  single_.clear();
+  SPACETWIST_RETURN_NOT_OK(NextBatch(1, &single_));
+  if (single_.empty()) return Status::Exhausted("granular stream is dry");
+  return single_[0];
+}
+
+}  // namespace spacetwist::memidx

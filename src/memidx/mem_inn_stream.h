@@ -1,0 +1,118 @@
+#ifndef SPACETWIST_MEMIDX_MEM_INN_STREAM_H_
+#define SPACETWIST_MEMIDX_MEM_INN_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/point.h"
+#include "memidx/frontier_heap.h"
+#include "memidx/mem_cell_filter.h"
+#include "memidx/mem_rtree.h"
+#include "rtree/entry.h"
+#include "server/granular_inn.h"
+#include "server/inn_backend.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace spacetwist::memidx {
+
+/// Granular INN stream (Algorithm 2) over a MemRTree — the serving fast
+/// path. Same best-first search as the paged GranularInnStream; what
+/// changes is the plumbing underneath:
+///
+///  * the frontier is an addressable heap of compact 32-byte entries (key
+///    + float32 payload, which for a node is its parent-recorded MBR)
+///    instead of a std::priority_queue of full DataPoint/PageId items; a
+///    newly scanned point that dominates a cell's kth-best pushed point
+///    replaces it in place (FrontierHeap::Replace) instead of joining it,
+///    so the heap holds at most k live points per cell;
+///  * a popped leaf is expanded with one batched squared-distance kernel
+///    pass over its structure-of-arrays coordinates (memidx/batch_distance.h)
+///    instead of per-point geom::Distance calls behind a page fetch;
+///  * the cell bookkeeping is a MemCellFilter: one open-addressing probe
+///    per scanned point, and push-time pruning of points that k better
+///    same-cell frontier entries already dominate (they could never be
+///    reported), so frontier traffic collapses to O(k) per cell;
+///  * NextBatch() advances the frontier in bulk, reporting up to a whole
+///    PullRequest's beta points per call (PacketChannel drives it), instead
+///    of re-entering Next() per point.
+///
+/// Because the MemRTree is node-for-node isomorphic to the paged tree and
+/// the heap tie-break (key, point-before-node, ascending id) is the same
+/// total order, the reported point sequence is byte-identical to the paged
+/// stream's — the differential suite pins stream, wire, fleet, and faulted
+/// levels.
+class MemInnStream : public server::InnSource {
+ public:
+  /// Borrows `tree`, which must outlive the stream. `epsilon` >= 0 is the
+  /// client's error bound; `k` >= 1 the number of results it needs.
+  MemInnStream(const MemRTree* tree, const geom::Point& anchor,
+               double epsilon, size_t k,
+               const server::GranularOptions& options);
+
+  /// Next reported point in ascending distance from the anchor, or
+  /// kExhausted when the whole dataset has been scanned/pruned.
+  Result<rtree::DataPoint> Next() override;
+
+  /// Bulk advance: appends up to `max_points` reported points to `*out`.
+  /// Appending fewer means the stream is dry.
+  Status NextBatch(size_t max_points,
+                   std::vector<rtree::DataPoint>* out) override;
+
+  const geom::Point& anchor() const { return anchor_; }
+  double epsilon() const { return epsilon_; }
+  size_t k() const { return k_; }
+  double last_report_distance() const { return last_report_distance_; }
+
+  /// Introspection for tests and benches. node_reads counts arena-slot
+  /// visits and matches the paged stream exactly (expansion decisions are
+  /// identical); heap_pops is at most the paged stream's — push-time
+  /// pruning is precisely what makes this the fast path.
+  size_t live_cells() const { return filter_.live_cells(); }
+  size_t peak_live_cells() const { return filter_.peak_live_cells(); }
+  uint64_t cells_evicted() const { return filter_.cells_evicted(); }
+  uint64_t heap_pops() const override { return pops_; }
+  uint64_t node_reads() const override { return node_reads_; }
+
+  /// There are no page fetches to trace on the in-memory path; the engine's
+  /// "server.granular.scan" span still records heap_pops/node_reads via the
+  /// counters above.
+  void set_trace(telemetry::Trace* trace) override { trace_ = trace; }
+
+ private:
+  /// Expands one node: batched distances + leaf-scan-plan admission for a
+  /// leaf, coverage-pruned MBR mindists for a branch; survivors enter the
+  /// frontier (fresh push or in-place replacement of a dominated point).
+  void ExpandNode(const FrontierEntry& item);
+  /// Applies a non-reject filter verdict: builds the frontier entry for a
+  /// scanned point and pushes or replaces per `action`.
+  void ApplyAction(int64_t action, double key, float x, float y,
+                   uint32_t id);
+
+  const MemRTree* tree_;
+  geom::Point anchor_;
+  double epsilon_;
+  size_t k_;
+  MemCellFilter filter_;
+
+  FrontierHeap heap_;
+  std::vector<double> scratch_;  ///< batched-kernel output, one leaf's worth
+  std::vector<rtree::DataPoint> single_;  ///< Next()'s one-point batch
+
+  double last_report_distance_ = 0.0;
+  uint64_t pops_ = 0;
+  uint64_t node_reads_ = 0;
+  telemetry::Trace* trace_ = nullptr;  ///< borrowed; see set_trace()
+
+  /// Registry mirrors, aggregated across streams — same server.granular.*
+  /// names as the paged stream so dashboards and benches compare backends
+  /// on one metric family.
+  telemetry::Counter* node_reads_metric_;
+  telemetry::Counter* heap_pops_metric_;
+  telemetry::Counter* points_reported_metric_;
+};
+
+}  // namespace spacetwist::memidx
+
+#endif  // SPACETWIST_MEMIDX_MEM_INN_STREAM_H_

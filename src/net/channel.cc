@@ -4,6 +4,19 @@
 
 namespace spacetwist::net {
 
+Status PointSource::NextBatch(size_t max_points,
+                              std::vector<rtree::DataPoint>* out) {
+  while (out->size() < max_points) {
+    Result<rtree::DataPoint> next = Next();
+    if (!next.ok()) {
+      if (next.status().IsExhausted()) break;
+      return next.status();
+    }
+    out->push_back(*next);
+  }
+  return Status::OK();
+}
+
 PacketChannel::PacketChannel(PointSource* source, const PacketConfig& config)
     : source_(source), config_(config) {
   SPACETWIST_CHECK(source != nullptr);
@@ -17,17 +30,12 @@ Result<Packet> PacketChannel::NextPacket() {
 
   Packet packet;
   packet.points.reserve(config_.Capacity());
-  while (packet.points.size() < config_.Capacity()) {
-    Result<rtree::DataPoint> next = source_->Next();
-    if (!next.ok()) {
-      if (next.status().IsExhausted()) {
-        exhausted_ = true;
-        break;
-      }
-      return next.status();
-    }
-    packet.points.push_back(*next);
-  }
+  // One batched pull per packet: a batch-capable source serves the whole
+  // beta-point payload in a single index visit. A short batch means the
+  // stream is dry — same wire behavior as the per-point loop this replaces.
+  SPACETWIST_RETURN_NOT_OK(
+      source_->NextBatch(config_.Capacity(), &packet.points));
+  if (packet.points.size() < config_.Capacity()) exhausted_ = true;
   if (packet.empty()) return Status::Exhausted("point stream is dry");
 
   ++stats_.downlink_packets;

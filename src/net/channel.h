@@ -2,6 +2,7 @@
 #define SPACETWIST_NET_CHANNEL_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/result.h"
 #include "net/packet.h"
@@ -17,6 +18,16 @@ class PointSource {
 
   /// Next point of the stream, or StatusCode::kExhausted at the end.
   virtual Result<rtree::DataPoint> Next() = 0;
+
+  /// Bulk pull: appends up to `max_points` stream points to `*out`.
+  /// Appending fewer than `max_points` means the stream is dry; end of
+  /// stream is not an error here. The default adapts Next() point by point;
+  /// batch-capable sources (memidx::MemInnStream) override it to advance
+  /// their frontier in one visit per pull. Overrides must deliver the exact
+  /// point sequence Next() would — PacketChannel fills packets through this
+  /// call, so the wire bytes are at stake.
+  virtual Status NextBatch(size_t max_points,
+                           std::vector<rtree::DataPoint>* out);
 };
 
 /// Client-side view of the server transport: each call costs one uplink

@@ -1,0 +1,360 @@
+#ifndef SPACETWIST_RTREE_TREE_OPS_H_
+#define SPACETWIST_RTREE_TREE_OPS_H_
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "rtree/entry.h"
+#include "rtree/node.h"
+#include "storage/page.h"
+
+namespace spacetwist::rtree {
+
+/// The R-tree mutation algorithms (Guttman insert/delete with R*-style
+/// subtree choice and split), templated over a node store so the paged tree
+/// (rtree/rtree.h) and the in-memory serving tree (memidx/mem_rtree.h) run
+/// the *same* code, not two ports of it. Identical comparisons, identical
+/// sort inputs, identical allocation order — that is what makes the two
+/// trees structurally isomorphic and their INN streams byte-identical.
+///
+/// `Store` must provide:
+///   Status ReadNode(storage::PageId, Node*);
+///   Status WriteNode(storage::PageId, const Node&);
+///   storage::PageId Allocate();                 // monotone, never recycled
+///   size_t leaf_capacity() const;  size_t branch_capacity() const;
+///   size_t min_leaf_fill() const;  size_t min_branch_fill() const;
+///   storage::PageId root() const;  void set_root(storage::PageId);
+///   int height() const;            void set_height(int);
+///   uint64_t size() const;         void set_size(uint64_t);
+
+inline geom::Rect TreeOpsRectOf(const DataPoint& p) {
+  return geom::Rect::FromPoint(p.point);
+}
+inline geom::Rect TreeOpsRectOf(const BranchEntry& b) { return b.mbr; }
+
+inline double TreeOpsOverlapArea(const geom::Rect& a, const geom::Rect& b) {
+  return a.Intersection(b).Area();
+}
+
+/// R*-style split: picks the axis with the smallest margin sum over all
+/// candidate distributions, then the distribution with the least overlap
+/// (ties: least total area). Entries are sorted by rectangle center.
+template <typename Entry>
+void RStarSplit(std::vector<Entry> entries, size_t min_fill,
+                std::vector<Entry>* left, std::vector<Entry>* right) {
+  const size_t total = entries.size();
+  SPACETWIST_CHECK(total >= 2 * min_fill) << "split needs 2*min_fill entries";
+
+  struct Candidate {
+    int axis;
+    size_t split_at;  // first `split_at` entries go left
+    double margin;
+    double overlap;
+    double area;
+  };
+
+  auto sort_by_axis = [](std::vector<Entry>* es, int axis) {
+    std::sort(es->begin(), es->end(), [axis](const Entry& a, const Entry& b) {
+      const geom::Rect ra = TreeOpsRectOf(a);
+      const geom::Rect rb = TreeOpsRectOf(b);
+      const double ca = axis == 0 ? ra.min.x + ra.max.x : ra.min.y + ra.max.y;
+      const double cb = axis == 0 ? rb.min.x + rb.max.x : rb.min.y + rb.max.y;
+      return ca < cb;
+    });
+  };
+
+  double best_axis_margin[2] = {std::numeric_limits<double>::infinity(),
+                                std::numeric_limits<double>::infinity()};
+  Candidate best_per_axis[2] = {};
+
+  for (int axis = 0; axis < 2; ++axis) {
+    std::vector<Entry> sorted = entries;
+    sort_by_axis(&sorted, axis);
+
+    // Prefix / suffix MBRs so each distribution is O(1) to evaluate.
+    std::vector<geom::Rect> prefix(total), suffix(total);
+    geom::Rect acc = geom::Rect::Empty();
+    for (size_t i = 0; i < total; ++i) {
+      acc.Expand(TreeOpsRectOf(sorted[i]));
+      prefix[i] = acc;
+    }
+    acc = geom::Rect::Empty();
+    for (size_t i = total; i-- > 0;) {
+      acc.Expand(TreeOpsRectOf(sorted[i]));
+      suffix[i] = acc;
+    }
+
+    double margin_sum = 0.0;
+    Candidate axis_best{axis, 0, 0.0, std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::infinity()};
+    for (size_t split_at = min_fill; split_at <= total - min_fill;
+         ++split_at) {
+      const geom::Rect& l = prefix[split_at - 1];
+      const geom::Rect& r = suffix[split_at];
+      const double margin = l.Perimeter() + r.Perimeter();
+      const double overlap = TreeOpsOverlapArea(l, r);
+      const double area = l.Area() + r.Area();
+      margin_sum += margin;
+      if (overlap < axis_best.overlap ||
+          (overlap == axis_best.overlap && area < axis_best.area)) {
+        axis_best = Candidate{axis, split_at, margin, overlap, area};
+      }
+    }
+    best_axis_margin[axis] = margin_sum;
+    best_per_axis[axis] = axis_best;
+  }
+
+  const int axis = best_axis_margin[0] <= best_axis_margin[1] ? 0 : 1;
+  const Candidate chosen = best_per_axis[axis];
+
+  std::vector<Entry> sorted = std::move(entries);
+  sort_by_axis(&sorted, axis);
+  left->assign(sorted.begin(), sorted.begin() + chosen.split_at);
+  right->assign(sorted.begin() + chosen.split_at, sorted.end());
+}
+
+/// Chooses the branch of `node` to descend into for inserting `p`: parents
+/// of leaves minimize overlap enlargement (R*), higher levels minimize area
+/// enlargement; ties by smaller area.
+inline size_t ChooseSubtree(const Node& node, const geom::Point& p) {
+  size_t best = 0;
+  if (node.level == 1) {
+    double best_overlap_delta = std::numeric_limits<double>::infinity();
+    double best_area_delta = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.branches.size(); ++i) {
+      geom::Rect enlarged = node.branches[i].mbr;
+      enlarged.Expand(p);
+      double overlap_before = 0.0;
+      double overlap_after = 0.0;
+      for (size_t j = 0; j < node.branches.size(); ++j) {
+        if (j == i) continue;
+        overlap_before += TreeOpsOverlapArea(node.branches[i].mbr,
+                                             node.branches[j].mbr);
+        overlap_after += TreeOpsOverlapArea(enlarged, node.branches[j].mbr);
+      }
+      const double overlap_delta = overlap_after - overlap_before;
+      const double area_delta = enlarged.Area() - node.branches[i].mbr.Area();
+      if (overlap_delta < best_overlap_delta ||
+          (overlap_delta == best_overlap_delta &&
+           area_delta < best_area_delta)) {
+        best_overlap_delta = overlap_delta;
+        best_area_delta = area_delta;
+        best = i;
+      }
+    }
+  } else {
+    double best_area_delta = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.branches.size(); ++i) {
+      geom::Rect enlarged = node.branches[i].mbr;
+      enlarged.Expand(p);
+      const double area = node.branches[i].mbr.Area();
+      const double area_delta = enlarged.Area() - area;
+      if (area_delta < best_area_delta ||
+          (area_delta == best_area_delta && area < best_area)) {
+        best_area_delta = area_delta;
+        best_area = area;
+        best = i;
+      }
+    }
+  }
+  return best;
+}
+
+/// Result of a recursive insert: the subtree's refreshed MBR and, when the
+/// child overflowed and split, the entry for the new sibling.
+struct InsertOutcome {
+  geom::Rect mbr;
+  std::optional<BranchEntry> split;
+};
+
+template <typename Store>
+Result<InsertOutcome> InsertIntoSubtree(Store* store, storage::PageId node_id,
+                                        const DataPoint& p) {
+  Node node;
+  SPACETWIST_RETURN_NOT_OK(store->ReadNode(node_id, &node));
+
+  if (node.IsLeaf()) {
+    node.points.push_back(p);
+    if (node.points.size() <= store->leaf_capacity()) {
+      SPACETWIST_RETURN_NOT_OK(store->WriteNode(node_id, node));
+      return InsertOutcome{node.ComputeMbr(), std::nullopt};
+    }
+    Node left, right;
+    left.level = right.level = 0;
+    RStarSplit(std::move(node.points), store->min_leaf_fill(), &left.points,
+               &right.points);
+    const storage::PageId right_id = store->Allocate();
+    SPACETWIST_RETURN_NOT_OK(store->WriteNode(node_id, left));
+    SPACETWIST_RETURN_NOT_OK(store->WriteNode(right_id, right));
+    return InsertOutcome{left.ComputeMbr(),
+                         BranchEntry{right.ComputeMbr(), right_id}};
+  }
+
+  const size_t best = ChooseSubtree(node, p.point);
+
+  SPACETWIST_ASSIGN_OR_RETURN(
+      InsertOutcome child_out,
+      InsertIntoSubtree(store, node.branches[best].child, p));
+  node.branches[best].mbr = child_out.mbr;
+  if (child_out.split.has_value()) node.branches.push_back(*child_out.split);
+
+  if (node.branches.size() <= store->branch_capacity()) {
+    SPACETWIST_RETURN_NOT_OK(store->WriteNode(node_id, node));
+    return InsertOutcome{node.ComputeMbr(), std::nullopt};
+  }
+  Node left, right;
+  left.level = right.level = node.level;
+  RStarSplit(std::move(node.branches), store->min_branch_fill(),
+             &left.branches, &right.branches);
+  const storage::PageId right_id = store->Allocate();
+  SPACETWIST_RETURN_NOT_OK(store->WriteNode(node_id, left));
+  SPACETWIST_RETURN_NOT_OK(store->WriteNode(right_id, right));
+  return InsertOutcome{left.ComputeMbr(),
+                       BranchEntry{right.ComputeMbr(), right_id}};
+}
+
+/// Inserts one point (duplicates allowed), growing the root on overflow.
+template <typename Store>
+Status InsertPoint(Store* store, const DataPoint& p) {
+  SPACETWIST_ASSIGN_OR_RETURN(InsertOutcome out,
+                              InsertIntoSubtree(store, store->root(), p));
+  if (out.split.has_value()) {
+    // Root overflowed: grow the tree by one level.
+    Node new_root;
+    new_root.level = store->height();
+    new_root.branches.push_back(BranchEntry{out.mbr, store->root()});
+    new_root.branches.push_back(*out.split);
+    const storage::PageId new_root_id = store->Allocate();
+    SPACETWIST_RETURN_NOT_OK(store->WriteNode(new_root_id, new_root));
+    store->set_root(new_root_id);
+    store->set_height(store->height() + 1);
+  }
+  store->set_size(store->size() + 1);
+  return Status::OK();
+}
+
+/// Collects every data point stored under `node_id`.
+template <typename Store>
+Status CollectSubtreePoints(Store* store, storage::PageId node_id,
+                            std::vector<DataPoint>* out) {
+  Node node;
+  SPACETWIST_RETURN_NOT_OK(store->ReadNode(node_id, &node));
+  if (node.IsLeaf()) {
+    out->insert(out->end(), node.points.begin(), node.points.end());
+    return Status::OK();
+  }
+  for (const BranchEntry& b : node.branches) {
+    SPACETWIST_RETURN_NOT_OK(CollectSubtreePoints(store, b.child, out));
+  }
+  return Status::OK();
+}
+
+/// Recursive delete; reports whether the entry was found, the subtree's
+/// refreshed MBR, whether the child should be removed (underflow), and
+/// collects orphaned points for reinsertion.
+struct DeleteOutcome {
+  bool found = false;
+  geom::Rect mbr;
+  bool drop_child = false;
+};
+
+template <typename Store>
+Result<DeleteOutcome> DeleteFromSubtree(Store* store, storage::PageId node_id,
+                                        const DataPoint& p,
+                                        std::vector<DataPoint>* orphans) {
+  Node node;
+  SPACETWIST_RETURN_NOT_OK(store->ReadNode(node_id, &node));
+  const bool is_root = node_id == store->root();
+
+  if (node.IsLeaf()) {
+    auto it = std::find(node.points.begin(), node.points.end(), p);
+    if (it == node.points.end()) {
+      return DeleteOutcome{false, node.ComputeMbr(), false};
+    }
+    node.points.erase(it);
+    if (!is_root && node.points.size() < store->min_leaf_fill()) {
+      // Condense: dissolve this leaf, reinsert its remaining points.
+      orphans->insert(orphans->end(), node.points.begin(), node.points.end());
+      return DeleteOutcome{true, geom::Rect::Empty(), true};
+    }
+    SPACETWIST_RETURN_NOT_OK(store->WriteNode(node_id, node));
+    return DeleteOutcome{true, node.ComputeMbr(), false};
+  }
+
+  for (size_t i = 0; i < node.branches.size(); ++i) {
+    if (!node.branches[i].mbr.Contains(p.point)) continue;
+    SPACETWIST_ASSIGN_OR_RETURN(
+        DeleteOutcome child_out,
+        DeleteFromSubtree(store, node.branches[i].child, p, orphans));
+    if (!child_out.found) continue;
+    if (child_out.drop_child) {
+      node.branches.erase(node.branches.begin() + i);
+    } else {
+      node.branches[i].mbr = child_out.mbr;
+    }
+    if (!is_root && node.branches.size() < store->min_branch_fill()) {
+      // Condense the whole subtree into point orphans for reinsertion.
+      for (const BranchEntry& b : node.branches) {
+        SPACETWIST_RETURN_NOT_OK(CollectSubtreePoints(store, b.child,
+                                                      orphans));
+      }
+      return DeleteOutcome{true, geom::Rect::Empty(), true};
+    }
+    SPACETWIST_RETURN_NOT_OK(store->WriteNode(node_id, node));
+    return DeleteOutcome{true, node.ComputeMbr(), false};
+  }
+  return DeleteOutcome{false, node.ComputeMbr(), false};
+}
+
+/// Removes one entry matching `p` exactly (location and id), condensing
+/// underfull nodes and reinserting their orphans. Returns whether an entry
+/// was removed. Dissolved nodes are not recycled — neither store keeps a
+/// free list, which also keeps their allocation sequences aligned.
+template <typename Store>
+Result<bool> DeletePoint(Store* store, const DataPoint& p) {
+  std::vector<DataPoint> orphans;
+  SPACETWIST_ASSIGN_OR_RETURN(
+      DeleteOutcome out, DeleteFromSubtree(store, store->root(), p, &orphans));
+  if (!out.found) return false;
+  SPACETWIST_CHECK(!out.drop_child) << "root must never report underflow";
+
+  store->set_size(store->size() - (1 + orphans.size()));
+
+  // Shrink the root while it is a branch with a single child.
+  while (store->height() > 1) {
+    Node root_node;
+    SPACETWIST_RETURN_NOT_OK(store->ReadNode(store->root(), &root_node));
+    if (root_node.IsLeaf() || root_node.branches.size() != 1) break;
+    store->set_root(root_node.branches[0].child);
+    store->set_height(store->height() - 1);
+  }
+  // A branch root can end up empty when its last child underflowed away;
+  // reset to an empty leaf in that case.
+  {
+    Node root_node;
+    SPACETWIST_RETURN_NOT_OK(store->ReadNode(store->root(), &root_node));
+    if (!root_node.IsLeaf() && root_node.branches.empty()) {
+      Node empty;
+      empty.level = 0;
+      SPACETWIST_RETURN_NOT_OK(store->WriteNode(store->root(), empty));
+      store->set_height(1);
+    }
+  }
+
+  for (const DataPoint& orphan : orphans) {
+    SPACETWIST_RETURN_NOT_OK(InsertPoint(store, orphan));
+  }
+  return true;
+}
+
+}  // namespace spacetwist::rtree
+
+#endif  // SPACETWIST_RTREE_TREE_OPS_H_

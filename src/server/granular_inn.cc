@@ -1,7 +1,5 @@
 #include "server/granular_inn.h"
 
-#include <cmath>
-
 #include "common/logging.h"
 #include "rtree/node.h"
 
@@ -12,59 +10,25 @@ GranularInnStream::GranularInnStream(rtree::RTree* tree,
                                      double epsilon, size_t k,
                                      const GranularOptions& options)
     : tree_(tree), anchor_(anchor), epsilon_(epsilon), k_(k),
-      options_(options) {
+      filter_(anchor, epsilon, k, options.lazy_eviction,
+              options.max_coverage_cells,
+              telemetry::MetricRegistry::OrDefault(options.registry)
+                  ->GetCounter("server.granular.cells_visited"),
+              telemetry::MetricRegistry::OrDefault(options.registry)
+                  ->GetCounter("server.granular.cells_evicted")) {
   SPACETWIST_CHECK(tree != nullptr);
   SPACETWIST_CHECK(epsilon >= 0.0);
   SPACETWIST_CHECK(k >= 1);
   telemetry::MetricRegistry* r =
-      telemetry::MetricRegistry::OrDefault(options_.registry);
+      telemetry::MetricRegistry::OrDefault(options.registry);
   node_reads_metric_ = r->GetCounter("server.granular.node_reads");
   heap_pops_metric_ = r->GetCounter("server.granular.heap_pops");
-  cells_visited_metric_ = r->GetCounter("server.granular.cells_visited");
-  cells_evicted_metric_ = r->GetCounter("server.granular.cells_evicted");
   points_reported_metric_ = r->GetCounter("server.granular.points_reported");
-  if (epsilon_ > 0.0) {
-    // Lemma 2: cell extent lambda = epsilon / sqrt(2) guarantees the
-    // epsilon-relaxed result.
-    grid_.emplace(epsilon_ / std::sqrt(2.0));
-  }
   HeapItem root;
   root.key = 0.0;
   root.is_point = false;
   root.node_page = tree_->root();
   heap_.push(root);
-}
-
-void GranularInnStream::EvictCells(double frontier) {
-  // Any entry discovered later has mindist >= frontier, so a cell whose
-  // maxdist is below the frontier cannot intersect future entries and can
-  // be forgotten without affecting pruning decisions (Algorithm 2, Line 8).
-  while (!eviction_queue_.empty() &&
-         eviction_queue_.top().max_dist < frontier) {
-    const geom::GridCell cell = eviction_queue_.top().cell;
-    eviction_queue_.pop();
-    if (cells_.erase(cell) > 0) {
-      ++cells_evicted_;
-      cells_evicted_metric_->Add();
-    }
-  }
-}
-
-bool GranularInnStream::CoveredByFullCells(const geom::Rect& mbr) const {
-  if (cells_.empty()) return false;
-  // Cheap short-circuit: the union of |cells_| cells cannot cover a
-  // rectangle that overlaps more cells than that.
-  if (grid_->CountCellsOverlapping(mbr) >
-      static_cast<int64_t>(cells_.size())) {
-    return false;
-  }
-  return grid_->ForEachCellOverlapping(
-      mbr,
-      [this](const geom::GridCell& cell) {
-        auto it = cells_.find(cell);
-        return it != cells_.end() && it->second >= k_;
-      },
-      options_.max_coverage_cells);
 }
 
 Result<rtree::DataPoint> GranularInnStream::Next() {
@@ -75,25 +39,10 @@ Result<rtree::DataPoint> GranularInnStream::Next() {
     ++pops_;
     heap_pops_metric_->Add();
 
-    if (grid_.has_value() && options_.lazy_eviction) EvictCells(item.key);
+    filter_.EvictUpTo(item.key);
 
     if (item.is_point) {
-      if (!grid_.has_value()) {
-        last_report_distance_ = item.key;
-        points_reported_metric_->Add();
-        return item.point;
-      }
-      const geom::GridCell cell = grid_->CellOf(item.point.point);
-      auto [it, inserted] = cells_.try_emplace(cell, 0);
-      if (it->second >= k_) continue;  // cell already reported k points
-      if (inserted) {
-        cells_visited_metric_->Add();
-        eviction_queue_.push(
-            EvictionEntry{geom::MaxDist(anchor_, grid_->CellRect(cell)),
-                          cell});
-      }
-      ++it->second;
-      peak_live_cells_ = std::max(peak_live_cells_, cells_.size());
+      if (!filter_.AdmitPoint(item.point.point)) continue;
       last_report_distance_ = item.key;
       points_reported_metric_->Add();
       return item.point;
@@ -120,10 +69,7 @@ Result<rtree::DataPoint> GranularInnStream::Next() {
     node_reads_metric_->Add();
     if (node.IsLeaf()) {
       for (const rtree::DataPoint& p : node.points) {
-        if (grid_.has_value()) {
-          auto it = cells_.find(grid_->CellOf(p.point));
-          if (it != cells_.end() && it->second >= k_) continue;
-        }
+        if (filter_.CellIsFull(p.point)) continue;
         HeapItem child;
         child.key = geom::Distance(anchor_, p.point);
         child.is_point = true;
@@ -132,7 +78,7 @@ Result<rtree::DataPoint> GranularInnStream::Next() {
       }
     } else {
       for (const rtree::BranchEntry& b : node.branches) {
-        if (grid_.has_value() && CoveredByFullCells(b.mbr)) continue;
+        if (filter_.CoveredByFullCells(b.mbr)) continue;
         HeapItem child;
         child.key = geom::MinDist(anchor_, b.mbr);
         child.is_point = false;

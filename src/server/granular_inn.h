@@ -2,16 +2,14 @@
 #define SPACETWIST_SERVER_GRANULAR_INN_H_
 
 #include <cstdint>
-#include <optional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
-#include "geom/grid.h"
 #include "geom/point.h"
 #include "rtree/entry.h"
 #include "rtree/rtree.h"
+#include "server/cell_filter.h"
 #include "server/inn_backend.h"
 #include "storage/page.h"
 #include "telemetry/registry.h"
@@ -41,7 +39,9 @@ struct GranularOptions {
 /// at most `k` points are reported per grid cell, and R-tree entries fully
 /// covered by the union of "full" cells (cells that already reported k
 /// points) are pruned. Lemma 2 then guarantees every location's kNN among
-/// the reported points is within epsilon of its true kNN.
+/// the reported points is within epsilon of its true kNN. The cell state
+/// machine itself lives in CellFilter, shared bit-for-bit with the memidx
+/// stream and the shard router's merge.
 ///
 /// With epsilon == 0 the stream degenerates to plain incremental NN.
 class GranularInnStream : public InnSource {
@@ -64,9 +64,9 @@ class GranularInnStream : public InnSource {
   double last_report_distance() const { return last_report_distance_; }
 
   /// Introspection for tests and the memory-optimization ablation.
-  size_t live_cells() const { return cells_.size(); }
-  size_t peak_live_cells() const { return peak_live_cells_; }
-  uint64_t cells_evicted() const { return cells_evicted_; }
+  size_t live_cells() const { return filter_.live_cells(); }
+  size_t peak_live_cells() const { return filter_.peak_live_cells(); }
+  uint64_t cells_evicted() const { return filter_.cells_evicted(); }
   uint64_t heap_pops() const override { return pops_; }
   uint64_t node_reads() const override { return node_reads_; }
 
@@ -97,41 +97,15 @@ class GranularInnStream : public InnSource {
     }
   };
 
-  /// Drops cells that can no longer intersect future entries (all future
-  /// mindist keys are >= `frontier`).
-  void EvictCells(double frontier);
-
-  /// True when `mbr` is fully covered by the union of cells that have
-  /// already reported k points.
-  bool CoveredByFullCells(const geom::Rect& mbr) const;
-
   rtree::RTree* tree_;
   geom::Point anchor_;
   double epsilon_;
   size_t k_;
-  GranularOptions options_;
-  std::optional<geom::Grid> grid_;  ///< engaged iff epsilon > 0
+  CellFilter filter_;
 
   std::priority_queue<HeapItem> heap_;
-  /// V of Algorithm 2: cell -> number of points reported from it.
-  std::unordered_map<geom::GridCell, size_t, geom::GridCellHash> cells_;
-  struct EvictionEntry {
-    double max_dist = 0.0;
-    geom::GridCell cell;
-  };
-  struct EvictionGreater {
-    bool operator()(const EvictionEntry& a, const EvictionEntry& b) const {
-      return a.max_dist > b.max_dist;
-    }
-  };
-  /// Lazy-eviction queue ordered by maxdist(anchor, cell).
-  std::priority_queue<EvictionEntry, std::vector<EvictionEntry>,
-                      EvictionGreater>
-      eviction_queue_;
 
   double last_report_distance_ = 0.0;
-  size_t peak_live_cells_ = 0;
-  uint64_t cells_evicted_ = 0;
   uint64_t pops_ = 0;
   uint64_t node_reads_ = 0;
   telemetry::Trace* trace_ = nullptr;  ///< borrowed; see set_trace()
@@ -140,8 +114,6 @@ class GranularInnStream : public InnSource {
   /// streams (the paper's server-side cost metrics).
   telemetry::Counter* node_reads_metric_;
   telemetry::Counter* heap_pops_metric_;
-  telemetry::Counter* cells_visited_metric_;
-  telemetry::Counter* cells_evicted_metric_;
   telemetry::Counter* points_reported_metric_;
 };
 

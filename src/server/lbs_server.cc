@@ -3,15 +3,25 @@
 namespace spacetwist::server {
 
 Result<std::unique_ptr<LbsServer>> LbsServer::Build(
-    const datasets::Dataset& dataset, const rtree::RTreeOptions& options) {
+    const datasets::Dataset& dataset, const rtree::RTreeOptions& options,
+    ServingIndex serving) {
   std::unique_ptr<LbsServer> server(new LbsServer());
   server->domain_ = dataset.domain;
+  server->serving_ = serving;
   server->pager_ = std::make_unique<storage::Pager>(options.page_size);
   rtree::BulkLoadOptions bulk;
   bulk.tree = options;
   SPACETWIST_ASSIGN_OR_RETURN(
       server->tree_,
       rtree::BulkLoad(server->pager_.get(), bulk, dataset.points));
+  if (serving == ServingIndex::kMemidx) {
+    memidx::MemRTreeOptions mem_options;
+    mem_options.page_size = options.page_size;
+    mem_options.min_fill = options.min_fill;
+    SPACETWIST_ASSIGN_OR_RETURN(
+        server->mem_backend_,
+        memidx::MemBackend::Build(mem_options, dataset.points));
+  }
   return server;
 }
 
@@ -30,6 +40,9 @@ std::unique_ptr<GranularInnStream> LbsServer::OpenGranularSession(
 std::unique_ptr<InnSource> LbsServer::OpenInnSource(
     const geom::Point& anchor, double epsilon, size_t k,
     const GranularOptions& options) {
+  if (serving_ == ServingIndex::kMemidx) {
+    return mem_backend_->OpenInnSource(anchor, epsilon, k, options);
+  }
   return OpenGranularSession(anchor, epsilon, k, options);
 }
 

@@ -8,6 +8,7 @@
 #include "datasets/dataset.h"
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "memidx/mem_backend.h"
 #include "rtree/bulk_load.h"
 #include "rtree/entry.h"
 #include "rtree/rtree.h"
@@ -18,6 +19,17 @@
 #include "storage/pager.h"
 
 namespace spacetwist::server {
+
+/// Which index structure answers the serving path (OpenInnSource).
+enum class ServingIndex {
+  /// The paged R-tree through the buffer pool — the paper-fidelity I/O-cost
+  /// model; every page touch is accounted in io_stats().
+  kPaged,
+  /// The memtx-style in-memory tree (src/memidx) — structurally isomorphic
+  /// to the paged tree, so the reported point stream (and hence the wire
+  /// bytes) is identical; only the serving latency changes.
+  kMemidx,
+};
 
 /// The location-based-service provider: owns the simulated disk and the
 /// R-tree over the POIs, and exposes exactly the query functionality each
@@ -33,10 +45,15 @@ namespace spacetwist::server {
 /// LbsServer or from a sharded fleet (shard::ShardRouter) interchangeably.
 class LbsServer : public InnBackend {
  public:
-  /// Bulk-loads the dataset into a fresh R-tree.
+  /// Bulk-loads the dataset into a fresh R-tree. With
+  /// ServingIndex::kMemidx, an in-memory mirror of the same tree is built
+  /// alongside and the serving path (OpenInnSource) answers from it; the
+  /// paged tree stays authoritative for the I/O-cost metrics and the
+  /// baseline query paths.
   static Result<std::unique_ptr<LbsServer>> Build(
       const datasets::Dataset& dataset,
-      const rtree::RTreeOptions& options = rtree::RTreeOptions());
+      const rtree::RTreeOptions& options = rtree::RTreeOptions(),
+      ServingIndex serving = ServingIndex::kPaged);
 
   LbsServer(const LbsServer&) = delete;
   LbsServer& operator=(const LbsServer&) = delete;
@@ -44,6 +61,9 @@ class LbsServer : public InnBackend {
   const geom::Rect& domain() const { return domain_; }
   uint64_t size() const { return tree_->size(); }
   rtree::RTree* tree() { return tree_.get(); }
+  ServingIndex serving() const { return serving_; }
+  /// The in-memory serving index; null unless built with kMemidx.
+  memidx::MemBackend* mem_backend() { return mem_backend_.get(); }
 
   /// Cumulative storage-layer counters (the "server load" metric).
   storage::IoStats io_stats() const { return tree_->buffer_pool()->stats(); }
@@ -58,6 +78,7 @@ class LbsServer : public InnBackend {
       const GranularOptions& options = GranularOptions());
 
   /// InnBackend: the granular session behind the serving-layer interface.
+  /// Dispatches to the in-memory index when built with kMemidx.
   std::unique_ptr<InnSource> OpenInnSource(
       const geom::Point& anchor, double epsilon, size_t k,
       const GranularOptions& options) override;
@@ -77,6 +98,8 @@ class LbsServer : public InnBackend {
   geom::Rect domain_;
   std::unique_ptr<storage::Pager> pager_;
   std::unique_ptr<rtree::RTree> tree_;
+  ServingIndex serving_ = ServingIndex::kPaged;
+  std::unique_ptr<memidx::MemBackend> mem_backend_;
 };
 
 }  // namespace spacetwist::server

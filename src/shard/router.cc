@@ -42,7 +42,8 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Build(
 
     SPACETWIST_ASSIGN_OR_RETURN(
         std::unique_ptr<server::LbsServer> server,
-        server::LbsServer::Build(part.dataset, tree_options));
+        server::LbsServer::Build(part.dataset, tree_options,
+                                 options.serving));
 
     auto shard_registry = std::make_unique<telemetry::MetricRegistry>();
     service::ServiceOptions engine_options;

@@ -33,6 +33,9 @@ struct ShardRouterOptions {
   /// Per-shard R-tree build options; `concurrent_reads` is forced on (the
   /// shard engines serve many sessions at once).
   rtree::RTreeOptions rtree;
+  /// Which index each shard serves from (paged R-tree or the in-memory
+  /// mirror); the merged output stream is byte-identical either way.
+  server::ServingIndex serving = server::ServingIndex::kPaged;
   /// Router <-> shard packet sizing. Defaults to the wire beta = 67; a
   /// larger internal packet amortizes shard pulls without changing output.
   net::PacketConfig shard_packet;

@@ -1,6 +1,5 @@
 #include "shard/scatter_gather.h"
 
-#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -17,8 +16,11 @@ ScatterGatherStream::ScatterGatherStream(
     double epsilon, size_t k, const server::GranularOptions& options,
     RetireFn on_retire)
     : anchor_(anchor), epsilon_(epsilon), k_(k),
-      lazy_eviction_(options.lazy_eviction),
-      on_retire_(std::move(on_retire)) {
+      on_retire_(std::move(on_retire)),
+      // Same CellFilter (and hence the same lambda, Lemma 2) as the
+      // single-server streams.
+      filter_(anchor, epsilon, k, options.lazy_eviction,
+              options.max_coverage_cells) {
   SPACETWIST_CHECK(!targets.empty());
   SPACETWIST_CHECK(epsilon >= 0.0);
   SPACETWIST_CHECK(k >= 1);
@@ -32,10 +34,6 @@ ScatterGatherStream::ScatterGatherStream(
     // keeps it out of the merge and out of the fan-out count.
     s.exhausted = !t.partition->HasPoints();
     shards_.push_back(std::move(s));
-  }
-  if (epsilon_ > 0.0) {
-    // Same lambda as the single-server stream (Lemma 2).
-    grid_.emplace(epsilon_ / std::sqrt(2.0));
   }
   telemetry::MetricRegistry* r =
       telemetry::MetricRegistry::OrDefault(options.registry);
@@ -106,27 +104,9 @@ Status ScatterGatherStream::Fill(ShardState* s, size_t shard_index) {
   return Status::OK();
 }
 
-void ScatterGatherStream::EvictCells(double frontier) {
-  while (!eviction_queue_.empty() &&
-         eviction_queue_.top().max_dist < frontier) {
-    const geom::GridCell cell = eviction_queue_.top().cell;
-    eviction_queue_.pop();
-    cells_.erase(cell);
-  }
-}
-
 bool ScatterGatherStream::PassesCellFilter(const rtree::Neighbor& n) {
-  if (!grid_.has_value()) return true;
-  if (lazy_eviction_) EvictCells(n.distance);
-  const geom::GridCell cell = grid_->CellOf(n.point.point);
-  auto [it, inserted] = cells_.try_emplace(cell, 0);
-  if (it->second >= k_) return false;  // cell already reported k points
-  if (inserted) {
-    eviction_queue_.push(
-        EvictionEntry{geom::MaxDist(anchor_, grid_->CellRect(cell)), cell});
-  }
-  ++it->second;
-  return true;
+  filter_.EvictUpTo(n.distance);
+  return filter_.AdmitPoint(n.point.point);
 }
 
 Result<rtree::DataPoint> ScatterGatherStream::Next() {

@@ -4,16 +4,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <optional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
-#include "geom/grid.h"
 #include "geom/point.h"
 #include "geom/rect.h"
 #include "rtree/entry.h"
+#include "server/cell_filter.h"
 #include "server/granular_inn.h"
 #include "server/inn_backend.h"
 #include "service/service_engine.h"
@@ -118,35 +115,18 @@ class ScatterGatherStream : public server::InnSource {
   /// buffering its points or marking the shard exhausted.
   Status Fill(ShardState* s, size_t shard_index);
 
-  /// Algorithm 2's per-point cell filter (see GranularInnStream::Next):
+  /// Algorithm 2's per-point cell filter (same CellFilter state machine as
+  /// the single-server streams, evicting lazily at the merge frontier):
   /// true if the point must be reported, false if its cell is full.
   bool PassesCellFilter(const rtree::Neighbor& n);
-
-  /// Drops cells whose maxdist is below the merge frontier (lazy eviction;
-  /// output-neutral, identical rule to the single-server stream).
-  void EvictCells(double frontier);
 
   std::vector<ShardState> shards_;
   geom::Point anchor_;
   double epsilon_;
   size_t k_;
-  bool lazy_eviction_;
   RetireFn on_retire_;
 
-  std::optional<geom::Grid> grid_;  ///< engaged iff epsilon > 0
-  std::unordered_map<geom::GridCell, size_t, geom::GridCellHash> cells_;
-  struct EvictionEntry {
-    double max_dist = 0.0;
-    geom::GridCell cell;
-  };
-  struct EvictionGreater {
-    bool operator()(const EvictionEntry& a, const EvictionEntry& b) const {
-      return a.max_dist > b.max_dist;
-    }
-  };
-  std::priority_queue<EvictionEntry, std::vector<EvictionEntry>,
-                      EvictionGreater>
-      eviction_queue_;
+  server::CellFilter filter_;
 
   StreamStats stats_;
   uint64_t merge_pops_ = 0;

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "memidx/batch_distance.h"
+
+namespace spacetwist::memidx {
+namespace {
+
+/// Satellite 2: the batched squared-distance kernel must be bit-exact
+/// against the scalar reference (and hence against the geom::Distance keys
+/// of the paged stream's heap) — not merely close. Every comparison here is
+/// on the raw double bit pattern, so a single reassociated or fused
+/// operation fails the suite.
+
+uint64_t Bits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void ExpectBatchMatchesScalar(const geom::Point& q,
+                              const std::vector<float>& xs,
+                              const std::vector<float>& ys) {
+  ASSERT_EQ(xs.size(), ys.size());
+  std::vector<double> out(xs.size(), -1.0);
+  BatchedSquaredDistances(q, xs.data(), ys.data(), xs.size(), out.data());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double want = ScalarSquaredDistance(q, xs[i], ys[i]);
+    EXPECT_EQ(Bits(out[i]), Bits(want))
+        << "i=" << i << " q=(" << q.x << "," << q.y << ") p=(" << xs[i]
+        << "," << ys[i] << ")";
+    // The kernel's contract with the paged heap: sqrt of the batched value
+    // is the geom::Distance key, bit for bit.
+    EXPECT_EQ(Bits(std::sqrt(out[i])),
+              Bits(geom::Distance(q, {static_cast<double>(xs[i]),
+                                      static_cast<double>(ys[i])})));
+  }
+}
+
+TEST(BatchDistanceTest, RandomQuantizedPointsBitExact) {
+  Rng rng(4242);
+  for (const size_t n : {0u, 1u, 2u, 3u, 7u, 64u, 67u, 85u}) {
+    std::vector<float> xs, ys;
+    for (size_t i = 0; i < n; ++i) {
+      xs.push_back(static_cast<float>(rng.Uniform(-1e4, 1e4)));
+      ys.push_back(static_cast<float>(rng.Uniform(-1e4, 1e4)));
+    }
+    const geom::Point q{rng.Uniform(-1e4, 1e4), rng.Uniform(-1e4, 1e4)};
+    ExpectBatchMatchesScalar(q, xs, ys);
+  }
+}
+
+TEST(BatchDistanceTest, EqualPointsAreExactlyZero) {
+  const float x = 4250.125f;
+  const float y = 6800.75f;
+  std::vector<float> xs(67, x);
+  std::vector<float> ys(67, y);
+  const geom::Point q{static_cast<double>(x), static_cast<double>(y)};
+  std::vector<double> out(xs.size(), -1.0);
+  BatchedSquaredDistances(q, xs.data(), ys.data(), xs.size(), out.data());
+  for (const double d : out) EXPECT_EQ(Bits(d), Bits(0.0));
+  ExpectBatchMatchesScalar(q, xs, ys);
+}
+
+TEST(BatchDistanceTest, DenormalCoordinatesBitExact) {
+  const float denorm = std::numeric_limits<float>::denorm_min();
+  const float tiny = std::numeric_limits<float>::min();
+  std::vector<float> xs = {denorm, -denorm, tiny, -tiny, 0.0f, denorm * 3};
+  std::vector<float> ys = {-denorm, denorm, -tiny, tiny, denorm, 0.0f};
+  ExpectBatchMatchesScalar({0.0, 0.0}, xs, ys);
+  ExpectBatchMatchesScalar({static_cast<double>(denorm), 1e-300}, xs, ys);
+}
+
+TEST(BatchDistanceTest, CoordinateExtremesBitExact) {
+  const float big = std::numeric_limits<float>::max();
+  const float low = std::numeric_limits<float>::lowest();
+  std::vector<float> xs = {big, low, big, 0.0f, 1.5e38f, -1.5e38f};
+  std::vector<float> ys = {low, big, big, low, -1.5e38f, 1.5e38f};
+  // Squares overflow double range -> inf; the kernel must agree on that too.
+  ExpectBatchMatchesScalar({0.0, 0.0}, xs, ys);
+  ExpectBatchMatchesScalar({static_cast<double>(low), static_cast<double>(big)},
+                           xs, ys);
+}
+
+TEST(BatchDistanceTest, UnalignedTailLengthsBitExact) {
+  // Lengths straddling every SIMD width the compiler might pick (2/4/8
+  // lanes) so remainder-loop handling is covered explicitly.
+  Rng rng(77);
+  std::vector<float> xs, ys;
+  for (size_t i = 0; i < 33; ++i) {
+    xs.push_back(static_cast<float>(rng.Uniform(0, 1000)));
+    ys.push_back(static_cast<float>(rng.Uniform(0, 1000)));
+    ExpectBatchMatchesScalar({500.0, 500.0}, xs, ys);
+  }
+}
+
+}  // namespace
+}  // namespace spacetwist::memidx

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/generator.h"
+#include "memidx/mem_inn_stream.h"
+#include "memidx/mem_rtree.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "server/granular_inn.h"
+#include "storage/pager.h"
+
+namespace spacetwist {
+namespace {
+
+/// Differential suite: the memidx serving index against the paged R-tree as
+/// oracle. Both trees are built from the same point sequence and mutated by
+/// the same seeded insert/delete interleavings; the tests then assert
+///  * node-for-node structural isomorphism (slot i == page i, same entries
+///    in the same order, same float32-narrowed coordinates), and
+///  * exact (distance, id) stream equality of the granular INN sessions —
+///    every rank through exhaustion, quantized-duplicate ties included —
+/// across dataset shapes, k, epsilon, and churn. Byte-identity of the wire
+/// levels on top of these streams is pinned by memidx_wire_identity_test.cc.
+
+struct DiffCase {
+  const char* dataset;  // "UI" | "CL" | "DUP"
+  size_t k;
+  double epsilon;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<DiffCase>& info) {
+  return std::string(info.param.dataset) + "_k" +
+         std::to_string(info.param.k) + "_eps" +
+         std::to_string(static_cast<int>(info.param.epsilon));
+}
+
+datasets::Dataset MakeData(const std::string& kind) {
+  if (kind == "UI") return datasets::GenerateUniform(4000, 20080407);
+  if (kind == "CL") {
+    datasets::ClusterParams params;
+    params.num_clusters = 40;
+    params.sigma = 120;
+    params.background_fraction = 0.05;
+    return datasets::GenerateClustered(4000, params, 20080407);
+  }
+  // Duplicate-heavy: every third point is a coordinate-exact copy under a
+  // fresh id, so distance ties (the stream order's hard case) are dense.
+  datasets::Dataset ds = datasets::GenerateUniform(3000, 20080407);
+  const size_t base = ds.points.size();
+  for (size_t i = 0; i < base / 3; ++i) {
+    rtree::DataPoint dup = ds.points[(i * 11) % base];
+    dup.id = static_cast<uint32_t>(base + i);
+    ds.points.push_back(dup);
+  }
+  return ds;
+}
+
+struct Pair {
+  std::unique_ptr<storage::Pager> pager;
+  std::unique_ptr<rtree::RTree> paged;
+  std::unique_ptr<memidx::MemRTree> mem;
+};
+
+Pair BuildPair(const datasets::Dataset& ds) {
+  Pair pair;
+  pair.pager = std::make_unique<storage::Pager>();
+  pair.paged =
+      rtree::BulkLoad(pair.pager.get(), rtree::BulkLoadOptions(), ds.points)
+          .MoveValueOrDie();
+  pair.mem = memidx::MemRTree::BulkLoad(memidx::MemRTreeOptions(),
+                                        /*fill=*/1.0, ds.points)
+                 .MoveValueOrDie();
+  return pair;
+}
+
+/// Slot i of the mem tree must hold byte-for-byte the entries of page i.
+void ExpectIsomorphic(Pair* pair) {
+  ASSERT_EQ(pair->paged->root(), pair->mem->root());
+  ASSERT_EQ(pair->paged->height(), pair->mem->height());
+  ASSERT_EQ(pair->paged->size(), pair->mem->size());
+  std::vector<storage::PageId> stack = {pair->paged->root()};
+  while (!stack.empty()) {
+    const storage::PageId id = stack.back();
+    stack.pop_back();
+    rtree::Node a, b;
+    ASSERT_TRUE(pair->paged->ReadNode(id, &a).ok());
+    ASSERT_TRUE(pair->mem->ReadNode(id, &b).ok());
+    ASSERT_EQ(a.level, b.level) << "node " << id;
+    ASSERT_EQ(a.points.size(), b.points.size()) << "node " << id;
+    for (size_t i = 0; i < a.points.size(); ++i) {
+      EXPECT_EQ(a.points[i], b.points[i]) << "node " << id << " entry " << i;
+    }
+    ASSERT_EQ(a.branches.size(), b.branches.size()) << "node " << id;
+    for (size_t i = 0; i < a.branches.size(); ++i) {
+      EXPECT_EQ(a.branches[i].child, b.branches[i].child)
+          << "node " << id << " entry " << i;
+      EXPECT_EQ(a.branches[i].mbr.min.x, b.branches[i].mbr.min.x);
+      EXPECT_EQ(a.branches[i].mbr.min.y, b.branches[i].mbr.min.y);
+      EXPECT_EQ(a.branches[i].mbr.max.x, b.branches[i].mbr.max.x);
+      EXPECT_EQ(a.branches[i].mbr.max.y, b.branches[i].mbr.max.y);
+      stack.push_back(a.branches[i].child);
+    }
+  }
+}
+
+/// Pulls both granular sessions to exhaustion and asserts the exact
+/// (distance, id) sequence, rank by rank. `batched` additionally drives the
+/// memidx side through NextBatch(beta) pulls — the path PacketChannel uses —
+/// which must flatten to the same sequence.
+void ExpectStreamsEqual(Pair* pair, const geom::Point& anchor, double epsilon,
+                        size_t k, bool batched) {
+  server::GranularInnStream oracle(pair->paged.get(), anchor, epsilon, k,
+                                   server::GranularOptions());
+  memidx::MemInnStream candidate(pair->mem.get(), anchor, epsilon, k,
+                                 server::GranularOptions());
+  std::vector<rtree::DataPoint> batch;
+  size_t batch_next = 0;
+  bool batch_dry = false;
+  for (int rank = 0;; ++rank) {
+    Result<rtree::DataPoint> want = oracle.Next();
+    Result<rtree::DataPoint> got = [&]() -> Result<rtree::DataPoint> {
+      if (!batched) return candidate.Next();
+      if (batch_next == batch.size()) {
+        if (batch_dry) return Status::Exhausted("dry");
+        batch.clear();
+        batch_next = 0;
+        const Status s = candidate.NextBatch(67, &batch);
+        if (!s.ok()) return s;
+        batch_dry = batch.size() < 67;
+        if (batch.empty()) return Status::Exhausted("dry");
+      }
+      return batch[batch_next++];
+    }();
+    ASSERT_EQ(want.ok(), got.ok())
+        << "eps=" << epsilon << " k=" << k << " rank=" << rank;
+    if (!want.ok()) {
+      EXPECT_TRUE(want.status().IsExhausted());
+      break;
+    }
+    ASSERT_EQ(*want, *got)
+        << "eps=" << epsilon << " k=" << k << " rank=" << rank;
+    // A batched pull legitimately advances the candidate's cursor past the
+    // oracle's rank, so the per-rank distance check only holds unbatched.
+    if (!batched) {
+      EXPECT_EQ(oracle.last_report_distance(),
+                candidate.last_report_distance());
+    }
+  }
+  // The memidx frontier prunes dominated same-cell points at push time, so
+  // it pops at most as many entries as the oracle — but its expansion
+  // decisions must be identical (the filter state coincides at every node
+  // pop), and its eviction tail can only lag (fewer pops means fewer
+  // intermediate frontiers handed to EvictUpTo).
+  EXPECT_EQ(oracle.node_reads(), candidate.node_reads());
+  EXPECT_LE(candidate.heap_pops(), oracle.heap_pops());
+  EXPECT_LE(candidate.cells_evicted(), oracle.cells_evicted());
+}
+
+class IndexDifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(IndexDifferentialTest, BulkLoadedTreesIsomorphicAndStreamsExact) {
+  const DiffCase c = GetParam();
+  const datasets::Dataset ds = MakeData(c.dataset);
+  Pair pair = BuildPair(ds);
+  ExpectIsomorphic(&pair);
+  const std::vector<geom::Point> anchors = {
+      {5000, 5000}, {123, 456}, {9990, 120}, {4000, 9500}};
+  for (const geom::Point& anchor : anchors) {
+    ExpectStreamsEqual(&pair, anchor, c.epsilon, c.k, /*batched=*/false);
+    ExpectStreamsEqual(&pair, anchor, c.epsilon, c.k, /*batched=*/true);
+  }
+}
+
+TEST_P(IndexDifferentialTest, ChurnedTreesStayIsomorphicAndStreamsExact) {
+  const DiffCase c = GetParam();
+  datasets::Dataset ds = MakeData(c.dataset);
+  ds.points.resize(ds.points.size() / 4);  // headroom for split coverage
+  Pair pair = BuildPair(ds);
+
+  // Seeded insert/delete interleaving applied identically to both trees;
+  // inserts are float32-quantized like every dataset producer.
+  Rng rng(100);
+  std::vector<rtree::DataPoint> live = ds.points;
+  uint32_t next_id = 1u << 20;
+  for (int op = 0; op < 600; ++op) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      const float x = static_cast<float>(rng.Uniform(0, 10000));
+      const float y = static_cast<float>(rng.Uniform(0, 10000));
+      rtree::DataPoint p{{static_cast<double>(x), static_cast<double>(y)},
+                         next_id++};
+      if (rng.Bernoulli(0.2) && !live.empty()) {
+        p.point = live[static_cast<size_t>(rng.UniformInt(
+                           0, static_cast<int64_t>(live.size()) - 1))]
+                      .point;  // duplicate location, fresh id: a forced tie
+      }
+      ASSERT_TRUE(pair.paged->Insert(p).ok());
+      ASSERT_TRUE(pair.mem->Insert(p).ok());
+      live.push_back(p);
+    } else {
+      const size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      Result<bool> a = pair.paged->Delete(live[idx]);
+      Result<bool> b = pair.mem->Delete(live[idx]);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_TRUE(*a);
+      ASSERT_TRUE(*b);
+      live.erase(live.begin() + idx);
+    }
+    if (op % 150 == 149) {
+      ASSERT_TRUE(pair.paged->Validate().ok()) << "after op " << op;
+      ASSERT_TRUE(pair.mem->Validate().ok()) << "after op " << op;
+      ExpectIsomorphic(&pair);
+      ExpectStreamsEqual(&pair, {5000, 5000}, c.epsilon, c.k,
+                         /*batched=*/op % 300 == 299);
+    }
+  }
+  ExpectIsomorphic(&pair);
+  for (const geom::Point& anchor :
+       {geom::Point{250, 250}, geom::Point{8000, 1000}}) {
+    ExpectStreamsEqual(&pair, anchor, c.epsilon, c.k, /*batched=*/true);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IndexDifferentialTest,
+    ::testing::Values(DiffCase{"UI", 1, 0.0}, DiffCase{"UI", 1, 500.0},
+                      DiffCase{"UI", 16, 50.0}, DiffCase{"CL", 1, 50.0},
+                      DiffCase{"CL", 16, 500.0}, DiffCase{"DUP", 1, 0.0},
+                      DiffCase{"DUP", 16, 500.0}),
+    CaseName);
+
+}  // namespace
+}  // namespace spacetwist

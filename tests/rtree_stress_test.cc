@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "memidx/mem_rtree.h"
 #include "rtree/bulk_load.h"
 #include "rtree/rtree.h"
 #include "storage/pager.h"
@@ -161,6 +162,62 @@ TEST(RTreeEdgeTest, PointsOnDomainBoundary) {
   auto knn = tree->KnnQuery({0, 0}, 1);
   ASSERT_TRUE(knn.ok());
   EXPECT_NEAR((*knn)[0].distance, 0.0, 1e-9);
+}
+
+/// Unquantized point producers must fail loudly: node writes narrow
+/// coordinates to float32, so a Delete keyed on the original full-precision
+/// double misses, and only the requantized key round-trips. Pinned for both
+/// the paged tree and the memidx serving tree so neither backend silently
+/// "finds" a nearby entry.
+TEST(RTreeQuantizeTest, DeleteAfterRequantizeRoundTripsInBothBackends) {
+  storage::Pager pager;
+  auto paged = RTree::Create(&pager, RTreeOptions()).MoveValueOrDie();
+  auto mem =
+      memidx::MemRTree::Create(memidx::MemRTreeOptions()).MoveValueOrDie();
+
+  Rng rng(606);
+  std::vector<DataPoint> unquantized;
+  for (uint32_t i = 0; i < 300; ++i) {
+    // Full-precision doubles: almost surely not float32-representable.
+    const DataPoint p{{rng.Uniform(0, 10000), rng.Uniform(0, 10000)}, i};
+    unquantized.push_back(p);
+    ASSERT_TRUE(paged->Insert(p).ok());
+    ASSERT_TRUE(mem->Insert(p).ok());
+  }
+
+  const auto requantize = [](const DataPoint& p) {
+    return DataPoint{{static_cast<double>(static_cast<float>(p.point.x)),
+                      static_cast<double>(static_cast<float>(p.point.y))},
+                     p.id};
+  };
+
+  for (const DataPoint& p : unquantized) {
+    const DataPoint q = requantize(p);
+    if (q == p) continue;  // landed on a float32 grid point; nothing to pin
+    // The loud failure: the producer's own key no longer matches.
+    auto paged_miss = paged->Delete(p);
+    auto mem_miss = mem->Delete(p);
+    ASSERT_TRUE(paged_miss.ok());
+    ASSERT_TRUE(mem_miss.ok());
+    EXPECT_FALSE(*paged_miss) << "id " << p.id;
+    EXPECT_FALSE(*mem_miss) << "id " << p.id;
+    // The requantized key is what the tree actually stored.
+    auto paged_hit = paged->Delete(q);
+    auto mem_hit = mem->Delete(q);
+    ASSERT_TRUE(paged_hit.ok());
+    ASSERT_TRUE(mem_hit.ok());
+    EXPECT_TRUE(*paged_hit) << "id " << p.id;
+    EXPECT_TRUE(*mem_hit) << "id " << p.id;
+    // And a second delete confirms the entry is really gone, not shadowed.
+    auto paged_gone = paged->Delete(q);
+    auto mem_gone = mem->Delete(q);
+    ASSERT_TRUE(paged_gone.ok());
+    ASSERT_TRUE(mem_gone.ok());
+    EXPECT_FALSE(*paged_gone);
+    EXPECT_FALSE(*mem_gone);
+  }
+  ASSERT_TRUE(paged->Validate().ok());
+  ASSERT_TRUE(mem->Validate().ok());
 }
 
 }  // namespace

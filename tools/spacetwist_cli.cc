@@ -18,6 +18,9 @@
 //                          --anchor-dist 200 --seed 7]
 //                          [--shards N]          # Hilbert-sharded fleet
 //                                                # behind a ShardRouter
+//                          [--backend paged|memidx]
+//                                                # serving index; digests
+//                                                # must match either way
 //                          [--statsz [out.txt]]  # dump the telemetry page
 //                          [--statsz-interval 1] # + periodic samples, every
 //                                                # N clock seconds
@@ -468,11 +471,19 @@ Status RunServeBench(const Flags& flags) {
   if (shards < 1) {
     return Status::InvalidArgument("--shards must be >= 1");
   }
+  const std::string backend = flags.GetString("backend", "paged");
+  if (backend != "paged" && backend != "memidx") {
+    return Status::InvalidArgument("--backend must be paged or memidx");
+  }
+  const server::ServingIndex serving = backend == "memidx"
+                                           ? server::ServingIndex::kMemidx
+                                           : server::ServingIndex::kPaged;
 
   rtree::RTreeOptions rtree_options;
   rtree_options.concurrent_reads = true;
-  SPACETWIST_ASSIGN_OR_RETURN(std::unique_ptr<server::LbsServer> server,
-                              server::LbsServer::Build(ds, rtree_options));
+  SPACETWIST_ASSIGN_OR_RETURN(
+      std::unique_ptr<server::LbsServer> server,
+      server::LbsServer::Build(ds, rtree_options, serving));
 
   eval::LoadOptions load;
   load.num_clients = static_cast<size_t>(clients);
@@ -498,6 +509,7 @@ Status RunServeBench(const Flags& flags) {
   if (shards > 1) {
     shard::ShardRouterOptions router_options;
     router_options.num_shards = static_cast<size_t>(shards);
+    router_options.serving = serving;
     router_options.front.max_sessions = load.num_clients * 2;
     SPACETWIST_ASSIGN_OR_RETURN(
         router, shard::ShardRouter::Build(ds, router_options));

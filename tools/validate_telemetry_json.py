@@ -21,7 +21,13 @@ Checks every document passed on the command line:
   carry per-fleet-size results with digest_match == 1, mean fan-out within
   (and beyond one shard strictly below) the fleet size, and per-shard
   arrays sized to the declared shard count, alongside the usual embedded
-  telemetry section.
+  telemetry section;
+* spacetwist.memidx.v1 — a serving-backend comparison (bench_memidx's
+  BENCH_latency.json) must carry one result per backend including both
+  "paged" and "memidx", each with a positive ns_per_query, digest_match
+  == 1 (the differential contract), a latency histogram, and an embedded
+  telemetry section; the reported point counts must agree across backends
+  and the headline speedup must match the measured ns_per_query ratio.
 
 Exit status 0 when every file validates, 1 otherwise (messages on stderr).
 Runs under ctest (`validate_telemetry_json`) over the committed bench
@@ -37,6 +43,7 @@ import sys
 SCHEMA = "spacetwist.telemetry.v1"
 TRACE_SCHEMA = "spacetwist.trace.v1"
 SHARD_SCHEMA = "spacetwist.shard.v1"
+MEMIDX_SCHEMA = "spacetwist.memidx.v1"
 HISTOGRAM_KEYS = {
     "count", "sum", "min", "max", "mean", "p50", "p95", "p99", "buckets",
 }
@@ -276,6 +283,64 @@ def validate_shard_document(document, path):
                       f"{key} must be a list of {shards} non-negative ints")
 
 
+def validate_memidx_document(document, path):
+    """A spacetwist.memidx.v1 export (bench_memidx's BENCH_latency.json).
+
+    Checks the serving-backend comparison claims: both backends present,
+    byte-identical streams (digest_match, equal point counts), positive
+    per-query costs, and a headline speedup that matches the measured
+    ratio. Latency histograms and the embedded telemetry sections are
+    validated by the caller's walk.
+    """
+    results = document.get("results")
+    if not isinstance(results, list) or not results:
+        error(path, "memidx document needs a non-empty results array")
+        return
+    by_backend = {}
+    points_seen = set()
+    for i, entry in enumerate(results):
+        entry_path = f"{path}.results[{i}]"
+        if not isinstance(entry, dict):
+            error(entry_path, "result entry must be an object")
+            continue
+        backend = entry.get("backend")
+        if not isinstance(backend, str) or not backend:
+            error(entry_path, "backend must be a non-empty string")
+            continue
+        by_backend[backend] = entry
+        if not is_number(entry.get("ns_per_query")) \
+                or entry["ns_per_query"] <= 0:
+            error(entry_path, "ns_per_query must be a positive number")
+        if entry.get("digest_match") != 1:
+            error(entry_path, "digest_match must be 1 (byte-identity is the "
+                  "differential contract)")
+        if not is_int(entry.get("points")) or entry["points"] < 0:
+            error(entry_path, "points must be a non-negative integer")
+        else:
+            points_seen.add(entry["points"])
+        for key in ("latency_ns", "telemetry"):
+            if not isinstance(entry.get(key), dict):
+                error(entry_path, f"missing {key} object")
+    for backend in ("paged", "memidx"):
+        if backend not in by_backend:
+            error(path, f"results must include the {backend!r} backend")
+    if len(points_seen) > 1:
+        error(path, f"point counts differ across backends {sorted(points_seen)}"
+              ": byte-identical streams must report the same points")
+    speedup = document.get("speedup")
+    if not is_number(speedup) or speedup <= 0:
+        error(path, "speedup must be a positive number")
+    elif {"paged", "memidx"} <= by_backend.keys():
+        paged = by_backend["paged"].get("ns_per_query")
+        mem = by_backend["memidx"].get("ns_per_query")
+        if is_number(paged) and is_number(mem) and mem > 0:
+            ratio = paged / mem
+            # The artifact rounds the headline to one decimal place.
+            if abs(speedup - ratio) > 0.05 + 1e-9:
+                error(path, f"speedup {speedup} does not match measured "
+                      f"ns_per_query ratio {ratio:.3f}")
+
+
 def looks_like_section(node):
     return isinstance(node, dict) and {"schema", "counters", "gauges",
                                        "histograms"} <= node.keys()
@@ -319,6 +384,11 @@ def validate_file(filename):
         # Shard documents also embed an end-of-run telemetry snapshot, so
         # fall through to the generic walk after the schema checks.
         validate_shard_document(document, filename)
+    if (isinstance(document, dict)
+            and document.get("schema") == MEMIDX_SCHEMA):
+        # Likewise: per-backend latency histograms and telemetry snapshots
+        # are picked up by the walk below.
+        validate_memidx_document(document, filename)
     found = []
     walk(document, filename, found)
     # A telemetry artifact with nothing telemetry-shaped in it is a schema

@@ -81,6 +81,28 @@ GOOD_SHARD = {
     "telemetry": copy.deepcopy(GOOD_TELEMETRY),
 }
 
+GOOD_MEMIDX = {
+    "bench": "memidx_serving",
+    "schema": "spacetwist.memidx.v1",
+    "dataset_points": 500000,
+    "queries": 400,
+    "beta": 67,
+    "pulls_per_query": 4,
+    "results": [
+        {"backend": "paged", "ns_per_query": 2600000.0, "points": 107200,
+         "digest_match": 1,
+         "latency_ns": copy.deepcopy(
+             GOOD_TELEMETRY["histograms"]["eval.load.latency_ns"]),
+         "telemetry": copy.deepcopy(GOOD_TELEMETRY)},
+        {"backend": "memidx", "ns_per_query": 500000.0, "points": 107200,
+         "digest_match": 1,
+         "latency_ns": copy.deepcopy(
+             GOOD_TELEMETRY["histograms"]["eval.load.latency_ns"]),
+         "telemetry": copy.deepcopy(GOOD_TELEMETRY)},
+    ],
+    "speedup": 5.2,
+}
+
 _failures = []
 
 
@@ -246,6 +268,46 @@ def main():
         "shard missing telemetry snapshot",
         broken(GOOD_SHARD, lambda d: d.pop("telemetry")),
         "no telemetry section")
+
+    # --- memidx.v1 negatives ---------------------------------------------
+    expect_ok("good memidx document", GOOD_MEMIDX)
+    expect_error(
+        "memidx empty results",
+        broken(GOOD_MEMIDX, lambda d: d.__setitem__("results", [])),
+        "non-empty results")
+    expect_error(
+        "memidx missing paged backend",
+        broken(GOOD_MEMIDX, lambda d: d["results"].pop(0)),
+        "must include the 'paged' backend")
+    expect_error(
+        "memidx digest mismatch",
+        broken(GOOD_MEMIDX,
+               lambda d: d["results"][1].__setitem__("digest_match", 0)),
+        "digest_match")
+    expect_error(
+        "memidx point counts differ",
+        broken(GOOD_MEMIDX,
+               lambda d: d["results"][1].__setitem__("points", 107199)),
+        "point counts differ")
+    expect_error(
+        "memidx non-positive cost",
+        broken(GOOD_MEMIDX,
+               lambda d: d["results"][1].__setitem__("ns_per_query", 0)),
+        "positive number")
+    expect_error(
+        "memidx speedup off the measured ratio",
+        broken(GOOD_MEMIDX, lambda d: d.__setitem__("speedup", 9.9)),
+        "does not match measured")
+    expect_error(
+        "memidx missing latency histogram",
+        broken(GOOD_MEMIDX, lambda d: d["results"][0].pop("latency_ns")),
+        "missing latency_ns")
+    expect_error(
+        "memidx broken embedded histogram",
+        broken(GOOD_MEMIDX,
+               lambda d: d["results"][0]["latency_ns"]
+               .__setitem__("p50", 99.0)),
+        "percentiles not monotone")
 
     if _failures:
         for failure in _failures:
