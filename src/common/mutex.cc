@@ -1,0 +1,77 @@
+#include "common/mutex.h"
+
+#ifdef SPACETWIST_LOCK_RANK_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spacetwist::lock_rank_internal {
+
+namespace {
+
+/// One held ranked lock. The stack is per-thread and bounded: the deepest
+/// legal chain is one lock per rank level, far below this.
+struct HeldLock {
+  const Mutex* mu = nullptr;
+  int rank = 0;
+  const char* name = nullptr;
+};
+
+constexpr int kMaxHeld = 64;
+
+thread_local HeldLock g_held[kMaxHeld];
+thread_local int g_held_count = 0;
+
+}  // namespace
+
+// Abort diagnostics cannot flow through Status (there is no caller to
+// return to) and must not depend on the telemetry layer, so these are
+// sanctioned raw-stderr sites alongside SPACETWIST_CHECK in
+// common/logging.cc.
+
+void OnAcquire(const Mutex* mu, int rank, const char* name) {
+  int deepest = -1;
+  for (int i = 0; i < g_held_count; ++i) {
+    if (deepest < 0 || g_held[i].rank > g_held[deepest].rank) deepest = i;
+  }
+  if (deepest >= 0 && rank <= g_held[deepest].rank) {
+    std::fprintf(  // lint:allow iostream — pre-abort report, no caller to return a Status to
+        stderr,
+        "lock-rank violation: acquiring \"%s\" (rank %d) while holding "
+        "\"%s\" (rank %d); nested acquisitions must strictly increase in "
+        "rank (docs/ANALYSIS.md, Lock ranks)\n",
+        name, rank, g_held[deepest].name, g_held[deepest].rank);
+    std::abort();
+  }
+  if (g_held_count >= kMaxHeld) {
+    std::fprintf(  // lint:allow iostream — pre-abort report, no caller to return a Status to
+        stderr,
+        "lock-rank violation: thread already holds %d ranked locks while "
+        "acquiring \"%s\" (rank %d); the per-thread stack is full — almost "
+        "certainly a lock leak\n",
+        g_held_count, name, rank);
+    std::abort();
+  }
+  g_held[g_held_count++] = HeldLock{mu, rank, name};
+}
+
+void OnRelease(const Mutex* mu, const char* name) {
+  // Locks normally retire LIFO, but manual Lock()/Unlock() pairs may not;
+  // drop the most recent entry for this mutex wherever it sits.
+  for (int i = g_held_count - 1; i >= 0; --i) {
+    if (g_held[i].mu != mu) continue;
+    for (int j = i; j + 1 < g_held_count; ++j) g_held[j] = g_held[j + 1];
+    --g_held_count;
+    return;
+  }
+  std::fprintf(  // lint:allow iostream — pre-abort report, no caller to return a Status to
+      stderr,
+      "lock-rank violation: releasing \"%s\" which this thread does not "
+      "hold\n",
+      name);
+  std::abort();
+}
+
+}  // namespace spacetwist::lock_rank_internal
+
+#endif  // SPACETWIST_LOCK_RANK_CHECKS

@@ -111,7 +111,10 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
   }
 
   std::atomic<bool> failed{false};
-  Mutex error_mu;
+  // Rank: taken from inside worker tasks (below the pool's queue lock, had
+  // the pool held it across tasks — it doesn't) and above the whole serving
+  // stack the task then calls into.
+  Mutex error_mu{LockRank::kLoadGenerator, "eval.load_generator.error"};
   Status first_error;
 
   telemetry::Clock* clock = telemetry::OrDefault(options.clock);

@@ -14,9 +14,9 @@ Result<std::unique_ptr<MemBackend>> MemBackend::Build(
   return std::make_unique<MemBackend>(std::move(tree));
 }
 
-std::unique_ptr<server::InnSource> MemBackend::OpenInnSource(
+std::unique_ptr<serving::InnSource> MemBackend::OpenInnSource(
     const geom::Point& anchor, double epsilon, size_t k,
-    const server::GranularOptions& options) {
+    const serving::GranularOptions& options) {
   return std::make_unique<MemInnStream>(tree_.get(), anchor, epsilon, k,
                                         options);
 }

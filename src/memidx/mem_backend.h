@@ -8,15 +8,15 @@
 #include "geom/point.h"
 #include "memidx/mem_rtree.h"
 #include "rtree/entry.h"
-#include "server/inn_backend.h"
+#include "serving/inn_backend.h"
 
 namespace spacetwist::memidx {
 
-/// server::InnBackend over a MemRTree — the second serving backend next to
+/// serving::InnBackend over a MemRTree — the second serving backend next to
 /// the paged LbsServer path. A ServiceEngine fronting this backend answers
 /// byte-identically to one fronting the paged tree built from the same
 /// dataset; only the server-local cost (ns per pull) changes.
-class MemBackend : public server::InnBackend {
+class MemBackend : public serving::InnBackend {
  public:
   /// Bulk-loads the in-memory tree from `points` (same STR packing as the
   /// paged bulk loader, `fill` = 1.0).
@@ -26,9 +26,9 @@ class MemBackend : public server::InnBackend {
   explicit MemBackend(std::unique_ptr<MemRTree> tree)
       : tree_(std::move(tree)) {}
 
-  std::unique_ptr<server::InnSource> OpenInnSource(
+  std::unique_ptr<serving::InnSource> OpenInnSource(
       const geom::Point& anchor, double epsilon, size_t k,
-      const server::GranularOptions& options) override;
+      const serving::GranularOptions& options) override;
 
   MemRTree* tree() { return tree_.get(); }
   const MemRTree* tree() const { return tree_.get(); }

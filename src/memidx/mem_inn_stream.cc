@@ -10,7 +10,7 @@ namespace spacetwist::memidx {
 
 MemInnStream::MemInnStream(const MemRTree* tree, const geom::Point& anchor,
                            double epsilon, size_t k,
-                           const server::GranularOptions& options)
+                           const serving::GranularOptions& options)
     : tree_(tree), anchor_(anchor), epsilon_(epsilon), k_(k),
       filter_(anchor, epsilon, k, options.lazy_eviction,
               options.max_coverage_cells,

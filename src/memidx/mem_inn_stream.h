@@ -10,8 +10,7 @@
 #include "memidx/mem_cell_filter.h"
 #include "memidx/mem_rtree.h"
 #include "rtree/entry.h"
-#include "server/granular_inn.h"
-#include "server/inn_backend.h"
+#include "serving/inn_backend.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
@@ -43,13 +42,13 @@ namespace spacetwist::memidx {
 /// total order, the reported point sequence is byte-identical to the paged
 /// stream's — the differential suite pins stream, wire, fleet, and faulted
 /// levels.
-class MemInnStream : public server::InnSource {
+class MemInnStream : public serving::InnSource {
  public:
   /// Borrows `tree`, which must outlive the stream. `epsilon` >= 0 is the
   /// client's error bound; `k` >= 1 the number of results it needs.
   MemInnStream(const MemRTree* tree, const geom::Point& anchor,
                double epsilon, size_t k,
-               const server::GranularOptions& options);
+               const serving::GranularOptions& options);
 
   /// Next reported point in ascending distance from the anchor, or
   /// kExhausted when the whole dataset has been scanned/pruned.

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -165,7 +166,11 @@ class FaultyTransport : public FrameTransport {
   telemetry::Counter* round_trips_metric_;
   telemetry::Counter* delivered_metric_;
   telemetry::Counter* fault_metrics_[6];  ///< indexed by FaultKind
-  mutable Mutex mu_;
+  // Rank: outermost — RoundTrip holds the schedule lock across
+  // inner_->HandleFrame, i.e. across the entire serving stack.
+  mutable Mutex mu_ ACQUIRED_AFTER(lock_order::kFaultyTransport)
+      ACQUIRED_BEFORE(lock_order::kThreadPool){LockRank::kFaultyTransport,
+                                               "net.faulty_transport"};
   Rng rng_ GUARDED_BY(mu_);
   uint64_t now_ns_ GUARDED_BY(mu_) = 0;
   uint64_t ops_ GUARDED_BY(mu_) = 0;

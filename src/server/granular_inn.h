@@ -17,19 +17,8 @@
 
 namespace spacetwist::server {
 
-/// Tuning knobs for GranularInnStream (mainly for ablation benchmarks).
-struct GranularOptions {
-  /// Enables the paper's lazy cell-eviction memory optimization
-  /// (Algorithm 2, Line 8). Disabling it never changes the output, only the
-  /// size of the tracked cell set V.
-  bool lazy_eviction = true;
-  /// Coverage tests for an entry spanning more than this many grid cells
-  /// conservatively report "not covered" (correct, possibly more work).
-  int64_t max_coverage_cells = 4096;
-  /// Metric registry the stream publishes its server.granular.* counters to
-  /// (null = the process-wide default).
-  telemetry::MetricRegistry* registry = nullptr;
-};
+// GranularOptions (the stream tuning knobs) lives in serving/inn_backend.h
+// with the rest of the backend contract; inn_backend.h re-exports it here.
 
 /// Server-side granular incremental NN search — Algorithm 2 of the paper,
 /// including the kNN extension of Section IV-C.

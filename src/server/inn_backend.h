@@ -1,53 +1,18 @@
 #ifndef SPACETWIST_SERVER_INN_BACKEND_H_
 #define SPACETWIST_SERVER_INN_BACKEND_H_
 
-#include <cstdint>
-#include <memory>
-
-#include "common/result.h"
-#include "geom/point.h"
-#include "net/channel.h"
-#include "telemetry/trace.h"
+#include "serving/inn_backend.h"
 
 namespace spacetwist::server {
 
-struct GranularOptions;  // granular_inn.h (passed through by reference)
-
-/// A server-side incremental NN point stream as the serving layer sees it:
-/// the distance-ordered point source plus the trace/introspection hooks the
-/// engine's sampled-pull path needs. GranularInnStream is the single-server
-/// implementation; shard::ScatterGatherStream is the fleet one — the engine
-/// cannot tell them apart, which is what keeps clients bit-for-bit unaware
-/// of the deployment shape behind the wire protocol.
-class InnSource : public net::PointSource {
- public:
-  /// Attaches a distributed trace for the duration of the next Next() calls
-  /// (null detaches). The trace is borrowed per request — callers must
-  /// detach before the trace dies.
-  virtual void set_trace(telemetry::Trace* trace) = 0;
-
-  /// Work counters for the engine's "server.granular.scan" span notes:
-  /// best-first heap pops (merge steps for a scatter-gather stream) and
-  /// R-tree node reads (per-shard packet pulls for a scatter-gather
-  /// stream).
-  virtual uint64_t heap_pops() const = 0;
-  virtual uint64_t node_reads() const = 0;
-};
-
-/// Factory for InnSource streams — the only thing service::ServiceEngine
-/// requires of whatever is behind it. LbsServer implements it directly;
-/// shard::ShardRouter implements it by fanning out to a fleet of shard
-/// servers and merging their streams.
-class InnBackend {
- public:
-  virtual ~InnBackend() = default;
-
-  /// Opens a granular INN stream around `anchor` (epsilon == 0 gives exact
-  /// INN). Never fails: streams surface their errors lazily from Next().
-  virtual std::unique_ptr<InnSource> OpenInnSource(
-      const geom::Point& anchor, double epsilon, size_t k,
-      const GranularOptions& options) = 0;
-};
+/// The serving-backend contract lives in src/serving (serving/inn_backend.h
+/// explains why: both this library and src/memidx implement it, and this
+/// library owns a memidx backend, so hosting the interfaces here would close
+/// an include cycle). These aliases keep the established server:: spelling
+/// for the engine, the shard router, and everything above them.
+using GranularOptions = serving::GranularOptions;
+using InnSource = serving::InnSource;
+using InnBackend = serving::InnBackend;
 
 }  // namespace spacetwist::server
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -88,7 +89,11 @@ class SessionManager {
   LbsServer* server_;
   size_t max_sessions_;
   net::PacketConfig packet_;
-  mutable Mutex mu_;
+  // Rank: NextPacket holds the table lock while the stream traverses the
+  // R-tree, so the buffer pool (and registry) nest inside.
+  mutable Mutex mu_ ACQUIRED_AFTER(lock_order::kSessionManager)
+      ACQUIRED_BEFORE(lock_order::kEngineFront){LockRank::kSessionManager,
+                                                "server.session_manager"};
   std::unordered_map<SessionId, Session> sessions_ GUARDED_BY(mu_);
   SessionId next_id_ GUARDED_BY(mu_) = 1;
   uint64_t sessions_opened_ GUARDED_BY(mu_) = 0;

@@ -32,10 +32,13 @@ ServiceEngine::ServiceEngine(server::InnBackend* backend,
                              const ServiceOptions& options)
     : backend_(backend),
       options_(options),
-      clock_(telemetry::OrDefault(options.clock)),
-      shards_(std::max<size_t>(1, options.num_shards)) {
+      clock_(telemetry::OrDefault(options.clock)) {
   SPACETWIST_CHECK(backend != nullptr);
   SPACETWIST_CHECK(options_.max_sessions >= 1);
+  const size_t num_shards = std::max<size_t>(1, options_.num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.emplace_back(options_.lock_rank);
+  }
   telemetry::MetricRegistry* r =
       telemetry::MetricRegistry::OrDefault(options_.registry);
   // One injected registry observes the whole stack: the engine hands its

@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -51,6 +53,12 @@ struct ServiceOptions {
   /// destruction). Null disables server-side retention; span piggybacking
   /// to the client is independent of it. Must outlive the engine.
   telemetry::TraceSink* trace_sink = nullptr;
+  /// Lock rank of the engine's session-table stripes. The client-facing
+  /// engine keeps the default; the shard router builds its per-shard
+  /// engines with kEngineShard because a front stripe is held across the
+  /// scatter-gather pulls into the shard engines (docs/ANALYSIS.md,
+  /// Lock ranks).
+  LockRank lock_rank = LockRank::kEngineFront;
 };
 
 /// Snapshot of the engine's counters. Transport totals cover closed,
@@ -171,7 +179,18 @@ class ServiceEngine : public net::FrameHandler {
   };
 
   struct Shard {
-    mutable Mutex mu;
+    explicit Shard(LockRank rank)
+        : mu(rank, rank == LockRank::kEngineShard
+                       ? "service.engine.shard_stripe"
+                       : "service.engine.front_stripe") {}
+
+    // Rank: ServiceOptions::lock_rank — kEngineFront for the client-facing
+    // engine, kEngineShard inside a router's fleet. One declaration covers
+    // both levels, so the static annotation spans them; the runtime
+    // enforcer checks the exact per-instance rank (front stripes are held
+    // across scatter-gather pulls into shard stripes).
+    mutable Mutex mu ACQUIRED_AFTER(lock_order::kEngineFront)
+        ACQUIRED_BEFORE(lock_order::kRouterFanout);
     std::unordered_map<uint64_t, Session> sessions GUARDED_BY(mu);
   };
 
@@ -227,7 +246,9 @@ class ServiceEngine : public net::FrameHandler {
   server::InnBackend* backend_;
   ServiceOptions options_;
   telemetry::Clock* clock_;
-  std::vector<Shard> shards_;
+  /// deque, not vector: Shard is immovable (its Mutex pins a rank and a
+  /// name), and deque::emplace_back constructs stripes in place.
+  std::deque<Shard> shards_;
 
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> open_count_{0};

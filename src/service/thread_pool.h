@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -42,7 +43,12 @@ class ThreadPool {
  private:
   void WorkerLoop() EXCLUDES(mu_);
 
-  Mutex mu_;
+  // Rank: near-outermost — workers run tasks *outside* the queue lock, but
+  // Submit may be called from client code holding nothing, and a task that
+  // re-submits does so after the lock is dropped.
+  Mutex mu_ ACQUIRED_AFTER(lock_order::kThreadPool)
+      ACQUIRED_BEFORE(lock_order::kLoadGenerator){LockRank::kThreadPool,
+                                                  "service.thread_pool"};
   CondVar work_cv_;  ///< signals workers: work or shutdown
   CondVar idle_cv_;  ///< signals Wait(): fully drained
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);

@@ -54,6 +54,9 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Build(
     engine_options.idle_ttl_ns = options.front.idle_ttl_ns;
     engine_options.clock = options.front.clock;
     engine_options.registry = shard_registry.get();
+    // Shard-engine stripes sit one lock-rank level below the front stripes
+    // that are held across the scatter-gather pulls into them.
+    engine_options.lock_rank = LockRank::kEngineShard;
     router->engines_.push_back(std::make_unique<service::ServiceEngine>(
         server.get(), engine_options));
     router->servers_.push_back(std::move(server));

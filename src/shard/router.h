@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -72,7 +73,9 @@ struct QueryFanout {
 /// immutable afterwards; the fan-out log has its own mutex. Lock order is
 /// front-engine stripe -> shard-engine stripe -> fan-out log mutex (stream
 /// destructors run under a front stripe and close shard sessions, then
-/// retire into the log); nothing takes them in reverse.
+/// retire into the log); nothing takes them in reverse. That order is the
+/// kEngineFront < kEngineShard < kRouterFanout segment of the global
+/// lock-rank table (docs/ANALYSIS.md, Lock ranks) and is machine-enforced.
 class ShardRouter : public net::FrameHandler, public server::InnBackend {
  public:
   /// Partitions `dataset` and builds the fleet. Fails on an unbuildable
@@ -146,7 +149,11 @@ class ShardRouter : public net::FrameHandler, public server::InnBackend {
   telemetry::Histogram* pulls_hist_ = nullptr;
   std::vector<telemetry::Counter*> shard_pull_counters_;
 
-  mutable Mutex fanout_mu_;
+  // Rank: a retiring merged stream folds into this log while its owning
+  // front stripe (and, transiently, shard stripes) are held above it.
+  mutable Mutex fanout_mu_ ACQUIRED_AFTER(lock_order::kRouterFanout)
+      ACQUIRED_BEFORE(lock_order::kTraceSink){LockRank::kRouterFanout,
+                                              "shard.router.fanout"};
   std::unordered_map<std::pair<uint64_t, uint64_t>, QueryFanout, PairHash>
       fanout_log_ GUARDED_BY(fanout_mu_);
 

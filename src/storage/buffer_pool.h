@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -89,7 +90,11 @@ class BufferPool {
   telemetry::Counter* hits_;
   telemetry::Counter* misses_;
   telemetry::Counter* evictions_;
-  mutable Mutex mu_;
+  // Rank: fetched during R-tree traversal under an engine stripe, so it
+  // sits below both engine levels; only the registry nests inside it.
+  mutable Mutex mu_ ACQUIRED_AFTER(lock_order::kBufferPool)
+      ACQUIRED_BEFORE(lock_order::kMetricRegistry){LockRank::kBufferPool,
+                                                   "storage.buffer_pool"};
   std::list<PageId> lru_ GUARDED_BY(mu_);  // front = most recently used
   std::unordered_map<PageId, Entry> map_ GUARDED_BY(mu_);
   IoStats stats_ GUARDED_BY(mu_);

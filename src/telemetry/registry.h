@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "telemetry/metric.h"
@@ -67,7 +68,10 @@ class MetricRegistry {
   };
 
   struct Stripe {
-    mutable Mutex mu;
+    // Rank: innermost — instrument registration may happen under any other
+    // lock in the tree (engines, pools, sinks all resolve instruments).
+    mutable Mutex mu ACQUIRED_AFTER(lock_order::kMetricRegistry){
+        LockRank::kMetricRegistry, "telemetry.registry.stripe"};
     std::unordered_map<std::string, Entry> entries GUARDED_BY(mu);
   };
 

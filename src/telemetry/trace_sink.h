@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "telemetry/trace.h"
@@ -81,7 +82,11 @@ class TraceSink {
 
  private:
   const TraceSinkOptions options_;
-  mutable Mutex mu_;
+  // Rank: Offer() runs under a retiring session's engine stripe (Absorb),
+  // so the sink sits below the engines; the registry still nests inside.
+  mutable Mutex mu_ ACQUIRED_AFTER(lock_order::kTraceSink)
+      ACQUIRED_BEFORE(lock_order::kBufferPool){LockRank::kTraceSink,
+                                               "telemetry.trace_sink"};
   std::vector<TraceRecord> records_ GUARDED_BY(mu_);
   uint64_t offered_ GUARDED_BY(mu_) = 0;
   uint64_t recorded_ GUARDED_BY(mu_) = 0;

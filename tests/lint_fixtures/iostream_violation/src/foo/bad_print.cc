@@ -1,0 +1,11 @@
+#include <cstdio>
+#include <iostream>
+namespace spacetwist::foo {
+void Report(int value) {
+  std::cout << "value: " << value << "\n";
+  printf("value: %d\n", value);
+}
+// A comment mentioning std::cerr and a "printf(" string stay unflagged:
+const char* kDoc = "printf(std::cout)";
+int Format(char* buf, int n, int v) { return snprintf(buf, n, "%d", v); }
+}  // namespace spacetwist::foo

@@ -1,0 +1,7 @@
+#ifndef SPACETWIST_ALPHA_A_H_
+#define SPACETWIST_ALPHA_A_H_
+#include "common/c.h"
+namespace spacetwist::alpha {
+inline int Up() { return common::Base() + 1; }
+}  // namespace spacetwist::alpha
+#endif  // SPACETWIST_ALPHA_A_H_

@@ -1,0 +1,7 @@
+#ifndef SPACETWIST_ALPHA_A_H_
+#define SPACETWIST_ALPHA_A_H_
+#include "beta/b.h"
+namespace spacetwist::alpha {
+inline int A();
+}  // namespace spacetwist::alpha
+#endif  // SPACETWIST_ALPHA_A_H_

@@ -1,0 +1,7 @@
+#ifndef SPACETWIST_BETA_B_H_
+#define SPACETWIST_BETA_B_H_
+#include "alpha/a.h"
+namespace spacetwist::beta {
+inline int B();
+}  // namespace spacetwist::beta
+#endif  // SPACETWIST_BETA_B_H_

@@ -1,0 +1,6 @@
+#ifndef SPACETWIST_COMMON_C_H_
+#define SPACETWIST_COMMON_C_H_
+namespace spacetwist::common {
+inline int Base() { return 1; }
+}  // namespace spacetwist::common
+#endif  // SPACETWIST_COMMON_C_H_

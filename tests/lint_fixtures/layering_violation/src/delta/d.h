@@ -1,0 +1,6 @@
+#ifndef SPACETWIST_DELTA_D_H_
+#define SPACETWIST_DELTA_D_H_
+namespace spacetwist::delta {
+inline int D() { return 4; }
+}  // namespace spacetwist::delta
+#endif  // SPACETWIST_DELTA_D_H_

@@ -1,0 +1,7 @@
+#ifndef SPACETWIST_GAMMA_G_H_
+#define SPACETWIST_GAMMA_G_H_
+#include "delta/d.h"
+namespace spacetwist::gamma {
+inline int G() { return delta::D(); }
+}  // namespace spacetwist::gamma
+#endif  // SPACETWIST_GAMMA_G_H_

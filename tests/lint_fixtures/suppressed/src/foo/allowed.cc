@@ -1,10 +1,12 @@
 #include <chrono>
+#include <cstdio>
 #include <random>
 namespace spacetwist::foo {
 int Draw() {
   std::mt19937 engine;  // interop shim, seeded by caller — lint:allow rng
   if (engine() == 0) throw 1;  // unreachable, exercise only — lint:allow no-throw
   (void)std::chrono::steady_clock::now();  // boot-time stamp, never compared — lint:allow clock
+  std::printf("boot\n");  // pre-abort report path — lint:allow iostream
   return 0;
 }
 }  // namespace spacetwist::foo

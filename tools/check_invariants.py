@@ -27,6 +27,20 @@ Rules (run `--list-rules` for the ids):
                      src/telemetry/clock.{h,cc}. Injectable clocks are what
                      keep TTL eviction, traces, and latency reports
                      deterministic under test.
+  iostream           Library code (src/) never prints: no std::cout /
+                     std::cerr / std::clog and no printf-family writes.
+                     Errors flow through Status, telemetry through the
+                     metric registry. src/common/logging.{h,cc} (the CHECK
+                     machinery) is the sanctioned reporter.
+  include-layering   The src/<lib> dependency graph — every
+                     `#include "lib2/..."` edge plus every direct
+                     target_link_libraries edge — must match the committed
+                     tools/layering.dag exactly: no undeclared edges, no
+                     stale declarations, no cycles, and no include of a
+                     library the link graph does not (even transitively)
+                     provide. See docs/ANALYSIS.md, Layering DAG. (Runs
+                     only when the scanned root has a tools/ directory,
+                     i.e. looks like a full checkout.)
 
 Suppressing a finding: append `lint:allow <rule>` in a comment on the
 flagged line (for header-guard and test-registration, on the first line of
@@ -334,6 +348,286 @@ def check_quantize(root):
     return findings
 
 
+# --- rule: iostream --------------------------------------------------------
+
+IOSTREAM_EXEMPT = {os.path.join("src", "common", "logging.h"),
+                   os.path.join("src", "common", "logging.cc")}
+IOSTREAM_FORBIDDEN = re.compile(
+    r"\bstd::c(?:out|err|log)\b"
+    r"|\b(?:std::)?(?:printf|fprintf|vprintf|vfprintf|puts|fputs|putchar|"
+    r"fputc|putc)\s*\(")
+
+
+def check_iostream(root):
+    findings = []
+    for rel in walk_sources(root, "src"):
+        if rel in IOSTREAM_EXEMPT:
+            continue
+        for number, code, raw in code_lines(read_lines(root, rel)):
+            if (IOSTREAM_FORBIDDEN.search(code)
+                    and not suppressed(raw, "iostream")):
+                findings.append(Finding(
+                    "iostream", rel, number,
+                    "library code must not print; return Status / publish "
+                    "telemetry (src/common/logging.{h,cc} is the sanctioned "
+                    "reporter)"))
+    return findings
+
+
+# --- rule: include-layering ------------------------------------------------
+
+DAG_REL = os.path.join("tools", "layering.dag")
+# Matched against the *raw* line (strip_code_line erases string literals,
+# and the include path is one); the stripped line must still look like an
+# include so commented-out directives don't count.
+QUOTED_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+INCLUDE_DIRECTIVE_RE = re.compile(r'^\s*#\s*include\b')
+
+
+def src_libraries(root):
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        return []
+    return sorted(d for d in os.listdir(src)
+                  if os.path.isdir(os.path.join(src, d))
+                  and d not in SKIP_DIR_NAMES)
+
+
+def parse_dag(root, libs, findings):
+    """Reads tools/layering.dag -> {lib: {(dep, line_number), ...}} or None."""
+    path = os.path.join(root, DAG_REL)
+    if not os.path.isfile(path):
+        findings.append(Finding(
+            "include-layering", DAG_REL, 1,
+            "missing layering DAG; declare the src/<lib> dependency graph "
+            "here (docs/ANALYSIS.md, Layering DAG)"))
+        return None
+    declared = {}
+    libset = set(libs)
+    for number, raw in enumerate(read_lines(root, DAG_REL), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if ":" not in line:
+            findings.append(Finding(
+                "include-layering", DAG_REL, number,
+                f"unparseable line {line!r}; expected `lib: dep dep ...`"))
+            continue
+        lib, deps = line.split(":", 1)
+        lib = lib.strip()
+        if lib not in libset:
+            findings.append(Finding(
+                "include-layering", DAG_REL, number,
+                f"`{lib}` is not a library under src/; remove the stale "
+                "declaration"))
+            continue
+        if lib in declared:
+            findings.append(Finding(
+                "include-layering", DAG_REL, number,
+                f"duplicate declaration for `{lib}`"))
+            continue
+        declared[lib] = set()
+        for dep in deps.split():
+            if dep not in libset:
+                findings.append(Finding(
+                    "include-layering", DAG_REL, number,
+                    f"`{lib}` declares a dependency on `{dep}`, which is "
+                    "not a library under src/"))
+            elif dep == lib:
+                findings.append(Finding(
+                    "include-layering", DAG_REL, number,
+                    f"`{lib}` declares a dependency on itself"))
+            else:
+                declared[lib].add((dep, number))
+    return declared
+
+
+def find_declared_cycle(declared):
+    """Returns one cycle as [lib, ..., lib] in the declared graph, or None."""
+    graph = {lib: sorted(dep for dep, _line in deps)
+             for lib, deps in declared.items()}
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {lib: WHITE for lib in graph}
+    stack = []
+
+    def visit(lib):
+        color[lib] = GRAY
+        stack.append(lib)
+        for dep in graph.get(lib, ()):
+            if color.get(dep, BLACK) == GRAY:
+                return stack[stack.index(dep):] + [dep]
+            if color.get(dep, BLACK) == WHITE:
+                cycle = visit(dep)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[lib] = BLACK
+        return None
+
+    for lib in sorted(graph):
+        if color[lib] == WHITE:
+            cycle = visit(lib)
+            if cycle:
+                return cycle
+    return None
+
+
+def include_edges(root, libs):
+    """{(lib, dep): [(rel_path, line, raw), ...]} from quoted includes."""
+    libset = set(libs)
+    edges = {}
+    for lib in libs:
+        for rel in walk_sources(root, os.path.join("src", lib)):
+            for number, code, raw in code_lines(read_lines(root, rel)):
+                if not INCLUDE_DIRECTIVE_RE.match(code):
+                    continue
+                m = QUOTED_INCLUDE_RE.match(raw)
+                if not m:
+                    continue
+                top = m.group(1).split("/", 1)[0]
+                if top in libset and top != lib:
+                    edges.setdefault((lib, top), []).append(
+                        (rel, number, raw))
+    return edges
+
+
+def link_edges(root, libs):
+    """{lib: {(dep, line_number), ...}} from direct target_link_libraries
+    edges in src/<lib>/CMakeLists.txt, or lib -> None when the library has
+    no CMake link information (header-only umbrella dirs)."""
+    libset = set(libs)
+    edges = {}
+    for lib in libs:
+        cmake_rel = os.path.join("src", lib, "CMakeLists.txt")
+        path = os.path.join(root, cmake_rel)
+        if not os.path.isfile(path):
+            edges[lib] = None
+            continue
+        lines = read_lines(root, cmake_rel)
+        deps = set()
+        call = None  # (start_line, accumulated text) of an open call
+        for number, raw in enumerate(lines, start=1):
+            text = raw.split("#", 1)[0]
+            if call is None:
+                m = re.search(
+                    r"target_link_libraries\s*\(\s*st_" + re.escape(lib)
+                    + r"\b", text)
+                if not m:
+                    continue
+                call = (number, text[m.end():])
+            else:
+                call = (call[0], call[1] + " " + text)
+            if ")" in call[1]:
+                body = call[1].split(")", 1)[0]
+                for dep in re.findall(r"\bst_([A-Za-z0-9_]+)", body):
+                    if dep in libset and dep != lib:
+                        deps.add((dep, call[0]))
+                call = None
+        edges[lib] = deps
+    return edges
+
+
+def link_closure(direct):
+    """Transitive closure of {lib: {dep, ...}}."""
+    closure = {lib: set(deps) for lib, deps in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for lib in closure:
+            for dep in list(closure[lib]):
+                extra = closure.get(dep, set()) - closure[lib]
+                if extra:
+                    closure[lib] |= extra
+                    changed = True
+    return closure
+
+
+def check_include_layering(root):
+    # Armed only for full checkouts (the repo, or a fixture tree that
+    # carries its own tools/ directory) — fixture trees for the other rules
+    # should not be forced to commit a DAG.
+    if not os.path.isdir(os.path.join(root, "tools")):
+        return []
+    libs = src_libraries(root)
+    if not libs:
+        return []
+    findings = []
+    declared = parse_dag(root, libs, findings)
+    if declared is None:
+        return findings
+
+    cycle = find_declared_cycle(declared)
+    if cycle:
+        findings.append(Finding(
+            "include-layering", DAG_REL, 1,
+            "declared dependency cycle: " + " -> ".join(cycle)
+            + "; the layering graph must be a DAG"))
+
+    declared_edges = {(lib, dep) for lib, deps in declared.items()
+                      for dep, _line in deps}
+    includes = include_edges(root, libs)
+    links = link_edges(root, libs)
+
+    # Every include edge must be declared.
+    for (lib, dep), sites in sorted(includes.items()):
+        if (lib, dep) in declared_edges:
+            continue
+        for rel, number, raw in sites:
+            if suppressed(raw, "include-layering"):
+                continue
+            findings.append(Finding(
+                "include-layering", rel, number,
+                f"undeclared dependency `{lib} -> {dep}`; declare it in "
+                f"{DAG_REL} (keeping the graph acyclic) or drop the "
+                "include"))
+
+    # Every direct link edge must be declared (CMake cross-check, part 1).
+    for lib in libs:
+        if links.get(lib) is None:
+            continue
+        for dep, number in sorted(links[lib]):
+            if (lib, dep) not in declared_edges:
+                findings.append(Finding(
+                    "include-layering",
+                    os.path.join("src", lib, "CMakeLists.txt"), number,
+                    f"undeclared link dependency `st_{lib} -> st_{dep}`; "
+                    f"declare `{lib}: {dep}` in {DAG_REL}"))
+
+    # Every include edge must be linked, at least transitively (CMake
+    # cross-check, part 2: headers and link lines can't drift apart).
+    direct_links = {lib: {dep for dep, _line in (links.get(lib) or set())}
+                    for lib in libs}
+    closure = link_closure(direct_links)
+    for (lib, dep), sites in sorted(includes.items()):
+        if links.get(lib) is None:
+            continue  # no link information (header-only umbrella)
+        if dep in closure[lib]:
+            continue
+        for rel, number, raw in sites:
+            if suppressed(raw, "include-layering"):
+                continue
+            findings.append(Finding(
+                "include-layering", rel, number,
+                f"`{lib}` includes `{dep}/` headers but st_{lib} does not "
+                f"link st_{dep} (not even transitively); add it to "
+                f"target_link_libraries in src/{lib}/CMakeLists.txt"))
+
+    # Every declared edge must still be real (staleness).
+    witnessed = set(includes)
+    for lib in libs:
+        for dep, _line in (links.get(lib) or set()):
+            witnessed.add((lib, dep))
+    for lib, deps in sorted(declared.items()):
+        for dep, number in sorted(deps):
+            if (lib, dep) not in witnessed:
+                findings.append(Finding(
+                    "include-layering", DAG_REL, number,
+                    f"stale declaration `{lib}: {dep}` — no include or "
+                    "link edge uses it; remove it so the DAG stays the "
+                    "truth"))
+    return findings
+
+
 RULES = {
     "rng": check_rng,
     "header-guard": check_header_guard,
@@ -341,6 +635,8 @@ RULES = {
     "no-throw": check_no_throw,
     "quantize": check_quantize,
     "clock": check_clock,
+    "iostream": check_iostream,
+    "include-layering": check_include_layering,
 }
 
 

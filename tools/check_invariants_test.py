@@ -24,6 +24,9 @@ CASES = {
     "throw_violation": (1, {"no-throw"}),
     "quantize_violation": (1, {"quantize"}),
     "clock_violation": (1, {"clock"}),
+    "iostream_violation": (1, {"iostream"}),
+    "layering_clean": (0, set()),
+    "layering_violation": (1, {"include-layering"}),
     "suppressed": (0, set()),
 }
 
@@ -40,6 +43,13 @@ EXPECTED_FILES = {
     # clock.cc in the fixture also reads the wall clock but is the
     # sanctioned location — only the stray read may be flagged.
     "clock_violation": {os.path.join("src", "foo", "bad_clock.cc")},
+    "iostream_violation": {os.path.join("src", "foo", "bad_print.cc")},
+    # The declared alpha <-> beta cycle is reported on the DAG itself; the
+    # undeclared gamma -> delta include on the including header.
+    "layering_violation": {
+        os.path.join("tools", "layering.dag"),
+        os.path.join("src", "gamma", "g.h"),
+    },
 }
 
 
