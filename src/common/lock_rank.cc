@@ -6,6 +6,7 @@ namespace spacetwist::lock_order {
 // its level's rank and a "lock_order." name so that if one ever *were*
 // locked by mistake, the runtime enforcer would name it clearly.
 Mutex kFaultyTransport{LockRank::kFaultyTransport, "lock_order.faulty_transport"};
+Mutex kEventTransport{LockRank::kEventTransport, "lock_order.event_transport"};
 Mutex kThreadPool{LockRank::kThreadPool, "lock_order.thread_pool"};
 Mutex kLoadGenerator{LockRank::kLoadGenerator, "lock_order.load_generator"};
 Mutex kSessionManager{LockRank::kSessionManager, "lock_order.session_manager"};

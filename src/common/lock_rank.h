@@ -28,7 +28,8 @@ namespace spacetwist::lock_order {
 /// lock_rank.cc. The sentinels are never locked at runtime; they exist
 /// purely as annotation anchors.
 extern Mutex kFaultyTransport;
-extern Mutex kThreadPool ACQUIRED_AFTER(kFaultyTransport);
+extern Mutex kEventTransport ACQUIRED_AFTER(kFaultyTransport);
+extern Mutex kThreadPool ACQUIRED_AFTER(kEventTransport);
 extern Mutex kLoadGenerator ACQUIRED_AFTER(kThreadPool);
 extern Mutex kSessionManager ACQUIRED_AFTER(kLoadGenerator);
 extern Mutex kEngineFront ACQUIRED_AFTER(kSessionManager);

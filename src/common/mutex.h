@@ -41,6 +41,7 @@ namespace spacetwist {
 /// runtime by the per-thread enforcer below (SPACETWIST_LOCK_RANK_CHECKS).
 enum class LockRank : int {
   kFaultyTransport = 100,  ///< net::FaultyTransport schedule (outermost)
+  kEventTransport = 150,   ///< engine::InProcessEventTransport queues
   kThreadPool = 200,       ///< service::ThreadPool queue
   kLoadGenerator = 300,    ///< eval load generator first-error latch
   kSessionManager = 400,   ///< server::SessionManager table

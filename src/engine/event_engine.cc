@@ -1,0 +1,127 @@
+#include "engine/event_engine.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace spacetwist::engine {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+std::vector<uint8_t> EncodeError(const Status& status) {
+  // Byte-identical to ServiceEngine's error frames for requests that never
+  // named a session (session_id 0) — the only error class the loop itself
+  // can produce.
+  return net::EncodeResponse(
+      net::ErrorReply{status.code(), /*session_id=*/0, status.message()});
+}
+
+}  // namespace
+
+std::vector<uint8_t> EventEngine::Port::HandleFrame(
+    const std::vector<uint8_t>& request_frame) {
+  // A FrameHandler cannot fail, so transport failures (only possible after
+  // engine shutdown) surface as an encoded error frame like any other.
+  Status submitted = transport_->Submit(conn_id_, request_frame);
+  if (!submitted.ok()) return EncodeError(submitted);
+  Result<std::vector<uint8_t>> reply = transport_->AwaitReply(conn_id_);
+  if (!reply.ok()) return EncodeError(reply.status());
+  return reply.MoveValueOrDie();
+}
+
+EventEngine::EventEngine(service::ServiceEngine* service,
+                         InProcessEventTransport* transport,
+                         const EventEngineOptions& options)
+    : service_(service),
+      transport_(transport),
+      options_(options),
+      clock_(telemetry::OrDefault(options.clock)),
+      pool_(options.worker_threads,
+            service::ThreadPoolOptions{options.max_run_queue,
+                                       options.registry}) {
+  SPACETWIST_CHECK(service_ != nullptr);
+  SPACETWIST_CHECK(transport_ != nullptr);
+  SPACETWIST_CHECK(options_.worker_threads >= 1);
+  SPACETWIST_CHECK(options_.poll_batch >= 1);
+  telemetry::MetricRegistry* registry =
+      telemetry::MetricRegistry::OrDefault(options.registry);
+  instruments_.frames = registry->GetCounter("engine.frames");
+  instruments_.decode_errors = registry->GetCounter("engine.decode_errors");
+  instruments_.rejected = registry->GetCounter("engine.rejected");
+  instruments_.dispatched = registry->GetCounter("engine.dispatched");
+  instruments_.replies = registry->GetCounter("engine.replies");
+  instruments_.queue_delay_ns = registry->GetHistogram("engine.queue_delay_ns");
+  loop_ = std::thread([this] { Loop(); });
+}
+
+EventEngine::~EventEngine() {
+  transport_->Shutdown();
+  loop_.join();    // drains every accepted frame first (WaitReady contract)
+  pool_.Wait();    // in-flight dispatches finish and reply
+}
+
+void EventEngine::Loop() {
+  std::vector<FrameEvent> batch;
+  batch.reserve(options_.poll_batch);
+  while (transport_->WaitReady()) {
+    batch.clear();
+    transport_->PollReady(options_.poll_batch, &batch);
+    for (FrameEvent& event : batch) Dispatch(std::move(event));
+  }
+}
+
+void EventEngine::Dispatch(FrameEvent event) {
+  counters_.frames.fetch_add(1, kRelaxed);
+  instruments_.frames->Add();
+
+  // Decode on the loop thread: cheap, and a malformed frame never costs a
+  // run-queue slot.
+  Result<net::Request> request = net::DecodeRequest(event.frame);
+  if (!request.ok()) {
+    counters_.decode_errors.fetch_add(1, kRelaxed);
+    instruments_.decode_errors->Add();
+    // Count the reply before SendReply publishes it: a client can observe
+    // its reply (and read metrics()) the instant the push lands.
+    counters_.replies.fetch_add(1, kRelaxed);
+    instruments_.replies->Add();
+    transport_->SendReply(event.conn_id, EncodeError(request.status()));
+    return;
+  }
+
+  const uint64_t conn_id = event.conn_id;
+  const uint64_t admit_ns = clock_->NowNs();
+  Status admitted = pool_.TrySubmit(
+      [this, conn_id, admit_ns, req = std::move(*request)] {
+        instruments_.queue_delay_ns->Record(clock_->NowNs() - admit_ns);
+        std::vector<uint8_t> reply = service_->HandleDecoded(req);
+        counters_.replies.fetch_add(1, kRelaxed);
+        instruments_.replies->Add();
+        transport_->SendReply(conn_id, std::move(reply));
+      });
+  if (!admitted.ok()) {
+    // Run queue full: shed the request with the engine's backpressure
+    // signal so the client backs off, exactly like the session cap.
+    counters_.rejected.fetch_add(1, kRelaxed);
+    instruments_.rejected->Add();
+    counters_.replies.fetch_add(1, kRelaxed);
+    instruments_.replies->Add();
+    transport_->SendReply(event.conn_id, EncodeError(admitted));
+    return;
+  }
+  counters_.dispatched.fetch_add(1, kRelaxed);
+  instruments_.dispatched->Add();
+}
+
+EventEngineMetrics EventEngine::metrics() const {
+  EventEngineMetrics m;
+  m.frames = counters_.frames.load(kRelaxed);
+  m.decode_errors = counters_.decode_errors.load(kRelaxed);
+  m.rejected = counters_.rejected.load(kRelaxed);
+  m.dispatched = counters_.dispatched.load(kRelaxed);
+  m.replies = counters_.replies.load(kRelaxed);
+  return m;
+}
+
+}  // namespace spacetwist::engine

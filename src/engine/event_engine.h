@@ -1,0 +1,141 @@
+#ifndef SPACETWIST_ENGINE_EVENT_ENGINE_H_
+#define SPACETWIST_ENGINE_EVENT_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "engine/event_transport.h"
+#include "net/wire.h"
+#include "service/service_engine.h"
+#include "service/thread_pool.h"
+#include "telemetry/clock.h"
+#include "telemetry/metric.h"
+#include "telemetry/registry.h"
+
+namespace spacetwist::engine {
+
+/// Tuning knobs for EventEngine.
+struct EventEngineOptions {
+  /// Worker threads executing dispatched requests.
+  size_t worker_threads = 4;
+  /// Bound on the run queue between the event loop and the workers; an
+  /// arrival that finds it full is answered with an encoded
+  /// kResourceExhausted error frame (the engine's overload signal — same
+  /// semantics as the session-cap backpressure). 0 = unbounded.
+  size_t max_run_queue = 1024;
+  /// Frames drained from the transport per loop iteration.
+  size_t poll_batch = 64;
+  /// Queue-delay timestamps; inject a telemetry::VirtualClock for
+  /// byte-identical runs. Null = the process-wide real clock.
+  telemetry::Clock* clock = nullptr;
+  /// Instrument sink for the engine.* instruments (null = process default).
+  telemetry::MetricRegistry* registry = nullptr;
+};
+
+/// Point-in-time counters of the event loop.
+struct EventEngineMetrics {
+  uint64_t frames = 0;         ///< events drained from the transport
+  uint64_t decode_errors = 0;  ///< malformed frames answered on the loop
+  uint64_t rejected = 0;       ///< run-queue-full kResourceExhausted replies
+  uint64_t dispatched = 0;     ///< requests handed to the worker pool
+  uint64_t replies = 0;        ///< response frames sent (all outcomes)
+};
+
+/// Event-driven serving front end (docs/SERVICE.md §7): each wire session
+/// is a small explicit state machine — decode → dispatch → reply — driven
+/// by one event-loop thread over a readiness-based EventTransport, with a
+/// bounded run queue feeding service::ThreadPool workers. No thread is
+/// parked per pull: a connection consumes memory between its frames, not a
+/// stack.
+///
+///   loop thread:  WaitReady → PollReady(batch) → per frame:
+///                   decode        (malformed → error reply, loop thread)
+///                   admit         (TrySubmit; full → kResourceExhausted
+///                                  error reply — wire-level backpressure)
+///   worker:         dispatch      (ServiceEngine::HandleDecoded — the
+///                                  exact thread-per-pull dispatch+encode,
+///                                  so results are byte-identical by
+///                                  construction; engine_differential_test
+///                                  pins it)
+///                   reply         (SendReply on the transport)
+///
+/// The engine borrows `service` (a ServiceEngine over any InnBackend — a
+/// single LbsServer or a shard::ShardRouter fleet) and `transport`, both of
+/// which must outlive it. Destruction shuts the transport down, drains
+/// every accepted frame, and joins the loop and workers.
+///
+/// Exported instruments (docs/OBSERVABILITY.md):
+///   engine.frames, engine.decode_errors, engine.rejected,
+///   engine.dispatched, engine.replies            counters
+///   engine.queue_delay_ns                        histogram, admit → run
+class EventEngine {
+ public:
+  EventEngine(service::ServiceEngine* service,
+              InProcessEventTransport* transport,
+              const EventEngineOptions& options = EventEngineOptions());
+  ~EventEngine();
+
+  EventEngine(const EventEngine&) = delete;
+  EventEngine& operator=(const EventEngine&) = delete;
+
+  /// A per-connection net::FrameHandler over the event engine: HandleFrame
+  /// submits the frame on this Port's connection and blocks for the reply.
+  /// Cheap to copy; make one per simulated user. Existing clients
+  /// (service::WireSession, net::DirectTransport, net::FaultyTransport)
+  /// compose with it unchanged — that is how the differential test runs the
+  /// fault schedule against both serving paths.
+  class Port : public net::FrameHandler {
+   public:
+    Port(InProcessEventTransport* transport, uint64_t conn_id)
+        : transport_(transport), conn_id_(conn_id) {}
+
+    std::vector<uint8_t> HandleFrame(
+        const std::vector<uint8_t>& request_frame) override;
+
+   private:
+    InProcessEventTransport* transport_;
+    uint64_t conn_id_;
+  };
+
+  /// Opens a new connection on the engine's transport.
+  Port NewPort() { return Port(transport_, transport_->Connect()); }
+
+  EventEngineMetrics metrics() const;
+
+ private:
+  void Loop();
+  void Dispatch(FrameEvent event);
+
+  service::ServiceEngine* service_;
+  InProcessEventTransport* transport_;
+  EventEngineOptions options_;
+  telemetry::Clock* clock_;
+  service::ThreadPool pool_;  ///< bounded run queue + workers
+
+  struct Counters {
+    std::atomic<uint64_t> frames{0};
+    std::atomic<uint64_t> decode_errors{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> dispatched{0};
+    std::atomic<uint64_t> replies{0};
+  };
+  Counters counters_;
+
+  struct Instruments {
+    telemetry::Counter* frames;
+    telemetry::Counter* decode_errors;
+    telemetry::Counter* rejected;
+    telemetry::Counter* dispatched;
+    telemetry::Counter* replies;
+    telemetry::Histogram* queue_delay_ns;
+  };
+  Instruments instruments_;
+
+  std::thread loop_;  ///< started last in the ctor, joined in the dtor
+};
+
+}  // namespace spacetwist::engine
+
+#endif  // SPACETWIST_ENGINE_EVENT_ENGINE_H_

@@ -1,0 +1,82 @@
+#include "engine/event_transport.h"
+
+#include <utility>
+
+namespace spacetwist::engine {
+
+uint64_t InProcessEventTransport::Connect() {
+  MutexLock lock(&mu_);
+  const uint64_t id = next_conn_++;
+  conns_.emplace(id, std::make_unique<Conn>());
+  return id;
+}
+
+Status InProcessEventTransport::Submit(uint64_t conn_id,
+                                       std::vector<uint8_t> frame) {
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) return Status::Internal("event transport shut down");
+    ready_.push_back(FrameEvent{conn_id, std::move(frame)});
+  }
+  ready_cv_.NotifyOne();
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> InProcessEventTransport::AwaitReply(
+    uint64_t conn_id) {
+  MutexLock lock(&mu_);
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return Status::InvalidArgument("unknown connection");
+  }
+  Conn* conn = it->second.get();
+  while (conn->replies.empty() && !shutdown_) conn->reply_cv.Wait(&mu_);
+  if (conn->replies.empty()) {
+    return Status::Internal("event transport shut down");
+  }
+  std::vector<uint8_t> frame = std::move(conn->replies.front());
+  conn->replies.pop_front();
+  return frame;
+}
+
+bool InProcessEventTransport::WaitReady() {
+  MutexLock lock(&mu_);
+  while (ready_.empty() && !shutdown_) ready_cv_.Wait(&mu_);
+  return !ready_.empty();
+}
+
+size_t InProcessEventTransport::PollReady(size_t max_events,
+                                          std::vector<FrameEvent>* out) {
+  MutexLock lock(&mu_);
+  size_t moved = 0;
+  while (moved < max_events && !ready_.empty()) {
+    out->push_back(std::move(ready_.front()));
+    ready_.pop_front();
+    ++moved;
+  }
+  return moved;
+}
+
+void InProcessEventTransport::SendReply(uint64_t conn_id,
+                                        std::vector<uint8_t> frame) {
+  CondVar* cv = nullptr;
+  {
+    MutexLock lock(&mu_);
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;  // peer gone: drop, like a closed fd
+    it->second->replies.push_back(std::move(frame));
+    cv = &it->second->reply_cv;
+  }
+  cv->NotifyOne();
+}
+
+void InProcessEventTransport::Shutdown() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+    for (auto& [id, conn] : conns_) conn->reply_cv.NotifyAll();
+  }
+  ready_cv_.NotifyAll();
+}
+
+}  // namespace spacetwist::engine

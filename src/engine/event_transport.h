@@ -1,0 +1,113 @@
+#ifndef SPACETWIST_ENGINE_EVENT_TRANSPORT_H_
+#define SPACETWIST_ENGINE_EVENT_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+
+namespace spacetwist::engine {
+
+/// One readable event: a complete request frame that arrived on a
+/// connection. The in-process transport hands frames around whole (framing
+/// is the wire codec's job); an epoll-backed implementation would
+/// accumulate bytes per fd and surface an event only when a length-prefixed
+/// frame completes — the interface below is unchanged either way.
+struct FrameEvent {
+  uint64_t conn_id = 0;
+  std::vector<uint8_t> frame;
+};
+
+/// Readiness-based transport the event loop runs over — the epoll analogue
+/// (docs/SERVICE.md §7). The loop parks in WaitReady() (epoll_wait), drains
+/// a batch of complete frames with PollReady(), and answers with
+/// SendReply(); no thread is ever parked per connection. Implementations
+/// must make all three calls safe from any thread: the loop polls while
+/// workers reply.
+class EventTransport {
+ public:
+  virtual ~EventTransport() = default;
+
+  /// Blocks until at least one frame is ready or the transport is shut
+  /// down. Returns false only when shut down *and* fully drained — the
+  /// loop's termination condition, so no accepted frame is ever dropped.
+  virtual bool WaitReady() = 0;
+
+  /// Moves up to `max_events` ready frames into `out` (appended; caller
+  /// clears). Never blocks. Returns the number moved.
+  virtual size_t PollReady(size_t max_events, std::vector<FrameEvent>* out) = 0;
+
+  /// Queues one response frame for `conn_id`. Unknown connections are
+  /// dropped silently (the peer hung up — exactly what a socket write to a
+  /// closed fd amounts to).
+  virtual void SendReply(uint64_t conn_id, std::vector<uint8_t> frame) = 0;
+};
+
+/// In-process EventTransport: connections are ids, the readable set is a
+/// FIFO of submitted frames, replies are per-connection queues with a
+/// CondVar for the blocked client. The client side (Connect / Submit /
+/// AwaitReply) is what EventEngine::Port builds a net::FrameHandler from,
+/// so WireSession, FaultyTransport, and the load generators compose with
+/// the event-driven engine unchanged.
+class InProcessEventTransport : public EventTransport {
+ public:
+  InProcessEventTransport() = default;
+  InProcessEventTransport(const InProcessEventTransport&) = delete;
+  InProcessEventTransport& operator=(const InProcessEventTransport&) = delete;
+
+  // Client side ----------------------------------------------------------
+
+  /// Opens a connection; the returned id is never reused.
+  uint64_t Connect() EXCLUDES(mu_);
+
+  /// Delivers one request frame on `conn_id`. Fails once shut down.
+  [[nodiscard]] Status Submit(uint64_t conn_id, std::vector<uint8_t> frame)
+      EXCLUDES(mu_);
+
+  /// Blocks until the next reply frame for `conn_id` arrives; fails if the
+  /// transport shuts down first (replies already queued are still drained).
+  Result<std::vector<uint8_t>> AwaitReply(uint64_t conn_id) EXCLUDES(mu_);
+
+  // Server side (EventTransport) -----------------------------------------
+
+  bool WaitReady() override EXCLUDES(mu_);
+  size_t PollReady(size_t max_events, std::vector<FrameEvent>* out) override
+      EXCLUDES(mu_);
+  void SendReply(uint64_t conn_id, std::vector<uint8_t> frame) override
+      EXCLUDES(mu_);
+
+  /// Stops accepting Submits and wakes the loop and every blocked
+  /// AwaitReply. Already-accepted frames remain pollable (WaitReady keeps
+  /// returning true until drained).
+  void Shutdown() EXCLUDES(mu_);
+
+ private:
+  struct Conn {
+    std::deque<std::vector<uint8_t>> replies;
+    CondVar reply_cv;
+  };
+
+  // Rank: above FaultyTransport (Port::HandleFrame — Submit + AwaitReply —
+  // may run under a FaultyTransport round-trip lock) and below everything
+  // else: the loop thread releases this lock before dispatching into the
+  // pool/engine, and workers take it last, after HandleDecoded returned.
+  Mutex mu_ ACQUIRED_AFTER(lock_order::kEventTransport)
+      ACQUIRED_BEFORE(lock_order::kThreadPool){LockRank::kEventTransport,
+                                               "engine.event_transport"};
+  CondVar ready_cv_;  ///< signals the loop: frames ready or shutdown
+  std::deque<FrameEvent> ready_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_ GUARDED_BY(mu_);
+  uint64_t next_conn_ GUARDED_BY(mu_) = 1;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace spacetwist::engine
+
+#endif  // SPACETWIST_ENGINE_EVENT_TRANSPORT_H_

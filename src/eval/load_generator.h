@@ -18,10 +18,15 @@
 
 namespace spacetwist::eval {
 
-/// Shape of one serving-throughput run: M simulated clients, each issuing
-/// `queries_per_client` SpaceTwist queries back-to-back (closed loop: a
+/// Shape of one *closed-loop* serving-throughput run: M simulated clients,
+/// each issuing `queries_per_client` SpaceTwist queries back-to-back (a
 /// client only starts its next query when the previous one finished),
 /// executed on `worker_threads` threads against one shared ServiceEngine.
+/// Closed-loop load self-limits to M in-flight queries, so it measures
+/// capacity but can never push the engine past saturation; for offered-load
+/// sweeps past the knee use the *open-loop* mode instead
+/// (eval/open_loop.h: Poisson/Zipf arrivals against the event-driven
+/// engine; docs/SERVICE.md §7 contrasts the two).
 struct LoadOptions {
   size_t num_clients = 32;
   size_t queries_per_client = 4;

@@ -1,0 +1,258 @@
+#include "eval/open_loop.h"
+
+#include <algorithm>
+#include <atomic>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "core/spacetwist_client.h"
+#include "engine/event_engine.h"
+#include "service/thread_pool.h"
+#include "service/wire_client.h"
+
+namespace spacetwist::eval {
+
+namespace {
+
+Status ValidateOptions(const OpenLoopOptions& options) {
+  if (options.arrival.rate_qps <= 0.0) {
+    return Status::InvalidArgument("arrival.rate_qps must be > 0");
+  }
+  if (options.arrival.num_users < 1) {
+    return Status::InvalidArgument("arrival.num_users must be >= 1");
+  }
+  if (options.arrival.total_arrivals < 1) {
+    return Status::InvalidArgument("arrival.total_arrivals must be >= 1");
+  }
+  if (options.worker_threads < 1) {
+    return Status::InvalidArgument("worker_threads must be >= 1");
+  }
+  if (options.max_inflight < 1) {
+    return Status::InvalidArgument("max_inflight must be >= 1");
+  }
+  return Status::OK();
+}
+
+/// Per-arrival result slot, written by exactly one task (kMeasured) or
+/// sequentially (kVirtual); folded user-major afterwards so digests are
+/// independent of thread interleaving.
+struct Slot {
+  Status status;
+  core::QueryOutcome outcome;
+  bool completed = false;
+};
+
+void FinishReport(const OpenLoopWorkload& workload,
+                  const OpenLoopOptions& options, std::vector<Slot>* slots,
+                  const telemetry::Histogram& latency,
+                  const telemetry::Histogram& queue_delay,
+                  OpenLoopReport* report) {
+  report->offered_qps = options.arrival.rate_qps;
+  report->arrivals = workload.arrivals.size();
+  report->digests.assign(options.arrival.num_users, ClientDigest{});
+  // Schedule order is deterministic, so the user-major fold below is too.
+  for (size_t i = 0; i < workload.arrivals.size(); ++i) {
+    Slot& slot = (*slots)[i];
+    if (!slot.completed) continue;
+    FoldOutcome(slot.outcome, &report->digests[workload.arrivals[i].user]);
+  }
+  report->latency = latency.Snapshot();
+  report->queue_delay = queue_delay.Snapshot();
+  report->p50_latency_ms = report->latency.Percentile(0.50) / 1e6;
+  report->p99_latency_ms = report->latency.Percentile(0.99) / 1e6;
+  report->goodput_qps =
+      report->wall_seconds > 0.0
+          ? static_cast<double>(report->completed) / report->wall_seconds
+          : 0.0;
+}
+
+Result<OpenLoopReport> RunMeasured(engine::EventEngine* event_engine,
+                                   const OpenLoopWorkload& workload,
+                                   const OpenLoopOptions& options,
+                                   telemetry::Clock* clock,
+                                   telemetry::Counter* completed_metric,
+                                   telemetry::Counter* rejected_metric) {
+  std::vector<Slot> slots(workload.arrivals.size());
+  telemetry::Histogram latency;
+  telemetry::Histogram queue_delay;
+
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> rejected{0};
+  // Rank: taken from inside client tasks, above the serving stack the task
+  // called into (all released by then) — same slot as the closed loop's.
+  Mutex error_mu{LockRank::kLoadGenerator, "eval.open_loop.error"};
+  Status first_error;
+
+  // The client pool's queue is the open-loop backlog itself, so it stays
+  // unbounded; its `max_inflight` workers cap concurrent sessions.
+  service::ThreadPool clients(options.max_inflight);
+
+  const uint64_t run_start_ns = clock->NowNs();
+  for (size_t i = 0; i < workload.arrivals.size(); ++i) {
+    const Arrival& arrival = workload.arrivals[i];
+    // Open loop: release at the scheduled instant no matter how far behind
+    // the servers are. Spin-yield on the injected clock (a VirtualClock
+    // makes this a no-op).
+    const uint64_t release_ns = run_start_ns + arrival.at_ns;
+    while (clock->NowNs() < release_ns) std::this_thread::yield();
+    Slot* slot = &slots[i];
+    clients.Submit([event_engine, &arrival, slot, release_ns, clock, &latency,
+                    &queue_delay, &failed, &completed, &rejected, &error_mu,
+                    &first_error, &options] {
+      if (failed.load(std::memory_order_relaxed)) return;
+      queue_delay.Record(clock->NowNs() - release_ns);
+      engine::EventEngine::Port port = event_engine->NewPort();
+      Result<core::QueryOutcome> outcome =
+          service::RemoteQuery(&port, arrival.q, arrival.anchor,
+                               options.params);
+      const uint64_t end_ns = clock->NowNs();
+      if (!outcome.ok()) {
+        if (outcome.status().code() == StatusCode::kResourceExhausted) {
+          // Backpressure (engine run queue or session cap): the arrival is
+          // shed, which is goodput lost, not a run failure.
+          slot->status = outcome.status();
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        failed.store(true, std::memory_order_relaxed);
+        MutexLock lock(&error_mu);
+        if (first_error.ok()) first_error = outcome.status();
+        return;
+      }
+      latency.Record(end_ns - release_ns);
+      slot->outcome = outcome.MoveValueOrDie();
+      slot->completed = true;
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  clients.Wait();
+  const uint64_t run_end_ns = clock->NowNs();
+
+  if (failed.load()) {
+    MutexLock lock(&error_mu);
+    return first_error;
+  }
+
+  OpenLoopReport report;
+  report.wall_seconds =
+      static_cast<double>(run_end_ns - run_start_ns) / 1e9;
+  report.completed = completed.load();
+  report.rejected = rejected.load();
+  completed_metric->Add(report.completed);
+  rejected_metric->Add(report.rejected);
+  FinishReport(workload, options, &slots, latency, queue_delay, &report);
+  return report;
+}
+
+Result<OpenLoopReport> RunVirtual(engine::EventEngine* event_engine,
+                                  const OpenLoopWorkload& workload,
+                                  const OpenLoopOptions& options,
+                                  telemetry::Counter* completed_metric) {
+  std::vector<Slot> slots(workload.arrivals.size());
+  telemetry::Histogram latency;
+  telemetry::Histogram queue_delay;
+
+  // M/D/c-style service model: `worker_threads` virtual servers, each
+  // arrival seizes the earliest-free one. Min-heap of free times.
+  std::priority_queue<uint64_t, std::vector<uint64_t>,
+                      std::greater<uint64_t>>
+      free_at;
+  for (size_t i = 0; i < options.worker_threads; ++i) free_at.push(0);
+
+  uint64_t makespan_ns = 0;
+  for (size_t i = 0; i < workload.arrivals.size(); ++i) {
+    const Arrival& arrival = workload.arrivals[i];
+    // Real results through the real event-driven path, sequentially — the
+    // serving side is exercised end to end, only *time* is modeled.
+    engine::EventEngine::Port port = event_engine->NewPort();
+    SPACETWIST_ASSIGN_OR_RETURN(
+        core::QueryOutcome outcome,
+        service::RemoteQuery(&port, arrival.q, arrival.anchor,
+                             options.params));
+    const uint64_t service_ns =
+        options.virtual_service_base_ns +
+        options.virtual_service_per_packet_ns * outcome.packets;
+    const uint64_t server_free = free_at.top();
+    free_at.pop();
+    const uint64_t start = std::max(arrival.at_ns, server_free);
+    const uint64_t finish = start + service_ns;
+    free_at.push(finish);
+    makespan_ns = std::max(makespan_ns, finish);
+    queue_delay.Record(start - arrival.at_ns);
+    latency.Record(finish - arrival.at_ns);
+    slots[i].outcome = std::move(outcome);
+    slots[i].completed = true;
+  }
+
+  OpenLoopReport report;
+  report.wall_seconds = static_cast<double>(makespan_ns) / 1e9;
+  report.completed = workload.arrivals.size();
+  report.rejected = 0;
+  completed_metric->Add(report.completed);
+  FinishReport(workload, options, &slots, latency, queue_delay, &report);
+  return report;
+}
+
+}  // namespace
+
+Result<OpenLoopReport> RunOpenLoopLoad(service::ServiceEngine* service,
+                                       const geom::Rect& domain,
+                                       const OpenLoopOptions& options) {
+  if (service == nullptr) return Status::InvalidArgument("service is null");
+  SPACETWIST_RETURN_NOT_OK(ValidateOptions(options));
+  if (service->packet_config().Capacity() != options.params.packet.Capacity()) {
+    return Status::InvalidArgument(
+        "engine packet config differs from client params; outcomes would "
+        "not match the reference path");
+  }
+
+  telemetry::Clock* clock = telemetry::OrDefault(options.clock);
+  telemetry::MetricRegistry* registry =
+      telemetry::MetricRegistry::OrDefault(options.registry);
+  telemetry::Counter* offered_metric =
+      registry->GetCounter("eval.arrival.offered");
+  telemetry::Counter* completed_metric =
+      registry->GetCounter("eval.arrival.completed");
+  telemetry::Counter* rejected_metric =
+      registry->GetCounter("eval.arrival.rejected");
+
+  const OpenLoopWorkload workload =
+      BuildOpenLoopWorkload(domain, options.params, options.arrival);
+  offered_metric->Add(workload.arrivals.size());
+
+  engine::EventEngineOptions engine_options;
+  engine_options.worker_threads = options.worker_threads;
+  engine_options.max_run_queue = options.max_run_queue;
+  engine_options.clock = options.clock;
+  engine_options.registry = options.registry;
+  engine::InProcessEventTransport transport;
+  engine::EventEngine event_engine(service, &transport, engine_options);
+
+  return options.pacing == OpenLoopPacing::kMeasured
+             ? RunMeasured(&event_engine, workload, options, clock,
+                           completed_metric, rejected_metric)
+             : RunVirtual(&event_engine, workload, options, completed_metric);
+}
+
+Result<std::vector<ClientDigest>> RunOpenLoopReference(
+    server::LbsServer* server, const OpenLoopOptions& options) {
+  if (server == nullptr) return Status::InvalidArgument("server is null");
+  SPACETWIST_RETURN_NOT_OK(ValidateOptions(options));
+  const OpenLoopWorkload workload =
+      BuildOpenLoopWorkload(server->domain(), options.params, options.arrival);
+  core::SpaceTwistClient client(server);
+  std::vector<ClientDigest> digests(options.arrival.num_users);
+  for (const Arrival& arrival : workload.arrivals) {
+    SPACETWIST_ASSIGN_OR_RETURN(
+        core::QueryOutcome outcome,
+        client.Query(arrival.q, arrival.anchor, options.params));
+    FoldOutcome(outcome, &digests[arrival.user]);
+  }
+  return digests;
+}
+
+}  // namespace spacetwist::eval

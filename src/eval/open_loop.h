@@ -1,0 +1,95 @@
+#ifndef SPACETWIST_EVAL_OPEN_LOOP_H_
+#define SPACETWIST_EVAL_OPEN_LOOP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/spacetwist_client.h"
+#include "eval/arrival.h"
+#include "eval/load_generator.h"
+#include "geom/rect.h"
+#include "server/lbs_server.h"
+#include "service/service_engine.h"
+#include "telemetry/clock.h"
+#include "telemetry/metric.h"
+#include "telemetry/registry.h"
+
+namespace spacetwist::eval {
+
+/// How the open-loop run advances time (docs/SERVICE.md §7).
+enum class OpenLoopPacing {
+  /// Real time: a dispatcher thread releases each arrival at its scheduled
+  /// instant regardless of completions (open loop — latency is measured
+  /// from the *scheduled* arrival, so queueing during overload is charged
+  /// to the queries, never coordinated-omission'd away), and up to
+  /// `max_inflight` concurrent client sessions drive the event engine.
+  kMeasured,
+  /// Deterministic: arrivals execute sequentially in schedule order through
+  /// the real engine (results are real), while latency and queueing delay
+  /// come from an M/D/c-style model — `worker_threads` virtual servers,
+  /// per-query service time `virtual_service_base_ns +
+  /// virtual_service_per_packet_ns * packets` — so two runs under a
+  /// VirtualClock are byte-identical (arrival_process_test pins this).
+  kVirtual,
+};
+
+/// Shape of one open-loop run against the event-driven engine.
+struct OpenLoopOptions {
+  ArrivalOptions arrival;
+  core::QueryParams params;  ///< per-query k / epsilon / base anchor distance
+  OpenLoopPacing pacing = OpenLoopPacing::kMeasured;
+  /// Event-engine sizing: worker threads and the bounded run queue whose
+  /// overflow is shed as kResourceExhausted (counted in `rejected`).
+  size_t worker_threads = 4;
+  size_t max_run_queue = 1024;
+  /// kMeasured only: concurrent client sessions (arrivals beyond it queue
+  /// client-side, which is exactly the open-loop backlog being measured).
+  size_t max_inflight = 64;
+  /// kVirtual only: the modeled per-query service time.
+  uint64_t virtual_service_base_ns = 200000;
+  uint64_t virtual_service_per_packet_ns = 50000;
+  /// Null = process-wide defaults. Pass a per-run registry when sweeping
+  /// (bench_openloop does) so each point's engine.* snapshots stay clean.
+  telemetry::Clock* clock = nullptr;
+  telemetry::MetricRegistry* registry = nullptr;
+};
+
+/// Aggregate numbers of one open-loop run (one knee-curve point).
+struct OpenLoopReport {
+  double offered_qps = 0.0;  ///< nominal arrival rate of the schedule
+  double goodput_qps = 0.0;  ///< completed / wall
+  double wall_seconds = 0.0;
+  uint64_t arrivals = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;  ///< shed with kResourceExhausted (backpressure)
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  /// Per-query latency from *scheduled* arrival to completion (ns).
+  telemetry::HistogramSnapshot latency;
+  /// Per-query queueing delay: scheduled arrival to dispatch start (ns).
+  telemetry::HistogramSnapshot queue_delay;
+  std::vector<ClientDigest> digests;  ///< index = user; completed only
+};
+
+/// Drives the open-loop schedule against `service` through an
+/// engine::EventEngine built for the run (decode → dispatch → reply over
+/// the in-process event transport). Per-query results are byte-identical
+/// to the thread-per-pull path — engine_differential_test pins it — so at
+/// load levels with no rejections `digests` equals the reference's.
+/// Registry instruments: eval.arrival.offered / .completed / .rejected
+/// counters plus the engine's engine.* set.
+Result<OpenLoopReport> RunOpenLoopLoad(service::ServiceEngine* service,
+                                       const geom::Rect& domain,
+                                       const OpenLoopOptions& options);
+
+/// The same schedule through the direct single-threaded library path,
+/// returning per-user digests — the yardstick for RunOpenLoopLoad at load
+/// levels where nothing is shed.
+Result<std::vector<ClientDigest>> RunOpenLoopReference(
+    server::LbsServer* server, const OpenLoopOptions& options);
+
+}  // namespace spacetwist::eval
+
+#endif  // SPACETWIST_EVAL_OPEN_LOOP_H_

@@ -322,8 +322,11 @@ std::vector<uint8_t> ServiceEngine::HandleFrame(
     instruments_.decode_errors->Add();
     return EncodeErrorFrame(request.status());
   }
+  return HandleDecoded(*request);
+}
 
-  if (const auto* open = std::get_if<net::OpenRequest>(&*request)) {
+std::vector<uint8_t> ServiceEngine::HandleDecoded(const net::Request& request) {
+  if (const auto* open = std::get_if<net::OpenRequest>(&request)) {
     if (!open->sampled) {
       Result<uint64_t> id = Open(open->anchor, open->epsilon, open->k);
       if (!id.ok()) return EncodeErrorFrame(id.status());
@@ -342,7 +345,7 @@ std::vector<uint8_t> ServiceEngine::HandleFrame(
     AttachTrace(*id, open->trace_id, trace.records());
     return net::EncodeResponse(net::OpenOk{*id, open->nonce});
   }
-  if (const auto* pull = std::get_if<net::PullRequest>(&*request)) {
+  if (const auto* pull = std::get_if<net::PullRequest>(&request)) {
     std::vector<telemetry::SpanRecord> spans;
     Result<net::Packet> packet =
         pull->sampled
@@ -355,7 +358,7 @@ std::vector<uint8_t> ServiceEngine::HandleFrame(
         pull->session_id, pull->seq, packet.MoveValueOrDie(),
         std::move(spans)});
   }
-  const auto& close = std::get<net::CloseRequest>(*request);
+  const auto& close = std::get<net::CloseRequest>(request);
   std::vector<telemetry::SpanRecord> spans;
   Status status = CloseInternal(close.session_id, &spans);
   if (!status.ok()) return EncodeErrorFrame(status, close.session_id);

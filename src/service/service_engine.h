@@ -149,6 +149,13 @@ class ServiceEngine : public net::FrameHandler {
   std::vector<uint8_t> HandleFrame(
       const std::vector<uint8_t>& request_frame) override;
 
+  /// Dispatch + encode for an already-decoded request — exactly the body of
+  /// HandleFrame after decode, so any front end that does its own framing
+  /// (the event-driven engine::EventEngine decodes on its loop thread and
+  /// dispatches on workers) produces byte-identical response frames to the
+  /// thread-per-pull path by construction. Safe to call from many threads.
+  std::vector<uint8_t> HandleDecoded(const net::Request& request);
+
   /// Sweeps every shard for idle sessions now; returns how many it evicted.
   size_t EvictIdle();
 

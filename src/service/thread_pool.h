@@ -9,21 +9,49 @@
 
 #include "common/lock_rank.h"
 #include "common/mutex.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
+#include "telemetry/metric.h"
+#include "telemetry/registry.h"
 
 namespace spacetwist::service {
 
+/// Tuning knobs for ThreadPool. Defaults preserve the historical behavior
+/// (unbounded queue, process-default registry).
+struct ThreadPoolOptions {
+  /// Maximum number of *queued* (not yet executing) tasks. 0 = unbounded.
+  /// When the bound is hit, TrySubmit rejects with kResourceExhausted —
+  /// the same backpressure signal the serving engine uses — instead of
+  /// letting an overloaded submitter grow the deque without limit.
+  size_t max_queue = 0;
+  /// Instrument sink; nullptr = process-wide default registry.
+  telemetry::MetricRegistry* registry = nullptr;
+};
+
 /// Fixed-size worker pool executing submitted tasks FIFO. The serving
-/// engine's request executor: the load generator (and a real front end)
-/// submits one task per decoded request or per client step, and `Wait()`
-/// barriers on full drain. Tasks may submit follow-up tasks (closed-loop
-/// clients re-enqueue their next request from inside a task); `Wait()`
-/// accounts for such re-submissions because a task is only retired after it
-/// finishes running.
+/// engine's request executor, used in both load modes (docs/SERVICE.md §7):
+///
+///  * Closed-loop (`eval::RunClosedLoopLoad`): one task per client step,
+///    each task re-enqueues the client's next query from inside itself, so
+///    the queue never exceeds the client count and `Submit` suffices.
+///  * Open-loop (`engine::EventEngine`): the event loop admits decoded
+///    requests via `TrySubmit` against a `max_queue` bound; when arrivals
+///    outrun the workers the pool rejects with kResourceExhausted and the
+///    engine turns that into wire-level backpressure.
+///
+/// `Wait()` barriers on full drain and accounts for re-submissions because
+/// a task is only retired after it finishes running.
+///
+/// Exported instruments (docs/OBSERVABILITY.md):
+///   service.thread_pool.queue_depth       gauge, queued tasks right now
+///   service.thread_pool.queue_depth_hist  histogram, depth at each submit
+///   service.thread_pool.rejected          counter, TrySubmit bound hits
 class ThreadPool {
  public:
   /// Spawns `num_threads` (>= 1) workers immediately.
-  explicit ThreadPool(size_t num_threads);
+  explicit ThreadPool(size_t num_threads)
+      : ThreadPool(num_threads, ThreadPoolOptions{}) {}
+  ThreadPool(size_t num_threads, const ThreadPoolOptions& options);
 
   /// Drains every pending task, then joins the workers.
   ~ThreadPool();
@@ -33,8 +61,15 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues `task`; runs as soon as a worker frees up.
+  /// Enqueues `task`; runs as soon as a worker frees up. Ignores the
+  /// `max_queue` bound — for closed-loop submitters whose in-flight count
+  /// is structurally bounded (one task per client).
   void Submit(std::function<void()> task) EXCLUDES(mu_);
+
+  /// Bounded enqueue: rejects with kResourceExhausted when `max_queue`
+  /// tasks are already queued (never rejects when the bound is 0). The
+  /// task is untouched on rejection, so the caller can retry or shed it.
+  [[nodiscard]] Status TrySubmit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until no task is queued or running. Safe to call repeatedly;
   /// new work may be submitted afterwards.
@@ -42,6 +77,9 @@ class ThreadPool {
 
  private:
   void WorkerLoop() EXCLUDES(mu_);
+  void Enqueue(std::function<void()> task) REQUIRES(mu_);
+
+  const size_t max_queue_;
 
   // Rank: near-outermost — workers run tasks *outside* the queue lock, but
   // Submit may be called from client code holding nothing, and a task that
@@ -55,6 +93,10 @@ class ThreadPool {
   size_t in_flight_ GUARDED_BY(mu_) = 0;  ///< queued + executing tasks
   bool stopping_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;  ///< written only in ctor/dtor
+
+  telemetry::Gauge* queue_depth_;          ///< resolved once in ctor
+  telemetry::Histogram* queue_depth_hist_;
+  telemetry::Counter* rejected_;
 };
 
 }  // namespace spacetwist::service

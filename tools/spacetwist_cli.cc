@@ -27,6 +27,13 @@
 //                          [--trace out.json [--trace-every 1]]
 //                                                # distributed traces +
 //                                                # per-query trade-offs
+//                          [--open-loop --arrival-rate 2000,4000,8000,16000
+//                           --users 64 --arrivals 500 --zipf 1.0
+//                           --workers 4]         # open-loop mode: Poisson
+//                                                # arrivals at fixed offered
+//                                                # rates through the event-
+//                                                # driven engine instead of
+//                                                # closed-loop clients
 //   spacetwist_cli trace-report --in trace.json [--top 5]
 //
 // Exit code 0 on success, 1 on any error (message on stderr).
@@ -446,8 +453,110 @@ Status RunTraceReport(const Flags& flags) {
   return Status::OK();
 }
 
+// serve-bench --open-loop: Poisson arrivals at fixed offered rates instead
+// of closed-loop clients. Runs under kVirtual pacing with a VirtualClock —
+// queries execute for real through the event-driven engine (digests checked
+// against the library reference at the lowest rate), latencies come from
+// the deterministic queueing model — so repeated invocations print
+// identical tables (docs/SERVICE.md §7).
+Status RunServeBenchOpenLoop(const Flags& flags, const datasets::Dataset& ds,
+                             const QueryFlagValues& qf) {
+  SPACETWIST_ASSIGN_OR_RETURN(
+      std::vector<double> rates,
+      flags.GetDoubleList("arrival-rate", {2000, 4000, 8000, 16000}));
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t users, flags.GetInt("users", 64));
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t arrivals,
+                              flags.GetInt("arrivals", 500));
+  SPACETWIST_ASSIGN_OR_RETURN(double zipf, flags.GetDouble("zipf", 1.0));
+  SPACETWIST_ASSIGN_OR_RETURN(int64_t workers, flags.GetInt("workers", 4));
+  if (users < 1 || arrivals < 1) {
+    return Status::InvalidArgument("--users and --arrivals must be >= 1");
+  }
+  if (workers < 1) return Status::InvalidArgument("--workers must be >= 1");
+  if (rates.empty()) {
+    return Status::InvalidArgument("--arrival-rate needs at least one rate");
+  }
+  for (size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] <= 0) {
+      return Status::InvalidArgument("--arrival-rate values must be > 0");
+    }
+    if (i > 0 && rates[i] <= rates[i - 1]) {
+      return Status::InvalidArgument(
+          "--arrival-rate values must be strictly increasing");
+    }
+  }
+
+  rtree::RTreeOptions rtree_options;
+  rtree_options.concurrent_reads = true;
+  SPACETWIST_ASSIGN_OR_RETURN(std::unique_ptr<server::LbsServer> server,
+                              server::LbsServer::Build(ds, rtree_options));
+
+  eval::OpenLoopOptions base;
+  base.arrival.num_users = static_cast<size_t>(users);
+  base.arrival.total_arrivals = static_cast<size_t>(arrivals);
+  base.arrival.zipf_s = zipf;
+  base.arrival.seed = qf.seed;
+  base.params = qf.params;
+  base.pacing = eval::OpenLoopPacing::kVirtual;
+  base.worker_threads = static_cast<size_t>(workers);
+
+  eval::OpenLoopOptions reference_options = base;
+  reference_options.arrival.rate_qps = rates.front();
+  SPACETWIST_ASSIGN_OR_RETURN(
+      std::vector<eval::ClientDigest> reference,
+      eval::RunOpenLoopReference(server.get(), reference_options));
+
+  eval::Table table({"offered.qps", "goodput.qps", "completed", "rejected",
+                     "p50(ms)", "p99(ms)"});
+  for (size_t i = 0; i < rates.size(); ++i) {
+    eval::OpenLoopOptions options = base;
+    options.arrival.rate_qps = rates[i];
+    telemetry::VirtualClock clock(0);
+    telemetry::MetricRegistry registry;
+    options.clock = &clock;
+    options.registry = &registry;
+    service::ServiceOptions service_options;
+    service_options.clock = &clock;
+    service_options.registry = &registry;
+    service::ServiceEngine engine(server.get(), service_options);
+    SPACETWIST_ASSIGN_OR_RETURN(
+        eval::OpenLoopReport report,
+        eval::RunOpenLoopLoad(&engine, server->domain(), options));
+    if (i == 0) {
+      if (report.rejected != 0) {
+        return Status::Internal(
+            "lowest offered rate already sheds load; lower --arrival-rate");
+      }
+      if (!(report.digests == reference)) {
+        return Status::Internal(
+            "open-loop results diverge from the library reference");
+      }
+    }
+    table.AddRow({FormatDouble(rates[i], 1),
+                  FormatDouble(report.goodput_qps, 1),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        report.completed)),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        report.rejected)),
+                  FormatDouble(report.p50_latency_ms, 3),
+                  FormatDouble(report.p99_latency_ms, 3)});
+  }
+  table.Print(std::cout);
+  std::printf("open loop: %lld users, %lld arrivals/rate, zipf_s=%.2f, "
+              "%lld workers; lowest rate verified byte-identical to the "
+              "library reference\n",
+              static_cast<long long>(users), static_cast<long long>(arrivals),
+              zipf, static_cast<long long>(workers));
+  return Status::OK();
+}
+
 Status RunServeBench(const Flags& flags) {
   SPACETWIST_ASSIGN_OR_RETURN(datasets::Dataset ds, LoadDatasetFlag(flags));
+  if (flags.GetBool("open-loop")) {
+    SPACETWIST_ASSIGN_OR_RETURN(QueryFlagValues open_loop_qf,
+                                ParseQueryFlags(flags));
+    return RunServeBenchOpenLoop(flags, ds, open_loop_qf);
+  }
   SPACETWIST_ASSIGN_OR_RETURN(int64_t clients, flags.GetInt("clients", 64));
   SPACETWIST_ASSIGN_OR_RETURN(int64_t queries, flags.GetInt("queries", 4));
   SPACETWIST_ASSIGN_OR_RETURN(std::vector<double> threads,

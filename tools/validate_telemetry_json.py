@@ -27,7 +27,14 @@ Checks every document passed on the command line:
   "paged" and "memidx", each with a positive ns_per_query, digest_match
   == 1 (the differential contract), a latency histogram, and an embedded
   telemetry section; the reported point counts must agree across backends
-  and the headline speedup must match the measured ns_per_query ratio.
+  and the headline speedup must match the measured ns_per_query ratio;
+* spacetwist.openloop.v1 — an open-loop knee sweep (bench_openloop's
+  BENCH_openloop.json) must carry knee points strictly monotone in offered
+  load, each with a goodput, a latency histogram, and a queue-delay
+  histogram; a knee block whose p99 ratio matches the recorded endpoints
+  and clears the 5x saturation bar with positive goodput on both sides of
+  the knee; and digest_match == 1 (the event-driven serving path matched
+  the library reference at low load).
 
 Exit status 0 when every file validates, 1 otherwise (messages on stderr).
 Runs under ctest (`validate_telemetry_json`) over the committed bench
@@ -44,6 +51,7 @@ SCHEMA = "spacetwist.telemetry.v1"
 TRACE_SCHEMA = "spacetwist.trace.v1"
 SHARD_SCHEMA = "spacetwist.shard.v1"
 MEMIDX_SCHEMA = "spacetwist.memidx.v1"
+OPENLOOP_SCHEMA = "spacetwist.openloop.v1"
 HISTOGRAM_KEYS = {
     "count", "sum", "min", "max", "mean", "p50", "p95", "p99", "buckets",
 }
@@ -341,6 +349,77 @@ def validate_memidx_document(document, path):
                       f"ns_per_query ratio {ratio:.3f}")
 
 
+def validate_openloop_document(document, path):
+    """A spacetwist.openloop.v1 export (bench_openloop's BENCH_openloop.json).
+
+    Checks the saturation-knee claims the artifact exists to record: results
+    strictly monotone in offered load with per-point goodput, latency, and
+    queue-delay distributions, a knee whose p99 blow-up clears the 5x bar
+    and matches the recorded endpoints, goodput on both sides of the knee,
+    and the low-load digest match against the library reference. Histogram
+    shapes and the embedded telemetry section are validated by the caller's
+    walk.
+    """
+    if document.get("digest_match") != 1:
+        error(path, "digest_match must be 1 (the event-driven path must "
+              "match the library reference at low load)")
+    results = document.get("results")
+    if not isinstance(results, list) or not results:
+        error(path, "openloop document needs a non-empty results array")
+        return
+    previous_offered = None
+    for i, entry in enumerate(results):
+        entry_path = f"{path}.results[{i}]"
+        if not isinstance(entry, dict):
+            error(entry_path, "result entry must be an object")
+            continue
+        offered = entry.get("offered_qps")
+        if not is_number(offered) or offered <= 0:
+            error(entry_path, "offered_qps must be a positive number")
+            continue
+        if previous_offered is not None and offered <= previous_offered:
+            error(entry_path,
+                  f"offered_qps {offered} not strictly above the previous "
+                  f"point's {previous_offered}: knee points must be "
+                  "monotone in offered load")
+        previous_offered = offered
+        goodput = entry.get("goodput_qps")
+        if not is_number(goodput) or goodput <= 0:
+            error(entry_path, "goodput_qps must be a positive number")
+        for key in ("arrivals", "completed", "rejected"):
+            if not is_int(entry.get(key)) or entry[key] < 0:
+                error(entry_path, f"{key} must be a non-negative integer")
+        p50 = entry.get("p50_ms")
+        p99 = entry.get("p99_ms")
+        if not is_number(p50) or not is_number(p99):
+            error(entry_path, "p50_ms and p99_ms must be numbers")
+        elif p50 > p99:
+            error(entry_path, f"p50_ms {p50} > p99_ms {p99}")
+        for key in ("latency_ns", "queue_delay_ns"):
+            if not isinstance(entry.get(key), dict):
+                error(entry_path, f"missing {key} histogram")
+    knee = document.get("knee")
+    if not isinstance(knee, dict):
+        error(path, "openloop document needs a knee object")
+        return
+    for key in ("offered_low_qps", "offered_high_qps", "p99_low_ms",
+                "p99_high_ms", "goodput_low_qps", "goodput_high_qps",
+                "ratio"):
+        if not is_number(knee.get(key)) or knee[key] <= 0:
+            error(f"{path}.knee", f"{key} must be a positive number")
+            return
+    if knee["offered_low_qps"] >= knee["offered_high_qps"]:
+        error(f"{path}.knee", "offered_low_qps must be below "
+              "offered_high_qps")
+    ratio = knee["p99_high_ms"] / knee["p99_low_ms"]
+    if abs(knee["ratio"] - ratio) > max(0.05 * ratio, 1e-6):
+        error(f"{path}.knee", f"ratio {knee['ratio']} does not match the "
+              f"recorded p99 endpoints ({ratio:.3f})")
+    if knee["ratio"] < 5.0:
+        error(f"{path}.knee", f"p99 ratio {knee['ratio']} below the 5x "
+              "saturation bar: the sweep never crossed the knee")
+
+
 def looks_like_section(node):
     return isinstance(node, dict) and {"schema", "counters", "gauges",
                                        "histograms"} <= node.keys()
@@ -389,6 +468,11 @@ def validate_file(filename):
         # Likewise: per-backend latency histograms and telemetry snapshots
         # are picked up by the walk below.
         validate_memidx_document(document, filename)
+    if (isinstance(document, dict)
+            and document.get("schema") == OPENLOOP_SCHEMA):
+        # Likewise: per-point latency / queue-delay histograms and the
+        # embedded telemetry snapshot are picked up by the walk below.
+        validate_openloop_document(document, filename)
     found = []
     walk(document, filename, found)
     # A telemetry artifact with nothing telemetry-shaped in it is a schema

@@ -103,6 +103,39 @@ GOOD_MEMIDX = {
     "speedup": 5.2,
 }
 
+_HIST = GOOD_TELEMETRY["histograms"]["eval.load.latency_ns"]
+
+GOOD_OPENLOOP = {
+    "schema": "spacetwist.openloop.v1",
+    "bench": "openloop",
+    "worker_threads": 4,
+    "users": 64,
+    "arrivals_per_point": 1500,
+    "capacity_qps": 12000.0,
+    "digest_match": 1,
+    "results": [
+        {"offered_qps": 3000.0, "goodput_qps": 3010.0, "arrivals": 1500,
+         "completed": 1500, "rejected": 0, "p50_ms": 0.3, "p99_ms": 0.4,
+         "latency_ns": copy.deepcopy(_HIST),
+         "queue_delay_ns": copy.deepcopy(_HIST)},
+        {"offered_qps": 12000.0, "goodput_qps": 11800.0, "arrivals": 1500,
+         "completed": 1500, "rejected": 0, "p50_ms": 1.4, "p99_ms": 3.4,
+         "latency_ns": copy.deepcopy(_HIST),
+         "queue_delay_ns": copy.deepcopy(_HIST)},
+        {"offered_qps": 24000.0, "goodput_qps": 12100.0, "arrivals": 1500,
+         "completed": 1500, "rejected": 0, "p50_ms": 29.0, "p99_ms": 60.0,
+         "latency_ns": copy.deepcopy(_HIST),
+         "queue_delay_ns": copy.deepcopy(_HIST)},
+    ],
+    "knee": {
+        "offered_low_qps": 3000.0, "offered_high_qps": 24000.0,
+        "p99_low_ms": 0.4, "p99_high_ms": 60.0,
+        "goodput_low_qps": 3010.0, "goodput_high_qps": 12100.0,
+        "ratio": 150.0,
+    },
+    "telemetry": copy.deepcopy(GOOD_TELEMETRY),
+}
+
 _failures = []
 
 
@@ -305,6 +338,53 @@ def main():
     expect_error(
         "memidx broken embedded histogram",
         broken(GOOD_MEMIDX,
+               lambda d: d["results"][0]["latency_ns"]
+               .__setitem__("p50", 99.0)),
+        "percentiles not monotone")
+
+    # --- openloop.v1 negatives -------------------------------------------
+    expect_ok("good openloop document", GOOD_OPENLOOP)
+    expect_error(
+        "openloop empty results",
+        broken(GOOD_OPENLOOP, lambda d: d.__setitem__("results", [])),
+        "non-empty results")
+    expect_error(
+        "openloop digest mismatch",
+        broken(GOOD_OPENLOOP, lambda d: d.__setitem__("digest_match", 0)),
+        "digest_match")
+    expect_error(
+        "openloop non-monotone offered load",
+        broken(GOOD_OPENLOOP,
+               lambda d: d["results"][1].__setitem__("offered_qps", 2000.0)),
+        "monotone in offered load")
+    expect_error(
+        "openloop missing queue-delay histogram",
+        broken(GOOD_OPENLOOP,
+               lambda d: d["results"][0].pop("queue_delay_ns")),
+        "missing queue_delay_ns")
+    expect_error(
+        "openloop non-positive goodput",
+        broken(GOOD_OPENLOOP,
+               lambda d: d["results"][2].__setitem__("goodput_qps", 0)),
+        "goodput_qps must be a positive number")
+    expect_error(
+        "openloop missing knee",
+        broken(GOOD_OPENLOOP, lambda d: d.pop("knee")),
+        "knee object")
+    expect_error(
+        "openloop knee below the saturation bar",
+        broken(GOOD_OPENLOOP,
+               lambda d: (d["knee"].__setitem__("ratio", 2.0),
+                          d["knee"].__setitem__("p99_high_ms", 0.8))),
+        "below the 5x")
+    expect_error(
+        "openloop knee ratio off the endpoints",
+        broken(GOOD_OPENLOOP,
+               lambda d: d["knee"].__setitem__("ratio", 99.0)),
+        "does not match the recorded p99 endpoints")
+    expect_error(
+        "openloop broken embedded histogram",
+        broken(GOOD_OPENLOOP,
                lambda d: d["results"][0]["latency_ns"]
                .__setitem__("p50", 99.0)),
         "percentiles not monotone")
