@@ -24,6 +24,7 @@
 #include "eval/table.h"
 #include "service/service_engine.h"
 #include "telemetry/clock.h"
+#include "telemetry/slo.h"
 
 namespace spacetwist::bench {
 namespace {
@@ -53,9 +54,32 @@ void Run() {
   base.pacing = eval::OpenLoopPacing::kVirtual;
   base.worker_threads = 4;
 
-  auto run_point = [&](double rate_qps) -> eval::OpenLoopReport {
+  // Windowed telemetry per point (docs/OBSERVABILITY.md §7): ~16 windows
+  // over each point's modeled schedule, an SLO watchdog on windowed
+  // queue-delay p99, and the always-on flight recorder its trips dump. The
+  // per-interval series is how the knee shows up as a *time* series: below
+  // capacity every window's queue delay is flat, past it each window's p99
+  // exceeds the last as the backlog compounds.
+  constexpr double kQueueDelayP99LimitNs = 2e6;
+  const auto windowed_options = [&](double rate_qps) {
     eval::OpenLoopOptions options = base;
     options.arrival.rate_qps = rate_qps;
+    const double duration_ns =
+        static_cast<double>(options.arrival.total_arrivals) / rate_qps * 1e9;
+    options.timeseries_interval_ns =
+        static_cast<uint64_t>(duration_ns / 16.0) + 1;
+    telemetry::SloObjective objective;
+    objective.name = "queue-delay-p99";
+    objective.instrument = "eval.arrival.queue_delay_ns";
+    objective.limit = kQueueDelayP99LimitNs;
+    objective.fast_windows = 2;
+    objective.slow_windows = 8;
+    options.slo_objectives.push_back(objective);
+    return options;
+  };
+
+  auto run_point = [&](double rate_qps) -> eval::OpenLoopReport {
+    eval::OpenLoopOptions options = windowed_options(rate_qps);
     // Fresh clock + registry per point: each knee point's engine.* and
     // eval.arrival.* snapshots describe that point alone.
     telemetry::VirtualClock clock(0);
@@ -109,8 +133,21 @@ void Run() {
       << " ms at " << high.offered_qps << " qps vs "
       << low.report.p99_latency_ms << " ms at " << low.offered_qps << " qps";
 
+  // The watchdog sees the same knee: quiet at the lowest offered load,
+  // tripped (with a flight-recorder dump) past capacity.
+  SPACETWIST_CHECK(low.report.slo.trips.empty())
+      << "SLO watchdog tripped " << low.report.slo.trips.size()
+      << "x at the lowest offered load (" << low.offered_qps << " qps)";
+  SPACETWIST_CHECK(!high.report.slo.trips.empty())
+      << "SLO watchdog never tripped at " << high.offered_qps
+      << " qps despite the knee";
+  SPACETWIST_CHECK(!high.report.slo.trips.front().flight.empty())
+      << "tripped without a flight-recorder dump";
+  SPACETWIST_CHECK(high.report.escalated > 0)
+      << "tripped without escalating trace sampling";
+
   eval::Table table({"offered.qps", "goodput.qps", "completed", "rejected",
-                     "p50.ms", "p99.ms"});
+                     "p50.ms", "p99.ms", "slo.trips"});
   for (const Measurement& m : measurements) {
     table.AddRow({Fmt1(m.offered_qps), Fmt1(m.report.goodput_qps),
                   StrFormat("%llu", static_cast<unsigned long long>(
@@ -118,7 +155,8 @@ void Run() {
                   StrFormat("%llu", static_cast<unsigned long long>(
                                         m.report.rejected)),
                   StrFormat("%.3f", m.report.p50_latency_ms),
-                  StrFormat("%.3f", m.report.p99_latency_ms)});
+                  StrFormat("%.3f", m.report.p99_latency_ms),
+                  StrFormat("%zu", m.report.slo.trips.size())});
   }
   table.Print(std::cout);
   std::printf("capacity=%.0f qps (c=%zu, mean service %.0f ns); knee p99 "
@@ -151,6 +189,11 @@ void Run() {
     telemetry::WriteHistogram(m.report.latency, &json);
     json.Key("queue_delay_ns");
     telemetry::WriteHistogram(m.report.queue_delay, &json);
+    json.KV("slo_trips", static_cast<uint64_t>(m.report.slo.trips.size()));
+    json.KV("escalated", m.report.escalated);
+    json.Key("timeseries").BeginObject();
+    telemetry::WriteTimeSeries(m.report.timeseries, &m.report.slo, &json);
+    json.EndObject();
     json.EndObject();
   }
   json.EndArray();

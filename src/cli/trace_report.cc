@@ -1,0 +1,167 @@
+#include "cli/trace_report.h"
+
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace spacetwist::cli {
+
+namespace {
+
+/// The exporter's schema tag (src/telemetry/timeseries.h mirrors this;
+/// st_cli matches the string to stay a pure st_common consumer).
+constexpr std::string_view kTimeSeriesSchemaName = "spacetwist.timeseries.v1";
+
+double NumberField(const JsonValue& object, std::string_view key) {
+  const JsonValue* value = object.Find(key);
+  return (value != nullptr && value->is_number()) ? value->number() : 0.0;
+}
+
+std::string StringField(const JsonValue& object, std::string_view key) {
+  const JsonValue* value = object.Find(key);
+  return (value != nullptr && value->is_string()) ? value->string()
+                                                  : std::string();
+}
+
+const JsonValue* ArrayField(const JsonValue& object, std::string_view key) {
+  const JsonValue* value = object.Find(key);
+  return (value != nullptr && value->is_array()) ? value : nullptr;
+}
+
+}  // namespace
+
+bool IsTimeSeriesDocument(const JsonValue& doc) {
+  return doc.is_object() && StringField(doc, "schema") == kTimeSeriesSchemaName;
+}
+
+std::string SummarizeTimeSeriesDocument(const JsonValue& doc) {
+  std::string out;
+  const JsonValue* intervals = ArrayField(doc, "intervals");
+  const size_t interval_count =
+      intervals != nullptr ? intervals->array().size() : 0;
+  out += StrFormat("%.*s: %zu intervals of %.3f ms (%.0f dropped)\n",
+                   static_cast<int>(kTimeSeriesSchemaName.size()),
+                   kTimeSeriesSchemaName.data(), interval_count,
+                   NumberField(doc, "interval_ns") / 1e6,
+                   NumberField(doc, "dropped_intervals"));
+  const JsonValue* slo = doc.Find("slo");
+  if (slo == nullptr || !slo->is_object()) {
+    out += "no slo section\n";
+    return out;
+  }
+  const JsonValue* objectives = ArrayField(*slo, "objectives");
+  out += "slo objectives:\n";
+  if (objectives != nullptr) {
+    for (const JsonValue& objective : objectives->array()) {
+      out += StrFormat(
+          "  %s: %s %s <= %.3f (fast %.0f, slow %.0f @ %.2f)\n",
+          StringField(objective, "name").c_str(),
+          StringField(objective, "instrument").c_str(),
+          StringField(objective, "signal").c_str(),
+          NumberField(objective, "limit"),
+          NumberField(objective, "fast_windows"),
+          NumberField(objective, "slow_windows"),
+          NumberField(objective, "slow_burn_fraction"));
+    }
+  }
+  const JsonValue* trips = ArrayField(*slo, "trips");
+  const size_t trip_count = trips != nullptr ? trips->array().size() : 0;
+  out += StrFormat("slo trips: %zu\n", trip_count);
+  if (trips == nullptr) return out;
+  size_t index = 0;
+  for (const JsonValue& trip : trips->array()) {
+    out += StrFormat("trip %zu: %s at interval %.0f, observed %.3f > "
+                     "limit %.3f\n",
+                     ++index, StringField(trip, "objective").c_str(),
+                     NumberField(trip, "interval_index"),
+                     NumberField(trip, "observed"),
+                     NumberField(trip, "limit"));
+    const JsonValue* flight = ArrayField(trip, "flight");
+    if (flight == nullptr || flight->array().empty()) {
+      out += "  flight recorder empty\n";
+      continue;
+    }
+    out += StrFormat("  flight recorder (%zu records, newest last):\n",
+                     flight->array().size());
+    out += "    trace_id              latency(ms)  packets  tau        "
+           "gamma      anchor(m)\n";
+    for (const JsonValue& record : flight->array()) {
+      out += StrFormat("    %-20.0f  %-11.3f  %-7.0f  %-9.1f  %-9.1f  %.1f\n",
+                       NumberField(record, "trace_id"),
+                       NumberField(record, "latency_ns") / 1e6,
+                       NumberField(record, "packets"),
+                       NumberField(record, "tau"),
+                       NumberField(record, "gamma"),
+                       NumberField(record, "anchor_distance"));
+    }
+  }
+  return out;
+}
+
+DispatchQueueDelaySummary SummarizeDispatchQueueDelay(const JsonValue& doc) {
+  DispatchQueueDelaySummary summary;
+  const JsonValue* events = ArrayField(doc, "traceEvents");
+  if (events == nullptr) return summary;
+
+  // Client-side complete spans by lane (tid): the wire.pull/open/close
+  // spans whose round trip carried a server.dispatch.
+  struct ClientSpan {
+    double tid = 0.0;
+    double start_us = 0.0;
+    double end_us = 0.0;
+  };
+  std::vector<ClientSpan> client_spans;
+  for (const JsonValue& event : events->array()) {
+    if (StringField(event, "ph") != "X") continue;
+    const std::string name = StringField(event, "name");
+    if (name.rfind("server.", 0) == 0) continue;
+    const double ts = NumberField(event, "ts");
+    client_spans.push_back(
+        ClientSpan{NumberField(event, "tid"), ts, ts + NumberField(event, "dur")});
+  }
+
+  for (const JsonValue& event : events->array()) {
+    if (StringField(event, "ph") != "X") continue;
+    if (StringField(event, "name") != "server.dispatch") continue;
+    const double tid = NumberField(event, "tid");
+    const double ts = NumberField(event, "ts");
+    ++summary.dispatches;
+    const double dur = NumberField(event, "dur");
+    summary.total_dur_us += dur;
+    summary.max_dur_us = std::max(summary.max_dur_us, dur);
+    // Innermost enclosing client span on the same lane: the latest-starting
+    // one that still covers the dispatch's start.
+    const ClientSpan* parent = nullptr;
+    for (const ClientSpan& span : client_spans) {
+      if (span.tid != tid || span.start_us > ts || span.end_us < ts) continue;
+      if (parent == nullptr || span.start_us >= parent->start_us) {
+        parent = &span;
+      }
+    }
+    if (parent == nullptr) continue;
+    ++summary.matched;
+    const double delay = ts - parent->start_us;
+    summary.total_delay_us += delay;
+    summary.max_delay_us = std::max(summary.max_delay_us, delay);
+  }
+  return summary;
+}
+
+std::string FormatDispatchQueueDelay(
+    const DispatchQueueDelaySummary& summary) {
+  if (summary.dispatches == 0) {
+    return "no server.dispatch spans in this document\n";
+  }
+  return StrFormat(
+      "server.dispatch queue delay: %llu dispatches (%llu matched to a "
+      "client span), mean wait %.3f us, max wait %.3f us; service mean "
+      "%.3f us, max %.3f us\n",
+      static_cast<unsigned long long>(summary.dispatches),
+      static_cast<unsigned long long>(summary.matched),
+      summary.mean_delay_us(), summary.max_delay_us, summary.mean_dur_us(),
+      summary.max_dur_us);
+}
+
+}  // namespace spacetwist::cli

@@ -1,0 +1,53 @@
+#ifndef SPACETWIST_CLI_TRACE_REPORT_H_
+#define SPACETWIST_CLI_TRACE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+
+namespace spacetwist::cli {
+
+/// True when `doc` is a `spacetwist.timeseries.v1` document (the exporter
+/// lives in src/telemetry; this layer matches the schema string so st_cli
+/// stays a pure st_common consumer).
+bool IsTimeSeriesDocument(const JsonValue& doc);
+
+/// Human-readable report of a timeseries document: interval count and
+/// width, each SLO objective, and every watchdog trip with its
+/// flight-recorder dump (the per-query ring captured when the objective
+/// tripped). Deterministic: document order in, stable text out.
+std::string SummarizeTimeSeriesDocument(const JsonValue& doc);
+
+/// The server-side queueing picture of a trace document: every
+/// `server.dispatch` span, its service time, and — when the span's lane
+/// has an enclosing client-side span (the wire.pull/open/close that
+/// carried the request) — the queue delay between the client issuing the
+/// request and the server starting work on it.
+struct DispatchQueueDelaySummary {
+  uint64_t dispatches = 0;  ///< server.dispatch complete spans seen
+  uint64_t matched = 0;     ///< with an enclosing client span on their lane
+  double total_delay_us = 0.0;  ///< summed over matched spans
+  double max_delay_us = 0.0;
+  double total_dur_us = 0.0;  ///< dispatch service time, all spans
+  double max_dur_us = 0.0;
+
+  double mean_delay_us() const {
+    return matched > 0 ? total_delay_us / static_cast<double>(matched) : 0.0;
+  }
+  double mean_dur_us() const {
+    return dispatches > 0 ? total_dur_us / static_cast<double>(dispatches)
+                          : 0.0;
+  }
+};
+
+/// Folds `doc`'s traceEvents (Chrome trace format, ph "X" spans with
+/// microsecond ts/dur) into the dispatch queue-delay summary above.
+DispatchQueueDelaySummary SummarizeDispatchQueueDelay(const JsonValue& doc);
+
+/// Renders the summary as the trace-report paragraph.
+std::string FormatDispatchQueueDelay(const DispatchQueueDelaySummary& summary);
+
+}  // namespace spacetwist::cli
+
+#endif  // SPACETWIST_CLI_TRACE_REPORT_H_

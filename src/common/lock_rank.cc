@@ -14,6 +14,7 @@ Mutex kEngineFront{LockRank::kEngineFront, "lock_order.engine_front"};
 Mutex kEngineShard{LockRank::kEngineShard, "lock_order.engine_shard"};
 Mutex kRouterFanout{LockRank::kRouterFanout, "lock_order.router_fanout"};
 Mutex kTraceSink{LockRank::kTraceSink, "lock_order.trace_sink"};
+Mutex kFlightRecorder{LockRank::kFlightRecorder, "lock_order.flight_recorder"};
 Mutex kBufferPool{LockRank::kBufferPool, "lock_order.buffer_pool"};
 Mutex kMetricRegistry{LockRank::kMetricRegistry, "lock_order.metric_registry"};
 

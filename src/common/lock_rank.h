@@ -36,7 +36,8 @@ extern Mutex kEngineFront ACQUIRED_AFTER(kSessionManager);
 extern Mutex kEngineShard ACQUIRED_AFTER(kEngineFront);
 extern Mutex kRouterFanout ACQUIRED_AFTER(kEngineShard);
 extern Mutex kTraceSink ACQUIRED_AFTER(kRouterFanout);
-extern Mutex kBufferPool ACQUIRED_AFTER(kTraceSink);
+extern Mutex kFlightRecorder ACQUIRED_AFTER(kTraceSink);
+extern Mutex kBufferPool ACQUIRED_AFTER(kFlightRecorder);
 extern Mutex kMetricRegistry ACQUIRED_AFTER(kBufferPool);
 
 }  // namespace spacetwist::lock_order

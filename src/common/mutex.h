@@ -49,6 +49,7 @@ enum class LockRank : int {
   kEngineShard = 600,      ///< ServiceEngine stripes inside a shard fleet
   kRouterFanout = 700,     ///< shard::ShardRouter fan-out log
   kTraceSink = 800,        ///< telemetry::TraceSink buffer
+  kFlightRecorder = 850,   ///< telemetry::FlightRecorder ring
   kBufferPool = 900,       ///< storage::BufferPool LRU bookkeeping
   kMetricRegistry = 1000,  ///< telemetry::MetricRegistry stripes (innermost)
 };

@@ -52,7 +52,9 @@ EventEngine::EventEngine(service::ServiceEngine* service,
   instruments_.rejected = registry->GetCounter("engine.rejected");
   instruments_.dispatched = registry->GetCounter("engine.dispatched");
   instruments_.replies = registry->GetCounter("engine.replies");
+  instruments_.loop_idle_ns = registry->GetCounter("engine.loop_idle_ns");
   instruments_.queue_delay_ns = registry->GetHistogram("engine.queue_delay_ns");
+  instruments_.poll_batch = registry->GetHistogram("engine.poll_batch");
   loop_ = std::thread([this] { Loop(); });
 }
 
@@ -65,9 +67,19 @@ EventEngine::~EventEngine() {
 void EventEngine::Loop() {
   std::vector<FrameEvent> batch;
   batch.reserve(options_.poll_batch);
-  while (transport_->WaitReady()) {
+  for (;;) {
+    // Loop headroom: ns the loop thread spends parked in WaitReady. A busy
+    // engine reads ~0 here; a large value means the loop is starved for
+    // frames, not CPU. (Guarded subtraction: a test driving a VirtualClock
+    // backwards via Set() must not underflow the counter.)
+    const uint64_t wait_start_ns = clock_->NowNs();
+    if (!transport_->WaitReady()) break;
+    const uint64_t wait_end_ns = clock_->NowNs();
+    instruments_.loop_idle_ns->Add(
+        wait_end_ns >= wait_start_ns ? wait_end_ns - wait_start_ns : 0);
     batch.clear();
     transport_->PollReady(options_.poll_batch, &batch);
+    instruments_.poll_batch->Record(batch.size());
     for (FrameEvent& event : batch) Dispatch(std::move(event));
   }
 }
@@ -94,6 +106,12 @@ void EventEngine::Dispatch(FrameEvent event) {
   const uint64_t admit_ns = clock_->NowNs();
   Status admitted = pool_.TrySubmit(
       [this, conn_id, admit_ns, req = std::move(*request)] {
+        // Counted here, not on the loop thread after TrySubmit: everything a
+        // frame contributes must land before SendReply publishes its reply,
+        // or a sequential client snapshotting metrics between queries would
+        // race the loop thread's tail bookkeeping.
+        counters_.dispatched.fetch_add(1, kRelaxed);
+        instruments_.dispatched->Add();
         instruments_.queue_delay_ns->Record(clock_->NowNs() - admit_ns);
         std::vector<uint8_t> reply = service_->HandleDecoded(req);
         counters_.replies.fetch_add(1, kRelaxed);
@@ -110,8 +128,6 @@ void EventEngine::Dispatch(FrameEvent event) {
     transport_->SendReply(event.conn_id, EncodeError(admitted));
     return;
   }
-  counters_.dispatched.fetch_add(1, kRelaxed);
-  instruments_.dispatched->Add();
 }
 
 EventEngineMetrics EventEngine::metrics() const {

@@ -69,7 +69,11 @@ struct EventEngineMetrics {
 /// Exported instruments (docs/OBSERVABILITY.md):
 ///   engine.frames, engine.decode_errors, engine.rejected,
 ///   engine.dispatched, engine.replies            counters
+///   engine.loop_idle_ns                          counter, ns blocked in
+///                                                WaitReady (loop headroom)
 ///   engine.queue_delay_ns                        histogram, admit → run
+///   engine.poll_batch                            histogram, frames drained
+///                                                per PollReady
 class EventEngine {
  public:
   EventEngine(service::ServiceEngine* service,
@@ -129,7 +133,9 @@ class EventEngine {
     telemetry::Counter* rejected;
     telemetry::Counter* dispatched;
     telemetry::Counter* replies;
+    telemetry::Counter* loop_idle_ns;
     telemetry::Histogram* queue_delay_ns;
+    telemetry::Histogram* poll_batch;
   };
   Instruments instruments_;
 

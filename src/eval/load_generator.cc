@@ -133,16 +133,23 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
     ClientState& state = states[client];
     const size_t query_index = state.next_query;
     const auto& [q, anchor] = state.workload.queries[query_index];
-    const bool tracing =
+    const bool sampled =
         options.trace_every != 0 &&
         (client * options.queries_per_client + query_index) %
                 options.trace_every ==
             0;
+    // Watchdog escalation traces ride the exact same path as sampled ones;
+    // tokens are consumed in submission order on the worker threads.
+    const bool escalated =
+        options.slo != nullptr && options.slo->ConsumeEscalation();
+    const bool tracing = sampled || escalated;
     const bool via_retry_client = options.record_tradeoffs || tracing;
     telemetry::Trace trace(clock);
     service::RetryStats retry_stats;
     const uint64_t qtrace_id =
-        tracing ? QueryTraceId(options.seed, client, query_index) : 0;
+        tracing || options.flight != nullptr
+            ? QueryTraceId(options.seed, client, query_index)
+            : 0;
     const uint64_t start_ns = clock->NowNs();
     Result<core::QueryOutcome> outcome =
         [&]() -> Result<core::QueryOutcome> {
@@ -174,6 +181,16 @@ Result<LoadReport> RunClosedLoopLoad(service::ServiceEngine* engine,
     queries_metric->Add();
     ++state.completed;
     FoldOutcome(*outcome, &state.digest);
+    if (options.flight != nullptr) {
+      telemetry::FlightRecord flight_record;
+      flight_record.trace_id = qtrace_id;
+      flight_record.latency_ns = latency_ns;
+      flight_record.packets = outcome->packets;
+      flight_record.tau = outcome->tau;
+      flight_record.gamma = outcome->gamma;
+      flight_record.anchor_distance = geom::Distance(q, anchor);
+      options.flight->Record(flight_record);
+    }
     if (tracing) {
       state.traces.push_back(
           telemetry::TraceRecord{qtrace_id, trace.records()});

@@ -12,8 +12,10 @@
 #include "server/lbs_server.h"
 #include "service/service_engine.h"
 #include "telemetry/clock.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metric.h"
 #include "telemetry/registry.h"
+#include "telemetry/slo.h"
 #include "telemetry/trace.h"
 
 namespace spacetwist::eval {
@@ -61,6 +63,16 @@ struct LoadOptions {
   /// thread-safe (called from worker threads).
   std::function<void(const geom::Point& anchor, TradeoffRecord* record)>
       fanout_probe;
+  /// Always-on tail-latency flight recorder (borrowed; null disables):
+  /// every completed query pushes a FlightRecord — what an SloMonitor over
+  /// this ring dumps when an objective trips (docs/OBSERVABILITY.md §7).
+  telemetry::FlightRecorder* flight = nullptr;
+  /// Escalation source (borrowed; null disables): while the watchdog has
+  /// armed tokens, queries consume them and run under a distributed trace
+  /// exactly like trace_every-sampled ones — anomalous-regime traces land
+  /// in LoadReport::traces (and the server's TraceSink) without raising
+  /// the steady-state sampling rate.
+  telemetry::SloMonitor* slo = nullptr;
 };
 
 /// Deterministic fingerprint of everything one client computed: the kNN

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <queue>
 #include <thread>
 #include <utility>
@@ -10,8 +11,12 @@
 #include "common/mutex.h"
 #include "core/spacetwist_client.h"
 #include "engine/event_engine.h"
+#include "geom/point.h"
+#include "net/wire.h"
 #include "service/thread_pool.h"
 #include "service/wire_client.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/trace.h"
 
 namespace spacetwist::eval {
 
@@ -33,7 +38,121 @@ Status ValidateOptions(const OpenLoopOptions& options) {
   if (options.max_inflight < 1) {
     return Status::InvalidArgument("max_inflight must be >= 1");
   }
+  if (!options.slo_objectives.empty() && options.timeseries_interval_ns == 0) {
+    return Status::InvalidArgument(
+        "slo_objectives require timeseries_interval_ns > 0");
+  }
+  if (options.timeseries_interval_ns != 0 && options.timeseries_capacity < 1) {
+    return Status::InvalidArgument("timeseries_capacity must be >= 1");
+  }
   return Status::OK();
+}
+
+/// The run's registry instruments (docs/OBSERVABILITY.md §2), resolved once
+/// in RunOpenLoopLoad and shared by both pacing paths.
+struct RunInstruments {
+  telemetry::Counter* offered;
+  telemetry::Counter* completed;
+  telemetry::Counter* rejected;
+  telemetry::Histogram* latency_ns;
+  telemetry::Histogram* queue_delay_ns;
+};
+
+/// Per-run windowed-telemetry stack (docs/OBSERVABILITY.md §7): the
+/// collector sampling the run's registry into interval windows, the
+/// always-on flight-recorder ring, and the SLO watchdog over both.
+/// Engaged only when `timeseries_interval_ns` > 0.
+struct WindowedTelemetry {
+  std::unique_ptr<telemetry::TimeSeriesCollector> collector;
+  std::unique_ptr<telemetry::FlightRecorder> flight;
+  std::unique_ptr<telemetry::SloMonitor> monitor;
+
+  bool on() const { return collector != nullptr; }
+
+  /// Closes every elapsed window, then lets the watchdog judge it. Driver
+  /// thread only.
+  void PollAndEvaluate() {
+    if (collector->Poll() > 0) monitor->Evaluate();
+  }
+
+  void FinishInto(uint64_t escalated, OpenLoopReport* report) {
+    collector->Flush();
+    monitor->Evaluate();
+    report->timeseries = collector->series();
+    report->slo = monitor->Report();
+    report->escalated = escalated;
+  }
+};
+
+WindowedTelemetry MakeWindowed(const OpenLoopOptions& options,
+                               telemetry::Clock* clock,
+                               telemetry::MetricRegistry* registry) {
+  WindowedTelemetry windowed;
+  if (options.timeseries_interval_ns == 0) return windowed;
+  telemetry::TimeSeriesCollector::Options collector_options;
+  collector_options.interval_ns = options.timeseries_interval_ns;
+  collector_options.capacity = options.timeseries_capacity;
+  windowed.collector = std::make_unique<telemetry::TimeSeriesCollector>(
+      clock, registry, collector_options);
+  windowed.flight =
+      std::make_unique<telemetry::FlightRecorder>(options.flight_capacity);
+  telemetry::SloMonitor::Options monitor_options;
+  monitor_options.escalate_queries = options.slo_escalate_queries;
+  windowed.monitor = std::make_unique<telemetry::SloMonitor>(
+      windowed.collector.get(), windowed.flight.get(), monitor_options);
+  for (const telemetry::SloObjective& objective : options.slo_objectives) {
+    windowed.monitor->AddObjective(objective);
+  }
+  return windowed;
+}
+
+/// One query through the engine. Escalated queries run through the
+/// retrying session with a distributed trace attached: the trace context
+/// propagates over the wire, the server's spans ride back on the replies,
+/// and the merged client+server tree is offered to `sink` under
+/// `qtrace_id` — the anomalous regime the watchdog flagged, captured end
+/// to end. Outcomes are identical either way (the closed loop's digest
+/// parity pins that tracing never perturbs results).
+Result<core::QueryOutcome> ExecuteQuery(engine::EventEngine* event_engine,
+                                        const Arrival& arrival,
+                                        const OpenLoopOptions& options,
+                                        bool escalate, uint64_t qtrace_id,
+                                        telemetry::Clock* clock,
+                                        telemetry::TraceSink* sink) {
+  engine::EventEngine::Port port = event_engine->NewPort();
+  if (!escalate) {
+    return service::RemoteQuery(&port, arrival.q, arrival.anchor,
+                                options.params);
+  }
+  telemetry::Trace trace(clock);
+  net::DirectTransport transport(&port);
+  service::RetryConfig retry;
+  retry.trace = &trace;
+  retry.trace_id = qtrace_id;
+  service::RetryStats retry_stats;
+  Result<core::QueryOutcome> outcome = service::RemoteQuery(
+      &transport, arrival.q, arrival.anchor, options.params, retry,
+      &retry_stats);
+  if (outcome.ok() && sink != nullptr) {
+    sink->Offer(telemetry::TraceRecord{qtrace_id, trace.records()});
+  }
+  return outcome;
+}
+
+/// Pushes one completed query into the flight ring: what the SLO watchdog
+/// dumps when it trips — trace id, latency, packets, the termination radii
+/// tau/gamma, and the disclosed anchor's distance from the true location.
+void RecordFlight(const WindowedTelemetry& windowed, const Arrival& arrival,
+                  uint64_t qtrace_id, uint64_t latency_ns,
+                  const core::QueryOutcome& outcome) {
+  telemetry::FlightRecord record;
+  record.trace_id = qtrace_id;
+  record.latency_ns = latency_ns;
+  record.packets = outcome.packets;
+  record.tau = outcome.tau;
+  record.gamma = outcome.gamma;
+  record.anchor_distance = geom::Distance(arrival.q, arrival.anchor);
+  windowed.flight->Record(record);
 }
 
 /// Per-arrival result slot, written by exactly one task (kMeasured) or
@@ -73,11 +192,19 @@ Result<OpenLoopReport> RunMeasured(engine::EventEngine* event_engine,
                                    const OpenLoopWorkload& workload,
                                    const OpenLoopOptions& options,
                                    telemetry::Clock* clock,
-                                   telemetry::Counter* completed_metric,
-                                   telemetry::Counter* rejected_metric) {
+                                   telemetry::MetricRegistry* registry,
+                                   const RunInstruments& instruments) {
   std::vector<Slot> slots(workload.arrivals.size());
   telemetry::Histogram latency;
   telemetry::Histogram queue_delay;
+
+  // Windowed telemetry over the injected run clock; polled only from the
+  // dispatcher thread (between releases), which is also the only consumer
+  // of escalation tokens — client tasks just record into the thread-safe
+  // instruments and the flight ring.
+  WindowedTelemetry windowed = MakeWindowed(options, clock, registry);
+  std::vector<size_t> per_user_queries(options.arrival.num_users, 0);
+  uint64_t escalated = 0;
 
   std::atomic<bool> failed{false};
   std::atomic<uint64_t> completed{0};
@@ -98,17 +225,29 @@ Result<OpenLoopReport> RunMeasured(engine::EventEngine* event_engine,
     // the servers are. Spin-yield on the injected clock (a VirtualClock
     // makes this a no-op).
     const uint64_t release_ns = run_start_ns + arrival.at_ns;
-    while (clock->NowNs() < release_ns) std::this_thread::yield();
+    while (clock->NowNs() < release_ns) {
+      if (windowed.on()) windowed.PollAndEvaluate();
+      std::this_thread::yield();
+    }
+    if (windowed.on()) windowed.PollAndEvaluate();
+    instruments.offered->Add();
+    const size_t user_query = per_user_queries[arrival.user]++;
+    const uint64_t qtrace_id =
+        QueryTraceId(options.arrival.seed, arrival.user, user_query);
+    const bool escalate = windowed.on() && windowed.monitor->ConsumeEscalation();
+    if (escalate) ++escalated;
     Slot* slot = &slots[i];
     clients.Submit([event_engine, &arrival, slot, release_ns, clock, &latency,
                     &queue_delay, &failed, &completed, &rejected, &error_mu,
-                    &first_error, &options] {
+                    &first_error, &options, &instruments, &windowed, escalate,
+                    qtrace_id] {
       if (failed.load(std::memory_order_relaxed)) return;
-      queue_delay.Record(clock->NowNs() - release_ns);
-      engine::EventEngine::Port port = event_engine->NewPort();
+      const uint64_t dispatch_delay_ns = clock->NowNs() - release_ns;
+      queue_delay.Record(dispatch_delay_ns);
+      instruments.queue_delay_ns->Record(dispatch_delay_ns);
       Result<core::QueryOutcome> outcome =
-          service::RemoteQuery(&port, arrival.q, arrival.anchor,
-                               options.params);
+          ExecuteQuery(event_engine, arrival, options, escalate, qtrace_id,
+                       clock, options.trace_sink);
       const uint64_t end_ns = clock->NowNs();
       if (!outcome.ok()) {
         if (outcome.status().code() == StatusCode::kResourceExhausted) {
@@ -116,6 +255,7 @@ Result<OpenLoopReport> RunMeasured(engine::EventEngine* event_engine,
           // shed, which is goodput lost, not a run failure.
           slot->status = outcome.status();
           rejected.fetch_add(1, std::memory_order_relaxed);
+          instruments.rejected->Add();
           return;
         }
         failed.store(true, std::memory_order_relaxed);
@@ -123,10 +263,16 @@ Result<OpenLoopReport> RunMeasured(engine::EventEngine* event_engine,
         if (first_error.ok()) first_error = outcome.status();
         return;
       }
-      latency.Record(end_ns - release_ns);
+      const uint64_t latency_ns = end_ns - release_ns;
+      latency.Record(latency_ns);
+      instruments.latency_ns->Record(latency_ns);
       slot->outcome = outcome.MoveValueOrDie();
       slot->completed = true;
       completed.fetch_add(1, std::memory_order_relaxed);
+      instruments.completed->Add();
+      if (windowed.on()) {
+        RecordFlight(windowed, arrival, qtrace_id, latency_ns, slot->outcome);
+      }
     });
   }
   clients.Wait();
@@ -142,19 +288,35 @@ Result<OpenLoopReport> RunMeasured(engine::EventEngine* event_engine,
       static_cast<double>(run_end_ns - run_start_ns) / 1e9;
   report.completed = completed.load();
   report.rejected = rejected.load();
-  completed_metric->Add(report.completed);
-  rejected_metric->Add(report.rejected);
   FinishReport(workload, options, &slots, latency, queue_delay, &report);
+  if (windowed.on()) windowed.FinishInto(escalated, &report);
   return report;
 }
 
 Result<OpenLoopReport> RunVirtual(engine::EventEngine* event_engine,
                                   const OpenLoopWorkload& workload,
                                   const OpenLoopOptions& options,
-                                  telemetry::Counter* completed_metric) {
+                                  telemetry::Clock* clock,
+                                  telemetry::MetricRegistry* registry,
+                                  const RunInstruments& instruments) {
   std::vector<Slot> slots(workload.arrivals.size());
   telemetry::Histogram latency;
   telemetry::Histogram queue_delay;
+
+  // Windowed telemetry runs on its own VirtualClock stepped to each
+  // *scheduled* arrival instant: queries execute sequentially in real
+  // threads, but the open-loop timeline is the modeled one, and sampling
+  // that timeline (never wall time) is what makes two runs of the same
+  // workload export byte-identical series. Each window is closed before
+  // the first query arriving past its end executes, so a window's deltas
+  // are exactly the queries scheduled inside it — and because modeled
+  // queue delay is charged to the arrival's window, a growing backlog
+  // shows up as later windows with larger queue-delay percentiles: the
+  // knee forming over time.
+  telemetry::VirtualClock model_clock(0);
+  WindowedTelemetry windowed = MakeWindowed(options, &model_clock, registry);
+  std::vector<size_t> per_user_queries(options.arrival.num_users, 0);
+  uint64_t escalated = 0;
 
   // M/D/c-style service model: `worker_threads` virtual servers, each
   // arrival seizes the earliest-free one. Min-heap of free times.
@@ -166,13 +328,22 @@ Result<OpenLoopReport> RunVirtual(engine::EventEngine* event_engine,
   uint64_t makespan_ns = 0;
   for (size_t i = 0; i < workload.arrivals.size(); ++i) {
     const Arrival& arrival = workload.arrivals[i];
+    if (windowed.on()) {
+      model_clock.Set(arrival.at_ns);
+      windowed.PollAndEvaluate();
+    }
+    instruments.offered->Add();
+    const size_t user_query = per_user_queries[arrival.user]++;
+    const uint64_t qtrace_id =
+        QueryTraceId(options.arrival.seed, arrival.user, user_query);
+    const bool escalate = windowed.on() && windowed.monitor->ConsumeEscalation();
+    if (escalate) ++escalated;
     // Real results through the real event-driven path, sequentially — the
     // serving side is exercised end to end, only *time* is modeled.
-    engine::EventEngine::Port port = event_engine->NewPort();
     SPACETWIST_ASSIGN_OR_RETURN(
         core::QueryOutcome outcome,
-        service::RemoteQuery(&port, arrival.q, arrival.anchor,
-                             options.params));
+        ExecuteQuery(event_engine, arrival, options, escalate, qtrace_id,
+                     clock, options.trace_sink));
     const uint64_t service_ns =
         options.virtual_service_base_ns +
         options.virtual_service_per_packet_ns * outcome.packets;
@@ -182,8 +353,16 @@ Result<OpenLoopReport> RunVirtual(engine::EventEngine* event_engine,
     const uint64_t finish = start + service_ns;
     free_at.push(finish);
     makespan_ns = std::max(makespan_ns, finish);
-    queue_delay.Record(start - arrival.at_ns);
-    latency.Record(finish - arrival.at_ns);
+    const uint64_t queue_delay_ns = start - arrival.at_ns;
+    const uint64_t latency_ns = finish - arrival.at_ns;
+    queue_delay.Record(queue_delay_ns);
+    latency.Record(latency_ns);
+    instruments.queue_delay_ns->Record(queue_delay_ns);
+    instruments.latency_ns->Record(latency_ns);
+    instruments.completed->Add();
+    if (windowed.on()) {
+      RecordFlight(windowed, arrival, qtrace_id, latency_ns, outcome);
+    }
     slots[i].outcome = std::move(outcome);
     slots[i].completed = true;
   }
@@ -192,8 +371,8 @@ Result<OpenLoopReport> RunVirtual(engine::EventEngine* event_engine,
   report.wall_seconds = static_cast<double>(makespan_ns) / 1e9;
   report.completed = workload.arrivals.size();
   report.rejected = 0;
-  completed_metric->Add(report.completed);
   FinishReport(workload, options, &slots, latency, queue_delay, &report);
+  if (windowed.on()) windowed.FinishInto(escalated, &report);
   return report;
 }
 
@@ -213,16 +392,16 @@ Result<OpenLoopReport> RunOpenLoopLoad(service::ServiceEngine* service,
   telemetry::Clock* clock = telemetry::OrDefault(options.clock);
   telemetry::MetricRegistry* registry =
       telemetry::MetricRegistry::OrDefault(options.registry);
-  telemetry::Counter* offered_metric =
-      registry->GetCounter("eval.arrival.offered");
-  telemetry::Counter* completed_metric =
-      registry->GetCounter("eval.arrival.completed");
-  telemetry::Counter* rejected_metric =
-      registry->GetCounter("eval.arrival.rejected");
+  RunInstruments instruments;
+  instruments.offered = registry->GetCounter("eval.arrival.offered");
+  instruments.completed = registry->GetCounter("eval.arrival.completed");
+  instruments.rejected = registry->GetCounter("eval.arrival.rejected");
+  instruments.latency_ns = registry->GetHistogram("eval.arrival.latency_ns");
+  instruments.queue_delay_ns =
+      registry->GetHistogram("eval.arrival.queue_delay_ns");
 
   const OpenLoopWorkload workload =
       BuildOpenLoopWorkload(domain, options.params, options.arrival);
-  offered_metric->Add(workload.arrivals.size());
 
   engine::EventEngineOptions engine_options;
   engine_options.worker_threads = options.worker_threads;
@@ -233,9 +412,10 @@ Result<OpenLoopReport> RunOpenLoopLoad(service::ServiceEngine* service,
   engine::EventEngine event_engine(service, &transport, engine_options);
 
   return options.pacing == OpenLoopPacing::kMeasured
-             ? RunMeasured(&event_engine, workload, options, clock,
-                           completed_metric, rejected_metric)
-             : RunVirtual(&event_engine, workload, options, completed_metric);
+             ? RunMeasured(&event_engine, workload, options, clock, registry,
+                           instruments)
+             : RunVirtual(&event_engine, workload, options, clock, registry,
+                          instruments);
 }
 
 Result<std::vector<ClientDigest>> RunOpenLoopReference(

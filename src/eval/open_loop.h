@@ -15,6 +15,9 @@
 #include "telemetry/clock.h"
 #include "telemetry/metric.h"
 #include "telemetry/registry.h"
+#include "telemetry/slo.h"
+#include "telemetry/timeseries.h"
+#include "telemetry/trace_sink.h"
 
 namespace spacetwist::eval {
 
@@ -54,6 +57,23 @@ struct OpenLoopOptions {
   /// (bench_openloop does) so each point's engine.* snapshots stay clean.
   telemetry::Clock* clock = nullptr;
   telemetry::MetricRegistry* registry = nullptr;
+  /// Windowed telemetry (docs/OBSERVABILITY.md §7): > 0 samples the run's
+  /// registry into per-interval windows of this width on the run's own
+  /// timeline — modeled arrival time under kVirtual (two runs of the same
+  /// workload export byte-identical series), the injected clock under
+  /// kMeasured. 0 disables the collector, watchdog, and flight recorder.
+  uint64_t timeseries_interval_ns = 0;
+  size_t timeseries_capacity = 512;  ///< bounded window ring (oldest dropped)
+  /// Objectives the SloMonitor watches over the windows; requires
+  /// `timeseries_interval_ns` > 0 when non-empty.
+  std::vector<telemetry::SloObjective> slo_objectives;
+  /// Trace-sampling escalation armed per SLO trip: the next N queries run
+  /// with an end-to-end distributed trace offered to `trace_sink`.
+  size_t slo_escalate_queries = 16;
+  size_t flight_capacity = 64;  ///< always-on flight-recorder ring size
+  /// Receives merged client+server traces of escalated queries (borrowed;
+  /// null discards them).
+  telemetry::TraceSink* trace_sink = nullptr;
 };
 
 /// Aggregate numbers of one open-loop run (one knee-curve point).
@@ -71,6 +91,13 @@ struct OpenLoopReport {
   /// Per-query queueing delay: scheduled arrival to dispatch start (ns).
   telemetry::HistogramSnapshot queue_delay;
   std::vector<ClientDigest> digests;  ///< index = user; completed only
+  /// Windowed telemetry of the run (empty unless
+  /// `timeseries_interval_ns` > 0): the per-interval series, the watchdog's
+  /// objectives + trips (each trip carries its flight-recorder dump), and
+  /// how many queries ran under escalated tracing.
+  telemetry::TimeSeries timeseries;
+  telemetry::SloReport slo;
+  uint64_t escalated = 0;
 };
 
 /// Drives the open-loop schedule against `service` through an
@@ -79,7 +106,8 @@ struct OpenLoopReport {
 /// to the thread-per-pull path — engine_differential_test pins it — so at
 /// load levels with no rejections `digests` equals the reference's.
 /// Registry instruments: eval.arrival.offered / .completed / .rejected
-/// counters plus the engine's engine.* set.
+/// counters, eval.arrival.latency_ns / .queue_delay_ns histograms, plus
+/// the engine's engine.* set.
 Result<OpenLoopReport> RunOpenLoopLoad(service::ServiceEngine* service,
                                        const geom::Rect& domain,
                                        const OpenLoopOptions& options);

@@ -1,0 +1,90 @@
+#ifndef SPACETWIST_TELEMETRY_FLIGHT_RECORDER_H_
+#define SPACETWIST_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace spacetwist::telemetry {
+
+/// One lightweight per-query record — the paper's trade-off triangle in six
+/// scalars (privacy: dist(q,q') and Γ; performance: latency and packets;
+/// the supply-space radius τ ties them together) plus the deterministic
+/// trace id that links the record to a full distributed trace when one was
+/// sampled for the same query.
+struct FlightRecord {
+  uint64_t trace_id = 0;
+  uint64_t latency_ns = 0;
+  uint64_t packets = 0;
+  double tau = 0.0;
+  double gamma = 0.0;
+  double anchor_distance = 0.0;  ///< dist(q, q')
+
+  friend bool operator==(const FlightRecord& a, const FlightRecord& b) {
+    return a.trace_id == b.trace_id && a.latency_ns == b.latency_ns &&
+           a.packets == b.packets && a.tau == b.tau && a.gamma == b.gamma &&
+           a.anchor_distance == b.anchor_distance;
+  }
+};
+
+/// Always-on bounded ring of the most recent FlightRecords — the black box
+/// an SloMonitor dumps alongside a breaching window, so the queries that
+/// led into an anomaly are available even though none of them looked worth
+/// tracing while the system was healthy. Recording is one short critical
+/// section (no allocation once the ring is full), cheap enough to run on
+/// every query of a load run.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 64)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Record(const FlightRecord& record) {
+    MutexLock lock(&mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(record);
+    } else {
+      ring_[head_] = record;
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++recorded_;
+  }
+
+  /// The ring's current contents, oldest first.
+  std::vector<FlightRecord> SnapshotRing() const {
+    MutexLock lock(&mu_);
+    std::vector<FlightRecord> out;
+    out.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  uint64_t recorded() const {
+    MutexLock lock(&mu_);
+    return recorded_;
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  // Rank: a leaf taken from worker tasks after the serving stack released
+  // its locks, and from an SLO monitor's dump; slotted between the trace
+  // sink (whose Offer can run under engine stripes) and the buffer pool.
+  mutable Mutex mu_ ACQUIRED_AFTER(lock_order::kFlightRecorder)
+      ACQUIRED_BEFORE(lock_order::kBufferPool){LockRank::kFlightRecorder,
+                                               "telemetry.flight_recorder"};
+  std::vector<FlightRecord> ring_ GUARDED_BY(mu_);
+  size_t head_ GUARDED_BY(mu_) = 0;  ///< oldest element once the ring is full
+  uint64_t recorded_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace spacetwist::telemetry
+
+#endif  // SPACETWIST_TELEMETRY_FLIGHT_RECORDER_H_

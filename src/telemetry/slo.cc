@@ -1,0 +1,218 @@
+#include "telemetry/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace spacetwist::telemetry {
+
+SloMonitor::SloMonitor(const TimeSeriesCollector* collector,
+                       FlightRecorder* flight, const Options& options)
+    : collector_(collector), flight_(flight), options_(options) {}
+
+void SloMonitor::AddObjective(const SloObjective& objective) {
+  ObjectiveState state;
+  state.objective = objective;
+  if (state.objective.fast_windows == 0) state.objective.fast_windows = 1;
+  if (state.objective.slow_windows < state.objective.fast_windows) {
+    state.objective.slow_windows = state.objective.fast_windows;
+  }
+  objectives_.push_back(std::move(state));
+}
+
+size_t SloMonitor::Evaluate() {
+  size_t fired = 0;
+  for (const IntervalSample& sample : collector_->series().intervals) {
+    if (sample.index < next_eval_index_) continue;
+    next_eval_index_ = sample.index + 1;
+    for (ObjectiveState& state : objectives_) {
+      if (EvaluateWindow(&state, sample)) ++fired;
+    }
+  }
+  return fired;
+}
+
+bool SloMonitor::EvaluateWindow(ObjectiveState* state,
+                                const IntervalSample& sample) {
+  const SloObjective& objective = state->objective;
+  double observed = 0.0;
+  bool measured = false;
+  if (objective.signal == SloSignal::kHistogramQuantile) {
+    for (const auto& [name, window] : sample.histogram_windows) {
+      if (name != objective.instrument) continue;
+      if (window.count > 0) {
+        observed = window.Percentile(objective.quantile);
+        measured = true;
+      }
+      break;
+    }
+  } else {
+    for (const auto& [name, delta] : sample.counter_deltas) {
+      if (name != objective.instrument) continue;
+      const double seconds =
+          static_cast<double>(sample.end_ns - sample.start_ns) / 1e9;
+      observed = seconds > 0.0 ? static_cast<double>(delta) / seconds : 0.0;
+      measured = true;
+      break;
+    }
+  }
+
+  const bool breach = measured && observed > objective.limit;
+  state->breaches.push_back(breach);
+  if (state->breaches.size() > objective.slow_windows) {
+    state->breaches.pop_front();
+  }
+
+  bool fast = state->breaches.size() >= objective.fast_windows;
+  for (size_t i = 0; fast && i < objective.fast_windows; ++i) {
+    fast = state->breaches[state->breaches.size() - 1 - i];
+  }
+  bool slow = false;
+  if (state->breaches.size() >= objective.slow_windows) {
+    const size_t breaching = static_cast<size_t>(
+        std::count(state->breaches.begin(), state->breaches.end(), true));
+    const size_t needed = static_cast<size_t>(std::ceil(
+        objective.slow_burn_fraction *
+        static_cast<double>(objective.slow_windows)));
+    slow = breaching >= std::max<size_t>(needed, 1);
+  }
+  if (!fast && !slow) return false;
+
+  SloTrip trip;
+  trip.objective = objective.name;
+  trip.interval_index = sample.index;
+  trip.observed = observed;
+  trip.limit = objective.limit;
+  if (flight_ != nullptr) trip.flight = flight_->SnapshotRing();
+  trips_.push_back(std::move(trip));
+  state->breaches.clear();  // re-arm
+  escalation_.store(options_.escalate_queries, std::memory_order_relaxed);
+  return true;
+}
+
+SloReport SloMonitor::Report() const {
+  SloReport report;
+  report.objectives.reserve(objectives_.size());
+  for (const ObjectiveState& state : objectives_) {
+    report.objectives.push_back(state.objective);
+  }
+  report.trips = trips_;
+  return report;
+}
+
+namespace {
+
+std::string SignalLabel(const SloObjective& objective) {
+  if (objective.signal == SloSignal::kCounterRate) return "rate";
+  return StrFormat("p%d",
+                   static_cast<int>(std::llround(objective.quantile * 100)));
+}
+
+void WriteWindowHistogram(const HistogramSnapshot& window,
+                          JsonWriter* writer) {
+  JsonWriter& w = *writer;
+  w.BeginObject();
+  w.KV("count", window.count);
+  w.KV("sum", window.sum);
+  w.KV("min", window.min);
+  w.KV("max", window.max);
+  w.KV("mean", window.Mean());
+  w.KV("p50", window.Percentile(0.50));
+  w.KV("p95", window.Percentile(0.95));
+  w.KV("p99", window.Percentile(0.99));
+  w.EndObject();
+}
+
+void WriteFlightRecord(const FlightRecord& record, JsonWriter* writer) {
+  JsonWriter& w = *writer;
+  w.BeginObject();
+  w.KV("trace_id", record.trace_id);
+  w.KV("latency_ns", record.latency_ns);
+  w.KV("packets", record.packets);
+  w.KV("tau", record.tau);
+  w.KV("gamma", record.gamma);
+  w.KV("anchor_distance", record.anchor_distance);
+  w.EndObject();
+}
+
+}  // namespace
+
+void WriteTimeSeries(const TimeSeries& series, const SloReport* slo,
+                     JsonWriter* writer) {
+  JsonWriter& w = *writer;
+  w.KV("schema", kTimeSeriesSchema);
+  w.KV("interval_ns", series.interval_ns);
+  w.KV("start_ns", series.start_ns);
+  w.KV("dropped_intervals", series.dropped_intervals);
+  w.Key("intervals").BeginArray();
+  for (const IntervalSample& sample : series.intervals) {
+    w.BeginObject();
+    w.KV("index", sample.index);
+    w.KV("start_ns", sample.start_ns);
+    w.KV("end_ns", sample.end_ns);
+    const double seconds =
+        static_cast<double>(sample.end_ns - sample.start_ns) / 1e9;
+    w.Key("counters").BeginObject();
+    for (const auto& [name, delta] : sample.counter_deltas) {
+      w.Key(name).BeginObject();
+      w.KV("delta", delta);
+      w.KV("rate_per_s",
+           seconds > 0.0 ? static_cast<double>(delta) / seconds : 0.0);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.Key("gauges").BeginObject();
+    for (const auto& [name, value] : sample.gauge_samples) w.KV(name, value);
+    w.EndObject();
+    w.Key("histograms").BeginObject();
+    for (const auto& [name, window] : sample.histogram_windows) {
+      w.Key(name);
+      WriteWindowHistogram(window, &w);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  if (slo == nullptr) return;
+  w.Key("slo").BeginObject();
+  w.Key("objectives").BeginArray();
+  for (const SloObjective& objective : slo->objectives) {
+    w.BeginObject();
+    w.KV("name", objective.name);
+    w.KV("instrument", objective.instrument);
+    w.KV("signal", SignalLabel(objective));
+    w.KV("limit", objective.limit);
+    w.KV("fast_windows", static_cast<uint64_t>(objective.fast_windows));
+    w.KV("slow_windows", static_cast<uint64_t>(objective.slow_windows));
+    w.KV("slow_burn_fraction", objective.slow_burn_fraction);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("trips").BeginArray();
+  for (const SloTrip& trip : slo->trips) {
+    w.BeginObject();
+    w.KV("objective", trip.objective);
+    w.KV("interval_index", trip.interval_index);
+    w.KV("observed", trip.observed);
+    w.KV("limit", trip.limit);
+    w.Key("flight").BeginArray();
+    for (const FlightRecord& record : trip.flight) {
+      WriteFlightRecord(record, &w);
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+std::string TimeSeriesToJson(const TimeSeries& series, const SloReport* slo) {
+  JsonWriter writer;
+  writer.BeginObject();
+  WriteTimeSeries(series, slo, &writer);
+  writer.EndObject();
+  return writer.str();
+}
+
+}  // namespace spacetwist::telemetry

@@ -1,0 +1,138 @@
+#ifndef SPACETWIST_TELEMETRY_SLO_H_
+#define SPACETWIST_TELEMETRY_SLO_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/timeseries.h"
+
+namespace spacetwist::telemetry {
+
+/// What an SloObjective reads out of each window.
+enum class SloSignal {
+  kHistogramQuantile,  ///< windowed percentile of a histogram instrument
+  kCounterRate,        ///< per-second rate of a counter instrument
+};
+
+/// One per-stage objective: "instrument's signal must stay <= limit",
+/// evaluated per closed window with two burn rates — `fast_windows`
+/// consecutive breaches trip immediately (a hard regression), while a
+/// `slow_burn_fraction` share of the last `slow_windows` windows trips on
+/// sustained degradation that individual windows would hide.
+struct SloObjective {
+  std::string name;        ///< objective id, e.g. "queue-delay-p99"
+  std::string instrument;  ///< catalog name, e.g. "eval.arrival.queue_delay_ns"
+  SloSignal signal = SloSignal::kHistogramQuantile;
+  double quantile = 0.99;  ///< kHistogramQuantile only
+  double limit = 0.0;      ///< ns (quantile) or events per second (rate)
+  size_t fast_windows = 2;
+  size_t slow_windows = 8;
+  double slow_burn_fraction = 0.5;
+};
+
+/// One watchdog firing: the breaching window plus the flight-recorder ring
+/// dumped at that instant — the queries that led into the anomaly.
+struct SloTrip {
+  std::string objective;
+  uint64_t interval_index = 0;
+  double observed = 0.0;  ///< the tripping window's signal value
+  double limit = 0.0;
+  std::vector<FlightRecord> flight;
+};
+
+/// A monitor's exportable state: the configured objectives and every trip.
+struct SloReport {
+  std::vector<SloObjective> objectives;
+  std::vector<SloTrip> trips;
+};
+
+/// Evaluates SloObjectives over a TimeSeriesCollector's windows. The
+/// driver polls the collector, then calls Evaluate(), which consumes every
+/// window index it has not seen yet. A trip dumps `flight` (when set) into
+/// the trip record and arms trace-sampling escalation: the next
+/// `escalate_queries` ConsumeEscalation() calls return true, which load
+/// drivers use to force end-to-end traces of the anomalous regime into
+/// their TraceSink.
+///
+/// Evaluate()/trips()/Report() must come from one thread;
+/// ConsumeEscalation() may be called from any thread (query issuers race
+/// for the escalation tokens).
+class SloMonitor {
+ public:
+  struct Options {
+    size_t escalate_queries = 16;  ///< tokens armed per trip
+  };
+
+  /// Borrows `collector` (required) and `flight` (optional).
+  SloMonitor(const TimeSeriesCollector* collector, FlightRecorder* flight)
+      : SloMonitor(collector, flight, Options()) {}
+  SloMonitor(const TimeSeriesCollector* collector, FlightRecorder* flight,
+             const Options& options);
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  void AddObjective(const SloObjective& objective);
+
+  /// Evaluates every not-yet-seen window against every objective; returns
+  /// how many trips fired. A tripped objective's breach history resets, so
+  /// it re-arms instead of re-firing every subsequent window.
+  size_t Evaluate();
+
+  const std::vector<SloTrip>& trips() const { return trips_; }
+  SloReport Report() const;
+
+  /// Takes one escalation token; true means "trace this query".
+  bool ConsumeEscalation() {
+    uint64_t n = escalation_.load(std::memory_order_relaxed);
+    while (n > 0) {
+      if (escalation_.compare_exchange_weak(n, n - 1,
+                                            std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  uint64_t escalation_remaining() const {
+    return escalation_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ObjectiveState {
+    SloObjective objective;
+    std::deque<bool> breaches;  ///< most recent last, bounded by slow_windows
+  };
+
+  /// Evaluates one window for one objective; returns whether it tripped.
+  bool EvaluateWindow(ObjectiveState* state, const IntervalSample& sample);
+
+  const TimeSeriesCollector* collector_;
+  FlightRecorder* flight_;
+  Options options_;
+  std::vector<ObjectiveState> objectives_;
+  uint64_t next_eval_index_ = 0;
+  std::vector<SloTrip> trips_;
+  std::atomic<uint64_t> escalation_{0};
+};
+
+/// Emits a TimeSeries (and, when non-null, an SloReport) into an
+/// already-open object scope of `writer` as the
+/// `spacetwist.timeseries.v1` layout — how benches embed per-point series
+/// inside a larger document. Windowed histograms carry count/sum/min/max/
+/// mean/p50/p95/p99 but no bucket list (windows are many; the cumulative
+/// exporter keeps the full-resolution buckets).
+void WriteTimeSeries(const TimeSeries& series, const SloReport* slo,
+                     JsonWriter* writer);
+
+/// Renders a standalone `spacetwist.timeseries.v1` document.
+std::string TimeSeriesToJson(const TimeSeries& series, const SloReport* slo);
+
+}  // namespace spacetwist::telemetry
+
+#endif  // SPACETWIST_TELEMETRY_SLO_H_

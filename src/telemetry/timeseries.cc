@@ -1,0 +1,203 @@
+#include "telemetry/timeseries.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace spacetwist::telemetry {
+
+HistogramSnapshot SubtractHistogramSnapshot(const HistogramSnapshot& now,
+                                            const HistogramSnapshot& prev) {
+  // Empty baseline: the window IS the cumulative state (exact min/max).
+  if (prev.count == 0) return now;
+  HistogramSnapshot out;
+  out.count = now.count >= prev.count ? now.count - prev.count : 0;
+  out.sum = now.sum >= prev.sum ? now.sum - prev.sum : 0;
+  // Cumulative bucket counts only grow and buckets only appear, so the
+  // bucket-wise difference is the exact in-window distribution.
+  size_t j = 0;
+  for (const HistogramBucket& bucket : now.buckets) {
+    while (j < prev.buckets.size() && prev.buckets[j].lo < bucket.lo) ++j;
+    const uint64_t before =
+        j < prev.buckets.size() && prev.buckets[j].lo == bucket.lo
+            ? prev.buckets[j].count
+            : 0;
+    if (bucket.count > before) {
+      out.buckets.push_back(
+          HistogramBucket{bucket.lo, bucket.hi, bucket.count - before});
+    }
+  }
+  if (!out.buckets.empty()) {
+    // Bucket-resolution bounds: cumulative min/max cannot be split across
+    // windows, so the window's extremes are known only to a bucket.
+    out.min = out.buckets.front().lo;
+    out.max = out.buckets.back().hi - 1;
+  }
+  return out;
+}
+
+namespace {
+
+/// cur - prev for monotone counters, 0 when the name is new.
+uint64_t CounterDelta(uint64_t cur, uint64_t prev) {
+  return cur >= prev ? cur - prev : 0;
+}
+
+template <typename T>
+void SortByName(std::vector<std::pair<std::string, T>>* entries) {
+  std::stable_sort(entries->begin(), entries->end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+}
+
+}  // namespace
+
+TimeSeriesCollector::TimeSeriesCollector(Clock* clock,
+                                         MetricRegistry* registry,
+                                         const Options& options)
+    : clock_(OrDefault(clock)),
+      registry_(MetricRegistry::OrDefault(registry)),
+      options_(options) {
+  if (options_.interval_ns == 0) options_.interval_ns = 1;
+  if (options_.capacity == 0) options_.capacity = 1;
+  series_.interval_ns = options_.interval_ns;
+  series_.start_ns = clock_->NowNs();
+  window_start_ns_ = series_.start_ns;
+  previous_ = Combined();
+}
+
+void TimeSeriesCollector::AddSection(std::string label,
+                                     MetricRegistry* registry) {
+  sections_.emplace_back(std::move(label),
+                         MetricRegistry::OrDefault(registry));
+  // Re-baseline so the section's pre-existing cumulative state is not
+  // charged to the first window as a giant delta.
+  previous_ = Combined();
+}
+
+RegistrySnapshot TimeSeriesCollector::Combined() const {
+  RegistrySnapshot snap = registry_->Snapshot();
+  for (const auto& [label, registry] : sections_) {
+    RegistrySnapshot section = registry->Snapshot();
+    for (auto& [name, value] : section.counters) {
+      snap.counters.emplace_back(label + "." + name, value);
+    }
+    for (auto& [name, value] : section.gauges) {
+      snap.gauges.emplace_back(label + "." + name, value);
+    }
+    for (auto& [name, histogram] : section.histograms) {
+      snap.histograms.emplace_back(label + "." + name, std::move(histogram));
+    }
+  }
+  if (!sections_.empty()) {
+    SortByName(&snap.counters);
+    SortByName(&snap.gauges);
+    SortByName(&snap.histograms);
+  }
+  return snap;
+}
+
+size_t TimeSeriesCollector::Poll() {
+  return CaptureUpTo(clock_->NowNs(), /*include_partial=*/false);
+}
+
+bool TimeSeriesCollector::Flush() {
+  return CaptureUpTo(clock_->NowNs(), /*include_partial=*/true) > 0;
+}
+
+size_t TimeSeriesCollector::CaptureUpTo(uint64_t now, bool include_partial) {
+  const uint64_t interval = options_.interval_ns;
+  if (window_start_ns_ + interval > now && !include_partial) return 0;
+  const RegistrySnapshot cumulative = Combined();
+  size_t captured = 0;
+  // One snapshot per poll: the pending delta goes to the first elapsed
+  // window (under poll-before-record drivers that is exactly where the
+  // updates happened), catch-up windows are explicit zeros so rates read
+  // as silence, not gaps.
+  while (window_start_ns_ + interval <= now) {
+    Emit(window_start_ns_ + interval, cumulative, captured == 0);
+    ++captured;
+  }
+  if (include_partial && captured == 0) {
+    const bool pending =
+        cumulative.counters != previous_.counters ||
+        [&] {
+          if (cumulative.histograms.size() != previous_.histograms.size()) {
+            return true;
+          }
+          for (size_t i = 0; i < cumulative.histograms.size(); ++i) {
+            if (cumulative.histograms[i].second.count !=
+                previous_.histograms[i].second.count) {
+              return true;
+            }
+          }
+          return false;
+        }();
+    if (now > window_start_ns_ || pending) {
+      // Early close keeps the window's nominal end so the series timeline
+      // stays on the fixed deadline grid.
+      Emit(window_start_ns_ + interval, cumulative, /*carry_delta=*/true);
+      ++captured;
+    }
+  }
+  return captured;
+}
+
+void TimeSeriesCollector::Emit(uint64_t end_ns,
+                               const RegistrySnapshot& cumulative,
+                               bool carry_delta) {
+  IntervalSample sample;
+  sample.index = next_index_++;
+  sample.start_ns = window_start_ns_;
+  sample.end_ns = end_ns;
+
+  sample.counter_deltas.reserve(cumulative.counters.size());
+  size_t j = 0;
+  for (const auto& [name, value] : cumulative.counters) {
+    uint64_t delta = 0;
+    if (carry_delta) {
+      while (j < previous_.counters.size() &&
+             previous_.counters[j].first < name) {
+        ++j;
+      }
+      const uint64_t before =
+          j < previous_.counters.size() && previous_.counters[j].first == name
+              ? previous_.counters[j].second
+              : 0;
+      delta = CounterDelta(value, before);
+    }
+    sample.counter_deltas.emplace_back(name, delta);
+  }
+
+  sample.gauge_samples = cumulative.gauges;
+
+  sample.histogram_windows.reserve(cumulative.histograms.size());
+  j = 0;
+  for (const auto& [name, histogram] : cumulative.histograms) {
+    HistogramSnapshot window;
+    if (carry_delta) {
+      while (j < previous_.histograms.size() &&
+             previous_.histograms[j].first < name) {
+        ++j;
+      }
+      const bool known = j < previous_.histograms.size() &&
+                         previous_.histograms[j].first == name;
+      window = known
+                   ? SubtractHistogramSnapshot(histogram,
+                                               previous_.histograms[j].second)
+                   : histogram;
+    }
+    sample.histogram_windows.emplace_back(name, std::move(window));
+  }
+
+  if (carry_delta) previous_ = cumulative;
+  window_start_ns_ = end_ns;
+
+  series_.intervals.push_back(std::move(sample));
+  if (series_.intervals.size() > options_.capacity) {
+    series_.intervals.erase(series_.intervals.begin());
+    ++series_.dropped_intervals;
+  }
+}
+
+}  // namespace spacetwist::telemetry

@@ -122,6 +122,45 @@ TEST_F(EventEngineTest, ServesFullSessionThroughPort) {
   EXPECT_EQ(metrics.rejected, 0u);
 }
 
+TEST_F(EventEngineTest, LoopInstrumentsLandInRegistrySnapshot) {
+  telemetry::MetricRegistry registry;
+  service::ServiceOptions service_options;
+  service_options.registry = &registry;
+  service::ServiceEngine service(server_.get(), service_options);
+  InProcessEventTransport transport;
+  EventEngineOptions options;
+  options.registry = &registry;
+  EventEngine engine(&service, &transport, options);
+
+  EventEngine::Port port = engine.NewPort();
+  core::QueryParams params;
+  params.k = 3;
+  params.anchor_distance = 300.0;
+  auto outcome =
+      service::RemoteQuery(&port, {5000, 5000}, {5200, 5100}, params);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  // engine.poll_batch: every accepted frame is polled in exactly one batch
+  // before its reply publishes, so once the client holds all replies the
+  // recorded batch sizes sum to the frame count (docs/OBSERVABILITY.md §2).
+  const telemetry::RegistrySnapshot snap = registry.Snapshot();
+  const telemetry::HistogramSnapshot* poll_batch = nullptr;
+  for (const auto& [name, histogram] : snap.histograms) {
+    if (name == "engine.poll_batch") poll_batch = &histogram;
+  }
+  ASSERT_NE(poll_batch, nullptr);
+  EXPECT_GE(poll_batch->count, 1u);
+  EXPECT_EQ(poll_batch->sum, engine.metrics().frames);
+
+  // engine.loop_idle_ns: the WaitReady headroom counter exists (its value
+  // is wall-clock park time, so only presence is asserted here).
+  bool found_idle = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "engine.loop_idle_ns") found_idle = true;
+  }
+  EXPECT_TRUE(found_idle);
+}
+
 TEST_F(EventEngineTest, MalformedFrameGetsServiceIdenticalErrorReply) {
   service::ServiceEngine service(server_.get());
   service::ServiceEngine reference(server_.get());
@@ -212,9 +251,14 @@ TEST_F(EventEngineTest, RunQueueOverflowShedsWithResourceExhausted) {
       if (outcome.ok()) {
         completed.fetch_add(1);
       } else {
-        // The only legitimate failure under a full run queue is the
-        // engine's backpressure signal.
-        EXPECT_EQ(outcome.status().code(), StatusCode::kResourceExhausted);
+        // Legitimate failures under a full run queue: the engine's
+        // backpressure signal, or — when the query itself finished but
+        // every close frame kept being shed — the close loop exhausting
+        // its retry budget.
+        const StatusCode code = outcome.status().code();
+        EXPECT_TRUE(code == StatusCode::kResourceExhausted ||
+                    code == StatusCode::kDeadlineExceeded)
+            << outcome.status().ToString();
         shed.fetch_add(1);
       }
     });
@@ -223,9 +267,10 @@ TEST_F(EventEngineTest, RunQueueOverflowShedsWithResourceExhausted) {
   EXPECT_EQ(completed.load() + shed.load(), kClients);
   EXPECT_GE(completed.load(), 1u);
   const EventEngineMetrics metrics = engine.metrics();
-  // A client stops at its first error, so each shed client accounts for
-  // exactly one rejected frame.
-  EXPECT_EQ(metrics.rejected, shed.load());
+  // Every shed client saw at least one rejected frame; a session's cleanup
+  // close can be rejected too (it retries), so rejections may exceed the
+  // shed-client count.
+  EXPECT_GE(metrics.rejected, shed.load());
   EXPECT_EQ(metrics.replies, metrics.frames);
 }
 

@@ -1,0 +1,28 @@
+// Fixture: one catalogued resolve per lookup style (plain, brace-expanded,
+// placeholder, wrapped-literal) plus one uncatalogued name that must fire.
+#include <cstdint>
+
+namespace spacetwist::foo {
+
+struct Counter {
+  void Add() {}
+};
+struct Histogram {
+  void Record(uint64_t) {}
+};
+struct Registry {
+  Counter* GetCounter(const char*) { return nullptr; }
+  Histogram* GetHistogram(const char*) { return nullptr; }
+};
+
+void Resolve(Registry* registry) {
+  registry->GetCounter("foo.requests");          // catalogued
+  registry->GetCounter("foo.misses");            // via {hits,misses}
+  registry->GetCounter("foo.shard.3.pulls");     // via <i> placeholder
+  registry->GetHistogram(
+      "foo.latency_ns");                         // wrapped literal
+  registry->GetCounter("foo.uncatalogued");      // must fire
+  registry->GetCounter("foo.allowed");  // lint:allow metric-catalog fixture
+}
+
+}  // namespace spacetwist::foo

@@ -32,6 +32,13 @@ Rules (run `--list-rules` for the ids):
                      Errors flow through Status, telemetry through the
                      metric registry. src/common/logging.{h,cc} (the CHECK
                      machinery) is the sanctioned reporter.
+  metric-catalog     Literal instrument names passed to Get{Counter,Gauge,
+                     Histogram} under src/ must appear in the
+                     docs/OBSERVABILITY.md §2 catalog ({a,b} brace groups
+                     and <i> placeholders in catalog rows are expanded) —
+                     an uncatalogued instrument is invisible telemetry.
+                     (Runs only when the scanned root carries
+                     docs/OBSERVABILITY.md.)
   include-layering   The src/<lib> dependency graph — every
                      `#include "lib2/..."` edge plus every direct
                      target_link_libraries edge — must match the committed
@@ -374,6 +381,90 @@ def check_iostream(root):
     return findings
 
 
+# --- rule: metric-catalog --------------------------------------------------
+
+CATALOG_REL = os.path.join("docs", "OBSERVABILITY.md")
+CATALOG_ROW_RE = re.compile(r"^\|\s*`([^`]+)`")
+GET_INSTRUMENT_RE = re.compile(
+    r"\bGet(?:Counter|Gauge|Histogram)\s*\(")
+GET_LITERAL_RE = re.compile(
+    r"\bGet(?:Counter|Gauge|Histogram)\s*\(\s*\"([^\"]+)\"")
+
+
+def expand_braces(name):
+    """`a.{b,c}.d` -> [`a.b.d`, `a.c.d`] (recursively for several groups)."""
+    m = re.search(r"\{([^{}]*)\}", name)
+    if not m:
+        return [name]
+    out = []
+    for alt in m.group(1).split(","):
+        out.extend(expand_braces(name[:m.start()] + alt.strip()
+                                 + name[m.end():]))
+    return out
+
+
+def catalog_names(root):
+    """(exact names, placeholder regexes) from the §2 table, or None when
+    docs/OBSERVABILITY.md is absent (fixture trees for other rules)."""
+    path = os.path.join(root, CATALOG_REL)
+    if not os.path.isfile(path):
+        return None
+    exact = set()
+    patterns = []
+    for raw in read_lines(root, CATALOG_REL):
+        m = CATALOG_ROW_RE.match(raw)
+        if not m:
+            continue
+        for name in expand_braces(m.group(1)):
+            if "<" in name:
+                # `shard.<i>.pulls` -> one path segment per placeholder.
+                patterns.append(re.compile(
+                    re.sub(r"<[^<>]*>", r"[A-Za-z0-9_]+",
+                           re.escape(name).replace(r"\<", "<")
+                           .replace(r"\>", ">")) + "$"))
+            else:
+                exact.add(name)
+    return exact, patterns
+
+
+def check_metric_catalog(root):
+    """Literal instrument names resolved under src/ must be catalogued in
+    docs/OBSERVABILITY.md §2 — the catalog is the contract dashboards and
+    the timeseries validator read, so an uncatalogued instrument is
+    invisible telemetry."""
+    catalog = catalog_names(root)
+    if catalog is None:
+        return []
+    exact, patterns = catalog
+    findings = []
+    for rel in walk_sources(root, "src"):
+        lines = read_lines(root, rel)
+        stripped = list(code_lines(lines))
+        for index, (number, code, raw) in enumerate(stripped):
+            if not GET_INSTRUMENT_RE.search(code):
+                continue
+            if suppressed(raw, "metric-catalog"):
+                continue
+            # The literal may sit on the next line when the call wraps —
+            # but only widen the window when this line's own call has no
+            # literal, or the neighbour's literal would double-report.
+            window = raw
+            if (not GET_LITERAL_RE.search(raw)
+                    and index + 1 < len(stripped)):
+                window += " " + stripped[index + 1][2]
+            for name in GET_LITERAL_RE.findall(window):
+                if name in exact:
+                    continue
+                if any(p.match(name) for p in patterns):
+                    continue
+                findings.append(Finding(
+                    "metric-catalog", rel, number,
+                    f"instrument `{name}` is not in the "
+                    f"{CATALOG_REL} §2 catalog; add a row (or fix the "
+                    "name) so the instrument stays discoverable"))
+    return findings
+
+
 # --- rule: include-layering ------------------------------------------------
 
 DAG_REL = os.path.join("tools", "layering.dag")
@@ -636,6 +727,7 @@ RULES = {
     "quantize": check_quantize,
     "clock": check_clock,
     "iostream": check_iostream,
+    "metric-catalog": check_metric_catalog,
     "include-layering": check_include_layering,
 }
 

@@ -25,6 +25,7 @@ CASES = {
     "quantize_violation": (1, {"quantize"}),
     "clock_violation": (1, {"clock"}),
     "iostream_violation": (1, {"iostream"}),
+    "metric_catalog_violation": (1, {"metric-catalog"}),
     "layering_clean": (0, set()),
     "layering_violation": (1, {"include-layering"}),
     "suppressed": (0, set()),
@@ -44,6 +45,11 @@ EXPECTED_FILES = {
     # sanctioned location — only the stray read may be flagged.
     "clock_violation": {os.path.join("src", "foo", "bad_clock.cc")},
     "iostream_violation": {os.path.join("src", "foo", "bad_print.cc")},
+    # Catalogued / brace-expanded / placeholder / wrapped / suppressed
+    # resolves in the fixture stay quiet; only the uncatalogued one fires.
+    "metric_catalog_violation": {
+        os.path.join("src", "foo", "instrumented.cc"),
+    },
     # The declared alpha <-> beta cycle is reported on the DAG itself; the
     # undeclared gamma -> delta include on the including header.
     "layering_violation": {

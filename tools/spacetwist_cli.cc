@@ -27,6 +27,13 @@
 //                          [--trace out.json [--trace-every 1]]
 //                                                # distributed traces +
 //                                                # per-query trade-offs
+//                          [--timeseries ts.json [--timeseries-interval 1]
+//                           [--slo instrument:p99:limit[,...]]]
+//                                                # windowed time series +
+//                                                # SLO watchdog; trips dump
+//                                                # the flight recorder and
+//                                                # escalate tracing
+//                                                # (signal: pNN or rate)
 //                          [--open-loop --arrival-rate 2000,4000,8000,16000
 //                           --users 64 --arrivals 500 --zipf 1.0
 //                           --workers 4]         # open-loop mode: Poisson
@@ -35,6 +42,9 @@
 //                                                # driven engine instead of
 //                                                # closed-loop clients
 //   spacetwist_cli trace-report --in trace.json [--top 5]
+//                          # also accepts spacetwist.timeseries.v1
+//                          # documents (--timeseries output): reports the
+//                          # SLO trips and their flight-recorder dumps
 //
 // Exit code 0 on success, 1 on any error (message on stderr).
 
@@ -42,6 +52,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -49,6 +60,7 @@
 #include <vector>
 
 #include "cli/flags.h"
+#include "cli/trace_report.h"
 #include "common/json.h"
 #include "common/strings.h"
 #include "core/params.h"
@@ -59,8 +71,11 @@
 #include "rtree/tree_stats.h"
 #include "spacetwist/spacetwist.h"
 #include "telemetry/export.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/registry.h"
+#include "telemetry/slo.h"
 #include "telemetry/statsz_ticker.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace_export.h"
 
 namespace spacetwist::cli {
@@ -365,11 +380,18 @@ Status RunTraceReport(const Flags& flags) {
   if (top < 1) return Status::InvalidArgument("--top must be >= 1");
   SPACETWIST_ASSIGN_OR_RETURN(std::string text, ReadFile(in));
   SPACETWIST_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(text));
+  // Flight-recorder dumps ride in timeseries documents (serve-bench
+  // --timeseries, bench_openloop): report the watchdog's trips instead of
+  // a span breakdown.
+  if (IsTimeSeriesDocument(doc)) {
+    std::printf("%s", SummarizeTimeSeriesDocument(doc).c_str());
+    return Status::OK();
+  }
   if (StringField(doc, "schema") != telemetry::kTraceSchema) {
     return Status::InvalidArgument(StrFormat(
-        "%s is not a %.*s document", in.c_str(),
+        "%s is not a %.*s or %s document", in.c_str(),
         static_cast<int>(telemetry::kTraceSchema.size()),
-        telemetry::kTraceSchema.data()));
+        telemetry::kTraceSchema.data(), "spacetwist.timeseries.v1"));
   }
   const JsonValue* events = doc.Find("traceEvents");
   if (events == nullptr || !events->is_array()) {
@@ -419,6 +441,11 @@ Status RunTraceReport(const Flags& flags) {
          FormatDouble(agg.max_us, 3)});
   }
   phase_table.Print(std::cout);
+  // The server-side queueing picture: how long each dispatched request
+  // waited between the client issuing it and the server starting work.
+  std::printf("\n%s",
+              FormatDispatchQueueDelay(SummarizeDispatchQueueDelay(doc))
+                  .c_str());
 
   const JsonValue* tradeoffs = doc.Find("tradeoffs");
   if (tradeoffs == nullptr || !tradeoffs->is_array()) {
@@ -453,6 +480,84 @@ Status RunTraceReport(const Flags& flags) {
   return Status::OK();
 }
 
+// --slo instrument:signal:limit[,...] where signal is pNN (windowed
+// percentile of a histogram instrument) or "rate" (counter events/s) and
+// limit is in the instrument's unit (ns for *_ns histograms).
+Result<std::vector<telemetry::SloObjective>> ParseSloFlag(const Flags& flags) {
+  std::vector<telemetry::SloObjective> objectives;
+  const std::string specs = flags.GetString("slo", "");
+  size_t begin = 0;
+  while (begin < specs.size()) {
+    size_t end = specs.find(',', begin);
+    if (end == std::string::npos) end = specs.size();
+    const std::string spec = specs.substr(begin, end - begin);
+    begin = end + 1;
+    const size_t first = spec.find(':');
+    const size_t second =
+        first == std::string::npos ? std::string::npos
+                                   : spec.find(':', first + 1);
+    if (first == std::string::npos || second == std::string::npos ||
+        first == 0) {
+      return Status::InvalidArgument(StrFormat(
+          "--slo spec '%s' is not instrument:signal:limit", spec.c_str()));
+    }
+    telemetry::SloObjective objective;
+    objective.instrument = spec.substr(0, first);
+    const std::string signal = spec.substr(first + 1, second - first - 1);
+    const std::string limit = spec.substr(second + 1);
+    char* parse_end = nullptr;
+    objective.limit = std::strtod(limit.c_str(), &parse_end);
+    if (limit.empty() || parse_end != limit.c_str() + limit.size() ||
+        objective.limit < 0.0) {
+      return Status::InvalidArgument(StrFormat(
+          "--slo spec '%s': limit must be a non-negative number",
+          spec.c_str()));
+    }
+    if (signal == "rate") {
+      objective.signal = telemetry::SloSignal::kCounterRate;
+    } else if (signal.size() >= 2 && signal[0] == 'p') {
+      const double pct = std::strtod(signal.c_str() + 1, &parse_end);
+      if (parse_end != signal.c_str() + signal.size() || pct <= 0.0 ||
+          pct >= 100.0) {
+        return Status::InvalidArgument(StrFormat(
+            "--slo spec '%s': signal must be pNN (0 < NN < 100) or rate",
+            spec.c_str()));
+      }
+      objective.signal = telemetry::SloSignal::kHistogramQuantile;
+      objective.quantile = pct / 100.0;
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "--slo spec '%s': signal must be pNN or rate", spec.c_str()));
+    }
+    objective.name = objective.instrument + ":" + signal;
+    objectives.push_back(std::move(objective));
+  }
+  return objectives;
+}
+
+struct TimeSeriesFlagValues {
+  std::string out;          ///< empty = windowed telemetry off
+  uint64_t interval_ns = 0;
+  std::vector<telemetry::SloObjective> objectives;
+};
+
+Result<TimeSeriesFlagValues> ParseTimeSeriesFlags(const Flags& flags) {
+  TimeSeriesFlagValues out;
+  out.out = flags.GetString("timeseries", "");
+  SPACETWIST_ASSIGN_OR_RETURN(double interval,
+                              flags.GetDouble("timeseries-interval", 1.0));
+  if (interval <= 0.0) {
+    return Status::InvalidArgument("--timeseries-interval must be > 0 "
+                                   "seconds");
+  }
+  out.interval_ns = static_cast<uint64_t>(interval * 1e9);
+  SPACETWIST_ASSIGN_OR_RETURN(out.objectives, ParseSloFlag(flags));
+  if (!out.objectives.empty() && out.out.empty()) {
+    return Status::InvalidArgument("--slo requires --timeseries <out.json>");
+  }
+  return out;
+}
+
 // serve-bench --open-loop: Poisson arrivals at fixed offered rates instead
 // of closed-loop clients. Runs under kVirtual pacing with a VirtualClock —
 // queries execute for real through the event-driven engine (digests checked
@@ -476,6 +581,11 @@ Status RunServeBenchOpenLoop(const Flags& flags, const datasets::Dataset& ds,
   if (rates.empty()) {
     return Status::InvalidArgument("--arrival-rate needs at least one rate");
   }
+  // Under kVirtual the timeline is the modeled arrival schedule, so
+  // --timeseries-interval is in *modeled* seconds (a 500-arrival run at
+  // 8000 qps spans ~62 modeled ms).
+  SPACETWIST_ASSIGN_OR_RETURN(TimeSeriesFlagValues timeseries,
+                              ParseTimeSeriesFlags(flags));
   for (size_t i = 0; i < rates.size(); ++i) {
     if (rates[i] <= 0) {
       return Status::InvalidArgument("--arrival-rate values must be > 0");
@@ -499,6 +609,10 @@ Status RunServeBenchOpenLoop(const Flags& flags, const datasets::Dataset& ds,
   base.params = qf.params;
   base.pacing = eval::OpenLoopPacing::kVirtual;
   base.worker_threads = static_cast<size_t>(workers);
+  if (!timeseries.out.empty()) {
+    base.timeseries_interval_ns = timeseries.interval_ns;
+    base.slo_objectives = timeseries.objectives;
+  }
 
   eval::OpenLoopOptions reference_options = base;
   reference_options.arrival.rate_qps = rates.front();
@@ -508,6 +622,8 @@ Status RunServeBenchOpenLoop(const Flags& flags, const datasets::Dataset& ds,
 
   eval::Table table({"offered.qps", "goodput.qps", "completed", "rejected",
                      "p50(ms)", "p99(ms)"});
+  telemetry::TimeSeries last_series;
+  telemetry::SloReport last_slo;
   for (size_t i = 0; i < rates.size(); ++i) {
     eval::OpenLoopOptions options = base;
     options.arrival.rate_qps = rates[i];
@@ -540,8 +656,19 @@ Status RunServeBenchOpenLoop(const Flags& flags, const datasets::Dataset& ds,
                                         report.rejected)),
                   FormatDouble(report.p50_latency_ms, 3),
                   FormatDouble(report.p99_latency_ms, 3)});
+    // The exported series is the sweep's deepest point — the rate where
+    // the knee (if any) is sharpest.
+    last_series = std::move(report.timeseries);
+    last_slo = std::move(report.slo);
   }
   table.Print(std::cout);
+  if (!timeseries.out.empty()) {
+    SPACETWIST_RETURN_NOT_OK(WriteFile(
+        timeseries.out, telemetry::TimeSeriesToJson(last_series, &last_slo)));
+    std::printf("wrote %s (%zu intervals, %zu slo trips, rate %.1f qps)\n",
+                timeseries.out.c_str(), last_series.intervals.size(),
+                last_slo.trips.size(), rates.back());
+  }
   std::printf("open loop: %lld users, %lld arrivals/rate, zipf_s=%.2f, "
               "%lld workers; lowest rate verified byte-identical to the "
               "library reference\n",
@@ -576,6 +703,8 @@ Status RunServeBench(const Flags& flags) {
   if (flags.Has("statsz-interval") && statsz_interval <= 0.0) {
     return Status::InvalidArgument("--statsz-interval must be > 0 seconds");
   }
+  SPACETWIST_ASSIGN_OR_RETURN(TimeSeriesFlagValues timeseries,
+                              ParseTimeSeriesFlags(flags));
   SPACETWIST_ASSIGN_OR_RETURN(int64_t shards, flags.GetInt("shards", 1));
   if (shards < 1) {
     return Status::InvalidArgument("--shards must be >= 1");
@@ -638,8 +767,6 @@ Status RunServeBench(const Flags& flags) {
   // ticker while the measured runs execute; samples render at the end next
   // to the cumulative page.
   std::unique_ptr<telemetry::StatszTicker> ticker;
-  std::atomic<bool> stop_poller{false};
-  std::thread poller;
   if (flags.Has("statsz-interval")) {
     ticker = std::make_unique<telemetry::StatszTicker>(
         nullptr, nullptr, static_cast<uint64_t>(statsz_interval * 1e9));
@@ -651,9 +778,46 @@ Status RunServeBench(const Flags& flags) {
                            router->shard_registry(i));
       }
     }
-    poller = std::thread([&ticker, &stop_poller] {
+  }
+
+  // Windowed time-series + SLO watchdog (docs/OBSERVABILITY.md §7): the
+  // collector samples the default registry — per-shard registries as
+  // labeled sections, mirroring the statsz layout — on the same poller
+  // thread; a tripped objective dumps the flight ring into its trip record
+  // and escalates distributed tracing of the next queries.
+  std::unique_ptr<telemetry::TimeSeriesCollector> collector;
+  std::unique_ptr<telemetry::FlightRecorder> flight;
+  std::unique_ptr<telemetry::SloMonitor> monitor;
+  if (!timeseries.out.empty()) {
+    telemetry::TimeSeriesCollector::Options collector_options;
+    collector_options.interval_ns = timeseries.interval_ns;
+    collector = std::make_unique<telemetry::TimeSeriesCollector>(
+        nullptr, nullptr, collector_options);
+    if (router != nullptr) {
+      for (size_t i = 0; i < router->num_shards(); ++i) {
+        collector->AddSection(StrFormat("shard%zu", i),
+                              router->shard_registry(i));
+      }
+    }
+    flight = std::make_unique<telemetry::FlightRecorder>();
+    monitor = std::make_unique<telemetry::SloMonitor>(collector.get(),
+                                                      flight.get());
+    for (const telemetry::SloObjective& objective : timeseries.objectives) {
+      monitor->AddObjective(objective);
+    }
+    load.flight = flight.get();
+    load.slo = monitor.get();
+  }
+
+  std::atomic<bool> stop_poller{false};
+  std::thread poller;
+  if (ticker != nullptr || collector != nullptr) {
+    poller = std::thread([&ticker, &collector, &monitor, &stop_poller] {
       while (!stop_poller.load(std::memory_order_relaxed)) {
-        ticker->Poll();
+        if (ticker != nullptr) ticker->Poll();
+        if (collector != nullptr && collector->Poll() > 0) {
+          monitor->Evaluate();
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     });
@@ -714,6 +878,22 @@ Status RunServeBench(const Flags& flags) {
   } else {
     std::printf("results verified byte-identical to the single-threaded "
                 "direct path at every thread count\n");
+  }
+
+  if (collector != nullptr) {
+    // The poller is joined, so the collector is back on this thread: close
+    // the tail window, give the watchdog its last look, and export.
+    collector->Flush();
+    monitor->Evaluate();
+    const telemetry::SloReport slo_report = monitor->Report();
+    SPACETWIST_RETURN_NOT_OK(
+        WriteFile(timeseries.out, telemetry::TimeSeriesToJson(
+                                      collector->series(), &slo_report)));
+    std::printf("wrote %s (%zu intervals, %zu slo trips, %llu flight "
+                "records)\n",
+                timeseries.out.c_str(), collector->series().intervals.size(),
+                slo_report.trips.size(),
+                static_cast<unsigned long long>(flight->recorded()));
   }
 
   if (!trace_out.empty()) {

@@ -30,11 +30,23 @@ Checks every document passed on the command line:
   and the headline speedup must match the measured ns_per_query ratio;
 * spacetwist.openloop.v1 — an open-loop knee sweep (bench_openloop's
   BENCH_openloop.json) must carry knee points strictly monotone in offered
-  load, each with a goodput, a latency histogram, and a queue-delay
-  histogram; a knee block whose p99 ratio matches the recorded endpoints
-  and clears the 5x saturation bar with positive goodput on both sides of
-  the knee; and digest_match == 1 (the event-driven serving path matched
-  the library reference at low load).
+  load, each with a goodput, a latency histogram, a queue-delay histogram,
+  SLO trip/escalation counts, and an embedded per-interval timeseries; a
+  knee block whose p99 ratio matches the recorded endpoints and clears the
+  5x saturation bar with positive goodput on both sides of the knee;
+  digest_match == 1 (the event-driven serving path matched the library
+  reference at low load); a quiet watchdog below the knee, at least one
+  trip at the overload point, and a queue-delay p99 that rises across the
+  overload point's own windows (the knee forming over time);
+* spacetwist.timeseries.v1 — a windowed time-series export
+  (TimeSeriesCollector via `serve-bench --timeseries`, or embedded in
+  BENCH_openloop.json results) must carry contiguous per-interval windows
+  on a fixed deadline grid — monotone global indices whose front equals
+  dropped_intervals, abutting [start_ns, end_ns) spans, counter deltas
+  whose rate_per_s matches the window width, integer gauges, and bucketless
+  window histograms with monotone percentiles — plus an optional slo block
+  whose trips reference declared objectives and exported windows and whose
+  flight-recorder dumps are fully populated (docs/OBSERVABILITY.md §7).
 
 Exit status 0 when every file validates, 1 otherwise (messages on stderr).
 Runs under ctest (`validate_telemetry_json`) over the committed bench
@@ -52,9 +64,14 @@ TRACE_SCHEMA = "spacetwist.trace.v1"
 SHARD_SCHEMA = "spacetwist.shard.v1"
 MEMIDX_SCHEMA = "spacetwist.memidx.v1"
 OPENLOOP_SCHEMA = "spacetwist.openloop.v1"
+TIMESERIES_SCHEMA = "spacetwist.timeseries.v1"
 HISTOGRAM_KEYS = {
     "count", "sum", "min", "max", "mean", "p50", "p95", "p99", "buckets",
 }
+# Windowed per-interval histogram deltas carry no buckets (the collector
+# exports summary statistics of each window only).
+WINDOW_HISTOGRAM_KEYS = HISTOGRAM_KEYS - {"buckets"}
+SLO_SIGNAL_RE = re.compile(r"^(rate|p[1-9][0-9]?)$")
 TRACE_ID_RE = re.compile(r"^0x[0-9a-f]{16}$")
 # Every field eval::WriteTradeoffs emits, with the checker applied to it.
 TRADEOFF_FIELDS = {
@@ -349,6 +366,198 @@ def validate_memidx_document(document, path):
                       f"ns_per_query ratio {ratio:.3f}")
 
 
+def validate_window_histogram(window, path):
+    """A per-interval histogram delta: summary stats only, no buckets."""
+    missing = WINDOW_HISTOGRAM_KEYS - window.keys()
+    if missing:
+        error(path, f"window histogram missing keys {sorted(missing)}")
+        return
+    if "buckets" in window:
+        error(path, "window histograms carry deltas only, not buckets")
+    for key in ("count", "sum", "min", "max"):
+        if not is_int(window[key]) or window[key] < 0:
+            error(path, f"{key} must be a non-negative integer")
+            return
+    for key in ("mean", "p50", "p95", "p99"):
+        if not is_number(window[key]):
+            error(path, f"{key} must be a number")
+            return
+    if not window["p50"] <= window["p95"] <= window["p99"]:
+        error(path, "percentiles not monotone: p50 <= p95 <= p99 required")
+    # Percentiles are bucket-interpolated and may exceed max; the mean is
+    # exact and must not.
+    if window["count"] > 0 and not window["min"] <= window["mean"] <= window["max"]:
+        error(path, "mean outside [min, max] on a non-empty window")
+
+
+def validate_interval(sample, path, previous):
+    """One timeseries window; returns (index, end_ns) for contiguity."""
+    for key in ("index", "start_ns", "end_ns"):
+        if not is_int(sample.get(key)) or sample[key] < 0:
+            error(path, f"{key} must be a non-negative integer")
+            return None
+    if sample["start_ns"] >= sample["end_ns"]:
+        error(path, f"window start {sample['start_ns']} not before end "
+              f"{sample['end_ns']}")
+    if previous is not None:
+        previous_index, previous_end = previous
+        if sample["index"] != previous_index + 1:
+            error(path, f"index {sample['index']} not contiguous after "
+                  f"{previous_index}")
+        if sample["start_ns"] != previous_end:
+            error(path, f"window start {sample['start_ns']} does not abut "
+                  f"the previous window's end {previous_end}: intervals "
+                  "must be contiguous on the deadline grid")
+    for kind in ("counters", "gauges", "histograms"):
+        if not isinstance(sample.get(kind), dict):
+            error(path, f"missing {kind} object")
+            return (sample["index"], sample["end_ns"])
+    seconds = (sample["end_ns"] - sample["start_ns"]) / 1e9
+    for name, entry in sample["counters"].items():
+        entry_path = f"{path}.counters.{name}"
+        if (not isinstance(entry, dict)
+                or not is_int(entry.get("delta")) or entry["delta"] < 0
+                or not is_number(entry.get("rate_per_s"))):
+            error(entry_path, "must be an object with a non-negative int "
+                  "delta and a numeric rate_per_s")
+            continue
+        expected = entry["delta"] / seconds if seconds > 0 else 0.0
+        # The exporter rounds rates to three decimal places.
+        if abs(entry["rate_per_s"] - expected) > 0.002 + 1e-9 * expected:
+            error(entry_path, f"rate_per_s {entry['rate_per_s']} does not "
+                  f"match delta {entry['delta']} over a {seconds:.6f} s "
+                  f"window (expected {expected:.3f})")
+    for name, value in sample["gauges"].items():
+        if not is_int(value):
+            error(f"{path}.gauges.{name}", "must be an integer")
+    for name, window in sample["histograms"].items():
+        if not isinstance(window, dict):
+            error(f"{path}.histograms.{name}", "must be an object")
+        else:
+            validate_window_histogram(window, f"{path}.histograms.{name}")
+    return (sample["index"], sample["end_ns"])
+
+
+def validate_timeseries_document(document, path):
+    """A spacetwist.timeseries.v1 export (docs/OBSERVABILITY.md §7).
+
+    Standalone (`serve-bench --timeseries`) or embedded per knee point in
+    BENCH_openloop.json. Checks the windowed-collector contract: contiguous
+    deadline-grid windows with a monotone global index surviving ring
+    eviction, counter deltas consistent with their rates, bucketless window
+    histograms, and an slo block whose trips reference declared objectives
+    and exported windows.
+    """
+    if not is_int(document.get("interval_ns")) or document["interval_ns"] <= 0:
+        error(path, "interval_ns must be a positive integer")
+    if not is_int(document.get("start_ns")) or document["start_ns"] < 0:
+        error(path, "start_ns must be a non-negative integer")
+    dropped = document.get("dropped_intervals")
+    if not is_int(dropped) or dropped < 0:
+        error(path, "dropped_intervals must be a non-negative integer")
+        dropped = None
+    intervals = document.get("intervals")
+    if not isinstance(intervals, list) or not intervals:
+        error(path, "timeseries document needs a non-empty intervals array")
+        return
+    previous = None
+    for i, sample in enumerate(intervals):
+        sample_path = f"{path}.intervals[{i}]"
+        if not isinstance(sample, dict):
+            error(sample_path, "interval must be an object")
+            continue
+        previous = validate_interval(sample, sample_path, previous) or previous
+    front = intervals[0]
+    if (dropped is not None and isinstance(front, dict)
+            and is_int(front.get("index")) and front["index"] != dropped):
+        error(path, f"front index {front['index']} does not equal "
+              f"dropped_intervals {dropped}: the global window index must "
+              "survive ring eviction")
+    slo = document.get("slo")
+    if slo is None:
+        return
+    if not isinstance(slo, dict):
+        error(path, "slo must be an object")
+        return
+    objective_names = set()
+    objectives = slo.get("objectives")
+    if not isinstance(objectives, list):
+        error(f"{path}.slo", "objectives must be an array")
+    else:
+        for i, objective in enumerate(objectives):
+            objective_path = f"{path}.slo.objectives[{i}]"
+            if not isinstance(objective, dict):
+                error(objective_path, "objective must be an object")
+                continue
+            name = objective.get("name")
+            if not isinstance(name, str) or not name:
+                error(objective_path, "objective needs a non-empty name")
+            else:
+                objective_names.add(name)
+            instrument = objective.get("instrument")
+            if not isinstance(instrument, str) or not instrument:
+                error(objective_path, "objective needs an instrument name")
+            signal = objective.get("signal")
+            if not isinstance(signal, str) or not SLO_SIGNAL_RE.match(signal):
+                error(objective_path,
+                      f"signal {signal!r} must be pNN (0 < NN < 100) or rate")
+            if not is_number(objective.get("limit")) or objective["limit"] < 0:
+                error(objective_path, "limit must be a non-negative number")
+            fast = objective.get("fast_windows")
+            slow = objective.get("slow_windows")
+            if not is_int(fast) or fast < 1:
+                error(objective_path, "fast_windows must be a positive "
+                      "integer")
+            if not is_int(slow) or (is_int(fast) and slow < fast):
+                error(objective_path, "slow_windows must be an integer >= "
+                      "fast_windows")
+            fraction = objective.get("slow_burn_fraction")
+            if not is_number(fraction) or not 0.0 < fraction <= 1.0:
+                error(objective_path, "slow_burn_fraction must be in (0, 1]")
+    trips = slo.get("trips")
+    if not isinstance(trips, list):
+        error(f"{path}.slo", "trips must be an array")
+        return
+    last_index = None
+    if isinstance(intervals[-1], dict) and is_int(intervals[-1].get("index")):
+        last_index = intervals[-1]["index"]
+    for i, trip in enumerate(trips):
+        trip_path = f"{path}.slo.trips[{i}]"
+        if not isinstance(trip, dict):
+            error(trip_path, "trip must be an object")
+            continue
+        objective = trip.get("objective")
+        if not isinstance(objective, str) or objective not in objective_names:
+            error(trip_path, f"trip references unknown objective "
+                  f"{objective!r}")
+        index = trip.get("interval_index")
+        if not is_int(index) or index < 0:
+            error(trip_path, "interval_index must be a non-negative integer")
+        elif last_index is not None and index > last_index:
+            error(trip_path, f"interval_index {index} is beyond the last "
+                  f"exported window {last_index}")
+        if not is_number(trip.get("observed")) or trip["observed"] < 0:
+            error(trip_path, "observed must be a non-negative number")
+        if not is_number(trip.get("limit")):
+            error(trip_path, "limit must be a number")
+        flight = trip.get("flight")
+        if not isinstance(flight, list):
+            error(trip_path, "flight must be an array")
+            continue
+        for j, record in enumerate(flight):
+            record_path = f"{trip_path}.flight[{j}]"
+            if not isinstance(record, dict):
+                error(record_path, "flight record must be an object")
+                continue
+            for key in ("trace_id", "latency_ns", "packets"):
+                if not is_int(record.get(key)) or record[key] < 0:
+                    error(record_path,
+                          f"{key} must be a non-negative integer")
+            for key in ("tau", "gamma", "anchor_distance"):
+                if not is_number(record.get(key)):
+                    error(record_path, f"{key} must be a number")
+
+
 def validate_openloop_document(document, path):
     """A spacetwist.openloop.v1 export (bench_openloop's BENCH_openloop.json).
 
@@ -398,6 +607,56 @@ def validate_openloop_document(document, path):
         for key in ("latency_ns", "queue_delay_ns"):
             if not isinstance(entry.get(key), dict):
                 error(entry_path, f"missing {key} histogram")
+        for key in ("slo_trips", "escalated"):
+            if not is_int(entry.get(key)) or entry[key] < 0:
+                error(entry_path, f"{key} must be a non-negative integer")
+        series = entry.get("timeseries")
+        if (not isinstance(series, dict)
+                or series.get("schema") != TIMESERIES_SCHEMA):
+            error(entry_path, "missing embedded spacetwist.timeseries.v1 "
+                  "series (each knee point carries its per-interval windows)")
+        elif is_int(entry.get("slo_trips")):
+            slo = series.get("slo")
+            trips = slo.get("trips") if isinstance(slo, dict) else None
+            if isinstance(trips, list) and len(trips) != entry["slo_trips"]:
+                error(entry_path, f"slo_trips {entry['slo_trips']} does not "
+                      f"match the {len(trips)} trips in the embedded series")
+
+    # The watchdog must separate the knee: quiet on the lowest offered
+    # load, tripping (with the knee visible inside the point's own
+    # windows) at the highest.
+    first, last = results[0], results[-1]
+    if (isinstance(first, dict) and is_int(first.get("slo_trips"))
+            and first["slo_trips"] != 0):
+        error(f"{path}.results[0]", "the below-knee point tripped the SLO "
+              "watchdog: the objective's limit does not separate the knee")
+    if isinstance(last, dict):
+        last_path = f"{path}.results[{len(results) - 1}]"
+        if is_int(last.get("slo_trips")) and last["slo_trips"] < 1:
+            error(last_path, "the overload point recorded no SLO trips: "
+                  "the watchdog never fired across the knee")
+        series = last.get("timeseries")
+        if isinstance(series, dict) and isinstance(series.get("intervals"),
+                                                   list):
+            p99s = []
+            for window in series["intervals"]:
+                if not isinstance(window, dict):
+                    continue
+                histograms = window.get("histograms")
+                if not isinstance(histograms, dict):
+                    continue
+                delay = histograms.get("eval.arrival.queue_delay_ns")
+                if (isinstance(delay, dict) and is_int(delay.get("count"))
+                        and delay["count"] > 0
+                        and is_number(delay.get("p99"))):
+                    p99s.append(delay["p99"])
+            if len(p99s) < 2:
+                error(last_path, "overload series needs at least two "
+                      "measured eval.arrival.queue_delay_ns windows")
+            elif p99s[-1] <= p99s[0]:
+                error(last_path, "queue-delay p99 did not rise across the "
+                      f"overload point's series ({p99s[0]} -> {p99s[-1]}): "
+                      "the knee never formed inside the point's windows")
     knee = document.get("knee")
     if not isinstance(knee, dict):
         error(path, "openloop document needs a knee object")
@@ -431,6 +690,14 @@ def looks_like_histogram(node):
 
 def walk(node, path, found):
     """Finds and validates every telemetry section and histogram."""
+    if (isinstance(node, dict)
+            and node.get("schema") == TIMESERIES_SCHEMA):
+        # Standalone `serve-bench --timeseries` export or a series embedded
+        # in a knee point. Window histograms carry no buckets, so the
+        # generic histogram walk would skip them silently.
+        validate_timeseries_document(node, path)
+        found.append(path)
+        return
     if looks_like_section(node):
         validate_section(node, path)
         found.append(path)

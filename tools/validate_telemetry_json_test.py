@@ -105,6 +105,54 @@ GOOD_MEMIDX = {
 
 _HIST = GOOD_TELEMETRY["histograms"]["eval.load.latency_ns"]
 
+_SECOND = 1000000000
+
+
+def _queue_window(p99):
+    """A well-formed bucketless window histogram peaking at `p99` ns."""
+    lo = max(int(p99) // 4, 1)
+    return {"count": 50, "sum": 50 * lo, "min": lo, "max": int(p99) + 1,
+            "mean": float(lo), "p50": float(lo), "p95": float(p99),
+            "p99": float(p99)}
+
+
+def _embedded_series(p99s, trips):
+    """A spacetwist.timeseries.v1 series: one window per entry of `p99s`,
+    one trip per (interval_index, observed) pair in `trips`."""
+    return {
+        "schema": "spacetwist.timeseries.v1",
+        "interval_ns": _SECOND,
+        "start_ns": 0,
+        "dropped_intervals": 0,
+        "intervals": [
+            {"index": i, "start_ns": i * _SECOND,
+             "end_ns": (i + 1) * _SECOND,
+             "counters": {"eval.arrival.completed":
+                          {"delta": 50, "rate_per_s": 50.0}},
+             "gauges": {"service.engine.sessions": 8},
+             "histograms": {"eval.arrival.queue_delay_ns": _queue_window(p)}}
+            for i, p in enumerate(p99s)],
+        "slo": {
+            "objectives": [{"name": "queue-delay-p99",
+                            "instrument": "eval.arrival.queue_delay_ns",
+                            "signal": "p99", "limit": 2000000.0,
+                            "fast_windows": 2, "slow_windows": 8,
+                            "slow_burn_fraction": 0.5}],
+            "trips": [{"objective": "queue-delay-p99",
+                       "interval_index": index, "observed": observed,
+                       "limit": 2000000.0,
+                       "flight": [{"trace_id": 4242, "latency_ns": 5452256,
+                                   "packets": 3, "tau": 511.7,
+                                   "gamma": 71.5,
+                                   "anchor_distance": 399.9}]}
+                      for index, observed in trips],
+        },
+    }
+
+
+GOOD_TIMESERIES = _embedded_series(
+    [50000.0, 300000.0, 8000000.0], [(2, 8000000.0)])
+
 GOOD_OPENLOOP = {
     "schema": "spacetwist.openloop.v1",
     "bench": "openloop",
@@ -117,15 +165,23 @@ GOOD_OPENLOOP = {
         {"offered_qps": 3000.0, "goodput_qps": 3010.0, "arrivals": 1500,
          "completed": 1500, "rejected": 0, "p50_ms": 0.3, "p99_ms": 0.4,
          "latency_ns": copy.deepcopy(_HIST),
-         "queue_delay_ns": copy.deepcopy(_HIST)},
+         "queue_delay_ns": copy.deepcopy(_HIST),
+         "slo_trips": 0, "escalated": 0,
+         "timeseries": _embedded_series([50000.0, 60000.0], [])},
         {"offered_qps": 12000.0, "goodput_qps": 11800.0, "arrivals": 1500,
          "completed": 1500, "rejected": 0, "p50_ms": 1.4, "p99_ms": 3.4,
          "latency_ns": copy.deepcopy(_HIST),
-         "queue_delay_ns": copy.deepcopy(_HIST)},
+         "queue_delay_ns": copy.deepcopy(_HIST),
+         "slo_trips": 0, "escalated": 0,
+         "timeseries": _embedded_series([300000.0, 400000.0], [])},
         {"offered_qps": 24000.0, "goodput_qps": 12100.0, "arrivals": 1500,
          "completed": 1500, "rejected": 0, "p50_ms": 29.0, "p99_ms": 60.0,
          "latency_ns": copy.deepcopy(_HIST),
-         "queue_delay_ns": copy.deepcopy(_HIST)},
+         "queue_delay_ns": copy.deepcopy(_HIST),
+         "slo_trips": 2, "escalated": 16,
+         "timeseries": _embedded_series(
+             [2500000.0, 8000000.0, 60000000.0],
+             [(1, 8000000.0), (2, 60000000.0)])},
     ],
     "knee": {
         "offered_low_qps": 3000.0, "offered_high_qps": 24000.0,
@@ -388,6 +444,118 @@ def main():
                lambda d: d["results"][0]["latency_ns"]
                .__setitem__("p50", 99.0)),
         "percentiles not monotone")
+    expect_error(
+        "openloop missing embedded series",
+        broken(GOOD_OPENLOOP, lambda d: d["results"][0].pop("timeseries")),
+        "missing embedded spacetwist.timeseries.v1")
+    expect_error(
+        "openloop negative escalated",
+        broken(GOOD_OPENLOOP,
+               lambda d: d["results"][0].__setitem__("escalated", -1)),
+        "escalated must be a non-negative integer")
+    expect_error(
+        "openloop quiet point tripping",
+        broken(GOOD_OPENLOOP,
+               lambda d: d["results"][0].__setitem__("slo_trips", 1)),
+        "does not separate the knee")
+    expect_error(
+        "openloop overload point without trips",
+        broken(GOOD_OPENLOOP,
+               lambda d: (d["results"][2].__setitem__("slo_trips", 0),
+                          d["results"][2]["timeseries"]["slo"]
+                          .__setitem__("trips", []))),
+        "the watchdog never fired")
+    expect_error(
+        "openloop trip count off the embedded series",
+        broken(GOOD_OPENLOOP,
+               lambda d: d["results"][2].__setitem__("slo_trips", 5)),
+        "does not match the 2 trips")
+    expect_error(
+        "openloop queue-delay p99 not rising",
+        broken(GOOD_OPENLOOP,
+               lambda d: d["results"][2]["timeseries"]["intervals"][0]
+               ["histograms"].__setitem__(
+                   "eval.arrival.queue_delay_ns",
+                   _queue_window(99000000.0))),
+        "did not rise across the overload point")
+
+    # --- timeseries.v1 negatives -----------------------------------------
+    expect_ok("good timeseries document", GOOD_TIMESERIES)
+    expect_error(
+        "timeseries empty intervals",
+        broken(GOOD_TIMESERIES, lambda d: d.__setitem__("intervals", [])),
+        "non-empty intervals")
+    expect_error(
+        "timeseries non-abutting windows",
+        broken(GOOD_TIMESERIES,
+               lambda d: d["intervals"][1]
+               .__setitem__("start_ns", _SECOND + 7)),
+        "must be contiguous on the deadline grid")
+    expect_error(
+        "timeseries index gap",
+        broken(GOOD_TIMESERIES,
+               lambda d: d["intervals"][1].__setitem__("index", 5)),
+        "not contiguous after")
+    expect_error(
+        "timeseries inverted window",
+        broken(GOOD_TIMESERIES,
+               lambda d: d["intervals"][0].__setitem__("end_ns", 0)),
+        "not before end")
+    expect_error(
+        "timeseries front index off dropped_intervals",
+        broken(GOOD_TIMESERIES,
+               lambda d: d.__setitem__("dropped_intervals", 3)),
+        "survive ring eviction")
+    expect_error(
+        "timeseries rate off the delta",
+        broken(GOOD_TIMESERIES,
+               lambda d: d["intervals"][0]["counters"]
+               ["eval.arrival.completed"].__setitem__("rate_per_s", 55.0)),
+        "does not match delta")
+    expect_error(
+        "timeseries window with buckets",
+        broken(GOOD_TIMESERIES,
+               lambda d: d["intervals"][0]["histograms"]
+               ["eval.arrival.queue_delay_ns"]
+               .__setitem__("buckets", [[1, 2, 50]])),
+        "deltas only, not buckets")
+    expect_error(
+        "timeseries window percentiles not monotone",
+        broken(GOOD_TIMESERIES,
+               lambda d: d["intervals"][0]["histograms"]
+               ["eval.arrival.queue_delay_ns"]
+               .__setitem__("p50", 1e12)),
+        "percentiles not monotone")
+    expect_error(
+        "timeseries bad slo signal",
+        broken(GOOD_TIMESERIES,
+               lambda d: d["slo"]["objectives"][0]
+               .__setitem__("signal", "p995")),
+        "must be pNN")
+    expect_error(
+        "timeseries slow below fast windows",
+        broken(GOOD_TIMESERIES,
+               lambda d: d["slo"]["objectives"][0]
+               .__setitem__("slow_windows", 1)),
+        "slow_windows must be an integer >= fast_windows")
+    expect_error(
+        "timeseries trip on unknown objective",
+        broken(GOOD_TIMESERIES,
+               lambda d: d["slo"]["trips"][0]
+               .__setitem__("objective", "no-such-objective")),
+        "unknown objective")
+    expect_error(
+        "timeseries trip beyond exported windows",
+        broken(GOOD_TIMESERIES,
+               lambda d: d["slo"]["trips"][0]
+               .__setitem__("interval_index", 9)),
+        "beyond the last exported window")
+    expect_error(
+        "timeseries flight record negative packets",
+        broken(GOOD_TIMESERIES,
+               lambda d: d["slo"]["trips"][0]["flight"][0]
+               .__setitem__("packets", -3)),
+        "packets must be a non-negative integer")
 
     if _failures:
         for failure in _failures:
